@@ -1,0 +1,16 @@
+//! # spothost-analysis
+//!
+//! Statistics, Monte-Carlo execution, and table/CSV rendering shared by the
+//! `spothost` experiment harness. Keeps the experiment code (one module per
+//! paper table/figure in `spothost-bench`) free of formatting and
+//! aggregation boilerplate.
+
+pub mod mc;
+pub mod series;
+pub mod stats;
+pub mod table;
+
+pub use mc::{mc_run, Summary};
+pub use series::{LabeledSeries, SeriesSet};
+pub use stats::{mean, mean_std, percentile, std_dev};
+pub use table::TextTable;

@@ -1,0 +1,101 @@
+//! Scalar sample statistics.
+
+/// Arithmetic mean; 0 for an empty sample.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 points.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    (ss / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Mean and sample standard deviation in one pass over the data
+/// (Welford's algorithm — numerically stable for long accumulations).
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    let mut n = 0.0f64;
+    let mut m = 0.0f64;
+    let mut m2 = 0.0f64;
+    for &x in xs {
+        n += 1.0;
+        let d = x - m;
+        m += d / n;
+        m2 += d * (x - m);
+    }
+    if n < 2.0 {
+        (m, 0.0)
+    } else {
+        (m, (m2 / (n - 1.0)).sqrt())
+    }
+}
+
+/// Linear-interpolated percentile, `p` in `[0, 100]`. Sorts a copy.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    if v.len() == 1 {
+        return v[0];
+    }
+    let rank = p / 100.0 * (v.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    v[lo] + (v[hi] - v[lo]) * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        // Sample std of this classic set is ~2.138.
+        assert!((std_dev(&xs) - 2.138089935).abs() < 1e-6);
+        let (m, s) = mean_std(&xs);
+        assert!((m - mean(&xs)).abs() < 1e-12);
+        assert!((s - std_dev(&xs)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(std_dev(&[3.0]), 0.0);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((percentile(&xs, 0.0) - 1.0).abs() < 1e-12);
+        assert!((percentile(&xs, 100.0) - 4.0).abs() < 1e-12);
+        assert!((percentile(&xs, 50.0) - 2.5).abs() < 1e-12);
+        // Unsorted input is handled.
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert!((percentile(&xs, 50.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_matches_naive_on_large_sample() {
+        let xs: Vec<f64> = (0..10_000).map(|i| (i as f64).sin() * 100.0).collect();
+        let (m, s) = mean_std(&xs);
+        assert!((m - mean(&xs)).abs() < 1e-9);
+        assert!((s - std_dev(&xs)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,104 @@
+//! Plain-text table rendering for the repro binary's output.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table with a header row.
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        let header: Vec<String> = header.into_iter().map(Into::into).collect();
+        assert!(!header.is_empty(), "table needs at least one column");
+        TextTable {
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i == 0 {
+                    let _ = write!(out, "{:<w$}", cell, w = widths[i]);
+                } else {
+                    let _ = write!(out, "  {:>w$}", cell, w = widths[i]);
+                }
+            }
+            out.push('\n');
+        };
+        render_row(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(&mut out, row);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new(["Instance", "US east (s)"]);
+        t.row(["On-demand", "94.85"]);
+        t.row(["Spot", "281.47"]);
+        let s = t.render();
+        assert!(s.contains("On-demand"));
+        assert!(s.contains("281.47"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Separator under header.
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Columns aligned: all lines equal length.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+
+    #[test]
+    fn num_rows_counts() {
+        let mut t = TextTable::new(["x"]);
+        assert_eq!(t.num_rows(), 0);
+        t.row(["1"]);
+        t.row(["2"]);
+        assert_eq!(t.num_rows(), 2);
+    }
+}

@@ -1,0 +1,22 @@
+//! Criterion bench for Figure 10's kernel: time-weighted standard
+//! deviation across all sixteen markets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spothost_market::prelude::*;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let catalog = Catalog::ec2_2015();
+    let traces = TraceSet::generate(&catalog, &MarketId::all(), 0, SimDuration::days(28));
+    c.bench_function("fig10/std_all_markets", |b| {
+        b.iter(|| {
+            MarketId::all()
+                .into_iter()
+                .map(|m| black_box(&traces).trace(m).unwrap().time_weighted_std())
+                .sum::<f64>()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench for Figure 11's kernel: a pure-spot scheduler run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spothost_core::prelude::*;
+use spothost_core::SimRun;
+use spothost_market::prelude::*;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let market = MarketId::new(Zone::UsEast1a, InstanceType::Small);
+    let catalog = Catalog::ec2_2015();
+    let traces = TraceSet::generate(&catalog, &[market], 0, SimDuration::days(7));
+    let cfg = SchedulerConfig::single_market(market).with_policy(BiddingPolicy::PureSpot);
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(30);
+    group.bench_function("pure_spot_week", |b| {
+        b.iter(|| SimRun::new(black_box(&traces), &cfg, 0).run())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench for Figure 12's kernel: MVA solves of the TPC-W closed
+//! network across the EB sweep, including the nested fixed point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spothost_workload::response::{response_curve, FIGURE12_EBS};
+use spothost_workload::tpcw::{tpcw_network, NestedPenalties, Platform, TpcwConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12");
+    group.bench_function("mva_solve_400", |b| {
+        let net = tpcw_network(
+            TpcwConfig::NoImages,
+            Platform::Native,
+            &NestedPenalties::xen_blanket(),
+            400,
+        );
+        b.iter(|| black_box(&net).solve(400))
+    });
+    group.bench_function("nested_fixed_point_400", |b| {
+        b.iter(|| {
+            tpcw_network(
+                TpcwConfig::NoImages,
+                Platform::Nested,
+                &NestedPenalties::xen_blanket(),
+                black_box(400),
+            )
+        })
+    });
+    group.bench_function("full_curve_both_configs", |b| {
+        b.iter(|| {
+            (
+                response_curve(TpcwConfig::WithImages, &FIGURE12_EBS),
+                response_curve(TpcwConfig::NoImages, &FIGURE12_EBS),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

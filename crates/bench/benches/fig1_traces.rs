@@ -1,0 +1,40 @@
+//! Criterion bench for Figure 1's kernel: generating a month of spot
+//! prices for one market and computing its trace statistics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spothost_market::prelude::*;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let catalog = Catalog::ec2_2015();
+    let market = MarketId::new(Zone::UsEast1a, InstanceType::Small);
+    let mut group = c.benchmark_group("fig1");
+    group.sample_size(20);
+
+    group.bench_function("generate_month_trace", |b| {
+        b.iter(|| {
+            TraceSet::generate(
+                black_box(&catalog),
+                &[market],
+                black_box(42),
+                SimDuration::days(28),
+            )
+        })
+    });
+
+    let set = TraceSet::generate(&catalog, &[market], 42, SimDuration::days(28));
+    let trace = set.trace(market).unwrap();
+    group.bench_function("trace_statistics", |b| {
+        b.iter(|| {
+            (
+                black_box(trace).time_weighted_mean(),
+                trace.time_weighted_std(),
+                trace.fraction_above(0.06),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for Figure 6's kernel: one proactive and one reactive
+//! scheduler run over a week of prices.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spothost_core::prelude::*;
+use spothost_core::SimRun;
+use spothost_market::prelude::*;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let market = MarketId::new(Zone::UsEast1a, InstanceType::Small);
+    let catalog = Catalog::ec2_2015();
+    let traces = TraceSet::generate(&catalog, &[market], 0, SimDuration::days(7));
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(30);
+    for (name, policy) in [
+        ("proactive_week", BiddingPolicy::proactive_default()),
+        ("reactive_week", BiddingPolicy::Reactive),
+    ] {
+        let cfg = SchedulerConfig::single_market(market).with_policy(policy);
+        group.bench_function(name, |b| {
+            b.iter(|| SimRun::new(black_box(&traces), &cfg, 0).run())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench for Figure 7's kernel: scheduler runs across the four
+//! mechanism combinations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spothost_core::prelude::*;
+use spothost_core::SimRun;
+use spothost_market::prelude::*;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let market = MarketId::new(Zone::UsEast1a, InstanceType::Small);
+    let catalog = Catalog::ec2_2015();
+    let traces = TraceSet::generate(&catalog, &[market], 0, SimDuration::days(7));
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(20);
+    for combo in MechanismCombo::ALL {
+        let cfg = SchedulerConfig::single_market(market).with_mechanism(combo);
+        group.bench_function(combo.name().replace(' ', "_"), |b| {
+            b.iter(|| SimRun::new(black_box(&traces), &cfg, 0).run())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Criterion bench for Figure 8's kernel: a multi-market scheduler run
+//! over a four-market zone.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spothost_core::prelude::*;
+use spothost_core::SimRun;
+use spothost_market::prelude::*;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let catalog = Catalog::ec2_2015();
+    let markets = MarketId::all_in_zone(Zone::UsEast1b);
+    let traces = TraceSet::generate(&catalog, &markets, 0, SimDuration::days(7));
+    let cfg = SchedulerConfig::multi(MarketScope::MultiMarket(Zone::UsEast1b));
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(20);
+    group.bench_function("multi_market_week", |b| {
+        b.iter(|| SimRun::new(black_box(&traces), &cfg, 0).run())
+    });
+    group.bench_function("generate_zone_traces", |b| {
+        b.iter(|| TraceSet::generate(&catalog, &markets, black_box(1), SimDuration::days(7)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

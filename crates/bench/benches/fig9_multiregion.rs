@@ -1,0 +1,30 @@
+//! Criterion bench for Figure 9's kernel: a multi-region scheduler run
+//! over an eight-market zone pair.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spothost_core::prelude::*;
+use spothost_core::SimRun;
+use spothost_market::prelude::*;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let catalog = Catalog::ec2_2015();
+    let markets: Vec<MarketId> = MarketId::all_in_zone(Zone::UsEast1a)
+        .into_iter()
+        .chain(MarketId::all_in_zone(Zone::EuWest1a))
+        .collect();
+    let traces = TraceSet::generate(&catalog, &markets, 0, SimDuration::days(7));
+    let cfg = SchedulerConfig::multi(MarketScope::MultiRegion(vec![
+        Zone::UsEast1a,
+        Zone::EuWest1a,
+    ]));
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(20);
+    group.bench_function("multi_region_week", |b| {
+        b.iter(|| SimRun::new(black_box(&traces), &cfg, 0).run())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench for Table 1's kernel: startup-latency sampling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use spothost_cloudsim::StartupModel;
+use spothost_market::types::Region;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let model = StartupModel::table1();
+    let mut rng = ChaCha12Rng::seed_from_u64(0);
+    c.bench_function("tab1/sample_startup_pair", |b| {
+        b.iter(|| {
+            let od = model.sample_on_demand(&mut rng, black_box(Region::UsEast1));
+            let spot = model.sample_spot(&mut rng, black_box(Region::UsEast1));
+            (od, spot)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion bench for Table 2's kernel: migration-mechanism timing models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spothost_market::types::Region;
+use spothost_virt::wan::wan_live_migration;
+use spothost_virt::*;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let vm = VmSpec::paper_2gib();
+    let params = VirtParams::typical();
+    let mut group = c.benchmark_group("tab2");
+    group.bench_function("lan_live_migration_model", |b| {
+        b.iter(|| live_migration(black_box(&vm), &params))
+    });
+    let pair = RegionPair::new(Region::UsEast1, Region::EuWest1);
+    group.bench_function("wan_live_migration_model", |b| {
+        b.iter(|| wan_live_migration(black_box(&vm), &params, pair))
+    });
+    group.bench_function("plan_migration_all_combos", |b| {
+        let ctx = MigrationContext::local(vm, Region::UsEast1);
+        b.iter(|| {
+            for combo in MechanismCombo::ALL {
+                for kind in [MigrationKind::Forced, MigrationKind::Planned] {
+                    black_box(plan_migration(combo, kind, &ctx, &params));
+                }
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench for Table 3's kernel: the three hosting schemes
+//! compared on the same trace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spothost_core::prelude::*;
+use spothost_core::SimRun;
+use spothost_market::prelude::*;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let market = MarketId::new(Zone::UsEast1a, InstanceType::Small);
+    let catalog = Catalog::ec2_2015();
+    let traces = TraceSet::generate(&catalog, &[market], 0, SimDuration::days(7));
+    let mut group = c.benchmark_group("tab3");
+    group.sample_size(20);
+    group.bench_function("three_schemes_week", |b| {
+        b.iter(|| {
+            for policy in [
+                BiddingPolicy::OnDemandOnly,
+                BiddingPolicy::PureSpot,
+                BiddingPolicy::proactive_default(),
+            ] {
+                let cfg = SchedulerConfig::single_market(market).with_policy(policy);
+                black_box(SimRun::new(&traces, &cfg, 0).run());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

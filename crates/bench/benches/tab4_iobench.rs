@@ -1,0 +1,19 @@
+//! Criterion bench for Table 4's kernel: the simulated I/O microbenchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spothost_workload::iobench::{iobench_mean, simulate_iobench};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tab4");
+    group.bench_function("single_run", |b| {
+        b.iter(|| simulate_iobench(black_box(7)))
+    });
+    group.bench_function("mean_of_50", |b| {
+        b.iter(|| iobench_mean(black_box(0), 50))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

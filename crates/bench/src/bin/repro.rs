@@ -1,0 +1,92 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro all             # every experiment, paper-fidelity settings
+//! repro fig6 fig7       # selected experiments
+//! repro --quick all     # smaller Monte-Carlo settings (CI smoke)
+//! repro --list          # list experiment names
+//! repro --csv out/ all  # also write CSV artifacts for the figures
+//! ```
+
+use spothost_bench::experiments;
+use spothost_bench::ExpSettings;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut csv_dir: Option<String> = None;
+    let mut names: Vec<String> = Vec::new();
+    let mut args_iter = args.iter().peekable();
+    while let Some(a) = args_iter.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--csv" => {
+                let Some(dir) = args_iter.next() else {
+                    eprintln!("--csv expects a directory");
+                    std::process::exit(2);
+                };
+                csv_dir = Some(dir.clone());
+            }
+            "--list" => {
+                for (name, desc) in experiments::ALL {
+                    println!("{name:<12} {desc}");
+                }
+                return;
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: repro [--quick] [--list] <experiment...|all>");
+                return;
+            }
+            other => names.push(other.to_string()),
+        }
+    }
+    if names.is_empty() {
+        eprintln!("usage: repro [--quick] [--list] <experiment...|all>");
+        eprintln!(
+            "experiments: {}",
+            experiments::ALL.map(|(n, _)| n).join(", ")
+        );
+        std::process::exit(2);
+    }
+    if names.iter().any(|n| n == "all") {
+        names = experiments::ALL.iter().map(|(n, _)| n.to_string()).collect();
+    }
+
+    let settings = if quick {
+        ExpSettings::quick()
+    } else {
+        ExpSettings::full()
+    };
+    println!(
+        "spothost repro — seeds {} x horizon {} ({} mode)\n",
+        settings.seeds,
+        settings.horizon,
+        if quick { "quick" } else { "full" }
+    );
+
+    let total = Instant::now();
+    for name in &names {
+        let start = Instant::now();
+        match experiments::run_with_csv(name, &settings) {
+            Some((report, artifacts)) => {
+                println!("{}", "=".repeat(78));
+                println!("{report}");
+                if let Some(dir) = &csv_dir {
+                    std::fs::create_dir_all(dir).expect("create csv dir");
+                    for (file, contents) in &artifacts {
+                        let path = std::path::Path::new(dir).join(file);
+                        std::fs::write(&path, contents).expect("write csv");
+                        println!("[wrote {}]", path.display());
+                    }
+                }
+                println!("[{name} done in {:.1}s]\n", start.elapsed().as_secs_f64());
+            }
+            None => {
+                eprintln!("unknown experiment '{name}' (try --list)");
+                std::process::exit(2);
+            }
+        }
+    }
+    println!("total: {:.1}s", total.elapsed().as_secs_f64());
+}

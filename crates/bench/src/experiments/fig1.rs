@@ -1,0 +1,166 @@
+//! Figure 1: spot prices over a month in Amazon's us-east region, for a
+//! small and a large server. The paper's takeaway: prices sit far below
+//! on-demand for long stretches and spike sharply — to several dollars on
+//! the large market — and different markets are not strongly correlated.
+
+use crate::settings::ExpSettings;
+use spothost_analysis::table::TextTable;
+use spothost_market::prelude::*;
+use spothost_market::stats;
+use std::fmt::Write as _;
+
+/// Daily price summary for one market.
+#[derive(Debug, Clone)]
+pub struct MarketMonth {
+    pub market: MarketId,
+    pub on_demand: f64,
+    pub daily_mean: Vec<f64>,
+    pub daily_max: Vec<f64>,
+    pub overall_mean: f64,
+    pub overall_max: f64,
+    pub fraction_above_on_demand: f64,
+}
+
+#[derive(Debug, Clone)]
+pub struct Fig1 {
+    pub small: MarketMonth,
+    pub large: MarketMonth,
+    pub correlation: f64,
+}
+
+fn summarize(set: &TraceSet, market: MarketId, days: u64) -> MarketMonth {
+    let trace = set.trace(market).expect("generated");
+    let pon = set.catalog().on_demand_price(market);
+    let mut daily_mean = Vec::with_capacity(days as usize);
+    let mut daily_max = Vec::with_capacity(days as usize);
+    for d in 0..days {
+        let from = SimTime::days(d);
+        let to = SimTime::days(d + 1);
+        daily_mean.push(trace.time_weighted_mean_in(from, to));
+        let max = trace
+            .segments_in(from, to)
+            .iter()
+            .map(|s| s.price)
+            .fold(0.0, f64::max);
+        daily_max.push(max);
+    }
+    MarketMonth {
+        market,
+        on_demand: pon,
+        overall_mean: trace.time_weighted_mean(),
+        overall_max: trace.max_price(),
+        fraction_above_on_demand: trace.fraction_above(pon),
+        daily_mean,
+        daily_max,
+    }
+}
+
+pub fn run(settings: &ExpSettings) -> Fig1 {
+    let days = 28;
+    let catalog = Catalog::ec2_2015();
+    let small = MarketId::new(Zone::UsEast1a, InstanceType::Small);
+    let large = MarketId::new(Zone::UsEast1a, InstanceType::Large);
+    let set = TraceSet::generate(
+        &catalog,
+        &[small, large],
+        settings.seed0,
+        SimDuration::days(days),
+    );
+    let correlation = stats::trace_correlation(
+        set.trace(small).unwrap(),
+        set.trace(large).unwrap(),
+        stats::CORRELATION_GRID,
+    );
+    Fig1 {
+        small: summarize(&set, small, days),
+        large: summarize(&set, large, days),
+        correlation,
+    }
+}
+
+fn sparkline(values: &[f64], ceiling: f64) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    values
+        .iter()
+        .map(|&v| {
+            let idx = ((v / ceiling) * 7.0).round().clamp(0.0, 7.0) as usize;
+            BARS[idx]
+        })
+        .collect()
+}
+
+impl Fig1 {
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Figure 1: one month of spot prices, us-east-1a (28 daily max samples)\n\n",
+        );
+        for m in [&self.small, &self.large] {
+            let _ = writeln!(
+                out,
+                "{:<22} daily max: {}",
+                m.market.to_string(),
+                sparkline(&m.daily_max, m.overall_max)
+            );
+        }
+        out.push('\n');
+        let mut t = TextTable::new([
+            "market",
+            "on-demand $/h",
+            "mean $/h",
+            "max $/h",
+            "% time > on-demand",
+        ]);
+        for m in [&self.small, &self.large] {
+            t.row([
+                m.market.to_string(),
+                format!("{:.3}", m.on_demand),
+                format!("{:.4}", m.overall_mean),
+                format!("{:.3}", m.overall_max),
+                format!("{:.2}%", m.fraction_above_on_demand * 100.0),
+            ]);
+        }
+        out.push_str(&t.render());
+        let _ = writeln!(
+            out,
+            "\nsmall/large price correlation: {:.3} (paper: \"not strongly correlated\")",
+            self.correlation
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn month_has_28_daily_samples() {
+        let f = run(&ExpSettings::quick());
+        assert_eq!(f.small.daily_mean.len(), 28);
+        assert_eq!(f.large.daily_max.len(), 28);
+    }
+
+    #[test]
+    fn prices_cheap_with_spikes() {
+        let f = run(&ExpSettings::quick());
+        for m in [&f.small, &f.large] {
+            assert!(m.overall_mean < 0.5 * m.on_demand, "{}", m.market);
+            assert!(m.overall_max > m.on_demand, "{} must spike", m.market);
+        }
+        // Large server spikes reach dollars (paper: up to ~$3/hr).
+        assert!(f.large.overall_max > 0.5, "large max {}", f.large.overall_max);
+    }
+
+    #[test]
+    fn markets_not_strongly_correlated() {
+        let f = run(&ExpSettings::quick());
+        assert!(f.correlation < 0.6, "correlation {}", f.correlation);
+    }
+
+    #[test]
+    fn render_contains_both_markets() {
+        let s = run(&ExpSettings::quick()).render();
+        assert!(s.contains("us-east-1a/small"));
+        assert!(s.contains("us-east-1a/large"));
+    }
+}

@@ -1,0 +1,120 @@
+//! Figure 10: spot-price standard deviation per market — us-east prices
+//! are more variable than us-west or eu-west.
+
+use crate::settings::ExpSettings;
+use spothost_analysis::series::{LabeledSeries, SeriesSet};
+use spothost_analysis::stats::mean;
+use spothost_market::prelude::*;
+
+#[derive(Debug, Clone)]
+pub struct Fig10 {
+    /// std dev in $ per (zone, size), averaged over seeds.
+    pub std: [[f64; 4]; 4],
+}
+
+pub fn run(settings: &ExpSettings) -> Fig10 {
+    let catalog = Catalog::ec2_2015();
+    let mut std = [[0.0f64; 4]; 4];
+    let per_seed: Vec<[[f64; 4]; 4]> = (settings.seed0..settings.seed0 + settings.seeds)
+        .map(|seed| {
+            let set = TraceSet::generate(&catalog, &MarketId::all(), seed, settings.horizon);
+            let mut out = [[0.0f64; 4]; 4];
+            for (zi, &zone) in Zone::ALL.iter().enumerate() {
+                for (ti, &size) in InstanceType::ALL.iter().enumerate() {
+                    out[zi][ti] = set
+                        .trace(MarketId::new(zone, size))
+                        .unwrap()
+                        .time_weighted_std();
+                }
+            }
+            out
+        })
+        .collect();
+    for zi in 0..4 {
+        for ti in 0..4 {
+            let xs: Vec<f64> = per_seed.iter().map(|m| m[zi][ti]).collect();
+            std[zi][ti] = mean(&xs);
+        }
+    }
+    Fig10 { std }
+}
+
+impl Fig10 {
+    pub fn std_of(&self, zone: Zone, size: InstanceType) -> f64 {
+        self.std[zone.index()][size.index()]
+    }
+
+    pub fn as_series(&self) -> SeriesSet {
+        let mut s = SeriesSet::new(Zone::ALL.iter().map(|z| z.name()));
+        for (ti, &size) in InstanceType::ALL.iter().enumerate() {
+            s.push(LabeledSeries::new(
+                size.name(),
+                (0..4).map(|zi| self.std[zi][ti]).collect(),
+            ));
+        }
+        s
+    }
+
+    pub fn to_csv(&self) -> String {
+        self.as_series().to_csv()
+    }
+
+    pub fn render(&self) -> String {
+        let mut out =
+            String::from("Figure 10: spot price standard deviation ($) by zone and size\n\n");
+        out.push_str(&self.as_series().to_text(|v| format!("{v:.4}")));
+        out.push_str("\npaper: us-east prices more variable than us-west or eu-west\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> Fig10 {
+        run(&ExpSettings::quick())
+    }
+
+    #[test]
+    fn us_east_most_variable_per_size() {
+        let f = fig();
+        for size in InstanceType::ALL {
+            let east = f
+                .std_of(Zone::UsEast1a, size)
+                .max(f.std_of(Zone::UsEast1b, size));
+            assert!(
+                east > f.std_of(Zone::UsWest1a, size),
+                "{size}: east {east} vs us-west {}",
+                f.std_of(Zone::UsWest1a, size)
+            );
+            assert!(
+                east > f.std_of(Zone::EuWest1a, size),
+                "{size}: east {east} vs eu-west {}",
+                f.std_of(Zone::EuWest1a, size)
+            );
+        }
+    }
+
+    #[test]
+    fn std_grows_with_size() {
+        // Absolute dollar volatility scales with the price level.
+        let f = fig();
+        for zone in Zone::ALL {
+            assert!(
+                f.std_of(zone, InstanceType::XLarge) > f.std_of(zone, InstanceType::Small),
+                "{zone}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_positive() {
+        let f = fig();
+        for row in &f.std {
+            for &v in row {
+                assert!(v > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Figure 11 (§5): proactive scheduling vs using pure spot instances —
+//! similar cost, drastically different availability.
+
+use crate::settings::ExpSettings;
+use spothost_analysis::series::{LabeledSeries, SeriesSet};
+use spothost_core::prelude::*;
+use spothost_market::prelude::*;
+use std::fmt::Write as _;
+
+#[derive(Debug, Clone)]
+pub struct Fig11Cell {
+    pub size: InstanceType,
+    pub policy: &'static str,
+    pub cost_pct: f64,
+    pub unavail_pct: f64,
+}
+
+#[derive(Debug, Clone)]
+pub struct Fig11 {
+    pub cells: Vec<Fig11Cell>,
+}
+
+pub fn run(settings: &ExpSettings) -> Fig11 {
+    let mut cells = Vec::new();
+    for size in InstanceType::ALL {
+        let market = MarketId::new(Zone::UsEast1a, size);
+        for (name, policy) in [
+            ("Proactive", BiddingPolicy::proactive_default()),
+            ("Pure Spot", BiddingPolicy::PureSpot),
+        ] {
+            let cfg = SchedulerConfig::single_market(market).with_policy(policy);
+            let agg = run_many(&cfg, settings.seed0, settings.seeds, settings.horizon);
+            cells.push(Fig11Cell {
+                size,
+                policy: name,
+                cost_pct: agg.normalized_cost_pct(),
+                unavail_pct: agg.unavailability_pct(),
+            });
+        }
+    }
+    Fig11 { cells }
+}
+
+impl Fig11 {
+    pub fn cell(&self, size: InstanceType, policy: &str) -> &Fig11Cell {
+        self.cells
+            .iter()
+            .find(|c| c.size == size && c.policy == policy)
+            .unwrap()
+    }
+
+    fn series(&self, metric: impl Fn(&Fig11Cell) -> f64) -> SeriesSet {
+        let mut s = SeriesSet::new(InstanceType::ALL.iter().map(|t| t.name()));
+        for policy in ["Proactive", "Pure Spot"] {
+            s.push(LabeledSeries::new(
+                policy,
+                InstanceType::ALL
+                    .iter()
+                    .map(|&t| metric(self.cell(t, policy)))
+                    .collect(),
+            ));
+        }
+        s
+    }
+
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("size,proactive_cost_pct,pure_spot_cost_pct,proactive_unavail_pct,pure_spot_unavail_pct\n");
+        for size in spothost_market::types::InstanceType::ALL {
+            out.push_str(&format!(
+                "{},{},{},{},{}\n",
+                size.name(),
+                self.cell(size, "Proactive").cost_pct,
+                self.cell(size, "Pure Spot").cost_pct,
+                self.cell(size, "Proactive").unavail_pct,
+                self.cell(size, "Pure Spot").unavail_pct
+            ));
+        }
+        out
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = String::from("Figure 11: proactive vs pure-spot, us-east-1a\n\n");
+        let _ = writeln!(out, "(a) Normalized cost (% of on-demand baseline):");
+        out.push_str(&self.series(|c| c.cost_pct).to_text(|v| format!("{v:.1}")));
+        let _ = writeln!(out, "\n(b) Unavailability (%, note the paper plots log-scale):");
+        out.push_str(&self.series(|c| c.unavail_pct).to_text(|v| format!("{v:.4}")));
+        out.push_str(
+            "\npaper: pure spot slightly cheaper but >1% unavailable on small/medium/large —\n\
+             unusable for always-on services; proactive keeps availability while staying cheap.\n",
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> Fig11 {
+        run(&ExpSettings::quick())
+    }
+
+    #[test]
+    fn pure_spot_at_most_marginally_cheaper() {
+        let f = fig();
+        for size in InstanceType::ALL {
+            let pure = f.cell(size, "Pure Spot").cost_pct;
+            let pro = f.cell(size, "Proactive").cost_pct;
+            assert!(pure <= pro * 1.05, "{size}: pure {pure} vs proactive {pro}");
+        }
+    }
+
+    #[test]
+    fn pure_spot_unavailability_over_one_percent_small_to_large() {
+        let f = fig();
+        use InstanceType::*;
+        // >1% in the paper; allow sampling slack at quick settings.
+        for size in [Small, Medium, Large] {
+            let u = f.cell(size, "Pure Spot").unavail_pct;
+            assert!(u > 0.85, "{size}: {u}%");
+        }
+        // xlarge stays below 1% (the paper's figure shows it lowest).
+        let u = f.cell(XLarge, "Pure Spot").unavail_pct;
+        assert!(u < 1.5, "xlarge: {u}%");
+    }
+
+    #[test]
+    fn proactive_orders_of_magnitude_more_available() {
+        let f = fig();
+        for size in InstanceType::ALL {
+            let pure = f.cell(size, "Pure Spot").unavail_pct;
+            let pro = f.cell(size, "Proactive").unavail_pct;
+            assert!(pure > 30.0 * pro, "{size}: pure {pure} vs proactive {pro}");
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Figure 12 (§6.2): TPC-W average response time vs number of emulated
+//! browsers, native vs nested, with and without locally served images.
+
+use spothost_analysis::series::{LabeledSeries, SeriesSet};
+use spothost_workload::response::{response_curve, ResponsePoint, FIGURE12_EBS};
+use spothost_workload::tpcw::TpcwConfig;
+use std::fmt::Write as _;
+
+#[derive(Debug, Clone)]
+pub struct Fig12 {
+    pub with_images: Vec<ResponsePoint>,
+    pub no_images: Vec<ResponsePoint>,
+}
+
+pub fn run() -> Fig12 {
+    Fig12 {
+        with_images: response_curve(TpcwConfig::WithImages, &FIGURE12_EBS),
+        no_images: response_curve(TpcwConfig::NoImages, &FIGURE12_EBS),
+    }
+}
+
+fn to_series(points: &[ResponsePoint]) -> SeriesSet {
+    let mut s = SeriesSet::new(points.iter().map(|p| p.ebs.to_string()));
+    s.push(LabeledSeries::new(
+        "Amazon VM",
+        points.iter().map(|p| p.native_ms).collect(),
+    ));
+    s.push(LabeledSeries::new(
+        "Nested VM",
+        points.iter().map(|p| p.nested_ms).collect(),
+    ));
+    s
+}
+
+impl Fig12 {
+    pub fn to_csv(&self) -> String {
+        let mut out =
+            String::from("config,ebs,native_ms,nested_ms\n");
+        for (name, points) in [("with_images", &self.with_images), ("no_images", &self.no_images)] {
+            for p in points {
+                out.push_str(&format!("{name},{},{},{}\n", p.ebs, p.native_ms, p.nested_ms));
+            }
+        }
+        out
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = String::from("Figure 12: TPC-W average response time (ms) vs EBs\n\n");
+        let _ = writeln!(out, "(a) Browsers fetch images from the server (I/O-bound):");
+        out.push_str(&to_series(&self.with_images).to_text(|v| format!("{v:.0}")));
+        let _ = writeln!(out, "\n(b) Images served by a CDN (CPU-bound):");
+        out.push_str(&to_series(&self.no_images).to_text(|v| format!("{v:.0}")));
+        let last = self.no_images.last().unwrap();
+        let _ = writeln!(
+            out,
+            "\nnested/native at 400 EBs (CPU-bound): {:.2}x",
+            last.overhead_ratio()
+        );
+        out.push_str(
+            "paper: (a) nested no worse than native; (b) nested up to ~50% CPU overhead,\n\
+             visible as a growing response-time gap under load.\n",
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panel_a_overlaps_panel_b_diverges() {
+        let f = run();
+        for p in &f.with_images {
+            assert!(p.overhead_ratio() < 1.1, "at {} EBs: {}", p.ebs, p.overhead_ratio());
+        }
+        let last = f.no_images.last().unwrap();
+        assert!(last.overhead_ratio() > 1.3, "{}", last.overhead_ratio());
+    }
+
+    #[test]
+    fn seven_points_each() {
+        let f = run();
+        assert_eq!(f.with_images.len(), 7);
+        assert_eq!(f.no_images.len(), 7);
+    }
+}

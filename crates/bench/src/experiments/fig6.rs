@@ -1,0 +1,202 @@
+//! Figure 6: proactive versus reactive bidding, single market (us-east-1a),
+//! four instance sizes, checkpointing with lazy restore.
+//!
+//! Panels: (a) normalized cost, (b) unavailability, (c) forced
+//! migrations/hour, (d) planned+reverse migrations/hour.
+
+use crate::settings::ExpSettings;
+use spothost_analysis::series::{LabeledSeries, SeriesSet};
+use spothost_core::prelude::*;
+use spothost_market::prelude::*;
+use std::fmt::Write as _;
+
+#[derive(Debug, Clone)]
+pub struct Fig6Cell {
+    pub size: InstanceType,
+    pub policy: &'static str,
+    pub agg: AggregateReport,
+}
+
+#[derive(Debug, Clone)]
+pub struct Fig6 {
+    pub cells: Vec<Fig6Cell>,
+}
+
+pub const ZONE: Zone = Zone::UsEast1a;
+
+pub fn run(settings: &ExpSettings) -> Fig6 {
+    let mut cells = Vec::new();
+    for size in InstanceType::ALL {
+        let market = MarketId::new(ZONE, size);
+        for (policy_name, policy) in [
+            ("Reactive", BiddingPolicy::Reactive),
+            ("Proactive", BiddingPolicy::proactive_default()),
+        ] {
+            let cfg = SchedulerConfig::single_market(market).with_policy(policy);
+            let agg = run_many(&cfg, settings.seed0, settings.seeds, settings.horizon);
+            cells.push(Fig6Cell {
+                size,
+                policy: policy_name,
+                agg,
+            });
+        }
+    }
+    Fig6 { cells }
+}
+
+impl Fig6 {
+    pub fn cell(&self, size: InstanceType, policy: &str) -> &Fig6Cell {
+        self.cells
+            .iter()
+            .find(|c| c.size == size && c.policy == policy)
+            .expect("cell exists")
+    }
+
+    fn series(&self, metric: impl Fn(&AggregateReport) -> f64) -> SeriesSet {
+        let mut s = SeriesSet::new(InstanceType::ALL.iter().map(|t| t.name()));
+        for policy in ["Reactive", "Proactive"] {
+            let values = InstanceType::ALL
+                .iter()
+                .map(|&t| metric(&self.cell(t, policy).agg))
+                .collect();
+            s.push(LabeledSeries::new(policy, values));
+        }
+        s
+    }
+
+    pub fn cost_pct(&self) -> SeriesSet {
+        self.series(|a| a.normalized_cost_pct())
+    }
+
+    pub fn unavailability_pct(&self) -> SeriesSet {
+        self.series(|a| a.unavailability_pct())
+    }
+
+    pub fn forced_per_hour(&self) -> SeriesSet {
+        self.series(|a| a.forced_per_hour.mean)
+    }
+
+    pub fn planned_reverse_per_hour(&self) -> SeriesSet {
+        self.series(|a| a.planned_reverse_per_hour.mean)
+    }
+
+    /// All four panels as one CSV (panel column + series columns).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("panel,size,reactive,proactive\n");
+        for (panel, set) in [
+            ("cost_pct", self.cost_pct()),
+            ("unavailability_pct", self.unavailability_pct()),
+            ("forced_per_hour", self.forced_per_hour()),
+            ("planned_reverse_per_hour", self.planned_reverse_per_hour()),
+        ] {
+            for (i, x) in set.x_labels.iter().enumerate() {
+                out.push_str(&format!(
+                    "{panel},{x},{},{}\n",
+                    set.series[0].values[i], set.series[1].values[i]
+                ));
+            }
+        }
+        out
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Figure 6: proactive vs reactive, us-east-1a single market, CKPT+LR\n\n",
+        );
+        let _ = writeln!(out, "(a) Normalized cost (% of on-demand baseline):");
+        out.push_str(&self.cost_pct().to_text(|v| format!("{v:.1}")));
+        let _ = writeln!(out, "\n(b) Unavailability (%):");
+        out.push_str(&self.unavailability_pct().to_text(|v| format!("{v:.5}")));
+        let _ = writeln!(out, "\n(c) Forced migrations per hour:");
+        out.push_str(&self.forced_per_hour().to_text(|v| format!("{v:.4}")));
+        let _ = writeln!(out, "\n(d) Planned/reverse migrations per hour:");
+        out.push_str(
+            &self
+                .planned_reverse_per_hour()
+                .to_text(|v| format!("{v:.4}")),
+        );
+        out.push_str(
+            "\npaper: cost 17-33% of baseline; proactive unavailability 2.5-18x lower;\n\
+             reactive forced migrations 0.01-0.09/hr; planned/reverse rates similar.\n",
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> Fig6 {
+        run(&ExpSettings::quick())
+    }
+
+    #[test]
+    fn cost_in_paper_band() {
+        // 17-33% of baseline, with slack for the quick settings.
+        let f = fig();
+        for c in &f.cells {
+            let pct = c.agg.normalized_cost_pct();
+            assert!(
+                (12.0..40.0).contains(&pct),
+                "{} {}: {pct}%",
+                c.size,
+                c.policy
+            );
+        }
+    }
+
+    #[test]
+    fn proactive_cheaper_or_equal() {
+        let f = fig();
+        for size in InstanceType::ALL {
+            let pro = f.cell(size, "Proactive").agg.normalized_cost.mean;
+            let rea = f.cell(size, "Reactive").agg.normalized_cost.mean;
+            assert!(pro <= rea * 1.02, "{size}: pro {pro} vs rea {rea}");
+        }
+    }
+
+    #[test]
+    fn proactive_unavailability_much_lower() {
+        let f = fig();
+        for size in InstanceType::ALL {
+            let pro = f.cell(size, "Proactive").agg.unavailability.mean;
+            let rea = f.cell(size, "Reactive").agg.unavailability.mean;
+            assert!(
+                rea > 2.0 * pro,
+                "{size}: reactive {rea} must be >2x proactive {pro}"
+            );
+        }
+    }
+
+    #[test]
+    fn forced_migration_rates() {
+        let f = fig();
+        for size in InstanceType::ALL {
+            let pro = f.cell(size, "Proactive").agg.forced_per_hour.mean;
+            let rea = f.cell(size, "Reactive").agg.forced_per_hour.mean;
+            assert!((0.005..0.09).contains(&rea), "{size}: reactive {rea}");
+            assert!(rea > 3.0 * pro, "{size}: {rea} vs {pro}");
+        }
+    }
+
+    #[test]
+    fn planned_reverse_rates_similar_between_policies() {
+        let f = fig();
+        for size in InstanceType::ALL {
+            let pro = f.cell(size, "Proactive").agg.planned_reverse_per_hour.mean;
+            let rea = f.cell(size, "Reactive").agg.planned_reverse_per_hour.mean;
+            let ratio = rea / pro.max(1e-9);
+            assert!((0.5..3.0).contains(&ratio), "{size}: ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn proactive_meets_four_nines_typically() {
+        let f = fig();
+        for size in InstanceType::ALL {
+            let u = f.cell(size, "Proactive").agg.unavailability.mean;
+            assert!(u < 3e-4, "{size}: unavailability {u}");
+        }
+    }
+}

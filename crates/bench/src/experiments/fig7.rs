@@ -1,0 +1,143 @@
+//! Figure 7: service unavailability of the four migration-mechanism
+//! combinations under proactive bidding (small, us-east-1a), in the
+//! typical and pessimistic parameter regimes.
+
+use crate::settings::ExpSettings;
+use spothost_analysis::series::{LabeledSeries, SeriesSet};
+use spothost_core::prelude::*;
+use spothost_market::prelude::*;
+use std::fmt::Write as _;
+
+#[derive(Debug, Clone)]
+pub struct Fig7 {
+    /// Unavailability percent per combo, `[typical, pessimistic]`.
+    pub rows: Vec<(MechanismCombo, f64, f64)>,
+}
+
+pub fn run(settings: &ExpSettings) -> Fig7 {
+    let market = MarketId::new(Zone::UsEast1a, InstanceType::Small);
+    let rows = MechanismCombo::ALL
+        .iter()
+        .map(|&combo| {
+            let mut cells = [0.0f64; 2];
+            for (i, regime) in [ParamRegime::Typical, ParamRegime::Pessimistic]
+                .into_iter()
+                .enumerate()
+            {
+                let cfg = SchedulerConfig::single_market(market)
+                    .with_mechanism(combo)
+                    .with_regime(regime);
+                let agg = run_many(&cfg, settings.seed0, settings.seeds, settings.horizon);
+                cells[i] = agg.unavailability_pct();
+            }
+            (combo, cells[0], cells[1])
+        })
+        .collect();
+    Fig7 { rows }
+}
+
+impl Fig7 {
+    pub fn typical(&self, combo: MechanismCombo) -> f64 {
+        self.rows.iter().find(|(c, _, _)| *c == combo).unwrap().1
+    }
+
+    pub fn pessimistic(&self, combo: MechanismCombo) -> f64 {
+        self.rows.iter().find(|(c, _, _)| *c == combo).unwrap().2
+    }
+
+    pub fn as_series(&self) -> SeriesSet {
+        let mut s = SeriesSet::new(self.rows.iter().map(|(c, _, _)| c.name()));
+        s.push(LabeledSeries::new(
+            "Typical",
+            self.rows.iter().map(|r| r.1).collect(),
+        ));
+        s.push(LabeledSeries::new(
+            "Pessimistic",
+            self.rows.iter().map(|r| r.2).collect(),
+        ));
+        s
+    }
+
+    pub fn to_csv(&self) -> String {
+        self.as_series().to_csv()
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Figure 7: unavailability (%) by migration mechanism combo\n(small, us-east-1a, proactive bidding)\n\n",
+        );
+        out.push_str(&self.as_series().to_text(|v| format!("{v:.4}")));
+        let _ = writeln!(
+            out,
+            "\npaper (typical):     CKPT 0.0177, CKPT LR 0.0042, CKPT+Live 0.0095, CKPT LR+Live 0.0022"
+        );
+        let _ = writeln!(
+            out,
+            "paper (pessimistic): CKPT 0.266,  CKPT LR 0.0264, CKPT+Live 0.142,  CKPT LR+Live 0.0137"
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> Fig7 {
+        run(&ExpSettings::quick())
+    }
+
+    #[test]
+    fn typical_ordering_matches_paper() {
+        // CKPT > CKPT+Live > CKPT LR > CKPT LR+Live.
+        let f = fig();
+        let ckpt = f.typical(MechanismCombo::CKPT);
+        let lr = f.typical(MechanismCombo::CKPT_LR);
+        let live = f.typical(MechanismCombo::CKPT_LIVE);
+        let lr_live = f.typical(MechanismCombo::CKPT_LR_LIVE);
+        assert!(ckpt > live, "CKPT {ckpt} vs CKPT+Live {live}");
+        assert!(live > lr, "CKPT+Live {live} vs CKPT LR {lr}");
+        assert!(lr > lr_live, "CKPT LR {lr} vs CKPT LR+Live {lr_live}");
+    }
+
+    #[test]
+    fn pessimistic_uniformly_worse() {
+        let f = fig();
+        for (combo, typical, pessimistic) in &f.rows {
+            assert!(
+                pessimistic > typical,
+                "{combo}: pessimistic {pessimistic} vs typical {typical}"
+            );
+        }
+    }
+
+    #[test]
+    fn best_combo_meets_always_on_bar() {
+        // CKPT LR + Live keeps typical unavailability in the viable range
+        // (the paper's bar: around a basis point).
+        let f = fig();
+        let u = f.typical(MechanismCombo::CKPT_LR_LIVE);
+        assert!(u < 0.03, "typical CKPT LR+Live unavailability {u}%");
+    }
+
+    #[test]
+    fn live_roughly_halves_lazy_restore_unavailability() {
+        // Paper: "the addition of live migration halves the unavailability".
+        let f = fig();
+        let lr = f.typical(MechanismCombo::CKPT_LR);
+        let lr_live = f.typical(MechanismCombo::CKPT_LR_LIVE);
+        let ratio = lr / lr_live;
+        assert!((1.2..4.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn magnitudes_same_order_as_paper() {
+        let f = fig();
+        // Typical CKPT within [0.005%, 0.05%] (paper 0.0177%).
+        let ckpt = f.typical(MechanismCombo::CKPT);
+        assert!((0.005..0.05).contains(&ckpt), "CKPT {ckpt}");
+        // Pessimistic CKPT within [0.05%, 0.6%] (paper 0.266%).
+        let p = f.pessimistic(MechanismCombo::CKPT);
+        assert!((0.05..0.6).contains(&p), "pessimistic CKPT {p}");
+    }
+}

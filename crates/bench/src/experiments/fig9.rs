@@ -1,0 +1,214 @@
+//! Figure 9: multi-region bidding on zone pairs vs the average of the two
+//! single-region (multi-market) schemes — cost (a), cross-region price
+//! correlation (b), unavailability (c).
+
+use crate::settings::ExpSettings;
+use spothost_analysis::series::{LabeledSeries, SeriesSet};
+use spothost_core::prelude::*;
+use spothost_market::prelude::*;
+use spothost_market::stats;
+use std::fmt::Write as _;
+
+#[derive(Debug, Clone)]
+pub struct Fig9Row {
+    pub pair: (Zone, Zone),
+    pub avg_single_region_cost_pct: f64,
+    pub multi_region_cost_pct: f64,
+    pub avg_single_region_unavail_pct: f64,
+    pub multi_region_unavail_pct: f64,
+    pub cross_correlation: f64,
+}
+
+impl Fig9Row {
+    pub fn label(&self) -> String {
+        format!("{} + {}", self.pair.0.name(), self.pair.1.name())
+    }
+
+    pub fn cost_reduction_pct(&self) -> f64 {
+        (1.0 - self.multi_region_cost_pct / self.avg_single_region_cost_pct) * 100.0
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct Fig9 {
+    pub rows: Vec<Fig9Row>,
+}
+
+fn single_region(zone: Zone, settings: &ExpSettings) -> (f64, f64) {
+    let cfg = SchedulerConfig::multi(MarketScope::MultiMarket(zone));
+    let agg = run_many(&cfg, settings.seed0, settings.seeds, settings.horizon);
+    (agg.normalized_cost_pct(), agg.unavailability_pct())
+}
+
+pub fn run(settings: &ExpSettings) -> Fig9 {
+    let catalog = Catalog::ec2_2015();
+    let rows = Zone::all_pairs()
+        .into_iter()
+        .map(|(a, b)| {
+            let (ca, ua) = single_region(a, settings);
+            let (cb, ub) = single_region(b, settings);
+            let cfg = SchedulerConfig::multi(MarketScope::MultiRegion(vec![a, b]));
+            let agg = run_many(&cfg, settings.seed0, settings.seeds, settings.horizon);
+            let markets: Vec<MarketId> = MarketId::all_in_zone(a)
+                .into_iter()
+                .chain(MarketId::all_in_zone(b))
+                .collect();
+            let set = TraceSet::generate(&catalog, &markets, settings.seed0, settings.horizon);
+            Fig9Row {
+                pair: (a, b),
+                avg_single_region_cost_pct: (ca + cb) / 2.0,
+                multi_region_cost_pct: agg.normalized_cost_pct(),
+                avg_single_region_unavail_pct: (ua + ub) / 2.0,
+                multi_region_unavail_pct: agg.unavailability_pct(),
+                cross_correlation: stats::avg_cross_zone_correlation(&set, a, b),
+            }
+        })
+        .collect();
+    Fig9 { rows }
+}
+
+impl Fig9 {
+    pub fn row(&self, a: Zone, b: Zone) -> &Fig9Row {
+        self.rows
+            .iter()
+            .find(|r| r.pair == (a, b) || r.pair == (b, a))
+            .unwrap()
+    }
+
+    pub fn as_series(&self) -> SeriesSet {
+        let mut s = SeriesSet::new(self.rows.iter().map(|r| r.label()));
+        s.push(LabeledSeries::new(
+            "Average Single-Region",
+            self.rows
+                .iter()
+                .map(|r| r.avg_single_region_cost_pct)
+                .collect(),
+        ));
+        s.push(LabeledSeries::new(
+            "Multi-Region",
+            self.rows.iter().map(|r| r.multi_region_cost_pct).collect(),
+        ));
+        s
+    }
+
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "pair,avg_single_region_cost_pct,multi_region_cost_pct,avg_single_region_unavail_pct,multi_region_unavail_pct,cross_correlation\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                r.label().replace(' ', ""),
+                r.avg_single_region_cost_pct,
+                r.multi_region_cost_pct,
+                r.avg_single_region_unavail_pct,
+                r.multi_region_unavail_pct,
+                r.cross_correlation
+            ));
+        }
+        out
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = String::from("Figure 9: multi-region vs single-region bidding\n\n");
+        let _ = writeln!(out, "(a) Normalized cost (% of cheapest on-demand baseline):");
+        out.push_str(&self.as_series().to_text(|v| format!("{v:.1}")));
+        let _ = writeln!(out, "\n(b) Cross-region price correlation:");
+        for r in &self.rows {
+            let _ = writeln!(out, "  {:<28} {:.3}", r.label(), r.cross_correlation);
+        }
+        let _ = writeln!(out, "\n(c) Unavailability (%):");
+        let mut s = SeriesSet::new(self.rows.iter().map(|r| r.label()));
+        s.push(LabeledSeries::new(
+            "Average Single-Region",
+            self.rows
+                .iter()
+                .map(|r| r.avg_single_region_unavail_pct)
+                .collect(),
+        ));
+        s.push(LabeledSeries::new(
+            "Multi-Region",
+            self.rows
+                .iter()
+                .map(|r| r.multi_region_unavail_pct)
+                .collect(),
+        ));
+        out.push_str(&s.to_text(|v| format!("{v:.5}")));
+        out.push_str(
+            "\npaper: multi-region reaches 12-17% of baseline (5-28% below single-region);\n\
+             correlations low; unavailability can *rise* when cheap volatile markets attract the scheduler.\n",
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> Fig9 {
+        run(&ExpSettings::quick())
+    }
+
+    #[test]
+    fn six_pairs() {
+        assert_eq!(fig().rows.len(), 6);
+    }
+
+    #[test]
+    fn multi_region_cheaper_than_single_region_average() {
+        let f = fig();
+        for r in &f.rows {
+            assert!(
+                r.multi_region_cost_pct < r.avg_single_region_cost_pct,
+                "{}: {} vs {}",
+                r.label(),
+                r.multi_region_cost_pct,
+                r.avg_single_region_cost_pct
+            );
+        }
+    }
+
+    #[test]
+    fn cost_band_near_paper() {
+        // Paper: 12-17% of baseline. Allow a broad band for quick settings
+        // and our calibration (the stable-zone pair lands low 20s).
+        let f = fig();
+        for r in &f.rows {
+            assert!(
+                (8.0..27.0).contains(&r.multi_region_cost_pct),
+                "{}: {}%",
+                r.label(),
+                r.multi_region_cost_pct
+            );
+        }
+    }
+
+    #[test]
+    fn cross_region_correlation_lower_than_intra() {
+        let f = fig();
+        for r in &f.rows {
+            assert!(
+                (-0.2..0.5).contains(&r.cross_correlation),
+                "{}: {}",
+                r.label(),
+                r.cross_correlation
+            );
+        }
+    }
+
+    #[test]
+    fn volatile_cheap_pairing_can_raise_unavailability() {
+        // Figure 9(c)'s caveat: pairing a stable zone with cheap/volatile
+        // us-east draws the service into us-east, raising unavailability
+        // above the pair average.
+        let f = fig();
+        let r = f.row(Zone::UsEast1b, Zone::EuWest1a);
+        assert!(
+            r.multi_region_unavail_pct > r.avg_single_region_unavail_pct,
+            "expected increase: multi {} vs single-avg {}",
+            r.multi_region_unavail_pct,
+            r.avg_single_region_unavail_pct
+        );
+    }
+}

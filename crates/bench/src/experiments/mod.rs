@@ -1,0 +1,103 @@
+//! One module per paper table/figure (see DESIGN.md's experiment index).
+
+pub mod ablation;
+pub mod cost_impact;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod naive;
+pub mod stability;
+pub mod tab1;
+pub mod tab2;
+pub mod tab3;
+pub mod tab4;
+
+use crate::settings::ExpSettings;
+
+/// Every experiment, by its CLI name, with a one-line description.
+pub const ALL: [(&str, &str); 18] = [
+    ("fig1", "Spot price traces over a month (small & large, us-east)"),
+    ("tab1", "Startup time of on-demand and spot instances"),
+    ("tab2", "Overhead of migration mechanisms"),
+    ("fig6", "Proactive vs reactive bidding (cost, unavailability, migrations)"),
+    ("fig7", "Migration mechanism combinations (typical & pessimistic)"),
+    ("fig8", "Multi-market bidding within a zone"),
+    ("fig9", "Multi-region vs single-region bidding"),
+    ("fig10", "Spot price volatility by zone and size"),
+    ("fig11", "Proactive vs pure-spot hosting"),
+    ("tab3", "Cost/availability trade-off summary"),
+    ("tab4", "Nested vs native VM I/O throughput"),
+    ("fig12", "TPC-W response time under nested virtualization"),
+    ("cost_impact", "Impact of nested CPU overhead on cost savings (§6.3)"),
+    ("naive", "MOTIVATION: Figure 3's naive recovery vs the scheduler's mechanisms"),
+    ("stability", "EXTENSION: stability-aware multi-region bidding (§8 future work)"),
+    ("ablation_bid", "ABLATION: proactive bid multiple sweep"),
+    ("ablation_hop", "ABLATION: multi-market hop hysteresis sweep"),
+    ("ablation_yank", "ABLATION: Yank checkpoint bound sweep"),
+];
+
+/// Run one experiment and also return CSV artifacts where the experiment
+/// has a natural tabular form: `(rendered text, vec of (filename, csv))`.
+pub fn run_with_csv(name: &str, settings: &ExpSettings) -> Option<(String, Vec<(String, String)>)> {
+    Some(match name {
+        "fig6" => {
+            let f = fig6::run(settings);
+            (f.render(), vec![("fig6.csv".into(), f.to_csv())])
+        }
+        "fig7" => {
+            let f = fig7::run(settings);
+            (f.render(), vec![("fig7.csv".into(), f.to_csv())])
+        }
+        "fig8" => {
+            let f = fig8::run(settings);
+            (f.render(), vec![("fig8.csv".into(), f.to_csv())])
+        }
+        "fig9" => {
+            let f = fig9::run(settings);
+            (f.render(), vec![("fig9.csv".into(), f.to_csv())])
+        }
+        "fig10" => {
+            let f = fig10::run(settings);
+            (f.render(), vec![("fig10.csv".into(), f.to_csv())])
+        }
+        "fig11" => {
+            let f = fig11::run(settings);
+            (f.render(), vec![("fig11.csv".into(), f.to_csv())])
+        }
+        "fig12" => {
+            let f = fig12::run();
+            (f.render(), vec![("fig12.csv".into(), f.to_csv())])
+        }
+        other => (run_by_name(other, settings)?, vec![]),
+    })
+}
+
+/// Run one experiment by name and return its rendered report.
+pub fn run_by_name(name: &str, settings: &ExpSettings) -> Option<String> {
+    Some(match name {
+        "fig1" => fig1::run(settings).render(),
+        "tab1" => tab1::run(settings).render(),
+        "tab2" => tab2::run().render(),
+        "fig6" => fig6::run(settings).render(),
+        "fig7" => fig7::run(settings).render(),
+        "fig8" => fig8::run(settings).render(),
+        "fig9" => fig9::run(settings).render(),
+        "fig10" => fig10::run(settings).render(),
+        "fig11" => fig11::run(settings).render(),
+        "tab3" => tab3::run(settings).render(),
+        "tab4" => tab4::run(settings).render(),
+        "fig12" => fig12::run().render(),
+        "cost_impact" => cost_impact::run(settings).render(),
+        "naive" => naive::run(settings).render(),
+        "stability" => stability::run(settings).render(),
+        "ablation_bid" => ablation::run_bid(settings).render(),
+        "ablation_hop" => ablation::run_hop(settings).render(),
+        "ablation_yank" => ablation::run_yank(settings).render(),
+        _ => return None,
+    })
+}

@@ -1,0 +1,128 @@
+//! Motivation baseline: the paper's Figure 3 *naive approach* — spot
+//! hosting with no migration mechanisms at all. On revocation the memory
+//! state is lost and the service is unavailable from termination until an
+//! on-demand replacement boots it from disk. This experiment quantifies
+//! what the scheduler's mechanisms buy.
+
+use crate::settings::ExpSettings;
+use spothost_analysis::table::TextTable;
+use spothost_core::prelude::*;
+use spothost_market::prelude::*;
+use spothost_workload::slo;
+
+#[derive(Debug, Clone)]
+pub struct NaiveRow {
+    pub scheme: &'static str,
+    pub cost_pct: f64,
+    pub unavail_pct: f64,
+    pub downtime_per_month_s: f64,
+}
+
+#[derive(Debug, Clone)]
+pub struct Naive {
+    pub rows: Vec<NaiveRow>,
+}
+
+pub fn run(settings: &ExpSettings) -> Naive {
+    let market = MarketId::new(Zone::UsEast1a, InstanceType::Small);
+    let schemes: [(&'static str, SchedulerConfig); 3] = [
+        (
+            "naive (Figure 3)",
+            SchedulerConfig::single_market(market)
+                .with_policy(BiddingPolicy::Reactive)
+                .with_naive_restart(),
+        ),
+        (
+            "reactive + CKPT LR",
+            SchedulerConfig::single_market(market).with_policy(BiddingPolicy::Reactive),
+        ),
+        (
+            "proactive + CKPT LR + Live",
+            SchedulerConfig::single_market(market)
+                .with_mechanism(MechanismCombo::CKPT_LR_LIVE),
+        ),
+    ];
+    let rows = schemes
+        .into_iter()
+        .map(|(scheme, cfg)| {
+            let agg = run_many(&cfg, settings.seed0, settings.seeds, settings.horizon);
+            NaiveRow {
+                scheme,
+                cost_pct: agg.normalized_cost_pct(),
+                unavail_pct: agg.unavailability_pct(),
+                downtime_per_month_s: slo::downtime_per_month(agg.unavailability.mean),
+            }
+        })
+        .collect();
+    Naive { rows }
+}
+
+impl Naive {
+    pub fn row(&self, scheme: &str) -> &NaiveRow {
+        self.rows.iter().find(|r| r.scheme == scheme).unwrap()
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Motivation (Figure 3): naive spot recovery vs the scheduler's mechanisms\n(small, us-east-1a)\n\n",
+        );
+        let mut t = TextTable::new(["scheme", "cost %", "unavail %", "downtime/month"]);
+        for r in &self.rows {
+            t.row([
+                r.scheme.to_string(),
+                format!("{:.1}", r.cost_pct),
+                format!("{:.5}", r.unavail_pct),
+                format!("{:.0}s", r.downtime_per_month_s),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push_str(
+            "\nthe naive approach keeps the cost advantage but loses memory state on every\n\
+             revocation and is down for server-boot + service-boot each time — the gap to\n\
+             the bottom row is what bounded checkpointing, lazy restore and live migration buy.\n",
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exp() -> Naive {
+        run(&ExpSettings::quick())
+    }
+
+    #[test]
+    fn naive_is_much_less_available_than_mechanisms() {
+        let e = exp();
+        let naive = e.row("naive (Figure 3)");
+        let reactive = e.row("reactive + CKPT LR");
+        let proactive = e.row("proactive + CKPT LR + Live");
+        assert!(
+            naive.unavail_pct > 3.0 * reactive.unavail_pct,
+            "naive {} vs reactive {}",
+            naive.unavail_pct,
+            reactive.unavail_pct
+        );
+        assert!(naive.unavail_pct > 10.0 * proactive.unavail_pct);
+    }
+
+    #[test]
+    fn naive_keeps_the_cost_advantage() {
+        let e = exp();
+        let naive = e.row("naive (Figure 3)");
+        assert!(naive.cost_pct < 40.0, "{}", naive.cost_pct);
+    }
+
+    #[test]
+    fn naive_misses_four_nines() {
+        let e = exp();
+        let naive = e.row("naive (Figure 3)");
+        assert!(
+            !spothost_workload::slo::meets_nines(naive.unavail_pct / 100.0, 4),
+            "naive unexpectedly met four nines at {}%",
+            naive.unavail_pct
+        );
+    }
+}

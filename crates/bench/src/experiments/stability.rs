@@ -1,0 +1,140 @@
+//! Extension (§8 future work): stability-aware multi-region bidding.
+//!
+//! Figure 9(c) shows the greedy scheduler chasing cheap-but-volatile
+//! markets and paying in availability; the paper closes by proposing
+//! "bidding strategies that take spot price stability into account". We
+//! implement exactly that: candidate markets are penalised by the
+//! (observable) fraction of the trailing week they spent above their
+//! on-demand price, weighted by `stability_weight`. This experiment sweeps
+//! the weight on the worst pairing of Figure 9(c) — cheap/volatile
+//! us-east-1b with stable eu-west-1a.
+
+use crate::settings::ExpSettings;
+use spothost_analysis::table::TextTable;
+use spothost_core::prelude::*;
+use spothost_market::prelude::*;
+
+#[derive(Debug, Clone)]
+pub struct StabilityRow {
+    pub weight: f64,
+    pub cost_pct: f64,
+    pub unavail_pct: f64,
+    pub forced_per_hour: f64,
+}
+
+#[derive(Debug, Clone)]
+pub struct Stability {
+    pub rows: Vec<StabilityRow>,
+    /// The stable zone alone, for reference.
+    pub stable_zone_unavail_pct: f64,
+}
+
+pub const WEIGHTS: [f64; 4] = [0.0, 2.0, 8.0, 32.0];
+
+pub fn run(settings: &ExpSettings) -> Stability {
+    let scope = MarketScope::MultiRegion(vec![Zone::UsEast1b, Zone::EuWest1a]);
+    let rows = WEIGHTS
+        .iter()
+        .map(|&weight| {
+            let cfg = SchedulerConfig::multi(scope.clone()).with_stability_weight(weight);
+            let agg = run_many(&cfg, settings.seed0, settings.seeds, settings.horizon);
+            StabilityRow {
+                weight,
+                cost_pct: agg.normalized_cost_pct(),
+                unavail_pct: agg.unavailability_pct(),
+                forced_per_hour: agg.forced_per_hour.mean,
+            }
+        })
+        .collect();
+    let stable = run_many(
+        &SchedulerConfig::multi(MarketScope::MultiMarket(Zone::EuWest1a)),
+        settings.seed0,
+        settings.seeds,
+        settings.horizon,
+    );
+    Stability {
+        rows,
+        stable_zone_unavail_pct: stable.unavailability_pct(),
+    }
+}
+
+impl Stability {
+    pub fn row(&self, weight: f64) -> &StabilityRow {
+        self.rows
+            .iter()
+            .find(|r| (r.weight - weight).abs() < 1e-12)
+            .unwrap()
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Extension (paper §8): stability-aware bidding, us-east-1b + eu-west-1a\n\n",
+        );
+        let mut t = TextTable::new([
+            "stability weight",
+            "cost %",
+            "unavailability %",
+            "forced/hr",
+        ]);
+        for r in &self.rows {
+            t.row([
+                if r.weight == 0.0 {
+                    "0 (paper's greedy)".to_string()
+                } else {
+                    format!("{}", r.weight)
+                },
+                format!("{:.1}", r.cost_pct),
+                format!("{:.5}", r.unavail_pct),
+                format!("{:.4}", r.forced_per_hour),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push_str(&format!(
+            "\nreference: eu-west-1a alone has {:.5}% unavailability.\n\
+             weighting volatility recovers most of the availability lost to greedy\n\
+             multi-region bidding at a modest cost premium.\n",
+            self.stable_zone_unavail_pct
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exp() -> Stability {
+        run(&ExpSettings::quick())
+    }
+
+    #[test]
+    fn stability_weight_reduces_unavailability() {
+        let e = exp();
+        let greedy = e.row(0.0);
+        let stable = e.row(32.0);
+        assert!(
+            stable.unavail_pct < greedy.unavail_pct,
+            "weighted {} vs greedy {}",
+            stable.unavail_pct,
+            greedy.unavail_pct
+        );
+    }
+
+    #[test]
+    fn stability_costs_a_premium_but_stays_cheap() {
+        let e = exp();
+        let greedy = e.row(0.0);
+        let stable = e.row(32.0);
+        assert!(stable.cost_pct >= greedy.cost_pct * 0.98);
+        // Still far below on-demand hosting.
+        assert!(stable.cost_pct < 40.0, "{}", stable.cost_pct);
+    }
+
+    #[test]
+    fn unavailability_monotone_in_weight_roughly() {
+        let e = exp();
+        let first = e.rows.first().unwrap().unavail_pct;
+        let last = e.rows.last().unwrap().unavail_pct;
+        assert!(last <= first);
+    }
+}

@@ -1,0 +1,96 @@
+//! Table 1: average start-up time of on-demand and spot instances per
+//! region (~1.5 minutes on-demand, 3.5–4.5 minutes spot).
+
+use crate::settings::ExpSettings;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use spothost_analysis::table::TextTable;
+use spothost_cloudsim::StartupModel;
+use spothost_market::types::Region;
+
+#[derive(Debug, Clone)]
+pub struct Tab1 {
+    /// (region, mean on-demand secs, mean spot secs), measured over samples.
+    pub rows: Vec<(Region, f64, f64)>,
+    pub samples: u64,
+}
+
+pub fn run(settings: &ExpSettings) -> Tab1 {
+    let model = StartupModel::table1();
+    let samples = (settings.seeds * 200).max(200);
+    let mut rng = ChaCha12Rng::seed_from_u64(settings.seed0);
+    let rows = Region::ALL
+        .iter()
+        .map(|&region| {
+            let od: f64 = (0..samples)
+                .map(|_| model.sample_on_demand(&mut rng, region).as_secs_f64())
+                .sum::<f64>()
+                / samples as f64;
+            let spot: f64 = (0..samples)
+                .map(|_| model.sample_spot(&mut rng, region).as_secs_f64())
+                .sum::<f64>()
+                / samples as f64;
+            (region, od, spot)
+        })
+        .collect();
+    Tab1 { rows, samples }
+}
+
+impl Tab1 {
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Table 1: average start-up time (s), {} samples per cell\n\n",
+            self.samples
+        );
+        let mut t = TextTable::new(["Instance type", "US east (s)", "US west (s)", "EU west (s)"]);
+        for (label, pick) in [
+            ("On-demand", 1usize),
+            ("Spot", 2usize),
+        ] {
+            let cell = |region: Region| {
+                let row = self.rows.iter().find(|(r, _, _)| *r == region).unwrap();
+                let v = if pick == 1 { row.1 } else { row.2 };
+                format!("{v:.2}")
+            };
+            t.row([
+                label.to_string(),
+                cell(Region::UsEast1),
+                cell(Region::UsWest1),
+                cell(Region::EuWest1),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push_str("\npaper: on-demand 94.85 / 93.63 / 98.08; spot 281.47 / 219.77 / 233.37\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_means_match_paper_within_five_percent() {
+        let t = run(&ExpSettings::quick());
+        let expect = [(94.85, 281.47), (93.63, 219.77), (98.08, 233.37)];
+        for ((region, od, spot), (e_od, e_spot)) in t.rows.iter().zip(expect) {
+            assert!((od - e_od).abs() / e_od < 0.05, "{region} od {od}");
+            assert!((spot - e_spot).abs() / e_spot < 0.05, "{region} spot {spot}");
+        }
+    }
+
+    #[test]
+    fn spot_slower_everywhere() {
+        let t = run(&ExpSettings::quick());
+        for (region, od, spot) in &t.rows {
+            assert!(spot > od, "{region}");
+        }
+    }
+
+    #[test]
+    fn render_has_both_rows() {
+        let s = run(&ExpSettings::quick()).render();
+        assert!(s.contains("On-demand"));
+        assert!(s.contains("Spot"));
+    }
+}

@@ -1,0 +1,67 @@
+//! Table 4 (§6.1): network and disk I/O performance of nested VMs vs
+//! Amazon's native VMs.
+
+use crate::settings::ExpSettings;
+use spothost_analysis::table::TextTable;
+use spothost_workload::iobench::{iobench_mean, IoBenchRow};
+
+#[derive(Debug, Clone)]
+pub struct Tab4 {
+    pub rows: Vec<IoBenchRow>,
+}
+
+pub fn run(settings: &ExpSettings) -> Tab4 {
+    Tab4 {
+        rows: iobench_mean(settings.seed0, (settings.seeds * 10).max(20)),
+    }
+}
+
+impl Tab4 {
+    pub fn render(&self) -> String {
+        let mut out = String::from("Table 4: I/O performance, native vs nested VM\n\n");
+        let mut t = TextTable::new(["", "Amazon VM (Mbps)", "Nested VM (Mbps)", "degradation"]);
+        for r in &self.rows {
+            t.row([
+                r.metric.to_string(),
+                format!("{:.1}", r.native_mbps),
+                format!("{:.1}", r.nested_mbps),
+                format!("{:.1}%", r.degradation() * 100.0),
+            ]);
+        }
+        out.push_str(&t.render());
+        out.push_str(
+            "\npaper: TX 304/304, RX 316/314, disk read 304.6/297.6, disk write 280.4/274.2\n",
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disk_degradation_about_two_percent() {
+        let t = run(&ExpSettings::quick());
+        for r in &t.rows[2..] {
+            let d = r.degradation() * 100.0;
+            assert!((1.0..4.0).contains(&d), "{}: {d}%", r.metric);
+        }
+    }
+
+    #[test]
+    fn network_effectively_native() {
+        let t = run(&ExpSettings::quick());
+        for r in &t.rows[..2] {
+            assert!(r.degradation().abs() < 0.015, "{}", r.metric);
+        }
+    }
+
+    #[test]
+    fn render_has_all_metrics() {
+        let s = run(&ExpSettings::quick()).render();
+        for m in ["Network TX", "Network RX", "Disk Read", "Disk Write"] {
+            assert!(s.contains(m));
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! # spothost-bench
+//!
+//! The reproduction harness: one module per table and figure of the
+//! paper's evaluation, each exposing a structured result plus a rendered
+//! text block. The `repro` binary drives them (`repro all`), Criterion
+//! benches time the underlying simulation kernels, and integration tests
+//! assert the paper's qualitative claims against the structured results.
+
+pub mod experiments;
+pub mod settings;
+
+pub use settings::ExpSettings;

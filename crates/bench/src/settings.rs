@@ -1,0 +1,53 @@
+//! Shared experiment settings.
+
+use spothost_market::time::SimDuration;
+
+/// Monte-Carlo breadth and horizon for the simulation-backed experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpSettings {
+    /// First seed of the Monte-Carlo range.
+    pub seed0: u64,
+    /// Number of Monte-Carlo repetitions per configuration.
+    pub seeds: u64,
+    /// Simulated horizon per run.
+    pub horizon: SimDuration,
+}
+
+impl ExpSettings {
+    /// Paper-fidelity settings: 12 seeds over 60 simulated days each.
+    pub fn full() -> Self {
+        ExpSettings {
+            seed0: 0,
+            seeds: 12,
+            horizon: SimDuration::days(60),
+        }
+    }
+
+    /// Quick settings for smoke tests and CI: 3 seeds over 21 days.
+    pub fn quick() -> Self {
+        ExpSettings {
+            seed0: 0,
+            seeds: 3,
+            horizon: SimDuration::days(21),
+        }
+    }
+}
+
+impl Default for ExpSettings {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_is_smaller_than_full() {
+        let q = ExpSettings::quick();
+        let f = ExpSettings::full();
+        assert!(q.seeds < f.seeds);
+        assert!(q.horizon < f.horizon);
+    }
+}

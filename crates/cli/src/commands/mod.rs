@@ -1,0 +1,4 @@
+pub mod analyze;
+pub mod gen_traces;
+pub mod markets;
+pub mod simulate;

@@ -1,0 +1,187 @@
+//! `spothost simulate` — run the cloud scheduler and report.
+
+use crate::args::Args;
+use spothost_core::prelude::*;
+use spothost_core::SimRun;
+use spothost_market::io::{parse_market, read_trace_set};
+use spothost_market::prelude::*;
+use spothost_workload::slo;
+use std::path::Path;
+
+fn parse_policy(s: &str) -> Result<BiddingPolicy, String> {
+    Ok(match s {
+        "proactive" => BiddingPolicy::proactive_default(),
+        "reactive" => BiddingPolicy::Reactive,
+        "pure-spot" => BiddingPolicy::PureSpot,
+        "on-demand" => BiddingPolicy::OnDemandOnly,
+        other => return Err(format!("unknown policy '{other}'")),
+    })
+}
+
+fn parse_mechanism(s: &str) -> Result<MechanismCombo, String> {
+    Ok(match s {
+        "ckpt" => MechanismCombo::CKPT,
+        "ckpt-lr" => MechanismCombo::CKPT_LR,
+        "ckpt-live" => MechanismCombo::CKPT_LIVE,
+        "ckpt-lr-live" => MechanismCombo::CKPT_LR_LIVE,
+        other => return Err(format!("unknown mechanism '{other}'")),
+    })
+}
+
+fn parse_zone(s: &str) -> Result<Zone, String> {
+    Zone::ALL
+        .into_iter()
+        .find(|z| z.name() == s)
+        .ok_or_else(|| format!("unknown zone '{s}'"))
+}
+
+fn parse_scope(args: &Args) -> Result<(MarketScope, u32), String> {
+    if let Some(scope) = args.get("scope") {
+        let (kind, rest) = scope
+            .split_once(':')
+            .ok_or("scope must be 'zone:Z' or 'regions:Z1,Z2'")?;
+        let scope = match kind {
+            "zone" => MarketScope::MultiMarket(parse_zone(rest)?),
+            "regions" => {
+                let zones = rest
+                    .split(',')
+                    .map(parse_zone)
+                    .collect::<Result<Vec<_>, _>>()?;
+                MarketScope::MultiRegion(zones)
+            }
+            other => return Err(format!("unknown scope kind '{other}'")),
+        };
+        let units = args.get_u64("units", 8)? as u32;
+        return Ok((scope, units));
+    }
+    let market = parse_market(args.get_or("market", "us-east-1a/small"))
+        .map_err(|e| e.to_string())?;
+    let units = args.get_u64("units", market.itype.capacity_units() as u64)? as u32;
+    Ok((MarketScope::Single(market), units))
+}
+
+pub fn run(args: &Args) -> Result<(), String> {
+    let (scope, units) = parse_scope(args)?;
+    let policy = parse_policy(args.get_or("policy", "proactive"))?;
+    let mechanism = parse_mechanism(args.get_or("mechanism", "ckpt-lr-live"))?;
+    let days = args.get_u64("days", 60)?;
+    let seeds = args.get_u64("seeds", 1)?;
+    let seed0 = args.get_u64("seed", 0)?;
+    let stability = args.get_f64("stability", 0.0)?;
+
+    let mut cfg = match &scope {
+        MarketScope::Single(m) => SchedulerConfig::single_market(*m),
+        other => SchedulerConfig::multi(other.clone()).with_capacity_units(units),
+    };
+    cfg = cfg
+        .with_policy(policy)
+        .with_mechanism(mechanism)
+        .with_stability_weight(stability);
+    if args.has("pessimistic") {
+        cfg = cfg.with_regime(ParamRegime::Pessimistic);
+    }
+    cfg.validate()?;
+
+    let agg = match args.get("traces") {
+        Some(dir) => {
+            // Imported history: single deterministic run against it.
+            let catalog = Catalog::ec2_2015();
+            let set = read_trace_set(&catalog, Path::new(dir)).map_err(|e| e.to_string())?;
+            let report = SimRun::new(&set, &cfg, seed0).run();
+            AggregateReport::of(vec![report])
+        }
+        None => run_many(&cfg, seed0, seeds, SimDuration::days(days)),
+    };
+
+    println!("scope:      {}", cfg.scope.label());
+    println!("policy:     {policy}   mechanism: {mechanism}", mechanism = cfg.mechanism);
+    if stability > 0.0 {
+        println!("stability:  weight {stability}");
+    }
+    println!("runs:       {} x {} days\n", agg.runs.len(), days);
+    println!(
+        "normalized cost:   {:.1}% of on-demand  (min {:.1}%, max {:.1}%)",
+        agg.normalized_cost_pct(),
+        agg.normalized_cost.min * 100.0,
+        agg.normalized_cost.max * 100.0
+    );
+    println!(
+        "unavailability:    {:.5}%  (~{:.1} s downtime/month)",
+        agg.unavailability_pct(),
+        slo::downtime_per_month(agg.unavailability.mean)
+    );
+    println!(
+        "four nines:        {}",
+        if slo::meets_nines(agg.unavailability.mean, 4) {
+            "met"
+        } else {
+            "MISSED"
+        }
+    );
+    println!(
+        "migrations/hour:   {:.4} forced, {:.4} planned+reverse",
+        agg.forced_per_hour.mean, agg.planned_reverse_per_hour.mean
+    );
+    println!("time on spot:      {:.1}%", agg.spot_fraction.mean * 100.0);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn argv(items: &[&str]) -> crate::args::Args {
+        parse(&items.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn parses_all_policies_and_mechanisms() {
+        for p in ["proactive", "reactive", "pure-spot", "on-demand"] {
+            parse_policy(p).unwrap();
+        }
+        assert!(parse_policy("yolo").is_err());
+        for m in ["ckpt", "ckpt-lr", "ckpt-live", "ckpt-lr-live"] {
+            parse_mechanism(m).unwrap();
+        }
+        assert!(parse_mechanism("magic").is_err());
+    }
+
+    #[test]
+    fn scope_parsing() {
+        let (s, u) = parse_scope(&argv(&["--market", "us-west-1a/large"])).unwrap();
+        assert_eq!(
+            s,
+            MarketScope::Single(MarketId::new(Zone::UsWest1a, InstanceType::Large))
+        );
+        assert_eq!(u, 4);
+        let (s, u) = parse_scope(&argv(&["--scope", "zone:us-east-1b"])).unwrap();
+        assert_eq!(s, MarketScope::MultiMarket(Zone::UsEast1b));
+        assert_eq!(u, 8);
+        let (s, _) = parse_scope(&argv(&["--scope", "regions:us-east-1a,eu-west-1a"])).unwrap();
+        assert_eq!(
+            s,
+            MarketScope::MultiRegion(vec![Zone::UsEast1a, Zone::EuWest1a])
+        );
+        assert!(parse_scope(&argv(&["--scope", "nope"])).is_err());
+        assert!(parse_scope(&argv(&["--scope", "zone:mars"])).is_err());
+    }
+
+    #[test]
+    fn short_simulation_runs() {
+        run(&argv(&[
+            "--market",
+            "us-east-1a/small",
+            "--days",
+            "3",
+            "--seeds",
+            "1",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn pessimistic_switch_accepted() {
+        run(&argv(&["--days", "2", "--pessimistic"])).unwrap();
+    }
+}

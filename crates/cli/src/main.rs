@@ -1,0 +1,67 @@
+//! `spothost` — command-line interface to the simulator.
+//!
+//! ```text
+//! spothost markets                      # the price book and calibration
+//! spothost gen-traces --days 28 --out traces/
+//! spothost analyze --traces traces/
+//! spothost simulate --market us-east-1a/small --policy proactive --days 60
+//! spothost simulate --scope zone:us-east-1b --seeds 12
+//! ```
+
+mod args;
+mod commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = match run(&argv) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        print_usage();
+        return Ok(());
+    };
+    match cmd.as_str() {
+        "markets" => commands::markets::run(),
+        "gen-traces" => commands::gen_traces::run(&args::parse(rest)?),
+        "analyze" => commands::analyze::run(&args::parse(rest)?),
+        "simulate" => commands::simulate::run(&args::parse(rest)?),
+        "--help" | "-h" | "help" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}' (try --help)")),
+    }
+}
+
+fn print_usage() {
+    println!(
+        "spothost — always-on services on cloud spot markets (HPDC'15 reproduction)
+
+USAGE:
+  spothost markets
+      Print the market catalog: zones, sizes, on-demand prices, bid caps.
+
+  spothost gen-traces [--seed N] [--days D] [--out DIR] [--zone Z]
+      Generate calibrated spot-price traces and export them as CSV.
+
+  spothost analyze --traces DIR [--sample-mins M]
+      Per-market statistics and correlations of a trace directory.
+
+  spothost simulate [--market M | --scope zone:Z | --scope regions:Z1,Z2]
+                    [--policy proactive|reactive|pure-spot|on-demand]
+                    [--mechanism ckpt|ckpt-lr|ckpt-live|ckpt-lr-live]
+                    [--pessimistic] [--stability W] [--units U]
+                    [--days D] [--seeds N] [--seed N] [--traces DIR]
+      Run the cloud scheduler and report cost/availability/migrations.
+      With --traces, runs against imported price history instead of the
+      calibrated generator."
+    );
+}

@@ -1,0 +1,241 @@
+//! Hourly billing, exactly as the paper describes EC2's 2015 rules (§2.1):
+//!
+//! * Spot instance-hours are billed at the spot price in effect at the
+//!   **beginning** of each instance-hour — mid-hour price rises cost the
+//!   customer nothing until the next hour starts. This is the reason the
+//!   paper's planned migrations fire "near the end of a billing period".
+//! * The final partial hour is **free if the provider revoked** the server
+//!   and **billed in full if the customer terminated** it voluntarily.
+//! * On-demand usage rounds up to started hours at the fixed price.
+
+use crate::instance::{InstanceId, InstanceKind, TerminationReason};
+use spothost_market::time::{SimDuration, SimTime, MILLIS_PER_HOUR};
+use spothost_market::trace::PriceTrace;
+use spothost_market::types::MarketId;
+
+/// Charge for a spot lease `[start, end)` under the given price history.
+///
+/// Each complete instance-hour `i` costs `trace.price_at(start + i*1h)`.
+/// The final partial hour follows the revocation rule above. A lease
+/// revoked exactly on an hour boundary has no partial hour and pays all
+/// complete hours.
+pub fn spot_lease_charge(trace: &PriceTrace, start: SimTime, end: SimTime, revoked: bool) -> f64 {
+    assert!(end >= start, "lease must not end before it starts");
+    let elapsed = end - start;
+    let full_hours = elapsed.whole_hours();
+    let has_partial = !elapsed.as_millis().is_multiple_of(MILLIS_PER_HOUR);
+    let billed_hours = if revoked || !has_partial {
+        full_hours
+    } else {
+        full_hours + 1
+    };
+    let mut total = 0.0;
+    for i in 0..billed_hours {
+        total += trace.price_at(start + SimDuration::hours(i));
+    }
+    total
+}
+
+/// Charge for an on-demand lease `[start, end)` at fixed hourly price
+/// `pon`: started hours round up.
+pub fn on_demand_lease_charge(pon: f64, start: SimTime, end: SimTime) -> f64 {
+    assert!(end >= start, "lease must not end before it starts");
+    assert!(pon >= 0.0);
+    (end - start).started_hours() as f64 * pon
+}
+
+/// One closed lease in the ledger.
+#[derive(Debug, Clone)]
+pub struct LedgerEntry {
+    pub instance: InstanceId,
+    pub market: MarketId,
+    pub kind: InstanceKind,
+    pub start: SimTime,
+    pub end: SimTime,
+    pub reason: TerminationReason,
+    pub amount: f64,
+}
+
+/// Append-only record of all charges in a simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct BillingLedger {
+    entries: Vec<LedgerEntry>,
+    total: f64,
+}
+
+impl BillingLedger {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&mut self, entry: LedgerEntry) {
+        assert!(entry.amount >= 0.0, "charges cannot be negative");
+        self.total += entry.amount;
+        self.entries.push(entry);
+    }
+
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    pub fn entries(&self) -> &[LedgerEntry] {
+        &self.entries
+    }
+
+    /// Total spent on spot leases.
+    pub fn spot_total(&self) -> f64 {
+        self.entries
+            .iter()
+            .filter(|e| e.kind.is_spot())
+            .map(|e| e.amount)
+            .sum()
+    }
+
+    /// Total spent on on-demand leases.
+    pub fn on_demand_total(&self) -> f64 {
+        self.entries
+            .iter()
+            .filter(|e| !e.kind.is_spot())
+            .map(|e| e.amount)
+            .sum()
+    }
+
+    /// Total lease time on spot servers (for time-share accounting).
+    pub fn spot_lease_time(&self) -> SimDuration {
+        self.entries
+            .iter()
+            .filter(|e| e.kind.is_spot())
+            .map(|e| e.end - e.start)
+            .sum()
+    }
+
+    /// Total lease time on on-demand servers.
+    pub fn on_demand_lease_time(&self) -> SimDuration {
+        self.entries
+            .iter()
+            .filter(|e| !e.kind.is_spot())
+            .map(|e| e.end - e.start)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spothost_market::trace::PricePoint;
+    use spothost_market::types::{InstanceType, Zone};
+
+    fn flat_trace(price: f64) -> PriceTrace {
+        PriceTrace::constant(price, SimTime::days(10))
+    }
+
+    fn stepping_trace() -> PriceTrace {
+        // 0.10 for the first 90 minutes, then 0.50.
+        PriceTrace::new(
+            vec![
+                PricePoint {
+                    at: SimTime::ZERO,
+                    price: 0.10,
+                },
+                PricePoint {
+                    at: SimTime::minutes(90),
+                    price: 0.50,
+                },
+            ],
+            SimTime::days(10),
+        )
+    }
+
+    #[test]
+    fn spot_charges_hour_start_price() {
+        let t = stepping_trace();
+        // Lease [0, 2h) voluntary: hour 0 at 0.10, hour 1 (starts at 60min,
+        // price still 0.10) at 0.10.
+        let c = spot_lease_charge(&t, SimTime::ZERO, SimTime::hours(2), false);
+        assert!((c - 0.20).abs() < 1e-12);
+        // Lease [0, 3h): hour 2 starts at 120min where price is 0.50.
+        let c = spot_lease_charge(&t, SimTime::ZERO, SimTime::hours(3), false);
+        assert!((c - 0.70).abs() < 1e-12);
+    }
+
+    #[test]
+    fn revoked_partial_hour_is_free() {
+        let t = flat_trace(0.10);
+        let start = SimTime::ZERO;
+        let end = SimTime::minutes(150); // 2.5h
+        let revoked = spot_lease_charge(&t, start, end, true);
+        let voluntary = spot_lease_charge(&t, start, end, false);
+        assert!((revoked - 0.20).abs() < 1e-12, "2 full hours only");
+        assert!((voluntary - 0.30).abs() < 1e-12, "3 started hours");
+    }
+
+    #[test]
+    fn revocation_on_exact_boundary_charges_all_full_hours() {
+        let t = flat_trace(0.10);
+        let c = spot_lease_charge(&t, SimTime::ZERO, SimTime::hours(2), true);
+        assert!((c - 0.20).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_length_lease_is_free() {
+        let t = flat_trace(0.10);
+        assert_eq!(spot_lease_charge(&t, SimTime::hours(1), SimTime::hours(1), false), 0.0);
+        assert_eq!(on_demand_lease_charge(0.5, SimTime::ZERO, SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn sub_hour_revoked_lease_is_free() {
+        // The paper notes revocation inside the first hour costs nothing.
+        let t = flat_trace(0.25);
+        let c = spot_lease_charge(&t, SimTime::ZERO, SimTime::minutes(59), true);
+        assert_eq!(c, 0.0);
+    }
+
+    #[test]
+    fn lease_relative_hours_not_wall_clock() {
+        let t = stepping_trace();
+        // Lease starts at 30min; its first hour begins at price 0.10, its
+        // second hour begins at 90min when the price is 0.50.
+        let c = spot_lease_charge(&t, SimTime::minutes(30), SimTime::minutes(150), false);
+        assert!((c - 0.60).abs() < 1e-12);
+    }
+
+    #[test]
+    fn on_demand_rounds_up() {
+        let pon = 0.24;
+        let c = on_demand_lease_charge(pon, SimTime::ZERO, SimTime::minutes(61));
+        assert!((c - 2.0 * pon).abs() < 1e-12);
+        let c = on_demand_lease_charge(pon, SimTime::ZERO, SimTime::hours(1));
+        assert!((c - pon).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ledger_accumulates_by_kind() {
+        let mut ledger = BillingLedger::new();
+        let market = MarketId::new(Zone::UsEast1a, InstanceType::Small);
+        ledger.record(LedgerEntry {
+            instance: InstanceId(1),
+            market,
+            kind: InstanceKind::Spot { bid: 0.06 },
+            start: SimTime::ZERO,
+            end: SimTime::hours(2),
+            reason: TerminationReason::Voluntary,
+            amount: 0.04,
+        });
+        ledger.record(LedgerEntry {
+            instance: InstanceId(2),
+            market,
+            kind: InstanceKind::OnDemand,
+            start: SimTime::hours(2),
+            end: SimTime::hours(3),
+            reason: TerminationReason::Voluntary,
+            amount: 0.06,
+        });
+        assert!((ledger.total() - 0.10).abs() < 1e-12);
+        assert!((ledger.spot_total() - 0.04).abs() < 1e-12);
+        assert!((ledger.on_demand_total() - 0.06).abs() < 1e-12);
+        assert_eq!(ledger.spot_lease_time(), SimDuration::hours(2));
+        assert_eq!(ledger.on_demand_lease_time(), SimDuration::hours(1));
+        assert_eq!(ledger.entries().len(), 2);
+    }
+}

@@ -1,0 +1,450 @@
+//! The cloud provider: allocation, revocation scheduling, billing.
+//!
+//! The provider is *omniscient about its own prices* (it sets them from the
+//! trace), so it can tell a simulation driver exactly when a given lease
+//! will be revoked — the driver schedules that as a future event. The
+//! *customer-visible* API remains faithful to EC2: the scheduler only ever
+//! learns of a revocation through the two-minute warning.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use std::collections::HashMap;
+
+use crate::billing::{on_demand_lease_charge, spot_lease_charge, BillingLedger, LedgerEntry};
+use crate::instance::{Instance, InstanceId, InstanceKind, InstanceState, TerminationReason};
+use crate::startup::StartupModel;
+use crate::volume::VolumePool;
+use crate::REVOCATION_GRACE;
+use spothost_market::gen::{derive_seed, TraceSet};
+use spothost_market::time::SimTime;
+use spothost_market::types::MarketId;
+
+/// Errors from server requests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RequestError {
+    /// The market has no generated trace in this simulation.
+    UnknownMarket(MarketId),
+    /// Spot requests are only granted while the current price is at or
+    /// below the bid.
+    BidBelowPrice { current: f64, bid: f64 },
+    /// The provider caps bids (Amazon: 4x on-demand, §3.1 footnote 1).
+    BidAboveCap { cap: f64, bid: f64 },
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::UnknownMarket(m) => write!(f, "no trace for market {m}"),
+            RequestError::BidBelowPrice { current, bid } => {
+                write!(f, "bid {bid} below current spot price {current}")
+            }
+            RequestError::BidAboveCap { cap, bid } => {
+                write!(f, "bid {bid} above provider cap {cap}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+/// When a running spot lease will be revoked, if ever (within the horizon).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RevocationSchedule {
+    /// When the spot price first exceeds the bid — the moment the provider
+    /// delivers the two-minute warning.
+    pub warning_at: SimTime,
+    /// Forced termination time (`warning_at + REVOCATION_GRACE`).
+    pub terminate_at: SimTime,
+}
+
+/// The simulated cloud provider.
+#[derive(Debug)]
+pub struct CloudProvider<'t> {
+    traces: &'t TraceSet,
+    startup: StartupModel,
+    rng: ChaCha12Rng,
+    instances: HashMap<InstanceId, Instance>,
+    ledger: BillingLedger,
+    volumes: VolumePool,
+    next_id: u64,
+}
+
+impl<'t> CloudProvider<'t> {
+    /// Build a provider over a trace set. The startup sampler derives its
+    /// stream from `seed`, independent of trace generation.
+    pub fn new(traces: &'t TraceSet, seed: u64) -> Self {
+        CloudProvider {
+            traces,
+            startup: StartupModel::table1(),
+            rng: ChaCha12Rng::seed_from_u64(derive_seed(seed, "provider-startup", 0)),
+            instances: HashMap::new(),
+            ledger: BillingLedger::new(),
+            volumes: VolumePool::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Replace the startup model (tests use [`StartupModel::deterministic`]).
+    pub fn with_startup_model(mut self, model: StartupModel) -> Self {
+        self.startup = model;
+        self
+    }
+
+    pub fn traces(&self) -> &'t TraceSet {
+        self.traces
+    }
+
+    pub fn volumes_mut(&mut self) -> &mut VolumePool {
+        &mut self.volumes
+    }
+
+    pub fn volumes(&self) -> &VolumePool {
+        &self.volumes
+    }
+
+    /// Current spot price of a market.
+    pub fn spot_price(&self, market: MarketId, at: SimTime) -> Option<f64> {
+        self.traces.trace(market).map(|t| t.price_at(at))
+    }
+
+    /// Fixed on-demand price of a market.
+    pub fn on_demand_price(&self, market: MarketId) -> f64 {
+        self.traces.catalog().on_demand_price(market)
+    }
+
+    /// Earliest time `>= from` when the market trades at or below `price`
+    /// (used by the scheduler to decide when a reverse migration becomes
+    /// attractive).
+    pub fn next_time_at_or_below(
+        &self,
+        market: MarketId,
+        from: SimTime,
+        price: f64,
+    ) -> Option<SimTime> {
+        self.traces
+            .trace(market)?
+            .next_time_at_or_below(from, price)
+    }
+
+    fn fresh_id(&mut self) -> InstanceId {
+        let id = InstanceId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Request a spot server. Granted only if the current price is at or
+    /// below `bid` and `bid` does not exceed the provider cap. Returns the
+    /// instance id and the time the server becomes ready.
+    pub fn request_spot(
+        &mut self,
+        market: MarketId,
+        bid: f64,
+        now: SimTime,
+    ) -> Result<(InstanceId, SimTime), RequestError> {
+        let trace = self
+            .traces
+            .trace(market)
+            .ok_or(RequestError::UnknownMarket(market))?;
+        let cap = self.traces.catalog().max_bid(market);
+        if bid > cap + 1e-12 {
+            return Err(RequestError::BidAboveCap { cap, bid });
+        }
+        let current = trace.price_at(now);
+        if current > bid {
+            return Err(RequestError::BidBelowPrice { current, bid });
+        }
+        let latency = self
+            .startup
+            .sample_spot(&mut self.rng, market.zone.region());
+        let id = self.fresh_id();
+        let ready_at = now + latency;
+        self.instances.insert(
+            id,
+            Instance {
+                id,
+                market,
+                kind: InstanceKind::Spot { bid },
+                requested_at: now,
+                ready_at,
+                state: InstanceState::Pending { ready_at },
+            },
+        );
+        Ok((id, ready_at))
+    }
+
+    /// Request an on-demand server; always granted.
+    pub fn request_on_demand(&mut self, market: MarketId, now: SimTime) -> (InstanceId, SimTime) {
+        let latency = self
+            .startup
+            .sample_on_demand(&mut self.rng, market.zone.region());
+        let id = self.fresh_id();
+        let ready_at = now + latency;
+        self.instances.insert(
+            id,
+            Instance {
+                id,
+                market,
+                kind: InstanceKind::OnDemand,
+                requested_at: now,
+                ready_at,
+                state: InstanceState::Pending { ready_at },
+            },
+        );
+        (id, ready_at)
+    }
+
+    /// Transition a pending instance to running at its ready time. For spot
+    /// instances, the allocation *fails* if the price has risen above the
+    /// bid while the server was booting (returns `false`; the instance is
+    /// closed unbilled and the caller must re-request).
+    pub fn activate(&mut self, id: InstanceId, now: SimTime) -> bool {
+        let inst = self.instances.get_mut(&id).expect("unknown instance");
+        let InstanceState::Pending { ready_at } = inst.state else {
+            panic!("activate() on non-pending instance {id}");
+        };
+        assert_eq!(now, ready_at, "activation must happen at the ready time");
+        if let InstanceKind::Spot { bid } = inst.kind {
+            let price = self
+                .traces
+                .trace(inst.market)
+                .expect("market vanished")
+                .price_at(now);
+            if price > bid {
+                inst.state = InstanceState::Terminated {
+                    at: now,
+                    reason: TerminationReason::FailedAllocation,
+                };
+                return false;
+            }
+        }
+        inst.state = InstanceState::Running;
+        inst.ready_at = now;
+        true
+    }
+
+    /// When will this running spot lease be revoked? `None` for on-demand
+    /// instances and for spot leases whose bid is never exceeded within the
+    /// trace horizon. The simulation driver schedules the returned times as
+    /// events; the customer-visible warning is `warning_at`.
+    pub fn revocation_schedule(&self, id: InstanceId, from: SimTime) -> Option<RevocationSchedule> {
+        let inst = self.instances.get(&id)?;
+        let bid = inst.kind.bid()?;
+        let trace = self.traces.trace(inst.market)?;
+        let warning_at = trace.next_time_above(from, bid)?;
+        Some(RevocationSchedule {
+            warning_at,
+            terminate_at: warning_at + REVOCATION_GRACE,
+        })
+    }
+
+    /// Mark a running spot instance as revocation-pending (the warning has
+    /// been delivered).
+    pub fn begin_revocation(&mut self, id: InstanceId, warning_at: SimTime) {
+        let inst = self.instances.get_mut(&id).expect("unknown instance");
+        assert!(
+            matches!(inst.state, InstanceState::Running),
+            "revocation warning for non-running instance {id}"
+        );
+        inst.state = InstanceState::RevocationPending {
+            terminate_at: warning_at + REVOCATION_GRACE,
+        };
+    }
+
+    /// Close a lease and bill it. Returns the charge.
+    pub fn terminate(&mut self, id: InstanceId, now: SimTime, reason: TerminationReason) -> f64 {
+        let inst = self.instances.get_mut(&id).expect("unknown instance");
+        assert!(
+            !inst.is_terminated(),
+            "double termination of instance {id}"
+        );
+        let was_pending = matches!(inst.state, InstanceState::Pending { .. });
+        inst.state = InstanceState::Terminated { at: now, reason };
+        let (market, kind, lease_start) = (inst.market, inst.kind, inst.ready_at);
+        self.volumes.detach_all_from(id);
+
+        // A request cancelled before the server came up is free.
+        if was_pending || reason == TerminationReason::FailedAllocation {
+            return 0.0;
+        }
+        let amount = match kind {
+            InstanceKind::Spot { .. } => {
+                let trace = self.traces.trace(market).expect("market vanished");
+                spot_lease_charge(trace, lease_start, now, reason == TerminationReason::Revoked)
+            }
+            InstanceKind::OnDemand => {
+                on_demand_lease_charge(self.on_demand_price(market), lease_start, now)
+            }
+        };
+        self.ledger.record(LedgerEntry {
+            instance: id,
+            market,
+            kind,
+            start: lease_start,
+            end: now,
+            reason,
+            amount,
+        });
+        amount
+    }
+
+    pub fn instance(&self, id: InstanceId) -> Option<&Instance> {
+        self.instances.get(&id)
+    }
+
+    pub fn ledger(&self) -> &BillingLedger {
+        &self.ledger
+    }
+
+    /// Number of instances ever created (for diagnostics).
+    pub fn instances_created(&self) -> usize {
+        self.instances.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spothost_market::catalog::Catalog;
+    use spothost_market::model::SpotModelParams;
+    use spothost_market::time::SimDuration;
+    use spothost_market::types::{InstanceType, Zone};
+
+    fn market() -> MarketId {
+        MarketId::new(Zone::UsEast1a, InstanceType::Small)
+    }
+
+    /// A trace set with a hand-built price pattern: cheap, then a spike at
+    /// day 1 lasting 30 minutes, then cheap again.
+    fn traces() -> TraceSet {
+        // Use a quiet custom model and rely on generate_with determinism:
+        // simplest is a near-degenerate model, but we want exact control,
+        // so we build the TraceSet through the public generator with an
+        // almost-flat model and then rely on explicit trace queries in
+        // provider methods. For precise billing tests we use the flat
+        // pricing below.
+        let catalog = Catalog::ec2_2015();
+        let mut params = SpotModelParams::default_market();
+        params.sigma = 0.01;
+        params.spike_rate_per_day = 0.0;
+        params.zone_spike_rate_per_day = 0.0;
+        params.elevated_base_mult = 1.0001;
+        TraceSet::generate_with(
+            &catalog,
+            &[(market(), params)],
+            1,
+            spothost_market::time::SimDuration::days(7),
+        )
+    }
+
+    #[test]
+    fn spot_request_grant_and_activate() {
+        let ts = traces();
+        let mut p = CloudProvider::new(&ts, 7).with_startup_model(StartupModel::deterministic());
+        let pon = p.on_demand_price(market());
+        let (id, ready) = p.request_spot(market(), pon, SimTime::ZERO).unwrap();
+        assert!(ready > SimTime::ZERO);
+        assert!(p.activate(id, ready));
+        assert!(p.instance(id).unwrap().is_running());
+    }
+
+    #[test]
+    fn spot_request_rejected_when_bid_below_price() {
+        let ts = traces();
+        let mut p = CloudProvider::new(&ts, 7);
+        let err = p.request_spot(market(), 1e-6, SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, RequestError::BidBelowPrice { .. }));
+    }
+
+    #[test]
+    fn bid_cap_enforced() {
+        let ts = traces();
+        let mut p = CloudProvider::new(&ts, 7);
+        let pon = p.on_demand_price(market());
+        let err = p
+            .request_spot(market(), pon * 10.0, SimTime::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, RequestError::BidAboveCap { .. }));
+        // Exactly the cap is fine.
+        assert!(p.request_spot(market(), pon * 4.0, SimTime::ZERO).is_ok());
+    }
+
+    #[test]
+    fn on_demand_always_granted_and_billed_rounded_up() {
+        let ts = traces();
+        let mut p = CloudProvider::new(&ts, 7).with_startup_model(StartupModel::deterministic());
+        let (id, ready) = p.request_on_demand(market(), SimTime::ZERO);
+        assert!(p.activate(id, ready));
+        let end = ready + SimDuration::minutes(90);
+        let charge = p.terminate(id, end, TerminationReason::Voluntary);
+        let pon = p.on_demand_price(market());
+        assert!((charge - 2.0 * pon).abs() < 1e-12);
+        assert!((p.ledger().total() - charge).abs() < 1e-12);
+    }
+
+    #[test]
+    fn revocation_schedule_none_when_bid_never_exceeded() {
+        let ts = traces();
+        let mut p = CloudProvider::new(&ts, 7).with_startup_model(StartupModel::deterministic());
+        let pon = p.on_demand_price(market());
+        // Quiet trace never crosses 4x on-demand.
+        let (id, ready) = p.request_spot(market(), pon * 4.0, SimTime::ZERO).unwrap();
+        p.activate(id, ready);
+        assert_eq!(p.revocation_schedule(id, ready), None);
+    }
+
+    #[test]
+    fn pending_cancellation_is_free() {
+        let ts = traces();
+        let mut p = CloudProvider::new(&ts, 7);
+        let pon = p.on_demand_price(market());
+        let (id, _ready) = p.request_spot(market(), pon, SimTime::ZERO).unwrap();
+        let charge = p.terminate(id, SimTime::secs(10), TerminationReason::Voluntary);
+        assert_eq!(charge, 0.0);
+        assert_eq!(p.ledger().entries().len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "double termination")]
+    fn double_termination_panics() {
+        let ts = traces();
+        let mut p = CloudProvider::new(&ts, 7).with_startup_model(StartupModel::deterministic());
+        let (id, ready) = p.request_on_demand(market(), SimTime::ZERO);
+        p.activate(id, ready);
+        p.terminate(id, ready + SimDuration::hours(1), TerminationReason::Voluntary);
+        p.terminate(id, ready + SimDuration::hours(2), TerminationReason::Voluntary);
+    }
+
+    #[test]
+    fn volume_reattach_across_revocation() {
+        let ts = traces();
+        let mut p = CloudProvider::new(&ts, 7).with_startup_model(StartupModel::deterministic());
+        let pon = p.on_demand_price(market());
+        let (spot, ready) = p.request_spot(market(), pon, SimTime::ZERO).unwrap();
+        p.activate(spot, ready);
+        let vol = p.volumes_mut().create(16.0);
+        p.volumes_mut().attach(vol, spot).unwrap();
+        p.volumes_mut().write_checkpoint(vol, 2.0).unwrap();
+
+        // Revocation: lease closes, volume persists, re-attaches.
+        p.terminate(spot, ready + SimDuration::minutes(30), TerminationReason::Revoked);
+        assert_eq!(p.volumes().get(vol).unwrap().attached_to, None);
+        assert_eq!(p.volumes().get(vol).unwrap().checkpoint_gib, 2.0);
+
+        let (od, od_ready) = p.request_on_demand(market(), ready + SimDuration::minutes(30));
+        p.activate(od, od_ready);
+        p.volumes_mut().attach(vol, od).unwrap();
+        assert_eq!(p.volumes().get(vol).unwrap().attached_to, Some(od));
+    }
+
+    #[test]
+    fn revoked_partial_hour_not_billed() {
+        let ts = traces();
+        let mut p = CloudProvider::new(&ts, 7).with_startup_model(StartupModel::deterministic());
+        let pon = p.on_demand_price(market());
+        let (id, ready) = p.request_spot(market(), pon, SimTime::ZERO).unwrap();
+        p.activate(id, ready);
+        // Revoked 30 minutes into the lease: zero charge.
+        let charge = p.terminate(id, ready + SimDuration::minutes(30), TerminationReason::Revoked);
+        assert_eq!(charge, 0.0);
+    }
+}

@@ -1,0 +1,209 @@
+//! EBS-style network volumes.
+//!
+//! The paper's entire approach leans on networked storage (§3): disk state
+//! lives on a volume that *survives* spot revocation and simply re-attaches
+//! to the replacement server, and memory checkpoints are written to such a
+//! volume so they outlive the revoked server. This module models the
+//! attach/detach protocol and the persistence guarantee.
+
+use crate::instance::InstanceId;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Opaque volume handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VolumeId(pub u64);
+
+impl fmt::Display for VolumeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vol-{:06}", self.0)
+    }
+}
+
+/// Errors from the volume attach/detach protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VolumeError {
+    NoSuchVolume(VolumeId),
+    /// A volume can be attached to at most one instance at a time.
+    AlreadyAttached(VolumeId, InstanceId),
+    NotAttached(VolumeId),
+}
+
+impl fmt::Display for VolumeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VolumeError::NoSuchVolume(v) => write!(f, "{v} does not exist"),
+            VolumeError::AlreadyAttached(v, i) => write!(f, "{v} is already attached to {i}"),
+            VolumeError::NotAttached(v) => write!(f, "{v} is not attached"),
+        }
+    }
+}
+
+impl std::error::Error for VolumeError {}
+
+/// One network volume.
+#[derive(Debug, Clone)]
+pub struct NetworkVolume {
+    pub id: VolumeId,
+    pub size_gib: f64,
+    pub attached_to: Option<InstanceId>,
+    /// Bytes of checkpoint state currently resident, in GiB. Written by the
+    /// checkpointing engine, consumed by restore.
+    pub checkpoint_gib: f64,
+}
+
+/// The provider-side volume service.
+#[derive(Debug, Default)]
+pub struct VolumePool {
+    volumes: HashMap<VolumeId, NetworkVolume>,
+    next_id: u64,
+}
+
+impl VolumePool {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an empty volume of the given size.
+    pub fn create(&mut self, size_gib: f64) -> VolumeId {
+        assert!(size_gib > 0.0);
+        let id = VolumeId(self.next_id);
+        self.next_id += 1;
+        self.volumes.insert(
+            id,
+            NetworkVolume {
+                id,
+                size_gib,
+                attached_to: None,
+                checkpoint_gib: 0.0,
+            },
+        );
+        id
+    }
+
+    pub fn get(&self, id: VolumeId) -> Option<&NetworkVolume> {
+        self.volumes.get(&id)
+    }
+
+    pub fn attach(&mut self, id: VolumeId, instance: InstanceId) -> Result<(), VolumeError> {
+        let vol = self
+            .volumes
+            .get_mut(&id)
+            .ok_or(VolumeError::NoSuchVolume(id))?;
+        match vol.attached_to {
+            Some(existing) if existing != instance => {
+                Err(VolumeError::AlreadyAttached(id, existing))
+            }
+            _ => {
+                vol.attached_to = Some(instance);
+                Ok(())
+            }
+        }
+    }
+
+    pub fn detach(&mut self, id: VolumeId) -> Result<(), VolumeError> {
+        let vol = self
+            .volumes
+            .get_mut(&id)
+            .ok_or(VolumeError::NoSuchVolume(id))?;
+        if vol.attached_to.is_none() {
+            return Err(VolumeError::NotAttached(id));
+        }
+        vol.attached_to = None;
+        Ok(())
+    }
+
+    /// Called when an instance dies: its volumes detach but *persist* —
+    /// the EBS guarantee the paper's naive approach already relies on.
+    pub fn detach_all_from(&mut self, instance: InstanceId) {
+        for vol in self.volumes.values_mut() {
+            if vol.attached_to == Some(instance) {
+                vol.attached_to = None;
+            }
+        }
+    }
+
+    /// Record checkpoint state written to a volume.
+    pub fn write_checkpoint(&mut self, id: VolumeId, gib: f64) -> Result<(), VolumeError> {
+        let vol = self
+            .volumes
+            .get_mut(&id)
+            .ok_or(VolumeError::NoSuchVolume(id))?;
+        vol.checkpoint_gib = gib.min(vol.size_gib);
+        Ok(())
+    }
+
+    pub fn len(&self) -> usize {
+        self.volumes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.volumes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_attach_detach_roundtrip() {
+        let mut pool = VolumePool::new();
+        let v = pool.create(100.0);
+        let i = InstanceId(1);
+        pool.attach(v, i).unwrap();
+        assert_eq!(pool.get(v).unwrap().attached_to, Some(i));
+        pool.detach(v).unwrap();
+        assert_eq!(pool.get(v).unwrap().attached_to, None);
+    }
+
+    #[test]
+    fn double_attach_rejected() {
+        let mut pool = VolumePool::new();
+        let v = pool.create(8.0);
+        pool.attach(v, InstanceId(1)).unwrap();
+        // Re-attach to the same instance is idempotent.
+        pool.attach(v, InstanceId(1)).unwrap();
+        // But a different instance is refused.
+        assert_eq!(
+            pool.attach(v, InstanceId(2)),
+            Err(VolumeError::AlreadyAttached(v, InstanceId(1)))
+        );
+    }
+
+    #[test]
+    fn volume_survives_instance_death() {
+        let mut pool = VolumePool::new();
+        let v = pool.create(8.0);
+        pool.attach(v, InstanceId(9)).unwrap();
+        pool.write_checkpoint(v, 2.0).unwrap();
+        // Instance dies (revoked): volume persists with its data.
+        pool.detach_all_from(InstanceId(9));
+        let vol = pool.get(v).unwrap();
+        assert_eq!(vol.attached_to, None);
+        assert_eq!(vol.checkpoint_gib, 2.0);
+        // Re-attach to the replacement.
+        pool.attach(v, InstanceId(10)).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_clamped_to_volume_size() {
+        let mut pool = VolumePool::new();
+        let v = pool.create(4.0);
+        pool.write_checkpoint(v, 16.0).unwrap();
+        assert_eq!(pool.get(v).unwrap().checkpoint_gib, 4.0);
+    }
+
+    #[test]
+    fn errors_for_missing_volumes() {
+        let mut pool = VolumePool::new();
+        let ghost = VolumeId(99);
+        assert_eq!(pool.detach(ghost), Err(VolumeError::NoSuchVolume(ghost)));
+        assert_eq!(
+            pool.attach(ghost, InstanceId(0)),
+            Err(VolumeError::NoSuchVolume(ghost))
+        );
+        let v = pool.create(1.0);
+        assert_eq!(pool.detach(v), Err(VolumeError::NotAttached(v)));
+    }
+}

@@ -1,0 +1,71 @@
+//! Property-based tests of the discrete-event queue: it must behave as a
+//! stable sort by (time, insertion order) under any push/pop interleaving.
+
+use proptest::prelude::*;
+use spothost_cloudsim::EventQueue;
+use spothost_market::time::SimTime;
+
+proptest! {
+    #[test]
+    fn drains_in_stable_time_order(times in prop::collection::vec(0u64..10_000, 0..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::millis(t), i);
+        }
+        // Expected order: stable sort by time.
+        let mut expected: Vec<(u64, usize)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        expected.sort_by_key(|&(t, _)| t); // sort_by_key is stable
+        let mut drained = Vec::new();
+        while let Some((t, i)) = q.pop() {
+            drained.push((t.as_millis(), i));
+        }
+        prop_assert_eq!(drained, expected);
+    }
+
+    #[test]
+    fn interleaved_push_pop_never_goes_backwards(
+        ops in prop::collection::vec((0u64..10_000, prop::bool::ANY), 1..300)
+    ) {
+        // Mixed pushes and pops: each popped timestamp must be >= the last
+        // popped timestamp IF every push that happened before the pop was
+        // for a time >= that last popped time. We enforce the scheduler's
+        // actual usage pattern: pushes are never in the past relative to
+        // the last pop (events schedule future events).
+        let mut q = EventQueue::new();
+        let mut now = 0u64;
+        let mut pushed = 0usize;
+        let mut popped = 0usize;
+        for (t, is_pop) in ops {
+            if is_pop {
+                if let Some((at, _)) = q.pop() {
+                    prop_assert!(at.as_millis() >= now, "time went backwards");
+                    now = at.as_millis();
+                    popped += 1;
+                }
+            } else {
+                // Schedule in the future of the current clock.
+                q.push(SimTime::millis(now + t), pushed);
+                pushed += 1;
+            }
+        }
+        prop_assert_eq!(q.len(), pushed - popped);
+    }
+
+    #[test]
+    fn len_tracks_pushes_and_pops(n_push in 0usize..100, n_pop in 0usize..150) {
+        let mut q = EventQueue::new();
+        for i in 0..n_push {
+            q.push(SimTime::millis(i as u64), i);
+        }
+        let mut actually_popped = 0;
+        for _ in 0..n_pop {
+            if q.pop().is_some() {
+                actually_popped += 1;
+            }
+        }
+        prop_assert_eq!(actually_popped, n_pop.min(n_push));
+        prop_assert_eq!(q.len(), n_push - actually_popped);
+        prop_assert_eq!(q.is_empty(), actually_popped == n_push);
+    }
+}

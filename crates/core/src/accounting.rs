@@ -1,0 +1,102 @@
+//! Run accounting: cost, downtime, migrations, time shares.
+
+use spothost_market::time::{SimDuration, SimTime};
+
+/// Mutable accumulator the scheduler writes into during a run.
+#[derive(Debug, Clone, Default)]
+pub struct Accounting {
+    /// When the service first came up; metrics are measured from here.
+    pub service_start: Option<SimTime>,
+    /// Total dollars spent across all leases (aggregated over the packed
+    /// servers).
+    pub cost: f64,
+    /// Total service outage.
+    pub downtime: SimDuration,
+    /// Total degraded-performance time (lazy-restore fault-in windows).
+    pub degraded: SimDuration,
+    /// Provider-forced migrations (revocations handled).
+    pub forced_migrations: u32,
+    /// Voluntary planned migrations (spot -> on-demand or spot -> spot).
+    pub planned_migrations: u32,
+    /// Voluntary reverse migrations (on-demand -> spot).
+    pub reverse_migrations: u32,
+    /// Planned migrations aborted because the target was revoked while
+    /// booting (diagnostic).
+    pub aborted_migrations: u32,
+    /// Lease time spent on spot servers.
+    pub spot_time: SimDuration,
+    /// Lease time spent on on-demand servers.
+    pub on_demand_time: SimDuration,
+}
+
+impl Accounting {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a service outage `[from, to)`, clamped to the horizon.
+    pub fn add_downtime(&mut self, from: SimTime, to: SimTime, horizon: SimTime) {
+        let from = from.min(horizon);
+        let to = to.min(horizon);
+        if to > from {
+            self.downtime += to - from;
+        }
+    }
+
+    /// Record a degraded window `[from, to)`, clamped to the horizon.
+    pub fn add_degraded(&mut self, from: SimTime, to: SimTime, horizon: SimTime) {
+        let from = from.min(horizon);
+        let to = to.min(horizon);
+        if to > from {
+            self.degraded += to - from;
+        }
+    }
+
+    /// The span over which availability is measured.
+    pub fn active_span(&self, horizon: SimTime) -> SimDuration {
+        match self.service_start {
+            Some(s) => horizon.since(s),
+            None => SimDuration::ZERO,
+        }
+    }
+
+    pub fn total_migrations(&self) -> u32 {
+        self.forced_migrations + self.planned_migrations + self.reverse_migrations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downtime_clamps_to_horizon() {
+        let mut a = Accounting::new();
+        let horizon = SimTime::hours(10);
+        a.add_downtime(SimTime::hours(9), SimTime::hours(12), horizon);
+        assert_eq!(a.downtime, SimDuration::hours(1));
+        // Fully past the horizon: nothing.
+        a.add_downtime(SimTime::hours(11), SimTime::hours(12), horizon);
+        assert_eq!(a.downtime, SimDuration::hours(1));
+        // Inverted interval: nothing.
+        a.add_downtime(SimTime::hours(5), SimTime::hours(5), horizon);
+        assert_eq!(a.downtime, SimDuration::hours(1));
+    }
+
+    #[test]
+    fn active_span_needs_service_start() {
+        let mut a = Accounting::new();
+        assert_eq!(a.active_span(SimTime::hours(5)), SimDuration::ZERO);
+        a.service_start = Some(SimTime::hours(1));
+        assert_eq!(a.active_span(SimTime::hours(5)), SimDuration::hours(4));
+    }
+
+    #[test]
+    fn migration_totals() {
+        let mut a = Accounting::new();
+        a.forced_migrations = 2;
+        a.planned_migrations = 3;
+        a.reverse_migrations = 4;
+        assert_eq!(a.total_migrations(), 9);
+    }
+}

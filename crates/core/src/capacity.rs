@@ -1,0 +1,109 @@
+//! Capacity accounting for multi-market packing (§4, footnote 2).
+//!
+//! The hosted service needs a fixed amount of capacity, measured in
+//! capacity *units* (small = 1, each size doubling). In a single-market
+//! configuration that is exactly one server of the chosen size. In
+//! multi-market configurations the same units can be bought as several
+//! small servers or one large one — the nested VMs are packed accordingly,
+//! and all servers of the aggregate sit in the *same* market, so they see
+//! the same price and migrate together.
+
+use spothost_market::types::{InstanceType, MarketId};
+
+/// Capacity requirements the scheduler supports: exactly the server sizes,
+/// so every candidate size divides the requirement or equals it.
+pub const SUPPORTED_UNITS: [u32; 4] = [1, 2, 4, 8];
+
+/// How many servers of `itype` host a service of `units` capacity units.
+///
+/// Panics if the size doesn't pack evenly (callers filter candidates with
+/// [`fits`] first).
+pub fn servers_needed(units: u32, itype: InstanceType) -> u32 {
+    let per = itype.capacity_units();
+    assert!(
+        fits(units, itype),
+        "{units} units cannot be packed onto {itype} servers"
+    );
+    units / per
+}
+
+/// Can a service of `units` be hosted on servers of `itype` without waste?
+/// (Server at most as large as the requirement, dividing it evenly.)
+pub fn fits(units: u32, itype: InstanceType) -> bool {
+    let per = itype.capacity_units();
+    per <= units && units.is_multiple_of(per)
+}
+
+/// The aggregate $/hour of hosting `units` on `itype` servers at the given
+/// per-server price.
+pub fn aggregate_rate(units: u32, market: MarketId, per_server_price: f64) -> f64 {
+    servers_needed(units, market.itype) as f64 * per_server_price
+}
+
+/// The single server size that hosts `units` on one server (used for the
+/// on-demand fallback: one box, no packing concerns).
+pub fn exact_fit_type(units: u32) -> InstanceType {
+    match units {
+        1 => InstanceType::Small,
+        2 => InstanceType::Medium,
+        4 => InstanceType::Large,
+        8 => InstanceType::XLarge,
+        _ => panic!("unsupported capacity requirement: {units} units"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spothost_market::types::Zone;
+
+    #[test]
+    fn packing_counts() {
+        assert_eq!(servers_needed(8, InstanceType::Small), 8);
+        assert_eq!(servers_needed(8, InstanceType::Medium), 4);
+        assert_eq!(servers_needed(8, InstanceType::Large), 2);
+        assert_eq!(servers_needed(8, InstanceType::XLarge), 1);
+        assert_eq!(servers_needed(1, InstanceType::Small), 1);
+    }
+
+    #[test]
+    fn fits_rejects_oversized_and_uneven() {
+        assert!(fits(4, InstanceType::Large));
+        assert!(!fits(4, InstanceType::XLarge), "server larger than service");
+        assert!(fits(2, InstanceType::Small));
+        assert!(!fits(1, InstanceType::Medium));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be packed")]
+    fn servers_needed_panics_on_bad_fit() {
+        servers_needed(2, InstanceType::Large);
+    }
+
+    #[test]
+    fn aggregate_rate_is_per_unit_consistent() {
+        // With per-unit pricing equal across sizes, the aggregate rate is
+        // the same no matter how the service is packed.
+        let units = 8;
+        let per_unit = 0.06;
+        for itype in InstanceType::ALL {
+            let m = MarketId::new(Zone::UsEast1a, itype);
+            let per_server = per_unit * itype.capacity_units() as f64;
+            let rate = aggregate_rate(units, m, per_server);
+            assert!((rate - 0.48).abs() < 1e-12, "{itype}");
+        }
+    }
+
+    #[test]
+    fn exact_fit_roundtrip() {
+        for &u in &SUPPORTED_UNITS {
+            assert_eq!(exact_fit_type(u).capacity_units(), u);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported capacity")]
+    fn exact_fit_rejects_odd_units() {
+        exact_fit_type(3);
+    }
+}

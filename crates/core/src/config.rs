@@ -1,0 +1,214 @@
+//! Scheduler configuration.
+
+use crate::policy::BiddingPolicy;
+use crate::strategy::MarketScope;
+use spothost_market::time::SimDuration;
+use spothost_market::types::MarketId;
+use spothost_virt::{MechanismCombo, ParamRegime, VirtParams};
+
+/// A complete scheduler configuration: what to bid, where, and how to
+/// migrate.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    pub policy: BiddingPolicy,
+    pub scope: MarketScope,
+    pub mechanism: MechanismCombo,
+    pub regime: ParamRegime,
+    /// Service size in capacity units (small = 1). Must be one of
+    /// [`crate::capacity::SUPPORTED_UNITS`].
+    pub capacity_units: u32,
+    /// Disk state (GiB) that must be replicated on cross-region moves.
+    pub disk_gib: f64,
+    /// Hysteresis for hopping to a cheaper spot market when the current one
+    /// is still below on-demand: move only if the candidate is at least
+    /// this fraction cheaper. Keeps multi-market bidding from flapping.
+    pub hop_margin: f64,
+    /// Extra safety margin added to the migration lead time.
+    pub lead_slack: SimDuration,
+    /// Stability-aware bidding weight (the paper's §8 future work). When
+    /// choosing which spot market to migrate to, a candidate's effective
+    /// rate is inflated by `stability_weight * baseline_rate * risk`,
+    /// where `risk` is the observable fraction of the trailing week the
+    /// market spent above its on-demand price. Zero (the default)
+    /// reproduces the paper's greedy cheapest-market bidding.
+    pub stability_weight: f64,
+    /// Override the regime-derived virtualization parameters (ablation
+    /// studies sweep e.g. the Yank bound through this).
+    pub virt_params_override: Option<VirtParams>,
+    /// The paper's Figure 3 *naive approach*: ignore the revocation
+    /// warning, lose all memory state, and only after termination request
+    /// an on-demand replacement that boots the service from its disk
+    /// volume. Exists as a measurable motivation baseline; the scheduler's
+    /// mechanisms are what remove its downtime.
+    pub naive_restart: bool,
+}
+
+impl SchedulerConfig {
+    /// Single-market configuration sized so the service is exactly one
+    /// server of that market's type — the setting of Figures 6, 7, 11.
+    /// Defaults: proactive bidding, CKPT+LR (the mechanism of Figure 6,
+    /// §4.2 note 3), typical parameters.
+    pub fn single_market(market: MarketId) -> Self {
+        SchedulerConfig {
+            policy: BiddingPolicy::proactive_default(),
+            scope: MarketScope::Single(market),
+            mechanism: MechanismCombo::CKPT_LR,
+            regime: ParamRegime::Typical,
+            capacity_units: market.itype.capacity_units(),
+            disk_gib: 8.0,
+            hop_margin: 0.25,
+            lead_slack: SimDuration::secs(120),
+            stability_weight: 0.0,
+            virt_params_override: None,
+            naive_restart: false,
+        }
+    }
+
+    /// Multi-market / multi-region configuration hosting an
+    /// xlarge-equivalent service (8 units) — the setting of Figures 8, 9.
+    pub fn multi(scope: MarketScope) -> Self {
+        SchedulerConfig {
+            policy: BiddingPolicy::proactive_default(),
+            scope,
+            mechanism: MechanismCombo::CKPT_LR_LIVE,
+            regime: ParamRegime::Typical,
+            capacity_units: 8,
+            disk_gib: 8.0,
+            hop_margin: 0.25,
+            lead_slack: SimDuration::secs(120),
+            stability_weight: 0.0,
+            virt_params_override: None,
+            naive_restart: false,
+        }
+    }
+
+    pub fn with_policy(mut self, policy: BiddingPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    pub fn with_mechanism(mut self, mechanism: MechanismCombo) -> Self {
+        self.mechanism = mechanism;
+        self
+    }
+
+    pub fn with_regime(mut self, regime: ParamRegime) -> Self {
+        self.regime = regime;
+        self
+    }
+
+    pub fn with_capacity_units(mut self, units: u32) -> Self {
+        self.capacity_units = units;
+        self
+    }
+
+    /// Use the naive restart-from-disk recovery of the paper's Figure 3.
+    pub fn with_naive_restart(mut self) -> Self {
+        self.naive_restart = true;
+        self
+    }
+
+    /// Enable stability-aware market selection (see `stability_weight`).
+    pub fn with_stability_weight(mut self, weight: f64) -> Self {
+        self.stability_weight = weight;
+        self
+    }
+
+    /// Override the virtualization timing parameters.
+    pub fn with_virt_params(mut self, params: VirtParams) -> Self {
+        self.virt_params_override = Some(params);
+        self
+    }
+
+    /// The virtualization parameters this configuration runs with.
+    pub fn virt_params(&self) -> VirtParams {
+        self.virt_params_override
+            .clone()
+            .unwrap_or_else(|| VirtParams::for_regime(self.regime))
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        if !crate::capacity::SUPPORTED_UNITS.contains(&self.capacity_units) {
+            return Err(format!(
+                "capacity_units must be one of {:?}, got {}",
+                crate::capacity::SUPPORTED_UNITS,
+                self.capacity_units
+            ));
+        }
+        if self.scope.candidates(self.capacity_units).is_empty() {
+            return Err("scope has no candidate markets for this capacity".into());
+        }
+        if let MarketScope::MultiRegion(zones) = &self.scope {
+            if zones.is_empty() {
+                return Err("multi-region scope needs at least one zone".into());
+            }
+        }
+        if !(0.0..1.0).contains(&self.hop_margin) {
+            return Err("hop_margin must lie in [0,1)".into());
+        }
+        if self.disk_gib.is_nan() || self.disk_gib < 0.0 {
+            return Err("disk_gib must be non-negative".into());
+        }
+        if !(self.stability_weight >= 0.0 && self.stability_weight.is_finite()) {
+            return Err("stability_weight must be non-negative and finite".into());
+        }
+        if let Some(vp) = &self.virt_params_override {
+            vp.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Markets the scheduler may bid in.
+    pub fn candidates(&self) -> Vec<MarketId> {
+        self.scope.candidates(self.capacity_units)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spothost_market::types::{InstanceType, Zone};
+
+    #[test]
+    fn single_market_defaults() {
+        let m = MarketId::new(Zone::UsEast1a, InstanceType::Large);
+        let cfg = SchedulerConfig::single_market(m);
+        cfg.validate().unwrap();
+        assert_eq!(cfg.capacity_units, 4);
+        assert_eq!(cfg.candidates(), vec![m]);
+        assert_eq!(cfg.mechanism, MechanismCombo::CKPT_LR);
+    }
+
+    #[test]
+    fn multi_defaults() {
+        let cfg = SchedulerConfig::multi(MarketScope::MultiMarket(Zone::UsEast1b));
+        cfg.validate().unwrap();
+        assert_eq!(cfg.capacity_units, 8);
+        assert_eq!(cfg.candidates().len(), 4);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let m = MarketId::new(Zone::UsWest1a, InstanceType::Small);
+        let cfg = SchedulerConfig::single_market(m)
+            .with_policy(BiddingPolicy::Reactive)
+            .with_mechanism(MechanismCombo::CKPT)
+            .with_regime(ParamRegime::Pessimistic);
+        assert_eq!(cfg.policy, BiddingPolicy::Reactive);
+        assert_eq!(cfg.mechanism, MechanismCombo::CKPT);
+        assert_eq!(cfg.regime, ParamRegime::Pessimistic);
+    }
+
+    #[test]
+    fn validation_rejects_bad_capacity() {
+        let cfg = SchedulerConfig::multi(MarketScope::MultiMarket(Zone::UsEast1a))
+            .with_capacity_units(3);
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_empty_multi_region() {
+        let cfg = SchedulerConfig::multi(MarketScope::MultiRegion(vec![]));
+        assert!(cfg.validate().is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! Bidding policies (§3.1) and the paper's two baselines.
+
+use std::fmt;
+
+/// How the scheduler bids for spot servers and whether it falls back to
+/// on-demand servers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BiddingPolicy {
+    /// Baseline: never touch the spot market. Normalized cost ~1 by
+    /// definition, unavailability ~0.
+    OnDemandOnly,
+    /// Baseline (§5): spot only, bid = on-demand price, *no* on-demand
+    /// fallback — the service stays down while the spot price exceeds the
+    /// bid. Cheap, but Figure 11(b) shows >1% unavailability.
+    PureSpot,
+    /// Bid exactly the on-demand price: the provider revokes the server the
+    /// moment the spot price passes on-demand, forcing every transition
+    /// (§3.1, "reactive").
+    Reactive,
+    /// Bid `bid_mult` times the on-demand price (clamped to the provider's
+    /// cap). Price excursions between on-demand and the bid don't revoke
+    /// the server, so the scheduler *voluntarily* migrates at billing
+    /// boundaries with all the time it needs (§3.1, "proactive").
+    Proactive { bid_mult: f64 },
+}
+
+impl BiddingPolicy {
+    /// The paper's proactive configuration: bid the provider cap
+    /// (4x on-demand, §3.1 footnote 1).
+    pub fn proactive_default() -> Self {
+        BiddingPolicy::Proactive { bid_mult: 4.0 }
+    }
+
+    /// The bid for a market with on-demand price `pon`, given the
+    /// provider's maximum accepted bid. `None` means the policy never bids.
+    pub fn bid(&self, pon: f64, max_bid: f64) -> Option<f64> {
+        match *self {
+            BiddingPolicy::OnDemandOnly => None,
+            BiddingPolicy::PureSpot | BiddingPolicy::Reactive => Some(pon.min(max_bid)),
+            BiddingPolicy::Proactive { bid_mult } => {
+                assert!(bid_mult >= 1.0, "proactive bid multiple must be >= 1");
+                Some((bid_mult * pon).min(max_bid))
+            }
+        }
+    }
+
+    /// Does this policy migrate to on-demand servers when spot turns bad?
+    pub fn uses_on_demand_fallback(&self) -> bool {
+        matches!(self, BiddingPolicy::Reactive | BiddingPolicy::Proactive { .. })
+    }
+
+    /// Does this policy perform voluntary planned migrations at billing
+    /// boundaries? (Reactive can't: its bid equals the planned-migration
+    /// threshold, so the provider always revokes first.)
+    pub fn plans_migrations(&self) -> bool {
+        matches!(self, BiddingPolicy::Proactive { .. })
+    }
+
+    /// Does the policy use spot servers at all?
+    pub fn uses_spot(&self) -> bool {
+        !matches!(self, BiddingPolicy::OnDemandOnly)
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            BiddingPolicy::OnDemandOnly => "on-demand-only",
+            BiddingPolicy::PureSpot => "pure-spot",
+            BiddingPolicy::Reactive => "reactive",
+            BiddingPolicy::Proactive { .. } => "proactive",
+        }
+    }
+}
+
+impl fmt::Display for BiddingPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BiddingPolicy::Proactive { bid_mult } => write!(f, "proactive(bid={bid_mult}x)"),
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reactive_bids_on_demand_price() {
+        assert_eq!(BiddingPolicy::Reactive.bid(0.06, 0.24), Some(0.06));
+        assert_eq!(BiddingPolicy::PureSpot.bid(0.06, 0.24), Some(0.06));
+    }
+
+    #[test]
+    fn proactive_bids_cap() {
+        let p = BiddingPolicy::proactive_default();
+        assert_eq!(p.bid(0.06, 0.24), Some(0.24));
+        // A tamer multiple stays under the cap.
+        let p = BiddingPolicy::Proactive { bid_mult: 2.0 };
+        assert_eq!(p.bid(0.06, 0.24), Some(0.12));
+        // Multiples above the cap are clamped.
+        let p = BiddingPolicy::Proactive { bid_mult: 10.0 };
+        assert_eq!(p.bid(0.06, 0.24), Some(0.24));
+    }
+
+    #[test]
+    fn on_demand_only_never_bids() {
+        assert_eq!(BiddingPolicy::OnDemandOnly.bid(0.06, 0.24), None);
+        assert!(!BiddingPolicy::OnDemandOnly.uses_spot());
+    }
+
+    #[test]
+    fn fallback_and_planning_matrix() {
+        assert!(!BiddingPolicy::PureSpot.uses_on_demand_fallback());
+        assert!(BiddingPolicy::Reactive.uses_on_demand_fallback());
+        assert!(BiddingPolicy::proactive_default().uses_on_demand_fallback());
+        assert!(!BiddingPolicy::Reactive.plans_migrations());
+        assert!(BiddingPolicy::proactive_default().plans_migrations());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(BiddingPolicy::proactive_default().to_string(), "proactive(bid=4x)");
+        assert_eq!(BiddingPolicy::Reactive.to_string(), "reactive");
+    }
+}

@@ -1,0 +1,1141 @@
+//! The cloud scheduler as a discrete-event simulation (§3).
+//!
+//! One [`SimRun`] hosts one always-on service against one generated price
+//! history. The service state machine:
+//!
+//! ```text
+//!        Boot ──ready──▶ Active ◀────────────────┐
+//!                        │  │ boundary decision  │ resume
+//!                        │  └──▶ Migrating ──▶ switchover (becomes Active)
+//!            revocation  │            │
+//!              warning   ▼            │ warning on old server
+//!                     Evacuating ◀────┘        (forced migration)
+//!                        │
+//!                        └─ pure-spot only: DownWaiting ──▶ Restoring
+//! ```
+//!
+//! Decisions follow §3.1 exactly:
+//! * **Forced migration** — the provider delivers a two-minute warning
+//!   when the spot price exceeds the bid; the bounded checkpoint is
+//!   flushed inside the window and the VM restores on a replacement
+//!   on-demand server (or, for pure-spot, whenever the market returns).
+//! * **Planned migration** — evaluated shortly before each instance-hour
+//!   billing boundary (mid-hour price rises cost nothing, §2.1): if the
+//!   current spot price exceeds the on-demand price, move to the cheapest
+//!   attractive spot market, else to on-demand. Proactive only.
+//! * **Reverse migration** — evaluated at on-demand billing boundaries:
+//!   return to spot as soon as a market is cheaper than on-demand.
+
+use crate::accounting::Accounting;
+use crate::capacity::servers_needed;
+use crate::config::SchedulerConfig;
+use crate::policy::BiddingPolicy;
+use crate::report::RunReport;
+use spothost_cloudsim::{
+    CloudProvider, EventQueue, InstanceId, InstanceState, RequestError, StartupModel,
+    TerminationReason, REVOCATION_GRACE,
+};
+use spothost_market::gen::TraceSet;
+use spothost_market::time::{SimDuration, SimTime, MILLIS_PER_HOUR};
+use spothost_market::types::MarketId;
+use spothost_virt::{
+    lazy_restore, plan_migration, standard_restore, MigrationContext, MigrationKind,
+    MigrationTiming, RestoreOutcome, VirtParams, VmSpec,
+};
+
+/// Cold-boot time of the hosted service from its disk volume under the
+/// naive (Figure 3) recovery: OS boot plus application start.
+const NAIVE_SERVICE_BOOT: SimDuration = SimDuration(60 * 1000);
+
+/// Scheduler events. Instance ids double as generation tokens: an event
+/// whose id no longer matches the current state is stale and ignored.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    /// A requested server reaches its ready time.
+    Ready(InstanceId),
+    /// Revocation warning for a running spot lease.
+    Warning(InstanceId),
+    /// Forced termination of a revoked lease (warning + grace).
+    Terminate(InstanceId),
+    /// Billing-boundary decision point for the active lease.
+    Boundary(InstanceId),
+    /// A voluntary migration's switchover moment (id = target).
+    Switchover(InstanceId),
+    /// Service resumes after a forced migration / pure-spot restore
+    /// (id = replacement server).
+    ResumeDone(InstanceId),
+    /// Pure-spot: the market has become affordable again; re-acquire.
+    SpotRetry,
+}
+
+/// A running lease the service lives on.
+#[derive(Debug, Clone, Copy)]
+struct Lease {
+    id: InstanceId,
+    market: MarketId,
+    is_spot: bool,
+    start: SimTime,
+}
+
+/// A requested server that hasn't been switched to yet.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    id: InstanceId,
+    market: MarketId,
+    is_spot: bool,
+    ready_at: SimTime,
+}
+
+impl Pending {
+    fn into_lease(self) -> Lease {
+        Lease {
+            id: self.id,
+            market: self.market,
+            is_spot: self.is_spot,
+            start: self.ready_at,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum St {
+    /// Initial acquisition (no accounting until the service is up).
+    Boot { target: Option<Pending> },
+    Active {
+        lease: Lease,
+    },
+    /// Voluntary migration in progress.
+    Migrating {
+        from: Lease,
+        to: Pending,
+        kind: MigrationKind,
+        timing: Option<MigrationTiming>,
+    },
+    /// Forced migration: old server dying, replacement restoring.
+    Evacuating {
+        to: Pending,
+        degraded: SimDuration,
+    },
+    /// Pure-spot: down, waiting for the price to return below the bid.
+    DownWaiting,
+    /// Pure-spot: replacement requested, waiting for boot + restore.
+    Restoring { target: Pending },
+}
+
+/// A candidate spot market at a moment in time.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    market: MarketId,
+    bid: f64,
+    /// The aggregate $/hour for the whole service in this market right
+    /// now, plus the stability penalty — what selection decisions
+    /// compare. Equals the raw rate when `stability_weight` is zero.
+    score: f64,
+}
+
+/// One simulation run of the scheduler.
+pub struct SimRun<'t> {
+    provider: CloudProvider<'t>,
+    cfg: SchedulerConfig,
+    vparams: VirtParams,
+    queue: EventQueue<Ev>,
+    st: St,
+    acc: Accounting,
+    horizon: SimTime,
+    now: SimTime,
+    /// Set while the service is down (downtime interval open end).
+    down_since: Option<SimTime>,
+    /// Decision lead before billing boundaries.
+    lead: SimDuration,
+    candidates: Vec<MarketId>,
+    baseline_rate: f64,
+}
+
+impl<'t> SimRun<'t> {
+    /// Build a run over a trace set. Panics if the traces don't cover the
+    /// configured scope.
+    pub fn new(traces: &'t TraceSet, cfg: &SchedulerConfig, seed: u64) -> Self {
+        cfg.validate().expect("invalid scheduler config");
+        let candidates = cfg.candidates();
+        for m in &candidates {
+            assert!(
+                traces.trace(*m).is_some(),
+                "trace set missing candidate market {m}"
+            );
+        }
+        let vparams = cfg.virt_params();
+        let horizon = SimTime::ZERO + traces.horizon();
+        let baseline_rate = cfg.scope.baseline_rate(traces.catalog(), cfg.capacity_units);
+        let lead = compute_lead(cfg, &vparams, &candidates);
+        SimRun {
+            provider: CloudProvider::new(traces, seed),
+            cfg: cfg.clone(),
+            vparams,
+            queue: EventQueue::with_capacity(1024),
+            st: St::Boot { target: None },
+            acc: Accounting::new(),
+            horizon,
+            now: SimTime::ZERO,
+            down_since: None,
+            lead,
+            candidates,
+            baseline_rate,
+        }
+    }
+
+    /// Replace the startup model (tests use the deterministic one).
+    pub fn with_startup_model(mut self, model: StartupModel) -> Self {
+        self.provider = self.provider.with_startup_model(model);
+        self
+    }
+
+    /// Execute the run to the horizon and report.
+    pub fn run(mut self) -> RunReport {
+        self.initial_acquire();
+        while let Some((t, ev)) = self.queue.pop() {
+            if t >= self.horizon {
+                break;
+            }
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            self.dispatch(ev);
+        }
+        self.finish();
+        RunReport::from_accounting(&self.acc, self.horizon, self.baseline_rate)
+    }
+
+    /// Expose the accounting (tests).
+    pub fn into_parts(self) -> (Accounting, f64) {
+        (self.acc, self.baseline_rate)
+    }
+
+    // --- helpers -----------------------------------------------------------
+
+    fn n_servers(&self, market: MarketId) -> f64 {
+        servers_needed(self.cfg.capacity_units, market.itype) as f64
+    }
+
+    fn vm_for(&self, market: MarketId) -> VmSpec {
+        VmSpec::for_instance(market.itype)
+    }
+
+    fn restore_for(&self, market: MarketId) -> RestoreOutcome {
+        let vm = self.vm_for(market);
+        if self.cfg.mechanism.lazy_restore {
+            lazy_restore(&vm, &self.vparams)
+        } else {
+            standard_restore(&vm, &self.vparams)
+        }
+    }
+
+    /// Aggregate on-demand rate of the fallback server in `zone`.
+    fn od_rate(&self, zone: spothost_market::types::Zone) -> f64 {
+        let m = self.cfg.scope.on_demand_market(zone, self.cfg.capacity_units);
+        self.provider.on_demand_price(m) * self.n_servers(m)
+    }
+
+    /// Cheapest spot candidate currently requestable (price at or below the
+    /// policy bid), optionally excluding the current market.
+    fn best_spot(&self, exclude: Option<MarketId>) -> Option<Candidate> {
+        let catalog = self.provider.traces().catalog();
+        let mut best: Option<Candidate> = None;
+        for &m in &self.candidates {
+            if Some(m) == exclude {
+                continue;
+            }
+            let pon = catalog.on_demand_price(m);
+            let Some(bid) = self.cfg.policy.bid(pon, catalog.max_bid(m)) else {
+                continue;
+            };
+            let price = self
+                .provider
+                .spot_price(m, self.now)
+                .expect("candidate trace exists");
+            if price > bid {
+                continue; // request would be rejected
+            }
+            let rate = price * self.n_servers(m);
+            let score = rate + self.stability_penalty(m, pon);
+            if best.is_none_or(|b: Candidate| score < b.score) {
+                best = Some(Candidate {
+                    market: m,
+                    bid,
+                    score,
+                });
+            }
+        }
+        best
+    }
+
+    /// Stability-aware penalty on a candidate market (§8 future work):
+    /// the observable fraction of the trailing week spent above on-demand
+    /// price — a direct revocation-risk proxy — scaled by the baseline
+    /// rate and the configured weight. Zero weight = the paper's greedy
+    /// cheapest-market selection.
+    fn stability_penalty(&self, market: MarketId, pon: f64) -> f64 {
+        if self.cfg.stability_weight == 0.0 {
+            return 0.0;
+        }
+        let window = SimDuration::days(7);
+        let from = self.now.saturating_sub(window);
+        let risk = self
+            .provider
+            .traces()
+            .trace(market)
+            .expect("candidate trace exists")
+            .fraction_above_in(from, self.now, pon);
+        self.cfg.stability_weight * self.baseline_rate * risk
+    }
+
+    /// Close a lease (idempotent), billing it and recording time shares.
+    fn close_lease(&mut self, id: InstanceId, reason: TerminationReason) {
+        let Some(inst) = self.provider.instance(id) else {
+            return;
+        };
+        if inst.is_terminated() {
+            return;
+        }
+        let was_pending = matches!(inst.state, InstanceState::Pending { .. });
+        let market = inst.market;
+        let is_spot = inst.kind.is_spot();
+        let start = inst.ready_at;
+        let end = if was_pending { start } else { self.now.max(start) };
+        let charge = self.provider.terminate(id, end, reason);
+        self.acc.cost += charge * self.n_servers(market);
+        if !was_pending && end > start {
+            let dur = end - start;
+            if is_spot {
+                self.acc.spot_time += dur;
+            } else {
+                self.acc.on_demand_time += dur;
+            }
+        }
+    }
+
+    /// Schedule the next billing-boundary decision for a lease, if the
+    /// policy makes boundary decisions on this lease kind.
+    fn schedule_boundary(&mut self, lease: &Lease) {
+        let wanted = if lease.is_spot {
+            self.cfg.policy.plans_migrations()
+        } else {
+            // Reverse migrations happen from on-demand leases.
+            self.cfg.policy.uses_spot() && self.cfg.policy.uses_on_demand_fallback()
+        };
+        if !wanted {
+            return;
+        }
+        // First boundary b = start + k*1h with b - lead strictly in the
+        // future.
+        let elapsed = (self.now - lease.start).as_millis() + self.lead.as_millis();
+        let k = elapsed / MILLIS_PER_HOUR + 1;
+        let at = lease.start + SimDuration::millis(k * MILLIS_PER_HOUR) - self.lead;
+        if at < self.horizon {
+            self.queue.push(at, Ev::Boundary(lease.id));
+        }
+    }
+
+    /// Schedule the revocation warning for a freshly activated spot lease.
+    fn schedule_warning(&mut self, lease: &Lease) {
+        if !lease.is_spot {
+            return;
+        }
+        if let Some(sched) = self.provider.revocation_schedule(lease.id, self.now) {
+            if sched.warning_at < self.horizon {
+                self.queue.push(sched.warning_at, Ev::Warning(lease.id));
+            }
+        }
+    }
+
+    fn become_active(&mut self, lease: Lease) {
+        if self.acc.service_start.is_none() {
+            self.acc.service_start = Some(self.now);
+        }
+        self.schedule_warning(&lease);
+        self.schedule_boundary(&lease);
+        self.st = St::Active { lease };
+    }
+
+    // --- initial acquisition -----------------------------------------------
+
+    fn initial_acquire(&mut self) {
+        match self.cfg.policy {
+            BiddingPolicy::OnDemandOnly => self.request_initial_od(),
+            BiddingPolicy::PureSpot => {
+                if !self.try_request_initial_spot() {
+                    self.schedule_spot_retry();
+                }
+            }
+            BiddingPolicy::Reactive | BiddingPolicy::Proactive { .. } => {
+                if !self.try_request_initial_spot() {
+                    self.request_initial_od();
+                }
+            }
+        }
+    }
+
+    /// Request the cheapest attractive spot market; false if none is both
+    /// requestable and cheaper than the on-demand alternative.
+    fn try_request_initial_spot(&mut self) -> bool {
+        let Some(best) = self.best_spot(None) else {
+            return false;
+        };
+        if self.cfg.policy.uses_on_demand_fallback() && best.score >= self.baseline_rate {
+            return false;
+        }
+        let (id, ready) = self
+            .provider
+            .request_spot(best.market, best.bid, self.now)
+            .expect("best_spot candidates are requestable");
+        let pending = Pending {
+            id,
+            market: best.market,
+            is_spot: true,
+            ready_at: ready,
+        };
+        self.queue.push(ready, Ev::Ready(id));
+        self.st = St::Boot {
+            target: Some(pending),
+        };
+        true
+    }
+
+    fn request_initial_od(&mut self) {
+        let zone = self.cfg.scope.zones()[0];
+        let m = self.cfg.scope.on_demand_market(zone, self.cfg.capacity_units);
+        let (id, ready) = self.provider.request_on_demand(m, self.now);
+        self.queue.push(ready, Ev::Ready(id));
+        self.st = St::Boot {
+            target: Some(Pending {
+                id,
+                market: m,
+                is_spot: false,
+                ready_at: ready,
+            }),
+        };
+    }
+
+    /// Pure-spot: wake up when the single market becomes affordable.
+    fn schedule_spot_retry(&mut self) {
+        let m = self.candidates[0];
+        let catalog = self.provider.traces().catalog();
+        let bid = self
+            .cfg
+            .policy
+            .bid(catalog.on_demand_price(m), catalog.max_bid(m))
+            .expect("pure-spot always bids");
+        if let Some(at) = self.provider.next_time_at_or_below(m, self.now, bid) {
+            let at = at.max(self.now);
+            if at < self.horizon {
+                self.queue.push(at, Ev::SpotRetry);
+            }
+        }
+    }
+
+    // --- event dispatch -----------------------------------------------------
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::Ready(id) => self.on_ready(id),
+            Ev::Warning(id) => self.on_warning(id),
+            Ev::Terminate(id) => self.close_lease(id, TerminationReason::Revoked),
+            Ev::Boundary(id) => self.on_boundary(id),
+            Ev::Switchover(id) => self.on_switchover(id),
+            Ev::ResumeDone(id) => self.on_resume_done(id),
+            Ev::SpotRetry => self.on_spot_retry(),
+        }
+    }
+
+    fn on_ready(&mut self, id: InstanceId) {
+        match &self.st {
+            St::Boot { target: Some(p) } if p.id == id => {
+                let p = *p;
+                if self.provider.activate(id, self.now) {
+                    self.become_active(p.into_lease());
+                } else {
+                    // Spot price rose above the bid during boot.
+                    match self.cfg.policy {
+                        BiddingPolicy::PureSpot => {
+                            self.st = St::Boot { target: None };
+                            self.schedule_spot_retry();
+                        }
+                        _ => self.request_initial_od(),
+                    }
+                }
+            }
+            St::Migrating { to, .. } if to.id == id => {
+                let to = *to;
+                if self.provider.activate(id, self.now) {
+                    // Target is up: compute timing and schedule switchover.
+                    let (from, kind) = match &self.st {
+                        St::Migrating { from, kind, .. } => (*from, *kind),
+                        _ => unreachable!(),
+                    };
+                    let ctx = MigrationContext {
+                        vm: self.vm_for(from.market),
+                        from_region: from.market.zone.region(),
+                        to_region: to.market.zone.region(),
+                        disk_gib: self.cfg.disk_gib,
+                    };
+                    let timing = plan_migration(self.cfg.mechanism, kind, &ctx, &self.vparams);
+                    let sw = self.now + timing.prepare;
+                    self.queue.push(sw, Ev::Switchover(id));
+                    // Arm the new lease's own revocation warning so a spike
+                    // in the target market aborts the migration.
+                    let lease = to.into_lease();
+                    self.schedule_warning(&lease);
+                    self.st = St::Migrating {
+                        from,
+                        to,
+                        kind,
+                        timing: Some(timing),
+                    };
+                } else {
+                    // Target market spiked during boot: re-target to
+                    // on-demand in the *current* zone.
+                    let (from, kind) = match &self.st {
+                        St::Migrating { from, kind, .. } => (*from, *kind),
+                        _ => unreachable!(),
+                    };
+                    self.acc.aborted_migrations += 1;
+                    if kind == MigrationKind::Reverse {
+                        // We're on on-demand already; just stay.
+                        self.st = St::Active { lease: from };
+                        self.schedule_boundary(&from);
+                    } else {
+                        let m = self
+                            .cfg
+                            .scope
+                            .on_demand_market(from.market.zone, self.cfg.capacity_units);
+                        let (od, ready) = self.provider.request_on_demand(m, self.now);
+                        self.queue.push(ready, Ev::Ready(od));
+                        self.st = St::Migrating {
+                            from,
+                            to: Pending {
+                                id: od,
+                                market: m,
+                                is_spot: false,
+                                ready_at: ready,
+                            },
+                            kind,
+                            timing: None,
+                        };
+                    }
+                }
+            }
+            St::Evacuating { to, .. } if to.id == id => {
+                let ok = self.provider.activate(id, self.now);
+                debug_assert!(ok, "on-demand activation cannot fail");
+            }
+            St::Restoring { target } if target.id == id => {
+                let target = *target;
+                if self.provider.activate(id, self.now) {
+                    let restore = self.restore_for(target.market);
+                    let resume = self.now + restore.resume_latency;
+                    self.queue.push(resume, Ev::ResumeDone(id));
+                    // Stay in Restoring until the VM has resumed.
+                } else {
+                    self.st = St::DownWaiting;
+                    self.schedule_spot_retry();
+                }
+            }
+            _ => { /* stale */ }
+        }
+    }
+
+    fn on_warning(&mut self, id: InstanceId) {
+        match &self.st {
+            St::Active { lease } if lease.id == id => {
+                let lease = *lease;
+                self.forced_migration(lease, None);
+            }
+            St::Migrating { from, to, .. } if from.id == id => {
+                // The old server is being revoked mid-migration; the
+                // voluntary migration becomes a forced one. Reuse the
+                // target if it's an on-demand server.
+                let (from, to) = (*from, *to);
+                let reuse = (!to.is_spot).then_some(to);
+                if reuse.is_none() {
+                    // Spot target: walk away from it (it would be billed
+                    // hourly while we restore onto on-demand anyway).
+                    self.close_lease(to.id, TerminationReason::Voluntary);
+                }
+                self.forced_migration(from, reuse);
+            }
+            St::Migrating { from, to, .. } if to.id == id => {
+                // The *target* market spiked before switchover: abort the
+                // migration, let the provider revoke the target (its
+                // partial hour is then free), and stay on the old server.
+                let (from, to) = (*from, *to);
+                self.queue
+                    .push(self.now + REVOCATION_GRACE, Ev::Terminate(to.id));
+                self.acc.aborted_migrations += 1;
+                self.st = St::Active { lease: from };
+                self.schedule_boundary(&from);
+            }
+            _ => { /* stale */ }
+        }
+    }
+
+    /// Handle a revocation warning on `lease`: flush the bounded
+    /// checkpoint, acquire (or reuse) an on-demand replacement, restore.
+    fn forced_migration(&mut self, lease: Lease, reuse: Option<Pending>) {
+        let terminate_at = self.now + REVOCATION_GRACE;
+        self.queue.push(terminate_at, Ev::Terminate(lease.id));
+
+        if !self.cfg.policy.uses_on_demand_fallback() {
+            // Pure-spot: no replacement. Downtime runs from the suspend
+            // until the market comes back and the VM restores.
+            let flush = self.vparams.final_ckpt_write();
+            self.down_since = Some(terminate_at.saturating_sub(flush));
+            self.acc.forced_migrations += 1;
+            self.st = St::DownWaiting;
+            // Try again once the price is back at or below the bid; the
+            // earliest sensible moment is after termination.
+            let m = lease.market;
+            let catalog = self.provider.traces().catalog();
+            let bid = self
+                .cfg
+                .policy
+                .bid(catalog.on_demand_price(m), catalog.max_bid(m))
+                .expect("spot policies bid");
+            if let Some(at) = self.provider.next_time_at_or_below(m, terminate_at, bid) {
+                if at < self.horizon {
+                    self.queue.push(at, Ev::SpotRetry);
+                }
+            }
+            return;
+        }
+
+        self.acc.forced_migrations += 1;
+        if self.cfg.naive_restart {
+            // Figure 3: no checkpoint, no warning handling. The service
+            // dies with the server; only then is an on-demand replacement
+            // requested, and the service cold-boots from its network disk.
+            let m = self
+                .cfg
+                .scope
+                .on_demand_market(lease.market.zone, self.cfg.capacity_units);
+            let (od, ready) = self.provider.request_on_demand(m, terminate_at);
+            self.queue.push(ready, Ev::Ready(od));
+            let resume = ready + NAIVE_SERVICE_BOOT;
+            self.down_since = Some(terminate_at);
+            self.queue.push(resume, Ev::ResumeDone(od));
+            self.st = St::Evacuating {
+                to: Pending {
+                    id: od,
+                    market: m,
+                    is_spot: false,
+                    ready_at: ready,
+                },
+                degraded: SimDuration::ZERO,
+            };
+            return;
+        }
+        let to = match reuse {
+            Some(p) => p,
+            None => {
+                let m = self
+                    .cfg
+                    .scope
+                    .on_demand_market(lease.market.zone, self.cfg.capacity_units);
+                let (od, ready) = self.provider.request_on_demand(m, self.now);
+                self.queue.push(ready, Ev::Ready(od));
+                Pending {
+                    id: od,
+                    market: m,
+                    is_spot: false,
+                    ready_at: ready,
+                }
+            }
+        };
+        // Downtime: [suspend, restore-finished). The VM suspends just
+        // early enough to flush the final increment before termination;
+        // the restore starts once the replacement is up *and* the
+        // checkpoint is complete.
+        let flush = self.vparams.final_ckpt_write();
+        let suspend = terminate_at.saturating_sub(flush);
+        let restore = self.restore_for(lease.market);
+        let restore_start = to.ready_at.max(terminate_at);
+        let resume = restore_start + restore.resume_latency;
+        self.down_since = Some(suspend);
+        self.queue.push(resume, Ev::ResumeDone(to.id));
+        self.st = St::Evacuating {
+            to,
+            degraded: restore.degraded,
+        };
+    }
+
+    fn on_boundary(&mut self, id: InstanceId) {
+        let lease = match &self.st {
+            St::Active { lease } if lease.id == id => *lease,
+            _ => return, // stale
+        };
+        if lease.is_spot {
+            self.spot_boundary_decision(lease);
+        } else {
+            self.od_boundary_decision(lease);
+        }
+    }
+
+    /// §3.1 planned migration, evaluated `lead` before the billing boundary.
+    fn spot_boundary_decision(&mut self, lease: Lease) {
+        debug_assert!(self.cfg.policy.plans_migrations());
+        let price = self
+            .provider
+            .spot_price(lease.market, self.now)
+            .expect("lease market trace exists");
+        let current_rate = price * self.n_servers(lease.market);
+        let pon_current = self
+            .provider
+            .traces()
+            .catalog()
+            .on_demand_price(lease.market);
+        // Stability-aware: the occupied market's own risk counts too, so a
+        // risky-but-cheap market can be left for a calm one.
+        let current_score = current_rate + self.stability_penalty(lease.market, pon_current);
+        let od = self.od_rate(lease.market.zone);
+        let best = self.best_spot(Some(lease.market));
+
+        if current_rate >= od {
+            // Must leave: cheapest attractive spot market, else on-demand.
+            match best.filter(|b| b.score < self.od_rate(b.market.zone)) {
+                Some(b) => self.start_voluntary(lease, MigrationKind::Planned, Some(b)),
+                None => self.start_voluntary(lease, MigrationKind::Planned, None),
+            }
+        } else if let Some(b) =
+            best.filter(|b| b.score < current_score * (1.0 - self.cfg.hop_margin))
+        {
+            // Hop to a clearly better market (multi-market/multi-region
+            // greedy step; "better" includes the stability penalty).
+            self.start_voluntary(lease, MigrationKind::Planned, Some(b));
+        } else {
+            self.schedule_boundary(&lease);
+        }
+    }
+
+    /// §3.1 reverse migration from an on-demand lease.
+    fn od_boundary_decision(&mut self, lease: Lease) {
+        let od = self.od_rate(lease.market.zone);
+        match self.best_spot(None).filter(|b| b.score < od) {
+            Some(b) => self.start_voluntary(lease, MigrationKind::Reverse, Some(b)),
+            None => self.schedule_boundary(&lease),
+        }
+    }
+
+    /// Kick off a voluntary migration to a spot candidate (or on-demand if
+    /// `target` is `None`).
+    fn start_voluntary(&mut self, from: Lease, kind: MigrationKind, target: Option<Candidate>) {
+        let to = match target {
+            Some(c) => {
+                match self.provider.request_spot(c.market, c.bid, self.now) {
+                    Ok((id, ready)) => {
+                        self.queue.push(ready, Ev::Ready(id));
+                        Pending {
+                            id,
+                            market: c.market,
+                            is_spot: true,
+                            ready_at: ready,
+                        }
+                    }
+                    Err(RequestError::BidBelowPrice { .. }) => {
+                        // Price moved between decision and request (cannot
+                        // happen with a consistent clock, but be safe).
+                        self.schedule_boundary(&from);
+                        return;
+                    }
+                    Err(e) => panic!("unexpected request error: {e}"),
+                }
+            }
+            None => {
+                let m = self
+                    .cfg
+                    .scope
+                    .on_demand_market(from.market.zone, self.cfg.capacity_units);
+                let (id, ready) = self.provider.request_on_demand(m, self.now);
+                self.queue.push(ready, Ev::Ready(id));
+                Pending {
+                    id,
+                    market: m,
+                    is_spot: false,
+                    ready_at: ready,
+                }
+            }
+        };
+        self.st = St::Migrating {
+            from,
+            to,
+            kind,
+            timing: None,
+        };
+    }
+
+    fn on_switchover(&mut self, target_id: InstanceId) {
+        let (from, to, kind, timing) = match &self.st {
+            St::Migrating {
+                from,
+                to,
+                kind,
+                timing: Some(t),
+            } if to.id == target_id => (*from, *to, *kind, *t),
+            _ => return, // stale (migration superseded or aborted)
+        };
+        // Account the switchover outage and any degraded tail.
+        let down_end = self.now + timing.downtime;
+        self.acc.add_downtime(self.now, down_end, self.horizon);
+        self.acc
+            .add_degraded(down_end, down_end + timing.degraded, self.horizon);
+        match kind {
+            MigrationKind::Planned => self.acc.planned_migrations += 1,
+            MigrationKind::Reverse => self.acc.reverse_migrations += 1,
+            MigrationKind::Forced => unreachable!("forced moves don't switch over here"),
+        }
+        // Release the old server; voluntary, so the started hour is billed.
+        self.close_lease(from.id, TerminationReason::Voluntary);
+        // The new lease has been running (and billing) since its ready
+        // time; its warning was armed at activation.
+        let lease = to.into_lease();
+        self.schedule_boundary(&lease);
+        if self.acc.service_start.is_none() {
+            self.acc.service_start = Some(self.now);
+        }
+        self.st = St::Active { lease };
+    }
+
+    fn on_resume_done(&mut self, id: InstanceId) {
+        match &self.st {
+            St::Evacuating { to, degraded } if to.id == id => {
+                let (to, degraded) = (*to, *degraded);
+                if let Some(since) = self.down_since.take() {
+                    self.acc.add_downtime(since, self.now, self.horizon);
+                }
+                self.acc
+                    .add_degraded(self.now, self.now + degraded, self.horizon);
+                self.become_active(to.into_lease());
+            }
+            St::Restoring { target } if target.id == id => {
+                let target = *target;
+                if let Some(since) = self.down_since.take() {
+                    self.acc.add_downtime(since, self.now, self.horizon);
+                }
+                let restore = self.restore_for(target.market);
+                self.acc.add_degraded(
+                    self.now,
+                    self.now + restore.degraded,
+                    self.horizon,
+                );
+                self.become_active(target.into_lease());
+            }
+            _ => { /* stale */ }
+        }
+    }
+
+    fn on_spot_retry(&mut self) {
+        // Only meaningful while down (pure-spot) or still booting.
+        let booting = matches!(self.st, St::Boot { target: None });
+        let waiting = matches!(self.st, St::DownWaiting);
+        if !booting && !waiting {
+            return;
+        }
+        let Some(best) = self.best_spot(None) else {
+            self.schedule_spot_retry();
+            return;
+        };
+        match self.provider.request_spot(best.market, best.bid, self.now) {
+            Ok((id, ready)) => {
+                let pending = Pending {
+                    id,
+                    market: best.market,
+                    is_spot: true,
+                    ready_at: ready,
+                };
+                self.queue.push(ready, Ev::Ready(id));
+                if booting {
+                    self.st = St::Boot {
+                        target: Some(pending),
+                    };
+                } else {
+                    self.st = St::Restoring { target: pending };
+                }
+            }
+            Err(_) => self.schedule_spot_retry(),
+        }
+    }
+
+    // --- end of run ---------------------------------------------------------
+
+    fn finish(&mut self) {
+        self.now = self.horizon;
+        // Close any open downtime interval.
+        if let Some(since) = self.down_since.take() {
+            self.acc.add_downtime(since, self.horizon, self.horizon);
+        }
+        // Close all leases the state still references.
+        let ids: Vec<(InstanceId, TerminationReason)> = match &self.st {
+            St::Boot { target } => target
+                .iter()
+                .map(|p| (p.id, TerminationReason::Voluntary))
+                .collect(),
+            St::Active { lease } => vec![(lease.id, TerminationReason::Voluntary)],
+            St::Migrating { from, to, .. } => vec![
+                (from.id, TerminationReason::Voluntary),
+                (to.id, TerminationReason::Voluntary),
+            ],
+            St::Evacuating { to, .. } => vec![(to.id, TerminationReason::Voluntary)],
+            St::Restoring { target } => vec![(target.id, TerminationReason::Voluntary)],
+            St::DownWaiting => vec![],
+        };
+        for (id, reason) in ids {
+            self.close_lease(id, reason);
+        }
+        // A revoked lease whose Terminate event lay beyond the horizon is
+        // still open in the provider; close_lease above only covers
+        // state-referenced servers, and a revoked server is no longer
+        // referenced — sweep any remainder through pending Terminate
+        // events.
+        while let Some((_, ev)) = self.queue.pop() {
+            if let Ev::Terminate(id) = ev {
+                self.close_lease(id, TerminationReason::Revoked);
+            }
+        }
+    }
+}
+
+/// Decision lead before billing boundaries: enough time to boot the
+/// replacement and run the migration preparation, plus slack, clamped so
+/// at least one decision happens per billing hour.
+fn compute_lead(cfg: &SchedulerConfig, vparams: &VirtParams, candidates: &[MarketId]) -> SimDuration {
+    let startup = StartupModel::table1();
+    let max_startup = candidates
+        .iter()
+        .map(|m| startup.spot_mean(m.zone.region()))
+        .max()
+        .unwrap_or(SimDuration::secs(300));
+    // Worst-case preparation across candidate VM sizes, local moves.
+    let max_prepare = candidates
+        .iter()
+        .map(|m| {
+            let ctx = MigrationContext::local(VmSpec::for_instance(m.itype), m.zone.region());
+            plan_migration(cfg.mechanism, MigrationKind::Planned, &ctx, vparams).prepare
+        })
+        .max()
+        .unwrap_or(SimDuration::secs(60));
+    let lead = max_startup + max_prepare + cfg.lead_slack;
+    lead.min(SimDuration::minutes(50))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::MarketScope;
+    use spothost_market::catalog::Catalog;
+    use spothost_market::gen::TraceSet;
+    use spothost_market::model::SpotModelParams;
+    use spothost_market::types::{InstanceType, Zone};
+    use spothost_virt::MechanismCombo;
+
+    fn market() -> MarketId {
+        MarketId::new(Zone::UsEast1a, InstanceType::Small)
+    }
+
+    /// A quiet trace set: essentially flat at the calm base, no spikes.
+    fn quiet_traces(days: u64) -> TraceSet {
+        let catalog = Catalog::ec2_2015();
+        let mut p = SpotModelParams::default_market();
+        p.base_ratio = 0.2;
+        p.sigma = 0.02;
+        p.spike_rate_per_day = 0.0;
+        p.zone_spike_rate_per_day = 0.0;
+        p.elevated_base_mult = 1.001;
+        TraceSet::generate_with(&catalog, &[(market(), p)], 3, SimDuration::days(days))
+    }
+
+    /// A stormy trace set: spikes several times a day, many above 4x.
+    fn stormy_traces(days: u64, seed: u64) -> TraceSet {
+        let catalog = Catalog::ec2_2015();
+        let mut p = SpotModelParams::default_market();
+        p.base_ratio = 0.2;
+        p.sigma = 0.1;
+        p.spike_rate_per_day = 4.0;
+        p.spike_pareto_alpha = 0.9; // heavy tail: many spikes above 4x
+        p.zone_spike_rate_per_day = 0.0;
+        TraceSet::generate_with(&catalog, &[(market(), p)], seed, SimDuration::days(days))
+    }
+
+    fn cfg() -> SchedulerConfig {
+        SchedulerConfig::single_market(market())
+    }
+
+    #[test]
+    fn quiet_market_proactive_stays_on_spot() {
+        let ts = quiet_traces(10);
+        let report = SimRun::new(&ts, &cfg(), 1)
+            .with_startup_model(StartupModel::deterministic())
+            .run();
+        assert_eq!(report.forced_migrations, 0);
+        assert_eq!(report.planned_migrations, 0);
+        assert!(report.spot_fraction > 0.999, "{}", report.spot_fraction);
+        assert_eq!(report.unavailability, 0.0);
+        // Normalized cost ~ base ratio 0.2.
+        assert!(
+            (report.normalized_cost - 0.2).abs() < 0.05,
+            "normalized cost {}",
+            report.normalized_cost
+        );
+    }
+
+    #[test]
+    fn on_demand_only_costs_baseline() {
+        let ts = quiet_traces(10);
+        let c = cfg().with_policy(BiddingPolicy::OnDemandOnly);
+        let report = SimRun::new(&ts, &c, 1)
+            .with_startup_model(StartupModel::deterministic())
+            .run();
+        assert_eq!(report.unavailability, 0.0);
+        assert_eq!(report.forced_migrations, 0);
+        assert_eq!(report.spot_fraction, 0.0);
+        // Rounding the final hour up puts the normalized cost at or just
+        // above 1.
+        assert!(
+            (report.normalized_cost - 1.0).abs() < 0.01,
+            "normalized cost {}",
+            report.normalized_cost
+        );
+    }
+
+    #[test]
+    fn stormy_market_forces_migrations() {
+        let ts = stormy_traces(30, 7);
+        let report = SimRun::new(&ts, &cfg(), 7)
+            .with_startup_model(StartupModel::deterministic())
+            .run();
+        assert!(report.forced_migrations > 0, "storms must revoke");
+        assert!(report.unavailability > 0.0);
+        assert!(
+            report.reverse_migrations > 0,
+            "service must return to spot after storms"
+        );
+        assert!(report.normalized_cost < 1.0, "spot still cheaper overall");
+    }
+
+    #[test]
+    fn reactive_sees_more_forced_migrations_than_proactive() {
+        let ts = stormy_traces(30, 11);
+        let pro = SimRun::new(&ts, &cfg(), 11)
+            .with_startup_model(StartupModel::deterministic())
+            .run();
+        let rea = SimRun::new(&ts, &cfg().with_policy(BiddingPolicy::Reactive), 11)
+            .with_startup_model(StartupModel::deterministic())
+            .run();
+        assert!(
+            rea.forced_migrations > pro.forced_migrations,
+            "reactive {} vs proactive {}",
+            rea.forced_migrations,
+            pro.forced_migrations
+        );
+        assert!(rea.unavailability > pro.unavailability);
+    }
+
+    #[test]
+    fn pure_spot_goes_down_during_storms() {
+        let ts = stormy_traces(30, 13);
+        let report = SimRun::new(&ts, &cfg().with_policy(BiddingPolicy::PureSpot), 13)
+            .with_startup_model(StartupModel::deterministic())
+            .run();
+        assert_eq!(report.spot_fraction, 1.0, "pure spot never buys on-demand");
+        assert!(
+            report.unavailability > 0.001,
+            "unavailability {} should be large",
+            report.unavailability
+        );
+        let pro = SimRun::new(&ts, &cfg(), 13)
+            .with_startup_model(StartupModel::deterministic())
+            .run();
+        assert!(report.unavailability > 10.0 * pro.unavailability);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let ts = stormy_traces(20, 5);
+        let a = SimRun::new(&ts, &cfg(), 5).run();
+        let b = SimRun::new(&ts, &cfg(), 5).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mechanism_changes_downtime_not_cost_structure() {
+        let ts = stormy_traces(30, 17);
+        let ckpt = SimRun::new(&ts, &cfg().with_mechanism(MechanismCombo::CKPT), 17)
+            .with_startup_model(StartupModel::deterministic())
+            .run();
+        let lr_live = SimRun::new(&ts, &cfg().with_mechanism(MechanismCombo::CKPT_LR_LIVE), 17)
+            .with_startup_model(StartupModel::deterministic())
+            .run();
+        assert!(
+            ckpt.unavailability > lr_live.unavailability,
+            "CKPT {} must be worse than CKPT+LR+Live {}",
+            ckpt.unavailability,
+            lr_live.unavailability
+        );
+        // Same bidding decisions, so migration counts match.
+        assert_eq!(ckpt.forced_migrations, lr_live.forced_migrations);
+    }
+
+    #[test]
+    fn multi_market_prefers_cheapest() {
+        // Two markets in one zone, one clearly cheaper.
+        let catalog = Catalog::ec2_2015();
+        let zone = Zone::UsEast1a;
+        let mk = |t: InstanceType, ratio: f64| {
+            let mut p = SpotModelParams::default_market();
+            p.base_ratio = ratio;
+            p.sigma = 0.02;
+            p.spike_rate_per_day = 0.0;
+            p.zone_spike_rate_per_day = 0.0;
+            p.elevated_base_mult = 1.001;
+            (MarketId::new(zone, t), p)
+        };
+        let models = vec![
+            mk(InstanceType::Small, 0.4),
+            mk(InstanceType::Medium, 0.1),
+            mk(InstanceType::Large, 0.4),
+            mk(InstanceType::XLarge, 0.4),
+        ];
+        let ts = TraceSet::generate_with(&catalog, &models, 3, SimDuration::days(10));
+        let c = SchedulerConfig::multi(MarketScope::MultiMarket(zone));
+        let report = SimRun::new(&ts, &c, 3)
+            .with_startup_model(StartupModel::deterministic())
+            .run();
+        // Should sit in the 0.1-ratio market almost the whole time.
+        assert!(
+            report.normalized_cost < 0.2,
+            "normalized cost {}",
+            report.normalized_cost
+        );
+    }
+
+    #[test]
+    fn proactive_single_market_has_low_unavailability_with_lr_live() {
+        let ts = stormy_traces(30, 23);
+        let c = cfg().with_mechanism(MechanismCombo::CKPT_LR_LIVE);
+        let report = SimRun::new(&ts, &c, 23)
+            .with_startup_model(StartupModel::deterministic())
+            .run();
+        // Even in an extreme storm market, proactive + the full mechanism
+        // combo keeps unavailability below a percent.
+        assert!(
+            report.unavailability < 0.01,
+            "unavailability {}",
+            report.unavailability
+        );
+    }
+
+    #[test]
+    fn cost_is_positive_and_leases_accounted() {
+        let ts = stormy_traces(15, 29);
+        let report = SimRun::new(&ts, &cfg(), 29).run();
+        assert!(report.cost > 0.0);
+        assert!(report.baseline_cost > report.cost);
+        assert!(report.active_span > SimDuration::days(14));
+        assert!(report.spot_fraction > 0.5);
+    }
+}

@@ -1,0 +1,26 @@
+//! # spothost-fleet
+//!
+//! A SpotCheck-style *derivative cloud* pool (Sharma et al., EuroSys'15 —
+//! the paper's §7: "Our work assumes the presence of such system level
+//! mechanisms"): a provider that hosts many customers' nested VMs on a
+//! fleet of spot and on-demand servers, using the `spothost-core`
+//! scheduler per server group.
+//!
+//! Customer VMs declare a capacity demand in units (small = 1). The pool
+//! bin-packs them into *placement groups* of at most one xlarge server's
+//! worth of capacity (first-fit-decreasing). Each group migrates as one
+//! unit under the cloud scheduler — all its VMs share a market, a bid, and
+//! therefore a fate — exactly the packing §4, footnote 2 describes. A
+//! group whose demand doesn't fill a supported server size pays for the
+//! padding; the pool reports that *waste* so operators can see the cost of
+//! fragmentation.
+
+pub mod packing;
+pub mod pool;
+pub mod report;
+pub mod vm;
+
+pub use packing::{pack, PlacementGroup};
+pub use pool::{run_fleet, FleetConfig};
+pub use report::FleetReport;
+pub use vm::CustomerVm;

@@ -1,0 +1,128 @@
+//! First-fit-decreasing packing of customer VMs into placement groups.
+//!
+//! Groups are capped at 8 units (one xlarge server's worth); each group's
+//! *allocated* capacity is its demand rounded up to the nearest supported
+//! server size {1, 2, 4, 8}, because that's what can actually be bought.
+
+use crate::vm::CustomerVm;
+
+/// A set of VMs that live and migrate together.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementGroup {
+    pub vms: Vec<CustomerVm>,
+}
+
+/// The group capacity cap: one xlarge server.
+pub const GROUP_CAP_UNITS: u32 = 8;
+
+impl PlacementGroup {
+    /// Total capacity the member VMs demand.
+    pub fn demanded_units(&self) -> u32 {
+        self.vms.iter().map(|v| v.units).sum()
+    }
+
+    /// Capacity that must be bought: demand rounded up to a supported
+    /// server size.
+    pub fn allocated_units(&self) -> u32 {
+        let d = self.demanded_units();
+        debug_assert!((1..=GROUP_CAP_UNITS).contains(&d));
+        d.next_power_of_two()
+    }
+
+    /// Padding paid for but not used, in units.
+    pub fn waste_units(&self) -> u32 {
+        self.allocated_units() - self.demanded_units()
+    }
+}
+
+/// Pack VMs into placement groups with first-fit-decreasing.
+///
+/// FFD on bins of 8 with items of size 1..=8 gives the classical
+/// 11/9 OPT + 1 bound; for this item distribution the observed waste is
+/// small and the packing is deterministic in the input order after the
+/// stable size sort.
+pub fn pack(vms: &[CustomerVm]) -> Vec<PlacementGroup> {
+    let mut sorted: Vec<CustomerVm> = vms.to_vec();
+    // Stable sort: equal sizes keep their input (id) order, making the
+    // packing reproducible.
+    sorted.sort_by_key(|vm| std::cmp::Reverse(vm.units));
+    let mut groups: Vec<PlacementGroup> = Vec::new();
+    for vm in sorted {
+        match groups
+            .iter_mut()
+            .find(|g| g.demanded_units() + vm.units <= GROUP_CAP_UNITS)
+        {
+            Some(g) => g.vms.push(vm),
+            None => groups.push(PlacementGroup { vms: vec![vm] }),
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vms(sizes: &[u32]) -> Vec<CustomerVm> {
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &u)| CustomerVm::new(i as u64, u))
+            .collect()
+    }
+
+    #[test]
+    fn packs_exact_bins() {
+        let groups = pack(&vms(&[4, 4, 2, 2, 2, 2]));
+        assert_eq!(groups.len(), 2);
+        for g in &groups {
+            assert_eq!(g.demanded_units(), 8);
+            assert_eq!(g.waste_units(), 0);
+        }
+    }
+
+    #[test]
+    fn every_vm_placed_exactly_once() {
+        let input = vms(&[3, 5, 1, 8, 2, 2, 7, 1, 1]);
+        let groups = pack(&input);
+        let mut placed: Vec<u64> = groups
+            .iter()
+            .flat_map(|g| g.vms.iter().map(|v| v.id))
+            .collect();
+        placed.sort_unstable();
+        let mut expected: Vec<u64> = (0..input.len() as u64).collect();
+        expected.sort_unstable();
+        assert_eq!(placed, expected);
+    }
+
+    #[test]
+    fn groups_respect_the_cap_and_supported_sizes() {
+        let groups = pack(&vms(&[5, 4, 3, 3, 2, 1, 1, 1, 6]));
+        for g in &groups {
+            assert!(g.demanded_units() <= GROUP_CAP_UNITS);
+            assert!([1, 2, 4, 8].contains(&g.allocated_units()));
+            assert!(g.allocated_units() >= g.demanded_units());
+        }
+    }
+
+    #[test]
+    fn ffd_beats_naive_first_fit_waste_here() {
+        // 5,5,3,3: FFD packs [5,3][5,3] (no waste); input order [3,5,3,5]
+        // under plain first-fit would pack [3,3][5][5] wasting 8 units.
+        let groups = pack(&vms(&[3, 5, 3, 5]));
+        assert_eq!(groups.len(), 2);
+        let total_waste: u32 = groups.iter().map(|g| g.waste_units()).sum();
+        assert_eq!(total_waste, 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let input = vms(&[3, 1, 4, 1, 5, 2, 6, 2]);
+        assert_eq!(pack(&input), pack(&input));
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        assert!(pack(&[]).is_empty());
+    }
+}

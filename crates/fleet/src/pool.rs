@@ -1,0 +1,161 @@
+//! The pool manager: pack, schedule each group, aggregate.
+
+use crate::packing::{pack, PlacementGroup};
+use crate::report::{FleetReport, GroupOutcome};
+use crate::vm::CustomerVm;
+use rayon::prelude::*;
+use spothost_core::config::SchedulerConfig;
+use spothost_core::policy::BiddingPolicy;
+use spothost_core::scheduler::SimRun;
+use spothost_core::strategy::MarketScope;
+use spothost_market::catalog::Catalog;
+use spothost_market::gen::TraceSet;
+use spothost_market::time::SimDuration;
+use spothost_market::types::Zone;
+use spothost_virt::MechanismCombo;
+
+/// Pool-level configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Zone(s) the pool operates in.
+    pub zones: Vec<Zone>,
+    pub policy: BiddingPolicy,
+    pub mechanism: MechanismCombo,
+    /// Stability weight passed through to each group's scheduler.
+    pub stability_weight: f64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            zones: vec![Zone::UsEast1a],
+            policy: BiddingPolicy::proactive_default(),
+            mechanism: MechanismCombo::CKPT_LR_LIVE,
+            stability_weight: 0.0,
+        }
+    }
+}
+
+impl FleetConfig {
+    fn scope(&self) -> MarketScope {
+        match self.zones.as_slice() {
+            [zone] => MarketScope::MultiMarket(*zone),
+            zones => MarketScope::MultiRegion(zones.to_vec()),
+        }
+    }
+
+    fn scheduler_config(&self, group: &PlacementGroup) -> SchedulerConfig {
+        SchedulerConfig::multi(self.scope())
+            .with_policy(self.policy)
+            .with_mechanism(self.mechanism)
+            .with_capacity_units(group.allocated_units())
+            .with_stability_weight(self.stability_weight)
+    }
+}
+
+/// Host a set of customer VMs for `horizon`, returning fleet-level
+/// accounting. All groups share one generated price history (they trade
+/// in the same markets at the same time), and groups are simulated on the
+/// rayon pool.
+pub fn run_fleet(
+    vms: &[CustomerVm],
+    cfg: &FleetConfig,
+    seed: u64,
+    horizon: SimDuration,
+) -> FleetReport {
+    assert!(!vms.is_empty(), "fleet needs at least one VM");
+    assert!(!cfg.zones.is_empty(), "fleet needs at least one zone");
+    let groups = pack(vms);
+    let catalog = Catalog::ec2_2015();
+    // One trace set covers every market any group can bid in.
+    let markets: Vec<_> = cfg
+        .zones
+        .iter()
+        .flat_map(|&z| spothost_market::types::MarketId::all_in_zone(z))
+        .collect();
+    let traces = TraceSet::generate(&catalog, &markets, seed, horizon);
+
+    let outcomes: Vec<GroupOutcome> = groups
+        .par_iter()
+        .enumerate()
+        .map(|(i, group)| {
+            let sched_cfg = cfg.scheduler_config(group);
+            // Distinct provider streams per group (startup jitter), same
+            // shared price history.
+            let report = SimRun::new(&traces, &sched_cfg, seed.wrapping_add(i as u64)).run();
+            GroupOutcome {
+                group: group.clone(),
+                report,
+            }
+        })
+        .collect();
+
+    FleetReport::aggregate(outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vms(n: u64) -> Vec<CustomerVm> {
+        // A realistic mixed tenant population: many smalls, some mediums,
+        // a few larges.
+        (0..n)
+            .map(|i| {
+                let units = match i % 7 {
+                    0..=3 => 1,
+                    4 | 5 => 2,
+                    _ => 4,
+                };
+                CustomerVm::new(i, units)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fleet_hosts_everyone_cheaply() {
+        let report = run_fleet(
+            &vms(20),
+            &FleetConfig::default(),
+            7,
+            SimDuration::days(21),
+        );
+        assert_eq!(report.total_vms(), 20);
+        assert!(report.normalized_cost() < 0.5, "{}", report.normalized_cost());
+        assert!(report.vm_weighted_unavailability() < 0.01);
+        assert!(report.waste_fraction() < 0.5);
+    }
+
+    #[test]
+    fn fleet_is_deterministic() {
+        let a = run_fleet(&vms(10), &FleetConfig::default(), 3, SimDuration::days(7));
+        let b = run_fleet(&vms(10), &FleetConfig::default(), 3, SimDuration::days(7));
+        assert_eq!(a.total_cost(), b.total_cost());
+        assert_eq!(
+            a.vm_weighted_unavailability(),
+            b.vm_weighted_unavailability()
+        );
+    }
+
+    #[test]
+    fn on_demand_fleet_is_the_expensive_baseline() {
+        let cfg = FleetConfig {
+            policy: BiddingPolicy::OnDemandOnly,
+            ..FleetConfig::default()
+        };
+        let od = run_fleet(&vms(10), &cfg, 3, SimDuration::days(14));
+        let spot = run_fleet(&vms(10), &FleetConfig::default(), 3, SimDuration::days(14));
+        assert!(spot.total_cost() < od.total_cost() * 0.5);
+        assert_eq!(od.vm_weighted_unavailability(), 0.0);
+    }
+
+    #[test]
+    fn multi_zone_fleet_works() {
+        let cfg = FleetConfig {
+            zones: vec![Zone::UsEast1a, Zone::UsEast1b],
+            ..FleetConfig::default()
+        };
+        let report = run_fleet(&vms(6), &cfg, 5, SimDuration::days(7));
+        assert!(report.total_cost() > 0.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Fleet-level accounting.
+
+use crate::packing::PlacementGroup;
+use spothost_core::report::RunReport;
+
+/// One placement group's scheduling outcome.
+#[derive(Debug, Clone)]
+pub struct GroupOutcome {
+    pub group: PlacementGroup,
+    pub report: RunReport,
+}
+
+/// Aggregated fleet metrics.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    pub outcomes: Vec<GroupOutcome>,
+}
+
+impl FleetReport {
+    pub fn aggregate(outcomes: Vec<GroupOutcome>) -> Self {
+        assert!(!outcomes.is_empty());
+        FleetReport { outcomes }
+    }
+
+    pub fn total_vms(&self) -> usize {
+        self.outcomes.iter().map(|o| o.group.vms.len()).sum()
+    }
+
+    pub fn total_groups(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Total dollars spent across groups.
+    pub fn total_cost(&self) -> f64 {
+        self.outcomes.iter().map(|o| o.report.cost).sum()
+    }
+
+    /// Total on-demand-only baseline dollars.
+    pub fn baseline_cost(&self) -> f64 {
+        self.outcomes.iter().map(|o| o.report.baseline_cost).sum()
+    }
+
+    /// Fleet normalized cost.
+    pub fn normalized_cost(&self) -> f64 {
+        let base = self.baseline_cost();
+        if base == 0.0 {
+            0.0
+        } else {
+            self.total_cost() / base
+        }
+    }
+
+    /// Mean unavailability experienced by a customer VM (every VM in a
+    /// group shares its group's downtime).
+    pub fn vm_weighted_unavailability(&self) -> f64 {
+        let total: usize = self.total_vms();
+        if total == 0 {
+            return 0.0;
+        }
+        self.outcomes
+            .iter()
+            .map(|o| o.report.unavailability * o.group.vms.len() as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+
+    /// Worst single group's unavailability — the pool's SLA floor.
+    pub fn worst_group_unavailability(&self) -> f64 {
+        self.outcomes
+            .iter()
+            .map(|o| o.report.unavailability)
+            .fold(0.0, f64::max)
+    }
+
+    /// Fraction of bought capacity that is fragmentation padding.
+    pub fn waste_fraction(&self) -> f64 {
+        let allocated: u32 = self.outcomes.iter().map(|o| o.group.allocated_units()).sum();
+        let demanded: u32 = self.outcomes.iter().map(|o| o.group.demanded_units()).sum();
+        if allocated == 0 {
+            0.0
+        } else {
+            (allocated - demanded) as f64 / allocated as f64
+        }
+    }
+
+    /// Total migrations across the fleet (forced, planned, reverse).
+    pub fn total_migrations(&self) -> (u32, u32, u32) {
+        self.outcomes.iter().fold((0, 0, 0), |acc, o| {
+            (
+                acc.0 + o.report.forced_migrations,
+                acc.1 + o.report.planned_migrations,
+                acc.2 + o.report.reverse_migrations,
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::CustomerVm;
+    use spothost_market::time::SimDuration;
+
+    fn dummy_report(cost: f64, baseline: f64, unavail: f64) -> RunReport {
+        RunReport {
+            normalized_cost: cost / baseline,
+            unavailability: unavail,
+            degraded_fraction: 0.0,
+            forced_per_hour: 0.0,
+            planned_reverse_per_hour: 0.0,
+            spot_fraction: 1.0,
+            cost,
+            baseline_cost: baseline,
+            downtime: SimDuration::ZERO,
+            active_span: SimDuration::days(30),
+            forced_migrations: 1,
+            planned_migrations: 2,
+            reverse_migrations: 3,
+        }
+    }
+
+    fn group(sizes: &[u32]) -> PlacementGroup {
+        PlacementGroup {
+            vms: sizes
+                .iter()
+                .enumerate()
+                .map(|(i, &u)| CustomerVm::new(i as u64, u))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn aggregation_math() {
+        let r = FleetReport::aggregate(vec![
+            GroupOutcome {
+                group: group(&[4, 4]),
+                report: dummy_report(10.0, 100.0, 0.001),
+            },
+            GroupOutcome {
+                group: group(&[3]), // allocated 4, waste 1
+                report: dummy_report(5.0, 50.0, 0.01),
+            },
+        ]);
+        assert_eq!(r.total_vms(), 3);
+        assert_eq!(r.total_groups(), 2);
+        assert!((r.total_cost() - 15.0).abs() < 1e-12);
+        assert!((r.normalized_cost() - 0.1).abs() < 1e-12);
+        // VM-weighted: (0.001*2 + 0.01*1)/3.
+        assert!((r.vm_weighted_unavailability() - 0.004).abs() < 1e-12);
+        assert_eq!(r.worst_group_unavailability(), 0.01);
+        // Waste: allocated 8+4=12, demanded 8+3=11.
+        assert!((r.waste_fraction() - 1.0 / 12.0).abs() < 1e-12);
+        assert_eq!(r.total_migrations(), (2, 4, 6));
+    }
+}

@@ -1,0 +1,52 @@
+//! Customer-facing VM descriptions.
+
+use std::fmt;
+
+/// A customer's nested VM and its capacity demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CustomerVm {
+    pub id: u64,
+    /// Capacity demand in units (small = 1). Bounded by one xlarge server
+    /// (8 units) — bigger tenants shard into several VMs, as they would on
+    /// real EC2.
+    pub units: u32,
+}
+
+impl CustomerVm {
+    pub fn new(id: u64, units: u32) -> Self {
+        assert!(
+            (1..=8).contains(&units),
+            "VM demand must be 1..=8 units, got {units}"
+        );
+        CustomerVm { id, units }
+    }
+}
+
+impl fmt::Display for CustomerVm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vm-{}({}u)", self.id, self.units)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_range() {
+        CustomerVm::new(0, 1);
+        CustomerVm::new(1, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=8")]
+    fn rejects_zero_units() {
+        CustomerVm::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=8")]
+    fn rejects_oversized() {
+        CustomerVm::new(0, 9);
+    }
+}

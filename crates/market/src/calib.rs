@@ -1,0 +1,258 @@
+//! Per-market calibration of the spot-price process.
+//!
+//! Targets (all from the paper's evaluation; tolerances are loose because
+//! only the *shape* must hold, see DESIGN.md):
+//!
+//! * normalized proactive cost of 17–33% of the on-demand baseline across
+//!   sizes (Figure 6(a)), rising with instance size;
+//! * reactive forced migrations of roughly 0.01–0.09 per server-hour
+//!   (Figure 6(c)), decreasing with instance size;
+//! * pure-spot unavailability above 1% in the small/medium/large us-east
+//!   markets and below 1% for xlarge (Figure 11(b));
+//! * us-east prices cheap and volatile, us-west intermediate, eu-west
+//!   expensive and stable (Figure 10);
+//! * multi-market cost reductions from a few percent (us-west, eu-west —
+//!   sizes priced alike) to ~50% (us-east-1b — sizes priced very unevenly),
+//!   matching Figure 8(a)'s 8–52% spread;
+//! * weak intra-zone correlation, weaker cross-zone (Figures 8(b), 9(b)).
+
+use crate::model::SpotModelParams;
+use crate::time::SimDuration;
+use crate::types::{InstanceType, MarketId, Zone};
+
+/// Mean spot/on-demand price ratio during calm periods.
+fn base_ratio(m: MarketId) -> f64 {
+    use InstanceType::*;
+    use Zone::*;
+    match (m.zone, m.itype) {
+        // Moderately uneven size pricing -> ~30% multi-market gain.
+        (UsEast1a, Small) => 0.13,
+        (UsEast1a, Medium) => 0.16,
+        (UsEast1a, Large) => 0.20,
+        (UsEast1a, XLarge) => 0.26,
+        // Very uneven -> the paper's 52% multi-market gain zone.
+        (UsEast1b, Small) => 0.08,
+        (UsEast1b, Medium) => 0.14,
+        (UsEast1b, Large) => 0.22,
+        (UsEast1b, XLarge) => 0.30,
+        // Sizes priced alike -> the paper's 8% multi-market gain zone.
+        (UsWest1a, Small) => 0.21,
+        (UsWest1a, Medium) => 0.22,
+        (UsWest1a, Large) => 0.23,
+        (UsWest1a, XLarge) => 0.24,
+        // Expensive and stable.
+        (EuWest1a, Small) => 0.24,
+        (EuWest1a, Medium) => 0.26,
+        (EuWest1a, Large) => 0.28,
+        (EuWest1a, XLarge) => 0.30,
+    }
+}
+
+/// Calm-period idiosyncratic spike arrivals per day. In the busy us-east
+/// zones, smaller instances sit in busier markets (more bidders chase the
+/// cheap capacity), so spikes are more frequent — this yields Figure 6(c)'s
+/// size-decreasing forced-migration rate and Figure 11(b)'s >1% pure-spot
+/// unavailability for small–large. The quieter us-west/eu-west zones show
+/// no clear size gradient, so the multi-market scheduler's preference for
+/// small servers there doesn't raise its spike exposure (Figure 8(c)).
+fn spike_rate_per_day(m: MarketId) -> f64 {
+    use InstanceType::*;
+    let east = matches!(m.zone, Zone::UsEast1a | Zone::UsEast1b);
+    let by_size = if east {
+        match m.itype {
+            Small => 0.60,
+            Medium => 0.50,
+            Large => 0.42,
+            XLarge => 0.20,
+        }
+    } else {
+        0.30
+    };
+    by_size * zone_activity(m.zone)
+}
+
+/// Relative market turbulence per zone.
+fn zone_activity(zone: Zone) -> f64 {
+    match zone {
+        Zone::UsEast1a => 1.0,
+        Zone::UsEast1b => 1.15,
+        Zone::UsWest1a => 0.45,
+        Zone::EuWest1a => 0.20,
+    }
+}
+
+/// OU log-price volatility per zone.
+fn sigma(zone: Zone) -> f64 {
+    match zone {
+        Zone::UsEast1a => 0.25,
+        Zone::UsEast1b => 0.28,
+        Zone::UsWest1a => 0.15,
+        Zone::EuWest1a => 0.10,
+    }
+}
+
+/// Pareto tail index of spike heights per zone (heavier in us-east).
+fn pareto_alpha(zone: Zone) -> f64 {
+    match zone {
+        Zone::UsEast1a => 1.6,
+        Zone::UsEast1b => 1.5,
+        Zone::UsWest1a => 1.8,
+        Zone::EuWest1a => 2.2,
+    }
+}
+
+/// Mean spike duration per zone.
+fn spike_duration(zone: Zone) -> SimDuration {
+    match zone {
+        Zone::UsEast1a | Zone::UsEast1b => SimDuration::minutes(20),
+        Zone::UsWest1a => SimDuration::minutes(25),
+        Zone::EuWest1a => SimDuration::minutes(30),
+    }
+}
+
+/// Mean calm-regime sojourn per zone.
+fn calm_mean(zone: Zone) -> SimDuration {
+    match zone {
+        Zone::UsEast1a => SimDuration::hours(60),
+        Zone::UsEast1b => SimDuration::hours(50),
+        Zone::UsWest1a => SimDuration::hours(90),
+        Zone::EuWest1a => SimDuration::hours(120),
+    }
+}
+
+/// Mean elevated-regime sojourn per zone.
+fn elevated_mean(zone: Zone) -> SimDuration {
+    match zone {
+        Zone::UsEast1a => SimDuration::hours(8),
+        Zone::UsEast1b => SimDuration::hours(9),
+        Zone::UsWest1a => SimDuration::hours(6),
+        Zone::EuWest1a => SimDuration::hours(5),
+    }
+}
+
+/// Zone-wide spike rate per day.
+fn zone_spike_rate(zone: Zone) -> f64 {
+    match zone {
+        Zone::UsEast1a => 0.25,
+        Zone::UsEast1b => 0.30,
+        Zone::UsWest1a => 0.10,
+        Zone::EuWest1a => 0.06,
+    }
+}
+
+/// The calibrated price-process parameters for one market.
+pub fn calibrated_model(m: MarketId) -> SpotModelParams {
+    let zone = m.zone;
+    let params = SpotModelParams {
+        base_ratio: base_ratio(m),
+        sigma: sigma(zone),
+        theta_per_hour: 0.12,
+        var_share_global: 0.05,
+        var_share_zone: 0.25,
+        spike_rate_per_day: spike_rate_per_day(m),
+        spike_rate_elevated_mult: 8.0,
+        spike_duration_mean: spike_duration(zone),
+        spike_min_mult: 1.1,
+        spike_pareto_alpha: pareto_alpha(zone),
+        spike_cap_mult: 15.0,
+        calm_mean: calm_mean(zone),
+        elevated_mean: elevated_mean(zone),
+        // Elevated baseline stays clearly below on-demand even for the
+        // priciest base ratio (0.30 * 2.2 = 0.66).
+        elevated_base_mult: 2.2,
+        zone_spike_rate_per_day: zone_spike_rate(zone),
+        step: SimDuration::minutes(5),
+    };
+    debug_assert!(params.validate().is_ok());
+    params
+}
+
+/// Calibrated parameters for a set of markets.
+pub fn calibrated_models(markets: &[MarketId]) -> Vec<(MarketId, SpotModelParams)> {
+    markets.iter().map(|&m| (m, calibrated_model(m))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_sixteen_markets_validate() {
+        for m in MarketId::all() {
+            calibrated_model(m)
+                .validate()
+                .unwrap_or_else(|e| panic!("{m}: {e}"));
+        }
+    }
+
+    #[test]
+    fn base_ratio_rises_with_size_within_each_zone() {
+        for &zone in &Zone::ALL {
+            let ratios: Vec<f64> = InstanceType::ALL
+                .iter()
+                .map(|&t| calibrated_model(MarketId::new(zone, t)).base_ratio)
+                .collect();
+            for w in ratios.windows(2) {
+                assert!(w[0] < w[1], "{zone}: {ratios:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn us_east_more_turbulent_than_eu_west() {
+        for &t in &InstanceType::ALL {
+            let east = calibrated_model(MarketId::new(Zone::UsEast1a, t));
+            let west = calibrated_model(MarketId::new(Zone::EuWest1a, t));
+            assert!(east.sigma > west.sigma);
+            assert!(east.spike_rate_per_day > west.spike_rate_per_day);
+            assert!(east.spike_pareto_alpha < west.spike_pareto_alpha);
+        }
+    }
+
+    #[test]
+    fn pure_spot_unavailability_targets() {
+        // Figure 11(b): time above on-demand exceeds 1% for small/medium/
+        // large in us-east-1a, below 1% for xlarge. (The pure-spot scheme's
+        // downtime is at least the time above on-demand plus re-acquisition,
+        // so this property drives the figure.)
+        use InstanceType::*;
+        for (t, above_one_pct) in [(Small, true), (Medium, true), (Large, true), (XLarge, false)] {
+            let p = calibrated_model(MarketId::new(Zone::UsEast1a, t));
+            let f = p.expected_fraction_above_on_demand();
+            assert_eq!(f > 0.01, above_one_pct, "{t}: fraction {f}");
+        }
+    }
+
+    #[test]
+    fn reactive_forced_rate_band() {
+        // Figure 6(c): spikes/day translate to 0.01..0.09 revocations per
+        // hour for a reactive bidder in us-east-1a.
+        for &t in &InstanceType::ALL {
+            let p = calibrated_model(MarketId::new(Zone::UsEast1a, t));
+            let per_hour =
+                (p.effective_spike_rate_per_day() + p.zone_spike_rate_per_day) / 24.0;
+            assert!(
+                (0.008..0.09).contains(&per_hour),
+                "{t}: {per_hour} revocations/hour"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_market_spread_ordering() {
+        // Spread of base ratios across sizes predicts the multi-market
+        // gain; Figure 8(a) orders it us-east-1b >> us-east-1a > us-west/eu.
+        fn spread(zone: Zone) -> f64 {
+            let rs: Vec<f64> = InstanceType::ALL
+                .iter()
+                .map(|&t| calibrated_model(MarketId::new(zone, t)).base_ratio)
+                .collect();
+            let avg: f64 = rs.iter().sum::<f64>() / rs.len() as f64;
+            let min = rs.iter().cloned().fold(f64::MAX, f64::min);
+            (avg - min) / avg
+        }
+        assert!(spread(Zone::UsEast1b) > spread(Zone::UsEast1a));
+        assert!(spread(Zone::UsEast1a) > spread(Zone::UsWest1a));
+        assert!(spread(Zone::UsEast1a) > spread(Zone::EuWest1a));
+    }
+}

@@ -1,0 +1,155 @@
+//! The on-demand price book.
+//!
+//! Anchored on the paper's §2.1: "the fixed hourly price of on-demand server
+//! varies from 6 cents per hour for the small configuration" upward, with
+//! each size doubling capacity and price (the 2015 EC2 ladder). On-demand
+//! prices are set per *region* (both us-east zones share one price), with
+//! US West and EU West carrying the usual few-percent premium over US East.
+
+use crate::types::{InstanceType, MarketId, Region, Zone};
+
+/// Immutable price book mapping markets to on-demand prices ($/hour).
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    /// $/hour for a small instance in US East.
+    small_us_east: f64,
+    /// Regional multipliers over US East, indexed by [`Region`].
+    region_mult: [f64; 3],
+    /// Maximum allowed bid as a multiple of the on-demand price. Amazon
+    /// capped bids at 4x on-demand (§3.1 footnote 1); the paper's proactive
+    /// algorithm bids exactly this cap.
+    max_bid_mult: f64,
+}
+
+impl Catalog {
+    /// The 2015-era EC2 price book used throughout the paper's evaluation.
+    pub fn ec2_2015() -> Self {
+        Catalog {
+            small_us_east: 0.06,
+            region_mult: [1.0, 1.10, 1.15], // us-east-1, us-west-1, eu-west-1
+            max_bid_mult: 4.0,
+        }
+    }
+
+    /// Custom catalog for what-if studies.
+    pub fn new(small_us_east: f64, region_mult: [f64; 3], max_bid_mult: f64) -> Self {
+        assert!(small_us_east > 0.0);
+        assert!(region_mult.iter().all(|&m| m > 0.0));
+        assert!(max_bid_mult >= 1.0);
+        Catalog {
+            small_us_east,
+            region_mult,
+            max_bid_mult,
+        }
+    }
+
+    fn region_index(region: Region) -> usize {
+        match region {
+            Region::UsEast1 => 0,
+            Region::UsWest1 => 1,
+            Region::EuWest1 => 2,
+        }
+    }
+
+    /// On-demand $/hour for a market.
+    pub fn on_demand_price(&self, market: MarketId) -> f64 {
+        let mult = self.region_mult[Self::region_index(market.zone.region())];
+        self.small_us_east * market.itype.capacity_units() as f64 * mult
+    }
+
+    /// On-demand price per capacity unit — the multi-market strategy
+    /// compares markets on this normalised basis (§4, footnote 2).
+    pub fn on_demand_price_per_unit(&self, market: MarketId) -> f64 {
+        self.on_demand_price(market) / market.itype.capacity_units() as f64
+    }
+
+    /// The cheapest on-demand price for a given capacity requirement among
+    /// a set of zones — used as the multi-region baseline (§4.5: "we use
+    /// the lowest on-demand cost available in the two allowable regions").
+    pub fn cheapest_on_demand_for_units(&self, zones: &[Zone], units: u32) -> f64 {
+        assert!(!zones.is_empty());
+        zones
+            .iter()
+            .map(|&z| {
+                // Per-unit price is size-independent within a zone, so the
+                // cost of `units` of capacity is linear.
+                self.on_demand_price_per_unit(MarketId::new(z, InstanceType::Small))
+                    * units as f64
+            })
+            .fold(f64::MAX, f64::min)
+    }
+
+    /// Highest bid the provider accepts for a market (4x on-demand at EC2).
+    pub fn max_bid(&self, market: MarketId) -> f64 {
+        self.on_demand_price(market) * self.max_bid_mult
+    }
+
+    pub fn max_bid_mult(&self) -> f64 {
+        self.max_bid_mult
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_us_east_is_six_cents() {
+        let c = Catalog::ec2_2015();
+        let m = MarketId::new(Zone::UsEast1a, InstanceType::Small);
+        assert!((c.on_demand_price(m) - 0.06).abs() < 1e-12);
+    }
+
+    #[test]
+    fn price_doubles_with_size() {
+        let c = Catalog::ec2_2015();
+        for &z in &Zone::ALL {
+            let mut prev = 0.0;
+            for &t in &InstanceType::ALL {
+                let p = c.on_demand_price(MarketId::new(z, t));
+                if prev > 0.0 {
+                    assert!((p - prev * 2.0).abs() < 1e-12);
+                }
+                prev = p;
+            }
+        }
+    }
+
+    #[test]
+    fn both_us_east_zones_share_prices() {
+        let c = Catalog::ec2_2015();
+        for &t in &InstanceType::ALL {
+            assert_eq!(
+                c.on_demand_price(MarketId::new(Zone::UsEast1a, t)),
+                c.on_demand_price(MarketId::new(Zone::UsEast1b, t))
+            );
+        }
+    }
+
+    #[test]
+    fn per_unit_price_is_size_independent() {
+        let c = Catalog::ec2_2015();
+        for &z in &Zone::ALL {
+            let base = c.on_demand_price_per_unit(MarketId::new(z, InstanceType::Small));
+            for &t in &InstanceType::ALL {
+                let pu = c.on_demand_price_per_unit(MarketId::new(z, t));
+                assert!((pu - base).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn cheapest_on_demand_prefers_us_east() {
+        let c = Catalog::ec2_2015();
+        let cheapest = c.cheapest_on_demand_for_units(&[Zone::UsEast1a, Zone::EuWest1a], 8);
+        let us_east_xlarge = c.on_demand_price(MarketId::new(Zone::UsEast1a, InstanceType::XLarge));
+        assert!((cheapest - us_east_xlarge).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_bid_is_four_times_on_demand() {
+        let c = Catalog::ec2_2015();
+        let m = MarketId::new(Zone::UsWest1a, InstanceType::Large);
+        assert!((c.max_bid(m) - 4.0 * c.on_demand_price(m)).abs() < 1e-12);
+    }
+}

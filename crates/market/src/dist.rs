@@ -1,0 +1,147 @@
+//! Minimal distribution sampling on top of `rand`'s uniform source.
+//!
+//! We deliberately avoid the `rand_distr` dependency: the generator needs
+//! only four classical transforms (Box–Muller normal, inverse-CDF
+//! exponential, inverse-CDF Pareto, Knuth Poisson), all a few lines each
+//! and exact.
+
+use rand::Rng;
+
+/// Standard normal via Box–Muller. Consumes two uniforms per call; we don't
+/// cache the second variate so that the stream consumption per draw is
+/// fixed and reproducible regardless of call pattern.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Guard against ln(0).
+    let u1: f64 = loop {
+        let u: f64 = rng.gen();
+        if u > f64::MIN_POSITIVE {
+            break u;
+        }
+    };
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    debug_assert!(std >= 0.0);
+    mean + std * standard_normal(rng)
+}
+
+/// Exponential with the given mean (inverse-CDF).
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    debug_assert!(mean > 0.0);
+    let u: f64 = loop {
+        let u: f64 = rng.gen();
+        if u > f64::MIN_POSITIVE {
+            break u;
+        }
+    };
+    -mean * u.ln()
+}
+
+/// Pareto with scale `x_min` and tail index `alpha` (inverse-CDF):
+/// `P(X > x) = (x_min / x)^alpha` for `x >= x_min`.
+pub fn pareto<R: Rng + ?Sized>(rng: &mut R, x_min: f64, alpha: f64) -> f64 {
+    debug_assert!(x_min > 0.0 && alpha > 0.0);
+    let u: f64 = loop {
+        let u: f64 = rng.gen();
+        if u > f64::MIN_POSITIVE {
+            break u;
+        }
+    };
+    x_min * u.powf(-1.0 / alpha)
+}
+
+/// Poisson with mean `lambda` via Knuth's product method. Our means are
+/// small (spikes per regime segment), where this is both fast and exact.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    debug_assert!(lambda >= 0.0 && lambda.is_finite());
+    if lambda == 0.0 {
+        return 0;
+    }
+    // For large means, fall back to a normal approximation to avoid long
+    // product loops; the generator never hits this in calibrated use.
+    if lambda > 64.0 {
+        let x = normal(rng, lambda, lambda.sqrt()).round();
+        return x.max(0.0) as u64;
+    }
+    let limit = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= limit {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn rng() -> ChaCha12Rng {
+        ChaCha12Rng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng();
+        let n = 50_000;
+        let mean = (0..n).map(|_| exponential(&mut r, 3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn pareto_tail() {
+        let mut r = rng();
+        let n = 100_000;
+        let alpha = 1.5;
+        let x_min = 1.1;
+        let xs: Vec<f64> = (0..n).map(|_| pareto(&mut r, x_min, alpha)).collect();
+        assert!(xs.iter().all(|&x| x >= x_min));
+        let frac_above_4 = xs.iter().filter(|&&x| x > 4.0).count() as f64 / n as f64;
+        let expect = (x_min / 4.0_f64).powf(alpha);
+        assert!(
+            (frac_above_4 - expect).abs() < 0.01,
+            "got {frac_above_4}, expected {expect}"
+        );
+    }
+
+    #[test]
+    fn poisson_mean_small() {
+        let mut r = rng();
+        let n = 50_000;
+        let mean = (0..n).map(|_| poisson(&mut r, 2.5)).sum::<u64>() as f64 / n as f64;
+        assert!((mean - 2.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda() {
+        let mut r = rng();
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn poisson_large_lambda_uses_normal_approx() {
+        let mut r = rng();
+        let n = 20_000;
+        let mean = (0..n).map(|_| poisson(&mut r, 200.0)).sum::<u64>() as f64 / n as f64;
+        assert!((mean - 200.0).abs() < 1.0, "mean {mean}");
+    }
+}

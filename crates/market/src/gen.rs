@@ -1,0 +1,610 @@
+//! Deterministic trace generation.
+//!
+//! Every stochastic ingredient draws from its own ChaCha stream whose seed
+//! is derived from `(master seed, role, entity id)`. Consequently a
+//! market's trace depends only on the master seed, the market identity and
+//! its parameters — *not* on which other markets are generated alongside
+//! it. Single-market and multi-market experiments therefore see literally
+//! identical price histories for shared markets, making cost comparisons
+//! paired rather than merely distributionally equal.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use std::collections::BTreeMap;
+
+use crate::catalog::Catalog;
+use crate::calib::calibrated_model;
+use crate::dist;
+use crate::model::SpotModelParams;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{PricePoint, PriceTrace};
+use crate::types::{MarketId, Zone};
+
+/// Mean-reversion rate (per hour) of the shared global/zone factors.
+const FACTOR_THETA_PER_HOUR: f64 = 0.12;
+
+/// EC2 publishes spot prices with $0.001 granularity; we quantise the same
+/// way, which also collapses runs of near-identical OU samples.
+const PRICE_QUANTUM: f64 = 0.001;
+
+/// Derive a child seed from a master seed, a role string and an entity id.
+/// FNV-1a over the role, then two rounds of splitmix64 finalisation.
+pub fn derive_seed(master: u64, role: &str, id: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in role.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    let mut z = master ^ h.rotate_left(17) ^ id.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for _ in 0..2 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+    }
+    z
+}
+
+fn stream(master: u64, role: &str, id: u64) -> ChaCha12Rng {
+    ChaCha12Rng::seed_from_u64(derive_seed(master, role, id))
+}
+
+/// An exact-discretisation Ornstein–Uhlenbeck path with unit stationary
+/// variance, sampled on a regular grid.
+fn ou_path(rng: &mut ChaCha12Rng, n: usize, theta_per_hour: f64, step: SimDuration) -> Vec<f64> {
+    let dt_hours = step.as_hours_f64();
+    let phi = (-theta_per_hour * dt_hours).exp();
+    let noise = (1.0 - phi * phi).sqrt();
+    let mut path = Vec::with_capacity(n);
+    let mut x = dist::standard_normal(rng); // stationary start
+    path.push(x);
+    for _ in 1..n {
+        x = phi * x + noise * dist::standard_normal(rng);
+        path.push(x);
+    }
+    path
+}
+
+/// Shared factor paths: one global, one per zone, on a common grid.
+#[derive(Debug, Clone)]
+pub struct FactorPaths {
+    step: SimDuration,
+    global: Vec<f64>,
+    zones: [Vec<f64>; 4],
+}
+
+impl FactorPaths {
+    pub fn generate(master: u64, step: SimDuration, n: usize) -> Self {
+        let global = ou_path(&mut stream(master, "factor-global", 0), n, FACTOR_THETA_PER_HOUR, step);
+        let zones = Zone::ALL.map(|z| {
+            ou_path(
+                &mut stream(master, "factor-zone", z.index() as u64),
+                n,
+                FACTOR_THETA_PER_HOUR,
+                step,
+            )
+        });
+        FactorPaths { step, global, zones }
+    }
+
+    fn global_at(&self, idx: usize) -> f64 {
+        self.global[idx.min(self.global.len() - 1)]
+    }
+
+    fn zone_at(&self, zone: Zone, idx: usize) -> f64 {
+        let path = &self.zones[zone.index()];
+        path[idx.min(path.len() - 1)]
+    }
+}
+
+/// A spike interval before market-specific magnitude assignment.
+#[derive(Debug, Clone, Copy)]
+struct SpikeWindow {
+    start: SimTime,
+    duration: SimDuration,
+}
+
+/// Zone-wide spike schedules, shared by every market in a zone.
+#[derive(Debug, Clone)]
+pub struct ZoneSpikeSchedules {
+    per_zone: [Vec<SpikeWindow>; 4],
+}
+
+impl ZoneSpikeSchedules {
+    fn generate(master: u64, horizon: SimDuration, rate_per_day: [f64; 4], mean_dur: [SimDuration; 4]) -> Self {
+        let per_zone = Zone::ALL.map(|z| {
+            let mut rng = stream(master, "zone-spikes", z.index() as u64);
+            let rate = rate_per_day[z.index()];
+            let expected = rate * horizon.as_days_f64();
+            let count = dist::poisson(&mut rng, expected);
+            let mut windows: Vec<SpikeWindow> = (0..count)
+                .map(|_| {
+                    let at = rng.gen_range(0..horizon.as_millis().max(1));
+                    let dur = dist::exponential(&mut rng, mean_dur[z.index()].as_secs_f64());
+                    SpikeWindow {
+                        start: SimTime::millis(at),
+                        duration: SimDuration::secs_f64(dur.max(30.0)),
+                    }
+                })
+                .collect();
+            windows.sort_by_key(|w| w.start);
+            windows
+        });
+        ZoneSpikeSchedules { per_zone }
+    }
+}
+
+/// Regime (calm/elevated) segments over the horizon.
+fn regime_segments(
+    rng: &mut ChaCha12Rng,
+    params: &SpotModelParams,
+    horizon: SimDuration,
+) -> Vec<(SimTime, bool)> {
+    let mut segs = Vec::new();
+    let mut t = SimTime::ZERO;
+    // Stationary initial state.
+    let mut elevated = rng.gen::<f64>() < params.elevated_fraction();
+    let end = SimTime::ZERO + horizon;
+    while t < end {
+        segs.push((t, elevated));
+        let mean = if elevated {
+            params.elevated_mean
+        } else {
+            params.calm_mean
+        };
+        let sojourn = dist::exponential(rng, mean.as_secs_f64());
+        t += SimDuration::secs_f64(sojourn.max(60.0));
+        elevated = !elevated;
+    }
+    segs
+}
+
+/// A fully-specified spike: window plus price level in $/hour.
+#[derive(Debug, Clone, Copy)]
+struct Spike {
+    start: SimTime,
+    end: SimTime,
+    level: f64,
+}
+
+fn sample_spike_mult(rng: &mut ChaCha12Rng, params: &SpotModelParams) -> f64 {
+    dist::pareto(rng, params.spike_min_mult, params.spike_pareto_alpha).min(params.spike_cap_mult)
+}
+
+/// Generate one market's trace. `factors` and `zone_windows` must have been
+/// generated from the same master seed for cross-market determinism.
+#[allow(clippy::too_many_arguments)]
+fn generate_market_trace(
+    master: u64,
+    market: MarketId,
+    params: &SpotModelParams,
+    pon: f64,
+    horizon: SimDuration,
+    factors: &FactorPaths,
+    zone_windows: &[SpikeWindow],
+) -> PriceTrace {
+    assert_eq!(params.step, factors.step, "all markets must share a grid step");
+    let dense = market.dense_index() as u64;
+    let end = SimTime::ZERO + horizon;
+
+    // --- OU idiosyncratic path --------------------------------------------
+    let n_grid = (horizon.as_millis() / params.step.as_millis()) as usize + 1;
+    let idio = ou_path(
+        &mut stream(master, "idio", dense),
+        n_grid,
+        params.theta_per_hour,
+        params.step,
+    );
+
+    // --- regimes ------------------------------------------------------------
+    let regimes = regime_segments(&mut stream(master, "regime", dense), params, horizon);
+
+    // --- idiosyncratic spikes, modulated by regime ---------------------------
+    let mut spike_rng = stream(master, "spikes", dense);
+    let mut spikes: Vec<Spike> = Vec::new();
+    for (i, &(seg_start, elevated)) in regimes.iter().enumerate() {
+        let seg_end = regimes.get(i + 1).map_or(end, |&(t, _)| t).min(end);
+        if seg_end <= seg_start {
+            continue;
+        }
+        let len_days = (seg_end - seg_start).as_days_f64();
+        let rate = params.spike_rate_per_day
+            * if elevated {
+                params.spike_rate_elevated_mult
+            } else {
+                1.0
+            };
+        let count = dist::poisson(&mut spike_rng, rate * len_days);
+        for _ in 0..count {
+            let span = (seg_end - seg_start).as_millis().max(1);
+            let at = seg_start + SimDuration::millis(spike_rng.gen_range(0..span));
+            let dur = dist::exponential(&mut spike_rng, params.spike_duration_mean.as_secs_f64());
+            let dur = SimDuration::secs_f64(dur.max(30.0));
+            let mult = sample_spike_mult(&mut spike_rng, params);
+            spikes.push(Spike {
+                start: at,
+                end: (at + dur).min(end),
+                level: mult * pon,
+            });
+        }
+    }
+
+    // --- zone-wide spikes with market-specific magnitudes --------------------
+    let mut zmag_rng = stream(master, "zmag", dense);
+    for w in zone_windows {
+        let mult = sample_spike_mult(&mut zmag_rng, params);
+        if w.start >= end {
+            continue;
+        }
+        spikes.push(Spike {
+            start: w.start,
+            end: (w.start + w.duration).min(end),
+            level: mult * pon,
+        });
+    }
+    spikes.retain(|s| s.end > s.start);
+    spikes.sort_by_key(|s| s.start);
+
+    // --- assemble boundaries --------------------------------------------------
+    let mut boundaries: Vec<SimTime> = Vec::with_capacity(n_grid + spikes.len() * 2 + regimes.len());
+    let mut t = SimTime::ZERO;
+    while t < end {
+        boundaries.push(t);
+        t += params.step;
+    }
+    for &(rt, _) in &regimes {
+        if rt < end {
+            boundaries.push(rt);
+        }
+    }
+    for s in &spikes {
+        boundaries.push(s.start);
+        if s.end < end {
+            boundaries.push(s.end);
+        }
+    }
+    boundaries.sort_unstable();
+    boundaries.dedup();
+
+    // --- sweep: evaluate price at every boundary -------------------------------
+    let sigma = params.sigma;
+    let sg = params.var_share_global.sqrt();
+    let sz = params.var_share_zone.sqrt();
+    let si = params.var_share_idio().max(0.0).sqrt();
+    let mean_correction = (-0.5 * sigma * sigma).exp();
+    let base = params.base_ratio * pon * mean_correction;
+
+    // Active-spike multiset keyed by quantised level.
+    let mut active: BTreeMap<u64, usize> = BTreeMap::new();
+    let mut spike_starts = spikes.iter().peekable();
+    // End events, sorted lazily through a BinaryHeap of Reverse.
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut ends: BinaryHeap<Reverse<(SimTime, u64)>> = BinaryHeap::new();
+
+    let mut regime_iter = regimes.iter().peekable();
+    let mut elevated = false;
+
+    let mut points: Vec<PricePoint> = Vec::with_capacity(boundaries.len());
+    for &bt in &boundaries {
+        // Retire finished spikes.
+        while let Some(&Reverse((e, key))) = ends.peek() {
+            if e <= bt {
+                ends.pop();
+                if let Some(c) = active.get_mut(&key) {
+                    *c -= 1;
+                    if *c == 0 {
+                        active.remove(&key);
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        // Activate spikes starting here.
+        while let Some(s) = spike_starts.peek() {
+            if s.start <= bt {
+                let s = *spike_starts.next().unwrap();
+                if s.end > bt {
+                    let key = (s.level / PRICE_QUANTUM).round() as u64;
+                    *active.entry(key).or_insert(0) += 1;
+                    ends.push(Reverse((s.end, key)));
+                }
+            } else {
+                break;
+            }
+        }
+        // Advance regime.
+        while let Some(&&(rt, e)) = regime_iter.peek() {
+            if rt <= bt {
+                elevated = e;
+                regime_iter.next();
+            } else {
+                break;
+            }
+        }
+
+        let grid_idx = (bt.as_millis() / params.step.as_millis()) as usize;
+        let x = sg * factors.global_at(grid_idx)
+            + sz * factors.zone_at(market.zone, grid_idx)
+            + si * idio[grid_idx.min(idio.len() - 1)];
+        let regime_mult = if elevated {
+            params.elevated_base_mult
+        } else {
+            1.0
+        };
+        let ou_price = base * regime_mult * (sigma * x).exp();
+        let spike_level = active
+            .keys()
+            .next_back()
+            .map_or(0.0, |&k| k as f64 * PRICE_QUANTUM);
+        let price = ou_price.max(spike_level);
+        let quantised = ((price / PRICE_QUANTUM).round() as u64).max(1) as f64 * PRICE_QUANTUM;
+
+        if points.last().map(|p: &PricePoint| p.price) != Some(quantised) {
+            points.push(PricePoint {
+                at: bt,
+                price: quantised,
+            });
+        }
+    }
+
+    PriceTrace::new(points, end)
+}
+
+/// A collection of generated traces over a common horizon.
+#[derive(Debug, Clone)]
+pub struct TraceSet {
+    horizon: SimDuration,
+    catalog: Catalog,
+    entries: Vec<(MarketId, PriceTrace)>,
+    dense: [Option<usize>; 16],
+}
+
+impl TraceSet {
+    /// Generate traces for `markets` using the paper calibration.
+    pub fn generate(
+        catalog: &Catalog,
+        markets: &[MarketId],
+        master_seed: u64,
+        horizon: SimDuration,
+    ) -> Self {
+        let models: Vec<(MarketId, SpotModelParams)> = markets
+            .iter()
+            .map(|&m| (m, calibrated_model(m)))
+            .collect();
+        Self::generate_with(catalog, &models, master_seed, horizon)
+    }
+
+    /// Generate traces from explicit per-market parameters. All parameter
+    /// sets must share the same grid `step`; markets in the same zone must
+    /// agree on the zone-wide spike rate (it defines a shared schedule).
+    pub fn generate_with(
+        catalog: &Catalog,
+        models: &[(MarketId, SpotModelParams)],
+        master_seed: u64,
+        horizon: SimDuration,
+    ) -> Self {
+        assert!(!models.is_empty(), "at least one market required");
+        assert!(horizon > SimDuration::ZERO);
+        let step = models[0].1.step;
+        for (m, p) in models {
+            assert_eq!(p.step, step, "{m}: all markets must share a grid step");
+            p.validate().unwrap_or_else(|e| panic!("{m}: {e}"));
+        }
+
+        let n_grid = (horizon.as_millis() / step.as_millis()) as usize + 1;
+        let factors = FactorPaths::generate(master_seed, step, n_grid);
+
+        // Canonical zone spike rates/durations: calibrated values, checked
+        // for consistency against any custom models supplied.
+        let mut zone_rate = [0.0f64; 4];
+        let mut zone_dur = [SimDuration::minutes(20); 4];
+        for &zone in &Zone::ALL {
+            let canon = calibrated_model(MarketId::new(zone, crate::types::InstanceType::Small));
+            zone_rate[zone.index()] = canon.zone_spike_rate_per_day;
+            zone_dur[zone.index()] = canon.spike_duration_mean;
+        }
+        for (m, p) in models {
+            // Custom models may override the zone rate; the first market in
+            // a zone wins so that the schedule stays well-defined.
+            zone_rate[m.zone.index()] = p.zone_spike_rate_per_day;
+            zone_dur[m.zone.index()] = p.spike_duration_mean;
+        }
+        let zone_spikes = ZoneSpikeSchedules::generate(master_seed, horizon, zone_rate, zone_dur);
+
+        let mut entries = Vec::with_capacity(models.len());
+        let mut dense = [None; 16];
+        for (m, p) in models {
+            let pon = catalog.on_demand_price(*m);
+            let trace = generate_market_trace(
+                master_seed,
+                *m,
+                p,
+                pon,
+                horizon,
+                &factors,
+                &zone_spikes.per_zone[m.zone.index()],
+            );
+            dense[m.dense_index()] = Some(entries.len());
+            entries.push((*m, trace));
+        }
+
+        TraceSet {
+            horizon,
+            catalog: catalog.clone(),
+            entries,
+            dense,
+        }
+    }
+
+    /// Build a trace set from hand-authored traces (scenario tests and
+    /// what-if studies). All traces must share the horizon.
+    pub fn from_traces(
+        catalog: &Catalog,
+        traces: Vec<(MarketId, PriceTrace)>,
+        horizon: SimDuration,
+    ) -> Self {
+        assert!(!traces.is_empty());
+        let end = SimTime::ZERO + horizon;
+        let mut entries = Vec::with_capacity(traces.len());
+        let mut dense = [None; 16];
+        for (m, t) in traces {
+            assert_eq!(t.end(), end, "{m}: trace horizon mismatch");
+            assert!(dense[m.dense_index()].is_none(), "duplicate market {m}");
+            dense[m.dense_index()] = Some(entries.len());
+            entries.push((m, t));
+        }
+        TraceSet {
+            horizon,
+            catalog: catalog.clone(),
+            entries,
+            dense,
+        }
+    }
+
+    pub fn horizon(&self) -> SimDuration {
+        self.horizon
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn markets(&self) -> impl Iterator<Item = MarketId> + '_ {
+        self.entries.iter().map(|(m, _)| *m)
+    }
+
+    pub fn trace(&self, market: MarketId) -> Option<&PriceTrace> {
+        self.dense[market.dense_index()].map(|i| &self.entries[i].1)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (MarketId, &PriceTrace)> {
+        self.entries.iter().map(|(m, t)| (*m, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::InstanceType;
+
+    fn catalog() -> Catalog {
+        Catalog::ec2_2015()
+    }
+
+    fn small_east() -> MarketId {
+        MarketId::new(Zone::UsEast1a, InstanceType::Small)
+    }
+
+    #[test]
+    fn derive_seed_is_stable_and_distinct() {
+        let a = derive_seed(1, "idio", 0);
+        assert_eq!(a, derive_seed(1, "idio", 0));
+        assert_ne!(a, derive_seed(1, "idio", 1));
+        assert_ne!(a, derive_seed(1, "regime", 0));
+        assert_ne!(a, derive_seed(2, "idio", 0));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let c = catalog();
+        let h = SimDuration::days(3);
+        let a = TraceSet::generate(&c, &[small_east()], 99, h);
+        let b = TraceSet::generate(&c, &[small_east()], 99, h);
+        assert_eq!(a.trace(small_east()).unwrap(), b.trace(small_east()).unwrap());
+    }
+
+    #[test]
+    fn trace_independent_of_companion_markets() {
+        let c = catalog();
+        let h = SimDuration::days(3);
+        let solo = TraceSet::generate(&c, &[small_east()], 7, h);
+        let all = TraceSet::generate(&c, &MarketId::all(), 7, h);
+        assert_eq!(solo.trace(small_east()).unwrap(), all.trace(small_east()).unwrap());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let c = catalog();
+        let h = SimDuration::days(3);
+        let a = TraceSet::generate(&c, &[small_east()], 1, h);
+        let b = TraceSet::generate(&c, &[small_east()], 2, h);
+        assert_ne!(a.trace(small_east()).unwrap(), b.trace(small_east()).unwrap());
+    }
+
+    #[test]
+    fn mean_price_near_calibrated_base() {
+        let c = catalog();
+        let m = small_east();
+        let h = SimDuration::days(60);
+        let set = TraceSet::generate(&c, &[m], 5, h);
+        let trace = set.trace(m).unwrap();
+        let pon = c.on_demand_price(m);
+        let ratio = trace.time_weighted_mean() / pon;
+        let base = calibrated_model(m).base_ratio;
+        // Regimes and spikes push the mean above the calm base; it must stay
+        // in the same ballpark and far below on-demand.
+        assert!(
+            ratio > base * 0.6 && ratio < base * 3.0,
+            "mean/on-demand ratio {ratio}, calm base {base}"
+        );
+    }
+
+    #[test]
+    fn spikes_exceed_on_demand_occasionally() {
+        let c = catalog();
+        let m = small_east();
+        let h = SimDuration::days(90);
+        let set = TraceSet::generate(&c, &[m], 11, h);
+        let trace = set.trace(m).unwrap();
+        let pon = c.on_demand_price(m);
+        let frac = trace.fraction_above(pon);
+        assert!(
+            frac > 0.002 && frac < 0.08,
+            "fraction above on-demand: {frac}"
+        );
+        assert!(trace.max_price() > pon, "no spike ever crossed on-demand");
+    }
+
+    #[test]
+    fn prices_quantised_and_positive() {
+        let c = catalog();
+        let m = small_east();
+        let set = TraceSet::generate(&c, &[m], 3, SimDuration::days(7));
+        for p in set.trace(m).unwrap().points() {
+            assert!(p.price >= PRICE_QUANTUM);
+            let q = (p.price / PRICE_QUANTUM).round() * PRICE_QUANTUM;
+            assert!((p.price - q).abs() < 1e-9, "unquantised price {}", p.price);
+        }
+    }
+
+    #[test]
+    fn eu_west_is_calmer_than_us_east() {
+        let c = catalog();
+        let east = MarketId::new(Zone::UsEast1a, InstanceType::Large);
+        let west = MarketId::new(Zone::EuWest1a, InstanceType::Large);
+        let h = SimDuration::days(90);
+        let set = TraceSet::generate(&c, &[east, west], 17, h);
+        let fe = set.trace(east).unwrap().fraction_above(c.on_demand_price(east));
+        let fw = set.trace(west).unwrap().fraction_above(c.on_demand_price(west));
+        assert!(fe > fw, "us-east {fe} should spike more than eu-west {fw}");
+    }
+
+    #[test]
+    fn horizon_respected() {
+        let c = catalog();
+        let h = SimDuration::days(2);
+        let set = TraceSet::generate(&c, &[small_east()], 23, h);
+        let t = set.trace(small_east()).unwrap();
+        assert_eq!(t.end(), SimTime::ZERO + h);
+        assert!(t.points().iter().all(|p| p.at < t.end()));
+    }
+}

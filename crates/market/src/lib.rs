@@ -1,0 +1,70 @@
+//! # spothost-market
+//!
+//! Spot-market price modelling for the `spothost` system, reproducing the
+//! market environment of *"Cutting the Cost of Hosting Online Services Using
+//! Cloud Spot Markets"* (HPDC 2015).
+//!
+//! The paper's evaluation is seeded by Amazon EC2 spot-price history from
+//! early 2015 across four markets (small/medium/large/xlarge) in four
+//! availability zones (us-east-1a, us-east-1b, us-west-1a, eu-west-1a).
+//! That archive is not available, so this crate provides a *calibrated
+//! synthetic generator* with the statistical properties the paper's results
+//! depend on:
+//!
+//! * long periods of low, slowly-varying prices (a mean-reverting
+//!   Ornstein–Uhlenbeck process in log-space),
+//! * rare, sharp price spikes that can exceed several multiples of the
+//!   on-demand price (a Poisson spike process with Pareto magnitudes),
+//! * weak positive correlation between markets in the same availability
+//!   zone and even weaker correlation across zones (a shared-factor model),
+//!   as shown in the paper's Figures 8(b) and 9(b),
+//! * region character: us-east markets are cheap but volatile, eu-west is
+//!   more expensive but stable (Figure 10).
+//!
+//! The crate also defines the simulation clock ([`time::SimTime`]) used by
+//! every other `spothost` crate, the market catalog (on-demand price book),
+//! and time-weighted statistics over piecewise-constant price traces.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use spothost_market::prelude::*;
+//!
+//! let catalog = Catalog::ec2_2015();
+//! let market = MarketId::new(Zone::UsEast1a, InstanceType::Small);
+//! let model = calibrated_model(market);
+//! let trace = TraceSet::generate(&catalog, &[market], 42, SimDuration::days(28));
+//! let t = trace.trace(market).unwrap();
+//! assert!(t.time_weighted_mean() < catalog.on_demand_price(market));
+//! ```
+
+pub mod calib;
+pub mod catalog;
+pub mod dist;
+pub mod gen;
+pub mod io;
+pub mod model;
+pub mod stats;
+pub mod time;
+pub mod trace;
+pub mod types;
+
+pub use calib::{calibrated_model, calibrated_models};
+pub use catalog::Catalog;
+pub use gen::TraceSet;
+pub use model::SpotModelParams;
+pub use time::{SimDuration, SimTime};
+pub use trace::{PricePoint, PriceTrace, Segment};
+pub use types::{InstanceType, MarketId, Zone};
+
+/// Convenient glob import for downstream crates and examples.
+pub mod prelude {
+    pub use crate::calib::{calibrated_model, calibrated_models};
+    pub use crate::catalog::Catalog;
+    pub use crate::gen::TraceSet;
+    pub use crate::model::SpotModelParams;
+    pub use crate::stats;
+    pub use crate::time::{SimDuration, SimTime};
+    pub use crate::trace::{PricePoint, PriceTrace, Segment};
+    pub use crate::types::{InstanceType, MarketId, Zone};
+}

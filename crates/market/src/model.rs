@@ -1,0 +1,246 @@
+//! Parametric spot-price process.
+//!
+//! The paper's simulations are seeded by published EC2 spot-price history
+//! (Feb–Mar 2015). We replace the archive with a stochastic process whose
+//! parameters expose exactly the trace statistics the paper's results hinge
+//! on. The process has four ingredients:
+//!
+//! 1. **Baseline wander** — a mean-reverting Ornstein–Uhlenbeck process in
+//!    log-price space around `base_ratio * on_demand_price`. This produces
+//!    the long cheap plateaus of Figure 1 and never by itself crosses the
+//!    on-demand price.
+//! 2. **Spikes** — a Poisson process of sharp excursions whose height is a
+//!    Pareto multiple of the *on-demand* price (Figure 1(b) shows a large
+//!    server spiking from a few cents to $3+/hr). Spikes are what revoke
+//!    spot servers: a reactive bidder (bid = on-demand) is revoked by every
+//!    spike; a proactive bidder (bid = 4x on-demand) only by the tall ones.
+//! 3. **Scarcity regimes** — a two-state (calm/elevated) Markov-modulation:
+//!    during elevated periods the baseline rises and spikes become much more
+//!    frequent, modelling multi-hour capacity crunches. Elevated baselines
+//!    stay below on-demand, so a single-market scheduler keeps sitting in a
+//!    risky market, while a multi-market scheduler migrates away from the
+//!    now-pricier market — this is the mechanism behind the paper's finding
+//!    that multi-market bidding lowers *both* cost and unavailability
+//!    (Figure 8) while greedy multi-region bidding can raise unavailability
+//!    by chasing cheap-but-volatile markets (Figure 9(c)).
+//! 4. **Factor structure** — the OU deviation is a weighted sum of a global
+//!    factor, a per-zone factor and an idiosyncratic factor, plus a share of
+//!    zone-wide spikes, giving the weak intra-zone and weaker cross-zone
+//!    price correlations of Figures 8(b) and 9(b).
+
+use crate::time::SimDuration;
+
+/// Parameters of one market's spot-price process. All prices are expressed
+/// relative to the market's on-demand price, so the same parameter set
+/// scales across instance sizes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpotModelParams {
+    /// Mean spot price as a fraction of the on-demand price during calm
+    /// periods (e.g. 0.15 = spot averages 15% of on-demand).
+    pub base_ratio: f64,
+    /// Stationary standard deviation of the OU log-price deviation.
+    pub sigma: f64,
+    /// OU mean-reversion rate, per hour (log deviation halves in
+    /// `ln 2 / theta` hours).
+    pub theta_per_hour: f64,
+    /// Fraction of OU variance carried by the global factor.
+    pub var_share_global: f64,
+    /// Fraction of OU variance carried by the zone factor.
+    pub var_share_zone: f64,
+    /// Idiosyncratic spike arrivals per day during calm periods.
+    pub spike_rate_per_day: f64,
+    /// Multiplier on `spike_rate_per_day` while the market is elevated.
+    pub spike_rate_elevated_mult: f64,
+    /// Mean spike duration.
+    pub spike_duration_mean: SimDuration,
+    /// Spike height = `spike_min_mult * Pareto(alpha)` times the on-demand
+    /// price; `spike_min_mult > 1` guarantees every spike exceeds on-demand.
+    pub spike_min_mult: f64,
+    /// Pareto tail index of spike heights. Smaller = heavier tail = more
+    /// spikes exceed the proactive bid of 4x on-demand.
+    pub spike_pareto_alpha: f64,
+    /// Cap on spike height as a multiple of on-demand (providers clamp spot
+    /// prices; Amazon capped bids at 4x but prices spiked to ~10-15x before
+    /// the bid-cap era).
+    pub spike_cap_mult: f64,
+    /// Mean sojourn in the calm regime.
+    pub calm_mean: SimDuration,
+    /// Mean sojourn in the elevated regime.
+    pub elevated_mean: SimDuration,
+    /// Baseline multiplier while elevated (log-additive); stays below
+    /// on-demand so only spikes trigger revocations.
+    pub elevated_base_mult: f64,
+    /// Zone-wide spike arrivals per day (shared by every market in the
+    /// zone; adds intra-zone correlation).
+    pub zone_spike_rate_per_day: f64,
+    /// Grid step at which the OU component is sampled into the
+    /// piecewise-constant trace.
+    pub step: SimDuration,
+}
+
+impl SpotModelParams {
+    /// A neutral, mid-volatility market. Calibrated per-market values live
+    /// in [`crate::calib`].
+    pub fn default_market() -> Self {
+        SpotModelParams {
+            base_ratio: 0.2,
+            sigma: 0.2,
+            theta_per_hour: 0.1,
+            var_share_global: 0.05,
+            var_share_zone: 0.25,
+            spike_rate_per_day: 0.5,
+            spike_rate_elevated_mult: 8.0,
+            spike_duration_mean: SimDuration::minutes(20),
+            spike_min_mult: 1.1,
+            spike_pareto_alpha: 1.5,
+            spike_cap_mult: 15.0,
+            calm_mean: SimDuration::hours(60),
+            elevated_mean: SimDuration::hours(8),
+            elevated_base_mult: 2.5,
+            zone_spike_rate_per_day: 0.1,
+            step: SimDuration::minutes(5),
+        }
+    }
+
+    /// Long-run fraction of time spent in the elevated regime.
+    pub fn elevated_fraction(&self) -> f64 {
+        let e = self.elevated_mean.as_hours_f64();
+        let c = self.calm_mean.as_hours_f64();
+        e / (e + c)
+    }
+
+    /// Effective (regime-averaged) idiosyncratic spike rate per day.
+    pub fn effective_spike_rate_per_day(&self) -> f64 {
+        let f = self.elevated_fraction();
+        self.spike_rate_per_day * ((1.0 - f) + f * self.spike_rate_elevated_mult)
+    }
+
+    /// Probability that one spike's height exceeds `mult` times on-demand.
+    pub fn spike_exceedance(&self, mult: f64) -> f64 {
+        if mult <= self.spike_min_mult {
+            return 1.0;
+        }
+        if mult >= self.spike_cap_mult {
+            return 0.0;
+        }
+        (self.spike_min_mult / mult).powf(self.spike_pareto_alpha)
+    }
+
+    /// Expected fraction of time the spot price exceeds the on-demand price
+    /// (approximately: every spike exceeds on-demand, baseline never does).
+    pub fn expected_fraction_above_on_demand(&self) -> f64 {
+        let spikes_per_day =
+            self.effective_spike_rate_per_day() + self.zone_spike_rate_per_day;
+        spikes_per_day * self.spike_duration_mean.as_days_f64()
+    }
+
+    /// Idiosyncratic variance share (residual after global and zone).
+    pub fn var_share_idio(&self) -> f64 {
+        1.0 - self.var_share_global - self.var_share_zone
+    }
+
+    /// Validate parameter ranges; used by tests and by the generator's
+    /// debug assertions.
+    pub fn validate(&self) -> Result<(), String> {
+        fn pos(name: &str, v: f64) -> Result<(), String> {
+            if v.is_finite() && v > 0.0 {
+                Ok(())
+            } else {
+                Err(format!("{name} must be positive and finite, got {v}"))
+            }
+        }
+        pos("base_ratio", self.base_ratio)?;
+        if self.base_ratio >= 1.0 {
+            return Err("base_ratio must be < 1 (spot cheaper than on-demand)".into());
+        }
+        pos("sigma", self.sigma)?;
+        pos("theta_per_hour", self.theta_per_hour)?;
+        if !(0.0..=1.0).contains(&self.var_share_global)
+            || !(0.0..=1.0).contains(&self.var_share_zone)
+            || self.var_share_global + self.var_share_zone > 1.0
+        {
+            return Err("factor variance shares must lie in [0,1] and sum to <= 1".into());
+        }
+        if self.spike_rate_per_day < 0.0 || self.zone_spike_rate_per_day < 0.0 {
+            return Err("spike rates must be non-negative".into());
+        }
+        if self.spike_min_mult <= 1.0 {
+            return Err("spike_min_mult must exceed 1 (spikes cross on-demand)".into());
+        }
+        if self.spike_cap_mult <= self.spike_min_mult {
+            return Err("spike_cap_mult must exceed spike_min_mult".into());
+        }
+        pos("spike_pareto_alpha", self.spike_pareto_alpha)?;
+        pos("elevated_base_mult", self.elevated_base_mult)?;
+        if self.elevated_base_mult * self.base_ratio >= 1.0 {
+            return Err("elevated baseline must stay below on-demand".into());
+        }
+        if self.step == SimDuration::ZERO {
+            return Err("step must be positive".into());
+        }
+        if self.spike_duration_mean == SimDuration::ZERO {
+            return Err("spike_duration_mean must be positive".into());
+        }
+        if self.calm_mean == SimDuration::ZERO || self.elevated_mean == SimDuration::ZERO {
+            return Err("regime sojourn means must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_params_validate() {
+        SpotModelParams::default_market().validate().unwrap();
+    }
+
+    #[test]
+    fn elevated_fraction_matches_sojourns() {
+        let p = SpotModelParams::default_market();
+        // 8h elevated / (8h + 60h) calm.
+        assert!((p.elevated_fraction() - 8.0 / 68.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exceedance_is_monotone_and_bounded() {
+        let p = SpotModelParams::default_market();
+        assert_eq!(p.spike_exceedance(1.0), 1.0);
+        assert_eq!(p.spike_exceedance(100.0), 0.0);
+        let e4 = p.spike_exceedance(4.0);
+        let e8 = p.spike_exceedance(8.0);
+        assert!(e4 > e8 && e8 > 0.0);
+        // alpha = 1.5, min 1.1: P(m > 4) = (1.1/4)^1.5 ~ 0.145
+        assert!((e4 - (1.1f64 / 4.0).powf(1.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effective_rate_blends_regimes() {
+        let p = SpotModelParams::default_market();
+        let f = p.elevated_fraction();
+        let expect = 0.5 * ((1.0 - f) + f * 8.0);
+        assert!((p.effective_spike_rate_per_day() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_bad_params() {
+        let mut p = SpotModelParams::default_market();
+        p.base_ratio = 1.5;
+        assert!(p.validate().is_err());
+
+        let mut p = SpotModelParams::default_market();
+        p.spike_min_mult = 0.9;
+        assert!(p.validate().is_err());
+
+        let mut p = SpotModelParams::default_market();
+        p.var_share_global = 0.8;
+        p.var_share_zone = 0.5;
+        assert!(p.validate().is_err());
+
+        let mut p = SpotModelParams::default_market();
+        p.elevated_base_mult = 10.0;
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,342 @@
+//! Simulation clock primitives shared by every `spothost` crate.
+//!
+//! Time is an integer count of **milliseconds** since the start of the
+//! simulation. Millisecond granularity is fine enough to account sub-second
+//! live-migration downtimes (the paper's typical stop-and-copy outage is a
+//! few hundred milliseconds) while keeping arithmetic exact — no floating
+//! point drift in billing-hour boundaries over multi-month simulations.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// An instant on the simulation clock, in milliseconds from simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(pub u64);
+
+pub const MILLIS_PER_SECOND: u64 = 1_000;
+pub const MILLIS_PER_MINUTE: u64 = 60 * MILLIS_PER_SECOND;
+pub const MILLIS_PER_HOUR: u64 = 60 * MILLIS_PER_MINUTE;
+pub const MILLIS_PER_DAY: u64 = 24 * MILLIS_PER_HOUR;
+
+impl SimTime {
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Largest representable instant; used as an "infinitely far" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    pub fn millis(ms: u64) -> Self {
+        SimTime(ms)
+    }
+
+    pub fn secs(s: u64) -> Self {
+        SimTime(s * MILLIS_PER_SECOND)
+    }
+
+    pub fn minutes(m: u64) -> Self {
+        SimTime(m * MILLIS_PER_MINUTE)
+    }
+
+    pub fn hours(h: u64) -> Self {
+        SimTime(h * MILLIS_PER_HOUR)
+    }
+
+    pub fn days(d: u64) -> Self {
+        SimTime(d * MILLIS_PER_DAY)
+    }
+
+    pub fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MILLIS_PER_SECOND as f64
+    }
+
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / MILLIS_PER_HOUR as f64
+    }
+
+    /// Elapsed time since `earlier`, saturating at zero if `earlier` is later.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The next billing-hour boundary *relative to* `lease_start`, strictly
+    /// after `self`. EC2 bills instance-hours measured from launch, so the
+    /// paper's "near the end of a billing period" refers to these
+    /// lease-relative boundaries, not wall-clock hours.
+    pub fn next_lease_hour_boundary(self, lease_start: SimTime) -> SimTime {
+        debug_assert!(self >= lease_start);
+        let elapsed = self.0 - lease_start.0;
+        let hours_done = elapsed / MILLIS_PER_HOUR;
+        SimTime(lease_start.0 + (hours_done + 1) * MILLIS_PER_HOUR)
+    }
+
+    /// Saturating subtraction of a duration.
+    pub fn saturating_sub(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(d.0))
+    }
+
+    pub fn min(self, other: SimTime) -> SimTime {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    pub fn max(self, other: SimTime) -> SimTime {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl SimDuration {
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    pub fn millis(ms: u64) -> Self {
+        SimDuration(ms)
+    }
+
+    pub fn secs(s: u64) -> Self {
+        SimDuration(s * MILLIS_PER_SECOND)
+    }
+
+    /// Construct from a (non-negative, finite) floating-point second count,
+    /// rounding to the nearest millisecond. Negative or NaN inputs clamp to
+    /// zero — model outputs occasionally go epsilon-negative.
+    pub fn secs_f64(s: f64) -> Self {
+        if s.is_nan() || s <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration((s * MILLIS_PER_SECOND as f64).round() as u64)
+    }
+
+    pub fn minutes(m: u64) -> Self {
+        SimDuration(m * MILLIS_PER_MINUTE)
+    }
+
+    pub fn hours(h: u64) -> Self {
+        SimDuration(h * MILLIS_PER_HOUR)
+    }
+
+    pub fn days(d: u64) -> Self {
+        SimDuration(d * MILLIS_PER_DAY)
+    }
+
+    pub fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / MILLIS_PER_SECOND as f64
+    }
+
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / MILLIS_PER_HOUR as f64
+    }
+
+    pub fn as_days_f64(self) -> f64 {
+        self.0 as f64 / MILLIS_PER_DAY as f64
+    }
+
+    /// Number of *whole* hours contained in this duration.
+    pub fn whole_hours(self) -> u64 {
+        self.0 / MILLIS_PER_HOUR
+    }
+
+    /// Number of started hours (ceiling division), the way on-demand
+    /// instance-hours were billed in 2015.
+    pub fn started_hours(self) -> u64 {
+        self.0.div_ceil(MILLIS_PER_HOUR)
+    }
+
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Scale by a non-negative factor, rounding to the nearest millisecond.
+    pub fn mul_f64(self, k: f64) -> SimDuration {
+        debug_assert!(k >= 0.0 && k.is_finite());
+        SimDuration((self.0 as f64 * k).round() as u64)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl std::iter::Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        SimDuration(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total_secs = self.0 / MILLIS_PER_SECOND;
+        let (d, rem) = (total_secs / 86_400, total_secs % 86_400);
+        let (h, rem) = (rem / 3_600, rem % 3_600);
+        let (m, s) = (rem / 60, rem % 60);
+        write!(f, "{d}d {h:02}:{m:02}:{s:02}")
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < MILLIS_PER_SECOND {
+            write!(f, "{}ms", self.0)
+        } else if self.0 < MILLIS_PER_MINUTE {
+            write!(f, "{:.1}s", self.as_secs_f64())
+        } else if self.0 < MILLIS_PER_HOUR {
+            write!(f, "{:.1}min", self.0 as f64 / MILLIS_PER_MINUTE as f64)
+        } else {
+            write!(f, "{:.2}h", self.as_hours_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::secs(1).as_millis(), 1_000);
+        assert_eq!(SimTime::minutes(2), SimTime::secs(120));
+        assert_eq!(SimTime::hours(1), SimTime::minutes(60));
+        assert_eq!(SimTime::days(1), SimTime::hours(24));
+        assert_eq!(SimDuration::days(2).whole_hours(), 48);
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = SimTime::hours(5);
+        let d = SimDuration::minutes(30);
+        assert_eq!((t + d) - t, d);
+        assert_eq!((t + d) - d, t);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = SimTime::secs(10);
+        let b = SimTime::secs(20);
+        assert_eq!(a.since(b), SimDuration::ZERO);
+        assert_eq!(b.since(a), SimDuration::secs(10));
+    }
+
+    #[test]
+    fn lease_hour_boundary_is_relative_to_lease_start() {
+        let lease = SimTime::minutes(17);
+        // 10 minutes into the lease -> boundary at lease + 1h.
+        let now = lease + SimDuration::minutes(10);
+        assert_eq!(
+            now.next_lease_hour_boundary(lease),
+            lease + SimDuration::hours(1)
+        );
+        // Exactly on a boundary -> the *next* one.
+        let on_boundary = lease + SimDuration::hours(2);
+        assert_eq!(
+            on_boundary.next_lease_hour_boundary(lease),
+            lease + SimDuration::hours(3)
+        );
+    }
+
+    #[test]
+    fn started_hours_rounds_up() {
+        assert_eq!(SimDuration::ZERO.started_hours(), 0);
+        assert_eq!(SimDuration::millis(1).started_hours(), 1);
+        assert_eq!(SimDuration::hours(1).started_hours(), 1);
+        assert_eq!((SimDuration::hours(1) + SimDuration::millis(1)).started_hours(), 2);
+    }
+
+    #[test]
+    fn secs_f64_clamps_garbage() {
+        assert_eq!(SimDuration::secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::secs_f64(1.5), SimDuration::millis(1_500));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimDuration::millis(12).to_string(), "12ms");
+        assert_eq!(SimDuration::secs(3).to_string(), "3.0s");
+        assert_eq!(SimTime::ZERO.to_string(), "0d 00:00:00");
+        assert_eq!(
+            (SimTime::days(1) + SimDuration::secs(3_661)).to_string(),
+            "1d 01:01:01"
+        );
+    }
+}

@@ -1,0 +1,450 @@
+//! Piecewise-constant spot-price traces.
+//!
+//! EC2 publishes spot prices as a sequence of (timestamp, price) change
+//! events; between changes the price is constant. We keep exactly that
+//! representation: simulation becomes event-driven (the scheduler only needs
+//! to wake at price changes and billing boundaries), and statistics are
+//! computed *time-weighted* so that a one-minute spike does not count the
+//! same as a six-hour plateau.
+
+use crate::time::{SimDuration, SimTime};
+
+/// One price-change event: from `at` (inclusive) the price is `price`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PricePoint {
+    pub at: SimTime,
+    pub price: f64,
+}
+
+/// A constant-price interval `[start, end)` within a trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    pub start: SimTime,
+    pub end: SimTime,
+    pub price: f64,
+}
+
+impl Segment {
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+}
+
+/// A complete spot-price history over `[0, end)`.
+///
+/// Invariants (checked at construction):
+/// * at least one point, the first at time zero,
+/// * strictly increasing timestamps,
+/// * strictly positive, finite prices,
+/// * `end` at or after the last point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriceTrace {
+    points: Vec<PricePoint>,
+    end: SimTime,
+}
+
+impl PriceTrace {
+    /// Build a trace, validating invariants. Panics on malformed input —
+    /// traces are produced by generators under our control, so a violation
+    /// is a programming error, not a recoverable condition.
+    pub fn new(points: Vec<PricePoint>, end: SimTime) -> Self {
+        assert!(!points.is_empty(), "trace must have at least one point");
+        assert_eq!(points[0].at, SimTime::ZERO, "trace must start at t=0");
+        for w in points.windows(2) {
+            assert!(
+                w[0].at < w[1].at,
+                "trace timestamps must be strictly increasing"
+            );
+        }
+        for p in &points {
+            assert!(
+                p.price.is_finite() && p.price > 0.0,
+                "prices must be positive and finite, got {}",
+                p.price
+            );
+        }
+        assert!(
+            end > points.last().unwrap().at || (points.len() == 1 && end >= SimTime::ZERO),
+            "trace end must be after the last change"
+        );
+        PriceTrace { points, end }
+    }
+
+    /// A trace that holds one constant price for the whole horizon.
+    pub fn constant(price: f64, end: SimTime) -> Self {
+        PriceTrace::new(
+            vec![PricePoint {
+                at: SimTime::ZERO,
+                price,
+            }],
+            end,
+        )
+    }
+
+    pub fn end(&self) -> SimTime {
+        self.end
+    }
+
+    pub fn points(&self) -> &[PricePoint] {
+        &self.points
+    }
+
+    pub fn num_changes(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Index of the segment containing `t` (last point with `at <= t`).
+    fn segment_index(&self, t: SimTime) -> usize {
+        match self.points.binary_search_by(|p| p.at.cmp(&t)) {
+            Ok(i) => i,
+            Err(0) => 0, // t before first point cannot happen (first at 0)
+            Err(i) => i - 1,
+        }
+    }
+
+    /// The spot price in effect at instant `t`. Times at or past `end`
+    /// return the final price (the trace is extended by its last value).
+    pub fn price_at(&self, t: SimTime) -> f64 {
+        self.points[self.segment_index(t)].price
+    }
+
+    /// First price-change time strictly after `t`, if any remains.
+    pub fn next_change_after(&self, t: SimTime) -> Option<SimTime> {
+        let i = self.segment_index(t);
+        self.points.get(i + 1).map(|p| p.at)
+    }
+
+    /// Earliest instant `>= from` at which the price is `> threshold`
+    /// (strictly above: EC2 revokes when the spot price *exceeds* the bid).
+    pub fn next_time_above(&self, from: SimTime, threshold: f64) -> Option<SimTime> {
+        let mut i = self.segment_index(from);
+        if self.points[i].price > threshold {
+            return Some(from);
+        }
+        i += 1;
+        while i < self.points.len() {
+            if self.points[i].price > threshold {
+                let at = self.points[i].at;
+                return (at < self.end).then_some(at);
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Earliest instant `>= from` at which the price is `<= threshold`.
+    pub fn next_time_at_or_below(&self, from: SimTime, threshold: f64) -> Option<SimTime> {
+        let mut i = self.segment_index(from);
+        if self.points[i].price <= threshold {
+            return Some(from);
+        }
+        i += 1;
+        while i < self.points.len() {
+            if self.points[i].price <= threshold {
+                let at = self.points[i].at;
+                return (at < self.end).then_some(at);
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Iterate the constant-price segments over `[0, end)`.
+    pub fn segments(&self) -> impl Iterator<Item = Segment> + '_ {
+        let end = self.end;
+        self.points.iter().enumerate().map(move |(i, p)| Segment {
+            start: p.at,
+            end: self.points.get(i + 1).map_or(end, |n| n.at),
+            price: p.price,
+        })
+    }
+
+    /// Segments clipped to the window `[from, to)`.
+    pub fn segments_in(&self, from: SimTime, to: SimTime) -> Vec<Segment> {
+        assert!(from <= to);
+        self.segments()
+            .filter(|s| s.end > from && s.start < to)
+            .map(|s| Segment {
+                start: s.start.max(from),
+                end: s.end.min(to),
+                price: s.price,
+            })
+            .collect()
+    }
+
+    /// Time-weighted mean price over the whole trace.
+    pub fn time_weighted_mean(&self) -> f64 {
+        self.time_weighted_mean_in(SimTime::ZERO, self.end)
+    }
+
+    /// Time-weighted mean over `[from, to)`.
+    pub fn time_weighted_mean_in(&self, from: SimTime, to: SimTime) -> f64 {
+        let total = (to - from).as_millis();
+        if total == 0 {
+            return self.price_at(from);
+        }
+        let mut acc = 0.0;
+        for s in self.segments_in(from, to) {
+            acc += s.price * s.duration().as_millis() as f64;
+        }
+        acc / total as f64
+    }
+
+    /// Time-weighted standard deviation of the price (population form).
+    pub fn time_weighted_std(&self) -> f64 {
+        let mean = self.time_weighted_mean();
+        let total = self.end.as_millis();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for s in self.segments() {
+            let d = s.price - mean;
+            acc += d * d * s.duration().as_millis() as f64;
+        }
+        (acc / total as f64).sqrt()
+    }
+
+    /// Fraction of the window `[from, to)` spent strictly above
+    /// `threshold` — an *observable* revocation-risk signal (a scheduler
+    /// can compute it from published price history), used by
+    /// stability-aware bidding.
+    pub fn fraction_above_in(&self, from: SimTime, to: SimTime, threshold: f64) -> f64 {
+        assert!(from <= to);
+        let total = (to - from).as_millis();
+        if total == 0 {
+            return 0.0;
+        }
+        let above: SimDuration = self
+            .segments_in(from, to)
+            .iter()
+            .filter(|s| s.price > threshold)
+            .map(|s| s.duration())
+            .sum();
+        above.as_millis() as f64 / total as f64
+    }
+
+    /// Total time during which the price is strictly above `threshold`.
+    pub fn time_above(&self, threshold: f64) -> SimDuration {
+        self.segments()
+            .filter(|s| s.price > threshold)
+            .map(|s| s.duration())
+            .sum()
+    }
+
+    /// Fraction of the horizon spent strictly above `threshold`, in `[0,1]`.
+    pub fn fraction_above(&self, threshold: f64) -> f64 {
+        let total = self.end.as_millis();
+        if total == 0 {
+            return 0.0;
+        }
+        self.time_above(threshold).as_millis() as f64 / total as f64
+    }
+
+    /// Sample the price on a regular grid (`t = 0, dt, 2dt, ...` while
+    /// `t < end`). Used for cross-trace correlation, which needs aligned
+    /// observations.
+    pub fn sample(&self, dt: SimDuration) -> Vec<f64> {
+        assert!(dt > SimDuration::ZERO);
+        let mut out = Vec::with_capacity((self.end.as_millis() / dt.as_millis()) as usize + 1);
+        let mut t = SimTime::ZERO;
+        // Walk segments and the grid together: O(n + samples) not
+        // O(samples * log n).
+        let mut idx = 0usize;
+        while t < self.end {
+            while idx + 1 < self.points.len() && self.points[idx + 1].at <= t {
+                idx += 1;
+            }
+            out.push(self.points[idx].price);
+            t += dt;
+        }
+        out
+    }
+
+    pub fn min_price(&self) -> f64 {
+        self.points.iter().map(|p| p.price).fold(f64::MAX, f64::min)
+    }
+
+    pub fn max_price(&self) -> f64 {
+        self.points.iter().map(|p| p.price).fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> PriceTrace {
+        // [0,10s): 1.0   [10s,20s): 3.0   [20s,60s): 0.5
+        PriceTrace::new(
+            vec![
+                PricePoint {
+                    at: SimTime::ZERO,
+                    price: 1.0,
+                },
+                PricePoint {
+                    at: SimTime::secs(10),
+                    price: 3.0,
+                },
+                PricePoint {
+                    at: SimTime::secs(20),
+                    price: 0.5,
+                },
+            ],
+            SimTime::secs(60),
+        )
+    }
+
+    #[test]
+    fn price_at_picks_correct_segment() {
+        let t = trace();
+        assert_eq!(t.price_at(SimTime::ZERO), 1.0);
+        assert_eq!(t.price_at(SimTime::secs(9)), 1.0);
+        assert_eq!(t.price_at(SimTime::secs(10)), 3.0);
+        assert_eq!(t.price_at(SimTime::secs(19)), 3.0);
+        assert_eq!(t.price_at(SimTime::secs(20)), 0.5);
+        // Past the end: extended with last value.
+        assert_eq!(t.price_at(SimTime::secs(600)), 0.5);
+    }
+
+    #[test]
+    fn next_change_after_walks_points() {
+        let t = trace();
+        assert_eq!(t.next_change_after(SimTime::ZERO), Some(SimTime::secs(10)));
+        assert_eq!(
+            t.next_change_after(SimTime::secs(10)),
+            Some(SimTime::secs(20))
+        );
+        assert_eq!(t.next_change_after(SimTime::secs(20)), None);
+    }
+
+    #[test]
+    fn crossing_queries() {
+        let t = trace();
+        // Strictly above 1.0 first happens at the 3.0 segment.
+        assert_eq!(
+            t.next_time_above(SimTime::ZERO, 1.0),
+            Some(SimTime::secs(10))
+        );
+        // Already above when starting inside the spike.
+        assert_eq!(
+            t.next_time_above(SimTime::secs(15), 1.0),
+            Some(SimTime::secs(15))
+        );
+        // Never above 5.0.
+        assert_eq!(t.next_time_above(SimTime::ZERO, 5.0), None);
+        // At-or-below 0.6 first at the tail segment.
+        assert_eq!(
+            t.next_time_at_or_below(SimTime::secs(12), 0.6),
+            Some(SimTime::secs(20))
+        );
+    }
+
+    #[test]
+    fn time_weighted_mean_weights_by_duration() {
+        let t = trace();
+        // (1.0*10 + 3.0*10 + 0.5*40) / 60 = 60/60 = 1.0
+        assert!((t.time_weighted_mean() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn windowed_mean() {
+        let t = trace();
+        // [5s, 15s): 1.0 for 5s then 3.0 for 5s -> 2.0
+        let m = t.time_weighted_mean_in(SimTime::secs(5), SimTime::secs(15));
+        assert!((m - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn std_of_constant_trace_is_zero() {
+        let t = PriceTrace::constant(0.3, SimTime::hours(5));
+        assert_eq!(t.time_weighted_std(), 0.0);
+    }
+
+    #[test]
+    fn fraction_above_in_window() {
+        let t = trace();
+        // Window [5s, 25s): above 1.0 only during [10s, 20s) -> 10/20.
+        let f = t.fraction_above_in(SimTime::secs(5), SimTime::secs(25), 1.0);
+        assert!((f - 0.5).abs() < 1e-12);
+        // Empty window.
+        assert_eq!(t.fraction_above_in(SimTime::secs(5), SimTime::secs(5), 1.0), 0.0);
+        // Window entirely below threshold.
+        assert_eq!(t.fraction_above_in(SimTime::secs(20), SimTime::secs(60), 1.0), 0.0);
+    }
+
+    #[test]
+    fn time_above_and_fraction() {
+        let t = trace();
+        assert_eq!(t.time_above(1.0), SimDuration::secs(10));
+        assert!((t.fraction_above(1.0) - 10.0 / 60.0).abs() < 1e-12);
+        assert_eq!(t.time_above(0.1), SimDuration::secs(60));
+    }
+
+    #[test]
+    fn sampling_grid() {
+        let t = trace();
+        let s = t.sample(SimDuration::secs(10));
+        assert_eq!(s, vec![1.0, 3.0, 0.5, 0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn segments_in_clips() {
+        let t = trace();
+        let segs = t.segments_in(SimTime::secs(5), SimTime::secs(25));
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[0].start, SimTime::secs(5));
+        assert_eq!(segs[0].end, SimTime::secs(10));
+        assert_eq!(segs[2].start, SimTime::secs(20));
+        assert_eq!(segs[2].end, SimTime::secs(25));
+    }
+
+    #[test]
+    fn min_max() {
+        let t = trace();
+        assert_eq!(t.min_price(), 0.5);
+        assert_eq!(t.max_price(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_points() {
+        PriceTrace::new(
+            vec![
+                PricePoint {
+                    at: SimTime::ZERO,
+                    price: 1.0,
+                },
+                PricePoint {
+                    at: SimTime::ZERO,
+                    price: 2.0,
+                },
+            ],
+            SimTime::secs(10),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn rejects_nonpositive_price() {
+        PriceTrace::new(
+            vec![PricePoint {
+                at: SimTime::ZERO,
+                price: 0.0,
+            }],
+            SimTime::secs(10),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "start at t=0")]
+    fn rejects_late_start() {
+        PriceTrace::new(
+            vec![PricePoint {
+                at: SimTime::secs(1),
+                price: 1.0,
+            }],
+            SimTime::secs(10),
+        );
+    }
+}

@@ -1,0 +1,278 @@
+//! Core market identifiers: instance types, availability zones, market ids.
+//!
+//! Terminology follows the paper. A *market* is one spot price series — one
+//! (zone, instance-type) pair. The paper's "multi-market" experiments move
+//! between instance sizes *within* a zone (Figure 8); "multi-region" moves
+//! across zones (Figure 9). The four zones evaluated are US East 1A,
+//! US East 1B, US West 1A and Europe West 1A (§4.1).
+
+use std::fmt;
+
+/// Instance size classes evaluated in the paper (§4.1).
+///
+/// Capacity units express the relative compute capacity used when packing
+/// multiple nested VMs onto a larger server in the multi-market strategy
+/// (§4, footnote 2): each size doubles the previous one, mirroring the
+/// 2015-era EC2 price/capacity doubling ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum InstanceType {
+    Small,
+    Medium,
+    Large,
+    XLarge,
+}
+
+impl InstanceType {
+    pub const ALL: [InstanceType; 4] = [
+        InstanceType::Small,
+        InstanceType::Medium,
+        InstanceType::Large,
+        InstanceType::XLarge,
+    ];
+
+    /// Relative capacity (small = 1). Doubles with each size step.
+    pub fn capacity_units(self) -> u32 {
+        match self {
+            InstanceType::Small => 1,
+            InstanceType::Medium => 2,
+            InstanceType::Large => 4,
+            InstanceType::XLarge => 8,
+        }
+    }
+
+    /// Nominal RAM of the instance in GiB, used to parameterise migration
+    /// and checkpointing latency (memory state is what must move).
+    /// Matches the 2015-era generation the paper measured (a 2 GB VM is the
+    /// micro-benchmark subject in Table 2).
+    pub fn memory_gib(self) -> f64 {
+        match self {
+            InstanceType::Small => 2.0,
+            InstanceType::Medium => 4.0,
+            InstanceType::Large => 8.0,
+            InstanceType::XLarge => 16.0,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            InstanceType::Small => "small",
+            InstanceType::Medium => "medium",
+            InstanceType::Large => "large",
+            InstanceType::XLarge => "xlarge",
+        }
+    }
+
+    pub fn index(self) -> usize {
+        match self {
+            InstanceType::Small => 0,
+            InstanceType::Medium => 1,
+            InstanceType::Large => 2,
+            InstanceType::XLarge => 3,
+        }
+    }
+}
+
+impl fmt::Display for InstanceType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Geographic region of an availability zone. Zones in the same region share
+/// LAN-class connectivity (networked storage reachable, sub-second live
+/// migration downtime); cross-region moves are WAN migrations that must also
+/// copy disk state (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Region {
+    UsEast1,
+    UsWest1,
+    EuWest1,
+}
+
+impl Region {
+    pub const ALL: [Region; 3] = [Region::UsEast1, Region::UsWest1, Region::EuWest1];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Region::UsEast1 => "us-east-1",
+            Region::UsWest1 => "us-west-1",
+            Region::EuWest1 => "eu-west-1",
+        }
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The four availability zones the paper evaluates (§4.1). The paper calls
+/// these "regions" in its figure labels; we keep the EC2-accurate term and
+/// expose [`Zone::region`] for WAN/LAN distinctions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Zone {
+    UsEast1a,
+    UsEast1b,
+    UsWest1a,
+    EuWest1a,
+}
+
+impl Zone {
+    pub const ALL: [Zone; 4] = [
+        Zone::UsEast1a,
+        Zone::UsEast1b,
+        Zone::UsWest1a,
+        Zone::EuWest1a,
+    ];
+
+    pub fn region(self) -> Region {
+        match self {
+            Zone::UsEast1a | Zone::UsEast1b => Region::UsEast1,
+            Zone::UsWest1a => Region::UsWest1,
+            Zone::EuWest1a => Region::EuWest1,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Zone::UsEast1a => "us-east-1a",
+            Zone::UsEast1b => "us-east-1b",
+            Zone::UsWest1a => "us-west-1a",
+            Zone::EuWest1a => "eu-west-1a",
+        }
+    }
+
+    pub fn index(self) -> usize {
+        match self {
+            Zone::UsEast1a => 0,
+            Zone::UsEast1b => 1,
+            Zone::UsWest1a => 2,
+            Zone::EuWest1a => 3,
+        }
+    }
+
+    /// All unordered zone pairs, in the order the paper's Figure 9 lists them.
+    pub fn all_pairs() -> Vec<(Zone, Zone)> {
+        let mut out = Vec::new();
+        for (i, &a) in Zone::ALL.iter().enumerate() {
+            for &b in &Zone::ALL[i + 1..] {
+                out.push((a, b));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Zone {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One spot market: a (zone, instance-type) pair with its own price series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MarketId {
+    pub zone: Zone,
+    pub itype: InstanceType,
+}
+
+impl MarketId {
+    pub fn new(zone: Zone, itype: InstanceType) -> Self {
+        MarketId { zone, itype }
+    }
+
+    /// Every market in the paper's evaluation: 4 zones x 4 sizes.
+    pub fn all() -> Vec<MarketId> {
+        let mut v = Vec::with_capacity(16);
+        for &zone in &Zone::ALL {
+            for &itype in &InstanceType::ALL {
+                v.push(MarketId { zone, itype });
+            }
+        }
+        v
+    }
+
+    /// Every market (all sizes) in one zone — the multi-market candidate set.
+    pub fn all_in_zone(zone: Zone) -> Vec<MarketId> {
+        InstanceType::ALL
+            .iter()
+            .map(|&itype| MarketId { zone, itype })
+            .collect()
+    }
+
+    /// A compact dense index in `0..16`, usable for array-backed lookup.
+    pub fn dense_index(self) -> usize {
+        self.zone.index() * InstanceType::ALL.len() + self.itype.index()
+    }
+}
+
+impl fmt::Display for MarketId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.zone, self.itype)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_doubles() {
+        let mut prev = 0;
+        for t in InstanceType::ALL {
+            let c = t.capacity_units();
+            if prev != 0 {
+                assert_eq!(c, prev * 2);
+            }
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn memory_scales_with_capacity() {
+        for t in InstanceType::ALL {
+            assert_eq!(t.memory_gib(), 2.0 * t.capacity_units() as f64);
+        }
+    }
+
+    #[test]
+    fn zones_map_to_regions() {
+        assert_eq!(Zone::UsEast1a.region(), Region::UsEast1);
+        assert_eq!(Zone::UsEast1b.region(), Region::UsEast1);
+        assert_eq!(Zone::UsWest1a.region(), Region::UsWest1);
+        assert_eq!(Zone::EuWest1a.region(), Region::EuWest1);
+        // Same-region pair exists exactly once among the four zones.
+        let same_region = Zone::all_pairs()
+            .into_iter()
+            .filter(|(a, b)| a.region() == b.region())
+            .count();
+        assert_eq!(same_region, 1);
+    }
+
+    #[test]
+    fn sixteen_markets_with_unique_dense_indices() {
+        let all = MarketId::all();
+        assert_eq!(all.len(), 16);
+        let mut seen = [false; 16];
+        for m in &all {
+            let i = m.dense_index();
+            assert!(!seen[i], "duplicate dense index {i}");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn six_zone_pairs() {
+        assert_eq!(Zone::all_pairs().len(), 6);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(
+            MarketId::new(Zone::EuWest1a, InstanceType::XLarge).to_string(),
+            "eu-west-1a/xlarge"
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests of the trace generator: whatever (valid) model
+//! parameters are drawn, generated traces must satisfy the format and
+//! statistical invariants the rest of the system relies on.
+
+use proptest::prelude::*;
+use spothost_market::catalog::Catalog;
+use spothost_market::gen::TraceSet;
+use spothost_market::model::SpotModelParams;
+use spothost_market::prelude::*;
+
+fn market() -> MarketId {
+    MarketId::new(Zone::UsWest1a, InstanceType::Medium)
+}
+
+fn arb_params() -> impl Strategy<Value = SpotModelParams> {
+    (
+        0.03f64..0.7,  // base_ratio
+        0.01f64..0.5,  // sigma
+        0.01f64..0.2,  // theta
+        0.0f64..6.0,   // spike rate
+        1.05f64..2.0,  // spike min mult
+        0.8f64..3.0,   // pareto alpha
+        2u64..90,      // spike duration minutes
+        1.0f64..3.0,   // elevated mult
+        0.0f64..0.5,   // zone spike rate
+    )
+        .prop_map(
+            |(base, sigma, theta, spikes, min_mult, alpha, dur, elev, zrate)| {
+                let mut p = SpotModelParams::default_market();
+                p.base_ratio = base;
+                p.sigma = sigma;
+                p.theta_per_hour = theta;
+                p.spike_rate_per_day = spikes;
+                p.spike_min_mult = min_mult;
+                p.spike_pareto_alpha = alpha;
+                p.spike_duration_mean = SimDuration::minutes(dur);
+                p.elevated_base_mult = if base * elev < 0.98 { elev.max(1.0001) } else { 1.0001 };
+                p.zone_spike_rate_per_day = zrate;
+                p
+            },
+        )
+        .prop_filter("valid", |p| p.validate().is_ok())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn generated_traces_are_wellformed(params in arb_params(), seed in 0u64..10_000) {
+        let catalog = Catalog::ec2_2015();
+        let horizon = SimDuration::days(5);
+        let set = TraceSet::generate_with(&catalog, &[(market(), params)], seed, horizon);
+        let trace = set.trace(market()).unwrap();
+
+        // Format invariants.
+        prop_assert_eq!(trace.end(), SimTime::ZERO + horizon);
+        let mut prev = None;
+        for p in trace.points() {
+            prop_assert!(p.price > 0.0 && p.price.is_finite());
+            prop_assert!(p.at < trace.end());
+            if let Some(prev) = prev {
+                prop_assert!(p.at > prev, "timestamps strictly increasing");
+            }
+            prev = Some(p.at);
+            // EC2 price granularity.
+            let q = (p.price * 1000.0).round() / 1000.0;
+            prop_assert!((p.price - q).abs() < 1e-9, "unquantised {}", p.price);
+        }
+
+        // Statistical sanity: the time-weighted mean can't exceed the
+        // spike cap and can't fall below the price floor.
+        let pon = catalog.on_demand_price(market());
+        let mean = trace.time_weighted_mean();
+        prop_assert!(mean >= 0.001);
+        prop_assert!(mean <= pon * 16.0);
+    }
+
+    #[test]
+    fn generation_deterministic_in_seed(params in arb_params(), seed in 0u64..10_000) {
+        let catalog = Catalog::ec2_2015();
+        let horizon = SimDuration::days(2);
+        let a = TraceSet::generate_with(&catalog, &[(market(), params.clone())], seed, horizon);
+        let b = TraceSet::generate_with(&catalog, &[(market(), params)], seed, horizon);
+        prop_assert_eq!(a.trace(market()).unwrap(), b.trace(market()).unwrap());
+    }
+
+    #[test]
+    fn spikeless_models_stay_below_on_demand(
+        base in 0.05f64..0.5,
+        sigma in 0.01f64..0.15,
+        seed in 0u64..10_000,
+    ) {
+        // Without spikes, the OU baseline must essentially never cross the
+        // on-demand price (this is what makes revocations spike-driven).
+        let mut p = SpotModelParams::default_market();
+        p.base_ratio = base;
+        p.sigma = sigma;
+        p.spike_rate_per_day = 0.0;
+        p.zone_spike_rate_per_day = 0.0;
+        p.elevated_base_mult = 1.0001;
+        let catalog = Catalog::ec2_2015();
+        let set = TraceSet::generate_with(&catalog, &[(market(), p)], seed, SimDuration::days(5));
+        let trace = set.trace(market()).unwrap();
+        let pon = catalog.on_demand_price(market());
+        prop_assert!(
+            trace.fraction_above(pon) < 0.001,
+            "baseline crossed on-demand {}% of the time",
+            trace.fraction_above(pon) * 100.0
+        );
+    }
+
+    #[test]
+    fn higher_spike_rates_mean_more_time_above_on_demand(
+        seed in 0u64..1_000,
+    ) {
+        let catalog = Catalog::ec2_2015();
+        let mk = |rate: f64| {
+            let mut p = SpotModelParams::default_market();
+            p.spike_rate_per_day = rate;
+            p.zone_spike_rate_per_day = 0.0;
+            let set = TraceSet::generate_with(
+                &catalog, &[(market(), p)], seed, SimDuration::days(30));
+            let t = set.trace(market()).unwrap();
+            t.fraction_above(catalog.on_demand_price(market()))
+        };
+        let calm = mk(0.2);
+        let stormy = mk(5.0);
+        prop_assert!(stormy >= calm, "stormy {stormy} vs calm {calm}");
+    }
+}

@@ -1,0 +1,156 @@
+//! Yank-style bounded memory checkpointing (Singh et al., NSDI'13).
+//!
+//! The checkpointer continuously writes memory state to a network volume in
+//! the background. Given a bound `tau`, it adapts the checkpoint period so
+//! that the *incremental* state accumulated since the last checkpoint can
+//! always be flushed within `tau` seconds. Because the volume survives
+//! revocation, a spot server that receives its two-minute warning only has
+//! to flush that bounded increment — which is why forced migrations are
+//! feasible at all (§3.2).
+
+use crate::params::VirtParams;
+use crate::vm::VmSpec;
+use spothost_market::time::SimDuration;
+
+/// A configured bounded checkpointer for one VM.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundedCheckpointer {
+    /// Bound on the final incremental write.
+    pub tau: SimDuration,
+    /// Write rate to the network volume, s/GiB.
+    write_s_per_gib: f64,
+    /// The VM's dirty rate, GiB/s.
+    dirty_rate_gib_per_s: f64,
+    /// The VM's total memory, GiB.
+    memory_gib: f64,
+    /// Fixed per-checkpoint cost (snapshot setup, metadata), seconds.
+    fixed_overhead_s: f64,
+}
+
+impl BoundedCheckpointer {
+    pub fn new(vm: &VmSpec, params: &VirtParams) -> Self {
+        debug_assert!(vm.validate().is_ok());
+        debug_assert!(params.validate().is_ok());
+        BoundedCheckpointer {
+            tau: params.yank_bound,
+            write_s_per_gib: params.ckpt_write_s_per_gib,
+            dirty_rate_gib_per_s: vm.dirty_rate_gib_per_s,
+            memory_gib: vm.memory_gib,
+            fixed_overhead_s: params.ckpt_fixed_overhead_s,
+        }
+    }
+
+    /// The most incremental state (GiB) that can be flushed within `tau`.
+    pub fn max_increment_gib(&self) -> f64 {
+        self.tau.as_secs_f64() / self.write_s_per_gib
+    }
+
+    /// The background checkpoint period that keeps the increment under the
+    /// bound: dirty_rate * period <= max_increment. A VM that dirties
+    /// nothing needs no periodic checkpoints (`None`).
+    pub fn checkpoint_period(&self) -> Option<SimDuration> {
+        if self.dirty_rate_gib_per_s == 0.0 {
+            return None;
+        }
+        let period_s = self.max_increment_gib() / self.dirty_rate_gib_per_s;
+        Some(SimDuration::secs_f64(period_s))
+    }
+
+    /// Duration of the initial full checkpoint (whole memory).
+    pub fn full_checkpoint_duration(&self) -> SimDuration {
+        SimDuration::secs_f64(self.memory_gib * self.write_s_per_gib)
+    }
+
+    /// Duration of the final incremental flush when a revocation warning
+    /// arrives `elapsed` after the last background checkpoint. Bounded by
+    /// `tau` *by construction* — the Yank invariant.
+    pub fn final_write_duration(&self, elapsed: SimDuration) -> SimDuration {
+        let dirty_gib = (self.dirty_rate_gib_per_s * elapsed.as_secs_f64())
+            .min(self.max_increment_gib())
+            .min(self.memory_gib);
+        SimDuration::secs_f64(dirty_gib * self.write_s_per_gib).min(self.tau)
+    }
+
+    /// Fraction of volume write bandwidth consumed by background
+    /// checkpointing in steady state: each period spends up to `tau`
+    /// flushing the increment plus the fixed per-checkpoint cost. This is
+    /// the Yank trade-off — a smaller bound means shorter forced-migration
+    /// flushes but a shorter period, paying the fixed cost more often.
+    pub fn background_write_utilization(&self) -> f64 {
+        match self.checkpoint_period() {
+            None => 0.0,
+            Some(period) => {
+                let write_time = self.tau.as_secs_f64() + self.fixed_overhead_s;
+                (write_time / period.as_secs_f64()).min(1.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ckpt() -> BoundedCheckpointer {
+        BoundedCheckpointer::new(&VmSpec::paper_2gib(), &VirtParams::typical())
+    }
+
+    #[test]
+    fn yank_invariant_final_write_never_exceeds_tau() {
+        let c = ckpt();
+        for secs in [0u64, 1, 10, 100, 1_000, 100_000] {
+            let w = c.final_write_duration(SimDuration::secs(secs));
+            assert!(w <= c.tau, "elapsed {secs}s -> write {w} > tau {}", c.tau);
+        }
+    }
+
+    #[test]
+    fn period_keeps_increment_at_bound() {
+        let c = ckpt();
+        let period = c.checkpoint_period().unwrap();
+        // Dirty state accumulated over exactly one period flushes in tau.
+        let w = c.final_write_duration(period);
+        assert!((w.as_secs_f64() - c.tau.as_secs_f64()).abs() < 0.05);
+    }
+
+    #[test]
+    fn full_checkpoint_is_28s_per_gib() {
+        // Paper: 28 s/GB -> 56 s for the 2 GiB VM.
+        let c = ckpt();
+        let d = c.full_checkpoint_duration().as_secs_f64();
+        assert!((d - 56.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_vm_needs_no_periodic_checkpoints() {
+        let mut vm = VmSpec::paper_2gib();
+        vm.dirty_rate_gib_per_s = 0.0;
+        let c = BoundedCheckpointer::new(&vm, &VirtParams::typical());
+        assert_eq!(c.checkpoint_period(), None);
+        assert_eq!(c.background_write_utilization(), 0.0);
+        // Final write right after a checkpoint is (near) nothing.
+        assert_eq!(
+            c.final_write_duration(SimDuration::hours(1)),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn faster_dirtying_means_shorter_period() {
+        let p = VirtParams::typical();
+        let slow = BoundedCheckpointer::new(&VmSpec::paper_2gib(), &p);
+        let mut hot = VmSpec::paper_2gib();
+        hot.dirty_rate_gib_per_s = 0.05;
+        let fast = BoundedCheckpointer::new(&hot, &p);
+        assert!(fast.checkpoint_period().unwrap() < slow.checkpoint_period().unwrap());
+        assert!(fast.background_write_utilization() > slow.background_write_utilization());
+    }
+
+    #[test]
+    fn utilization_capped_at_one() {
+        let mut vm = VmSpec::paper_2gib();
+        vm.dirty_rate_gib_per_s = 10.0; // dirtier than the link can drain
+        let c = BoundedCheckpointer::new(&vm, &VirtParams::typical());
+        assert_eq!(c.background_write_utilization(), 1.0);
+    }
+}

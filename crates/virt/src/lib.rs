@@ -1,0 +1,46 @@
+//! # spothost-virt
+//!
+//! Models of the four OS-level mechanisms the paper's cloud scheduler
+//! combines (§3.2), parameterised by the paper's own micro-benchmark
+//! measurements (Tables 1–2) on Xen-Blanket nested VMs in EC2:
+//!
+//! * **Nested virtualization** — running the service inside a nested VM
+//!   gives the customer migration control the cloud provider doesn't
+//!   expose; it costs a small I/O penalty and a load-dependent CPU penalty
+//!   (§6, [`overhead`]).
+//! * **Live migration** — iterative pre-copy (Clark et al., NSDI'05):
+//!   memory pages stream to the target over several rounds while the VM
+//!   runs; sub-second stop-and-copy downtime in the typical case
+//!   ([`live`]).
+//! * **Bounded memory checkpointing** — Yank-style (NSDI'13) background
+//!   incremental checkpointing to a network volume, tuned so the final
+//!   incremental write always fits a bound `tau` — and therefore fits a
+//!   spot server's two-minute revocation warning ([`checkpoint`]).
+//! * **Lazy restore** — resume from a checkpoint after loading only the
+//!   working set, faulting the rest in from the volume in the background
+//!   (SnowFlock/working-set restore; ~20 s flat, [`restore`]).
+//!
+//! [`mechanism`] combines them into the paper's four evaluated combos and
+//! answers, for each migration the scheduler performs, *how long it takes
+//! to prepare, how long the service is down, and how long it runs
+//! degraded*.
+
+pub mod checkpoint;
+pub mod live;
+pub mod mechanism;
+pub mod overhead;
+pub mod params;
+pub mod restore;
+pub mod vm;
+pub mod wan;
+
+pub use checkpoint::BoundedCheckpointer;
+pub use live::{live_migration, LiveMigrationOutcome};
+pub use mechanism::{
+    plan_migration, MechanismCombo, MigrationContext, MigrationKind, MigrationTiming,
+};
+pub use overhead::NestedOverheadModel;
+pub use params::{ParamRegime, VirtParams};
+pub use restore::{lazy_restore, standard_restore, RestoreOutcome};
+pub use vm::VmSpec;
+pub use wan::{disk_copy_duration, RegionPair};

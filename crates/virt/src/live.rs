@@ -1,0 +1,179 @@
+//! Iterative pre-copy live migration (Clark et al., NSDI'05).
+//!
+//! Round 1 transfers all memory; each later round transfers the pages the
+//! still-running guest dirtied during the previous round. When the
+//! remaining dirty set falls below a threshold (or rounds stop shrinking),
+//! the VM pauses, the final set is copied, and execution resumes on the
+//! target — that pause is the *downtime*, typically sub-second.
+
+use crate::params::VirtParams;
+use crate::vm::VmSpec;
+use spothost_market::time::SimDuration;
+
+/// Result of simulating one live migration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LiveMigrationOutcome {
+    /// Wall-clock duration from start to completed switchover. The service
+    /// keeps running for all of it except `downtime`.
+    pub total: SimDuration,
+    /// Stop-and-copy pause at the end.
+    pub downtime: SimDuration,
+    /// Pre-copy rounds executed (including the first full copy).
+    pub rounds: u32,
+    /// Total GiB moved over the wire.
+    pub transferred_gib: f64,
+}
+
+/// Cap on pre-copy rounds; if the dirty set has not converged by then, the
+/// migration stops anyway and eats the larger downtime (non-convergent
+/// workloads dirty memory faster than the link drains it).
+const MAX_ROUNDS: u32 = 30;
+
+/// Simulate a live migration of `vm` at effective bandwidth
+/// `bandwidth_gib_per_s` (LAN or WAN — the caller picks, see
+/// [`crate::wan`]).
+pub fn live_migration_with_bandwidth(
+    vm: &VmSpec,
+    params: &VirtParams,
+    bandwidth_gib_per_s: f64,
+) -> LiveMigrationOutcome {
+    assert!(bandwidth_gib_per_s > 0.0);
+    debug_assert!(vm.validate().is_ok());
+
+    let b = bandwidth_gib_per_s;
+    let d = vm.dirty_rate_gib_per_s;
+    let threshold = params.live_stop_threshold_gib;
+
+    let mut to_send = vm.memory_gib;
+    let mut transferred = 0.0;
+    let mut copy_time = 0.0f64; // seconds of pre-copy (VM running)
+    let mut rounds = 0u32;
+
+    loop {
+        rounds += 1;
+        // Would this round's leftover be small enough to stop instead?
+        if to_send <= threshold || rounds > MAX_ROUNDS {
+            break;
+        }
+        let round_time = to_send / b;
+        transferred += to_send;
+        copy_time += round_time;
+        let next = d * round_time;
+        // Dirty set can't exceed total memory.
+        let next = next.min(vm.memory_gib);
+        // Non-convergence: stop when rounds no longer shrink meaningfully.
+        if next >= to_send * 0.95 {
+            to_send = next;
+            break;
+        }
+        to_send = next;
+    }
+
+    // Stop-and-copy: pause and send the remainder.
+    let stop_copy_secs = to_send / b;
+    transferred += to_send;
+    let downtime =
+        SimDuration::secs_f64(stop_copy_secs).max(params.live_downtime_floor);
+    let total = params.live_setup + SimDuration::secs_f64(copy_time) + downtime;
+
+    LiveMigrationOutcome {
+        total,
+        downtime,
+        rounds,
+        transferred_gib: transferred,
+    }
+}
+
+/// LAN live migration at the calibrated Table 2 bandwidth.
+pub fn live_migration(vm: &VmSpec, params: &VirtParams) -> LiveMigrationOutcome {
+    live_migration_with_bandwidth(vm, params, params.live_bandwidth_gib_per_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_lan_latency_for_2gib_vm() {
+        // Table 2: live migration of a 2 GB nested VM inside a region takes
+        // 57-59 s. Allow 15%.
+        let out = live_migration(&VmSpec::paper_2gib(), &VirtParams::typical());
+        let total = out.total.as_secs_f64();
+        assert!(
+            (49.0..68.0).contains(&total),
+            "LAN live migration took {total}s, expected ~58s"
+        );
+    }
+
+    #[test]
+    fn typical_downtime_is_subsecond() {
+        let out = live_migration(&VmSpec::paper_2gib(), &VirtParams::typical());
+        assert!(
+            out.downtime.as_secs_f64() < 1.0,
+            "downtime {}s",
+            out.downtime.as_secs_f64()
+        );
+        assert!(out.downtime >= VirtParams::typical().live_downtime_floor);
+    }
+
+    #[test]
+    fn pessimistic_downtime_is_ten_seconds() {
+        // §4.3: "pessimistic values of a 10s outage for live migration".
+        let out = live_migration(&VmSpec::paper_2gib(), &VirtParams::pessimistic());
+        assert!(out.downtime >= SimDuration::secs(10));
+    }
+
+    #[test]
+    fn multiple_rounds_and_more_transfer_than_memory() {
+        let out = live_migration(&VmSpec::paper_2gib(), &VirtParams::typical());
+        assert!(out.rounds > 1, "dirtying should force extra rounds");
+        assert!(out.transferred_gib > 2.0);
+        assert!(out.transferred_gib < 4.0, "convergent workload");
+    }
+
+    #[test]
+    fn bigger_vm_takes_longer() {
+        let p = VirtParams::typical();
+        let small = live_migration(&VmSpec::paper_2gib(), &p);
+        let mut big_vm = VmSpec::paper_2gib();
+        big_vm.memory_gib = 12.0;
+        big_vm.working_set_gib = 1.0;
+        let big = live_migration(&big_vm, &p);
+        assert!(big.total > small.total);
+    }
+
+    #[test]
+    fn non_convergent_workload_stops_with_large_downtime() {
+        let p = VirtParams::typical();
+        let mut vm = VmSpec::paper_2gib();
+        // Dirtying as fast as the link drains: pre-copy cannot converge.
+        vm.dirty_rate_gib_per_s = p.live_bandwidth_gib_per_s;
+        let out = live_migration(&vm, &p);
+        assert!(
+            out.downtime.as_secs_f64() > 5.0,
+            "expected a large stop-and-copy, got {}s",
+            out.downtime.as_secs_f64()
+        );
+    }
+
+    #[test]
+    fn zero_dirty_rate_single_round() {
+        let p = VirtParams::typical();
+        let mut vm = VmSpec::paper_2gib();
+        vm.dirty_rate_gib_per_s = 0.0;
+        let out = live_migration(&vm, &p);
+        // One full-copy round, then an (empty) stop-and-copy at the floor.
+        assert_eq!(out.rounds, 2);
+        assert_eq!(out.downtime, p.live_downtime_floor);
+        assert!((out.transferred_gib - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lower_bandwidth_increases_total() {
+        let p = VirtParams::typical();
+        let vm = VmSpec::paper_2gib();
+        let fast = live_migration_with_bandwidth(&vm, &p, 0.05);
+        let slow = live_migration_with_bandwidth(&vm, &p, 0.02);
+        assert!(slow.total > fast.total);
+    }
+}

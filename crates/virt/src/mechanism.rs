@@ -1,0 +1,375 @@
+//! The paper's four migration-mechanism combinations (§4.3) and the
+//! timing of each migration the scheduler performs.
+//!
+//! Checkpointing is always on: it is the only thing that saves memory
+//! state inside a two-minute revocation warning, so every combination
+//! includes it. The combo then chooses whether restores are lazy and
+//! whether *voluntary* migrations (planned/reverse) use live migration.
+//!
+//! | Combo        | forced migration            | planned/reverse          |
+//! |--------------|-----------------------------|--------------------------|
+//! | CKPT         | ckpt + eager restore        | pre-staged ckpt restore  |
+//! | CKPT+LR      | ckpt + lazy restore         | pre-staged lazy restore  |
+//! | CKPT+Live    | ckpt + eager restore        | live migration           |
+//! | CKPT+LR+Live | ckpt + lazy restore         | live migration           |
+
+use crate::checkpoint::BoundedCheckpointer;
+use crate::live::live_migration;
+use crate::params::VirtParams;
+use crate::restore::{lazy_restore, standard_restore, RestoreOutcome};
+use crate::vm::VmSpec;
+use crate::wan::{disk_copy_duration, wan_live_migration, RegionPair};
+use spothost_market::time::SimDuration;
+use spothost_market::types::Region;
+use std::fmt;
+
+/// Which of the three migration situations of §3.1 this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationKind {
+    /// The provider revoked the spot server: the two-minute warning is all
+    /// the time there is. Live migration cannot finish in that window for
+    /// realistic VMs; the bounded checkpoint is flushed and the VM is
+    /// restored on the replacement server.
+    Forced,
+    /// Voluntary spot -> on-demand (or spot -> cheaper spot) transition at
+    /// a billing boundary; arbitrary preparation time is available.
+    Planned,
+    /// Voluntary on-demand -> spot transition when the spot price drops.
+    Reverse,
+}
+
+impl MigrationKind {
+    pub fn is_voluntary(self) -> bool {
+        !matches!(self, MigrationKind::Forced)
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            MigrationKind::Forced => "forced",
+            MigrationKind::Planned => "planned",
+            MigrationKind::Reverse => "reverse",
+        }
+    }
+}
+
+impl fmt::Display for MigrationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A combination of migration mechanisms (checkpointing is always on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MechanismCombo {
+    /// Restore lazily (working set first, fault the rest in).
+    pub lazy_restore: bool,
+    /// Use live migration for voluntary transitions.
+    pub live: bool,
+}
+
+impl MechanismCombo {
+    /// Memory checkpointing with standard restore.
+    pub const CKPT: MechanismCombo = MechanismCombo {
+        lazy_restore: false,
+        live: false,
+    };
+    /// Checkpointing with lazy restore.
+    pub const CKPT_LR: MechanismCombo = MechanismCombo {
+        lazy_restore: true,
+        live: false,
+    };
+    /// Live migration for voluntary moves, checkpoint + eager restore for
+    /// forced ones.
+    pub const CKPT_LIVE: MechanismCombo = MechanismCombo {
+        lazy_restore: false,
+        live: true,
+    };
+    /// The full combination the paper recommends.
+    pub const CKPT_LR_LIVE: MechanismCombo = MechanismCombo {
+        lazy_restore: true,
+        live: true,
+    };
+
+    /// All four combos in the order of the paper's Figure 7.
+    pub const ALL: [MechanismCombo; 4] = [
+        Self::CKPT,
+        Self::CKPT_LR,
+        Self::CKPT_LIVE,
+        Self::CKPT_LR_LIVE,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match (self.lazy_restore, self.live) {
+            (false, false) => "CKPT",
+            (true, false) => "CKPT LR",
+            (false, true) => "CKPT + Live",
+            (true, true) => "CKPT LR + Live",
+        }
+    }
+}
+
+impl fmt::Display for MechanismCombo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Everything the timing of one migration depends on.
+#[derive(Debug, Clone, Copy)]
+pub struct MigrationContext {
+    pub vm: VmSpec,
+    pub from_region: Region,
+    pub to_region: Region,
+    /// Disk state that must be replicated on cross-region moves, GiB.
+    pub disk_gib: f64,
+}
+
+impl MigrationContext {
+    pub fn local(vm: VmSpec, region: Region) -> Self {
+        MigrationContext {
+            vm,
+            from_region: region,
+            to_region: region,
+            disk_gib: 0.0,
+        }
+    }
+
+    pub fn is_cross_region(&self) -> bool {
+        self.from_region != self.to_region
+    }
+
+    fn pair(&self) -> Option<RegionPair> {
+        self.is_cross_region()
+            .then(|| RegionPair::new(self.from_region, self.to_region))
+    }
+}
+
+/// The schedule of one migration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationTiming {
+    /// Lead time before the switchover during which the service keeps
+    /// running on the source (pre-copy rounds, checkpoint pre-staging,
+    /// WAN disk replication). The scheduler must start this early.
+    pub prepare: SimDuration,
+    /// Service outage at switchover.
+    pub downtime: SimDuration,
+    /// Post-switchover degraded-performance window (lazy restore page
+    /// faults).
+    pub degraded: SimDuration,
+}
+
+/// Compute the timing of a migration under a mechanism combo.
+pub fn plan_migration(
+    combo: MechanismCombo,
+    kind: MigrationKind,
+    ctx: &MigrationContext,
+    params: &VirtParams,
+) -> MigrationTiming {
+    debug_assert!(ctx.vm.validate().is_ok());
+    debug_assert!(params.validate().is_ok());
+
+    let restore = restore_for(combo, ctx, params);
+    let ckpt = BoundedCheckpointer::new(&ctx.vm, params);
+
+    match kind {
+        MigrationKind::Forced => {
+            // Final bounded flush, then restore on the replacement.
+            // The scheduler adds any wait for the replacement server.
+            let flush = params.final_ckpt_write();
+            MigrationTiming {
+                prepare: SimDuration::ZERO,
+                downtime: flush + restore.resume_latency,
+                degraded: restore.degraded,
+            }
+        }
+        MigrationKind::Planned | MigrationKind::Reverse => {
+            let wan_prepare = ctx
+                .pair()
+                .map_or(SimDuration::ZERO, |p| disk_copy_duration(p, ctx.disk_gib));
+            if combo.live {
+                let out = match ctx.pair() {
+                    None => live_migration(&ctx.vm, params),
+                    Some(pair) => wan_live_migration(&ctx.vm, params, pair),
+                };
+                // Pre-copy may fail to converge when the guest dirties
+                // memory as fast as the link drains it; its stop-and-copy
+                // then dwarfs a checkpoint switchover. Fall back to the
+                // pre-staged checkpoint path whenever that is cheaper —
+                // having live migration available can never make a
+                // voluntary migration worse.
+                let ckpt_combo = MechanismCombo {
+                    lazy_restore: combo.lazy_restore,
+                    live: false,
+                };
+                let fallback = plan_migration(ckpt_combo, kind, ctx, params);
+                if fallback.downtime < out.downtime {
+                    return fallback;
+                }
+                MigrationTiming {
+                    prepare: wan_prepare + out.total - out.downtime,
+                    downtime: out.downtime,
+                    degraded: SimDuration::ZERO,
+                }
+            } else {
+                // Checkpoint-based voluntary move: the full checkpoint is
+                // written and shipped while the service runs; the
+                // switchover pays only the pre-staged fraction of the
+                // flush + restore.
+                let flush = params.final_ckpt_write();
+                MigrationTiming {
+                    prepare: wan_prepare + ckpt.full_checkpoint_duration(),
+                    downtime: (flush + restore.resume_latency).mul_f64(params.prestage_factor),
+                    degraded: restore.degraded.mul_f64(params.prestage_factor),
+                }
+            }
+        }
+    }
+}
+
+/// Restore outcome under the combo, with a WAN penalty when the checkpoint
+/// volume lives in another region (reads cross the WAN at disk-copy rates
+/// instead of LAN volume rates).
+fn restore_for(combo: MechanismCombo, ctx: &MigrationContext, params: &VirtParams) -> RestoreOutcome {
+    let mut out = if combo.lazy_restore {
+        lazy_restore(&ctx.vm, params)
+    } else {
+        standard_restore(&ctx.vm, params)
+    };
+    if let Some(pair) = ctx.pair() {
+        let penalty = crate::wan::disk_copy_s_per_gib(pair) / params.std_restore_s_per_gib;
+        let penalty = penalty.max(1.0);
+        out.resume_latency = out.resume_latency.mul_f64(penalty);
+        out.degraded = out.degraded.mul_f64(penalty);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> MigrationContext {
+        MigrationContext::local(VmSpec::paper_2gib(), Region::UsEast1)
+    }
+
+    #[test]
+    fn combo_names_match_figure7() {
+        let names: Vec<&str> = MechanismCombo::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names, ["CKPT", "CKPT LR", "CKPT + Live", "CKPT LR + Live"]);
+    }
+
+    #[test]
+    fn forced_downtime_ordering_between_combos() {
+        // Lazy restore must shrink forced downtime (it is the entire point
+        // of §4.3): CKPT forced ~ 5 + 56 = 61 s; CKPT_LR forced ~ 5 + 20 = 25 s.
+        let p = VirtParams::typical();
+        let eager = plan_migration(MechanismCombo::CKPT, MigrationKind::Forced, &ctx(), &p);
+        let lazy = plan_migration(MechanismCombo::CKPT_LR, MigrationKind::Forced, &ctx(), &p);
+        assert!(lazy.downtime < eager.downtime);
+        assert!((eager.downtime.as_secs_f64() - 61.0).abs() < 2.0);
+        assert!((lazy.downtime.as_secs_f64() - 25.0).abs() < 2.0);
+        // Live makes no difference to forced migrations.
+        let live = plan_migration(MechanismCombo::CKPT_LIVE, MigrationKind::Forced, &ctx(), &p);
+        assert_eq!(live.downtime, eager.downtime);
+    }
+
+    #[test]
+    fn planned_with_live_has_subsecond_downtime() {
+        let p = VirtParams::typical();
+        let out = plan_migration(
+            MechanismCombo::CKPT_LR_LIVE,
+            MigrationKind::Planned,
+            &ctx(),
+            &p,
+        );
+        assert!(out.downtime.as_secs_f64() < 1.0);
+        assert!(out.prepare.as_secs_f64() > 30.0, "pre-copy takes time");
+        assert_eq!(out.degraded, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn planned_without_live_prestaged_downtime() {
+        let p = VirtParams::typical();
+        let out = plan_migration(MechanismCombo::CKPT_LR, MigrationKind::Planned, &ctx(), &p);
+        // 0.25 * (5 + 20) ~ 6.2 s.
+        assert!(out.downtime.as_secs_f64() > 2.0 && out.downtime.as_secs_f64() < 10.0);
+        // Pre-stage requires writing the full checkpoint first.
+        assert!(out.prepare >= SimDuration::secs(56));
+    }
+
+    #[test]
+    fn lazy_restore_brings_degraded_window() {
+        let p = VirtParams::typical();
+        let lazy = plan_migration(MechanismCombo::CKPT_LR, MigrationKind::Forced, &ctx(), &p);
+        assert!(lazy.degraded > SimDuration::ZERO);
+        let eager = plan_migration(MechanismCombo::CKPT, MigrationKind::Forced, &ctx(), &p);
+        assert_eq!(eager.degraded, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn reverse_same_timing_as_planned() {
+        let p = VirtParams::typical();
+        for combo in MechanismCombo::ALL {
+            let a = plan_migration(combo, MigrationKind::Planned, &ctx(), &p);
+            let b = plan_migration(combo, MigrationKind::Reverse, &ctx(), &p);
+            assert_eq!(a, b, "{combo}");
+        }
+    }
+
+    #[test]
+    fn cross_region_adds_disk_copy_to_prepare() {
+        let p = VirtParams::typical();
+        let mut c = ctx();
+        c.to_region = Region::UsWest1;
+        c.disk_gib = 4.0;
+        let wan = plan_migration(MechanismCombo::CKPT_LR_LIVE, MigrationKind::Planned, &c, &p);
+        let lan = plan_migration(MechanismCombo::CKPT_LR_LIVE, MigrationKind::Planned, &ctx(), &p);
+        // 4 GiB * 122.4 s/GiB of disk replication lands in prepare.
+        assert!(wan.prepare > lan.prepare + SimDuration::secs(400));
+    }
+
+    #[test]
+    fn cross_region_forced_restore_pays_wan_penalty() {
+        let p = VirtParams::typical();
+        let mut c = ctx();
+        c.to_region = Region::EuWest1;
+        let wan = plan_migration(MechanismCombo::CKPT, MigrationKind::Forced, &c, &p);
+        let lan = plan_migration(MechanismCombo::CKPT, MigrationKind::Forced, &ctx(), &p);
+        assert!(wan.downtime > lan.downtime);
+    }
+
+    #[test]
+    fn pessimistic_worse_than_typical_everywhere() {
+        let t = VirtParams::typical();
+        let w = VirtParams::pessimistic();
+        for combo in MechanismCombo::ALL {
+            for kind in [MigrationKind::Forced, MigrationKind::Planned] {
+                let a = plan_migration(combo, kind, &ctx(), &t);
+                let b = plan_migration(combo, kind, &ctx(), &w);
+                assert!(b.downtime >= a.downtime, "{combo} {kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn figure7_downtime_ordering_across_combos() {
+        // Forced+planned weighted mix must order the combos as Figure 7:
+        // CKPT > CKPT+Live > CKPT LR > CKPT LR+Live, using the paper's
+        // observation that planned migrations outnumber forced ones.
+        let p = VirtParams::typical();
+        // Weights from the calibrated proactive run in us-east-1a/small:
+        // ~3.6 forced and ~17 planned/reverse migrations per month.
+        let mix = |combo: MechanismCombo| {
+            let f = plan_migration(combo, MigrationKind::Forced, &ctx(), &p);
+            let v = plan_migration(combo, MigrationKind::Planned, &ctx(), &p);
+            f.downtime.as_secs_f64() * 3.6 + v.downtime.as_secs_f64() * 17.0
+        };
+        let ckpt = mix(MechanismCombo::CKPT);
+        let lr = mix(MechanismCombo::CKPT_LR);
+        let live = mix(MechanismCombo::CKPT_LIVE);
+        let lr_live = mix(MechanismCombo::CKPT_LR_LIVE);
+        assert!(ckpt > live, "CKPT {ckpt} vs CKPT+Live {live}");
+        assert!(live > lr, "CKPT+Live {live} vs CKPT LR {lr}");
+        assert!(lr > lr_live, "CKPT LR {lr} vs CKPT LR+Live {lr_live}");
+    }
+}

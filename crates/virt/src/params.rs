@@ -1,0 +1,179 @@
+//! Mechanism timing parameters: the paper's *typical* (measured, Table 2)
+//! and *pessimistic* (worst-case, §4.3) regimes.
+
+use spothost_market::time::SimDuration;
+
+/// Which end of the measured spectrum to model (Figure 7 reports both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamRegime {
+    /// The paper's measured values (Table 2, §4.1).
+    Typical,
+    /// Worst cases from §4.3: 10 s live-migration outage (paper refs 8, 15),
+    /// whole-memory copy on restore, no benefit from pre-staging.
+    Pessimistic,
+}
+
+/// Timing constants of the virtualization mechanisms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VirtParams {
+    /// Sequential write rate of memory checkpoints to a network volume,
+    /// seconds per GiB. Paper: "a latency of 28s per GB of memory state".
+    pub ckpt_write_s_per_gib: f64,
+    /// Standard (eager) restore read rate, seconds per GiB. Paper: "VM
+    /// restoration latencies which read this data back from disk are
+    /// similar".
+    pub std_restore_s_per_gib: f64,
+    /// Lazy-restore resume latency, independent of memory size (paper §4.1
+    /// assumes 20 s based on its ref 10).
+    pub lazy_restore_s: f64,
+    /// While lazily restoring, the VM runs degraded until the background
+    /// load completes, at this read rate (s/GiB).
+    pub lazy_background_s_per_gib: f64,
+    /// Effective pre-copy bandwidth of LAN live migration, GiB/s.
+    /// Calibrated so a 2 GiB nested VM live-migrates in ~58 s (Table 2).
+    pub live_bandwidth_gib_per_s: f64,
+    /// Fixed setup/handshake cost of a live migration.
+    pub live_setup: SimDuration,
+    /// Remaining-dirty-state threshold at which pre-copy stops and the VM
+    /// pauses for the final copy, GiB.
+    pub live_stop_threshold_gib: f64,
+    /// Hard floor on live-migration downtime (switchover cost).
+    pub live_downtime_floor: SimDuration,
+    /// Yank bound `tau`: the final incremental checkpoint write always
+    /// completes within this duration. Must fit the two-minute revocation
+    /// grace with room for suspend/teardown.
+    pub yank_bound: SimDuration,
+    /// Expected final incremental write as a fraction of `tau` (a
+    /// revocation lands mid-cycle; 0.5 in expectation, 1.0 pessimistic).
+    pub yank_fill_factor: f64,
+    /// Fixed cost of each background checkpoint (snapshot setup, metadata,
+    /// brief guest stun), seconds. This is what makes very small Yank
+    /// bounds expensive: the checkpoint period shrinks linearly with
+    /// `tau`, so the fixed cost is paid more often.
+    pub ckpt_fixed_overhead_s: f64,
+    /// Planned (voluntary) checkpoint-based migrations pre-stage: the
+    /// destination is booted in advance and the checkpoint is pre-copied,
+    /// so the switchover pays only this fraction of the restore cost.
+    /// 1.0 pessimistic (no benefit).
+    pub prestage_factor: f64,
+}
+
+impl VirtParams {
+    pub fn typical() -> Self {
+        VirtParams {
+            ckpt_write_s_per_gib: 28.0,
+            std_restore_s_per_gib: 28.0,
+            lazy_restore_s: 20.0,
+            lazy_background_s_per_gib: 28.0,
+            // 2 GiB / 0.05 GiB/s = 40 s of first-round copy; with dirty
+            // rounds and setup this lands near Table 2's 57-59 s.
+            live_bandwidth_gib_per_s: 0.05,
+            live_setup: SimDuration::secs(10),
+            live_stop_threshold_gib: 0.016,
+            live_downtime_floor: SimDuration::millis(200),
+            yank_bound: SimDuration::secs(10),
+            yank_fill_factor: 0.5,
+            ckpt_fixed_overhead_s: 0.5,
+            prestage_factor: 0.10,
+        }
+    }
+
+    pub fn pessimistic() -> Self {
+        VirtParams {
+            // Worst-case restore: "copying the whole memory ... less than
+            // 120s inside a region" for 2 GiB -> 60 s/GiB; we double it to
+            // 120 s/GiB to capture contended network disks, which is what
+            // drives Figure 7's pessimistic CKPT bar an order of magnitude
+            // above the others.
+            std_restore_s_per_gib: 120.0,
+            lazy_restore_s: 20.0,
+            lazy_background_s_per_gib: 120.0,
+            live_downtime_floor: SimDuration::secs(10),
+            live_stop_threshold_gib: 0.5,
+            yank_fill_factor: 1.0,
+            ckpt_fixed_overhead_s: 2.0,
+            prestage_factor: 1.0,
+            ..Self::typical()
+        }
+    }
+
+    pub fn for_regime(regime: ParamRegime) -> Self {
+        match regime {
+            ParamRegime::Typical => Self::typical(),
+            ParamRegime::Pessimistic => Self::pessimistic(),
+        }
+    }
+
+    /// Final incremental checkpoint write duration under the Yank bound.
+    pub fn final_ckpt_write(&self) -> SimDuration {
+        self.yank_bound.mul_f64(self.yank_fill_factor)
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("ckpt_write_s_per_gib", self.ckpt_write_s_per_gib),
+            ("std_restore_s_per_gib", self.std_restore_s_per_gib),
+            ("lazy_restore_s", self.lazy_restore_s),
+            ("lazy_background_s_per_gib", self.lazy_background_s_per_gib),
+            ("live_bandwidth_gib_per_s", self.live_bandwidth_gib_per_s),
+            ("live_stop_threshold_gib", self.live_stop_threshold_gib),
+        ] {
+            if !(v > 0.0 && v.is_finite()) {
+                return Err(format!("{name} must be positive, got {v}"));
+            }
+        }
+        if !(self.ckpt_fixed_overhead_s >= 0.0 && self.ckpt_fixed_overhead_s.is_finite()) {
+            return Err("ckpt_fixed_overhead_s must be non-negative".into());
+        }
+        if !(0.0..=1.0).contains(&self.yank_fill_factor) {
+            return Err("yank_fill_factor must lie in [0,1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.prestage_factor) {
+            return Err("prestage_factor must lie in [0,1]".into());
+        }
+        if self.yank_bound == SimDuration::ZERO {
+            return Err("yank_bound must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_regimes_validate() {
+        VirtParams::typical().validate().unwrap();
+        VirtParams::pessimistic().validate().unwrap();
+    }
+
+    #[test]
+    fn pessimistic_is_uniformly_worse() {
+        let t = VirtParams::typical();
+        let p = VirtParams::pessimistic();
+        assert!(p.std_restore_s_per_gib > t.std_restore_s_per_gib);
+        assert!(p.live_downtime_floor > t.live_downtime_floor);
+        assert!(p.final_ckpt_write() > t.final_ckpt_write());
+        assert!(p.prestage_factor > t.prestage_factor);
+    }
+
+    #[test]
+    fn yank_final_write_within_bound() {
+        for regime in [ParamRegime::Typical, ParamRegime::Pessimistic] {
+            let p = VirtParams::for_regime(regime);
+            assert!(p.final_ckpt_write() <= p.yank_bound);
+        }
+    }
+
+    #[test]
+    fn yank_bound_fits_revocation_grace() {
+        // tau must leave room within the 2-minute warning for the
+        // replacement request and suspend.
+        let grace = SimDuration::secs(120);
+        for regime in [ParamRegime::Typical, ParamRegime::Pessimistic] {
+            let p = VirtParams::for_regime(regime);
+            assert!(p.yank_bound < grace);
+        }
+    }
+}

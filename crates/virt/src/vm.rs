@@ -1,0 +1,98 @@
+//! The nested VM being migrated.
+
+use spothost_market::types::InstanceType;
+
+/// Memory-side description of the nested virtual machine hosting the
+/// service. Migration and checkpointing latencies are driven by how much
+/// memory must move and how fast the guest dirties it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VmSpec {
+    /// Total RAM of the nested VM in GiB.
+    pub memory_gib: f64,
+    /// Rate at which the running guest dirties memory, GiB/s. An
+    /// interactive web stack dirties a few MB/s; the paper's TPC-W
+    /// workload is in that class.
+    pub dirty_rate_gib_per_s: f64,
+    /// Hot working set in GiB — what lazy restore must load before the VM
+    /// can make useful progress.
+    pub working_set_gib: f64,
+}
+
+impl VmSpec {
+    /// The 2 GiB nested VM used in the paper's micro-benchmarks (Table 2).
+    pub fn paper_2gib() -> Self {
+        VmSpec {
+            memory_gib: 2.0,
+            dirty_rate_gib_per_s: 0.008,
+            working_set_gib: 0.25,
+        }
+    }
+
+    /// A nested VM sized for a given instance type. The nested hypervisor
+    /// (dom0) keeps some memory for itself (§6.1 gives 3 GB of an
+    /// m3.medium's 3.75 GB to the nested VM), so the guest gets ~80%.
+    pub fn for_instance(itype: InstanceType) -> Self {
+        let memory_gib = itype.memory_gib() * 0.8;
+        VmSpec {
+            memory_gib,
+            // Dirty rate and working set scale sub-linearly with memory:
+            // bigger instances host more data, not proportionally more
+            // write-hot state.
+            dirty_rate_gib_per_s: 0.008 * (memory_gib / 2.0).sqrt(),
+            working_set_gib: (memory_gib * 0.125).max(0.125),
+        }
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.memory_gib > 0.0 && self.memory_gib.is_finite()) {
+            return Err(format!("memory_gib must be positive, got {}", self.memory_gib));
+        }
+        if !(self.dirty_rate_gib_per_s >= 0.0 && self.dirty_rate_gib_per_s.is_finite()) {
+            return Err("dirty_rate_gib_per_s must be non-negative".into());
+        }
+        if !(self.working_set_gib > 0.0 && self.working_set_gib <= self.memory_gib) {
+            return Err(format!(
+                "working_set_gib must be in (0, memory_gib], got {}",
+                self.working_set_gib
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_vm_validates() {
+        VmSpec::paper_2gib().validate().unwrap();
+    }
+
+    #[test]
+    fn instance_vms_validate_and_scale() {
+        let mut prev_mem = 0.0;
+        for t in InstanceType::ALL {
+            let vm = VmSpec::for_instance(t);
+            vm.validate().unwrap();
+            assert!(vm.memory_gib > prev_mem);
+            assert!(vm.memory_gib < t.memory_gib(), "dom0 must keep memory");
+            prev_mem = vm.memory_gib;
+        }
+    }
+
+    #[test]
+    fn validation_catches_bad_specs() {
+        let mut vm = VmSpec::paper_2gib();
+        vm.memory_gib = 0.0;
+        assert!(vm.validate().is_err());
+
+        let mut vm = VmSpec::paper_2gib();
+        vm.working_set_gib = 100.0;
+        assert!(vm.validate().is_err());
+
+        let mut vm = VmSpec::paper_2gib();
+        vm.dirty_rate_gib_per_s = -1.0;
+        assert!(vm.validate().is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! Cross-region (WAN) migration, parameterised by Table 2.
+//!
+//! WAN migrations differ from LAN ones in two ways (§4, footnote 2):
+//! the pre-copy runs over a slower inter-datacenter path, and disk state
+//! must be copied too because network volumes don't span regions —
+//! Table 2 measures 122–172 s per GiB of disk between region pairs.
+
+use crate::live::{live_migration_with_bandwidth, LiveMigrationOutcome};
+use crate::params::VirtParams;
+use crate::vm::VmSpec;
+use spothost_market::time::SimDuration;
+use spothost_market::types::Region;
+
+/// An unordered pair of distinct regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionPair(Region, Region);
+
+impl RegionPair {
+    /// Build a pair; panics if both regions are equal (that's a LAN move).
+    pub fn new(a: Region, b: Region) -> Self {
+        assert_ne!(a, b, "a region pair needs two distinct regions");
+        // Canonical order for symmetric lookup.
+        if (a as usize) <= (b as usize) {
+            RegionPair(a, b)
+        } else {
+            RegionPair(b, a)
+        }
+    }
+
+    pub fn regions(&self) -> (Region, Region) {
+        (self.0, self.1)
+    }
+
+    fn classify(&self) -> PairClass {
+        use Region::*;
+        match (self.0, self.1) {
+            (UsEast1, UsWest1) | (UsWest1, UsEast1) => PairClass::EastWest,
+            (UsEast1, EuWest1) | (EuWest1, UsEast1) => PairClass::EastEu,
+            (UsWest1, EuWest1) | (EuWest1, UsWest1) => PairClass::WestEu,
+            _ => unreachable!("regions are distinct"),
+        }
+    }
+}
+
+enum PairClass {
+    EastWest,
+    EastEu,
+    WestEu,
+}
+
+/// Fixed WAN setup/handshake latency (higher RTT than LAN).
+const WAN_SETUP: SimDuration = SimDuration(15 * 1000);
+
+/// Effective WAN pre-copy bandwidth, GiB/s, calibrated so a 2 GiB VM
+/// live-migrates in Table 2's 73.7 / 74.6 / 140.2 seconds.
+fn wan_bandwidth_gib_per_s(pair: RegionPair) -> f64 {
+    match pair.classify() {
+        PairClass::EastWest => 0.042,
+        PairClass::EastEu => 0.041,
+        PairClass::WestEu => 0.024,
+    }
+}
+
+/// Disk-state copy rate between regions, s/GiB (Table 2: "cross-datacenter
+/// copying of disk state take between 2 to 3 minutes per GB").
+pub fn disk_copy_s_per_gib(pair: RegionPair) -> f64 {
+    match pair.classify() {
+        PairClass::EastWest => 122.4,
+        PairClass::EastEu => 140.5,
+        PairClass::WestEu => 171.6,
+    }
+}
+
+/// Total time to copy `disk_gib` of disk state across a region pair.
+/// Runs concurrently with the service (background replication), so it
+/// extends migration *preparation*, not downtime.
+pub fn disk_copy_duration(pair: RegionPair, disk_gib: f64) -> SimDuration {
+    assert!(disk_gib >= 0.0);
+    SimDuration::secs_f64(disk_gib * disk_copy_s_per_gib(pair))
+}
+
+/// Live-migrate a VM across regions: the pre-copy model at WAN bandwidth
+/// with WAN setup costs.
+pub fn wan_live_migration(
+    vm: &VmSpec,
+    params: &VirtParams,
+    pair: RegionPair,
+) -> LiveMigrationOutcome {
+    let mut p = params.clone();
+    p.live_setup = WAN_SETUP;
+    live_migration_with_bandwidth(vm, &p, wan_bandwidth_gib_per_s(pair))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs() -> [(RegionPair, f64); 3] {
+        [
+            (RegionPair::new(Region::UsEast1, Region::UsWest1), 73.7),
+            (RegionPair::new(Region::UsEast1, Region::EuWest1), 74.6),
+            (RegionPair::new(Region::UsWest1, Region::EuWest1), 140.2),
+        ]
+    }
+
+    #[test]
+    fn wan_live_matches_table2_within_15_percent() {
+        let vm = VmSpec::paper_2gib();
+        let params = VirtParams::typical();
+        for (pair, expected) in pairs() {
+            let out = wan_live_migration(&vm, &params, pair);
+            let got = out.total.as_secs_f64();
+            assert!(
+                (got - expected).abs() / expected < 0.15,
+                "{pair:?}: {got}s vs Table 2 {expected}s"
+            );
+        }
+    }
+
+    #[test]
+    fn disk_copy_rates_match_table2() {
+        let p = RegionPair::new(Region::UsEast1, Region::UsWest1);
+        assert!((disk_copy_duration(p, 1.0).as_secs_f64() - 122.4).abs() < 1e-9);
+        let p = RegionPair::new(Region::UsWest1, Region::EuWest1);
+        assert!((disk_copy_duration(p, 2.0).as_secs_f64() - 343.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pair_is_symmetric() {
+        let a = RegionPair::new(Region::UsEast1, Region::EuWest1);
+        let b = RegionPair::new(Region::EuWest1, Region::UsEast1);
+        assert_eq!(a, b);
+        assert_eq!(disk_copy_s_per_gib(a), disk_copy_s_per_gib(b));
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn same_region_pair_rejected() {
+        RegionPair::new(Region::UsEast1, Region::UsEast1);
+    }
+
+    #[test]
+    fn wan_slower_than_lan() {
+        let vm = VmSpec::paper_2gib();
+        let params = VirtParams::typical();
+        let lan = crate::live::live_migration(&vm, &params);
+        for (pair, _) in pairs() {
+            let wan = wan_live_migration(&vm, &params, pair);
+            assert!(wan.total > lan.total, "{pair:?}");
+        }
+    }
+}

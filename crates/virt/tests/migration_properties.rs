@@ -1,0 +1,113 @@
+//! Property-based tests of the migration mechanism models.
+
+use proptest::prelude::*;
+use spothost_market::time::SimDuration;
+use spothost_market::types::Region;
+use spothost_virt::*;
+
+fn arb_vm() -> impl Strategy<Value = VmSpec> {
+    (0.5f64..32.0, 0.0f64..0.04, 0.05f64..0.9).prop_map(|(mem, dirty, ws_frac)| VmSpec {
+        memory_gib: mem,
+        dirty_rate_gib_per_s: dirty,
+        working_set_gib: (mem * ws_frac).max(0.01),
+    })
+}
+
+fn arb_params() -> impl Strategy<Value = VirtParams> {
+    (
+        5.0f64..60.0,   // ckpt write s/GiB
+        5.0f64..150.0,  // std restore s/GiB
+        5.0f64..60.0,   // lazy restore s
+        0.01f64..0.2,   // live bandwidth GiB/s
+        1u64..60,       // yank bound s
+        0.0f64..1.0,    // prestage factor
+    )
+        .prop_map(|(ckpt, restore, lazy, bw, tau, prestage)| {
+            let mut p = VirtParams::typical();
+            p.ckpt_write_s_per_gib = ckpt;
+            p.std_restore_s_per_gib = restore;
+            p.lazy_restore_s = lazy;
+            p.live_bandwidth_gib_per_s = bw;
+            p.yank_bound = SimDuration::secs(tau);
+            p.prestage_factor = prestage;
+            p
+        })
+        .prop_filter("valid", |p| p.validate().is_ok())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn live_migration_invariants(vm in arb_vm(), params in arb_params()) {
+        let out = live_migration(&vm, &params);
+        // Downtime is part of the total.
+        prop_assert!(out.downtime <= out.total);
+        // At least the whole memory crosses the wire.
+        prop_assert!(out.transferred_gib >= vm.memory_gib - 1e-9);
+        prop_assert!(out.rounds >= 1);
+        prop_assert!(out.downtime >= params.live_downtime_floor);
+    }
+
+    #[test]
+    fn yank_bound_always_holds(vm in arb_vm(), params in arb_params(), elapsed_s in 0u64..1_000_000) {
+        let ckpt = BoundedCheckpointer::new(&vm, &params);
+        let w = ckpt.final_write_duration(SimDuration::secs(elapsed_s));
+        prop_assert!(w <= ckpt.tau, "final write {w} exceeds tau {}", ckpt.tau);
+    }
+
+    #[test]
+    fn forced_timing_decomposes(vm in arb_vm(), params in arb_params()) {
+        let ctx = MigrationContext::local(vm, Region::UsEast1);
+        for combo in MechanismCombo::ALL {
+            let t = plan_migration(combo, MigrationKind::Forced, &ctx, &params);
+            // Forced downtime = flush + restore; at least the flush.
+            prop_assert!(t.downtime >= params.final_ckpt_write());
+            prop_assert_eq!(t.prepare, SimDuration::ZERO, "forced moves have no prepare window");
+            if !combo.lazy_restore {
+                prop_assert_eq!(t.degraded, SimDuration::ZERO);
+            }
+        }
+    }
+
+    #[test]
+    fn voluntary_downtime_never_exceeds_forced(vm in arb_vm(), params in arb_params()) {
+        // Having preparation time can only help.
+        let ctx = MigrationContext::local(vm, Region::UsEast1);
+        for combo in MechanismCombo::ALL {
+            let forced = plan_migration(combo, MigrationKind::Forced, &ctx, &params);
+            let planned = plan_migration(combo, MigrationKind::Planned, &ctx, &params);
+            prop_assert!(
+                planned.downtime <= forced.downtime.max(SimDuration::secs(11)),
+                "{combo}: planned {} vs forced {}",
+                planned.downtime,
+                forced.downtime
+            );
+        }
+    }
+
+    #[test]
+    fn lazy_restore_downtime_size_independent(params in arb_params(), mem_a in 1.0f64..8.0, mem_b in 8.0f64..32.0) {
+        let mk = |mem: f64| {
+            let vm = VmSpec { memory_gib: mem, dirty_rate_gib_per_s: 0.005, working_set_gib: 0.25 };
+            lazy_restore(&vm, &params).resume_latency
+        };
+        prop_assert_eq!(mk(mem_a), mk(mem_b));
+    }
+
+    #[test]
+    fn eager_restore_scales_with_memory(params in arb_params(), mem in 1.0f64..32.0) {
+        let vm = VmSpec { memory_gib: mem, dirty_rate_gib_per_s: 0.005, working_set_gib: 0.25 };
+        let out = standard_restore(&vm, &params);
+        let expect = mem * params.std_restore_s_per_gib;
+        prop_assert!((out.resume_latency.as_secs_f64() - expect).abs() < 0.01);
+    }
+
+    #[test]
+    fn wan_disk_copy_linear_in_size(gib in 0.0f64..100.0) {
+        let pair = RegionPair::new(Region::UsEast1, Region::EuWest1);
+        let one = disk_copy_duration(pair, 1.0).as_secs_f64();
+        let many = disk_copy_duration(pair, gib).as_secs_f64();
+        prop_assert!((many - one * gib).abs() < 0.01 * many.max(1.0));
+    }
+}

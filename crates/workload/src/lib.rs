@@ -1,0 +1,27 @@
+//! # spothost-workload
+//!
+//! Workload-side models for the paper's §6 system-performance study:
+//!
+//! * [`mva`] — an exact Mean-Value-Analysis solver for closed queueing
+//!   networks (the textbook model of a fixed population of emulated
+//!   browsers cycling through think time and server stations).
+//! * [`tpcw`] — the TPC-W ordering-mix e-commerce benchmark expressed as a
+//!   two-station (CPU + I/O) closed network, with the nested-VM penalties
+//!   measured in §6 (≈2% disk, load-dependent CPU up to 50%).
+//! * [`response`] — Figure 12's response-time-vs-EBs curves for native and
+//!   nested platforms under both configurations (images served locally vs
+//!   offloaded to a CDN).
+//! * [`iobench`] — the Table 4 iperf/dd microbenchmark model.
+//! * [`slo`] — availability arithmetic ("four nines", downtime budgets).
+
+pub mod iobench;
+pub mod mva;
+pub mod response;
+pub mod slo;
+pub mod tpcw;
+
+pub use iobench::{simulate_iobench, IoBenchRow};
+pub use mva::{ClosedNetwork, MvaResult, Station};
+pub use response::{response_curve, ResponsePoint};
+pub use slo::{downtime_per_month, max_unavailability_for_nines, meets_nines};
+pub use tpcw::{tpcw_network, NestedPenalties, Platform, TpcwConfig};

@@ -1,0 +1,187 @@
+//! Exact Mean-Value Analysis for closed product-form queueing networks
+//! (Reiser & Lavenberg 1980).
+//!
+//! A population of N jobs (emulated browsers) cycles through a think-time
+//! delay and a set of queueing stations. The exact recursion over
+//! population sizes:
+//!
+//! ```text
+//! R_i(n) = D_i * (1 + Q_i(n-1))         response at station i
+//! X(n)   = n / (Z + sum_i R_i(n))       system throughput
+//! Q_i(n) = X(n) * R_i(n)                mean queue at station i
+//! ```
+
+/// One queueing station with its aggregate per-job service demand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Station {
+    pub name: String,
+    /// Total service demand per job, in seconds (visit count x per-visit
+    /// service time).
+    pub demand_s: f64,
+}
+
+impl Station {
+    pub fn new(name: impl Into<String>, demand_s: f64) -> Self {
+        assert!(demand_s >= 0.0 && demand_s.is_finite());
+        Station {
+            name: name.into(),
+            demand_s,
+        }
+    }
+}
+
+/// A closed queueing network: stations plus a think-time delay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClosedNetwork {
+    pub stations: Vec<Station>,
+    /// Think time between requests (delay station), seconds.
+    pub think_time_s: f64,
+}
+
+/// Solution of the network at a given population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MvaResult {
+    /// Mean response time per request (excluding think time), seconds.
+    pub response_s: f64,
+    /// System throughput, requests/second.
+    pub throughput: f64,
+    /// Mean queue length per station.
+    pub queue_lengths: Vec<f64>,
+    /// Utilisation per station.
+    pub utilizations: Vec<f64>,
+}
+
+impl ClosedNetwork {
+    pub fn new(stations: Vec<Station>, think_time_s: f64) -> Self {
+        assert!(!stations.is_empty(), "network needs at least one station");
+        assert!(think_time_s >= 0.0 && think_time_s.is_finite());
+        ClosedNetwork {
+            stations,
+            think_time_s,
+        }
+    }
+
+    /// The bottleneck service demand (max over stations).
+    pub fn bottleneck_demand(&self) -> f64 {
+        self.stations
+            .iter()
+            .map(|s| s.demand_s)
+            .fold(0.0, f64::max)
+    }
+
+    /// Asymptotic maximum throughput, `1 / D_max`.
+    pub fn max_throughput(&self) -> f64 {
+        1.0 / self.bottleneck_demand()
+    }
+
+    /// Exact MVA at population `n`.
+    pub fn solve(&self, n: u32) -> MvaResult {
+        let k = self.stations.len();
+        let mut q = vec![0.0f64; k];
+        let mut r = vec![0.0f64; k];
+        let mut x = 0.0f64;
+        for pop in 1..=n {
+            let mut r_total = 0.0;
+            for i in 0..k {
+                r[i] = self.stations[i].demand_s * (1.0 + q[i]);
+                r_total += r[i];
+            }
+            x = pop as f64 / (self.think_time_s + r_total);
+            for i in 0..k {
+                q[i] = x * r[i];
+            }
+        }
+        let response_s = if n == 0 { 0.0 } else { n as f64 / x - self.think_time_s };
+        let utilizations = self
+            .stations
+            .iter()
+            .map(|s| (x * s.demand_s).min(1.0))
+            .collect();
+        MvaResult {
+            response_s: response_s.max(0.0),
+            throughput: x,
+            queue_lengths: q,
+            utilizations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn single(demand: f64, think: f64) -> ClosedNetwork {
+        ClosedNetwork::new(vec![Station::new("cpu", demand)], think)
+    }
+
+    #[test]
+    fn one_job_sees_raw_demand() {
+        let net = single(0.05, 2.0);
+        let r = net.solve(1);
+        assert!((r.response_s - 0.05).abs() < 1e-12);
+        assert!((r.throughput - 1.0 / 2.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_saturates_at_inverse_bottleneck() {
+        let net = single(0.05, 2.0);
+        let r = net.solve(1_000);
+        assert!((r.throughput - 20.0).abs() < 0.01, "X {}", r.throughput);
+        // Heavy load: R ~ N*D - Z.
+        let expect = 1_000.0 * 0.05 - 2.0;
+        assert!((r.response_s - expect).abs() / expect < 0.01);
+        assert!((r.utilizations[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn response_monotone_in_population() {
+        let net = ClosedNetwork::new(
+            vec![Station::new("cpu", 0.016), Station::new("io", 0.005)],
+            2.0,
+        );
+        let mut prev = 0.0;
+        for n in [1, 50, 100, 200, 400] {
+            let r = net.solve(n).response_s;
+            assert!(r >= prev, "response must grow with load");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn light_load_response_near_total_demand() {
+        // With plenty of think time and few jobs, no queueing happens.
+        let net = ClosedNetwork::new(
+            vec![Station::new("cpu", 0.01), Station::new("io", 0.02)],
+            100.0,
+        );
+        let r = net.solve(10);
+        assert!((r.response_s - 0.03).abs() < 0.001);
+    }
+
+    #[test]
+    fn bottleneck_station_dominates_queueing() {
+        let net = ClosedNetwork::new(
+            vec![Station::new("cpu", 0.05), Station::new("io", 0.01)],
+            1.0,
+        );
+        let r = net.solve(200);
+        assert!(r.queue_lengths[0] > 10.0 * r.queue_lengths[1]);
+        assert!(r.utilizations[0] > r.utilizations[1]);
+    }
+
+    #[test]
+    fn zero_population() {
+        let net = single(0.05, 2.0);
+        let r = net.solve(0);
+        assert_eq!(r.response_s, 0.0);
+        assert_eq!(r.throughput, 0.0);
+    }
+
+    #[test]
+    fn utilization_scales_with_demand() {
+        let slow = single(0.05, 2.0).solve(30);
+        let fast = single(0.025, 2.0).solve(30);
+        assert!(slow.utilizations[0] > fast.utilizations[0]);
+        assert!(slow.response_s > fast.response_s);
+    }
+}

@@ -1,0 +1,114 @@
+//! Figure 12: TPC-W response time vs number of emulated browsers.
+
+use crate::mva::ClosedNetwork;
+use crate::tpcw::{tpcw_network, NestedPenalties, Platform, TpcwConfig};
+
+/// One point on a Figure 12 curve pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResponsePoint {
+    pub ebs: u32,
+    pub native_ms: f64,
+    pub nested_ms: f64,
+}
+
+impl ResponsePoint {
+    /// Nested/native response-time ratio.
+    pub fn overhead_ratio(&self) -> f64 {
+        if self.native_ms == 0.0 {
+            1.0
+        } else {
+            self.nested_ms / self.native_ms
+        }
+    }
+}
+
+fn solve_ms(net: &ClosedNetwork, ebs: u32) -> f64 {
+    net.solve(ebs).response_s * 1_000.0
+}
+
+/// Compute the Figure 12 curves at the given EB populations.
+pub fn response_curve(cfg: TpcwConfig, ebs: &[u32]) -> Vec<ResponsePoint> {
+    let pen = NestedPenalties::xen_blanket();
+    ebs.iter()
+        .map(|&n| {
+            let native = tpcw_network(cfg, Platform::Native, &pen, n);
+            let nested = tpcw_network(cfg, Platform::Nested, &pen, n);
+            ResponsePoint {
+                ebs: n,
+                native_ms: solve_ms(&native, n),
+                nested_ms: solve_ms(&nested, n),
+            }
+        })
+        .collect()
+}
+
+/// The EB populations of Figure 12's x-axis.
+pub const FIGURE12_EBS: [u32; 7] = [100, 150, 200, 250, 300, 350, 400];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_images_curves_overlap() {
+        // Figure 12(a): nested ~ native when the benchmark is I/O bound.
+        for p in response_curve(TpcwConfig::WithImages, &FIGURE12_EBS) {
+            assert!(
+                p.overhead_ratio() < 1.10,
+                "at {} EBs nested/native = {}",
+                p.ebs,
+                p.overhead_ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn no_images_nested_up_to_50_percent_worse() {
+        // Figure 12(b): the gap grows with load, up to ~50%+ at 400 EBs.
+        let curve = response_curve(TpcwConfig::NoImages, &FIGURE12_EBS);
+        let first = curve.first().unwrap();
+        let last = curve.last().unwrap();
+        assert!(last.overhead_ratio() > first.overhead_ratio());
+        assert!(
+            first.overhead_ratio() < 1.15,
+            "light-load overhead {}",
+            first.overhead_ratio()
+        );
+        // A 50% CPU-demand inflation amplifies into a larger response-time
+        // gap once the closed network saturates.
+        assert!(
+            (1.3..2.6).contains(&last.overhead_ratio()),
+            "saturated overhead ratio {}",
+            last.overhead_ratio()
+        );
+    }
+
+    #[test]
+    fn response_grows_with_load() {
+        for cfg in [TpcwConfig::WithImages, TpcwConfig::NoImages] {
+            let curve = response_curve(cfg, &FIGURE12_EBS);
+            for w in curve.windows(2) {
+                assert!(w[1].native_ms >= w[0].native_ms);
+                assert!(w[1].nested_ms >= w[0].nested_ms);
+            }
+        }
+    }
+
+    #[test]
+    fn with_images_slower_than_without_at_same_load() {
+        // Shipping images through the server costs I/O time, so absolute
+        // response times in Figure 12(a) dwarf 12(b)'s.
+        let imgs = response_curve(TpcwConfig::WithImages, &[400]);
+        let no = response_curve(TpcwConfig::NoImages, &[400]);
+        assert!(imgs[0].native_ms > no[0].native_ms);
+    }
+
+    #[test]
+    fn magnitudes_in_figure12_range() {
+        // At 400 EBs the paper's curves sit at seconds to tens of seconds.
+        let imgs = response_curve(TpcwConfig::WithImages, &[400]);
+        assert!(imgs[0].native_ms > 3_000.0 && imgs[0].native_ms < 40_000.0);
+        let no = response_curve(TpcwConfig::NoImages, &[400]);
+        assert!(no[0].nested_ms > 1_000.0 && no[0].nested_ms < 20_000.0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Availability SLO arithmetic.
+//!
+//! The paper's bar (§1): an always-on service needs at least four nines
+//! (99.99%) of availability — unavailability of at most one basis point,
+//! "roughly 4.3 minutes of downtime per month".
+
+/// Seconds in the paper's nominal month (30 days).
+pub const MONTH_SECS: f64 = 30.0 * 24.0 * 3600.0;
+
+/// Maximum unavailability fraction for an availability of `nines` nines
+/// (e.g. 4 -> 1e-4).
+pub fn max_unavailability_for_nines(nines: u32) -> f64 {
+    10f64.powi(-(nines as i32))
+}
+
+/// Does an unavailability fraction meet an N-nines SLO?
+pub fn meets_nines(unavailability: f64, nines: u32) -> bool {
+    unavailability <= max_unavailability_for_nines(nines)
+}
+
+/// Downtime per month implied by an unavailability fraction, in seconds.
+pub fn downtime_per_month(unavailability: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&unavailability));
+    unavailability * MONTH_SECS
+}
+
+/// The number of whole nines an unavailability fraction achieves.
+pub fn nines_achieved(unavailability: f64) -> u32 {
+    if unavailability <= 0.0 {
+        return u32::MAX;
+    }
+    let mut n = 0;
+    while unavailability <= max_unavailability_for_nines(n + 1) {
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_nines_is_4_3_minutes_per_month() {
+        // The paper: one basis point ~ 4.3 minutes of downtime per month.
+        let secs = downtime_per_month(max_unavailability_for_nines(4));
+        assert!((secs / 60.0 - 4.32).abs() < 0.01, "{} minutes", secs / 60.0);
+    }
+
+    #[test]
+    fn meets_nines_boundaries() {
+        assert!(meets_nines(1e-4, 4));
+        assert!(!meets_nines(1.1e-4, 4));
+        assert!(meets_nines(0.0, 9));
+    }
+
+    #[test]
+    fn nines_achieved_counts() {
+        assert_eq!(nines_achieved(0.5), 0);
+        assert_eq!(nines_achieved(0.05), 1);
+        assert_eq!(nines_achieved(1e-4), 4);
+        assert_eq!(nines_achieved(9e-5), 4);
+        assert_eq!(nines_achieved(1e-5), 5);
+        assert_eq!(nines_achieved(0.0), u32::MAX);
+    }
+
+    #[test]
+    fn pure_spot_fails_the_bar() {
+        // Figure 11(b): >1% unavailability is two nines at best.
+        assert!(!meets_nines(0.015, 4));
+        assert_eq!(nines_achieved(0.015), 1);
+    }
+}

@@ -1,0 +1,182 @@
+//! TPC-W as a closed queueing network (§6.2).
+//!
+//! The paper runs the TPC-W "ordering" mix (50% browsing / 50% ordering)
+//! against a Java-servlet store, in two configurations:
+//!
+//! * **With images** — the server also ships the product images, so the
+//!   request path is I/O-bound. Xen-Blanket forwards I/O efficiently, so
+//!   nested performance matches native (Figure 12(a)).
+//! * **Without images** — images come from a CDN and the server path is
+//!   CPU-bound; nested virtualization's extra hypervisor exits inflate CPU
+//!   service demand by up to 50% under load (Figure 12(b)).
+//!
+//! The nested CPU penalty is *load-dependent* (§6.2: "the CPU overhead
+//! depends on the load"): guest exits contend harder as utilisation rises.
+//! We model the demand multiplier as `1 + cpu_max * u^3` and solve the
+//! resulting fixed point (demand depends on utilisation depends on
+//! demand) by iteration — it converges in a handful of rounds because the
+//! map is monotone and bounded.
+
+use crate::mva::{ClosedNetwork, Station};
+
+/// Which TPC-W serving configuration (Figure 12(a) vs 12(b)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TpcwConfig {
+    /// Browsers fetch images from the server: I/O-bound.
+    WithImages,
+    /// Images offloaded to a CDN: CPU-bound.
+    NoImages,
+}
+
+/// Native EC2 VM or Xen-Blanket nested VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Platform {
+    Native,
+    Nested,
+}
+
+/// Nested-virtualization penalties (defaults from §6 measurements).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NestedPenalties {
+    /// Fractional I/O throughput loss (Table 4: ~2%).
+    pub io: f64,
+    /// Maximum fractional CPU demand inflation at saturation (§6.2: 50%).
+    pub cpu_max: f64,
+    /// Exponent of the load dependence (`1 + cpu_max * u^exp`). A high
+    /// exponent keeps the curves overlapping at light load, as Figure
+    /// 12(b) shows.
+    pub cpu_exponent: f64,
+}
+
+impl NestedPenalties {
+    pub fn xen_blanket() -> Self {
+        NestedPenalties {
+            io: 0.02,
+            cpu_max: 0.50,
+            cpu_exponent: 3.0,
+        }
+    }
+}
+
+/// Base (native) service demands of the TPC-W ordering mix, seconds per
+/// request, calibrated so the response curves land in Figure 12's range
+/// (hundreds of ms at 100 EBs, several seconds at 400 EBs).
+fn base_demands(cfg: TpcwConfig) -> (f64, f64) {
+    match cfg {
+        // (cpu, io): serving images shifts the bottleneck to I/O.
+        TpcwConfig::WithImages => (0.016, 0.055),
+        TpcwConfig::NoImages => (0.016, 0.005),
+    }
+}
+
+/// TPC-W emulated-browser think time, seconds. The TPC-W spec's think
+/// times average ~7s; we use a shorter effective value calibrated so that
+/// the CPU-bound configuration's saturation knee falls inside Figure 12's
+/// 100-400 EB range on an m3.medium-class server.
+pub const THINK_TIME_S: f64 = 4.0;
+
+/// Build the TPC-W closed network for a platform at population `ebs`,
+/// resolving the load-dependent nested CPU demand by fixed-point
+/// iteration. Returns the converged network.
+pub fn tpcw_network(
+    cfg: TpcwConfig,
+    platform: Platform,
+    penalties: &NestedPenalties,
+    ebs: u32,
+) -> ClosedNetwork {
+    let (cpu_base, io_base) = base_demands(cfg);
+    match platform {
+        Platform::Native => ClosedNetwork::new(
+            vec![Station::new("cpu", cpu_base), Station::new("io", io_base)],
+            THINK_TIME_S,
+        ),
+        Platform::Nested => {
+            let io = io_base / (1.0 - penalties.io);
+            // Fixed point on the CPU utilisation: start optimistic, apply
+            // the load-dependent inflation, re-solve.
+            let mut factor = 1.0;
+            let mut net = ClosedNetwork::new(
+                vec![
+                    Station::new("cpu", cpu_base * factor),
+                    Station::new("io", io),
+                ],
+                THINK_TIME_S,
+            );
+            for _ in 0..20 {
+                let sol = net.solve(ebs);
+                let u_cpu = sol.utilizations[0];
+                let next = 1.0 + penalties.cpu_max * u_cpu.powf(penalties.cpu_exponent);
+                if (next - factor).abs() < 1e-6 {
+                    break;
+                }
+                factor = next;
+                net = ClosedNetwork::new(
+                    vec![
+                        Station::new("cpu", cpu_base * factor),
+                        Station::new("io", io),
+                    ],
+                    THINK_TIME_S,
+                );
+            }
+            net
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pen() -> NestedPenalties {
+        NestedPenalties::xen_blanket()
+    }
+
+    #[test]
+    fn with_images_is_io_bound_on_both_platforms() {
+        for platform in [Platform::Native, Platform::Nested] {
+            let net = tpcw_network(TpcwConfig::WithImages, platform, &pen(), 400);
+            let (cpu, io) = (net.stations[0].demand_s, net.stations[1].demand_s);
+            assert!(io > cpu, "{platform:?}: io {io} must exceed cpu {cpu}");
+        }
+    }
+
+    #[test]
+    fn no_images_is_cpu_bound() {
+        let net = tpcw_network(TpcwConfig::NoImages, Platform::Native, &pen(), 400);
+        assert!(net.stations[0].demand_s > net.stations[1].demand_s);
+    }
+
+    #[test]
+    fn nested_cpu_inflation_saturates_near_fifty_percent() {
+        let native = tpcw_network(TpcwConfig::NoImages, Platform::Native, &pen(), 400);
+        let nested = tpcw_network(TpcwConfig::NoImages, Platform::Nested, &pen(), 400);
+        let ratio = nested.stations[0].demand_s / native.stations[0].demand_s;
+        assert!(
+            (1.35..=1.5).contains(&ratio),
+            "saturated CPU inflation {ratio}"
+        );
+    }
+
+    #[test]
+    fn nested_cpu_inflation_negligible_at_light_load() {
+        let native = tpcw_network(TpcwConfig::NoImages, Platform::Native, &pen(), 20);
+        let nested = tpcw_network(TpcwConfig::NoImages, Platform::Nested, &pen(), 20);
+        let ratio = nested.stations[0].demand_s / native.stations[0].demand_s;
+        assert!(ratio < 1.1, "light-load CPU inflation {ratio}");
+    }
+
+    #[test]
+    fn fixed_point_is_deterministic() {
+        let a = tpcw_network(TpcwConfig::NoImages, Platform::Nested, &pen(), 300);
+        let b = tpcw_network(TpcwConfig::NoImages, Platform::Nested, &pen(), 300);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn io_penalty_applied() {
+        let native = tpcw_network(TpcwConfig::WithImages, Platform::Native, &pen(), 100);
+        let nested = tpcw_network(TpcwConfig::WithImages, Platform::Nested, &pen(), 100);
+        let ratio = nested.stations[1].demand_s / native.stations[1].demand_s;
+        assert!((ratio - 1.0 / 0.98).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,90 @@
+//! An e-commerce operator's decision walkthrough: which hosting scheme
+//! keeps a TPC-W-class store under its availability SLO at the lowest
+//! cost, and what nested virtualization does to capacity planning.
+//!
+//! ```text
+//! cargo run --release --example ecommerce_hosting
+//! ```
+
+use spothost::core::prelude::*;
+use spothost::market::prelude::*;
+use spothost::virt::NestedOverheadModel;
+use spothost::workload::response::{response_curve, FIGURE12_EBS};
+use spothost::workload::slo;
+use spothost::workload::tpcw::TpcwConfig;
+
+fn main() {
+    let market = MarketId::new(Zone::UsEast1a, InstanceType::Large);
+    let horizon = SimDuration::days(60);
+    let seeds = 8;
+
+    println!("E-commerce store, {} capacity, 60-day horizon\n", market);
+
+    // --- Step 1: pick a hosting scheme --------------------------------------
+    println!("scheme                   cost%   unavail%   downtime/month   4-nines?");
+    for (name, policy) in [
+        ("on-demand only", BiddingPolicy::OnDemandOnly),
+        ("pure spot", BiddingPolicy::PureSpot),
+        ("reactive + migration", BiddingPolicy::Reactive),
+        ("proactive + migration", BiddingPolicy::proactive_default()),
+    ] {
+        let cfg = SchedulerConfig::single_market(market)
+            .with_policy(policy)
+            .with_mechanism(MechanismCombo::CKPT_LR_LIVE);
+        let agg = run_many(&cfg, 0, seeds, horizon);
+        let monthly_downtime = slo::downtime_per_month(agg.unavailability.mean);
+        println!(
+            "{:<24} {:>5.1}   {:>8.5}   {:>9.1}s        {}",
+            name,
+            agg.normalized_cost_pct(),
+            agg.unavailability_pct(),
+            monthly_downtime,
+            if slo::meets_nines(agg.unavailability.mean, 4) {
+                "yes"
+            } else {
+                "NO"
+            }
+        );
+    }
+
+    // --- Step 2: pick migration mechanisms ----------------------------------
+    println!("\nmechanism combo effect (proactive bidding):");
+    for combo in MechanismCombo::ALL {
+        let cfg = SchedulerConfig::single_market(market).with_mechanism(combo);
+        let agg = run_many(&cfg, 0, seeds, horizon);
+        println!(
+            "  {:<16} unavailability {:.5}%",
+            combo.name(),
+            agg.unavailability_pct()
+        );
+    }
+
+    // --- Step 3: capacity planning under nested virtualization --------------
+    // The store's dynamic pages are CPU-bound once images move to a CDN;
+    // check the response-time penalty and the §6.3 cost impact.
+    println!("\nTPC-W response time, images on CDN (CPU-bound):");
+    println!("  EBs    native(ms)  nested(ms)  ratio");
+    for p in response_curve(TpcwConfig::NoImages, &FIGURE12_EBS) {
+        println!(
+            "  {:>4}   {:>9.0}   {:>9.0}   {:.2}x",
+            p.ebs,
+            p.native_ms,
+            p.nested_ms,
+            p.overhead_ratio()
+        );
+    }
+
+    let overhead = NestedOverheadModel::xen_blanket();
+    let cfg = SchedulerConfig::single_market(market);
+    let base = run_many(&cfg, 0, seeds, horizon).normalized_cost.mean;
+    println!("\ncost after capacity inflation (base {:.1}%):", base * 100.0);
+    for cpu_fraction in [0.0, 0.5, 1.0] {
+        println!(
+            "  {:>3.0}% CPU-bound -> effective cost {:.1}% of on-demand",
+            cpu_fraction * 100.0,
+            overhead.effective_cost_ratio(base, cpu_fraction) * 100.0
+        );
+    }
+    println!("\nconclusion: proactive bidding + CKPT/LR/Live meets four nines at a");
+    println!("fraction of on-demand cost, even with worst-case nested CPU overhead.");
+}

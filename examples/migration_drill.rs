@@ -1,0 +1,104 @@
+//! A dry run of the OS mechanisms themselves (§3.2): what actually happens
+//! in the two minutes after a revocation warning, and why the paper's
+//! combination of bounded checkpointing + lazy restore + live migration is
+//! the one that works.
+//!
+//! ```text
+//! cargo run --release --example migration_drill
+//! ```
+
+use spothost::cloudsim::REVOCATION_GRACE;
+use spothost::market::types::Region;
+use spothost::virt::wan::{disk_copy_duration, wan_live_migration};
+use spothost::virt::*;
+
+fn main() {
+    let vm = VmSpec::paper_2gib();
+    let params = VirtParams::typical();
+
+    // --- bounded checkpointing: making the 2-minute warning survivable -----
+    let ckpt = BoundedCheckpointer::new(&vm, &params);
+    println!("Yank-style bounded checkpointing of a {} GiB nested VM:", vm.memory_gib);
+    println!("  full checkpoint:          {}", ckpt.full_checkpoint_duration());
+    println!(
+        "  background period:        {} (keeps increments under tau = {})",
+        ckpt.checkpoint_period().unwrap(),
+        ckpt.tau
+    );
+    println!(
+        "  final flush on warning:   <= {} — fits the {} grace window",
+        ckpt.tau, REVOCATION_GRACE
+    );
+    println!(
+        "  write-bandwidth overhead: {:.1}%",
+        ckpt.background_write_utilization() * 100.0
+    );
+
+    // --- live migration: the voluntary path ---------------------------------
+    let live = live_migration(&vm, &params);
+    println!("\nlive (pre-copy) migration within a region:");
+    println!(
+        "  total {} over {} rounds, {:.2} GiB on the wire, downtime {}",
+        live.total, live.rounds, live.transferred_gib, live.downtime
+    );
+
+    // --- restore choices: what the service feels ----------------------------
+    println!("\nrestore after a forced migration (downtime felt by users):");
+    for (label, combo) in [
+        ("standard restore", MechanismCombo::CKPT),
+        ("lazy restore", MechanismCombo::CKPT_LR),
+    ] {
+        let ctx = MigrationContext::local(vm, Region::UsEast1);
+        let t = plan_migration(combo, MigrationKind::Forced, &ctx, &params);
+        println!(
+            "  {:<17} downtime {} (+{} degraded)",
+            label, t.downtime, t.degraded
+        );
+    }
+
+    // --- the full decision table ---------------------------------------------
+    println!("\nper-migration timing by mechanism combo (local moves):");
+    println!("  combo             kind      prepare      downtime   degraded");
+    for combo in MechanismCombo::ALL {
+        for kind in [MigrationKind::Forced, MigrationKind::Planned] {
+            let ctx = MigrationContext::local(vm, Region::UsEast1);
+            let t = plan_migration(combo, kind, &ctx, &params);
+            println!(
+                "  {:<16} {:<8} {:>10} {:>12} {:>10}",
+                combo.name(),
+                kind.name(),
+                t.prepare.to_string(),
+                t.downtime.to_string(),
+                t.degraded.to_string()
+            );
+        }
+    }
+
+    // --- WAN: why cross-region moves are a different animal -----------------
+    println!("\ncross-region (WAN) live migration of the same VM + 8 GiB disk:");
+    for (a, b) in [
+        (Region::UsEast1, Region::UsWest1),
+        (Region::UsEast1, Region::EuWest1),
+        (Region::UsWest1, Region::EuWest1),
+    ] {
+        let pair = RegionPair::new(a, b);
+        let out = wan_live_migration(&vm, &params, pair);
+        println!(
+            "  {:>9} <-> {:<9} live {} + disk copy {}",
+            a.name(),
+            b.name(),
+            out.total,
+            disk_copy_duration(pair, 8.0)
+        );
+    }
+
+    // --- pessimistic view ------------------------------------------------------
+    let worst = VirtParams::pessimistic();
+    let ctx = MigrationContext::local(vm, Region::UsEast1);
+    let typical = plan_migration(MechanismCombo::CKPT_LR_LIVE, MigrationKind::Forced, &ctx, &params);
+    let pess = plan_migration(MechanismCombo::CKPT_LR_LIVE, MigrationKind::Forced, &ctx, &worst);
+    println!(
+        "\nforced-migration downtime, best combo: typical {} vs pessimistic {}",
+        typical.downtime, pess.downtime
+    );
+}

@@ -1,0 +1,14 @@
+//! # spothost
+//!
+//! Facade crate re-exporting the full `spothost` system: a reproduction of
+//! *"Cutting the Cost of Hosting Online Services Using Cloud Spot Markets"*
+//! (HPDC 2015). See the README for the architecture overview and DESIGN.md
+//! for the experiment inventory.
+
+pub use spothost_analysis as analysis;
+pub use spothost_cloudsim as cloudsim;
+pub use spothost_core as core;
+pub use spothost_fleet as fleet;
+pub use spothost_market as market;
+pub use spothost_virt as virt;
+pub use spothost_workload as workload;

@@ -1,0 +1,117 @@
+//! Property-based tests of the billing engine and price traces.
+
+use proptest::prelude::*;
+use spothost::cloudsim::{on_demand_lease_charge, spot_lease_charge};
+use spothost::market::prelude::*;
+
+/// Build an arbitrary valid price trace from (gap, price) pairs.
+fn arb_trace() -> impl Strategy<Value = PriceTrace> {
+    (
+        prop::collection::vec((1u64..3_600_000u64, 1u64..5_000u64), 1..40),
+        1u64..100u64,
+    )
+        .prop_map(|(steps, extra_hours)| {
+            let mut points = Vec::with_capacity(steps.len());
+            let mut t = 0u64;
+            for (i, (gap, millidollars)) in steps.into_iter().enumerate() {
+                if i > 0 {
+                    t += gap;
+                }
+                points.push(PricePoint {
+                    at: SimTime::millis(t),
+                    price: millidollars as f64 / 1_000.0,
+                });
+            }
+            let end = SimTime::millis(t) + SimDuration::hours(extra_hours);
+            PriceTrace::new(points, end)
+        })
+}
+
+proptest! {
+    #[test]
+    fn spot_charge_nonnegative_and_bounded(trace in arb_trace(), start_h in 0u64..24, len_min in 0u64..2_000) {
+        let start = SimTime::hours(start_h);
+        let end = start + SimDuration::minutes(len_min);
+        for revoked in [false, true] {
+            let c = spot_lease_charge(&trace, start, end, revoked);
+            prop_assert!(c >= 0.0);
+            // Bounded by max price times started hours.
+            let bound = trace.max_price() * (end - start).started_hours() as f64;
+            prop_assert!(c <= bound + 1e-9);
+        }
+    }
+
+    #[test]
+    fn revoked_never_costs_more_than_voluntary(trace in arb_trace(), start_h in 0u64..24, len_min in 0u64..2_000) {
+        let start = SimTime::hours(start_h);
+        let end = start + SimDuration::minutes(len_min);
+        let revoked = spot_lease_charge(&trace, start, end, true);
+        let voluntary = spot_lease_charge(&trace, start, end, false);
+        prop_assert!(revoked <= voluntary + 1e-12);
+    }
+
+    #[test]
+    fn spot_charge_monotone_in_duration(trace in arb_trace(), start_h in 0u64..24, a_min in 0u64..2_000, b_min in 0u64..2_000) {
+        let start = SimTime::hours(start_h);
+        let (short, long) = if a_min <= b_min { (a_min, b_min) } else { (b_min, a_min) };
+        let c_short = spot_lease_charge(&trace, start, start + SimDuration::minutes(short), false);
+        let c_long = spot_lease_charge(&trace, start, start + SimDuration::minutes(long), false);
+        prop_assert!(c_short <= c_long + 1e-12);
+    }
+
+    #[test]
+    fn on_demand_charge_is_started_hours(pon_millis in 1u64..10_000, len_min in 0u64..10_000) {
+        let pon = pon_millis as f64 / 1_000.0;
+        let start = SimTime::ZERO;
+        let end = start + SimDuration::minutes(len_min);
+        let c = on_demand_lease_charge(pon, start, end);
+        let expect = len_min.div_ceil(60) as f64 * pon;
+        prop_assert!((c - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn price_at_matches_segment_walk(trace in arb_trace(), probe_min in 0u64..10_000) {
+        // price_at (binary search) must agree with a linear scan.
+        let t = SimTime::minutes(probe_min);
+        let linear = trace
+            .points()
+            .iter()
+            .rev()
+            .find(|p| p.at <= t)
+            .map(|p| p.price)
+            .unwrap();
+        prop_assert_eq!(trace.price_at(t), linear);
+    }
+
+    #[test]
+    fn time_weighted_mean_within_price_range(trace in arb_trace()) {
+        let mean = trace.time_weighted_mean();
+        prop_assert!(mean >= trace.min_price() - 1e-12);
+        prop_assert!(mean <= trace.max_price() + 1e-12);
+    }
+
+    #[test]
+    fn fraction_above_is_complement_consistent(trace in arb_trace(), threshold_millis in 1u64..5_000) {
+        let thr = threshold_millis as f64 / 1_000.0;
+        let above = trace.fraction_above(thr);
+        prop_assert!((0.0..=1.0).contains(&above));
+        // Above min price, the fraction is 1 unless some segment sits at
+        // or below the threshold.
+        if thr < trace.min_price() {
+            prop_assert!((above - 1.0).abs() < 1e-12);
+        }
+        if thr >= trace.max_price() {
+            prop_assert!(above.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sampling_respects_segments(trace in arb_trace()) {
+        let dt = SimDuration::minutes(7);
+        let samples = trace.sample(dt);
+        for (i, &s) in samples.iter().enumerate() {
+            let t = SimTime::millis(i as u64 * dt.as_millis());
+            prop_assert_eq!(s, trace.price_at(t));
+        }
+    }
+}

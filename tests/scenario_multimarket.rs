@@ -1,0 +1,190 @@
+//! Deterministic multi-market scenarios: hand-authored two-market traces
+//! drive the hop, escape, and degraded-window logic.
+
+use spothost::cloudsim::StartupModel;
+use spothost::core::prelude::*;
+use spothost::core::SimRun;
+use spothost::market::prelude::*;
+
+const PON_SMALL: f64 = 0.06;
+
+fn small() -> MarketId {
+    MarketId::new(Zone::UsEast1a, InstanceType::Small)
+}
+
+fn medium() -> MarketId {
+    MarketId::new(Zone::UsEast1a, InstanceType::Medium)
+}
+
+/// Build a 2-market trace set from (minutes, price) step lists.
+fn two_market_set(
+    small_pts: Vec<(u64, f64)>,
+    medium_pts: Vec<(u64, f64)>,
+    horizon_hours: u64,
+) -> TraceSet {
+    let catalog = Catalog::ec2_2015();
+    let horizon = SimDuration::hours(horizon_hours);
+    let mk = |pts: Vec<(u64, f64)>| {
+        PriceTrace::new(
+            pts.into_iter()
+                .map(|(mins, price)| PricePoint {
+                    at: SimTime::minutes(mins),
+                    price,
+                })
+                .collect(),
+            SimTime::ZERO + horizon,
+        )
+    };
+    TraceSet::from_traces(
+        &catalog,
+        vec![(small(), mk(small_pts)), (medium(), mk(medium_pts))],
+        horizon,
+    )
+}
+
+fn cfg() -> SchedulerConfig {
+    // Service of 2 units: fits on 2 smalls or 1 medium.
+    SchedulerConfig::multi(MarketScope::MultiMarket(Zone::UsEast1a)).with_capacity_units(2)
+}
+
+fn run(ts: &TraceSet, cfg: &SchedulerConfig) -> spothost::core::RunReport {
+    SimRun::new(ts, cfg, 0)
+        .with_startup_model(StartupModel::deterministic())
+        .run()
+}
+
+#[test]
+fn starts_in_the_cheaper_market() {
+    // Small aggregate: 2 servers x 0.012 = 0.024/h. Medium: 1 x 0.03.
+    let ts = two_market_set(
+        vec![(0, PON_SMALL * 0.2)],
+        vec![(0, 0.12 * 0.25)],
+        100,
+    );
+    let report = run(&ts, &cfg());
+    assert_eq!(report.total_migrations(), 0);
+    // Cost ~ 0.024 / 0.12 baseline = 20%.
+    assert!((report.normalized_cost - 0.2).abs() < 0.02, "{}", report.normalized_cost);
+}
+
+#[test]
+fn hops_when_the_other_market_gets_much_cheaper() {
+    // Small starts cheap, then triples (still below on-demand); medium
+    // becomes clearly cheaper -> one planned hop, no on-demand time.
+    let ts = two_market_set(
+        vec![(0, PON_SMALL * 0.2), (300, PON_SMALL * 0.6)],
+        vec![(0, 0.12 * 0.25)],
+        100,
+    );
+    let report = run(&ts, &cfg());
+    // After the rise: small aggregate 0.072 vs medium 0.03 -> hop (margin
+    // 25% easily met).
+    assert_eq!(report.planned_migrations, 1, "exactly one hop");
+    assert_eq!(report.forced_migrations, 0);
+    assert_eq!(report.spot_fraction, 1.0, "never touched on-demand");
+    // Sub-second live-migration downtime only.
+    assert!(report.downtime < SimDuration::secs(1));
+}
+
+#[test]
+fn stays_put_within_the_hysteresis_band() {
+    // Medium becomes only ~15% cheaper than small: inside the 25% margin,
+    // no hop.
+    let ts = two_market_set(
+        vec![(0, PON_SMALL * 0.2)], // aggregate 0.024
+        vec![(0, 0.12 * 0.17)],     // aggregate 0.0204: 15% cheaper
+        100,
+    );
+    let report = run(&ts, &cfg());
+    assert_eq!(report.total_migrations(), 0, "hysteresis must hold");
+}
+
+#[test]
+fn escapes_to_other_spot_market_not_on_demand_when_current_spikes() {
+    // Small spikes above on-demand for 6 hours; medium stays cheap. The
+    // multi-market scheduler must move to medium (planned), not to
+    // on-demand, then hop back when small recovers far below medium.
+    let ts = two_market_set(
+        vec![
+            (0, PON_SMALL * 0.2),
+            (240, PON_SMALL * 2.0),
+            (600, PON_SMALL * 0.2),
+        ],
+        vec![(0, 0.12 * 0.4)],
+        100,
+    );
+    let report = run(&ts, &cfg());
+    assert_eq!(report.forced_migrations, 0, "2x on-demand is below the 4x bid");
+    assert!(report.planned_migrations >= 2, "escape and return");
+    assert_eq!(report.reverse_migrations, 0, "never went to on-demand");
+    assert_eq!(report.spot_fraction, 1.0);
+}
+
+#[test]
+fn forced_migration_goes_to_on_demand_even_with_spot_alternatives() {
+    // Small spikes past the 4x bid instantly: revocation. Per §3.1 the
+    // forced step replaces with an on-demand server; the scheduler then
+    // reverse-migrates to the cheapest spot market at the next boundary.
+    let ts = two_market_set(
+        vec![
+            (0, PON_SMALL * 0.2),
+            (240, PON_SMALL * 6.0),
+            (360, PON_SMALL * 0.2),
+        ],
+        vec![(0, 0.12 * 0.4)],
+        100,
+    );
+    let report = run(&ts, &cfg());
+    assert_eq!(report.forced_migrations, 1);
+    assert!(report.reverse_migrations >= 1, "returns to spot");
+    assert!(report.spot_fraction < 1.0, "spent forced time on on-demand");
+}
+
+#[test]
+fn degraded_window_appears_only_with_lazy_restore() {
+    let mk = || {
+        two_market_set(
+            vec![
+                (0, PON_SMALL * 0.2),
+                (240, PON_SMALL * 6.0),
+                (360, PON_SMALL * 0.2),
+            ],
+            vec![(0, 0.12 * 0.4)],
+            50,
+        )
+    };
+    let lazy = run(&mk(), &cfg().with_mechanism(MechanismCombo::CKPT_LR));
+    let eager = run(&mk(), &cfg().with_mechanism(MechanismCombo::CKPT));
+    assert!(lazy.degraded_fraction > 0.0, "lazy restore must run degraded");
+    // The eager path's only degradation could come from pre-staged planned
+    // moves; the forced migration itself contributes none.
+    assert!(
+        lazy.degraded_fraction > eager.degraded_fraction,
+        "lazy {} vs eager {}",
+        lazy.degraded_fraction,
+        eager.degraded_fraction
+    );
+    // And eager pays for it with more downtime.
+    assert!(eager.downtime > lazy.downtime);
+}
+
+#[test]
+fn stability_weight_blocks_the_hop_to_a_risky_market() {
+    // Medium is cheaper but historically risky (spends 10% of time above
+    // its on-demand price). Greedy hops; stability-weighted stays.
+    let mut medium_pts = vec![(0u64, 0.12 * 0.15)];
+    // Past risk: spikes during the first two days.
+    for d in 0..2u64 {
+        medium_pts.push((d * 1440 + 600, 0.12 * 2.0));
+        medium_pts.push((d * 1440 + 744, 0.12 * 0.15)); // 2.4h spike
+    }
+    let ts = two_market_set(vec![(0, PON_SMALL * 0.3)], medium_pts, 120);
+    let greedy = run(&ts, &cfg());
+    let stable = run(&ts, &cfg().with_stability_weight(32.0));
+    assert!(
+        stable.planned_migrations <= greedy.planned_migrations,
+        "stable {} vs greedy {}",
+        stable.planned_migrations,
+        greedy.planned_migrations
+    );
+}

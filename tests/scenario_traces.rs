@@ -1,0 +1,207 @@
+//! Deterministic scenario tests: hand-authored price traces drive the
+//! scheduler through each §3.1 transition exactly once, and the outcome is
+//! checked step by step (migration kind, downtime, billing).
+
+use spothost::cloudsim::StartupModel;
+use spothost::core::prelude::*;
+use spothost::core::SimRun;
+use spothost::market::prelude::*;
+
+fn market() -> MarketId {
+    MarketId::new(Zone::UsEast1a, InstanceType::Small)
+}
+
+const PON: f64 = 0.06;
+
+fn trace_set(points: Vec<(u64, f64)>, horizon_hours: u64) -> TraceSet {
+    let catalog = Catalog::ec2_2015();
+    let horizon = SimDuration::hours(horizon_hours);
+    let pts = points
+        .into_iter()
+        .map(|(mins, price)| PricePoint {
+            at: SimTime::minutes(mins),
+            price,
+        })
+        .collect();
+    let trace = PriceTrace::new(pts, SimTime::ZERO + horizon);
+    TraceSet::from_traces(&catalog, vec![(market(), trace)], horizon)
+}
+
+fn run(ts: &TraceSet, cfg: &SchedulerConfig) -> spothost::core::RunReport {
+    SimRun::new(ts, cfg, 0)
+        .with_startup_model(StartupModel::deterministic())
+        .run()
+}
+
+#[test]
+fn flat_cheap_market_costs_exactly_the_ratio() {
+    // Price pinned at 20% of on-demand, no spikes: the proactive scheduler
+    // boots once and never moves; cost is within rounding of 20%.
+    let ts = trace_set(vec![(0, PON * 0.2)], 200);
+    let report = run(&ts, &SchedulerConfig::single_market(market()));
+    assert_eq!(report.forced_migrations, 0);
+    assert_eq!(report.planned_migrations + report.reverse_migrations, 0);
+    assert_eq!(report.unavailability, 0.0);
+    assert!((report.normalized_cost - 0.2).abs() < 0.01, "{}", report.normalized_cost);
+}
+
+#[test]
+fn sustained_price_rise_triggers_exactly_one_planned_migration() {
+    // Price rises above on-demand (but below the 4x bid) at t=90min and
+    // stays there: the proactive scheduler must leave at the next billing
+    // boundary — voluntarily, with no revocation and no downtime beyond
+    // the migration switchover.
+    let ts = trace_set(vec![(0, PON * 0.2), (90, PON * 2.0)], 100);
+    let cfg = SchedulerConfig::single_market(market()).with_mechanism(MechanismCombo::CKPT_LR_LIVE);
+    let report = run(&ts, &cfg);
+    assert_eq!(report.forced_migrations, 0, "price never crossed the 4x bid");
+    assert_eq!(report.planned_migrations, 1);
+    assert_eq!(report.reverse_migrations, 0, "price never came back down");
+    // Live migration downtime only: well under a second of downtime.
+    assert!(report.downtime < SimDuration::secs(1), "{}", report.downtime);
+    // Mostly on-demand time after the migration.
+    assert!(report.spot_fraction < 0.15, "{}", report.spot_fraction);
+}
+
+#[test]
+fn spike_above_bid_forces_a_migration_with_bounded_downtime() {
+    // Price jumps straight past the 4x bid at t=10h and stays for an hour:
+    // the provider revokes; downtime = final flush + wait + lazy restore.
+    let ts = trace_set(
+        vec![(0, PON * 0.2), (600, PON * 6.0), (660, PON * 0.2)],
+        100,
+    );
+    let cfg = SchedulerConfig::single_market(market()).with_mechanism(MechanismCombo::CKPT_LR);
+    let report = run(&ts, &cfg);
+    assert_eq!(report.forced_migrations, 1);
+    // Downtime: 5s flush + 20s lazy restore, with the deterministic 95s
+    // on-demand startup fitting inside the 120s grace -> ~25s.
+    let dt = report.downtime.as_secs_f64();
+    assert!((20.0..35.0).contains(&dt), "downtime {dt}s");
+    // The service returns to spot once the spike ends.
+    assert_eq!(report.reverse_migrations, 1);
+    assert!(report.spot_fraction > 0.9);
+}
+
+#[test]
+fn short_mid_hour_spike_is_free_for_proactive() {
+    // A 10-minute excursion to 2x on-demand in the middle of a billing
+    // hour: below the 4x bid, gone before the boundary check. The
+    // proactive scheduler must ride it out at zero cost and zero moves
+    // (§2.1: hours bill at their start price).
+    let ts = trace_set(
+        vec![(0, PON * 0.2), (95, PON * 2.0), (105, PON * 0.2)],
+        50,
+    );
+    let report = run(&ts, &SchedulerConfig::single_market(market()));
+    assert_eq!(report.forced_migrations, 0);
+    assert_eq!(report.planned_migrations, 0);
+    assert_eq!(report.unavailability, 0.0);
+    assert!((report.normalized_cost - 0.2).abs() < 0.01);
+}
+
+#[test]
+fn same_spike_revokes_reactive() {
+    // The same mid-hour excursion revokes a reactive bidder (bid = pon).
+    let ts = trace_set(
+        vec![(0, PON * 0.2), (95, PON * 2.0), (105, PON * 0.2)],
+        50,
+    );
+    let cfg = SchedulerConfig::single_market(market()).with_policy(BiddingPolicy::Reactive);
+    let report = run(&ts, &cfg);
+    assert_eq!(report.forced_migrations, 1);
+    assert!(report.unavailability > 0.0);
+    assert_eq!(report.reverse_migrations, 1, "returns to spot afterwards");
+}
+
+#[test]
+fn pure_spot_downtime_spans_the_whole_outage() {
+    // Price sits above on-demand for 5 hours: a pure-spot service is down
+    // for the excursion plus re-acquisition (spot startup ~4.7 min) and
+    // restore.
+    let ts = trace_set(
+        vec![(0, PON * 0.2), (600, PON * 2.0), (900, PON * 0.2)],
+        100,
+    );
+    let cfg = SchedulerConfig::single_market(market()).with_policy(BiddingPolicy::PureSpot);
+    let report = run(&ts, &cfg);
+    assert_eq!(report.forced_migrations, 1);
+    let dt = report.downtime.as_secs_f64();
+    // ~5h minus the grace window, plus startup (281s) and restore (20s).
+    let expect = 5.0 * 3600.0 - 120.0 + 281.47 + 20.0 + 5.0;
+    assert!(
+        (dt - expect).abs() < 120.0,
+        "downtime {dt}s, expected ~{expect}s"
+    );
+}
+
+#[test]
+fn planned_migration_lands_before_the_billing_boundary() {
+    // With a sustained rise starting at minute 90, the first decision
+    // point is one lead before the 2h lease boundary; the old lease must
+    // be billed exactly 2 started hours (we leave at/before the boundary).
+    let ts = trace_set(vec![(0, PON * 0.5), (90, PON * 1.5)], 30);
+    let cfg = SchedulerConfig::single_market(market()).with_mechanism(MechanismCombo::CKPT_LR_LIVE);
+    let report = run(&ts, &cfg);
+    assert_eq!(report.planned_migrations, 1);
+    // Cost: ~2 spot hours at 0.5*pon (billed at hour-start prices: 0.5,
+    // 0.5) + the remaining ~28h on demand, plus the overlap hour.
+    let expected_od_hours = 28.0;
+    let max_cost = PON * 0.5 * 2.0 + PON * (expected_od_hours + 2.0);
+    assert!(report.cost <= max_cost, "cost {} > {}", report.cost, max_cost);
+}
+
+#[test]
+fn stability_weight_prefers_calm_markets() {
+    // Two markets: small is cheaper on average but spends 10% of its time
+    // above on-demand (spiky); medium is pricier but never spikes. With a
+    // large stability weight the scheduler should sit in medium.
+    let catalog = Catalog::ec2_2015();
+    let horizon = SimDuration::hours(24 * 21);
+    let small = MarketId::new(Zone::UsEast1a, InstanceType::Small);
+    let medium = MarketId::new(Zone::UsEast1a, InstanceType::Medium);
+    // Small: cheap but a 2.4h spike every day.
+    let mut pts = vec![PricePoint {
+        at: SimTime::ZERO,
+        price: PON * 0.10,
+    }];
+    for day in 0..21 {
+        pts.push(PricePoint {
+            at: SimTime::hours(day * 24 + 10),
+            price: PON * 2.0,
+        });
+        pts.push(PricePoint {
+            at: SimTime::hours(day * 24 + 12) + SimDuration::minutes(24),
+            price: PON * 0.10,
+        });
+    }
+    let small_trace = PriceTrace::new(pts, SimTime::ZERO + horizon);
+    // Medium (2x capacity, pon 0.12): flat at 30% of its on-demand price.
+    let medium_trace = PriceTrace::constant(0.12 * 0.30, SimTime::ZERO + horizon);
+    let ts = TraceSet::from_traces(
+        &catalog,
+        vec![(small, small_trace), (medium, medium_trace)],
+        horizon,
+    );
+
+    let greedy_cfg = SchedulerConfig::multi(MarketScope::MultiMarket(Zone::UsEast1a))
+        .with_capacity_units(2);
+    let greedy = SimRun::new(&ts, &greedy_cfg, 0)
+        .with_startup_model(StartupModel::deterministic())
+        .run();
+    let stable_cfg = greedy_cfg.clone().with_stability_weight(32.0);
+    let stable = SimRun::new(&ts, &stable_cfg, 0)
+        .with_startup_model(StartupModel::deterministic())
+        .run();
+
+    // Greedy chases the cheap spiky market and pays in migrations.
+    assert!(
+        stable.planned_migrations + stable.reverse_migrations
+            < greedy.planned_migrations + greedy.reverse_migrations,
+        "stable {} vs greedy {} voluntary migrations",
+        stable.planned_migrations + stable.reverse_migrations,
+        greedy.planned_migrations + greedy.reverse_migrations
+    );
+    // And the stable scheduler pays a bounded premium for the calm market.
+    assert!(stable.normalized_cost <= greedy.normalized_cost * 2.5);
+}

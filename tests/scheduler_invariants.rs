@@ -1,0 +1,137 @@
+//! Property-based tests of the scheduler across randomly drawn (but valid)
+//! market conditions: whatever the price weather, the run must satisfy the
+//! accounting invariants.
+
+use proptest::prelude::*;
+use spothost::core::prelude::*;
+use spothost::core::SimRun;
+use spothost::market::model::SpotModelParams;
+use spothost::market::prelude::*;
+
+fn market() -> MarketId {
+    MarketId::new(Zone::UsEast1a, InstanceType::Small)
+}
+
+/// Random but valid spot-market weather.
+fn arb_params() -> impl Strategy<Value = SpotModelParams> {
+    (
+        0.05f64..0.6,   // base_ratio
+        0.02f64..0.4,   // sigma
+        0.0f64..5.0,    // spike rate per day
+        1.1f64..3.0,    // pareto alpha
+        5u64..60,       // spike duration minutes
+        1.2f64..2.5,    // elevated mult (bounded so base stays < 1)
+    )
+        .prop_map(|(base, sigma, spikes, alpha, dur, elev)| {
+            let mut p = SpotModelParams::default_market();
+            p.base_ratio = base;
+            p.sigma = sigma;
+            p.spike_rate_per_day = spikes;
+            p.spike_pareto_alpha = alpha;
+            p.spike_duration_mean = SimDuration::minutes(dur);
+            p.elevated_base_mult = if base * elev < 0.95 { elev } else { 1.2 };
+            p.zone_spike_rate_per_day = 0.05;
+            p
+        })
+        .prop_filter("valid params", |p| p.validate().is_ok())
+}
+
+fn arb_policy() -> impl Strategy<Value = BiddingPolicy> {
+    prop_oneof![
+        Just(BiddingPolicy::OnDemandOnly),
+        Just(BiddingPolicy::PureSpot),
+        Just(BiddingPolicy::Reactive),
+        Just(BiddingPolicy::proactive_default()),
+        (1.5f64..4.0).prop_map(|m| BiddingPolicy::Proactive { bid_mult: m }),
+    ]
+}
+
+fn arb_mechanism() -> impl Strategy<Value = MechanismCombo> {
+    prop_oneof![
+        Just(MechanismCombo::CKPT),
+        Just(MechanismCombo::CKPT_LR),
+        Just(MechanismCombo::CKPT_LIVE),
+        Just(MechanismCombo::CKPT_LR_LIVE),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn run_invariants_hold_under_any_weather(
+        params in arb_params(),
+        policy in arb_policy(),
+        mechanism in arb_mechanism(),
+        seed in 0u64..1_000,
+    ) {
+        let catalog = Catalog::ec2_2015();
+        let horizon = SimDuration::days(14);
+        let traces = TraceSet::generate_with(&catalog, &[(market(), params)], seed, horizon);
+        let cfg = SchedulerConfig::single_market(market())
+            .with_policy(policy)
+            .with_mechanism(mechanism);
+        let report = SimRun::new(&traces, &cfg, seed).run();
+
+        prop_assert!(report.cost >= 0.0);
+        prop_assert!((0.0..=1.0).contains(&report.unavailability),
+            "unavailability {}", report.unavailability);
+        prop_assert!((0.0..=1.0).contains(&report.spot_fraction));
+        prop_assert!(report.downtime <= report.active_span);
+        // Spot servers cost at most the bid; with the 4x cap and overlap
+        // during migrations, total cost stays within a loose multiple of
+        // the baseline.
+        prop_assert!(report.normalized_cost < 4.5,
+            "normalized cost {}", report.normalized_cost);
+        // Policies without planned migrations never record them.
+        if !policy.plans_migrations() {
+            prop_assert_eq!(report.planned_migrations, 0);
+        }
+        if matches!(policy, BiddingPolicy::OnDemandOnly) {
+            prop_assert_eq!(report.forced_migrations, 0);
+            prop_assert_eq!(report.unavailability, 0.0);
+        }
+        if matches!(policy, BiddingPolicy::PureSpot) {
+            // Pure spot never buys on-demand time.
+            prop_assert!(report.spot_fraction == 1.0 || report.active_span == SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn determinism_under_any_weather(
+        params in arb_params(),
+        policy in arb_policy(),
+        seed in 0u64..1_000,
+    ) {
+        let catalog = Catalog::ec2_2015();
+        let horizon = SimDuration::days(7);
+        let traces = TraceSet::generate_with(&catalog, &[(market(), params)], seed, horizon);
+        let cfg = SchedulerConfig::single_market(market()).with_policy(policy);
+        let a = SimRun::new(&traces, &cfg, seed).run();
+        let b = SimRun::new(&traces, &cfg, seed).run();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quiet_markets_never_migrate(
+        base in 0.05f64..0.5,
+        seed in 0u64..1_000,
+    ) {
+        // With no spikes and a stable baseline below on-demand, a
+        // proactive scheduler must sit on its spot server untouched.
+        let mut p = SpotModelParams::default_market();
+        p.base_ratio = base;
+        p.sigma = 0.02;
+        p.spike_rate_per_day = 0.0;
+        p.zone_spike_rate_per_day = 0.0;
+        p.elevated_base_mult = 1.0001;
+        let catalog = Catalog::ec2_2015();
+        let traces = TraceSet::generate_with(&catalog, &[(market(), p)], seed, SimDuration::days(7));
+        let cfg = SchedulerConfig::single_market(market());
+        let report = SimRun::new(&traces, &cfg, seed).run();
+        prop_assert_eq!(report.forced_migrations, 0);
+        prop_assert_eq!(report.planned_migrations, 0);
+        prop_assert_eq!(report.unavailability, 0.0);
+        prop_assert!(report.spot_fraction > 0.99);
+    }
+}
