@@ -18,7 +18,23 @@ pub struct Summary {
 }
 
 impl Summary {
+    /// An explicit all-zero summary of no observations. `Summary::of(&[])`
+    /// returns this instead of the NaN/±infinity that naive fold
+    /// identities would produce, so an accidentally empty Monte-Carlo
+    /// sweep shows up as zeros with `n = 0` in report tables rather than
+    /// silently propagating NaN.
+    pub const EMPTY: Summary = Summary {
+        mean: 0.0,
+        std: 0.0,
+        min: 0.0,
+        max: 0.0,
+        n: 0,
+    };
+
     pub fn of(xs: &[f64]) -> Self {
+        if xs.is_empty() {
+            return Summary::EMPTY;
+        }
         let (mean, std) = crate::stats::mean_std(xs);
         Summary {
             mean,
@@ -30,6 +46,20 @@ impl Summary {
     }
 }
 
+/// Map `f` over arbitrary work items on the rayon pool, preserving item
+/// order in the output (deterministic regardless of thread scheduling).
+/// This is the primitive under [`mc_run`]; sweep drivers use it directly
+/// to flatten a whole seed x configuration grid into **one** parallel
+/// pass instead of a fork/join barrier per grid cell.
+pub fn par_map<I, T, F>(items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(I) -> T + Sync + Send,
+{
+    items.into_par_iter().map(f).collect()
+}
+
 /// Run `f(seed)` for `seeds` consecutive seeds starting at `seed0`, in
 /// parallel, and return the per-seed results in seed order (deterministic
 /// regardless of thread scheduling).
@@ -38,10 +68,7 @@ where
     T: Send,
     F: Fn(u64) -> T + Sync + Send,
 {
-    (seed0..seed0 + seeds)
-        .into_par_iter()
-        .map(f)
-        .collect()
+    par_map((seed0..seed0 + seeds).collect(), f)
 }
 
 /// Convenience: Monte-Carlo over a scalar metric, summarised.
@@ -65,6 +92,19 @@ mod tests {
     }
 
     #[test]
+    fn summary_of_empty_is_zeroed_not_nan() {
+        let s = Summary::of(&[]);
+        assert_eq!(s, Summary::EMPTY);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 0.0);
+        // The whole point: nothing NaN/infinite leaks into tables.
+        assert!(s.mean.is_finite() && s.min.is_finite() && s.max.is_finite());
+    }
+
+    #[test]
     fn summary_of_constant() {
         let s = Summary::of(&[3.0, 3.0, 3.0]);
         assert_eq!(s.mean, 3.0);
@@ -80,6 +120,14 @@ mod tests {
         let a = mc_summary(0, 64, f);
         let b = mc_summary(0, 64, f);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn par_map_preserves_item_order() {
+        let items: Vec<(u64, u64)> = (0..13).flat_map(|a| (0..7).map(move |b| (a, b))).collect();
+        let out = par_map(items.clone(), |(a, b)| a * 100 + b);
+        let expect: Vec<u64> = items.iter().map(|&(a, b)| a * 100 + b).collect();
+        assert_eq!(out, expect);
     }
 
     #[test]

@@ -69,10 +69,13 @@ impl SeriesSet {
             .series
             .iter()
             .map(|s| {
-                s.label
-                    .len()
-                    .max(s.values.iter().map(|&v| value_fmt(v).len()).max().unwrap_or(0))
-                    + 2
+                s.label.len().max(
+                    s.values
+                        .iter()
+                        .map(|&v| value_fmt(v).len())
+                        .max()
+                        .unwrap_or(0),
+                ) + 2
             })
             .collect();
         for (s, w) in self.series.iter().zip(&widths) {

@@ -1,0 +1,48 @@
+//! Micro-bench for the billing hot path: settle one long spot lease
+//! against a dense price trace, replay oracle (per-hour binary search)
+//! versus the incremental `SpotLeaseMeter` (cursor walk). The meter is
+//! bit-identical by construction (see `billing_properties`), so the only
+//! question is speed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spothost_cloudsim::billing::{spot_lease_charge, SpotLeaseMeter};
+use spothost_market::prelude::*;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // A busy calibrated market over 60 days gives a dense trace; the lease
+    // spans most of it, so the replay performs ~1400 binary searches.
+    let catalog = Catalog::ec2_2015();
+    let market = MarketId::new(Zone::UsEast1a, InstanceType::Small);
+    let traces = TraceSet::generate(&catalog, &[market], 0, SimDuration::days(60));
+    let trace = traces.trace(market).unwrap();
+    let start = SimTime::minutes(7);
+    let end = SimTime::days(59);
+
+    let mut g = c.benchmark_group("billing_single_lease");
+    g.bench_function("replay", |b| {
+        b.iter(|| spot_lease_charge(black_box(trace), start, end, false))
+    });
+    g.bench_function("meter", |b| {
+        b.iter(|| {
+            let mut meter = SpotLeaseMeter::new(black_box(trace), start);
+            // Advance hourly, as the scheduler's boundary events do.
+            let mut t = start;
+            while t < end {
+                meter.advance_to(t);
+                t += SimDuration::hours(1);
+            }
+            meter.close(end, false)
+        })
+    });
+    g.finish();
+
+    // Sanity: identical results (also checked bit-exactly by the property
+    // suite; this guards the bench itself against drifting inputs).
+    let replay = spot_lease_charge(trace, start, end, false);
+    let meter = SpotLeaseMeter::new(trace, start).close(end, false);
+    assert_eq!(replay.to_bits(), meter.to_bits());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! End-to-end sweep bench: a scaled-down Figure 6/Figure 8 style grid
+//! (sizes x policies over Monte-Carlo seeds), comparing the per-cell
+//! `run_many` loop against the flattened `run_grid` sweep that shares
+//! trace sets and removes per-cell fork/join barriers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use spothost_core::prelude::*;
+use spothost_market::prelude::*;
+use std::hint::black_box;
+
+fn grid_cfgs() -> Vec<SchedulerConfig> {
+    let mut cfgs = Vec::new();
+    for size in InstanceType::ALL {
+        let market = MarketId::new(Zone::UsEast1a, size);
+        for policy in [BiddingPolicy::Reactive, BiddingPolicy::proactive_default()] {
+            cfgs.push(SchedulerConfig::single_market(market).with_policy(policy));
+        }
+    }
+    cfgs
+}
+
+fn bench(c: &mut Criterion) {
+    let cfgs = grid_cfgs();
+    let horizon = SimDuration::days(10);
+    let seeds = 4;
+
+    let mut g = c.benchmark_group("sweep_fig6_grid");
+    g.sample_size(10);
+    g.bench_function("per_cell_run_many", |b| {
+        b.iter(|| {
+            black_box(&cfgs)
+                .iter()
+                .map(|cfg| run_many(cfg, 0, seeds, horizon).normalized_cost.mean)
+                .sum::<f64>()
+        })
+    });
+    g.bench_function("flat_run_grid", |b| {
+        b.iter(|| {
+            run_grid(black_box(&cfgs), 0, seeds, horizon)
+                .iter()
+                .map(|a| a.normalized_cost.mean)
+                .sum::<f64>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -6,12 +6,8 @@ use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("tab4");
-    group.bench_function("single_run", |b| {
-        b.iter(|| simulate_iobench(black_box(7)))
-    });
-    group.bench_function("mean_of_50", |b| {
-        b.iter(|| iobench_mean(black_box(0), 50))
-    });
+    group.bench_function("single_run", |b| b.iter(|| simulate_iobench(black_box(7))));
+    group.bench_function("mean_of_50", |b| b.iter(|| iobench_mean(black_box(0), 50)));
     group.finish();
 }
 

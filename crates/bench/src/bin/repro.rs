@@ -50,7 +50,10 @@ fn main() {
         std::process::exit(2);
     }
     if names.iter().any(|n| n == "all") {
-        names = experiments::ALL.iter().map(|(n, _)| n.to_string()).collect();
+        names = experiments::ALL
+            .iter()
+            .map(|(n, _)| n.to_string())
+            .collect();
     }
 
     let settings = if quick {

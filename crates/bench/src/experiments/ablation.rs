@@ -29,18 +29,22 @@ pub const BID_MULTS: [f64; 5] = [1.25, 1.5, 2.0, 3.0, 4.0];
 
 pub fn run_bid(settings: &ExpSettings) -> BidAblation {
     let market = MarketId::new(Zone::UsEast1a, InstanceType::Small);
-    let rows = BID_MULTS
+    let cfgs: Vec<SchedulerConfig> = BID_MULTS
         .iter()
         .map(|&bid_mult| {
-            let cfg = SchedulerConfig::single_market(market)
-                .with_policy(BiddingPolicy::Proactive { bid_mult });
-            let agg = run_many(&cfg, settings.seed0, settings.seeds, settings.horizon);
-            BidRow {
-                bid_mult,
-                cost_pct: agg.normalized_cost_pct(),
-                unavail_pct: agg.unavailability_pct(),
-                forced_per_hour: agg.forced_per_hour.mean,
-            }
+            SchedulerConfig::single_market(market)
+                .with_policy(BiddingPolicy::Proactive { bid_mult })
+        })
+        .collect();
+    let aggs = run_grid(&cfgs, settings.seed0, settings.seeds, settings.horizon);
+    let rows = BID_MULTS
+        .iter()
+        .zip(aggs)
+        .map(|(&bid_mult, agg)| BidRow {
+            bid_mult,
+            cost_pct: agg.normalized_cost_pct(),
+            unavail_pct: agg.unavailability_pct(),
+            forced_per_hour: agg.forced_per_hour.mean,
         })
         .collect();
     BidAblation { rows }
@@ -49,7 +53,12 @@ pub fn run_bid(settings: &ExpSettings) -> BidAblation {
 impl BidAblation {
     pub fn render(&self) -> String {
         let mut out = String::from("Ablation: proactive bid multiple k (small, us-east-1a)\n\n");
-        let mut t = TextTable::new(["k (bid = k x on-demand)", "cost %", "unavail %", "forced/hr"]);
+        let mut t = TextTable::new([
+            "k (bid = k x on-demand)",
+            "cost %",
+            "unavail %",
+            "forced/hr",
+        ]);
         for r in &self.rows {
             t.row([
                 format!("{}", r.bid_mult),
@@ -87,18 +96,23 @@ pub struct HopAblation {
 pub const HOP_MARGINS: [f64; 5] = [0.02, 0.10, 0.25, 0.50, 0.90];
 
 pub fn run_hop(settings: &ExpSettings) -> HopAblation {
-    let rows = HOP_MARGINS
+    let cfgs: Vec<SchedulerConfig> = HOP_MARGINS
         .iter()
         .map(|&margin| {
             let mut cfg = SchedulerConfig::multi(MarketScope::MultiMarket(Zone::UsEast1b));
             cfg.hop_margin = margin;
-            let agg = run_many(&cfg, settings.seed0, settings.seeds, settings.horizon);
-            HopRow {
-                margin,
-                cost_pct: agg.normalized_cost_pct(),
-                unavail_pct: agg.unavailability_pct(),
-                planned_reverse_per_hour: agg.planned_reverse_per_hour.mean,
-            }
+            cfg
+        })
+        .collect();
+    let aggs = run_grid(&cfgs, settings.seed0, settings.seeds, settings.horizon);
+    let rows = HOP_MARGINS
+        .iter()
+        .zip(aggs)
+        .map(|(&margin, agg)| HopRow {
+            margin,
+            cost_pct: agg.normalized_cost_pct(),
+            unavail_pct: agg.unavailability_pct(),
+            planned_reverse_per_hour: agg.planned_reverse_per_hour.mean,
         })
         .collect();
     HopAblation { rows }
@@ -148,16 +162,28 @@ pub const YANK_BOUNDS_SECS: [u64; 5] = [2, 5, 10, 30, 60];
 pub fn run_yank(settings: &ExpSettings) -> YankAblation {
     let market = MarketId::new(Zone::UsEast1a, InstanceType::Small);
     let vm = VmSpec::for_instance(InstanceType::Small);
-    let rows = YANK_BOUNDS_SECS
+    let params: Vec<VirtParams> = YANK_BOUNDS_SECS
         .iter()
         .map(|&tau| {
             let mut vp = VirtParams::typical();
             vp.yank_bound = SimDuration::secs(tau);
-            let ckpt = BoundedCheckpointer::new(&vm, &vp);
-            let cfg = SchedulerConfig::single_market(market)
+            vp
+        })
+        .collect();
+    let cfgs: Vec<SchedulerConfig> = params
+        .iter()
+        .map(|vp| {
+            SchedulerConfig::single_market(market)
                 .with_mechanism(MechanismCombo::CKPT_LR)
-                .with_virt_params(vp.clone());
-            let agg = run_many(&cfg, settings.seed0, settings.seeds, settings.horizon);
+                .with_virt_params(vp.clone())
+        })
+        .collect();
+    let aggs = run_grid(&cfgs, settings.seed0, settings.seeds, settings.horizon);
+    let rows = YANK_BOUNDS_SECS
+        .iter()
+        .zip(params.iter().zip(aggs))
+        .map(|(&tau, (vp, agg))| {
+            let ckpt = BoundedCheckpointer::new(&vm, vp);
             YankRow {
                 tau_secs: tau,
                 unavail_pct: agg.unavailability_pct(),
@@ -173,9 +199,8 @@ pub fn run_yank(settings: &ExpSettings) -> YankAblation {
 
 impl YankAblation {
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "Ablation: Yank checkpoint bound tau (small, us-east-1a, CKPT+LR)\n\n",
-        );
+        let mut out =
+            String::from("Ablation: Yank checkpoint bound tau (small, us-east-1a, CKPT+LR)\n\n");
         let mut t = TextTable::new([
             "tau (s)",
             "unavail %",

@@ -148,7 +148,11 @@ mod tests {
             assert!(m.overall_max > m.on_demand, "{} must spike", m.market);
         }
         // Large server spikes reach dollars (paper: up to ~$3/hr).
-        assert!(f.large.overall_max > 0.5, "large max {}", f.large.overall_max);
+        assert!(
+            f.large.overall_max > 0.5,
+            "large max {}",
+            f.large.overall_max
+        );
     }
 
     #[test]

@@ -21,23 +21,29 @@ pub struct Fig11 {
 }
 
 pub fn run(settings: &ExpSettings) -> Fig11 {
-    let mut cells = Vec::new();
+    let mut labels = Vec::new();
+    let mut cfgs = Vec::new();
     for size in InstanceType::ALL {
         let market = MarketId::new(Zone::UsEast1a, size);
         for (name, policy) in [
             ("Proactive", BiddingPolicy::proactive_default()),
             ("Pure Spot", BiddingPolicy::PureSpot),
         ] {
-            let cfg = SchedulerConfig::single_market(market).with_policy(policy);
-            let agg = run_many(&cfg, settings.seed0, settings.seeds, settings.horizon);
-            cells.push(Fig11Cell {
-                size,
-                policy: name,
-                cost_pct: agg.normalized_cost_pct(),
-                unavail_pct: agg.unavailability_pct(),
-            });
+            labels.push((size, name));
+            cfgs.push(SchedulerConfig::single_market(market).with_policy(policy));
         }
     }
+    let aggs = run_grid(&cfgs, settings.seed0, settings.seeds, settings.horizon);
+    let cells = labels
+        .into_iter()
+        .zip(aggs)
+        .map(|((size, name), agg)| Fig11Cell {
+            size,
+            policy: name,
+            cost_pct: agg.normalized_cost_pct(),
+            unavail_pct: agg.unavailability_pct(),
+        })
+        .collect();
     Fig11 { cells }
 }
 
@@ -82,8 +88,15 @@ impl Fig11 {
         let mut out = String::from("Figure 11: proactive vs pure-spot, us-east-1a\n\n");
         let _ = writeln!(out, "(a) Normalized cost (% of on-demand baseline):");
         out.push_str(&self.series(|c| c.cost_pct).to_text(|v| format!("{v:.1}")));
-        let _ = writeln!(out, "\n(b) Unavailability (%, note the paper plots log-scale):");
-        out.push_str(&self.series(|c| c.unavail_pct).to_text(|v| format!("{v:.4}")));
+        let _ = writeln!(
+            out,
+            "\n(b) Unavailability (%, note the paper plots log-scale):"
+        );
+        out.push_str(
+            &self
+                .series(|c| c.unavail_pct)
+                .to_text(|v| format!("{v:.4}")),
+        );
         out.push_str(
             "\npaper: pure spot slightly cheaper but >1% unavailable on small/medium/large —\n\
              unusable for always-on services; proactive keeps availability while staying cheap.\n",

@@ -34,11 +34,16 @@ fn to_series(points: &[ResponsePoint]) -> SeriesSet {
 
 impl Fig12 {
     pub fn to_csv(&self) -> String {
-        let mut out =
-            String::from("config,ebs,native_ms,nested_ms\n");
-        for (name, points) in [("with_images", &self.with_images), ("no_images", &self.no_images)] {
+        let mut out = String::from("config,ebs,native_ms,nested_ms\n");
+        for (name, points) in [
+            ("with_images", &self.with_images),
+            ("no_images", &self.no_images),
+        ] {
             for p in points {
-                out.push_str(&format!("{name},{},{},{}\n", p.ebs, p.native_ms, p.nested_ms));
+                out.push_str(&format!(
+                    "{name},{},{},{}\n",
+                    p.ebs, p.native_ms, p.nested_ms
+                ));
             }
         }
         out
@@ -46,7 +51,10 @@ impl Fig12 {
 
     pub fn render(&self) -> String {
         let mut out = String::from("Figure 12: TPC-W average response time (ms) vs EBs\n\n");
-        let _ = writeln!(out, "(a) Browsers fetch images from the server (I/O-bound):");
+        let _ = writeln!(
+            out,
+            "(a) Browsers fetch images from the server (I/O-bound):"
+        );
         out.push_str(&to_series(&self.with_images).to_text(|v| format!("{v:.0}")));
         let _ = writeln!(out, "\n(b) Images served by a CDN (CPU-bound):");
         out.push_str(&to_series(&self.no_images).to_text(|v| format!("{v:.0}")));
@@ -72,7 +80,12 @@ mod tests {
     fn panel_a_overlaps_panel_b_diverges() {
         let f = run();
         for p in &f.with_images {
-            assert!(p.overhead_ratio() < 1.1, "at {} EBs: {}", p.ebs, p.overhead_ratio());
+            assert!(
+                p.overhead_ratio() < 1.1,
+                "at {} EBs: {}",
+                p.ebs,
+                p.overhead_ratio()
+            );
         }
         let last = f.no_images.last().unwrap();
         assert!(last.overhead_ratio() > 1.3, "{}", last.overhead_ratio());

@@ -25,22 +25,28 @@ pub struct Fig6 {
 pub const ZONE: Zone = Zone::UsEast1a;
 
 pub fn run(settings: &ExpSettings) -> Fig6 {
-    let mut cells = Vec::new();
+    // One flat grid sweep: all size x policy cells share the thread pool
+    // (no per-cell barrier), and the two policies for each size reuse the
+    // same generated traces. Results are bit-identical to per-cell
+    // `run_many` calls.
+    let mut labels = Vec::new();
+    let mut cfgs = Vec::new();
     for size in InstanceType::ALL {
         let market = MarketId::new(ZONE, size);
         for (policy_name, policy) in [
             ("Reactive", BiddingPolicy::Reactive),
             ("Proactive", BiddingPolicy::proactive_default()),
         ] {
-            let cfg = SchedulerConfig::single_market(market).with_policy(policy);
-            let agg = run_many(&cfg, settings.seed0, settings.seeds, settings.horizon);
-            cells.push(Fig6Cell {
-                size,
-                policy: policy_name,
-                agg,
-            });
+            labels.push((size, policy_name));
+            cfgs.push(SchedulerConfig::single_market(market).with_policy(policy));
         }
     }
+    let aggs = run_grid(&cfgs, settings.seed0, settings.seeds, settings.horizon);
+    let cells = labels
+        .into_iter()
+        .zip(aggs)
+        .map(|((size, policy), agg)| Fig6Cell { size, policy, agg })
+        .collect();
     Fig6 { cells }
 }
 
@@ -100,9 +106,8 @@ impl Fig6 {
     }
 
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "Figure 6: proactive vs reactive, us-east-1a single market, CKPT+LR\n\n",
-        );
+        let mut out =
+            String::from("Figure 6: proactive vs reactive, us-east-1a single market, CKPT+LR\n\n");
         let _ = writeln!(out, "(a) Normalized cost (% of on-demand baseline):");
         out.push_str(&self.cost_pct().to_text(|v| format!("{v:.1}")));
         let _ = writeln!(out, "\n(b) Unavailability (%):");

@@ -16,21 +16,30 @@ pub struct Fig7 {
 
 pub fn run(settings: &ExpSettings) -> Fig7 {
     let market = MarketId::new(Zone::UsEast1a, InstanceType::Small);
+    // All eight configurations share one market, so `run_grid` generates
+    // its trace once per seed for the whole figure.
+    let cfgs: Vec<SchedulerConfig> = MechanismCombo::ALL
+        .iter()
+        .flat_map(|&combo| {
+            [ParamRegime::Typical, ParamRegime::Pessimistic]
+                .into_iter()
+                .map(move |regime| {
+                    SchedulerConfig::single_market(market)
+                        .with_mechanism(combo)
+                        .with_regime(regime)
+                })
+        })
+        .collect();
+    let aggs = run_grid(&cfgs, settings.seed0, settings.seeds, settings.horizon);
     let rows = MechanismCombo::ALL
         .iter()
-        .map(|&combo| {
-            let mut cells = [0.0f64; 2];
-            for (i, regime) in [ParamRegime::Typical, ParamRegime::Pessimistic]
-                .into_iter()
-                .enumerate()
-            {
-                let cfg = SchedulerConfig::single_market(market)
-                    .with_mechanism(combo)
-                    .with_regime(regime);
-                let agg = run_many(&cfg, settings.seed0, settings.seeds, settings.horizon);
-                cells[i] = agg.unavailability_pct();
-            }
-            (combo, cells[0], cells[1])
+        .zip(aggs.chunks(2))
+        .map(|(&combo, pair)| {
+            (
+                combo,
+                pair[0].unavailability_pct(),
+                pair[1].unavailability_pct(),
+            )
         })
         .collect();
     Fig7 { rows }

@@ -34,21 +34,33 @@ pub struct Fig9 {
     pub rows: Vec<Fig9Row>,
 }
 
-fn single_region(zone: Zone, settings: &ExpSettings) -> (f64, f64) {
-    let cfg = SchedulerConfig::multi(MarketScope::MultiMarket(zone));
-    let agg = run_many(&cfg, settings.seed0, settings.seeds, settings.horizon);
-    (agg.normalized_cost_pct(), agg.unavailability_pct())
-}
-
 pub fn run(settings: &ExpSettings) -> Fig9 {
     let catalog = Catalog::ec2_2015();
-    let rows = Zone::all_pairs()
+    let pairs = Zone::all_pairs();
+    // One flat grid: each zone's single-region scheme runs ONCE (the old
+    // per-pair loop re-ran it for every pair containing the zone — three
+    // times each) plus one multi-region configuration per pair, all in a
+    // single parallel sweep. Per-configuration results are bit-identical
+    // to the per-pair `run_many` calls.
+    let mut cfgs: Vec<SchedulerConfig> = Zone::ALL
+        .iter()
+        .map(|&z| SchedulerConfig::multi(MarketScope::MultiMarket(z)))
+        .collect();
+    for &(a, b) in &pairs {
+        cfgs.push(SchedulerConfig::multi(MarketScope::MultiRegion(vec![a, b])));
+    }
+    let aggs = run_grid(&cfgs, settings.seed0, settings.seeds, settings.horizon);
+    let (singles, multis) = aggs.split_at(Zone::ALL.len());
+    let single = |z: Zone| {
+        let agg = &singles[Zone::ALL.iter().position(|&x| x == z).expect("zone in ALL")];
+        (agg.normalized_cost_pct(), agg.unavailability_pct())
+    };
+    let rows = pairs
         .into_iter()
-        .map(|(a, b)| {
-            let (ca, ua) = single_region(a, settings);
-            let (cb, ub) = single_region(b, settings);
-            let cfg = SchedulerConfig::multi(MarketScope::MultiRegion(vec![a, b]));
-            let agg = run_many(&cfg, settings.seed0, settings.seeds, settings.horizon);
+        .zip(multis)
+        .map(|((a, b), agg)| {
+            let (ca, ua) = single(a);
+            let (cb, ub) = single(b);
             let markets: Vec<MarketId> = MarketId::all_in_zone(a)
                 .into_iter()
                 .chain(MarketId::all_in_zone(b))
@@ -111,7 +123,10 @@ impl Fig9 {
 
     pub fn render(&self) -> String {
         let mut out = String::from("Figure 9: multi-region vs single-region bidding\n\n");
-        let _ = writeln!(out, "(a) Normalized cost (% of cheapest on-demand baseline):");
+        let _ = writeln!(
+            out,
+            "(a) Normalized cost (% of cheapest on-demand baseline):"
+        );
         out.push_str(&self.as_series().to_text(|v| format!("{v:.1}")));
         let _ = writeln!(out, "\n(b) Cross-region price correlation:");
         for r in &self.rows {

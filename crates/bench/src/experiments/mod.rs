@@ -21,11 +21,20 @@ use crate::settings::ExpSettings;
 
 /// Every experiment, by its CLI name, with a one-line description.
 pub const ALL: [(&str, &str); 18] = [
-    ("fig1", "Spot price traces over a month (small & large, us-east)"),
+    (
+        "fig1",
+        "Spot price traces over a month (small & large, us-east)",
+    ),
     ("tab1", "Startup time of on-demand and spot instances"),
     ("tab2", "Overhead of migration mechanisms"),
-    ("fig6", "Proactive vs reactive bidding (cost, unavailability, migrations)"),
-    ("fig7", "Migration mechanism combinations (typical & pessimistic)"),
+    (
+        "fig6",
+        "Proactive vs reactive bidding (cost, unavailability, migrations)",
+    ),
+    (
+        "fig7",
+        "Migration mechanism combinations (typical & pessimistic)",
+    ),
     ("fig8", "Multi-market bidding within a zone"),
     ("fig9", "Multi-region vs single-region bidding"),
     ("fig10", "Spot price volatility by zone and size"),
@@ -33,11 +42,23 @@ pub const ALL: [(&str, &str); 18] = [
     ("tab3", "Cost/availability trade-off summary"),
     ("tab4", "Nested vs native VM I/O throughput"),
     ("fig12", "TPC-W response time under nested virtualization"),
-    ("cost_impact", "Impact of nested CPU overhead on cost savings (§6.3)"),
-    ("naive", "MOTIVATION: Figure 3's naive recovery vs the scheduler's mechanisms"),
-    ("stability", "EXTENSION: stability-aware multi-region bidding (§8 future work)"),
+    (
+        "cost_impact",
+        "Impact of nested CPU overhead on cost savings (§6.3)",
+    ),
+    (
+        "naive",
+        "MOTIVATION: Figure 3's naive recovery vs the scheduler's mechanisms",
+    ),
+    (
+        "stability",
+        "EXTENSION: stability-aware multi-region bidding (§8 future work)",
+    ),
     ("ablation_bid", "ABLATION: proactive bid multiple sweep"),
-    ("ablation_hop", "ABLATION: multi-market hop hysteresis sweep"),
+    (
+        "ablation_hop",
+        "ABLATION: multi-market hop hysteresis sweep",
+    ),
     ("ablation_yank", "ABLATION: Yank checkpoint bound sweep"),
 ];
 

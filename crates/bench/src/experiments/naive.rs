@@ -38,20 +38,19 @@ pub fn run(settings: &ExpSettings) -> Naive {
         ),
         (
             "proactive + CKPT LR + Live",
-            SchedulerConfig::single_market(market)
-                .with_mechanism(MechanismCombo::CKPT_LR_LIVE),
+            SchedulerConfig::single_market(market).with_mechanism(MechanismCombo::CKPT_LR_LIVE),
         ),
     ];
+    let cfgs: Vec<SchedulerConfig> = schemes.iter().map(|(_, cfg)| cfg.clone()).collect();
+    let aggs = run_grid(&cfgs, settings.seed0, settings.seeds, settings.horizon);
     let rows = schemes
         .into_iter()
-        .map(|(scheme, cfg)| {
-            let agg = run_many(&cfg, settings.seed0, settings.seeds, settings.horizon);
-            NaiveRow {
-                scheme,
-                cost_pct: agg.normalized_cost_pct(),
-                unavail_pct: agg.unavailability_pct(),
-                downtime_per_month_s: slo::downtime_per_month(agg.unavailability.mean),
-            }
+        .zip(aggs)
+        .map(|((scheme, _), agg)| NaiveRow {
+            scheme,
+            cost_pct: agg.normalized_cost_pct(),
+            unavail_pct: agg.unavailability_pct(),
+            downtime_per_month_s: slo::downtime_per_month(agg.unavailability.mean),
         })
         .collect();
     Naive { rows }

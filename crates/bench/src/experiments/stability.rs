@@ -33,25 +33,28 @@ pub const WEIGHTS: [f64; 4] = [0.0, 2.0, 8.0, 32.0];
 
 pub fn run(settings: &ExpSettings) -> Stability {
     let scope = MarketScope::MultiRegion(vec![Zone::UsEast1b, Zone::EuWest1a]);
+    // One flat grid: the four weight sweeps share a candidate-market set
+    // (so their traces are generated once per seed, not four times) and
+    // the stable-zone reference rides along in the same parallel sweep.
+    let mut cfgs: Vec<SchedulerConfig> = WEIGHTS
+        .iter()
+        .map(|&weight| SchedulerConfig::multi(scope.clone()).with_stability_weight(weight))
+        .collect();
+    cfgs.push(SchedulerConfig::multi(MarketScope::MultiMarket(
+        Zone::EuWest1a,
+    )));
+    let mut aggs = run_grid(&cfgs, settings.seed0, settings.seeds, settings.horizon);
+    let stable = aggs.pop().expect("stable-zone reference present");
     let rows = WEIGHTS
         .iter()
-        .map(|&weight| {
-            let cfg = SchedulerConfig::multi(scope.clone()).with_stability_weight(weight);
-            let agg = run_many(&cfg, settings.seed0, settings.seeds, settings.horizon);
-            StabilityRow {
-                weight,
-                cost_pct: agg.normalized_cost_pct(),
-                unavail_pct: agg.unavailability_pct(),
-                forced_per_hour: agg.forced_per_hour.mean,
-            }
+        .zip(&aggs)
+        .map(|(&weight, agg)| StabilityRow {
+            weight,
+            cost_pct: agg.normalized_cost_pct(),
+            unavail_pct: agg.unavailability_pct(),
+            forced_per_hour: agg.forced_per_hour.mean,
         })
         .collect();
-    let stable = run_many(
-        &SchedulerConfig::multi(MarketScope::MultiMarket(Zone::EuWest1a)),
-        settings.seed0,
-        settings.seeds,
-        settings.horizon,
-    );
     Stability {
         rows,
         stable_zone_unavail_pct: stable.unavailability_pct(),

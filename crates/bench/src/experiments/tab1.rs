@@ -43,10 +43,7 @@ impl Tab1 {
             self.samples
         );
         let mut t = TextTable::new(["Instance type", "US east (s)", "US west (s)", "EU west (s)"]);
-        for (label, pick) in [
-            ("On-demand", 1usize),
-            ("Spot", 2usize),
-        ] {
+        for (label, pick) in [("On-demand", 1usize), ("Spot", 2usize)] {
             let cell = |region: Region| {
                 let row = self.rows.iter().find(|(r, _, _)| *r == region).unwrap();
                 let v = if pick == 1 { row.1 } else { row.2 };
@@ -75,7 +72,10 @@ mod tests {
         let expect = [(94.85, 281.47), (93.63, 219.77), (98.08, 233.37)];
         for ((region, od, spot), (e_od, e_spot)) in t.rows.iter().zip(expect) {
             assert!((od - e_od).abs() / e_od < 0.05, "{region} od {od}");
-            assert!((spot - e_spot).abs() / e_spot < 0.05, "{region} spot {spot}");
+            assert!(
+                (spot - e_spot).abs() / e_spot < 0.05,
+                "{region} spot {spot}"
+            );
         }
     }
 

@@ -48,8 +48,7 @@ pub fn run() -> Tab2 {
 
 impl Tab2 {
     pub fn render(&self) -> String {
-        let mut out =
-            String::from("Table 2: migration mechanism overheads (2 GiB nested VM)\n\n");
+        let mut out = String::from("Table 2: migration mechanism overheads (2 GiB nested VM)\n\n");
         let mut t = TextTable::new([
             "Scope",
             "Live migrate (s)",

@@ -45,26 +45,34 @@ fn classify_availability(unavail_fraction: f64) -> &'static str {
 
 pub fn run(settings: &ExpSettings) -> Tab3 {
     let market = MarketId::new(Zone::UsEast1a, InstanceType::Small);
-    let rows = [
+    let schemes = [
         ("Only On-demand", BiddingPolicy::OnDemandOnly),
         ("Only Spot", BiddingPolicy::PureSpot),
-        ("Using migration mechanisms", BiddingPolicy::proactive_default()),
-    ]
-    .into_iter()
-    .map(|(scheme, policy)| {
-        let cfg = SchedulerConfig::single_market(market)
-            .with_policy(policy)
-            .with_mechanism(MechanismCombo::CKPT_LR_LIVE);
-        let agg = run_many(&cfg, settings.seed0, settings.seeds, settings.horizon);
-        Tab3Row {
+        (
+            "Using migration mechanisms",
+            BiddingPolicy::proactive_default(),
+        ),
+    ];
+    let cfgs: Vec<SchedulerConfig> = schemes
+        .iter()
+        .map(|(_, policy)| {
+            SchedulerConfig::single_market(market)
+                .with_policy(*policy)
+                .with_mechanism(MechanismCombo::CKPT_LR_LIVE)
+        })
+        .collect();
+    let aggs = run_grid(&cfgs, settings.seed0, settings.seeds, settings.horizon);
+    let rows = schemes
+        .into_iter()
+        .zip(aggs)
+        .map(|((scheme, _), agg)| Tab3Row {
             scheme,
             cost_pct: agg.normalized_cost_pct(),
             availability_pct: 100.0 - agg.unavailability_pct(),
             cost_class: classify_cost(agg.normalized_cost_pct()),
             availability_class: classify_availability(agg.unavailability.mean),
-        }
-    })
-    .collect();
+        })
+        .collect();
     Tab3 { rows }
 }
 

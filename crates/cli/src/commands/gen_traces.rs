@@ -67,7 +67,10 @@ mod tests {
 
     #[test]
     fn rejects_unknown_zone() {
-        let argv: Vec<String> = ["--zone", "atlantis-1"].iter().map(|s| s.to_string()).collect();
+        let argv: Vec<String> = ["--zone", "atlantis-1"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert!(run(&parse(&argv).unwrap()).is_err());
     }
 }

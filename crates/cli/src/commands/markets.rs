@@ -26,7 +26,10 @@ pub fn run() -> Result<(), String> {
         ]);
     }
     println!("{}", t.render());
-    println!("bid cap: {}x on-demand (Amazon's 2015 limit)", catalog.max_bid_mult());
+    println!(
+        "bid cap: {}x on-demand (Amazon's 2015 limit)",
+        catalog.max_bid_mult()
+    );
     Ok(())
 }
 

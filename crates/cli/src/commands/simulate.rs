@@ -54,8 +54,8 @@ fn parse_scope(args: &Args) -> Result<(MarketScope, u32), String> {
         let units = args.get_u64("units", 8)? as u32;
         return Ok((scope, units));
     }
-    let market = parse_market(args.get_or("market", "us-east-1a/small"))
-        .map_err(|e| e.to_string())?;
+    let market =
+        parse_market(args.get_or("market", "us-east-1a/small")).map_err(|e| e.to_string())?;
     let units = args.get_u64("units", market.itype.capacity_units() as u64)? as u32;
     Ok((MarketScope::Single(market), units))
 }
@@ -94,7 +94,10 @@ pub fn run(args: &Args) -> Result<(), String> {
     };
 
     println!("scope:      {}", cfg.scope.label());
-    println!("policy:     {policy}   mechanism: {mechanism}", mechanism = cfg.mechanism);
+    println!(
+        "policy:     {policy}   mechanism: {mechanism}",
+        mechanism = cfg.mechanism
+    );
     if stability > 0.0 {
         println!("stability:  weight {stability}");
     }

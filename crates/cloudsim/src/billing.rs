@@ -10,7 +10,7 @@
 
 use crate::instance::{InstanceId, InstanceKind, TerminationReason};
 use spothost_market::time::{SimDuration, SimTime, MILLIS_PER_HOUR};
-use spothost_market::trace::PriceTrace;
+use spothost_market::trace::{PriceTrace, TraceCursor};
 use spothost_market::types::MarketId;
 
 /// Charge for a spot lease `[start, end)` under the given price history.
@@ -19,6 +19,12 @@ use spothost_market::types::MarketId;
 /// The final partial hour follows the revocation rule above. A lease
 /// revoked exactly on an hour boundary has no partial hour and pays all
 /// complete hours.
+///
+/// This is the *replay* form: O(hours x log n) in binary searches. The
+/// simulation hot path bills through [`SpotLeaseMeter`] instead, which is
+/// bit-identical (same additions in the same order) but amortised O(1)
+/// per hour; this function remains the reference oracle for property
+/// tests and for one-shot charges outside a simulation.
 pub fn spot_lease_charge(trace: &PriceTrace, start: SimTime, end: SimTime, revoked: bool) -> f64 {
     assert!(end >= start, "lease must not end before it starts");
     let elapsed = end - start;
@@ -34,6 +40,90 @@ pub fn spot_lease_charge(trace: &PriceTrace, start: SimTime, end: SimTime, revok
         total += trace.price_at(start + SimDuration::hours(i));
     }
     total
+}
+
+/// Incremental billing accumulator for one running spot lease.
+///
+/// EC2 bills each instance-hour at the spot price in effect when the
+/// hour *starts*, and a complete hour is owed no matter how the lease
+/// later ends; only the final partial hour depends on who terminated it
+/// (free if the provider revoked, billed if the customer walked away).
+/// The meter exploits exactly that: [`advance_to`] charges each
+/// instance-hour the moment it completes, walking the price trace
+/// forward with a [`TraceCursor`] (amortised O(1) per hour, no
+/// allocation, no binary search), and [`close`] settles only the final
+/// partial hour.
+///
+/// The accumulated charge is **bit-identical** to
+/// [`spot_lease_charge`]'s replay: both perform the same f64 additions
+/// of the same hour-start prices in the same order (proved by property
+/// test against randomized traces and leases).
+///
+/// [`advance_to`]: SpotLeaseMeter::advance_to
+/// [`close`]: SpotLeaseMeter::close
+#[derive(Debug, Clone)]
+pub struct SpotLeaseMeter<'a> {
+    cursor: TraceCursor<'a>,
+    start: SimTime,
+    /// Complete instance-hours charged so far.
+    hours_charged: u64,
+    accrued: f64,
+}
+
+impl<'a> SpotLeaseMeter<'a> {
+    /// Start metering a spot lease that begins (and starts billing) at
+    /// `start`.
+    pub fn new(trace: &'a PriceTrace, start: SimTime) -> Self {
+        SpotLeaseMeter {
+            cursor: trace.cursor(),
+            start,
+            hours_charged: 0,
+            accrued: 0.0,
+        }
+    }
+
+    /// The lease start time this meter bills from.
+    pub fn start(&self) -> SimTime {
+        self.start
+    }
+
+    /// Charge accrued so far (complete instance-hours only).
+    pub fn accrued(&self) -> f64 {
+        self.accrued
+    }
+
+    /// Charge every instance-hour that has *completed* by `now`. A
+    /// complete hour is owed regardless of how the lease later ends, so
+    /// charging it eagerly is always correct. Calls must use
+    /// non-decreasing `now` (the simulation clock); each call is
+    /// amortised O(hours + price changes) over the lease's life.
+    pub fn advance_to(&mut self, now: SimTime) {
+        loop {
+            let hour_start = self.start + SimDuration::hours(self.hours_charged);
+            let hour_end = hour_start + SimDuration::hours(1);
+            if hour_end > now {
+                break;
+            }
+            self.accrued += self.cursor.price_at(hour_start);
+            self.hours_charged += 1;
+        }
+    }
+
+    /// Settle the lease at `end`: charge any remaining complete hours,
+    /// then the final partial hour if the customer terminated
+    /// voluntarily (`revoked = false`). Returns the total charge.
+    pub fn close(mut self, end: SimTime, revoked: bool) -> f64 {
+        assert!(end >= self.start, "lease must not end before it starts");
+        self.advance_to(end);
+        let has_partial = !(end - self.start)
+            .as_millis()
+            .is_multiple_of(MILLIS_PER_HOUR);
+        if has_partial && !revoked {
+            let partial_start = self.start + SimDuration::hours(self.hours_charged);
+            self.accrued += self.cursor.price_at(partial_start);
+        }
+        self.accrued
+    }
 }
 
 /// Charge for an on-demand lease `[start, end)` at fixed hourly price
@@ -179,8 +269,14 @@ mod tests {
     #[test]
     fn zero_length_lease_is_free() {
         let t = flat_trace(0.10);
-        assert_eq!(spot_lease_charge(&t, SimTime::hours(1), SimTime::hours(1), false), 0.0);
-        assert_eq!(on_demand_lease_charge(0.5, SimTime::ZERO, SimTime::ZERO), 0.0);
+        assert_eq!(
+            spot_lease_charge(&t, SimTime::hours(1), SimTime::hours(1), false),
+            0.0
+        );
+        assert_eq!(
+            on_demand_lease_charge(0.5, SimTime::ZERO, SimTime::ZERO),
+            0.0
+        );
     }
 
     #[test]

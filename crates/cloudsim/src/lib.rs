@@ -36,7 +36,6 @@ pub use volume::{NetworkVolume, VolumeError, VolumeId, VolumePool};
 /// Re-export the shared clock so downstream crates need a single import.
 pub use spothost_market::time::{SimDuration, SimTime};
 
-
 /// The grace window a revoked spot server receives before forced
 /// termination. The paper (§2.1) reports this as an initially undocumented,
 /// later official, two-minute warning.

@@ -8,15 +8,19 @@
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
+use std::cell::RefCell;
 use std::collections::HashMap;
 
-use crate::billing::{on_demand_lease_charge, spot_lease_charge, BillingLedger, LedgerEntry};
+use crate::billing::{
+    on_demand_lease_charge, spot_lease_charge, BillingLedger, LedgerEntry, SpotLeaseMeter,
+};
 use crate::instance::{Instance, InstanceId, InstanceKind, InstanceState, TerminationReason};
 use crate::startup::StartupModel;
 use crate::volume::VolumePool;
 use crate::REVOCATION_GRACE;
 use spothost_market::gen::{derive_seed, TraceSet};
 use spothost_market::time::SimTime;
+use spothost_market::trace::TraceCursor;
 use spothost_market::types::MarketId;
 
 /// Errors from server requests.
@@ -58,6 +62,14 @@ pub struct RevocationSchedule {
 }
 
 /// The simulated cloud provider.
+///
+/// All price queries (`spot_price`, crossing scans, billing) go through
+/// per-market [`TraceCursor`]s held behind a `RefCell`: the simulation
+/// clock only moves forward, so every lookup is an amortised O(1) cursor
+/// step instead of an O(log n) binary search, and the cursors are
+/// invisible to callers (`&self` query methods keep their signatures).
+/// A cursor handed an out-of-order timestamp simply resyncs, so
+/// correctness never depends on monotonicity — only speed does.
 #[derive(Debug)]
 pub struct CloudProvider<'t> {
     traces: &'t TraceSet,
@@ -67,6 +79,15 @@ pub struct CloudProvider<'t> {
     ledger: BillingLedger,
     volumes: VolumePool,
     next_id: u64,
+    /// One forward cursor per market (dense-indexed, lazily created),
+    /// shared by price lookups, revocation scans and reverse-migration
+    /// scans. Interior mutability keeps the read-only query API
+    /// (`spot_price(&self, ..)`) intact.
+    market_cursors: RefCell<[Option<TraceCursor<'t>>; 16]>,
+    /// Incremental billing meter for each *running* spot lease; created on
+    /// activation, advanced as the simulation clock passes hour boundaries,
+    /// consumed at termination.
+    meters: HashMap<InstanceId, SpotLeaseMeter<'t>>,
 }
 
 impl<'t> CloudProvider<'t> {
@@ -81,7 +102,24 @@ impl<'t> CloudProvider<'t> {
             ledger: BillingLedger::new(),
             volumes: VolumePool::new(),
             next_id: 0,
+            market_cursors: RefCell::new([const { None }; 16]),
+            meters: HashMap::new(),
         }
+    }
+
+    /// Run `f` against the (lazily created) forward cursor for `market`.
+    /// Returns `None` when the market has no trace in this simulation.
+    fn with_cursor<R>(
+        &self,
+        market: MarketId,
+        f: impl FnOnce(&mut TraceCursor<'t>) -> R,
+    ) -> Option<R> {
+        let mut cursors = self.market_cursors.borrow_mut();
+        let slot = &mut cursors[market.dense_index()];
+        if slot.is_none() {
+            *slot = Some(self.traces.trace(market)?.cursor());
+        }
+        Some(f(slot.as_mut().expect("just filled")))
     }
 
     /// Replace the startup model (tests use [`StartupModel::deterministic`]).
@@ -104,7 +142,7 @@ impl<'t> CloudProvider<'t> {
 
     /// Current spot price of a market.
     pub fn spot_price(&self, market: MarketId, at: SimTime) -> Option<f64> {
-        self.traces.trace(market).map(|t| t.price_at(at))
+        self.with_cursor(market, |c| c.price_at(at))
     }
 
     /// Fixed on-demand price of a market.
@@ -121,9 +159,7 @@ impl<'t> CloudProvider<'t> {
         from: SimTime,
         price: f64,
     ) -> Option<SimTime> {
-        self.traces
-            .trace(market)?
-            .next_time_at_or_below(from, price)
+        self.with_cursor(market, |c| c.next_time_at_or_below(from, price))?
     }
 
     fn fresh_id(&mut self) -> InstanceId {
@@ -141,15 +177,16 @@ impl<'t> CloudProvider<'t> {
         bid: f64,
         now: SimTime,
     ) -> Result<(InstanceId, SimTime), RequestError> {
-        let trace = self
-            .traces
-            .trace(market)
-            .ok_or(RequestError::UnknownMarket(market))?;
+        if self.traces.trace(market).is_none() {
+            return Err(RequestError::UnknownMarket(market));
+        }
         let cap = self.traces.catalog().max_bid(market);
         if bid > cap + 1e-12 {
             return Err(RequestError::BidAboveCap { cap, bid });
         }
-        let current = trace.price_at(now);
+        let current = self
+            .with_cursor(market, |c| c.price_at(now))
+            .expect("trace presence checked above");
         if current > bid {
             return Err(RequestError::BidBelowPrice { current, bid });
         }
@@ -203,23 +240,40 @@ impl<'t> CloudProvider<'t> {
             panic!("activate() on non-pending instance {id}");
         };
         assert_eq!(now, ready_at, "activation must happen at the ready time");
-        if let InstanceKind::Spot { bid } = inst.kind {
+        let (market, kind) = (inst.market, inst.kind);
+        if let InstanceKind::Spot { bid } = kind {
             let price = self
-                .traces
-                .trace(inst.market)
-                .expect("market vanished")
-                .price_at(now);
+                .with_cursor(market, |c| c.price_at(now))
+                .expect("market vanished");
             if price > bid {
+                let inst = self.instances.get_mut(&id).expect("unknown instance");
                 inst.state = InstanceState::Terminated {
                     at: now,
                     reason: TerminationReason::FailedAllocation,
                 };
                 return false;
             }
+            // Lease is live: start its incremental billing meter at the
+            // moment billing starts (the ready time).
+            let trace = self.traces.trace(market).expect("market vanished");
+            self.meters.insert(id, SpotLeaseMeter::new(trace, now));
         }
+        let inst = self.instances.get_mut(&id).expect("unknown instance");
         inst.state = InstanceState::Running;
         inst.ready_at = now;
         true
+    }
+
+    /// Advance the billing meter of a running spot lease to `now`, charging
+    /// any instance-hours that have completed. The scheduler calls this from
+    /// billing-boundary events so that termination-time settlement only ever
+    /// has the final (at most one) partial hour left to account for. Calling
+    /// it is purely an optimisation: skipped calls are caught up by the next
+    /// one or by [`terminate`](Self::terminate).
+    pub fn advance_billing(&mut self, id: InstanceId, now: SimTime) {
+        if let Some(meter) = self.meters.get_mut(&id) {
+            meter.advance_to(now);
+        }
     }
 
     /// When will this running spot lease be revoked? `None` for on-demand
@@ -229,8 +283,7 @@ impl<'t> CloudProvider<'t> {
     pub fn revocation_schedule(&self, id: InstanceId, from: SimTime) -> Option<RevocationSchedule> {
         let inst = self.instances.get(&id)?;
         let bid = inst.kind.bid()?;
-        let trace = self.traces.trace(inst.market)?;
-        let warning_at = trace.next_time_above(from, bid)?;
+        let warning_at = self.with_cursor(inst.market, |c| c.next_time_above(from, bid))??;
         Some(RevocationSchedule {
             warning_at,
             terminate_at: warning_at + REVOCATION_GRACE,
@@ -253,10 +306,7 @@ impl<'t> CloudProvider<'t> {
     /// Close a lease and bill it. Returns the charge.
     pub fn terminate(&mut self, id: InstanceId, now: SimTime, reason: TerminationReason) -> f64 {
         let inst = self.instances.get_mut(&id).expect("unknown instance");
-        assert!(
-            !inst.is_terminated(),
-            "double termination of instance {id}"
-        );
+        assert!(!inst.is_terminated(), "double termination of instance {id}");
         let was_pending = matches!(inst.state, InstanceState::Pending { .. });
         inst.state = InstanceState::Terminated { at: now, reason };
         let (market, kind, lease_start) = (inst.market, inst.kind, inst.ready_at);
@@ -264,12 +314,22 @@ impl<'t> CloudProvider<'t> {
 
         // A request cancelled before the server came up is free.
         if was_pending || reason == TerminationReason::FailedAllocation {
+            self.meters.remove(&id);
             return 0.0;
         }
         let amount = match kind {
             InstanceKind::Spot { .. } => {
-                let trace = self.traces.trace(market).expect("market vanished");
-                spot_lease_charge(trace, lease_start, now, reason == TerminationReason::Revoked)
+                let revoked = reason == TerminationReason::Revoked;
+                match self.meters.remove(&id) {
+                    // Hot path: settle the incremental meter — only the
+                    // final partial hour (if owed) is left to charge.
+                    Some(meter) => meter.close(now, revoked),
+                    // No meter (lease created outside activate()): replay.
+                    None => {
+                        let trace = self.traces.trace(market).expect("market vanished");
+                        spot_lease_charge(trace, lease_start, now, revoked)
+                    }
+                }
             }
             InstanceKind::OnDemand => {
                 on_demand_lease_charge(self.on_demand_price(market), lease_start, now)
@@ -410,8 +470,16 @@ mod tests {
         let mut p = CloudProvider::new(&ts, 7).with_startup_model(StartupModel::deterministic());
         let (id, ready) = p.request_on_demand(market(), SimTime::ZERO);
         p.activate(id, ready);
-        p.terminate(id, ready + SimDuration::hours(1), TerminationReason::Voluntary);
-        p.terminate(id, ready + SimDuration::hours(2), TerminationReason::Voluntary);
+        p.terminate(
+            id,
+            ready + SimDuration::hours(1),
+            TerminationReason::Voluntary,
+        );
+        p.terminate(
+            id,
+            ready + SimDuration::hours(2),
+            TerminationReason::Voluntary,
+        );
     }
 
     #[test]
@@ -426,7 +494,11 @@ mod tests {
         p.volumes_mut().write_checkpoint(vol, 2.0).unwrap();
 
         // Revocation: lease closes, volume persists, re-attaches.
-        p.terminate(spot, ready + SimDuration::minutes(30), TerminationReason::Revoked);
+        p.terminate(
+            spot,
+            ready + SimDuration::minutes(30),
+            TerminationReason::Revoked,
+        );
         assert_eq!(p.volumes().get(vol).unwrap().attached_to, None);
         assert_eq!(p.volumes().get(vol).unwrap().checkpoint_gib, 2.0);
 
@@ -437,6 +509,23 @@ mod tests {
     }
 
     #[test]
+    fn incremental_meter_matches_replay_bit_for_bit() {
+        let ts = traces();
+        let mut p = CloudProvider::new(&ts, 7).with_startup_model(StartupModel::deterministic());
+        let pon = p.on_demand_price(market());
+        let (id, ready) = p.request_spot(market(), pon, SimTime::ZERO).unwrap();
+        assert!(p.activate(id, ready));
+        // Advance the meter mid-lease (as the scheduler does on billing
+        // boundaries), then settle voluntarily mid-hour.
+        p.advance_billing(id, ready + SimDuration::minutes(95));
+        p.advance_billing(id, ready + SimDuration::hours(3));
+        let end = ready + SimDuration::minutes(250);
+        let charge = p.terminate(id, end, TerminationReason::Voluntary);
+        let expect = spot_lease_charge(ts.trace(market()).unwrap(), ready, end, false);
+        assert_eq!(charge.to_bits(), expect.to_bits());
+    }
+
+    #[test]
     fn revoked_partial_hour_not_billed() {
         let ts = traces();
         let mut p = CloudProvider::new(&ts, 7).with_startup_model(StartupModel::deterministic());
@@ -444,7 +533,11 @@ mod tests {
         let (id, ready) = p.request_spot(market(), pon, SimTime::ZERO).unwrap();
         p.activate(id, ready);
         // Revoked 30 minutes into the lease: zero charge.
-        let charge = p.terminate(id, ready + SimDuration::minutes(30), TerminationReason::Revoked);
+        let charge = p.terminate(
+            id,
+            ready + SimDuration::minutes(30),
+            TerminationReason::Revoked,
+        );
         assert_eq!(charge, 0.0);
     }
 }

@@ -201,8 +201,8 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_capacity() {
-        let cfg = SchedulerConfig::multi(MarketScope::MultiMarket(Zone::UsEast1a))
-            .with_capacity_units(3);
+        let cfg =
+            SchedulerConfig::multi(MarketScope::MultiMarket(Zone::UsEast1a)).with_capacity_units(3);
         assert!(cfg.validate().is_err());
     }
 

@@ -52,7 +52,7 @@ pub use config::SchedulerConfig;
 pub use policy::BiddingPolicy;
 pub use report::RunReport;
 pub use scheduler::SimRun;
-pub use sim::{run_many, run_one, AggregateReport};
+pub use sim::{run_grid, run_many, run_one, AggregateReport};
 pub use strategy::MarketScope;
 
 /// Convenient glob import.
@@ -61,7 +61,7 @@ pub mod prelude {
     pub use crate::config::SchedulerConfig;
     pub use crate::policy::BiddingPolicy;
     pub use crate::report::RunReport;
-    pub use crate::sim::{run_many, run_one, AggregateReport};
+    pub use crate::sim::{run_grid, run_many, run_one, AggregateReport};
     pub use crate::strategy::MarketScope;
     pub use spothost_virt::{MechanismCombo, ParamRegime};
 }

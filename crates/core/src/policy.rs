@@ -46,7 +46,10 @@ impl BiddingPolicy {
 
     /// Does this policy migrate to on-demand servers when spot turns bad?
     pub fn uses_on_demand_fallback(&self) -> bool {
-        matches!(self, BiddingPolicy::Reactive | BiddingPolicy::Proactive { .. })
+        matches!(
+            self,
+            BiddingPolicy::Reactive | BiddingPolicy::Proactive { .. }
+        )
     }
 
     /// Does this policy perform voluntary planned migrations at billing
@@ -119,7 +122,10 @@ mod tests {
 
     #[test]
     fn display_names() {
-        assert_eq!(BiddingPolicy::proactive_default().to_string(), "proactive(bid=4x)");
+        assert_eq!(
+            BiddingPolicy::proactive_default().to_string(),
+            "proactive(bid=4x)"
+        );
         assert_eq!(BiddingPolicy::Reactive.to_string(), "reactive");
     }
 }

@@ -39,8 +39,8 @@ use spothost_market::gen::TraceSet;
 use spothost_market::time::{SimDuration, SimTime, MILLIS_PER_HOUR};
 use spothost_market::types::MarketId;
 use spothost_virt::{
-    lazy_restore, plan_migration, standard_restore, MigrationContext, MigrationKind,
-    MigrationTiming, RestoreOutcome, VirtParams, VmSpec,
+    lazy_restore, plan_migration, standard_restore, MechanismCombo, MigrationContext,
+    MigrationKind, MigrationTiming, RestoreOutcome, VirtParams, VmSpec,
 };
 
 /// Cold-boot time of the hosted service from its disk volume under the
@@ -100,7 +100,9 @@ impl Pending {
 #[derive(Debug)]
 enum St {
     /// Initial acquisition (no accounting until the service is up).
-    Boot { target: Option<Pending> },
+    Boot {
+        target: Option<Pending>,
+    },
     Active {
         lease: Lease,
     },
@@ -119,7 +121,9 @@ enum St {
     /// Pure-spot: down, waiting for the price to return below the bid.
     DownWaiting,
     /// Pure-spot: replacement requested, waiting for boot + restore.
-    Restoring { target: Pending },
+    Restoring {
+        target: Pending,
+    },
 }
 
 /// A candidate spot market at a moment in time.
@@ -165,7 +169,9 @@ impl<'t> SimRun<'t> {
         }
         let vparams = cfg.virt_params();
         let horizon = SimTime::ZERO + traces.horizon();
-        let baseline_rate = cfg.scope.baseline_rate(traces.catalog(), cfg.capacity_units);
+        let baseline_rate = cfg
+            .scope
+            .baseline_rate(traces.catalog(), cfg.capacity_units);
         let lead = compute_lead(cfg, &vparams, &candidates);
         SimRun {
             provider: CloudProvider::new(traces, seed),
@@ -230,7 +236,10 @@ impl<'t> SimRun<'t> {
 
     /// Aggregate on-demand rate of the fallback server in `zone`.
     fn od_rate(&self, zone: spothost_market::types::Zone) -> f64 {
-        let m = self.cfg.scope.on_demand_market(zone, self.cfg.capacity_units);
+        let m = self
+            .cfg
+            .scope
+            .on_demand_market(zone, self.cfg.capacity_units);
         self.provider.on_demand_price(m) * self.n_servers(m)
     }
 
@@ -299,7 +308,11 @@ impl<'t> SimRun<'t> {
         let market = inst.market;
         let is_spot = inst.kind.is_spot();
         let start = inst.ready_at;
-        let end = if was_pending { start } else { self.now.max(start) };
+        let end = if was_pending {
+            start
+        } else {
+            self.now.max(start)
+        };
         let charge = self.provider.terminate(id, end, reason);
         self.acc.cost += charge * self.n_servers(market);
         if !was_pending && end > start {
@@ -401,7 +414,10 @@ impl<'t> SimRun<'t> {
 
     fn request_initial_od(&mut self) {
         let zone = self.cfg.scope.zones()[0];
-        let m = self.cfg.scope.on_demand_market(zone, self.cfg.capacity_units);
+        let m = self
+            .cfg
+            .scope
+            .on_demand_market(zone, self.cfg.capacity_units);
         let (id, ready) = self.provider.request_on_demand(m, self.now);
         self.queue.push(ready, Ev::Ready(id));
         self.st = St::Boot {
@@ -670,6 +686,10 @@ impl<'t> SimRun<'t> {
             St::Active { lease } if lease.id == id => *lease,
             _ => return, // stale
         };
+        // Keep the lease's billing meter caught up: every instance-hour that
+        // has completed by now is charged here, so settlement at close only
+        // ever handles the final partial hour.
+        self.provider.advance_billing(id, self.now);
         if lease.is_spot {
             self.spot_boundary_decision(lease);
         } else {
@@ -818,11 +838,8 @@ impl<'t> SimRun<'t> {
                     self.acc.add_downtime(since, self.now, self.horizon);
                 }
                 let restore = self.restore_for(target.market);
-                self.acc.add_degraded(
-                    self.now,
-                    self.now + restore.degraded,
-                    self.horizon,
-                );
+                self.acc
+                    .add_degraded(self.now, self.now + restore.degraded, self.horizon);
                 self.become_active(target.into_lease());
             }
             _ => { /* stale */ }
@@ -903,19 +920,32 @@ impl<'t> SimRun<'t> {
 /// Decision lead before billing boundaries: enough time to boot the
 /// replacement and run the migration preparation, plus slack, clamped so
 /// at least one decision happens per billing hour.
-fn compute_lead(cfg: &SchedulerConfig, vparams: &VirtParams, candidates: &[MarketId]) -> SimDuration {
+///
+/// The prepare bound is the worst case over *all* mechanism combos, not
+/// just the configured one, so the decision schedule — and therefore
+/// every bidding decision — is identical across mechanisms. Mechanisms
+/// must only change downtime, never the cost structure (§5.2's
+/// comparison holds the bidding fixed while varying the mechanism).
+fn compute_lead(
+    cfg: &SchedulerConfig,
+    vparams: &VirtParams,
+    candidates: &[MarketId],
+) -> SimDuration {
     let startup = StartupModel::table1();
     let max_startup = candidates
         .iter()
         .map(|m| startup.spot_mean(m.zone.region()))
         .max()
         .unwrap_or(SimDuration::secs(300));
-    // Worst-case preparation across candidate VM sizes, local moves.
+    // Worst-case preparation across candidate VM sizes and mechanism
+    // combos, local moves.
     let max_prepare = candidates
         .iter()
-        .map(|m| {
-            let ctx = MigrationContext::local(VmSpec::for_instance(m.itype), m.zone.region());
-            plan_migration(cfg.mechanism, MigrationKind::Planned, &ctx, vparams).prepare
+        .flat_map(|m| {
+            MechanismCombo::ALL.map(|combo| {
+                let ctx = MigrationContext::local(VmSpec::for_instance(m.itype), m.zone.region());
+                plan_migration(combo, MigrationKind::Planned, &ctx, vparams).prepare
+            })
         })
         .max()
         .unwrap_or(SimDuration::secs(60));

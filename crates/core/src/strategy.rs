@@ -140,8 +140,10 @@ mod tests {
             MarketScope::MultiMarket(Zone::UsEast1b).label(),
             "multi-market(us-east-1b)"
         );
-        assert!(MarketScope::MultiRegion(vec![Zone::UsEast1a, Zone::UsWest1a])
-            .label()
-            .contains("us-east-1a+us-west-1a"));
+        assert!(
+            MarketScope::MultiRegion(vec![Zone::UsEast1a, Zone::UsWest1a])
+                .label()
+                .contains("us-east-1a+us-west-1a")
+        );
     }
 }

@@ -114,14 +114,13 @@ mod tests {
 
     #[test]
     fn fleet_hosts_everyone_cheaply() {
-        let report = run_fleet(
-            &vms(20),
-            &FleetConfig::default(),
-            7,
-            SimDuration::days(21),
-        );
+        let report = run_fleet(&vms(20), &FleetConfig::default(), 7, SimDuration::days(21));
         assert_eq!(report.total_vms(), 20);
-        assert!(report.normalized_cost() < 0.5, "{}", report.normalized_cost());
+        assert!(
+            report.normalized_cost() < 0.5,
+            "{}",
+            report.normalized_cost()
+        );
         assert!(report.vm_weighted_unavailability() < 0.01);
         assert!(report.waste_fraction() < 0.5);
     }

@@ -74,7 +74,11 @@ impl FleetReport {
 
     /// Fraction of bought capacity that is fragmentation padding.
     pub fn waste_fraction(&self) -> f64 {
-        let allocated: u32 = self.outcomes.iter().map(|o| o.group.allocated_units()).sum();
+        let allocated: u32 = self
+            .outcomes
+            .iter()
+            .map(|o| o.group.allocated_units())
+            .sum();
         let demanded: u32 = self.outcomes.iter().map(|o| o.group.demanded_units()).sum();
         if allocated == 0 {
             0.0

@@ -216,7 +216,12 @@ mod tests {
         // downtime is at least the time above on-demand plus re-acquisition,
         // so this property drives the figure.)
         use InstanceType::*;
-        for (t, above_one_pct) in [(Small, true), (Medium, true), (Large, true), (XLarge, false)] {
+        for (t, above_one_pct) in [
+            (Small, true),
+            (Medium, true),
+            (Large, true),
+            (XLarge, false),
+        ] {
             let p = calibrated_model(MarketId::new(Zone::UsEast1a, t));
             let f = p.expected_fraction_above_on_demand();
             assert_eq!(f > 0.01, above_one_pct, "{t}: fraction {f}");
@@ -229,8 +234,7 @@ mod tests {
         // hour for a reactive bidder in us-east-1a.
         for &t in &InstanceType::ALL {
             let p = calibrated_model(MarketId::new(Zone::UsEast1a, t));
-            let per_hour =
-                (p.effective_spike_rate_per_day() + p.zone_spike_rate_per_day) / 24.0;
+            let per_hour = (p.effective_spike_rate_per_day() + p.zone_spike_rate_per_day) / 24.0;
             assert!(
                 (0.008..0.09).contains(&per_hour),
                 "{t}: {per_hour} revocations/hour"

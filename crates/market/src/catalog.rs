@@ -73,8 +73,7 @@ impl Catalog {
             .map(|&z| {
                 // Per-unit price is size-independent within a zone, so the
                 // cost of `units` of capacity is linear.
-                self.on_demand_price_per_unit(MarketId::new(z, InstanceType::Small))
-                    * units as f64
+                self.on_demand_price_per_unit(MarketId::new(z, InstanceType::Small)) * units as f64
             })
             .fold(f64::MAX, f64::min)
     }

@@ -12,8 +12,8 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 use std::collections::BTreeMap;
 
-use crate::catalog::Catalog;
 use crate::calib::calibrated_model;
+use crate::catalog::Catalog;
 use crate::dist;
 use crate::model::SpotModelParams;
 use crate::time::{SimDuration, SimTime};
@@ -74,7 +74,12 @@ pub struct FactorPaths {
 
 impl FactorPaths {
     pub fn generate(master: u64, step: SimDuration, n: usize) -> Self {
-        let global = ou_path(&mut stream(master, "factor-global", 0), n, FACTOR_THETA_PER_HOUR, step);
+        let global = ou_path(
+            &mut stream(master, "factor-global", 0),
+            n,
+            FACTOR_THETA_PER_HOUR,
+            step,
+        );
         let zones = Zone::ALL.map(|z| {
             ou_path(
                 &mut stream(master, "factor-zone", z.index() as u64),
@@ -83,7 +88,11 @@ impl FactorPaths {
                 step,
             )
         });
-        FactorPaths { step, global, zones }
+        FactorPaths {
+            step,
+            global,
+            zones,
+        }
     }
 
     fn global_at(&self, idx: usize) -> f64 {
@@ -110,7 +119,12 @@ pub struct ZoneSpikeSchedules {
 }
 
 impl ZoneSpikeSchedules {
-    fn generate(master: u64, horizon: SimDuration, rate_per_day: [f64; 4], mean_dur: [SimDuration; 4]) -> Self {
+    fn generate(
+        master: u64,
+        horizon: SimDuration,
+        rate_per_day: [f64; 4],
+        mean_dur: [SimDuration; 4],
+    ) -> Self {
         let per_zone = Zone::ALL.map(|z| {
             let mut rng = stream(master, "zone-spikes", z.index() as u64);
             let rate = rate_per_day[z.index()];
@@ -182,7 +196,10 @@ fn generate_market_trace(
     factors: &FactorPaths,
     zone_windows: &[SpikeWindow],
 ) -> PriceTrace {
-    assert_eq!(params.step, factors.step, "all markets must share a grid step");
+    assert_eq!(
+        params.step, factors.step,
+        "all markets must share a grid step"
+    );
     let dense = market.dense_index() as u64;
     let end = SimTime::ZERO + horizon;
 
@@ -245,7 +262,8 @@ fn generate_market_trace(
     spikes.sort_by_key(|s| s.start);
 
     // --- assemble boundaries --------------------------------------------------
-    let mut boundaries: Vec<SimTime> = Vec::with_capacity(n_grid + spikes.len() * 2 + regimes.len());
+    let mut boundaries: Vec<SimTime> =
+        Vec::with_capacity(n_grid + spikes.len() * 2 + regimes.len());
     let mut t = SimTime::ZERO;
     while t < end {
         boundaries.push(t);
@@ -368,10 +386,8 @@ impl TraceSet {
         master_seed: u64,
         horizon: SimDuration,
     ) -> Self {
-        let models: Vec<(MarketId, SpotModelParams)> = markets
-            .iter()
-            .map(|&m| (m, calibrated_model(m)))
-            .collect();
+        let models: Vec<(MarketId, SpotModelParams)> =
+            markets.iter().map(|&m| (m, calibrated_model(m))).collect();
         Self::generate_with(catalog, &models, master_seed, horizon)
     }
 
@@ -519,7 +535,10 @@ mod tests {
         let h = SimDuration::days(3);
         let a = TraceSet::generate(&c, &[small_east()], 99, h);
         let b = TraceSet::generate(&c, &[small_east()], 99, h);
-        assert_eq!(a.trace(small_east()).unwrap(), b.trace(small_east()).unwrap());
+        assert_eq!(
+            a.trace(small_east()).unwrap(),
+            b.trace(small_east()).unwrap()
+        );
     }
 
     #[test]
@@ -528,7 +547,10 @@ mod tests {
         let h = SimDuration::days(3);
         let solo = TraceSet::generate(&c, &[small_east()], 7, h);
         let all = TraceSet::generate(&c, &MarketId::all(), 7, h);
-        assert_eq!(solo.trace(small_east()).unwrap(), all.trace(small_east()).unwrap());
+        assert_eq!(
+            solo.trace(small_east()).unwrap(),
+            all.trace(small_east()).unwrap()
+        );
     }
 
     #[test]
@@ -537,7 +559,10 @@ mod tests {
         let h = SimDuration::days(3);
         let a = TraceSet::generate(&c, &[small_east()], 1, h);
         let b = TraceSet::generate(&c, &[small_east()], 2, h);
-        assert_ne!(a.trace(small_east()).unwrap(), b.trace(small_east()).unwrap());
+        assert_ne!(
+            a.trace(small_east()).unwrap(),
+            b.trace(small_east()).unwrap()
+        );
     }
 
     #[test]
@@ -593,8 +618,14 @@ mod tests {
         let west = MarketId::new(Zone::EuWest1a, InstanceType::Large);
         let h = SimDuration::days(90);
         let set = TraceSet::generate(&c, &[east, west], 17, h);
-        let fe = set.trace(east).unwrap().fraction_above(c.on_demand_price(east));
-        let fw = set.trace(west).unwrap().fraction_above(c.on_demand_price(west));
+        let fe = set
+            .trace(east)
+            .unwrap()
+            .fraction_above(c.on_demand_price(east));
+        let fw = set
+            .trace(west)
+            .unwrap()
+            .fraction_above(c.on_demand_price(west));
         assert!(fe > fw, "us-east {fe} should spike more than eu-west {fw}");
     }
 

@@ -129,8 +129,7 @@ impl SpotModelParams {
     /// Expected fraction of time the spot price exceeds the on-demand price
     /// (approximately: every spike exceeds on-demand, baseline never does).
     pub fn expected_fraction_above_on_demand(&self) -> f64 {
-        let spikes_per_day =
-            self.effective_spike_rate_per_day() + self.zone_spike_rate_per_day;
+        let spikes_per_day = self.effective_spike_rate_per_day() + self.zone_spike_rate_per_day;
         spikes_per_day * self.spike_duration_mean.as_days_f64()
     }
 

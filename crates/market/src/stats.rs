@@ -158,14 +158,26 @@ mod tests {
 
     #[test]
     fn us_east_prices_more_volatile_than_eu_west() {
+        // Figure 10's claim is statistical: a single 60-day sample can be
+        // dominated by one heavy-tailed spike (eu-west spikes are rare but
+        // cap at 15x a *pricier* on-demand base), so average the std over
+        // several independent trace sets, as the paper averages over runs.
         let c = Catalog::ec2_2015();
         let markets = [
             MarketId::new(Zone::UsEast1a, InstanceType::XLarge),
             MarketId::new(Zone::EuWest1a, InstanceType::XLarge),
         ];
-        let set = TraceSet::generate(&c, &markets, 13, SimDuration::days(60));
-        let east = price_std(&set, markets[0]).unwrap();
-        let west = price_std(&set, markets[1]).unwrap();
-        assert!(east > west, "us-east std {east} <= eu-west std {west}");
+        let (mut east, mut west) = (0.0, 0.0);
+        let seeds = 8;
+        for seed in 0..seeds {
+            let set = TraceSet::generate(&c, &markets, seed, SimDuration::days(60));
+            east += price_std(&set, markets[0]).unwrap();
+            west += price_std(&set, markets[1]).unwrap();
+        }
+        let (east, west) = (east / seeds as f64, west / seeds as f64);
+        assert!(
+            east > west,
+            "us-east avg std {east} <= eu-west avg std {west}"
+        );
     }
 }

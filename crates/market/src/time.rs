@@ -178,9 +178,20 @@ impl SimDuration {
         }
     }
 
-    /// Scale by a non-negative factor, rounding to the nearest millisecond.
+    /// Scale by a non-negative factor, rounding to the nearest
+    /// millisecond. NaN and negative factors clamp to zero (matching
+    /// [`secs_f64`]); `+inf` saturates at the maximum representable
+    /// duration. These are real release-mode semantics, not a
+    /// `debug_assert` that vanishes: model outputs occasionally go
+    /// epsilon-negative, and an unchecked `as u64` cast would turn a NaN
+    /// factor into silent garbage.
+    ///
+    /// [`secs_f64`]: SimDuration::secs_f64
     pub fn mul_f64(self, k: f64) -> SimDuration {
-        debug_assert!(k >= 0.0 && k.is_finite());
+        if k.is_nan() || k <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        // `as u64` saturates: +inf and overflow land on u64::MAX.
         SimDuration((self.0 as f64 * k).round() as u64)
     }
 }
@@ -319,7 +330,10 @@ mod tests {
         assert_eq!(SimDuration::ZERO.started_hours(), 0);
         assert_eq!(SimDuration::millis(1).started_hours(), 1);
         assert_eq!(SimDuration::hours(1).started_hours(), 1);
-        assert_eq!((SimDuration::hours(1) + SimDuration::millis(1)).started_hours(), 2);
+        assert_eq!(
+            (SimDuration::hours(1) + SimDuration::millis(1)).started_hours(),
+            2
+        );
     }
 
     #[test]
@@ -327,6 +341,25 @@ mod tests {
         assert_eq!(SimDuration::secs_f64(-1.0), SimDuration::ZERO);
         assert_eq!(SimDuration::secs_f64(f64::NAN), SimDuration::ZERO);
         assert_eq!(SimDuration::secs_f64(1.5), SimDuration::millis(1_500));
+    }
+
+    #[test]
+    fn mul_f64_clamps_garbage_in_release_too() {
+        let d = SimDuration::hours(2);
+        // Ordinary scaling still rounds to the nearest millisecond.
+        assert_eq!(d.mul_f64(0.5), SimDuration::hours(1));
+        assert_eq!(SimDuration::millis(3).mul_f64(0.5), SimDuration::millis(2));
+        // NaN and negative factors clamp to zero instead of casting to
+        // garbage (`as u64` on NaN yields 0, on negatives saturates).
+        assert_eq!(d.mul_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(d.mul_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(d.mul_f64(-0.0), SimDuration::ZERO);
+        assert_eq!(d.mul_f64(f64::NEG_INFINITY), SimDuration::ZERO);
+        // +inf saturates at the largest representable duration.
+        assert_eq!(d.mul_f64(f64::INFINITY), SimDuration(u64::MAX));
+        // Zero times anything (even inf) is zero by the clamp-first rule.
+        assert_eq!(SimDuration::ZERO.mul_f64(f64::INFINITY), SimDuration::ZERO);
+        assert_eq!(d.mul_f64(0.0), SimDuration::ZERO);
     }
 
     #[test]

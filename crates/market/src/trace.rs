@@ -116,7 +116,19 @@ impl PriceTrace {
 
     /// Earliest instant `>= from` at which the price is `> threshold`
     /// (strictly above: EC2 revokes when the spot price *exceeds* the bid).
+    ///
+    /// Only instants strictly inside the horizon `[0, end)` are returned:
+    /// a query at or past `end` yields `None` even though [`price_at`]
+    /// extends the trace with its final value.
+    ///
+    /// [`price_at`]: PriceTrace::price_at
     pub fn next_time_above(&self, from: SimTime, threshold: f64) -> Option<SimTime> {
+        // Clamp the `from` hit to the horizon exactly like later-segment
+        // hits below; otherwise a revocation could be scheduled beyond the
+        // end of the trace.
+        if from >= self.end {
+            return None;
+        }
         let mut i = self.segment_index(from);
         if self.points[i].price > threshold {
             return Some(from);
@@ -133,7 +145,14 @@ impl PriceTrace {
     }
 
     /// Earliest instant `>= from` at which the price is `<= threshold`.
+    /// As with [`next_time_above`], only instants inside `[0, end)` are
+    /// returned.
+    ///
+    /// [`next_time_above`]: PriceTrace::next_time_above
     pub fn next_time_at_or_below(&self, from: SimTime, threshold: f64) -> Option<SimTime> {
+        if from >= self.end {
+            return None;
+        }
         let mut i = self.segment_index(from);
         if self.points[i].price <= threshold {
             return Some(from);
@@ -159,17 +178,45 @@ impl PriceTrace {
         })
     }
 
-    /// Segments clipped to the window `[from, to)`.
-    pub fn segments_in(&self, from: SimTime, to: SimTime) -> Vec<Segment> {
+    /// Segments clipped to the window `[from, to)`, without allocating.
+    ///
+    /// Starts at the segment containing `from` (binary search) rather
+    /// than scanning the whole trace, so a narrow window near the end of
+    /// a long trace costs O(log n + segments-in-window). Windows that
+    /// extend past `end` are truncated to the horizon.
+    pub fn segments_in_iter(
+        &self,
+        from: SimTime,
+        to: SimTime,
+    ) -> impl Iterator<Item = Segment> + '_ {
         assert!(from <= to);
-        self.segments()
-            .filter(|s| s.end > from && s.start < to)
-            .map(|s| Segment {
-                start: s.start.max(from),
-                end: s.end.min(to),
-                price: s.price,
+        let to = to.min(self.end);
+        let first = if from >= to {
+            self.points.len() // empty window: yield nothing
+        } else {
+            self.segment_index(from)
+        };
+        self.points[first.min(self.points.len())..]
+            .iter()
+            .enumerate()
+            .map(move |(off, p)| {
+                let i = first + off;
+                Segment {
+                    start: p.at.max(from),
+                    end: self.points.get(i + 1).map_or(self.end, |n| n.at).min(to),
+                    price: p.price,
+                }
             })
-            .collect()
+            .take_while(move |s| s.start < to)
+    }
+
+    /// Segments clipped to the window `[from, to)`, collected. Thin
+    /// wrapper over [`segments_in_iter`] for callers that want ownership;
+    /// hot paths should use the iterator directly.
+    ///
+    /// [`segments_in_iter`]: PriceTrace::segments_in_iter
+    pub fn segments_in(&self, from: SimTime, to: SimTime) -> Vec<Segment> {
+        self.segments_in_iter(from, to).collect()
     }
 
     /// Time-weighted mean price over the whole trace.
@@ -184,7 +231,7 @@ impl PriceTrace {
             return self.price_at(from);
         }
         let mut acc = 0.0;
-        for s in self.segments_in(from, to) {
+        for s in self.segments_in_iter(from, to) {
             acc += s.price * s.duration().as_millis() as f64;
         }
         acc / total as f64
@@ -216,8 +263,7 @@ impl PriceTrace {
             return 0.0;
         }
         let above: SimDuration = self
-            .segments_in(from, to)
-            .iter()
+            .segments_in_iter(from, to)
             .filter(|s| s.price > threshold)
             .map(|s| s.duration())
             .sum();
@@ -267,6 +313,140 @@ impl PriceTrace {
 
     pub fn max_price(&self) -> f64 {
         self.points.iter().map(|p| p.price).fold(0.0, f64::max)
+    }
+
+    /// A stateful cursor positioned at the start of the trace.
+    pub fn cursor(&self) -> TraceCursor<'_> {
+        TraceCursor {
+            trace: self,
+            idx: 0,
+        }
+    }
+}
+
+/// A stateful cursor over a trace's piecewise-constant segments.
+///
+/// The simulation clock only moves forward, so the scheduler's price
+/// lookups, revocation scans and billing-hour charges for one lease form
+/// a single non-decreasing sequence of query times. A cursor exploits
+/// that: it remembers the segment containing the last query and walks
+/// forward from there, making each lookup **amortised O(1)** with no
+/// allocation, versus the O(log n) binary search of
+/// [`PriceTrace::price_at`].
+///
+/// # API contract: monotonic advance
+///
+/// Every query method takes `&mut self` and *commits* the cursor to the
+/// segment containing the query time. Queries with non-decreasing times
+/// are the designed use and hit the fast path. A query *earlier* than
+/// the committed position does not return wrong data — the cursor
+/// re-synchronises with a binary search — but it forfeits the O(1)
+/// amortisation, so callers that need to look backwards (e.g. windowed
+/// statistics) should use [`PriceTrace::segments_in_iter`] instead.
+///
+/// Results are always identical to the corresponding stateless
+/// [`PriceTrace`] queries; the cursor is purely an access-path
+/// optimisation.
+#[derive(Debug, Clone)]
+pub struct TraceCursor<'a> {
+    trace: &'a PriceTrace,
+    /// Index of the committed segment (last point with `at <=` the most
+    /// recent query time).
+    idx: usize,
+}
+
+impl<'a> TraceCursor<'a> {
+    /// The trace this cursor walks.
+    pub fn trace(&self) -> &'a PriceTrace {
+        self.trace
+    }
+
+    /// Commit the cursor to the segment containing `t` and return its
+    /// index. Fast path: walk forward. Slow path (non-monotonic query):
+    /// binary search.
+    fn seek(&mut self, t: SimTime) -> usize {
+        let pts = &self.trace.points;
+        if t < pts[self.idx].at {
+            // Regressed behind the committed segment: re-synchronise.
+            self.idx = self.trace.segment_index(t);
+            return self.idx;
+        }
+        while self.idx + 1 < pts.len() && pts[self.idx + 1].at <= t {
+            self.idx += 1;
+        }
+        self.idx
+    }
+
+    /// The spot price in effect at instant `t`. Times at or past the
+    /// trace end return the final price, exactly like
+    /// [`PriceTrace::price_at`].
+    pub fn price_at(&mut self, t: SimTime) -> f64 {
+        let i = self.seek(t);
+        self.trace.points[i].price
+    }
+
+    /// The constant-price segment containing `t`, clipped to the horizon.
+    pub fn segment_at(&mut self, t: SimTime) -> Segment {
+        let i = self.seek(t);
+        let pts = &self.trace.points;
+        Segment {
+            start: pts[i].at,
+            end: pts.get(i + 1).map_or(self.trace.end, |n| n.at),
+            price: pts[i].price,
+        }
+    }
+
+    /// First price-change time strictly after `t`, if any remains.
+    pub fn next_change_after(&mut self, t: SimTime) -> Option<SimTime> {
+        let i = self.seek(t);
+        self.trace.points.get(i + 1).map(|p| p.at)
+    }
+
+    /// Earliest instant `>= from` (inside the horizon) at which the price
+    /// is `> threshold`. Commits the cursor to `from`'s segment, then
+    /// scans ahead *without* committing, so a later monotonic query from
+    /// `from` onwards stays on the fast path.
+    pub fn next_time_above(&mut self, from: SimTime, threshold: f64) -> Option<SimTime> {
+        if from >= self.trace.end {
+            return None;
+        }
+        let mut i = self.seek(from);
+        let pts = &self.trace.points;
+        if pts[i].price > threshold {
+            return Some(from);
+        }
+        i += 1;
+        while i < pts.len() {
+            if pts[i].price > threshold {
+                let at = pts[i].at;
+                return (at < self.trace.end).then_some(at);
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Earliest instant `>= from` (inside the horizon) at which the price
+    /// is `<= threshold`. Same committing behaviour as
+    /// [`next_time_above`](TraceCursor::next_time_above).
+    pub fn next_time_at_or_below(&mut self, from: SimTime, threshold: f64) -> Option<SimTime> {
+        if from >= self.trace.end {
+            return None;
+        }
+        let mut i = self.seek(from);
+        let pts = &self.trace.points;
+        if pts[i].price <= threshold {
+            return Some(from);
+        }
+        i += 1;
+        while i < pts.len() {
+            if pts[i].price <= threshold {
+                let at = pts[i].at;
+                return (at < self.trace.end).then_some(at);
+            }
+            i += 1;
+        }
+        None
     }
 }
 
@@ -341,6 +521,102 @@ mod tests {
     }
 
     #[test]
+    fn crossing_queries_clamped_to_horizon() {
+        let t = trace(); // end = 60s, final price 0.5
+                         // At the horizon: the price there (0.5) satisfies "above 0.1",
+                         // but 60s is outside [0, end) — no revocation can happen there.
+        assert_eq!(t.next_time_above(SimTime::secs(60), 0.1), None);
+        // Past the horizon likewise, even though price_at extends.
+        assert_eq!(t.next_time_above(SimTime::secs(90), 0.1), None);
+        assert_eq!(t.next_time_at_or_below(SimTime::secs(60), 1.0), None);
+        assert_eq!(t.next_time_at_or_below(SimTime::secs(600), 1.0), None);
+        // Just inside the horizon still hits.
+        let last = SimTime::millis(60_000 - 1);
+        assert_eq!(t.next_time_above(last, 0.1), Some(last));
+        assert_eq!(t.next_time_at_or_below(last, 1.0), Some(last));
+    }
+
+    #[test]
+    fn cursor_matches_stateless_queries_monotonic() {
+        let t = trace();
+        let mut c = t.cursor();
+        for ms in (0..70_000).step_by(500) {
+            let at = SimTime::millis(ms);
+            assert_eq!(c.price_at(at), t.price_at(at), "price at {at}");
+            assert_eq!(c.next_change_after(at), t.next_change_after(at));
+        }
+    }
+
+    #[test]
+    fn cursor_crossing_queries_match_and_do_not_overcommit() {
+        let t = trace();
+        let mut c = t.cursor();
+        assert_eq!(
+            c.next_time_above(SimTime::ZERO, 1.0),
+            t.next_time_above(SimTime::ZERO, 1.0)
+        );
+        // The scan ahead must not have committed the cursor past t=0:
+        // the very next monotonic query at 1s must still be correct.
+        assert_eq!(c.price_at(SimTime::secs(1)), 1.0);
+        assert_eq!(
+            c.next_time_at_or_below(SimTime::secs(12), 0.6),
+            Some(SimTime::secs(20))
+        );
+        assert_eq!(c.next_time_above(SimTime::secs(60), 0.1), None);
+    }
+
+    #[test]
+    fn cursor_resyncs_on_regression() {
+        let t = trace();
+        let mut c = t.cursor();
+        assert_eq!(c.price_at(SimTime::secs(25)), 0.5);
+        // Going backwards is allowed (slow path), results stay correct.
+        assert_eq!(c.price_at(SimTime::secs(5)), 1.0);
+        assert_eq!(c.price_at(SimTime::secs(15)), 3.0);
+    }
+
+    #[test]
+    fn cursor_segment_at_clips_to_horizon() {
+        let t = trace();
+        let mut c = t.cursor();
+        let s = c.segment_at(SimTime::secs(30));
+        assert_eq!(s.start, SimTime::secs(20));
+        assert_eq!(s.end, SimTime::secs(60));
+        assert_eq!(s.price, 0.5);
+    }
+
+    #[test]
+    fn segments_in_iter_matches_collected() {
+        let t = trace();
+        for (from, to) in [
+            (0u64, 60),
+            (5, 25),
+            (0, 0),
+            (10, 10),
+            (15, 16),
+            (20, 90),
+            (60, 90),
+            (61, 70),
+        ] {
+            let (from, to) = (SimTime::secs(from), SimTime::secs(to));
+            let collected = t.segments_in(from, to);
+            let iterated: Vec<Segment> = t.segments_in_iter(from, to).collect();
+            assert_eq!(collected, iterated, "window [{from}, {to})");
+        }
+    }
+
+    #[test]
+    fn segments_in_window_past_end_is_empty() {
+        let t = trace();
+        assert!(t
+            .segments_in(SimTime::secs(60), SimTime::secs(70))
+            .is_empty());
+        assert!(t
+            .segments_in(SimTime::secs(65), SimTime::secs(70))
+            .is_empty());
+    }
+
+    #[test]
     fn time_weighted_mean_weights_by_duration() {
         let t = trace();
         // (1.0*10 + 3.0*10 + 0.5*40) / 60 = 60/60 = 1.0
@@ -368,9 +644,15 @@ mod tests {
         let f = t.fraction_above_in(SimTime::secs(5), SimTime::secs(25), 1.0);
         assert!((f - 0.5).abs() < 1e-12);
         // Empty window.
-        assert_eq!(t.fraction_above_in(SimTime::secs(5), SimTime::secs(5), 1.0), 0.0);
+        assert_eq!(
+            t.fraction_above_in(SimTime::secs(5), SimTime::secs(5), 1.0),
+            0.0
+        );
         // Window entirely below threshold.
-        assert_eq!(t.fraction_above_in(SimTime::secs(20), SimTime::secs(60), 1.0), 0.0);
+        assert_eq!(
+            t.fraction_above_in(SimTime::secs(20), SimTime::secs(60), 1.0),
+            0.0
+        );
     }
 
     #[test]

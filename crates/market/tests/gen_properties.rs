@@ -14,15 +14,15 @@ fn market() -> MarketId {
 
 fn arb_params() -> impl Strategy<Value = SpotModelParams> {
     (
-        0.03f64..0.7,  // base_ratio
-        0.01f64..0.5,  // sigma
-        0.01f64..0.2,  // theta
-        0.0f64..6.0,   // spike rate
-        1.05f64..2.0,  // spike min mult
-        0.8f64..3.0,   // pareto alpha
-        2u64..90,      // spike duration minutes
-        1.0f64..3.0,   // elevated mult
-        0.0f64..0.5,   // zone spike rate
+        0.03f64..0.7, // base_ratio
+        0.01f64..0.5, // sigma
+        0.01f64..0.2, // theta
+        0.0f64..6.0,  // spike rate
+        1.05f64..2.0, // spike min mult
+        0.8f64..3.0,  // pareto alpha
+        2u64..90,     // spike duration minutes
+        1.0f64..3.0,  // elevated mult
+        0.0f64..0.5,  // zone spike rate
     )
         .prop_map(
             |(base, sigma, theta, spikes, min_mult, alpha, dur, elev, zrate)| {
@@ -34,7 +34,11 @@ fn arb_params() -> impl Strategy<Value = SpotModelParams> {
                 p.spike_min_mult = min_mult;
                 p.spike_pareto_alpha = alpha;
                 p.spike_duration_mean = SimDuration::minutes(dur);
-                p.elevated_base_mult = if base * elev < 0.98 { elev.max(1.0001) } else { 1.0001 };
+                p.elevated_base_mult = if base * elev < 0.98 {
+                    elev.max(1.0001)
+                } else {
+                    1.0001
+                };
                 p.zone_spike_rate_per_day = zrate;
                 p
             },

@@ -72,8 +72,7 @@ pub fn live_migration_with_bandwidth(
     // Stop-and-copy: pause and send the remainder.
     let stop_copy_secs = to_send / b;
     transferred += to_send;
-    let downtime =
-        SimDuration::secs_f64(stop_copy_secs).max(params.live_downtime_floor);
+    let downtime = SimDuration::secs_f64(stop_copy_secs).max(params.live_downtime_floor);
     let total = params.live_setup + SimDuration::secs_f64(copy_time) + downtime;
 
     LiveMigrationOutcome {

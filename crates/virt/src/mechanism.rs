@@ -229,7 +229,11 @@ pub fn plan_migration(
 /// Restore outcome under the combo, with a WAN penalty when the checkpoint
 /// volume lives in another region (reads cross the WAN at disk-copy rates
 /// instead of LAN volume rates).
-fn restore_for(combo: MechanismCombo, ctx: &MigrationContext, params: &VirtParams) -> RestoreOutcome {
+fn restore_for(
+    combo: MechanismCombo,
+    ctx: &MigrationContext,
+    params: &VirtParams,
+) -> RestoreOutcome {
     let mut out = if combo.lazy_restore {
         lazy_restore(&ctx.vm, params)
     } else {
@@ -323,7 +327,12 @@ mod tests {
         c.to_region = Region::UsWest1;
         c.disk_gib = 4.0;
         let wan = plan_migration(MechanismCombo::CKPT_LR_LIVE, MigrationKind::Planned, &c, &p);
-        let lan = plan_migration(MechanismCombo::CKPT_LR_LIVE, MigrationKind::Planned, &ctx(), &p);
+        let lan = plan_migration(
+            MechanismCombo::CKPT_LR_LIVE,
+            MigrationKind::Planned,
+            &ctx(),
+            &p,
+        );
         // 4 GiB * 122.4 s/GiB of disk replication lands in prepare.
         assert!(wan.prepare > lan.prepare + SimDuration::secs(400));
     }

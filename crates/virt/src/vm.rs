@@ -45,7 +45,10 @@ impl VmSpec {
 
     pub fn validate(&self) -> Result<(), String> {
         if !(self.memory_gib > 0.0 && self.memory_gib.is_finite()) {
-            return Err(format!("memory_gib must be positive, got {}", self.memory_gib));
+            return Err(format!(
+                "memory_gib must be positive, got {}",
+                self.memory_gib
+            ));
         }
         if !(self.dirty_rate_gib_per_s >= 0.0 && self.dirty_rate_gib_per_s.is_finite()) {
             return Err("dirty_rate_gib_per_s must be non-negative".into());

@@ -15,12 +15,12 @@ fn arb_vm() -> impl Strategy<Value = VmSpec> {
 
 fn arb_params() -> impl Strategy<Value = VirtParams> {
     (
-        5.0f64..60.0,   // ckpt write s/GiB
-        5.0f64..150.0,  // std restore s/GiB
-        5.0f64..60.0,   // lazy restore s
-        0.01f64..0.2,   // live bandwidth GiB/s
-        1u64..60,       // yank bound s
-        0.0f64..1.0,    // prestage factor
+        5.0f64..60.0,  // ckpt write s/GiB
+        5.0f64..150.0, // std restore s/GiB
+        5.0f64..60.0,  // lazy restore s
+        0.01f64..0.2,  // live bandwidth GiB/s
+        1u64..60,      // yank bound s
+        0.0f64..1.0,   // prestage factor
     )
         .prop_map(|(ckpt, restore, lazy, bw, tau, prestage)| {
             let mut p = VirtParams::typical();

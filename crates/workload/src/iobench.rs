@@ -45,8 +45,7 @@ pub fn simulate_iobench(seed: u64) -> Vec<IoBenchRow> {
         .map(|&(metric, native, penalty)| {
             let native_mbps = dist::normal(&mut rng, native, native * NOISE_CV);
             let nested_nominal = native * (1.0 - penalty);
-            let nested_mbps =
-                dist::normal(&mut rng, nested_nominal, nested_nominal * NOISE_CV);
+            let nested_mbps = dist::normal(&mut rng, nested_nominal, nested_nominal * NOISE_CV);
             IoBenchRow {
                 metric,
                 native_mbps,
@@ -81,15 +80,26 @@ mod tests {
     fn four_rows_in_table_order() {
         let rows = simulate_iobench(1);
         let names: Vec<&str> = rows.iter().map(|r| r.metric).collect();
-        assert_eq!(names, ["Network TX", "Network RX", "Disk Read", "Disk Write"]);
+        assert_eq!(
+            names,
+            ["Network TX", "Network RX", "Disk Read", "Disk Write"]
+        );
     }
 
     #[test]
     fn network_close_disk_two_percent() {
         let rows = iobench_mean(0, 50);
         // Network: within 1%.
-        assert!(rows[0].degradation().abs() < 0.01, "TX {}", rows[0].degradation());
-        assert!(rows[1].degradation().abs() < 0.015, "RX {}", rows[1].degradation());
+        assert!(
+            rows[0].degradation().abs() < 0.01,
+            "TX {}",
+            rows[0].degradation()
+        );
+        assert!(
+            rows[1].degradation().abs() < 0.015,
+            "RX {}",
+            rows[1].degradation()
+        );
         // Disk: ~2%, definitely under 4% ("degraded by 2%", §6.1).
         for row in &rows[2..] {
             let d = row.degradation();
@@ -100,10 +110,23 @@ mod tests {
     #[test]
     fn means_match_paper_within_percent() {
         let rows = iobench_mean(0, 100);
-        let expect = [(304.0, 304.0), (316.0, 314.0), (304.6, 297.6), (280.4, 274.2)];
+        let expect = [
+            (304.0, 304.0),
+            (316.0, 314.0),
+            (304.6, 297.6),
+            (280.4, 274.2),
+        ];
         for (row, (native, nested)) in rows.iter().zip(expect) {
-            assert!((row.native_mbps - native).abs() / native < 0.01, "{}", row.metric);
-            assert!((row.nested_mbps - nested).abs() / nested < 0.01, "{}", row.metric);
+            assert!(
+                (row.native_mbps - native).abs() / native < 0.01,
+                "{}",
+                row.metric
+            );
+            assert!(
+                (row.nested_mbps - nested).abs() / nested < 0.01,
+                "{}",
+                row.metric
+            );
         }
     }
 

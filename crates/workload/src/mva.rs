@@ -63,10 +63,7 @@ impl ClosedNetwork {
 
     /// The bottleneck service demand (max over stations).
     pub fn bottleneck_demand(&self) -> f64 {
-        self.stations
-            .iter()
-            .map(|s| s.demand_s)
-            .fold(0.0, f64::max)
+        self.stations.iter().map(|s| s.demand_s).fold(0.0, f64::max)
     }
 
     /// Asymptotic maximum throughput, `1 / D_max`.
@@ -91,7 +88,11 @@ impl ClosedNetwork {
                 q[i] = x * r[i];
             }
         }
-        let response_s = if n == 0 { 0.0 } else { n as f64 / x - self.think_time_s };
+        let response_s = if n == 0 {
+            0.0
+        } else {
+            n as f64 / x - self.think_time_s
+        };
         let utilizations = self
             .stations
             .iter()

@@ -5,18 +5,14 @@ use proptest::prelude::*;
 use spothost_workload::mva::{ClosedNetwork, Station};
 
 fn arb_network() -> impl Strategy<Value = ClosedNetwork> {
-    (
-        prop::collection::vec(0.001f64..0.2, 1..5),
-        0.0f64..20.0,
-    )
-        .prop_map(|(demands, think)| {
-            let stations = demands
-                .into_iter()
-                .enumerate()
-                .map(|(i, d)| Station::new(format!("s{i}"), d))
-                .collect();
-            ClosedNetwork::new(stations, think)
-        })
+    (prop::collection::vec(0.001f64..0.2, 1..5), 0.0f64..20.0).prop_map(|(demands, think)| {
+        let stations = demands
+            .into_iter()
+            .enumerate()
+            .map(|(i, d)| Station::new(format!("s{i}"), d))
+            .collect();
+        ClosedNetwork::new(stations, think)
+    })
 }
 
 proptest! {

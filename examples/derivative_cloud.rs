@@ -31,7 +31,11 @@ fn main() {
     let vms = tenants();
     let demanded: u32 = vms.iter().map(|v| v.units).sum();
 
-    println!("derivative cloud: {} tenant VMs, {} capacity units, 60 days\n", vms.len(), demanded);
+    println!(
+        "derivative cloud: {} tenant VMs, {} capacity units, 60 days\n",
+        vms.len(),
+        demanded
+    );
 
     for (label, cfg) in [
         (

@@ -77,7 +77,10 @@ fn main() {
     let overhead = NestedOverheadModel::xen_blanket();
     let cfg = SchedulerConfig::single_market(market);
     let base = run_many(&cfg, 0, seeds, horizon).normalized_cost.mean;
-    println!("\ncost after capacity inflation (base {:.1}%):", base * 100.0);
+    println!(
+        "\ncost after capacity inflation (base {:.1}%):",
+        base * 100.0
+    );
     for cpu_fraction in [0.0, 0.5, 1.0] {
         println!(
             "  {:>3.0}% CPU-bound -> effective cost {:.1}% of on-demand",

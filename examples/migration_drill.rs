@@ -18,8 +18,14 @@ fn main() {
 
     // --- bounded checkpointing: making the 2-minute warning survivable -----
     let ckpt = BoundedCheckpointer::new(&vm, &params);
-    println!("Yank-style bounded checkpointing of a {} GiB nested VM:", vm.memory_gib);
-    println!("  full checkpoint:          {}", ckpt.full_checkpoint_duration());
+    println!(
+        "Yank-style bounded checkpointing of a {} GiB nested VM:",
+        vm.memory_gib
+    );
+    println!(
+        "  full checkpoint:          {}",
+        ckpt.full_checkpoint_duration()
+    );
     println!(
         "  background period:        {} (keeps increments under tau = {})",
         ckpt.checkpoint_period().unwrap(),
@@ -95,8 +101,18 @@ fn main() {
     // --- pessimistic view ------------------------------------------------------
     let worst = VirtParams::pessimistic();
     let ctx = MigrationContext::local(vm, Region::UsEast1);
-    let typical = plan_migration(MechanismCombo::CKPT_LR_LIVE, MigrationKind::Forced, &ctx, &params);
-    let pess = plan_migration(MechanismCombo::CKPT_LR_LIVE, MigrationKind::Forced, &ctx, &worst);
+    let typical = plan_migration(
+        MechanismCombo::CKPT_LR_LIVE,
+        MigrationKind::Forced,
+        &ctx,
+        &params,
+    );
+    let pess = plan_migration(
+        MechanismCombo::CKPT_LR_LIVE,
+        MigrationKind::Forced,
+        &ctx,
+        &worst,
+    );
     println!(
         "\nforced-migration downtime, best combo: typical {} vs pessimistic {}",
         typical.downtime, pess.downtime

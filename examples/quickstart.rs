@@ -37,10 +37,7 @@ fn main() {
         "  migrations:      {} forced, {} planned, {} reverse",
         report.forced_migrations, report.planned_migrations, report.reverse_migrations
     );
-    println!(
-        "  time on spot:    {:.1}%",
-        report.spot_fraction * 100.0
-    );
+    println!("  time on spot:    {:.1}%", report.spot_fraction * 100.0);
     println!(
         "  meets four nines: {}",
         if report.meets_nines(4) { "yes" } else { "no" }

@@ -28,8 +28,8 @@ fn headline_claim_one_third_to_one_fifth_of_on_demand_cost() {
 
 #[test]
 fn headline_claim_four_nines_with_best_mechanism() {
-    let cfg = SchedulerConfig::single_market(small_east())
-        .with_mechanism(MechanismCombo::CKPT_LR_LIVE);
+    let cfg =
+        SchedulerConfig::single_market(small_east()).with_mechanism(MechanismCombo::CKPT_LR_LIVE);
     let agg = run_many(&cfg, 0, 6, SimDuration::days(45));
     assert!(
         slo::meets_nines(agg.unavailability.mean, 4),
@@ -81,10 +81,15 @@ fn revocation_grace_is_two_minutes_end_to_end() {
     let mut provider =
         CloudProvider::new(&traces, 1).with_startup_model(StartupModel::deterministic());
     let pon = provider.on_demand_price(small_east());
-    let (id, ready) = provider.request_spot(small_east(), pon, SimTime::ZERO).unwrap();
+    let (id, ready) = provider
+        .request_spot(small_east(), pon, SimTime::ZERO)
+        .unwrap();
     if provider.activate(id, ready) {
         if let Some(sched) = provider.revocation_schedule(id, ready) {
-            assert_eq!(sched.terminate_at - sched.warning_at, SimDuration::secs(120));
+            assert_eq!(
+                sched.terminate_at - sched.warning_at,
+                SimDuration::secs(120)
+            );
             let charge = provider.terminate(id, sched.terminate_at, TerminationReason::Revoked);
             assert!(charge >= 0.0);
         }
@@ -93,8 +98,7 @@ fn revocation_grace_is_two_minutes_end_to_end() {
 
 #[test]
 fn on_demand_only_is_the_baseline() {
-    let cfg = SchedulerConfig::single_market(small_east())
-        .with_policy(BiddingPolicy::OnDemandOnly);
+    let cfg = SchedulerConfig::single_market(small_east()).with_policy(BiddingPolicy::OnDemandOnly);
     let report = run_one(&cfg, 5, SimDuration::days(30));
     assert!((report.normalized_cost - 1.0).abs() < 0.01);
     assert_eq!(report.unavailability, 0.0);

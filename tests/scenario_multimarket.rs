@@ -56,15 +56,15 @@ fn run(ts: &TraceSet, cfg: &SchedulerConfig) -> spothost::core::RunReport {
 #[test]
 fn starts_in_the_cheaper_market() {
     // Small aggregate: 2 servers x 0.012 = 0.024/h. Medium: 1 x 0.03.
-    let ts = two_market_set(
-        vec![(0, PON_SMALL * 0.2)],
-        vec![(0, 0.12 * 0.25)],
-        100,
-    );
+    let ts = two_market_set(vec![(0, PON_SMALL * 0.2)], vec![(0, 0.12 * 0.25)], 100);
     let report = run(&ts, &cfg());
     assert_eq!(report.total_migrations(), 0);
     // Cost ~ 0.024 / 0.12 baseline = 20%.
-    assert!((report.normalized_cost - 0.2).abs() < 0.02, "{}", report.normalized_cost);
+    assert!(
+        (report.normalized_cost - 0.2).abs() < 0.02,
+        "{}",
+        report.normalized_cost
+    );
 }
 
 #[test]
@@ -114,7 +114,10 @@ fn escapes_to_other_spot_market_not_on_demand_when_current_spikes() {
         100,
     );
     let report = run(&ts, &cfg());
-    assert_eq!(report.forced_migrations, 0, "2x on-demand is below the 4x bid");
+    assert_eq!(
+        report.forced_migrations, 0,
+        "2x on-demand is below the 4x bid"
+    );
     assert!(report.planned_migrations >= 2, "escape and return");
     assert_eq!(report.reverse_migrations, 0, "never went to on-demand");
     assert_eq!(report.spot_fraction, 1.0);
@@ -155,7 +158,10 @@ fn degraded_window_appears_only_with_lazy_restore() {
     };
     let lazy = run(&mk(), &cfg().with_mechanism(MechanismCombo::CKPT_LR));
     let eager = run(&mk(), &cfg().with_mechanism(MechanismCombo::CKPT));
-    assert!(lazy.degraded_fraction > 0.0, "lazy restore must run degraded");
+    assert!(
+        lazy.degraded_fraction > 0.0,
+        "lazy restore must run degraded"
+    );
     // The eager path's only degradation could come from pre-staged planned
     // moves; the forced migration itself contributes none.
     assert!(

@@ -42,7 +42,11 @@ fn flat_cheap_market_costs_exactly_the_ratio() {
     assert_eq!(report.forced_migrations, 0);
     assert_eq!(report.planned_migrations + report.reverse_migrations, 0);
     assert_eq!(report.unavailability, 0.0);
-    assert!((report.normalized_cost - 0.2).abs() < 0.01, "{}", report.normalized_cost);
+    assert!(
+        (report.normalized_cost - 0.2).abs() < 0.01,
+        "{}",
+        report.normalized_cost
+    );
 }
 
 #[test]
@@ -54,11 +58,18 @@ fn sustained_price_rise_triggers_exactly_one_planned_migration() {
     let ts = trace_set(vec![(0, PON * 0.2), (90, PON * 2.0)], 100);
     let cfg = SchedulerConfig::single_market(market()).with_mechanism(MechanismCombo::CKPT_LR_LIVE);
     let report = run(&ts, &cfg);
-    assert_eq!(report.forced_migrations, 0, "price never crossed the 4x bid");
+    assert_eq!(
+        report.forced_migrations, 0,
+        "price never crossed the 4x bid"
+    );
     assert_eq!(report.planned_migrations, 1);
     assert_eq!(report.reverse_migrations, 0, "price never came back down");
     // Live migration downtime only: well under a second of downtime.
-    assert!(report.downtime < SimDuration::secs(1), "{}", report.downtime);
+    assert!(
+        report.downtime < SimDuration::secs(1),
+        "{}",
+        report.downtime
+    );
     // Mostly on-demand time after the migration.
     assert!(report.spot_fraction < 0.15, "{}", report.spot_fraction);
 }
@@ -89,10 +100,7 @@ fn short_mid_hour_spike_is_free_for_proactive() {
     // hour: below the 4x bid, gone before the boundary check. The
     // proactive scheduler must ride it out at zero cost and zero moves
     // (§2.1: hours bill at their start price).
-    let ts = trace_set(
-        vec![(0, PON * 0.2), (95, PON * 2.0), (105, PON * 0.2)],
-        50,
-    );
+    let ts = trace_set(vec![(0, PON * 0.2), (95, PON * 2.0), (105, PON * 0.2)], 50);
     let report = run(&ts, &SchedulerConfig::single_market(market()));
     assert_eq!(report.forced_migrations, 0);
     assert_eq!(report.planned_migrations, 0);
@@ -103,10 +111,7 @@ fn short_mid_hour_spike_is_free_for_proactive() {
 #[test]
 fn same_spike_revokes_reactive() {
     // The same mid-hour excursion revokes a reactive bidder (bid = pon).
-    let ts = trace_set(
-        vec![(0, PON * 0.2), (95, PON * 2.0), (105, PON * 0.2)],
-        50,
-    );
+    let ts = trace_set(vec![(0, PON * 0.2), (95, PON * 2.0), (105, PON * 0.2)], 50);
     let cfg = SchedulerConfig::single_market(market()).with_policy(BiddingPolicy::Reactive);
     let report = run(&ts, &cfg);
     assert_eq!(report.forced_migrations, 1);
@@ -148,7 +153,12 @@ fn planned_migration_lands_before_the_billing_boundary() {
     // 0.5) + the remaining ~28h on demand, plus the overlap hour.
     let expected_od_hours = 28.0;
     let max_cost = PON * 0.5 * 2.0 + PON * (expected_od_hours + 2.0);
-    assert!(report.cost <= max_cost, "cost {} > {}", report.cost, max_cost);
+    assert!(
+        report.cost <= max_cost,
+        "cost {} > {}",
+        report.cost,
+        max_cost
+    );
 }
 
 #[test]
@@ -184,8 +194,8 @@ fn stability_weight_prefers_calm_markets() {
         horizon,
     );
 
-    let greedy_cfg = SchedulerConfig::multi(MarketScope::MultiMarket(Zone::UsEast1a))
-        .with_capacity_units(2);
+    let greedy_cfg =
+        SchedulerConfig::multi(MarketScope::MultiMarket(Zone::UsEast1a)).with_capacity_units(2);
     let greedy = SimRun::new(&ts, &greedy_cfg, 0)
         .with_startup_model(StartupModel::deterministic())
         .run();

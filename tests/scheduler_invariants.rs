@@ -15,12 +15,12 @@ fn market() -> MarketId {
 /// Random but valid spot-market weather.
 fn arb_params() -> impl Strategy<Value = SpotModelParams> {
     (
-        0.05f64..0.6,   // base_ratio
-        0.02f64..0.4,   // sigma
-        0.0f64..5.0,    // spike rate per day
-        1.1f64..3.0,    // pareto alpha
-        5u64..60,       // spike duration minutes
-        1.2f64..2.5,    // elevated mult (bounded so base stays < 1)
+        0.05f64..0.6, // base_ratio
+        0.02f64..0.4, // sigma
+        0.0f64..5.0,  // spike rate per day
+        1.1f64..3.0,  // pareto alpha
+        5u64..60,     // spike duration minutes
+        1.2f64..2.5,  // elevated mult (bounded so base stays < 1)
     )
         .prop_map(|(base, sigma, spikes, alpha, dur, elev)| {
             let mut p = SpotModelParams::default_market();

@@ -1,0 +1,236 @@
+//! Offline vendored subset of the `criterion` micro-benchmark API.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the slice of criterion the workspace's benches use — `Criterion`,
+//! `benchmark_group` / `bench_function`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros — backed by a real
+//! wall-clock measurement loop: per-sample iteration counts are sized so
+//! each sample runs for a few milliseconds, and the reported statistics
+//! (min / mean / max over samples) come from `std::time::Instant`.
+//!
+//! This is not a statistical benchmarking framework: no outlier analysis,
+//! no regression detection, no plots. The numbers it prints are honest
+//! wall-clock per-iteration times, which is what the repository's
+//! performance tables need.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (modern criterion forwards
+/// to `std::hint::black_box` too).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Target wall time for one measurement sample.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(20);
+
+/// Default number of samples per benchmark.
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// Collects per-iteration timings for one benchmark target.
+pub struct Bencher {
+    /// Mean per-iteration duration of each recorded sample, in seconds.
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            samples: Vec::with_capacity(sample_size),
+            sample_size,
+        }
+    }
+
+    /// Measure `routine`: warm up, pick an iteration count that makes one
+    /// sample take ~[`TARGET_SAMPLE_TIME`], then record `sample_size`
+    /// samples of the mean per-iteration time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm-up + calibration: run until we have a per-iter estimate.
+        let start = Instant::now();
+        let mut calib_iters = 0u64;
+        loop {
+            hint::black_box(routine());
+            calib_iters += 1;
+            if start.elapsed() >= TARGET_SAMPLE_TIME || calib_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = start.elapsed().as_secs_f64() / calib_iters as f64;
+        let iters_per_sample =
+            ((TARGET_SAMPLE_TIME.as_secs_f64() / per_iter.max(1e-12)) as u64).clamp(1, 1_000_000);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                hint::black_box(routine());
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            self.samples.push(dt / iters_per_sample as f64);
+        }
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+fn report(id: &str, samples: &[f64]) {
+    if samples.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "{:<40} time: [{} {} {}]",
+        id,
+        format_time(min),
+        format_time(mean),
+        format_time(max)
+    );
+}
+
+/// Top-level benchmark driver, one per bench binary.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Ignored: the vendored harness sizes samples from
+    /// [`TARGET_SAMPLE_TIME`] instead.
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(id, &b.samples);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of related benchmarks (`group/bench` ids in reports).
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _parent: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Ignored, as on [`Criterion`].
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<S: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.as_ref()), &b.samples);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Build a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Build `main` from one or more `criterion_group!` functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut b = Bencher::new(5);
+        b.iter(|| black_box(2u64 + 2));
+        assert_eq!(b.samples.len(), 5);
+        assert!(b.samples.iter().all(|&s| s > 0.0));
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        c.sample_size(2);
+        let mut ran = false;
+        {
+            let mut g = c.benchmark_group("test");
+            g.sample_size(2).bench_function("noop", |b| {
+                b.iter(|| black_box(1));
+                ran = true;
+            });
+            g.finish();
+        }
+        assert!(ran);
+    }
+
+    #[test]
+    fn format_time_scales() {
+        assert!(format_time(5e-9).ends_with("ns"));
+        assert!(format_time(5e-6).ends_with("µs"));
+        assert!(format_time(5e-3).ends_with("ms"));
+        assert!(format_time(5.0).ends_with('s'));
+    }
+}

@@ -1,0 +1,19 @@
+//! Boolean strategies (`prop::bool::ANY`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// A fair coin.
+#[derive(Debug, Clone, Copy)]
+pub struct Any;
+
+/// Uniformly random `bool`.
+pub const ANY: Any = Any;
+
+impl Strategy for Any {
+    type Value = bool;
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.inner().gen::<bool>()
+    }
+}

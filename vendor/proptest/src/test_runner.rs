@@ -1,0 +1,76 @@
+//! Test-run configuration, RNG, and case errors.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use std::hash::{Hash, Hasher};
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream's default. Override per-run with PROPTEST_CASES when
+        // iterating locally.
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+/// The harness RNG: ChaCha12 seeded deterministically from the test's
+/// module path, so every run of a given test replays the same cases.
+pub struct TestRng {
+    rng: ChaCha12Rng,
+}
+
+impl TestRng {
+    pub fn for_test(test_path: &str) -> Self {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        // Fixed salt decouples the stream from DefaultHasher's default
+        // keying of unrelated uses.
+        0x5054_4553u64.hash(&mut h); // "PTES"
+        test_path.hash(&mut h);
+        TestRng {
+            rng: ChaCha12Rng::seed_from_u64(h.finish()),
+        }
+    }
+
+    /// The underlying `rand` generator, for strategies.
+    pub fn inner(&mut self) -> &mut ChaCha12Rng {
+        &mut self.rng
+    }
+}
+
+/// A failed case: carries the formatted assertion message.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}

@@ -1,0 +1,137 @@
+//! Uniform value derivation: the `Standard` distribution and range
+//! sampling, matching `rand` 0.8's conventions (53-bit `f64` uniforms,
+//! widening-multiply integer ranges).
+
+use crate::{Rng, RngCore};
+
+/// Types that can produce values of `T` from a bit source.
+pub trait Distribution<T> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" uniform distribution: `[0, 1)` for floats, full range
+/// for integers, fair coin for `bool`.
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 random mantissa bits, exactly the upstream derivation:
+        // uniform on [0, 1) with 2^-53 resolution.
+        let bits = rng.next_u64() >> 11;
+        bits as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        let bits = rng.next_u32() >> 8;
+        bits as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<u64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+/// Ranges that can be sampled from directly (`rng.gen_range(lo..hi)`).
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased sample from `[0, bound)` via Lemire's widening-multiply
+/// rejection method.
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    // Widening multiply maps a 64-bit draw onto [0, bound); reject draws
+    // from the short final stripe to keep the map exactly uniform.
+    let threshold = bound.wrapping_neg() % bound;
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (bound as u128);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_uint_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + uniform_below(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_uint_range!(u64, u32, u16, u8, usize);
+
+macro_rules! impl_int_range {
+    ($($t:ty as $u:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u) as u64;
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(i64 as u64, i32 as u32, isize as usize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let u: f64 = Standard.sample(rng);
+                let v = self.start as f64 + u * (self.end as f64 - self.start as f64);
+                // Floating rounding can land exactly on `end`; clamp back
+                // inside the half-open interval.
+                if v >= self.end as f64 {
+                    <$t>::max(self.start, <$t>::from_bits(
+                        (self.end as $t).to_bits() - 1))
+                } else {
+                    v as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f64);
+
+impl SampleRange<f32> for core::ops::Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        let r = (self.start as f64)..(self.end as f64);
+        r.sample_single(rng) as f32
+    }
+}

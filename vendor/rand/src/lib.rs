@@ -1,0 +1,147 @@
+//! Offline vendored subset of the `rand` 0.8 API.
+//!
+//! The build environment for this repository has no access to crates.io,
+//! so the workspace vendors the small slice of `rand` it actually uses:
+//! [`RngCore`], [`SeedableRng`] (with the SplitMix64-based
+//! `seed_from_u64`), the [`Rng`] extension trait (`gen`, `gen_range`,
+//! `gen_bool`), and the [`distributions::Standard`] uniform source for
+//! `f64`/`u64`/`u32`/`bool`.
+//!
+//! The implementations follow the upstream value-derivation conventions
+//! (53-bit mantissa uniforms in `[0, 1)`, SplitMix64 seed expansion) so
+//! statistical behaviour matches what the simulation was designed
+//! against. Exact bit-compatibility with upstream `rand` streams is not
+//! guaranteed and nothing in this repository depends on it: every
+//! experiment regenerates its traces from seeds with this same crate.
+
+pub mod distributions;
+
+use distributions::{Distribution, SampleRange, Standard};
+
+/// The core of a random number generator: a source of uniform bits.
+pub trait RngCore {
+    fn next_u32(&mut self) -> u32;
+    fn next_u64(&mut self) -> u64;
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A generator that can be instantiated from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expand a `u64` into a full seed with SplitMix64 (the same scheme
+    /// `rand_core` 0.6 uses), so small seed integers still produce
+    /// well-mixed, independent states.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// User-facing convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value from the [`Standard`] distribution (`f64` in
+    /// `[0, 1)`, full-range integers, fair `bool`).
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Sample uniformly from a range (half-open `lo..hi`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p must be in [0,1]");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Placeholder module mirroring `rand::rngs`; the workspace only uses
+    //! `rand_chacha` generators, which live in their own vendored crate.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A counter "RNG" for API tests.
+    struct StepRng(u64);
+    impl RngCore for StepRng {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let b = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&b[..chunk.len()]);
+            }
+        }
+    }
+
+    #[test]
+    fn f64_samples_are_unit_interval() {
+        let mut rng = StepRng(1);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StepRng(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3u64..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&y));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StepRng(3);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

@@ -1,0 +1,189 @@
+//! Offline vendored ChaCha random number generators.
+//!
+//! A faithful implementation of the ChaCha stream cipher keyed from a
+//! 256-bit seed, exposed with the `rand_chacha` crate's type names
+//! (`ChaCha8Rng` / `ChaCha12Rng` / `ChaCha20Rng`). ChaCha gives the
+//! properties the simulator's seeding scheme relies on:
+//!
+//! * deterministic, platform-independent streams from a seed,
+//! * statistically independent streams from independent seeds (the
+//!   generator derives one seed per (role, id) pair),
+//! * cheap construction, so thousands of per-market streams are fine.
+//!
+//! The word layout follows RFC 7539 (constants, 8 key words, 64-bit block
+//! counter in words 12–13, zero nonce) with output words consumed in
+//! block order.
+
+use rand::{RngCore, SeedableRng};
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// One ChaCha block: `R` double-rounds over the input state, then the
+/// feed-forward addition.
+fn block<const R: usize>(input: &[u32; 16], out: &mut [u32; 16]) {
+    let mut x = *input;
+    for _ in 0..R {
+        // Column round.
+        quarter_round(&mut x, 0, 4, 8, 12);
+        quarter_round(&mut x, 1, 5, 9, 13);
+        quarter_round(&mut x, 2, 6, 10, 14);
+        quarter_round(&mut x, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut x, 0, 5, 10, 15);
+        quarter_round(&mut x, 1, 6, 11, 12);
+        quarter_round(&mut x, 2, 7, 8, 13);
+        quarter_round(&mut x, 3, 4, 9, 14);
+    }
+    for i in 0..16 {
+        out[i] = x[i].wrapping_add(input[i]);
+    }
+}
+
+/// ChaCha keystream generator with `R` double-rounds (ChaCha12 = 6).
+#[derive(Debug, Clone)]
+pub struct ChaChaRng<const R: usize> {
+    /// Input block: constants, key, counter, nonce.
+    state: [u32; 16],
+    /// Current output block.
+    buf: [u32; 16],
+    /// Next unread word in `buf`; 16 means exhausted.
+    index: usize,
+}
+
+impl<const R: usize> ChaChaRng<R> {
+    fn refill(&mut self) {
+        block::<R>(&self.state, &mut self.buf);
+        // 64-bit block counter in words 12-13.
+        let (lo, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = lo;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+        self.index = 0;
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.index];
+        self.index += 1;
+        w
+    }
+}
+
+impl<const R: usize> SeedableRng for ChaChaRng<R> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CONSTANTS);
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        // Counter and nonce start at zero.
+        ChaChaRng {
+            state,
+            buf: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+impl<const R: usize> RngCore for ChaChaRng<R> {
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        lo | (hi << 32)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let b = self.next_word().to_le_bytes();
+            chunk.copy_from_slice(&b[..chunk.len()]);
+        }
+    }
+}
+
+pub type ChaCha8Rng = ChaChaRng<4>;
+pub type ChaCha12Rng = ChaChaRng<6>;
+pub type ChaCha20Rng = ChaChaRng<10>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 7539 §2.3.2 test vector (ChaCha20 block function).
+    #[test]
+    fn chacha20_block_matches_rfc7539() {
+        let mut input = [0u32; 16];
+        input[..4].copy_from_slice(&CONSTANTS);
+        // Key 00 01 02 ... 1f.
+        let key: Vec<u8> = (0u8..32).collect();
+        for (i, chunk) in key.chunks_exact(4).enumerate() {
+            input[4 + i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        input[12] = 1; // block counter
+        input[13] = 0x0900_0000; // nonce
+        input[14] = 0x4a00_0000;
+        input[15] = 0;
+        let mut out = [0u32; 16];
+        block::<10>(&input, &mut out);
+        assert_eq!(out[0], 0xe4e7_f110);
+        assert_eq!(out[1], 0x1515_9c35);
+        assert_eq!(out[15], 0x4e3c_50a2);
+    }
+
+    #[test]
+    fn streams_are_deterministic_and_seed_sensitive() {
+        let mut a = ChaCha12Rng::seed_from_u64(42);
+        let mut b = ChaCha12Rng::seed_from_u64(42);
+        let mut c = ChaCha12Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn fill_bytes_matches_words() {
+        let mut a = ChaCha12Rng::seed_from_u64(7);
+        let mut b = ChaCha12Rng::seed_from_u64(7);
+        let mut bytes = [0u8; 16];
+        a.fill_bytes(&mut bytes);
+        for chunk in bytes.chunks_exact(4) {
+            assert_eq!(u32::from_le_bytes(chunk.try_into().unwrap()), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn counter_crosses_block_boundaries() {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        // Consume several blocks; values must keep changing (no stuck
+        // counter), and a fresh clone replays identically.
+        let first: Vec<u32> = (0..64).map(|_| rng.next_u32()).collect();
+        let mut replay = ChaCha12Rng::seed_from_u64(1);
+        let again: Vec<u32> = (0..64).map(|_| replay.next_u32()).collect();
+        assert_eq!(first, again);
+        let distinct: std::collections::HashSet<_> = first.iter().collect();
+        assert!(distinct.len() > 60, "keystream words should be distinct");
+    }
+}
