@@ -55,6 +55,29 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
     v[lo] + (v[hi] - v[lo]) * frac
 }
 
+/// First `x` at which a sampled curve `(xs, ys)` reaches `threshold`,
+/// linearly interpolated between adjacent samples; `None` if it never
+/// does. `xs` must be sorted ascending and the same length as `ys`.
+/// Used by sensitivity sweeps to answer "at what fault rate does the SLO
+/// break" without re-running the sweep at finer granularity.
+pub fn first_crossing(xs: &[f64], ys: &[f64], threshold: f64) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len(), "first_crossing needs paired samples");
+    for i in 0..xs.len() {
+        if ys[i] >= threshold {
+            if i == 0 {
+                return Some(xs[0]);
+            }
+            let (x0, y0) = (xs[i - 1], ys[i - 1]);
+            let (x1, y1) = (xs[i], ys[i]);
+            if y1 <= y0 {
+                return Some(x1);
+            }
+            return Some(x0 + (threshold - y0) / (y1 - y0) * (x1 - x0));
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -89,6 +112,22 @@ mod tests {
         // Unsorted input is handled.
         let xs = [4.0, 1.0, 3.0, 2.0];
         assert!((percentile(&xs, 50.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_crossing_interpolates() {
+        let xs = [0.0, 0.1, 0.2, 0.5];
+        let ys = [0.0, 0.0, 0.4, 1.0];
+        // Crosses 0.2 halfway between x=0.1 (y=0) and x=0.2 (y=0.4).
+        let x = first_crossing(&xs, &ys, 0.2).expect("crosses");
+        assert!((x - 0.15).abs() < 1e-12);
+        // Never reaches 2.0.
+        assert_eq!(first_crossing(&xs, &ys, 2.0), None);
+        // Already at/above threshold at the first sample.
+        assert_eq!(first_crossing(&xs, &ys, 0.0), Some(0.0));
+        // Flat segment at the threshold: report the sample itself.
+        let ys = [0.0, 0.3, 0.3, 0.3];
+        assert_eq!(first_crossing(&xs, &ys, 0.3), Some(0.1));
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! Fault sensitivity (fig-7 style): unavailability versus uniform
+//! injected fault rate, per migration-mechanism combo under proactive
+//! bidding and per bidding policy at CKPT LR (small, us-east-1a).
+//!
+//! The summary line per series reports the *four-nines break rate*: the
+//! interpolated fault rate at which mean unavailability first exceeds
+//! 0.01% (99.99% availability), the paper's always-on bar.
+
+use crate::settings::ExpSettings;
+use spothost_analysis::series::{LabeledSeries, SeriesSet};
+use spothost_analysis::stats::first_crossing;
+use spothost_core::prelude::*;
+use spothost_market::prelude::*;
+use std::fmt::Write as _;
+
+/// Uniform per-draw fault rates swept by the experiment. The endpoint
+/// 1.0 is the total-outage case: every request is refused, so the run
+/// must still terminate and report ~100% unavailability honestly.
+pub const RATES: [f64; 7] = [0.0, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0];
+
+/// Four nines of availability, as an unavailability percentage.
+pub const FOUR_NINES_PCT: f64 = 0.01;
+
+const POLICIES: [&str; 3] = ["Reactive", "Proactive", "On-demand only"];
+
+fn policy_by_name(name: &str) -> BiddingPolicy {
+    match name {
+        "Reactive" => BiddingPolicy::Reactive,
+        "Proactive" => BiddingPolicy::proactive_default(),
+        "On-demand only" => BiddingPolicy::OnDemandOnly,
+        other => unreachable!("unknown policy label {other}"),
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct Faults {
+    /// Unavailability percent per combo (proactive bidding), one value
+    /// per entry of [`RATES`].
+    pub mech: Vec<(MechanismCombo, Vec<f64>)>,
+    /// Unavailability percent per bidding policy (CKPT LR), one value
+    /// per entry of [`RATES`].
+    pub policy: Vec<(&'static str, Vec<f64>)>,
+}
+
+pub fn run(settings: &ExpSettings) -> Faults {
+    let market = MarketId::new(Zone::UsEast1a, InstanceType::Small);
+    // Every configuration shares the one market, so `run_grid` generates
+    // the price trace once per seed for the whole sweep.
+    let mech_cfgs = MechanismCombo::ALL.iter().flat_map(|&combo| {
+        RATES.into_iter().map(move |rate| {
+            SchedulerConfig::single_market(market)
+                .with_policy(BiddingPolicy::proactive_default())
+                .with_mechanism(combo)
+                .with_faults(FaultConfig::uniform(rate))
+        })
+    });
+    let policy_cfgs = POLICIES.iter().flat_map(|name| {
+        RATES.into_iter().map(move |rate| {
+            SchedulerConfig::single_market(market)
+                .with_policy(policy_by_name(name))
+                .with_mechanism(MechanismCombo::CKPT_LR)
+                .with_faults(FaultConfig::uniform(rate))
+        })
+    });
+    let cfgs: Vec<SchedulerConfig> = mech_cfgs.chain(policy_cfgs).collect();
+    let aggs = run_grid(&cfgs, settings.seed0, settings.seeds, settings.horizon);
+
+    let mut chunks = aggs.chunks(RATES.len());
+    let mech = MechanismCombo::ALL
+        .iter()
+        .map(|&combo| {
+            let row = chunks.next().expect("one chunk per combo");
+            (combo, row.iter().map(|a| a.unavailability_pct()).collect())
+        })
+        .collect();
+    let policy = POLICIES
+        .iter()
+        .map(|&name| {
+            let row = chunks.next().expect("one chunk per policy");
+            (name, row.iter().map(|a| a.unavailability_pct()).collect())
+        })
+        .collect();
+    Faults { mech, policy }
+}
+
+impl Faults {
+    /// Fault rate at which a series first exceeds the four-nines bar,
+    /// linearly interpolated; `None` if it holds across the whole sweep.
+    pub fn break_rate(pcts: &[f64]) -> Option<f64> {
+        first_crossing(&RATES, pcts, FOUR_NINES_PCT)
+    }
+
+    fn labeled(&self) -> impl Iterator<Item = (String, &Vec<f64>)> {
+        let mech = self
+            .mech
+            .iter()
+            .map(|(combo, pcts)| (combo.name().to_string(), pcts));
+        let policy = self
+            .policy
+            .iter()
+            .map(|(name, pcts)| (format!("{name} (CKPT LR)"), pcts));
+        mech.chain(policy)
+    }
+
+    pub fn as_series(&self) -> SeriesSet {
+        let mut s = SeriesSet::new(RATES.iter().map(|r| format!("{r}")));
+        for (label, pcts) in self.labeled() {
+            s.push(LabeledSeries::new(label, pcts.clone()));
+        }
+        s
+    }
+
+    pub fn to_csv(&self) -> String {
+        self.as_series().to_csv()
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Fault sensitivity: unavailability (%) vs uniform fault rate\n\
+             (small, us-east-1a; mechanism rows use proactive bidding,\n\
+             policy rows use CKPT LR)\n\n",
+        );
+        out.push_str(&self.as_series().to_text(|v| format!("{v:.4}")));
+        let _ = writeln!(
+            out,
+            "\nfour-nines break rate (unavailability > {FOUR_NINES_PCT}%):"
+        );
+        for (label, pcts) in self.labeled() {
+            match Self::break_rate(pcts) {
+                Some(r) => {
+                    let _ = writeln!(out, "  {label:<22} {r:.3}");
+                }
+                None => {
+                    let _ = writeln!(out, "  {label:<22} never (holds through the sweep)");
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> Faults {
+        run(&ExpSettings::quick())
+    }
+
+    #[test]
+    fn faults_degrade_availability_monotonically_in_the_large() {
+        // Each series must end worse than it starts, and the rate-1.0
+        // endpoint is a total outage: nothing ever boots.
+        let f = fig();
+        for (label, pcts) in f.labeled() {
+            let first = pcts[0];
+            let last = *pcts.last().unwrap();
+            assert!(
+                last > first,
+                "{label}: rate-1.0 unavailability {last} vs fault-free {first}"
+            );
+            assert!(
+                last > 99.9,
+                "{label}: rate-1.0 should be a full outage, got {last}%"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_rate_column_matches_fault_free_fig7() {
+        // The 0.0 column is the no-faults simulation, so proactive CKPT
+        // LR+Live must sit in fig-7's typical range.
+        let f = fig();
+        let (_, pcts) = f
+            .mech
+            .iter()
+            .find(|(c, _)| *c == MechanismCombo::CKPT_LR_LIVE)
+            .unwrap();
+        assert!(pcts[0] < 0.03, "fault-free CKPT LR+Live {}", pcts[0]);
+    }
+
+    #[test]
+    fn every_series_eventually_breaks_four_nines() {
+        // At a 100% uniform fault rate nothing keeps four nines, so the
+        // interpolated break rate exists and lies inside the sweep.
+        let f = fig();
+        for (label, pcts) in f.labeled() {
+            let r = Faults::break_rate(pcts)
+                .unwrap_or_else(|| panic!("{label} never breaks four nines"));
+            assert!(
+                (0.0..=1.0).contains(&r),
+                "{label}: break rate {r} outside sweep"
+            );
+        }
+    }
+}

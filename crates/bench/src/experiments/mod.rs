@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod cost_impact;
+pub mod faults;
 pub mod fig1;
 pub mod fig10;
 pub mod fig11;
@@ -20,7 +21,7 @@ pub mod tab4;
 use crate::settings::ExpSettings;
 
 /// Every experiment, by its CLI name, with a one-line description.
-pub const ALL: [(&str, &str); 18] = [
+pub const ALL: [(&str, &str); 19] = [
     (
         "fig1",
         "Spot price traces over a month (small & large, us-east)",
@@ -60,6 +61,10 @@ pub const ALL: [(&str, &str); 18] = [
         "ABLATION: multi-market hop hysteresis sweep",
     ),
     ("ablation_yank", "ABLATION: Yank checkpoint bound sweep"),
+    (
+        "faults",
+        "ROBUSTNESS: unavailability vs injected fault rate (four-nines break point)",
+    ),
 ];
 
 /// Run one experiment and also return CSV artifacts where the experiment
@@ -94,6 +99,10 @@ pub fn run_with_csv(name: &str, settings: &ExpSettings) -> Option<(String, Vec<(
             let f = fig12::run();
             (f.render(), vec![("fig12.csv".into(), f.to_csv())])
         }
+        "faults" => {
+            let f = faults::run(settings);
+            (f.render(), vec![("faults.csv".into(), f.to_csv())])
+        }
         other => (run_by_name(other, settings)?, vec![]),
     })
 }
@@ -119,6 +128,7 @@ pub fn run_by_name(name: &str, settings: &ExpSettings) -> Option<String> {
         "ablation_bid" => ablation::run_bid(settings).render(),
         "ablation_hop" => ablation::run_hop(settings).render(),
         "ablation_yank" => ablation::run_yank(settings).render(),
+        "faults" => faults::run(settings).render(),
         _ => return None,
     })
 }

@@ -68,6 +68,7 @@ pub fn run(args: &Args) -> Result<(), String> {
     let seeds = args.get_u64("seeds", 1)?;
     let seed0 = args.get_u64("seed", 0)?;
     let stability = args.get_f64("stability", 0.0)?;
+    let fault_rate = args.get_f64("fault-rate", 0.0)?;
 
     let mut cfg = match &scope {
         MarketScope::Single(m) => SchedulerConfig::single_market(*m),
@@ -76,7 +77,8 @@ pub fn run(args: &Args) -> Result<(), String> {
     cfg = cfg
         .with_policy(policy)
         .with_mechanism(mechanism)
-        .with_stability_weight(stability);
+        .with_stability_weight(stability)
+        .with_faults(FaultConfig::uniform(fault_rate));
     if args.has("pessimistic") {
         cfg = cfg.with_regime(ParamRegime::Pessimistic);
     }
@@ -100,6 +102,9 @@ pub fn run(args: &Args) -> Result<(), String> {
     );
     if stability > 0.0 {
         println!("stability:  weight {stability}");
+    }
+    if cfg.faults.enabled() {
+        println!("faults:     uniform rate {fault_rate}");
     }
     println!("runs:       {} x {} days\n", agg.runs.len(), days);
     println!(
@@ -126,6 +131,19 @@ pub fn run(args: &Args) -> Result<(), String> {
         agg.forced_per_hour.mean, agg.planned_reverse_per_hour.mean
     );
     println!("time on spot:      {:.1}%", agg.spot_fraction.mean * 100.0);
+    if cfg.faults.enabled() {
+        let sum = |f: fn(&RunReport) -> u32| agg.runs.iter().map(f).sum::<u32>();
+        println!(
+            "injected faults:   {} refused requests, {} unwarned revocations,",
+            sum(|r| r.request_faults),
+            sum(|r| r.unwarned_revocations)
+        );
+        println!(
+            "                   {} checkpoint failures, {} live-migration aborts",
+            sum(|r| r.ckpt_faults),
+            sum(|r| r.live_aborts)
+        );
+    }
     Ok(())
 }
 
@@ -186,5 +204,25 @@ mod tests {
     #[test]
     fn pessimistic_switch_accepted() {
         run(&argv(&["--days", "2", "--pessimistic"])).unwrap();
+    }
+
+    #[test]
+    fn full_fault_rate_terminates_cleanly() {
+        // Acceptance bar: a run where every request is refused must still
+        // terminate and report the outage rather than hang or panic.
+        run(&argv(&[
+            "--days",
+            "2",
+            "--policy",
+            "on-demand",
+            "--fault-rate",
+            "1.0",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn fault_rate_out_of_range_rejected() {
+        assert!(run(&argv(&["--days", "1", "--fault-rate", "1.5"])).is_err());
     }
 }

@@ -59,9 +59,11 @@ USAGE:
                     [--policy proactive|reactive|pure-spot|on-demand]
                     [--mechanism ckpt|ckpt-lr|ckpt-live|ckpt-lr-live]
                     [--pessimistic] [--stability W] [--units U]
-                    [--days D] [--seeds N] [--seed N] [--traces DIR]
+                    [--fault-rate R] [--days D] [--seeds N] [--seed N]
+                    [--traces DIR]
       Run the cloud scheduler and report cost/availability/migrations.
       With --traces, runs against imported price history instead of the
-      calibrated generator."
+      calibrated generator. --fault-rate injects provider and mechanism
+      faults uniformly at rate R in [0, 1] (see spothost-faults)."
     );
 }

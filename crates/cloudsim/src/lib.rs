@@ -19,6 +19,11 @@
 //! * **Network volumes** — EBS-style storage that survives revocation and
 //!   re-attaches to replacement servers.
 
+// Library code must not unwrap: every remaining panic site is either an
+// invariant with an explanatory expect message or a documented
+// precondition (see DESIGN.md "Failure semantics").
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod billing;
 pub mod event;
 pub mod instance;

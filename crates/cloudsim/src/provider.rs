@@ -9,7 +9,7 @@
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::billing::{
     on_demand_lease_charge, spot_lease_charge, BillingLedger, LedgerEntry, SpotLeaseMeter,
@@ -18,8 +18,9 @@ use crate::instance::{Instance, InstanceId, InstanceKind, InstanceState, Termina
 use crate::startup::StartupModel;
 use crate::volume::VolumePool;
 use crate::REVOCATION_GRACE;
+use spothost_faults::{FaultPlan, WarningFault};
 use spothost_market::gen::{derive_seed, TraceSet};
-use spothost_market::time::SimTime;
+use spothost_market::time::{SimDuration, SimTime};
 use spothost_market::trace::TraceCursor;
 use spothost_market::types::MarketId;
 
@@ -33,6 +34,9 @@ pub enum RequestError {
     BidBelowPrice { current: f64, bid: f64 },
     /// The provider caps bids (Amazon: 4x on-demand, §3.1 footnote 1).
     BidAboveCap { cap: f64, bid: f64 },
+    /// The market is (transiently) out of capacity — injected by a fault
+    /// plan; real EC2 returns this for both spot and on-demand requests.
+    InsufficientCapacity(MarketId),
 }
 
 impl std::fmt::Display for RequestError {
@@ -45,6 +49,9 @@ impl std::fmt::Display for RequestError {
             RequestError::BidAboveCap { cap, bid } => {
                 write!(f, "bid {bid} above provider cap {cap}")
             }
+            RequestError::InsufficientCapacity(m) => {
+                write!(f, "insufficient capacity in market {m}")
+            }
         }
     }
 }
@@ -54,10 +61,16 @@ impl std::error::Error for RequestError {}
 /// When a running spot lease will be revoked, if ever (within the horizon).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RevocationSchedule {
-    /// When the spot price first exceeds the bid — the moment the provider
-    /// delivers the two-minute warning.
-    pub warning_at: SimTime,
-    /// Forced termination time (`warning_at + REVOCATION_GRACE`).
+    /// When the spot price first exceeds the bid — the moment the
+    /// revocation becomes inevitable on the provider side.
+    pub crossing_at: SimTime,
+    /// When the customer-visible warning is delivered. Normally equal to
+    /// `crossing_at`; a fault plan may delay it (eating into the grace
+    /// window) or suppress it entirely (`None` — pre-2015 EC2 gave no
+    /// warning at all).
+    pub warning_at: Option<SimTime>,
+    /// Forced termination time (`crossing_at + REVOCATION_GRACE`),
+    /// warning or no warning.
     pub terminate_at: SimTime,
 }
 
@@ -88,6 +101,13 @@ pub struct CloudProvider<'t> {
     /// activation, advanced as the simulation clock passes hour boundaries,
     /// consumed at termination.
     meters: HashMap<InstanceId, SpotLeaseMeter<'t>>,
+    /// Injected provider faults. `None` (the default) is the infallible
+    /// provider: requests always granted, servers always come up, warnings
+    /// always on time.
+    faults: Option<FaultPlan>,
+    /// Instances whose startup was sabotaged by the fault plan: they reach
+    /// their ready time but activation fails and they close unbilled.
+    doomed: HashSet<InstanceId>,
 }
 
 impl<'t> CloudProvider<'t> {
@@ -104,7 +124,16 @@ impl<'t> CloudProvider<'t> {
             next_id: 0,
             market_cursors: RefCell::new([const { None }; 16]),
             meters: HashMap::new(),
+            faults: None,
+            doomed: HashSet::new(),
         }
+    }
+
+    /// Attach a fault plan: requests, startups and warnings now fail with
+    /// the plan's probabilities, on the plan's own random streams.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// Run `f` against the (lazily created) forward cursor for `market`.
@@ -190,10 +219,16 @@ impl<'t> CloudProvider<'t> {
         if current > bid {
             return Err(RequestError::BidBelowPrice { current, bid });
         }
+        if let Some(f) = &mut self.faults {
+            if f.spot_capacity_fault() {
+                return Err(RequestError::InsufficientCapacity(market));
+            }
+        }
         let latency = self
             .startup
             .sample_spot(&mut self.rng, market.zone.region());
         let id = self.fresh_id();
+        self.maybe_doom(id);
         let ready_at = now + latency;
         self.instances.insert(
             id,
@@ -209,12 +244,24 @@ impl<'t> CloudProvider<'t> {
         Ok((id, ready_at))
     }
 
-    /// Request an on-demand server; always granted.
-    pub fn request_on_demand(&mut self, market: MarketId, now: SimTime) -> (InstanceId, SimTime) {
+    /// Request an on-demand server. Always granted by the fault-free
+    /// provider; a fault plan can reject it with
+    /// [`RequestError::InsufficientCapacity`].
+    pub fn request_on_demand(
+        &mut self,
+        market: MarketId,
+        now: SimTime,
+    ) -> Result<(InstanceId, SimTime), RequestError> {
+        if let Some(f) = &mut self.faults {
+            if f.od_capacity_fault() {
+                return Err(RequestError::InsufficientCapacity(market));
+            }
+        }
         let latency = self
             .startup
             .sample_on_demand(&mut self.rng, market.zone.region());
         let id = self.fresh_id();
+        self.maybe_doom(id);
         let ready_at = now + latency;
         self.instances.insert(
             id,
@@ -227,40 +274,89 @@ impl<'t> CloudProvider<'t> {
                 state: InstanceState::Pending { ready_at },
             },
         );
-        (id, ready_at)
+        Ok((id, ready_at))
     }
 
-    /// Transition a pending instance to running at its ready time. For spot
-    /// instances, the allocation *fails* if the price has risen above the
-    /// bid while the server was booting (returns `false`; the instance is
-    /// closed unbilled and the caller must re-request).
+    /// Draw the startup-failure fault for a freshly granted request.
+    fn maybe_doom(&mut self, id: InstanceId) {
+        if let Some(f) = &mut self.faults {
+            if f.startup_failure() {
+                self.doomed.insert(id);
+            }
+        }
+    }
+
+    /// Is this pending instance fated to fail activation? Lets callers
+    /// distinguish an injected startup fault from a legitimate spot
+    /// price-rise failure when [`CloudProvider::activate`] returns false.
+    pub fn is_doomed(&self, id: InstanceId) -> bool {
+        self.doomed.contains(&id)
+    }
+
+    /// Extra delay before a checkpoint volume is attached to a replacement
+    /// server. Zero without a fault plan.
+    pub fn volume_attach_delay(&mut self) -> SimDuration {
+        self.faults
+            .as_mut()
+            .map_or(SimDuration::ZERO, |f| f.volume_attach_delay())
+    }
+
+    /// Transition a pending instance to running at its ready time. The
+    /// allocation *fails* (returns `false`; the instance is closed
+    /// unbilled and the caller must re-request) when a spot price has
+    /// risen above the bid while the server was booting, or when the fault
+    /// plan doomed this startup. Unknown or already-terminated instances
+    /// also return `false`; re-activating a running instance is a no-op
+    /// returning `true`.
     pub fn activate(&mut self, id: InstanceId, now: SimTime) -> bool {
-        let inst = self.instances.get_mut(&id).expect("unknown instance");
-        let InstanceState::Pending { ready_at } = inst.state else {
-            panic!("activate() on non-pending instance {id}");
+        let Some(inst) = self.instances.get_mut(&id) else {
+            return false;
         };
-        assert_eq!(now, ready_at, "activation must happen at the ready time");
+        let InstanceState::Pending { ready_at } = inst.state else {
+            return matches!(inst.state, InstanceState::Running);
+        };
+        debug_assert_eq!(now, ready_at, "activation must happen at the ready time");
         let (market, kind) = (inst.market, inst.kind);
+        let doomed = self.doomed.remove(&id);
+        let fail = |inst: &mut Instance| {
+            inst.state = InstanceState::Terminated {
+                at: now,
+                reason: TerminationReason::FailedAllocation,
+            };
+        };
+        if doomed {
+            // Injected startup failure: the server never comes up, for
+            // spot and on-demand alike. Closed unbilled.
+            if let Some(inst) = self.instances.get_mut(&id) {
+                fail(inst);
+            }
+            return false;
+        }
         if let InstanceKind::Spot { bid } = kind {
-            let price = self
-                .with_cursor(market, |c| c.price_at(now))
-                .expect("market vanished");
+            let Some(price) = self.with_cursor(market, |c| c.price_at(now)) else {
+                // Market has no trace (cannot happen for instances created
+                // through request_spot): treat as a failed allocation.
+                if let Some(inst) = self.instances.get_mut(&id) {
+                    fail(inst);
+                }
+                return false;
+            };
             if price > bid {
-                let inst = self.instances.get_mut(&id).expect("unknown instance");
-                inst.state = InstanceState::Terminated {
-                    at: now,
-                    reason: TerminationReason::FailedAllocation,
-                };
+                if let Some(inst) = self.instances.get_mut(&id) {
+                    fail(inst);
+                }
                 return false;
             }
             // Lease is live: start its incremental billing meter at the
             // moment billing starts (the ready time).
-            let trace = self.traces.trace(market).expect("market vanished");
-            self.meters.insert(id, SpotLeaseMeter::new(trace, now));
+            if let Some(trace) = self.traces.trace(market) {
+                self.meters.insert(id, SpotLeaseMeter::new(trace, now));
+            }
         }
-        let inst = self.instances.get_mut(&id).expect("unknown instance");
-        inst.state = InstanceState::Running;
-        inst.ready_at = now;
+        if let Some(inst) = self.instances.get_mut(&id) {
+            inst.state = InstanceState::Running;
+            inst.ready_at = now;
+        }
         true
     }
 
@@ -279,34 +375,58 @@ impl<'t> CloudProvider<'t> {
     /// When will this running spot lease be revoked? `None` for on-demand
     /// instances and for spot leases whose bid is never exceeded within the
     /// trace horizon. The simulation driver schedules the returned times as
-    /// events; the customer-visible warning is `warning_at`.
-    pub fn revocation_schedule(&self, id: InstanceId, from: SimTime) -> Option<RevocationSchedule> {
+    /// events; the customer-visible warning is `warning_at`, which a fault
+    /// plan may delay or suppress (one warning-fault draw per call, so
+    /// callers should ask once per armed lease).
+    pub fn revocation_schedule(
+        &mut self,
+        id: InstanceId,
+        from: SimTime,
+    ) -> Option<RevocationSchedule> {
         let inst = self.instances.get(&id)?;
         let bid = inst.kind.bid()?;
-        let warning_at = self.with_cursor(inst.market, |c| c.next_time_above(from, bid))??;
+        let market = inst.market;
+        let crossing_at = self.with_cursor(market, |c| c.next_time_above(from, bid))??;
+        let warning_at = match &mut self.faults {
+            Some(f) => match f.warning_fault(REVOCATION_GRACE) {
+                WarningFault::Delivered => Some(crossing_at),
+                WarningFault::Delayed(d) => Some(crossing_at + d),
+                WarningFault::Missing => None,
+            },
+            None => Some(crossing_at),
+        };
         Some(RevocationSchedule {
+            crossing_at,
             warning_at,
-            terminate_at: warning_at + REVOCATION_GRACE,
+            terminate_at: crossing_at + REVOCATION_GRACE,
         })
     }
 
     /// Mark a running spot instance as revocation-pending (the warning has
-    /// been delivered).
+    /// been delivered). No-op for unknown or non-running instances.
     pub fn begin_revocation(&mut self, id: InstanceId, warning_at: SimTime) {
-        let inst = self.instances.get_mut(&id).expect("unknown instance");
-        assert!(
-            matches!(inst.state, InstanceState::Running),
-            "revocation warning for non-running instance {id}"
-        );
+        let Some(inst) = self.instances.get_mut(&id) else {
+            return;
+        };
+        if !matches!(inst.state, InstanceState::Running) {
+            return;
+        }
         inst.state = InstanceState::RevocationPending {
             terminate_at: warning_at + REVOCATION_GRACE,
         };
     }
 
-    /// Close a lease and bill it. Returns the charge.
+    /// Close a lease and bill it. Returns the charge. Idempotent: unknown
+    /// instances and repeat terminations charge nothing (the first
+    /// termination settled the lease; under injected faults the scheduler
+    /// may legitimately race its own cleanup events).
     pub fn terminate(&mut self, id: InstanceId, now: SimTime, reason: TerminationReason) -> f64 {
-        let inst = self.instances.get_mut(&id).expect("unknown instance");
-        assert!(!inst.is_terminated(), "double termination of instance {id}");
+        let Some(inst) = self.instances.get_mut(&id) else {
+            return 0.0;
+        };
+        if inst.is_terminated() {
+            return 0.0;
+        }
         let was_pending = matches!(inst.state, InstanceState::Pending { .. });
         inst.state = InstanceState::Terminated { at: now, reason };
         let (market, kind, lease_start) = (inst.market, inst.kind, inst.ready_at);
@@ -432,7 +552,7 @@ mod tests {
     fn on_demand_always_granted_and_billed_rounded_up() {
         let ts = traces();
         let mut p = CloudProvider::new(&ts, 7).with_startup_model(StartupModel::deterministic());
-        let (id, ready) = p.request_on_demand(market(), SimTime::ZERO);
+        let (id, ready) = p.request_on_demand(market(), SimTime::ZERO).unwrap();
         assert!(p.activate(id, ready));
         let end = ready + SimDuration::minutes(90);
         let charge = p.terminate(id, end, TerminationReason::Voluntary);
@@ -464,21 +584,30 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "double termination")]
-    fn double_termination_panics() {
+    fn double_termination_is_idempotent() {
         let ts = traces();
         let mut p = CloudProvider::new(&ts, 7).with_startup_model(StartupModel::deterministic());
-        let (id, ready) = p.request_on_demand(market(), SimTime::ZERO);
+        let (id, ready) = p.request_on_demand(market(), SimTime::ZERO).unwrap();
         p.activate(id, ready);
-        p.terminate(
+        let first = p.terminate(
             id,
             ready + SimDuration::hours(1),
             TerminationReason::Voluntary,
         );
-        p.terminate(
+        assert!(first > 0.0);
+        // A second termination (stale cleanup event) charges nothing and
+        // leaves the ledger untouched.
+        let second = p.terminate(
             id,
             ready + SimDuration::hours(2),
             TerminationReason::Voluntary,
+        );
+        assert_eq!(second, 0.0);
+        assert!((p.ledger().total() - first).abs() < 1e-12);
+        // Unknown instances are a no-op too.
+        assert_eq!(
+            p.terminate(InstanceId(9999), ready, TerminationReason::Voluntary),
+            0.0
         );
     }
 
@@ -502,7 +631,9 @@ mod tests {
         assert_eq!(p.volumes().get(vol).unwrap().attached_to, None);
         assert_eq!(p.volumes().get(vol).unwrap().checkpoint_gib, 2.0);
 
-        let (od, od_ready) = p.request_on_demand(market(), ready + SimDuration::minutes(30));
+        let (od, od_ready) = p
+            .request_on_demand(market(), ready + SimDuration::minutes(30))
+            .unwrap();
         p.activate(od, od_ready);
         p.volumes_mut().attach(vol, od).unwrap();
         assert_eq!(p.volumes().get(vol).unwrap().attached_to, Some(od));
@@ -523,6 +654,82 @@ mod tests {
         let charge = p.terminate(id, end, TerminationReason::Voluntary);
         let expect = spot_lease_charge(ts.trace(market()).unwrap(), ready, end, false);
         assert_eq!(charge.to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn full_capacity_fault_rate_rejects_every_request() {
+        use spothost_faults::{FaultConfig, FaultPlan};
+        let ts = traces();
+        let mut cfg = FaultConfig::none();
+        cfg.spot_capacity_rate = 1.0;
+        cfg.od_capacity_rate = 1.0;
+        let mut p = CloudProvider::new(&ts, 7)
+            .with_startup_model(StartupModel::deterministic())
+            .with_faults(FaultPlan::new(cfg, 7));
+        let pon = p.on_demand_price(market());
+        assert!(matches!(
+            p.request_spot(market(), pon, SimTime::ZERO),
+            Err(RequestError::InsufficientCapacity(_))
+        ));
+        assert!(matches!(
+            p.request_on_demand(market(), SimTime::ZERO),
+            Err(RequestError::InsufficientCapacity(_))
+        ));
+        assert_eq!(p.instances_created(), 0);
+    }
+
+    #[test]
+    fn doomed_startup_fails_activation_unbilled() {
+        use spothost_faults::{FaultConfig, FaultPlan};
+        let ts = traces();
+        let mut cfg = FaultConfig::none();
+        cfg.startup_failure_rate = 1.0;
+        let mut p = CloudProvider::new(&ts, 7)
+            .with_startup_model(StartupModel::deterministic())
+            .with_faults(FaultPlan::new(cfg, 7));
+        let (id, ready) = p.request_on_demand(market(), SimTime::ZERO).unwrap();
+        assert!(!p.activate(id, ready));
+        let inst = p.instance(id).unwrap();
+        assert!(inst.is_terminated());
+        let charge = p.terminate(id, ready, TerminationReason::Voluntary);
+        assert_eq!(charge, 0.0);
+        assert_eq!(p.ledger().entries().len(), 0);
+    }
+
+    #[test]
+    fn warning_faults_shape_revocation_schedule() {
+        use spothost_faults::{FaultConfig, FaultPlan};
+        let catalog = Catalog::ec2_2015();
+        // Stormy enough that a low bid is crossed within the horizon.
+        let mut params = SpotModelParams::default_market();
+        params.spike_rate_per_day = 6.0;
+        let ts = TraceSet::generate_with(&catalog, &[(market(), params)], 2, SimDuration::days(7));
+        let pon = catalog.on_demand_price(market());
+
+        let schedule_with = |cfg: FaultConfig| {
+            let mut p = CloudProvider::new(&ts, 7)
+                .with_startup_model(StartupModel::deterministic())
+                .with_faults(FaultPlan::new(cfg, 7));
+            let (id, ready) = p.request_spot(market(), pon, SimTime::ZERO).unwrap();
+            assert!(p.activate(id, ready));
+            p.revocation_schedule(id, ready)
+                .expect("stormy trace must cross the bid")
+        };
+
+        let mut missing = FaultConfig::none();
+        missing.warning_miss_rate = 1.0;
+        let s = schedule_with(missing);
+        assert_eq!(s.warning_at, None);
+        assert_eq!(s.terminate_at, s.crossing_at + REVOCATION_GRACE);
+
+        let mut delayed = FaultConfig::none();
+        delayed.warning_delay_rate = 1.0;
+        let s = schedule_with(delayed);
+        let w = s.warning_at.expect("delayed, not missing");
+        assert!(w > s.crossing_at && w <= s.terminate_at);
+
+        let s = schedule_with(FaultConfig::none());
+        assert_eq!(s.warning_at, Some(s.crossing_at));
     }
 
     #[test]

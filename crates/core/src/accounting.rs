@@ -27,6 +27,18 @@ pub struct Accounting {
     pub spot_time: SimDuration,
     /// Lease time spent on on-demand servers.
     pub on_demand_time: SimDuration,
+    /// Acquisition requests the provider failed (injected capacity faults
+    /// or fault-doomed startups). Zero unless fault injection is enabled.
+    pub request_faults: u32,
+    /// Revocations whose warning never arrived (injected warning-miss
+    /// faults): the instance died with no grace window.
+    pub unwarned_revocations: u32,
+    /// Final checkpoint writes that failed or did not fit the remaining
+    /// grace window, forcing a cold restart (injected mechanism faults).
+    pub ckpt_faults: u32,
+    /// Live migrations aborted mid-pre-copy and downgraded to a
+    /// checkpoint/restore (injected mechanism faults).
+    pub live_aborts: u32,
 }
 
 impl Accounting {

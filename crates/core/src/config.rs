@@ -2,6 +2,7 @@
 
 use crate::policy::BiddingPolicy;
 use crate::strategy::MarketScope;
+use spothost_faults::FaultConfig;
 use spothost_market::time::SimDuration;
 use spothost_market::types::MarketId;
 use spothost_virt::{MechanismCombo, ParamRegime, VirtParams};
@@ -41,6 +42,9 @@ pub struct SchedulerConfig {
     /// volume. Exists as a measurable motivation baseline; the scheduler's
     /// mechanisms are what remove its downtime.
     pub naive_restart: bool,
+    /// Injected provider/mechanism faults ([`FaultConfig::none`] by
+    /// default — the all-zero plan is bit-identical to no plan at all).
+    pub faults: FaultConfig,
 }
 
 impl SchedulerConfig {
@@ -61,6 +65,7 @@ impl SchedulerConfig {
             stability_weight: 0.0,
             virt_params_override: None,
             naive_restart: false,
+            faults: FaultConfig::none(),
         }
     }
 
@@ -79,6 +84,7 @@ impl SchedulerConfig {
             stability_weight: 0.0,
             virt_params_override: None,
             naive_restart: false,
+            faults: FaultConfig::none(),
         }
     }
 
@@ -120,6 +126,12 @@ impl SchedulerConfig {
         self
     }
 
+    /// Inject provider/mechanism faults (see `spothost-faults`).
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// The virtualization parameters this configuration runs with.
     pub fn virt_params(&self) -> VirtParams {
         self.virt_params_override
@@ -155,6 +167,7 @@ impl SchedulerConfig {
         if let Some(vp) = &self.virt_params_override {
             vp.validate()?;
         }
+        self.faults.validate()?;
         Ok(())
     }
 

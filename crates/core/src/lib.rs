@@ -38,6 +38,11 @@
 //! assert!(report.unavailability < 0.01);
 //! ```
 
+// Library code must not unwrap: every remaining panic site is either an
+// invariant with an explanatory expect/unreachable message or a documented
+// constructor precondition (see DESIGN.md "Failure semantics").
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod accounting;
 pub mod capacity;
 pub mod config;
@@ -53,6 +58,7 @@ pub use policy::BiddingPolicy;
 pub use report::RunReport;
 pub use scheduler::SimRun;
 pub use sim::{run_grid, run_many, run_one, AggregateReport};
+pub use spothost_faults::FaultConfig;
 pub use strategy::MarketScope;
 
 /// Convenient glob import.
@@ -63,5 +69,6 @@ pub mod prelude {
     pub use crate::report::RunReport;
     pub use crate::sim::{run_grid, run_many, run_one, AggregateReport};
     pub use crate::strategy::MarketScope;
+    pub use spothost_faults::FaultConfig;
     pub use spothost_virt::{MechanismCombo, ParamRegime};
 }

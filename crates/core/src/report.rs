@@ -32,6 +32,11 @@ pub struct RunReport {
     pub forced_migrations: u32,
     pub planned_migrations: u32,
     pub reverse_migrations: u32,
+    /// Fault-injection diagnostics (all zero unless faults are enabled).
+    pub request_faults: u32,
+    pub unwarned_revocations: u32,
+    pub ckpt_faults: u32,
+    pub live_aborts: u32,
 }
 
 impl RunReport {
@@ -83,6 +88,10 @@ impl RunReport {
             forced_migrations: acc.forced_migrations,
             planned_migrations: acc.planned_migrations,
             reverse_migrations: acc.reverse_migrations,
+            request_faults: acc.request_faults,
+            unwarned_revocations: acc.unwarned_revocations,
+            ckpt_faults: acc.ckpt_faults,
+            live_aborts: acc.live_aborts,
         }
     }
 

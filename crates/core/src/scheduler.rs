@@ -33,14 +33,15 @@ use crate::policy::BiddingPolicy;
 use crate::report::RunReport;
 use spothost_cloudsim::{
     CloudProvider, EventQueue, InstanceId, InstanceState, RequestError, StartupModel,
-    TerminationReason, REVOCATION_GRACE,
+    TerminationReason,
 };
-use spothost_market::gen::TraceSet;
+use spothost_faults::FaultPlan;
+use spothost_market::gen::{derive_seed, TraceSet};
 use spothost_market::time::{SimDuration, SimTime, MILLIS_PER_HOUR};
-use spothost_market::types::MarketId;
+use spothost_market::types::{MarketId, Zone};
 use spothost_virt::{
-    lazy_restore, plan_migration, standard_restore, MechanismCombo, MigrationContext,
-    MigrationKind, MigrationTiming, RestoreOutcome, VirtParams, VmSpec,
+    lazy_restore, plan_migration, plan_migration_live_aborted, standard_restore, MechanismCombo,
+    MigrationContext, MigrationKind, MigrationTiming, RestoreOutcome, VirtParams, VmSpec,
 };
 
 /// Cold-boot time of the hosted service from its disk volume under the
@@ -53,10 +54,15 @@ const NAIVE_SERVICE_BOOT: SimDuration = SimDuration(60 * 1000);
 enum Ev {
     /// A requested server reaches its ready time.
     Ready(InstanceId),
-    /// Revocation warning for a running spot lease.
-    Warning(InstanceId),
+    /// Revocation warning for a running spot lease. Carries the provider's
+    /// termination time: a fault-delayed warning shrinks the grace window,
+    /// so the receiver cannot assume `now + REVOCATION_GRACE`.
+    Warning(InstanceId, SimTime),
     /// Forced termination of a revoked lease (warning + grace).
     Terminate(InstanceId),
+    /// Unwarned revocation (injected warning-miss fault): the lease dies
+    /// right now, with no grace window and no checkpoint flush.
+    Died(InstanceId),
     /// Billing-boundary decision point for the active lease.
     Boundary(InstanceId),
     /// A voluntary migration's switchover moment (id = target).
@@ -66,6 +72,9 @@ enum Ev {
     ResumeDone(InstanceId),
     /// Pure-spot: the market has become affordable again; re-acquire.
     SpotRetry,
+    /// Retry an acquisition that failed with an injected provider fault,
+    /// after a bounded backoff.
+    Reacquire,
 }
 
 /// A running lease the service lives on.
@@ -113,16 +122,32 @@ enum St {
         kind: MigrationKind,
         timing: Option<MigrationTiming>,
     },
-    /// Forced migration: old server dying, replacement restoring.
+    /// Forced migration: old server dying (or dead), replacement restoring.
     Evacuating {
         to: Pending,
         degraded: SimDuration,
+        /// The market the service is moving off — sizes the restore if the
+        /// replacement itself fails and recovery has to start over.
+        from_market: MarketId,
+        /// Recovery is a cold boot from the disk volume (no usable memory
+        /// checkpoint), not a checkpoint restore.
+        cold: bool,
     },
     /// Pure-spot: down, waiting for the price to return below the bid.
-    DownWaiting,
+    DownWaiting {
+        cold: bool,
+    },
     /// Pure-spot: replacement requested, waiting for boot + restore.
     Restoring {
         target: Pending,
+        cold: bool,
+    },
+    /// Down with acquisition repeatedly faulting; backing off before the
+    /// next attempt.
+    Reacquiring {
+        zone: Zone,
+        from_market: MarketId,
+        cold: bool,
     },
 }
 
@@ -135,6 +160,18 @@ struct Candidate {
     /// now, plus the stability penalty — what selection decisions
     /// compare. Equals the raw rate when `stability_weight` is zero.
     score: f64,
+}
+
+/// Outcome of trying to place the service on a spot market.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SpotAttempt {
+    /// A server was requested; its `Ready` event is queued.
+    Requested,
+    /// No candidate is both requestable and attractive right now.
+    Unattractive,
+    /// Attractive candidates exist but every request hit an injected
+    /// capacity fault — retrying on a price-based wakeup would spin.
+    Faulted,
 }
 
 /// One simulation run of the scheduler.
@@ -153,6 +190,15 @@ pub struct SimRun<'t> {
     lead: SimDuration,
     candidates: Vec<MarketId>,
     baseline_rate: f64,
+    /// Mechanism-side fault draws (checkpoint/live/lazy). `None` unless
+    /// fault injection is enabled; the provider holds its own plan.
+    faults: Option<FaultPlan>,
+    /// Consecutive faulted acquisition attempts (drives the backoff).
+    acquire_attempts: u32,
+    /// First moment initial acquisition was blocked by a fault, while the
+    /// service has never been up. Lets `finish` report a run that never
+    /// started as a full outage instead of an empty span.
+    boot_blocked_since: Option<SimTime>,
 }
 
 impl<'t> SimRun<'t> {
@@ -173,8 +219,25 @@ impl<'t> SimRun<'t> {
             .scope
             .baseline_rate(traces.catalog(), cfg.capacity_units);
         let lead = compute_lead(cfg, &vparams, &candidates);
+        // Fault plans are split: the provider draws request/startup/warning
+        // faults, the scheduler draws mechanism faults. Separate derived
+        // seeds keep the two stream families independent. With faults
+        // disabled neither side holds a plan, so the zero-fault run is
+        // bit-identical to a build without any of this.
+        let (provider, faults) = if cfg.faults.enabled() {
+            let provider_plan =
+                FaultPlan::new(cfg.faults.clone(), derive_seed(seed, "faults-provider", 0));
+            let mech_plan =
+                FaultPlan::new(cfg.faults.clone(), derive_seed(seed, "faults-mechanism", 0));
+            (
+                CloudProvider::new(traces, seed).with_faults(provider_plan),
+                Some(mech_plan),
+            )
+        } else {
+            (CloudProvider::new(traces, seed), None)
+        };
         SimRun {
-            provider: CloudProvider::new(traces, seed),
+            provider,
             cfg: cfg.clone(),
             vparams,
             queue: EventQueue::with_capacity(1024),
@@ -186,6 +249,9 @@ impl<'t> SimRun<'t> {
             lead,
             candidates,
             baseline_rate,
+            faults,
+            acquire_attempts: 0,
+            boot_blocked_since: None,
         }
     }
 
@@ -234,6 +300,57 @@ impl<'t> SimRun<'t> {
         }
     }
 
+    /// Restore outcome with any injected lazy-restore page-fault storm
+    /// applied. Draws from the fault stream only for lazy restores.
+    fn restore_with_faults(&mut self, market: MarketId) -> RestoreOutcome {
+        let base = self.restore_for(market);
+        if self.cfg.mechanism.lazy_restore {
+            if let Some(f) = &mut self.faults {
+                return base.inflate_degraded(f.lazy_degraded_factor());
+            }
+        }
+        base
+    }
+
+    fn fault_live_aborts(&mut self) -> bool {
+        self.faults
+            .as_mut()
+            .is_some_and(|f| f.live_migration_aborts())
+    }
+
+    /// Does the final checkpoint flush fail — because the (possibly
+    /// fault-shortened) grace window before `terminate_at` cannot fit it,
+    /// or because the write itself faults? Either way recovery degrades to
+    /// a cold boot from the disk volume. Never fires in zero-fault runs:
+    /// an on-time warning leaves the full grace window, which every
+    /// configured flush bound fits.
+    fn ckpt_flush_fails(&mut self, terminate_at: SimTime) -> bool {
+        let flush = self.vparams.final_ckpt_write();
+        let fails = self.now + flush > terminate_at
+            || self.faults.as_mut().is_some_and(|f| f.ckpt_write_fails());
+        if fails {
+            self.acc.ckpt_faults += 1;
+        }
+        fails
+    }
+
+    /// Bounded exponential backoff between faulted acquisition attempts:
+    /// 60 s doubling to a one-hour cap. Guarantees every retry loop makes
+    /// real progress toward the horizon even at a 100% fault rate.
+    fn retry_after_backoff(&mut self) -> SimDuration {
+        let delay = SimDuration::secs(60u64 << self.acquire_attempts.min(6));
+        self.acquire_attempts = self.acquire_attempts.saturating_add(1);
+        delay.min(SimDuration::hours(1))
+    }
+
+    /// Record that initial acquisition is fault-blocked (no-op once the
+    /// service has been up, or after the first blockage).
+    fn note_boot_blocked(&mut self) {
+        if self.acc.service_start.is_none() && self.boot_blocked_since.is_none() {
+            self.boot_blocked_since = Some(self.now);
+        }
+    }
+
     /// Aggregate on-demand rate of the fallback server in `zone`.
     fn od_rate(&self, zone: spothost_market::types::Zone) -> f64 {
         let m = self
@@ -243,11 +360,12 @@ impl<'t> SimRun<'t> {
         self.provider.on_demand_price(m) * self.n_servers(m)
     }
 
-    /// Cheapest spot candidate currently requestable (price at or below the
-    /// policy bid), optionally excluding the current market.
-    fn best_spot(&self, exclude: Option<MarketId>) -> Option<Candidate> {
+    /// All spot candidates currently requestable (price at or below the
+    /// policy bid), cheapest score first, optionally excluding the current
+    /// market. The sort is stable, so ties keep candidate-list order.
+    fn ranked_spots(&self, exclude: Option<MarketId>) -> Vec<Candidate> {
         let catalog = self.provider.traces().catalog();
-        let mut best: Option<Candidate> = None;
+        let mut ranked = Vec::new();
         for &m in &self.candidates {
             if Some(m) == exclude {
                 continue;
@@ -256,24 +374,28 @@ impl<'t> SimRun<'t> {
             let Some(bid) = self.cfg.policy.bid(pon, catalog.max_bid(m)) else {
                 continue;
             };
-            let price = self
-                .provider
-                .spot_price(m, self.now)
-                .expect("candidate trace exists");
+            let Some(price) = self.provider.spot_price(m, self.now) else {
+                continue; // candidates are asserted to have traces in new()
+            };
             if price > bid {
                 continue; // request would be rejected
             }
             let rate = price * self.n_servers(m);
             let score = rate + self.stability_penalty(m, pon);
-            if best.is_none_or(|b: Candidate| score < b.score) {
-                best = Some(Candidate {
-                    market: m,
-                    bid,
-                    score,
-                });
-            }
+            ranked.push(Candidate {
+                market: m,
+                bid,
+                score,
+            });
         }
-        best
+        ranked.sort_by(|a, b| a.score.total_cmp(&b.score));
+        ranked
+    }
+
+    /// Cheapest spot candidate currently requestable, optionally excluding
+    /// the current market.
+    fn best_spot(&self, exclude: Option<MarketId>) -> Option<Candidate> {
+        self.ranked_spots(exclude).into_iter().next()
     }
 
     /// Stability-aware penalty on a candidate market (§8 future work):
@@ -287,12 +409,10 @@ impl<'t> SimRun<'t> {
         }
         let window = SimDuration::days(7);
         let from = self.now.saturating_sub(window);
-        let risk = self
-            .provider
-            .traces()
-            .trace(market)
-            .expect("candidate trace exists")
-            .fraction_above_in(from, self.now, pon);
+        let Some(trace) = self.provider.traces().trace(market) else {
+            return 0.0; // candidates are asserted to have traces in new()
+        };
+        let risk = trace.fraction_above_in(from, self.now, pon);
         self.cfg.stability_weight * self.baseline_rate * risk
     }
 
@@ -348,18 +468,32 @@ impl<'t> SimRun<'t> {
     }
 
     /// Schedule the revocation warning for a freshly activated spot lease.
+    /// Warning faults surface here: a delayed warning fires late (carrying
+    /// the unmoved termination time), a missing warning degenerates to a
+    /// bare [`Ev::Died`] at termination.
     fn schedule_warning(&mut self, lease: &Lease) {
         if !lease.is_spot {
             return;
         }
         if let Some(sched) = self.provider.revocation_schedule(lease.id, self.now) {
-            if sched.warning_at < self.horizon {
-                self.queue.push(sched.warning_at, Ev::Warning(lease.id));
+            match sched.warning_at {
+                Some(at) => {
+                    if at < self.horizon {
+                        self.queue
+                            .push(at, Ev::Warning(lease.id, sched.terminate_at));
+                    }
+                }
+                None => {
+                    if sched.terminate_at < self.horizon {
+                        self.queue.push(sched.terminate_at, Ev::Died(lease.id));
+                    }
+                }
             }
         }
     }
 
     fn become_active(&mut self, lease: Lease) {
+        self.acquire_attempts = 0;
         if self.acc.service_start.is_none() {
             self.acc.service_start = Some(self.now);
         }
@@ -373,43 +507,56 @@ impl<'t> SimRun<'t> {
     fn initial_acquire(&mut self) {
         match self.cfg.policy {
             BiddingPolicy::OnDemandOnly => self.request_initial_od(),
-            BiddingPolicy::PureSpot => {
-                if !self.try_request_initial_spot() {
-                    self.schedule_spot_retry();
-                }
-            }
+            BiddingPolicy::PureSpot => match self.try_request_initial_spot() {
+                SpotAttempt::Requested => {}
+                SpotAttempt::Unattractive => self.schedule_spot_retry(),
+                // A capacity fault while the price is attractive: a
+                // price-based wakeup would fire immediately and spin, so
+                // back off in real time instead.
+                SpotAttempt::Faulted => self.retry_boot_later(),
+            },
             BiddingPolicy::Reactive | BiddingPolicy::Proactive { .. } => {
-                if !self.try_request_initial_spot() {
-                    self.request_initial_od();
+                match self.try_request_initial_spot() {
+                    SpotAttempt::Requested => {}
+                    SpotAttempt::Unattractive | SpotAttempt::Faulted => self.request_initial_od(),
                 }
             }
         }
     }
 
-    /// Request the cheapest attractive spot market; false if none is both
-    /// requestable and cheaper than the on-demand alternative.
-    fn try_request_initial_spot(&mut self) -> bool {
-        let Some(best) = self.best_spot(None) else {
-            return false;
-        };
-        if self.cfg.policy.uses_on_demand_fallback() && best.score >= self.baseline_rate {
-            return false;
+    /// Request the cheapest attractive spot market, walking down the
+    /// ranking past capacity faults.
+    fn try_request_initial_spot(&mut self) -> SpotAttempt {
+        let mut faulted = false;
+        for c in self.ranked_spots(None) {
+            if self.cfg.policy.uses_on_demand_fallback() && c.score >= self.baseline_rate {
+                break; // ranked: everything further is unattractive too
+            }
+            match self.provider.request_spot(c.market, c.bid, self.now) {
+                Ok((id, ready)) => {
+                    self.queue.push(ready, Ev::Ready(id));
+                    self.st = St::Boot {
+                        target: Some(Pending {
+                            id,
+                            market: c.market,
+                            is_spot: true,
+                            ready_at: ready,
+                        }),
+                    };
+                    return SpotAttempt::Requested;
+                }
+                Err(RequestError::InsufficientCapacity(_)) => {
+                    self.acc.request_faults += 1;
+                    faulted = true;
+                }
+                Err(_) => {}
+            }
         }
-        let (id, ready) = self
-            .provider
-            .request_spot(best.market, best.bid, self.now)
-            .expect("best_spot candidates are requestable");
-        let pending = Pending {
-            id,
-            market: best.market,
-            is_spot: true,
-            ready_at: ready,
-        };
-        self.queue.push(ready, Ev::Ready(id));
-        self.st = St::Boot {
-            target: Some(pending),
-        };
-        true
+        if faulted {
+            SpotAttempt::Faulted
+        } else {
+            SpotAttempt::Unattractive
+        }
     }
 
     fn request_initial_od(&mut self) {
@@ -418,27 +565,46 @@ impl<'t> SimRun<'t> {
             .cfg
             .scope
             .on_demand_market(zone, self.cfg.capacity_units);
-        let (id, ready) = self.provider.request_on_demand(m, self.now);
-        self.queue.push(ready, Ev::Ready(id));
-        self.st = St::Boot {
-            target: Some(Pending {
-                id,
-                market: m,
-                is_spot: false,
-                ready_at: ready,
-            }),
-        };
+        match self.provider.request_on_demand(m, self.now) {
+            Ok((id, ready)) => {
+                self.queue.push(ready, Ev::Ready(id));
+                self.st = St::Boot {
+                    target: Some(Pending {
+                        id,
+                        market: m,
+                        is_spot: false,
+                        ready_at: ready,
+                    }),
+                };
+            }
+            Err(_) => {
+                self.acc.request_faults += 1;
+                self.retry_boot_later();
+            }
+        }
+    }
+
+    /// Initial acquisition faulted: back off, then retry from scratch.
+    fn retry_boot_later(&mut self) {
+        self.note_boot_blocked();
+        let at = self.now + self.retry_after_backoff();
+        if at < self.horizon {
+            self.queue.push(at, Ev::Reacquire);
+        }
+        self.st = St::Boot { target: None };
     }
 
     /// Pure-spot: wake up when the single market becomes affordable.
     fn schedule_spot_retry(&mut self) {
         let m = self.candidates[0];
         let catalog = self.provider.traces().catalog();
-        let bid = self
+        let Some(bid) = self
             .cfg
             .policy
             .bid(catalog.on_demand_price(m), catalog.max_bid(m))
-            .expect("pure-spot always bids");
+        else {
+            return; // non-bidding policies never wait on a spot price
+        };
         if let Some(at) = self.provider.next_time_at_or_below(m, self.now, bid) {
             let at = at.max(self.now);
             if at < self.horizon {
@@ -452,23 +618,34 @@ impl<'t> SimRun<'t> {
     fn dispatch(&mut self, ev: Ev) {
         match ev {
             Ev::Ready(id) => self.on_ready(id),
-            Ev::Warning(id) => self.on_warning(id),
+            Ev::Warning(id, terminate_at) => self.on_warning(id, terminate_at),
             Ev::Terminate(id) => self.close_lease(id, TerminationReason::Revoked),
+            Ev::Died(id) => self.on_died(id),
             Ev::Boundary(id) => self.on_boundary(id),
             Ev::Switchover(id) => self.on_switchover(id),
             Ev::ResumeDone(id) => self.on_resume_done(id),
             Ev::SpotRetry => self.on_spot_retry(),
+            Ev::Reacquire => self.on_reacquire(),
         }
     }
 
     fn on_ready(&mut self, id: InstanceId) {
+        // Whether an activation failure below is an injected startup fault
+        // (vs a legitimate spot price rise) — must be read before
+        // `activate` consumes the doom marker.
+        let doomed = self.provider.is_doomed(id);
         match &self.st {
             St::Boot { target: Some(p) } if p.id == id => {
                 let p = *p;
                 if self.provider.activate(id, self.now) {
                     self.become_active(p.into_lease());
                 } else {
-                    // Spot price rose above the bid during boot.
+                    // Spot price rose above the bid during boot, or the
+                    // startup was fault-doomed.
+                    if doomed {
+                        self.acc.request_faults += 1;
+                        self.note_boot_blocked();
+                    }
                     match self.cfg.policy {
                         BiddingPolicy::PureSpot => {
                             self.st = St::Boot { target: None };
@@ -484,7 +661,7 @@ impl<'t> SimRun<'t> {
                     // Target is up: compute timing and schedule switchover.
                     let (from, kind) = match &self.st {
                         St::Migrating { from, kind, .. } => (*from, *kind),
-                        _ => unreachable!(),
+                        _ => unreachable!("outer match arm guarantees Migrating"),
                     };
                     let ctx = MigrationContext {
                         vm: self.vm_for(from.market),
@@ -492,7 +669,18 @@ impl<'t> SimRun<'t> {
                         to_region: to.market.zone.region(),
                         disk_gib: self.cfg.disk_gib,
                     };
-                    let timing = plan_migration(self.cfg.mechanism, kind, &ctx, &self.vparams);
+                    let mut timing = plan_migration(self.cfg.mechanism, kind, &ctx, &self.vparams);
+                    if self.cfg.mechanism.live && kind.is_voluntary() && self.fault_live_aborts() {
+                        // Pre-copy aborted mid-flight: fall back to a
+                        // checkpoint restore on the already-booted target.
+                        self.acc.live_aborts += 1;
+                        timing = plan_migration_live_aborted(
+                            self.cfg.mechanism,
+                            kind,
+                            &ctx,
+                            &self.vparams,
+                        );
+                    }
                     let sw = self.now + timing.prepare;
                     self.queue.push(sw, Ev::Switchover(id));
                     // Arm the new lease's own revocation warning so a spike
@@ -506,13 +694,17 @@ impl<'t> SimRun<'t> {
                         timing: Some(timing),
                     };
                 } else {
-                    // Target market spiked during boot: re-target to
-                    // on-demand in the *current* zone.
+                    // Target market spiked during boot (or the startup was
+                    // fault-doomed): re-target to on-demand in the
+                    // *current* zone.
                     let (from, kind) = match &self.st {
                         St::Migrating { from, kind, .. } => (*from, *kind),
-                        _ => unreachable!(),
+                        _ => unreachable!("outer match arm guarantees Migrating"),
                     };
                     self.acc.aborted_migrations += 1;
+                    if doomed {
+                        self.acc.request_faults += 1;
+                    }
                     if kind == MigrationKind::Reverse {
                         // We're on on-demand already; just stay.
                         self.st = St::Active { lease: from };
@@ -522,35 +714,63 @@ impl<'t> SimRun<'t> {
                             .cfg
                             .scope
                             .on_demand_market(from.market.zone, self.cfg.capacity_units);
-                        let (od, ready) = self.provider.request_on_demand(m, self.now);
-                        self.queue.push(ready, Ev::Ready(od));
-                        self.st = St::Migrating {
-                            from,
-                            to: Pending {
-                                id: od,
-                                market: m,
-                                is_spot: false,
-                                ready_at: ready,
-                            },
-                            kind,
-                            timing: None,
-                        };
+                        match self.provider.request_on_demand(m, self.now) {
+                            Ok((od, ready)) => {
+                                self.queue.push(ready, Ev::Ready(od));
+                                self.st = St::Migrating {
+                                    from,
+                                    to: Pending {
+                                        id: od,
+                                        market: m,
+                                        is_spot: false,
+                                        ready_at: ready,
+                                    },
+                                    kind,
+                                    timing: None,
+                                };
+                            }
+                            Err(_) => {
+                                // The old server is still up: stay on it
+                                // and re-decide at the next boundary.
+                                self.acc.request_faults += 1;
+                                self.st = St::Active { lease: from };
+                                self.schedule_boundary(&from);
+                            }
+                        }
                     }
                 }
             }
-            St::Evacuating { to, .. } if to.id == id => {
-                let ok = self.provider.activate(id, self.now);
-                debug_assert!(ok, "on-demand activation cannot fail");
+            St::Evacuating {
+                to,
+                from_market,
+                cold,
+                ..
+            } if to.id == id => {
+                let (to, from_market, cold) = (*to, *from_market, *cold);
+                if !self.provider.activate(id, self.now) {
+                    // The replacement itself failed to come up (injected
+                    // startup fault). Its pending ResumeDone is now stale
+                    // (filtered by id); re-acquire immediately — the
+                    // service is already down, so there is nothing to wait
+                    // for.
+                    self.acc.request_faults += 1;
+                    self.st = St::Reacquiring {
+                        zone: to.market.zone,
+                        from_market,
+                        cold,
+                    };
+                    self.queue.push(self.now, Ev::Reacquire);
+                }
             }
-            St::Restoring { target } if target.id == id => {
-                let target = *target;
+            St::Restoring { target, cold } if target.id == id => {
+                let (target, cold) = (*target, *cold);
                 if self.provider.activate(id, self.now) {
-                    let restore = self.restore_for(target.market);
-                    let resume = self.now + restore.resume_latency;
-                    self.queue.push(resume, Ev::ResumeDone(id));
-                    // Stay in Restoring until the VM has resumed.
+                    self.schedule_recovery_resume(target, target.market, cold);
                 } else {
-                    self.st = St::DownWaiting;
+                    if doomed {
+                        self.acc.request_faults += 1;
+                    }
+                    self.st = St::DownWaiting { cold };
                     self.schedule_spot_retry();
                 }
             }
@@ -558,11 +778,11 @@ impl<'t> SimRun<'t> {
         }
     }
 
-    fn on_warning(&mut self, id: InstanceId) {
+    fn on_warning(&mut self, id: InstanceId, terminate_at: SimTime) {
         match &self.st {
             St::Active { lease } if lease.id == id => {
                 let lease = *lease;
-                self.forced_migration(lease, None);
+                self.forced_migration(lease, None, terminate_at);
             }
             St::Migrating { from, to, .. } if from.id == id => {
                 // The old server is being revoked mid-migration; the
@@ -575,15 +795,14 @@ impl<'t> SimRun<'t> {
                     // hourly while we restore onto on-demand anyway).
                     self.close_lease(to.id, TerminationReason::Voluntary);
                 }
-                self.forced_migration(from, reuse);
+                self.forced_migration(from, reuse, terminate_at);
             }
             St::Migrating { from, to, .. } if to.id == id => {
                 // The *target* market spiked before switchover: abort the
                 // migration, let the provider revoke the target (its
                 // partial hour is then free), and stay on the old server.
                 let (from, to) = (*from, *to);
-                self.queue
-                    .push(self.now + REVOCATION_GRACE, Ev::Terminate(to.id));
+                self.queue.push(terminate_at, Ev::Terminate(to.id));
                 self.acc.aborted_migrations += 1;
                 self.st = St::Active { lease: from };
                 self.schedule_boundary(&from);
@@ -592,28 +811,151 @@ impl<'t> SimRun<'t> {
         }
     }
 
+    /// An unwarned revocation (injected warning-miss fault): the lease is
+    /// gone *now* — no grace window, no final checkpoint flush. Recovery
+    /// restores from the last bounded background checkpoint (the image on
+    /// the volume is at most the checkpoint bound stale), or cold-boots
+    /// under the naive baseline.
+    fn on_died(&mut self, id: InstanceId) {
+        match &self.st {
+            St::Active { lease } if lease.id == id => {
+                let lease = *lease;
+                self.acc.forced_migrations += 1;
+                self.acc.unwarned_revocations += 1;
+                self.close_lease(id, TerminationReason::Revoked);
+                self.down_since = Some(self.now);
+                self.unwarned_recover(lease.market);
+            }
+            St::Migrating { from, to, .. } if from.id == id => {
+                let (from, to) = (*from, *to);
+                self.acc.forced_migrations += 1;
+                self.acc.unwarned_revocations += 1;
+                self.close_lease(id, TerminationReason::Revoked);
+                self.down_since = Some(self.now);
+                if !to.is_spot {
+                    // Reuse the already-requested on-demand target.
+                    let cold = self.cfg.naive_restart;
+                    self.schedule_recovery_resume(to, from.market, cold);
+                } else {
+                    self.close_lease(to.id, TerminationReason::Voluntary);
+                    self.unwarned_recover(from.market);
+                }
+            }
+            St::Migrating { from, to, .. } if to.id == id => {
+                // The migration target died unwarned: abort, stay on the
+                // old server.
+                let from = *from;
+                debug_assert_eq!(to.id, id);
+                self.close_lease(id, TerminationReason::Revoked);
+                self.acc.aborted_migrations += 1;
+                self.st = St::Active { lease: from };
+                self.schedule_boundary(&from);
+            }
+            _ => {
+                // Stale reference (the service moved off this lease before
+                // it died): make sure the provider closes it.
+                self.close_lease(id, TerminationReason::Revoked);
+            }
+        }
+    }
+
+    /// Pick a recovery path after an unwarned death while no replacement
+    /// exists yet.
+    fn unwarned_recover(&mut self, from_market: MarketId) {
+        let cold = self.cfg.naive_restart;
+        if !self.cfg.policy.uses_on_demand_fallback() {
+            self.st = St::DownWaiting { cold };
+            self.schedule_spot_retry();
+            return;
+        }
+        self.try_reacquire(from_market.zone, from_market, cold);
+    }
+
+    /// Request an on-demand replacement for a dead lease; on an injected
+    /// request fault, back off and retry.
+    fn try_reacquire(&mut self, zone: Zone, from_market: MarketId, cold: bool) {
+        let m = self
+            .cfg
+            .scope
+            .on_demand_market(zone, self.cfg.capacity_units);
+        match self.provider.request_on_demand(m, self.now) {
+            Ok((id, ready)) => {
+                self.queue.push(ready, Ev::Ready(id));
+                let to = Pending {
+                    id,
+                    market: m,
+                    is_spot: false,
+                    ready_at: ready,
+                };
+                self.schedule_recovery_resume(to, from_market, cold);
+            }
+            Err(_) => {
+                self.acc.request_faults += 1;
+                self.note_boot_blocked();
+                let at = self.now + self.retry_after_backoff();
+                if at < self.horizon {
+                    self.queue.push(at, Ev::Reacquire);
+                }
+                self.st = St::Reacquiring {
+                    zone,
+                    from_market,
+                    cold,
+                };
+            }
+        }
+    }
+
+    /// A replacement server is requested (or already up): schedule the
+    /// service resume on it and enter `Evacuating`.
+    fn schedule_recovery_resume(&mut self, to: Pending, from_market: MarketId, cold: bool) {
+        let vol_delay = self.provider.volume_attach_delay();
+        let restore_start = to.ready_at.max(self.now) + vol_delay;
+        let (latency, degraded) = if cold {
+            (NAIVE_SERVICE_BOOT, SimDuration::ZERO)
+        } else {
+            let r = self.restore_with_faults(from_market);
+            (r.resume_latency, r.degraded)
+        };
+        self.queue
+            .push(restore_start + latency, Ev::ResumeDone(to.id));
+        self.st = St::Evacuating {
+            to,
+            degraded,
+            from_market,
+            cold,
+        };
+    }
+
     /// Handle a revocation warning on `lease`: flush the bounded
     /// checkpoint, acquire (or reuse) an on-demand replacement, restore.
-    fn forced_migration(&mut self, lease: Lease, reuse: Option<Pending>) {
-        let terminate_at = self.now + REVOCATION_GRACE;
+    /// `terminate_at` comes from the provider's schedule — a fault-delayed
+    /// warning leaves less than the full grace window before it.
+    fn forced_migration(&mut self, lease: Lease, reuse: Option<Pending>, terminate_at: SimTime) {
         self.queue.push(terminate_at, Ev::Terminate(lease.id));
 
         if !self.cfg.policy.uses_on_demand_fallback() {
             // Pure-spot: no replacement. Downtime runs from the suspend
             // until the market comes back and the VM restores.
             let flush = self.vparams.final_ckpt_write();
-            self.down_since = Some(terminate_at.saturating_sub(flush));
+            let cold = self.ckpt_flush_fails(terminate_at);
+            self.down_since = Some(if cold {
+                terminate_at
+            } else {
+                terminate_at.saturating_sub(flush)
+            });
             self.acc.forced_migrations += 1;
-            self.st = St::DownWaiting;
+            self.st = St::DownWaiting { cold };
             // Try again once the price is back at or below the bid; the
             // earliest sensible moment is after termination.
             let m = lease.market;
             let catalog = self.provider.traces().catalog();
-            let bid = self
+            let Some(bid) = self
                 .cfg
                 .policy
                 .bid(catalog.on_demand_price(m), catalog.max_bid(m))
-                .expect("spot policies bid");
+            else {
+                return; // unreachable: spot policies bid
+            };
             if let Some(at) = self.provider.next_time_at_or_below(m, terminate_at, bid) {
                 if at < self.horizon {
                     self.queue.push(at, Ev::SpotRetry);
@@ -631,54 +973,109 @@ impl<'t> SimRun<'t> {
                 .cfg
                 .scope
                 .on_demand_market(lease.market.zone, self.cfg.capacity_units);
-            let (od, ready) = self.provider.request_on_demand(m, terminate_at);
-            self.queue.push(ready, Ev::Ready(od));
-            let resume = ready + NAIVE_SERVICE_BOOT;
             self.down_since = Some(terminate_at);
-            self.queue.push(resume, Ev::ResumeDone(od));
-            self.st = St::Evacuating {
-                to: Pending {
-                    id: od,
-                    market: m,
-                    is_spot: false,
-                    ready_at: ready,
-                },
-                degraded: SimDuration::ZERO,
-            };
+            match self.provider.request_on_demand(m, terminate_at) {
+                Ok((od, ready)) => {
+                    self.queue.push(ready, Ev::Ready(od));
+                    let resume = ready + NAIVE_SERVICE_BOOT;
+                    self.queue.push(resume, Ev::ResumeDone(od));
+                    self.st = St::Evacuating {
+                        to: Pending {
+                            id: od,
+                            market: m,
+                            is_spot: false,
+                            ready_at: ready,
+                        },
+                        degraded: SimDuration::ZERO,
+                        from_market: lease.market,
+                        cold: true,
+                    };
+                }
+                Err(_) => {
+                    self.acc.request_faults += 1;
+                    let at = terminate_at + self.retry_after_backoff();
+                    if at < self.horizon {
+                        self.queue.push(at, Ev::Reacquire);
+                    }
+                    self.st = St::Reacquiring {
+                        zone: lease.market.zone,
+                        from_market: lease.market,
+                        cold: true,
+                    };
+                }
+            }
             return;
         }
+        // Checkpoint path. The VM suspends just early enough to flush the
+        // final increment before termination — unless the flush fails (or
+        // no longer fits a fault-shortened window), in which case the
+        // instance runs to termination and recovery cold-boots.
+        let flush = self.vparams.final_ckpt_write();
+        let cold = self.ckpt_flush_fails(terminate_at);
+        let suspend = if cold {
+            terminate_at
+        } else {
+            terminate_at.saturating_sub(flush)
+        };
+        self.down_since = Some(suspend);
         let to = match reuse {
-            Some(p) => p,
+            Some(p) => Some(p),
             None => {
                 let m = self
                     .cfg
                     .scope
                     .on_demand_market(lease.market.zone, self.cfg.capacity_units);
-                let (od, ready) = self.provider.request_on_demand(m, self.now);
-                self.queue.push(ready, Ev::Ready(od));
-                Pending {
-                    id: od,
-                    market: m,
-                    is_spot: false,
-                    ready_at: ready,
+                match self.provider.request_on_demand(m, self.now) {
+                    Ok((od, ready)) => {
+                        self.queue.push(ready, Ev::Ready(od));
+                        Some(Pending {
+                            id: od,
+                            market: m,
+                            is_spot: false,
+                            ready_at: ready,
+                        })
+                    }
+                    Err(_) => {
+                        self.acc.request_faults += 1;
+                        None
+                    }
                 }
             }
         };
-        // Downtime: [suspend, restore-finished). The VM suspends just
-        // early enough to flush the final increment before termination;
-        // the restore starts once the replacement is up *and* the
-        // checkpoint is complete.
-        let flush = self.vparams.final_ckpt_write();
-        let suspend = terminate_at.saturating_sub(flush);
-        let restore = self.restore_for(lease.market);
-        let restore_start = to.ready_at.max(terminate_at);
-        let resume = restore_start + restore.resume_latency;
-        self.down_since = Some(suspend);
-        self.queue.push(resume, Ev::ResumeDone(to.id));
-        self.st = St::Evacuating {
-            to,
-            degraded: restore.degraded,
-        };
+        match to {
+            Some(to) => {
+                // Downtime: [suspend, restore-finished). The restore starts
+                // once the replacement is up, the old server has
+                // terminated, and the checkpoint volume is attached.
+                let vol_delay = self.provider.volume_attach_delay();
+                let restore_start = to.ready_at.max(terminate_at) + vol_delay;
+                let (latency, degraded) = if cold {
+                    (NAIVE_SERVICE_BOOT, SimDuration::ZERO)
+                } else {
+                    let r = self.restore_with_faults(lease.market);
+                    (r.resume_latency, r.degraded)
+                };
+                self.queue
+                    .push(restore_start + latency, Ev::ResumeDone(to.id));
+                self.st = St::Evacuating {
+                    to,
+                    degraded,
+                    from_market: lease.market,
+                    cold,
+                };
+            }
+            None => {
+                let at = terminate_at + self.retry_after_backoff();
+                if at < self.horizon {
+                    self.queue.push(at, Ev::Reacquire);
+                }
+                self.st = St::Reacquiring {
+                    zone: lease.market.zone,
+                    from_market: lease.market,
+                    cold,
+                };
+            }
+        }
     }
 
     fn on_boundary(&mut self, id: InstanceId) {
@@ -700,10 +1097,12 @@ impl<'t> SimRun<'t> {
     /// §3.1 planned migration, evaluated `lead` before the billing boundary.
     fn spot_boundary_decision(&mut self, lease: Lease) {
         debug_assert!(self.cfg.policy.plans_migrations());
-        let price = self
-            .provider
-            .spot_price(lease.market, self.now)
-            .expect("lease market trace exists");
+        let Some(price) = self.provider.spot_price(lease.market, self.now) else {
+            // Unreachable (the lease's market has a trace); keep the lease
+            // running and re-decide next boundary rather than panic.
+            self.schedule_boundary(&lease);
+            return;
+        };
         let current_rate = price * self.n_servers(lease.market);
         let pon_current = self
             .provider
@@ -742,42 +1141,92 @@ impl<'t> SimRun<'t> {
         }
     }
 
+    /// One spot request; `Err(true)` means an injected capacity fault,
+    /// `Err(false)` any other rejection (price moved under us).
+    fn try_spot_request(&mut self, c: Candidate) -> Result<Pending, bool> {
+        match self.provider.request_spot(c.market, c.bid, self.now) {
+            Ok((id, ready)) => {
+                self.queue.push(ready, Ev::Ready(id));
+                Ok(Pending {
+                    id,
+                    market: c.market,
+                    is_spot: true,
+                    ready_at: ready,
+                })
+            }
+            Err(RequestError::InsufficientCapacity(_)) => {
+                self.acc.request_faults += 1;
+                Err(true)
+            }
+            Err(_) => Err(false),
+        }
+    }
+
+    /// Request the chosen voluntary-migration target; on a capacity fault,
+    /// fall through the remaining attractive markets cheapest-first.
+    fn request_voluntary_spot(&mut self, from: &Lease, c: Candidate) -> Option<Pending> {
+        match self.try_spot_request(c) {
+            Ok(p) => Some(p),
+            Err(false) => None,
+            Err(true) => {
+                let first = c.market;
+                let exclude = from.is_spot.then_some(from.market);
+                for cand in self.ranked_spots(exclude) {
+                    if cand.market == first {
+                        continue;
+                    }
+                    // Still require each fallback to beat its zone's
+                    // on-demand rate — otherwise staying put (or the
+                    // caller's on-demand plan) is the better move.
+                    if cand.score >= self.od_rate(cand.market.zone) {
+                        continue;
+                    }
+                    match self.try_spot_request(cand) {
+                        Ok(p) => return Some(p),
+                        Err(_) => continue,
+                    }
+                }
+                None
+            }
+        }
+    }
+
     /// Kick off a voluntary migration to a spot candidate (or on-demand if
     /// `target` is `None`).
     fn start_voluntary(&mut self, from: Lease, kind: MigrationKind, target: Option<Candidate>) {
         let to = match target {
-            Some(c) => {
-                match self.provider.request_spot(c.market, c.bid, self.now) {
-                    Ok((id, ready)) => {
-                        self.queue.push(ready, Ev::Ready(id));
-                        Pending {
-                            id,
-                            market: c.market,
-                            is_spot: true,
-                            ready_at: ready,
-                        }
-                    }
-                    Err(RequestError::BidBelowPrice { .. }) => {
-                        // Price moved between decision and request (cannot
-                        // happen with a consistent clock, but be safe).
-                        self.schedule_boundary(&from);
-                        return;
-                    }
-                    Err(e) => panic!("unexpected request error: {e}"),
+            Some(c) => match self.request_voluntary_spot(&from, c) {
+                Some(p) => p,
+                None => {
+                    // Price moved between decision and request, or every
+                    // candidate hit a capacity fault: stay put and
+                    // re-decide at the next boundary.
+                    self.schedule_boundary(&from);
+                    return;
                 }
-            }
+            },
             None => {
                 let m = self
                     .cfg
                     .scope
                     .on_demand_market(from.market.zone, self.cfg.capacity_units);
-                let (id, ready) = self.provider.request_on_demand(m, self.now);
-                self.queue.push(ready, Ev::Ready(id));
-                Pending {
-                    id,
-                    market: m,
-                    is_spot: false,
-                    ready_at: ready,
+                match self.provider.request_on_demand(m, self.now) {
+                    Ok((id, ready)) => {
+                        self.queue.push(ready, Ev::Ready(id));
+                        Pending {
+                            id,
+                            market: m,
+                            is_spot: false,
+                            ready_at: ready,
+                        }
+                    }
+                    Err(_) => {
+                        // The current server still runs; losing the planned
+                        // move costs money, not availability.
+                        self.acc.request_faults += 1;
+                        self.schedule_boundary(&from);
+                        return;
+                    }
                 }
             }
         };
@@ -823,7 +1272,7 @@ impl<'t> SimRun<'t> {
 
     fn on_resume_done(&mut self, id: InstanceId) {
         match &self.st {
-            St::Evacuating { to, degraded } if to.id == id => {
+            St::Evacuating { to, degraded, .. } if to.id == id => {
                 let (to, degraded) = (*to, *degraded);
                 if let Some(since) = self.down_since.take() {
                     self.acc.add_downtime(since, self.now, self.horizon);
@@ -832,16 +1281,6 @@ impl<'t> SimRun<'t> {
                     .add_degraded(self.now, self.now + degraded, self.horizon);
                 self.become_active(to.into_lease());
             }
-            St::Restoring { target } if target.id == id => {
-                let target = *target;
-                if let Some(since) = self.down_since.take() {
-                    self.acc.add_downtime(since, self.now, self.horizon);
-                }
-                let restore = self.restore_for(target.market);
-                self.acc
-                    .add_degraded(self.now, self.now + restore.degraded, self.horizon);
-                self.become_active(target.into_lease());
-            }
             _ => { /* stale */ }
         }
     }
@@ -849,7 +1288,10 @@ impl<'t> SimRun<'t> {
     fn on_spot_retry(&mut self) {
         // Only meaningful while down (pure-spot) or still booting.
         let booting = matches!(self.st, St::Boot { target: None });
-        let waiting = matches!(self.st, St::DownWaiting);
+        let (waiting, cold) = match self.st {
+            St::DownWaiting { cold } => (true, cold),
+            _ => (false, false),
+        };
         if !booting && !waiting {
             return;
         }
@@ -871,17 +1313,79 @@ impl<'t> SimRun<'t> {
                         target: Some(pending),
                     };
                 } else {
-                    self.st = St::Restoring { target: pending };
+                    self.st = St::Restoring {
+                        target: pending,
+                        cold,
+                    };
+                }
+            }
+            Err(RequestError::InsufficientCapacity(_)) => {
+                // Capacity fault while the price is attractive: a
+                // price-based wakeup would fire right now again, so back
+                // off in real time.
+                self.acc.request_faults += 1;
+                if booting {
+                    self.note_boot_blocked();
+                }
+                let at = self.now + self.retry_after_backoff();
+                if at < self.horizon {
+                    self.queue.push(at, Ev::SpotRetry);
                 }
             }
             Err(_) => self.schedule_spot_retry(),
         }
     }
 
+    /// Backoff expired after faulted acquisitions: try again. A down
+    /// service takes any server it can get — if the policy bids on spot at
+    /// all, a currently-affordable spot market beats staying down waiting
+    /// for on-demand capacity to return.
+    fn on_reacquire(&mut self) {
+        match &self.st {
+            St::Reacquiring {
+                zone,
+                from_market,
+                cold,
+            } => {
+                let (zone, from_market, cold) = (*zone, *from_market, *cold);
+                if self.cfg.policy.uses_spot() {
+                    if let Some(pending) = self.try_acquire_any_spot() {
+                        self.schedule_recovery_resume(pending, from_market, cold);
+                        return;
+                    }
+                }
+                self.try_reacquire(zone, from_market, cold);
+            }
+            St::Boot { target: None } => self.initial_acquire(),
+            _ => { /* stale */ }
+        }
+    }
+
+    /// Grab any currently requestable spot market, ignoring the on-demand
+    /// price comparison — while the service is down, any server beats
+    /// none.
+    fn try_acquire_any_spot(&mut self) -> Option<Pending> {
+        for c in self.ranked_spots(None) {
+            match self.try_spot_request(c) {
+                Ok(p) => return Some(p),
+                Err(_) => continue,
+            }
+        }
+        None
+    }
+
     // --- end of run ---------------------------------------------------------
 
     fn finish(&mut self) {
         self.now = self.horizon;
+        // A service that never came up because acquisition kept faulting
+        // is a full outage, not an empty measurement span: report honestly.
+        if self.acc.service_start.is_none() {
+            if let Some(t0) = self.boot_blocked_since {
+                self.acc.service_start = Some(t0);
+                self.acc.add_downtime(t0, self.horizon, self.horizon);
+            }
+        }
         // Close any open downtime interval.
         if let Some(since) = self.down_since.take() {
             self.acc.add_downtime(since, self.horizon, self.horizon);
@@ -898,19 +1402,18 @@ impl<'t> SimRun<'t> {
                 (to.id, TerminationReason::Voluntary),
             ],
             St::Evacuating { to, .. } => vec![(to.id, TerminationReason::Voluntary)],
-            St::Restoring { target } => vec![(target.id, TerminationReason::Voluntary)],
-            St::DownWaiting => vec![],
+            St::Restoring { target, .. } => vec![(target.id, TerminationReason::Voluntary)],
+            St::DownWaiting { .. } | St::Reacquiring { .. } => vec![],
         };
         for (id, reason) in ids {
             self.close_lease(id, reason);
         }
-        // A revoked lease whose Terminate event lay beyond the horizon is
-        // still open in the provider; close_lease above only covers
-        // state-referenced servers, and a revoked server is no longer
-        // referenced — sweep any remainder through pending Terminate
-        // events.
+        // A revoked lease whose Terminate/Died event lay beyond the
+        // horizon is still open in the provider; close_lease above only
+        // covers state-referenced servers, and a revoked server is no
+        // longer referenced — sweep any remainder through pending events.
         while let Some((_, ev)) = self.queue.pop() {
-            if let Ev::Terminate(id) = ev {
+            if let Ev::Terminate(id) | Ev::Died(id) = ev {
                 self.close_lease(id, TerminationReason::Revoked);
             }
         }
@@ -957,6 +1460,7 @@ fn compute_lead(
 mod tests {
     use super::*;
     use crate::strategy::MarketScope;
+    use spothost_faults::FaultConfig;
     use spothost_market::catalog::Catalog;
     use spothost_market::gen::TraceSet;
     use spothost_market::model::SpotModelParams;
@@ -1157,6 +1661,79 @@ mod tests {
             "unavailability {}",
             report.unavailability
         );
+    }
+
+    #[test]
+    fn zero_rate_fault_config_is_bit_identical() {
+        let ts = stormy_traces(30, 7);
+        let base = SimRun::new(&ts, &cfg(), 7).run();
+        let zero = SimRun::new(&ts, &cfg().with_faults(FaultConfig::uniform(0.0)), 7).run();
+        assert_eq!(base, zero);
+        assert_eq!(base.request_faults, 0);
+        assert_eq!(base.unwarned_revocations, 0);
+        assert_eq!(base.ckpt_faults, 0);
+        assert_eq!(base.live_aborts, 0);
+    }
+
+    #[test]
+    fn full_od_request_failure_terminates_and_reports_outage() {
+        // Acceptance check: at a 100% on-demand request-failure rate the
+        // run must terminate cleanly and report the whole horizon as an
+        // outage — no panic, no hang, no empty span.
+        let ts = quiet_traces(10);
+        let mut f = FaultConfig::none();
+        f.od_capacity_rate = 1.0;
+        let c = cfg()
+            .with_policy(BiddingPolicy::OnDemandOnly)
+            .with_faults(f);
+        let report = SimRun::new(&ts, &c, 1)
+            .with_startup_model(StartupModel::deterministic())
+            .run();
+        assert!(
+            (report.unavailability - 1.0).abs() < 1e-9,
+            "unavailability {}",
+            report.unavailability
+        );
+        assert!(report.request_faults > 0);
+        assert_eq!(report.cost, 0.0);
+        assert_eq!(report.active_span, SimDuration::days(10));
+    }
+
+    #[test]
+    fn missing_warnings_cause_unwarned_downtime() {
+        let ts = stormy_traces(30, 7);
+        let mut f = FaultConfig::none();
+        f.warning_miss_rate = 1.0;
+        let faulty = SimRun::new(&ts, &cfg().with_faults(f), 7)
+            .with_startup_model(StartupModel::deterministic())
+            .run();
+        let clean = SimRun::new(&ts, &cfg(), 7)
+            .with_startup_model(StartupModel::deterministic())
+            .run();
+        assert!(faulty.unwarned_revocations > 0);
+        assert_eq!(faulty.unwarned_revocations, faulty.forced_migrations);
+        // No warning means no grace window: every recovery starts from the
+        // kill, so unavailability can only be worse.
+        assert!(
+            faulty.unavailability > clean.unavailability,
+            "faulty {} vs clean {}",
+            faulty.unavailability,
+            clean.unavailability
+        );
+        // The checkpoint flush path is never reached without a warning.
+        assert_eq!(faulty.ckpt_faults, 0);
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic_and_sane() {
+        let ts = stormy_traces(30, 9);
+        let c = cfg().with_faults(FaultConfig::uniform(0.2));
+        let a = SimRun::new(&ts, &c, 9).run();
+        let b = SimRun::new(&ts, &c, 9).run();
+        assert_eq!(a, b);
+        assert!(a.request_faults > 0);
+        assert!(a.downtime <= a.active_span);
+        assert!(a.cost.is_finite() && a.cost >= 0.0);
     }
 
     #[test]

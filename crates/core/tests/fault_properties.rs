@@ -1,0 +1,132 @@
+//! Property tests: the scheduler must survive ANY fault plan.
+//!
+//! For arbitrary fault rates, bidding policy, mechanism combo, and seed,
+//! a run must (a) terminate, (b) never lose accounting time — downtime
+//! and degraded time both fit inside the measured span, (c) keep cost
+//! finite, non-negative, and within a constant factor of the on-demand
+//! baseline (migration overlap can briefly double-bill, never more), and
+//! (d) stay deterministic — the same inputs give the same report. An
+//! all-zero fault plan must be bit-identical to no plan at all.
+
+use proptest::prelude::*;
+use spothost_core::prelude::*;
+use spothost_market::time::SimDuration;
+use spothost_virt::MechanismCombo;
+
+fn rate() -> impl Strategy<Value = f64> {
+    // Weight the exact endpoints: 0.0 must be a perfect no-op and 1.0 is
+    // the worst case the scheduler must survive.
+    (0u32..12, 0.0f64..1.0).prop_map(|(k, x)| match k {
+        0 => 0.0,
+        1 => 1.0,
+        _ => x,
+    })
+}
+
+fn arb_faults() -> impl Strategy<Value = FaultConfig> {
+    (
+        (rate(), rate(), rate(), rate()),
+        (rate(), rate(), rate(), rate(), rate()),
+        1.0f64..8.0,
+        1u64..120,
+    )
+        .prop_map(|(provider, mech, storm_factor, vol_secs)| {
+            let mut f = FaultConfig::none();
+            (
+                f.spot_capacity_rate,
+                f.od_capacity_rate,
+                f.startup_failure_rate,
+                f.warning_miss_rate,
+            ) = provider;
+            (
+                f.warning_delay_rate,
+                f.volume_delay_rate,
+                f.ckpt_failure_rate,
+                f.live_abort_rate,
+                f.lazy_storm_rate,
+            ) = mech;
+            f.lazy_storm_factor = storm_factor;
+            f.max_volume_delay = SimDuration::secs(vol_secs);
+            f
+        })
+}
+
+fn arb_mechanism() -> impl Strategy<Value = MechanismCombo> {
+    prop_oneof![
+        Just(MechanismCombo::ALL[0]),
+        Just(MechanismCombo::ALL[1]),
+        Just(MechanismCombo::ALL[2]),
+        Just(MechanismCombo::ALL[3]),
+    ]
+}
+
+fn arb_policy() -> impl Strategy<Value = BiddingPolicy> {
+    prop_oneof![
+        Just(BiddingPolicy::OnDemandOnly),
+        Just(BiddingPolicy::PureSpot),
+        Just(BiddingPolicy::Reactive),
+        Just(BiddingPolicy::proactive_default()),
+    ]
+}
+
+fn base_cfg(policy: BiddingPolicy, mechanism: MechanismCombo) -> SchedulerConfig {
+    use spothost_market::types::{InstanceType, MarketId, Zone};
+    SchedulerConfig::single_market(MarketId::new(Zone::UsEast1a, InstanceType::Small))
+        .with_policy(policy)
+        .with_mechanism(mechanism)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn scheduler_survives_any_fault_plan(
+        faults in arb_faults(),
+        policy in arb_policy(),
+        mechanism in arb_mechanism(),
+        seed in 0u64..1_000,
+    ) {
+        let cfg = base_cfg(policy, mechanism).with_faults(faults);
+        let horizon = SimDuration::days(7);
+        let a = run_one(&cfg, seed, horizon);
+
+        // (b) No accounting time is lost or invented.
+        prop_assert!(a.downtime <= a.active_span,
+            "downtime {:?} exceeds span {:?}", a.downtime, a.active_span);
+        prop_assert!(a.active_span <= horizon);
+        prop_assert!((0.0..=1.0).contains(&a.unavailability));
+        prop_assert!(a.degraded_fraction >= 0.0 && a.degraded_fraction.is_finite());
+
+        // (c) Cost sanity: finite, non-negative, bounded relative to the
+        // on-demand-only alternative (overlapping leases during migrations
+        // can exceed 1x, but never unboundedly).
+        prop_assert!(a.cost.is_finite() && a.cost >= 0.0);
+        prop_assert!(a.baseline_cost.is_finite() && a.baseline_cost >= 0.0);
+        prop_assert!(a.cost <= 3.0 * a.baseline_cost + 1.0,
+            "cost {} vs baseline {}", a.cost, a.baseline_cost);
+
+        // (d) Determinism: identical inputs, identical report.
+        let b = run_one(&cfg, seed, horizon);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_fault_plan_is_bit_identical_to_no_plan(
+        policy in arb_policy(),
+        mechanism in arb_mechanism(),
+        seed in 0u64..1_000,
+    ) {
+        let horizon = SimDuration::days(7);
+        let plain = run_one(&base_cfg(policy, mechanism), seed, horizon);
+        let zeroed = run_one(
+            &base_cfg(policy, mechanism).with_faults(FaultConfig::uniform(0.0)),
+            seed,
+            horizon,
+        );
+        prop_assert_eq!(plain, zeroed);
+        prop_assert_eq!(plain.request_faults, 0);
+        prop_assert_eq!(plain.unwarned_revocations, 0);
+        prop_assert_eq!(plain.ckpt_faults, 0);
+        prop_assert_eq!(plain.live_aborts, 0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Fault-injection configuration: one probability (or magnitude) per
+//! injected failure mode.
+
+use spothost_market::time::SimDuration;
+
+/// Probabilities and magnitudes for every injected failure mode. All
+/// rates are per-operation probabilities in `[0, 1]`; the default
+/// ([`FaultConfig::none`]) disables everything.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultConfig {
+    /// P(spot request rejected with `InsufficientCapacity`).
+    pub spot_capacity_rate: f64,
+    /// P(on-demand request rejected with `InsufficientCapacity`) —
+    /// on-demand requests are otherwise always granted.
+    pub od_capacity_rate: f64,
+    /// P(a granted server never reaches ready: its activation fails and
+    /// the instance is closed unbilled).
+    pub startup_failure_rate: f64,
+    /// P(the revocation warning is never delivered — pre-2015 EC2 gave
+    /// none; the server just dies at the out-of-bid crossing + grace).
+    pub warning_miss_rate: f64,
+    /// P(the warning is delivered late, eating into the grace window).
+    pub warning_delay_rate: f64,
+    /// P(attaching the checkpoint volume to the replacement server is
+    /// delayed, pushing back the restore start).
+    pub volume_delay_rate: f64,
+    /// Upper bound of the uniform volume attach/detach delay.
+    pub max_volume_delay: SimDuration,
+    /// P(the final bounded-checkpoint flush inside the grace window
+    /// fails; memory state is lost and recovery is a naive cold boot from
+    /// the disk volume).
+    pub ckpt_failure_rate: f64,
+    /// P(a live pre-copy aborts mid-flight; the switchover falls back to
+    /// the pre-staged checkpoint without the pre-copy's benefit).
+    pub live_abort_rate: f64,
+    /// P(a lazy restore hits a page-fault storm that inflates its
+    /// degraded window by `lazy_storm_factor`).
+    pub lazy_storm_rate: f64,
+    /// Multiplier applied to the degraded window during a storm.
+    pub lazy_storm_factor: f64,
+}
+
+impl FaultConfig {
+    /// No faults (the default): every operation succeeds exactly as in a
+    /// plan-less simulation.
+    pub fn none() -> Self {
+        FaultConfig {
+            spot_capacity_rate: 0.0,
+            od_capacity_rate: 0.0,
+            startup_failure_rate: 0.0,
+            warning_miss_rate: 0.0,
+            warning_delay_rate: 0.0,
+            volume_delay_rate: 0.0,
+            max_volume_delay: SimDuration::secs(60),
+            ckpt_failure_rate: 0.0,
+            live_abort_rate: 0.0,
+            lazy_storm_rate: 0.0,
+            lazy_storm_factor: 4.0,
+        }
+    }
+
+    /// Every failure mode at the same per-operation probability — the
+    /// knob the `repro faults` sensitivity sweep turns.
+    pub fn uniform(rate: f64) -> Self {
+        FaultConfig {
+            spot_capacity_rate: rate,
+            od_capacity_rate: rate,
+            startup_failure_rate: rate,
+            warning_miss_rate: rate,
+            warning_delay_rate: rate,
+            volume_delay_rate: rate,
+            ckpt_failure_rate: rate,
+            live_abort_rate: rate,
+            lazy_storm_rate: rate,
+            ..Self::none()
+        }
+    }
+
+    /// True when any fault can actually fire. Integration points skip
+    /// building a [`crate::FaultPlan`] entirely when this is false.
+    pub fn enabled(&self) -> bool {
+        [
+            self.spot_capacity_rate,
+            self.od_capacity_rate,
+            self.startup_failure_rate,
+            self.warning_miss_rate,
+            self.warning_delay_rate,
+            self.volume_delay_rate,
+            self.ckpt_failure_rate,
+            self.live_abort_rate,
+            self.lazy_storm_rate,
+        ]
+        .iter()
+        .any(|&r| r > 0.0)
+    }
+
+    pub fn validate(&self) -> Result<(), String> {
+        let rates = [
+            ("spot_capacity_rate", self.spot_capacity_rate),
+            ("od_capacity_rate", self.od_capacity_rate),
+            ("startup_failure_rate", self.startup_failure_rate),
+            ("warning_miss_rate", self.warning_miss_rate),
+            ("warning_delay_rate", self.warning_delay_rate),
+            ("volume_delay_rate", self.volume_delay_rate),
+            ("ckpt_failure_rate", self.ckpt_failure_rate),
+            ("live_abort_rate", self.live_abort_rate),
+            ("lazy_storm_rate", self.lazy_storm_rate),
+        ];
+        for (name, r) in rates {
+            if !(0.0..=1.0).contains(&r) {
+                return Err(format!("{name} must lie in [0,1], got {r}"));
+            }
+        }
+        if !(self.lazy_storm_factor >= 1.0 && self.lazy_storm_factor.is_finite()) {
+            return Err(format!(
+                "lazy_storm_factor must be finite and >= 1, got {}",
+                self.lazy_storm_factor
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_disabled_and_valid() {
+        let c = FaultConfig::none();
+        assert!(!c.enabled());
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn uniform_zero_is_disabled() {
+        assert!(!FaultConfig::uniform(0.0).enabled());
+        assert!(FaultConfig::uniform(0.01).enabled());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range() {
+        let mut c = FaultConfig::none();
+        c.warning_miss_rate = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = FaultConfig::none();
+        c.lazy_storm_factor = 0.5;
+        assert!(c.validate().is_err());
+        assert!(FaultConfig::uniform(1.0).validate().is_ok());
+    }
+}

@@ -1,0 +1,29 @@
+//! # spothost-faults
+//!
+//! Deterministic, seeded fault injection for the spothost simulator.
+//!
+//! The paper's four-nines claim rests on EC2 semantics the simulator
+//! otherwise treats as infallible: every on-demand request succeeds,
+//! every revocation warning arrives exactly two minutes early, and every
+//! checkpoint/restore/live-migration completes. This crate provides a
+//! *fault plan* — a set of per-fault-type probabilities plus independent
+//! ChaCha-derived random streams — that the provider (`spothost-cloudsim`)
+//! and the scheduler (`spothost-core`) consult to decide whether a given
+//! operation fails, and how.
+//!
+//! Two properties the rest of the workspace depends on:
+//!
+//! * **Determinism** — every fault type draws from its own named stream
+//!   derived from the run seed ([`spothost_market::gen::derive_seed`]), so
+//!   a run is a pure function of `(config, seed)` and Monte-Carlo sweeps
+//!   stay reproducible. Enabling one fault type never perturbs the draw
+//!   sequence of another.
+//! * **Zero-fault neutrality** — a draw whose configured rate is zero
+//!   returns "no fault" *without advancing any stream*, so the all-zero
+//!   plan (the default) is bit-identical to not having a plan at all.
+
+pub mod config;
+pub mod plan;
+
+pub use config::FaultConfig;
+pub use plan::{FaultPlan, WarningFault};

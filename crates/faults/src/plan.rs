@@ -1,0 +1,249 @@
+//! The per-run fault plan: a [`FaultConfig`] bound to independent,
+//! seed-derived random streams, one per fault type.
+
+use crate::config::FaultConfig;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use spothost_market::gen::derive_seed;
+use spothost_market::time::SimDuration;
+
+/// What happened to a revocation warning that should have fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarningFault {
+    /// Delivered on time, the full grace window ahead of termination.
+    Delivered,
+    /// Delivered late by this much (eats into the grace window; a delay
+    /// equal to the grace leaves no time to act at all).
+    Delayed(SimDuration),
+    /// Never delivered — the server dies without notice.
+    Missing,
+}
+
+/// A [`FaultConfig`] bound to one run's random streams.
+///
+/// Each fault type draws from its own ChaCha stream derived from the run
+/// seed and a per-type role string, so enabling, disabling or re-rating
+/// one fault type never changes the draws of another, and zero-rate
+/// draws short-circuit without advancing any stream.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+    spot_capacity: ChaCha12Rng,
+    od_capacity: ChaCha12Rng,
+    startup: ChaCha12Rng,
+    warning: ChaCha12Rng,
+    volume: ChaCha12Rng,
+    ckpt: ChaCha12Rng,
+    live: ChaCha12Rng,
+    lazy: ChaCha12Rng,
+}
+
+impl FaultPlan {
+    /// Bind a configuration to the streams of one run seed. Panics on an
+    /// invalid configuration (rates outside `[0,1]`).
+    pub fn new(cfg: FaultConfig, seed: u64) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid fault config: {e}");
+        }
+        let stream = |role: &str| ChaCha12Rng::seed_from_u64(derive_seed(seed, role, 0));
+        FaultPlan {
+            cfg,
+            spot_capacity: stream("fault-spot-capacity"),
+            od_capacity: stream("fault-od-capacity"),
+            startup: stream("fault-startup"),
+            warning: stream("fault-warning"),
+            volume: stream("fault-volume"),
+            ckpt: stream("fault-ckpt"),
+            live: stream("fault-live"),
+            lazy: stream("fault-lazy"),
+        }
+    }
+
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Does this spot request fail with `InsufficientCapacity`?
+    pub fn spot_capacity_fault(&mut self) -> bool {
+        draw(&mut self.spot_capacity, self.cfg.spot_capacity_rate)
+    }
+
+    /// Does this on-demand request fail with `InsufficientCapacity`?
+    pub fn od_capacity_fault(&mut self) -> bool {
+        draw(&mut self.od_capacity, self.cfg.od_capacity_rate)
+    }
+
+    /// Does this granted server fail to come up (activation fails, the
+    /// instance is closed unbilled)?
+    pub fn startup_failure(&mut self) -> bool {
+        draw(&mut self.startup, self.cfg.startup_failure_rate)
+    }
+
+    /// Fate of the revocation warning for one doomed lease. A delayed
+    /// warning lands uniformly inside `(0, grace]` after its proper time.
+    pub fn warning_fault(&mut self, grace: SimDuration) -> WarningFault {
+        if draw(&mut self.warning, self.cfg.warning_miss_rate) {
+            return WarningFault::Missing;
+        }
+        if draw(&mut self.warning, self.cfg.warning_delay_rate) {
+            let frac: f64 = self.warning.gen();
+            // Uniform in (0, grace], never rounding down to zero.
+            let delay = grace
+                .mul_f64(1.0 - frac)
+                .max(SimDuration::millis(1))
+                .min(grace);
+            return WarningFault::Delayed(delay);
+        }
+        WarningFault::Delivered
+    }
+
+    /// Extra delay before the checkpoint volume is attached to the
+    /// replacement server (zero when the draw misses).
+    pub fn volume_attach_delay(&mut self) -> SimDuration {
+        if !draw(&mut self.volume, self.cfg.volume_delay_rate) {
+            return SimDuration::ZERO;
+        }
+        let frac: f64 = self.volume.gen();
+        self.cfg.max_volume_delay.mul_f64(frac)
+    }
+
+    /// Does the final bounded-checkpoint flush inside the grace window
+    /// fail (memory state lost, recovery cold-boots from disk)?
+    pub fn ckpt_write_fails(&mut self) -> bool {
+        draw(&mut self.ckpt, self.cfg.ckpt_failure_rate)
+    }
+
+    /// Does this live pre-copy abort mid-flight?
+    pub fn live_migration_aborts(&mut self) -> bool {
+        draw(&mut self.live, self.cfg.live_abort_rate)
+    }
+
+    /// Multiplier on a lazy restore's degraded window (1.0 = no storm).
+    pub fn lazy_degraded_factor(&mut self) -> f64 {
+        if draw(&mut self.lazy, self.cfg.lazy_storm_rate) {
+            self.cfg.lazy_storm_factor
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Bernoulli draw that is a guaranteed no-op at rate zero: the stream is
+/// not advanced, so the all-zero plan is bit-identical to no plan.
+fn draw(rng: &mut ChaCha12Rng, rate: f64) -> bool {
+    if rate <= 0.0 {
+        return false;
+    }
+    if rate >= 1.0 {
+        return true;
+    }
+    rng.gen_bool(rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_draws_never_fire_and_do_not_advance_streams() {
+        let mut p = FaultPlan::new(FaultConfig::none(), 42);
+        for _ in 0..100 {
+            assert!(!p.spot_capacity_fault());
+            assert!(!p.od_capacity_fault());
+            assert!(!p.startup_failure());
+            assert_eq!(
+                p.warning_fault(SimDuration::secs(120)),
+                WarningFault::Delivered
+            );
+            assert_eq!(p.volume_attach_delay(), SimDuration::ZERO);
+            assert!(!p.ckpt_write_fails());
+            assert!(!p.live_migration_aborts());
+            assert_eq!(p.lazy_degraded_factor(), 1.0);
+        }
+        // Streams untouched: a fresh plan draws the identical sequence
+        // once a rate is raised.
+        let mut used = p.clone();
+        let mut fresh = FaultPlan::new(FaultConfig::none(), 42);
+        used.cfg.warning_miss_rate = 0.5;
+        fresh.cfg.warning_miss_rate = 0.5;
+        let grace = SimDuration::secs(120);
+        for _ in 0..64 {
+            assert_eq!(used.warning_fault(grace), fresh.warning_fault(grace));
+        }
+    }
+
+    #[test]
+    fn rate_one_always_fires() {
+        let mut p = FaultPlan::new(FaultConfig::uniform(1.0), 7);
+        for _ in 0..32 {
+            assert!(p.spot_capacity_fault());
+            assert!(p.od_capacity_fault());
+            assert!(p.startup_failure());
+            assert!(p.ckpt_write_fails());
+            assert!(p.live_migration_aborts());
+            assert_eq!(
+                p.warning_fault(SimDuration::secs(120)),
+                WarningFault::Missing
+            );
+            assert!(p.lazy_degraded_factor() > 1.0);
+        }
+    }
+
+    #[test]
+    fn draws_are_deterministic_per_seed() {
+        let cfg = FaultConfig::uniform(0.3);
+        let mut a = FaultPlan::new(cfg.clone(), 99);
+        let mut b = FaultPlan::new(cfg, 99);
+        for _ in 0..256 {
+            assert_eq!(a.spot_capacity_fault(), b.spot_capacity_fault());
+            assert_eq!(
+                a.warning_fault(SimDuration::secs(120)),
+                b.warning_fault(SimDuration::secs(120))
+            );
+            assert_eq!(a.volume_attach_delay(), b.volume_attach_delay());
+        }
+    }
+
+    #[test]
+    fn streams_are_independent_across_fault_types() {
+        // Raising one rate must not change another type's draw sequence.
+        let mut only_ckpt = FaultConfig::none();
+        only_ckpt.ckpt_failure_rate = 0.5;
+        let mut both = only_ckpt.clone();
+        both.spot_capacity_rate = 0.5;
+        let mut a = FaultPlan::new(only_ckpt, 5);
+        let mut b = FaultPlan::new(both, 5);
+        for _ in 0..256 {
+            // Interleave spot draws on `b` only; ckpt draws stay in sync.
+            b.spot_capacity_fault();
+            assert_eq!(a.ckpt_write_fails(), b.ckpt_write_fails());
+        }
+    }
+
+    #[test]
+    fn warning_delay_lies_in_grace_window() {
+        let mut cfg = FaultConfig::none();
+        cfg.warning_delay_rate = 1.0;
+        let mut p = FaultPlan::new(cfg, 11);
+        let grace = SimDuration::secs(120);
+        for _ in 0..256 {
+            match p.warning_fault(grace) {
+                WarningFault::Delayed(d) => {
+                    assert!(d > SimDuration::ZERO && d <= grace, "delay {d:?}")
+                }
+                other => panic!("expected Delayed, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn empirical_rate_matches_configuration() {
+        let mut cfg = FaultConfig::none();
+        cfg.od_capacity_rate = 0.25;
+        let mut p = FaultPlan::new(cfg, 3);
+        let n = 20_000;
+        let hits = (0..n).filter(|_| p.od_capacity_fault()).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "empirical rate {rate}");
+    }
+}

@@ -120,6 +120,10 @@ mod tests {
             forced_migrations: 1,
             planned_migrations: 2,
             reverse_migrations: 3,
+            request_faults: 0,
+            unwarned_revocations: 0,
+            ckpt_faults: 0,
+            live_aborts: 0,
         }
     }
 

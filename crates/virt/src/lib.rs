@@ -37,7 +37,8 @@ pub mod wan;
 pub use checkpoint::BoundedCheckpointer;
 pub use live::{live_migration, LiveMigrationOutcome};
 pub use mechanism::{
-    plan_migration, MechanismCombo, MigrationContext, MigrationKind, MigrationTiming,
+    plan_migration, plan_migration_live_aborted, MechanismCombo, MigrationContext, MigrationKind,
+    MigrationTiming,
 };
 pub use overhead::NestedOverheadModel;
 pub use params::{ParamRegime, VirtParams};

@@ -226,6 +226,33 @@ pub fn plan_migration(
     }
 }
 
+/// Timing of a voluntary migration whose live pre-copy **aborted
+/// mid-flight** (an injected mechanism fault): the pre-copy rounds
+/// already ran, so the preparation window is unchanged, but the
+/// switchover falls back to the continuously maintained checkpoint
+/// *without* the pre-staging benefit — the target never received the
+/// pre-copied state, so it pays the full flush + restore. Never cheaper
+/// than the successful plan, and a no-op for combos that don't use live
+/// migration (there is nothing to abort).
+pub fn plan_migration_live_aborted(
+    combo: MechanismCombo,
+    kind: MigrationKind,
+    ctx: &MigrationContext,
+    params: &VirtParams,
+) -> MigrationTiming {
+    let planned = plan_migration(combo, kind, ctx, params);
+    if !combo.live || !kind.is_voluntary() {
+        return planned;
+    }
+    let restore = restore_for(combo, ctx, params);
+    let flush = params.final_ckpt_write();
+    MigrationTiming {
+        prepare: planned.prepare,
+        downtime: planned.downtime.max(flush + restore.resume_latency),
+        degraded: planned.degraded.max(restore.degraded),
+    }
+}
+
 /// Restore outcome under the combo, with a WAN penalty when the checkpoint
 /// volume lives in another region (reads cross the WAN at disk-copy rates
 /// instead of LAN volume rates).
@@ -358,6 +385,38 @@ mod tests {
                 assert!(b.downtime >= a.downtime, "{combo} {kind}");
             }
         }
+    }
+
+    #[test]
+    fn aborted_live_migration_never_beats_success() {
+        let p = VirtParams::typical();
+        for combo in MechanismCombo::ALL {
+            for kind in [MigrationKind::Planned, MigrationKind::Reverse] {
+                let ok = plan_migration(combo, kind, &ctx(), &p);
+                let aborted = plan_migration_live_aborted(combo, kind, &ctx(), &p);
+                assert!(aborted.downtime >= ok.downtime, "{combo} {kind}");
+                assert_eq!(aborted.prepare, ok.prepare, "{combo} {kind}");
+                if !combo.live {
+                    assert_eq!(aborted, ok, "nothing to abort without live");
+                }
+            }
+        }
+        // With live enabled the fallback pays the full (un-prestaged)
+        // flush + restore, which is strictly worse than the sub-second
+        // live switchover.
+        let ok = plan_migration(
+            MechanismCombo::CKPT_LR_LIVE,
+            MigrationKind::Planned,
+            &ctx(),
+            &VirtParams::typical(),
+        );
+        let aborted = plan_migration_live_aborted(
+            MechanismCombo::CKPT_LR_LIVE,
+            MigrationKind::Planned,
+            &ctx(),
+            &VirtParams::typical(),
+        );
+        assert!(aborted.downtime > ok.downtime.mul_f64(2.0));
     }
 
     #[test]

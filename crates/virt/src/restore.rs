@@ -22,6 +22,20 @@ pub struct RestoreOutcome {
     pub degraded: SimDuration,
 }
 
+impl RestoreOutcome {
+    /// Stretch the degraded window by `factor` (a lazy-restore page-fault
+    /// storm: background fault-in fighting the foreground for volume
+    /// bandwidth). Resume latency is unaffected; a factor of 1 is the
+    /// identity.
+    pub fn inflate_degraded(mut self, factor: f64) -> Self {
+        debug_assert!(factor >= 1.0 && factor.is_finite());
+        if factor != 1.0 {
+            self.degraded = self.degraded.mul_f64(factor);
+        }
+        self
+    }
+}
+
 /// Eager restore: read the full image, then resume.
 pub fn standard_restore(vm: &VmSpec, params: &VirtParams) -> RestoreOutcome {
     debug_assert!(vm.validate().is_ok());
@@ -87,6 +101,16 @@ mod tests {
         vm.working_set_gib = vm.memory_gib;
         let out = lazy_restore(&vm, &p);
         assert_eq!(out.degraded, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn inflate_degraded_scales_only_the_degraded_window() {
+        let p = VirtParams::typical();
+        let base = lazy_restore(&VmSpec::paper_2gib(), &p);
+        let stormy = base.inflate_degraded(4.0);
+        assert_eq!(stormy.resume_latency, base.resume_latency);
+        assert_eq!(stormy.degraded, base.degraded.mul_f64(4.0));
+        assert_eq!(base.inflate_degraded(1.0), base);
     }
 
     #[test]

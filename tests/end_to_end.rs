@@ -86,10 +86,8 @@ fn revocation_grace_is_two_minutes_end_to_end() {
         .unwrap();
     if provider.activate(id, ready) {
         if let Some(sched) = provider.revocation_schedule(id, ready) {
-            assert_eq!(
-                sched.terminate_at - sched.warning_at,
-                SimDuration::secs(120)
-            );
+            let warning_at = sched.warning_at.expect("no faults: warning always sent");
+            assert_eq!(sched.terminate_at - warning_at, SimDuration::secs(120));
             let charge = provider.terminate(id, sched.terminate_at, TerminationReason::Revoked);
             assert!(charge >= 0.0);
         }
