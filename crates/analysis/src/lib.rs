@@ -5,11 +5,13 @@
 //! paper table/figure in `spothost-bench`) free of formatting and
 //! aggregation boilerplate.
 
+pub mod hist;
 pub mod mc;
 pub mod series;
 pub mod stats;
 pub mod table;
 
+pub use hist::FixedHistogram;
 pub use mc::{mc_run, Summary};
 pub use series::{LabeledSeries, SeriesSet};
 pub use stats::{mean, mean_std, percentile, std_dev};

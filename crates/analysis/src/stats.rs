@@ -131,6 +131,54 @@ mod tests {
     }
 
     #[test]
+    fn first_crossing_empty_series() {
+        assert_eq!(first_crossing(&[], &[], 0.5), None);
+    }
+
+    #[test]
+    fn first_crossing_never_reached() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [0.1, 0.2, 0.3];
+        assert_eq!(first_crossing(&xs, &ys, 0.4), None);
+    }
+
+    #[test]
+    fn first_crossing_at_first_point() {
+        // At-or-above at index 0 returns the first x, even when the
+        // series later dips back below the threshold.
+        let xs = [3.0, 4.0, 5.0];
+        let ys = [0.9, 0.1, 0.95];
+        assert_eq!(first_crossing(&xs, &ys, 0.5), Some(3.0));
+    }
+
+    #[test]
+    fn first_crossing_on_descending_series() {
+        // A step down *onto* the threshold (y1 <= y0 with y1 >= t) must
+        // report the sample itself, not extrapolate through the step.
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [0.2, 0.1, 0.8, 0.6];
+        // First at-or-above sample is i=2; rising segment interpolates.
+        let x = first_crossing(&xs, &ys, 0.8).expect("crosses");
+        assert!((x - 2.0).abs() < 1e-12);
+        // Threshold below the whole descending tail: crossing happens on
+        // the rising edge into i=2, interpolated between 0.1 and 0.8.
+        let x = first_crossing(&xs, &ys, 0.45).expect("crosses");
+        assert!((x - 1.5).abs() < 1e-12);
+        // A strictly descending series that starts above the threshold
+        // crosses at its first sample.
+        let ys = [0.9, 0.7, 0.5, 0.3];
+        assert_eq!(first_crossing(&xs, &ys, 0.6), Some(0.0));
+        // ...and never crosses a threshold above its start.
+        assert_eq!(first_crossing(&xs, &ys, 1.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "paired samples")]
+    fn first_crossing_rejects_mismatched_lengths() {
+        first_crossing(&[0.0, 1.0], &[0.5], 0.2);
+    }
+
+    #[test]
     fn welford_matches_naive_on_large_sample() {
         let xs: Vec<f64> = (0..10_000).map(|i| (i as f64).sin() * 100.0).collect();
         let (m, s) = mean_std(&xs);

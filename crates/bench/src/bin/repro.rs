@@ -6,6 +6,8 @@
 //! repro --quick all     # smaller Monte-Carlo settings (CI smoke)
 //! repro --list          # list experiment names
 //! repro --csv out/ all  # also write CSV artifacts for the figures
+//! repro --trace out/ fig6  # also dump one representative seed's
+//!                          # telemetry event stream per experiment
 //! ```
 
 use spothost_bench::experiments;
@@ -16,6 +18,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut csv_dir: Option<String> = None;
+    let mut trace_dir: Option<String> = None;
     let mut names: Vec<String> = Vec::new();
     let mut args_iter = args.iter().peekable();
     while let Some(a) = args_iter.next() {
@@ -27,6 +30,13 @@ fn main() {
                     std::process::exit(2);
                 };
                 csv_dir = Some(dir.clone());
+            }
+            "--trace" => {
+                let Some(dir) = args_iter.next() else {
+                    eprintln!("--trace expects a directory");
+                    std::process::exit(2);
+                };
+                trace_dir = Some(dir.clone());
             }
             "--list" => {
                 for (name, desc) in experiments::ALL {
@@ -81,6 +91,19 @@ fn main() {
                         let path = std::path::Path::new(dir).join(file);
                         std::fs::write(&path, contents).expect("write csv");
                         println!("[wrote {}]", path.display());
+                    }
+                }
+                if let Some(dir) = &trace_dir {
+                    if let Some(cfg) = experiments::representative_config(name) {
+                        std::fs::create_dir_all(dir).expect("create trace dir");
+                        let (_, rec) =
+                            spothost_core::run_one_recorded(&cfg, settings.seed0, settings.horizon);
+                        let path = std::path::Path::new(dir).join(format!("{name}.trace.jsonl"));
+                        let mut out = std::io::BufWriter::new(
+                            std::fs::File::create(&path).expect("create trace file"),
+                        );
+                        rec.write_jsonl(&mut out).expect("write trace");
+                        println!("[wrote {} ({} events)]", path.display(), rec.len());
                     }
                 }
                 println!("[{name} done in {:.1}s]\n", start.elapsed().as_secs_f64());

@@ -107,6 +107,41 @@ pub fn run_with_csv(name: &str, settings: &ExpSettings) -> Option<(String, Vec<(
     })
 }
 
+/// A representative scheduler configuration for an experiment, used to
+/// dump one seed's telemetry event stream alongside the figures (`repro
+/// --trace DIR`). `None` for analytic experiments that run no
+/// simulation (or, like fig1/fig10, only analyze raw price traces).
+pub fn representative_config(name: &str) -> Option<spothost_core::SchedulerConfig> {
+    use spothost_core::prelude::*;
+    use spothost_market::prelude::*;
+    use spothost_virt::MechanismCombo;
+    let small = MarketId::new(Zone::UsEast1a, InstanceType::Small);
+    Some(match name {
+        "fig6" => {
+            SchedulerConfig::single_market(small).with_policy(BiddingPolicy::proactive_default())
+        }
+        "fig7" => {
+            SchedulerConfig::single_market(small).with_mechanism(MechanismCombo::CKPT_LR_LIVE)
+        }
+        "fig8" => SchedulerConfig::multi(MarketScope::MultiMarket(Zone::UsEast1b)),
+        "fig9" | "stability" => SchedulerConfig::multi(MarketScope::MultiRegion(vec![
+            Zone::UsEast1b,
+            Zone::EuWest1a,
+        ])),
+        "fig11" => SchedulerConfig::single_market(small).with_policy(BiddingPolicy::PureSpot),
+        "tab3" | "cost_impact" | "ablation_bid" | "ablation_hop" | "ablation_yank" => {
+            SchedulerConfig::single_market(small)
+        }
+        "naive" => SchedulerConfig::single_market(small)
+            .with_policy(BiddingPolicy::Reactive)
+            .with_naive_restart(),
+        "faults" => SchedulerConfig::single_market(small)
+            .with_policy(BiddingPolicy::proactive_default())
+            .with_faults(FaultConfig::uniform(0.2)),
+        _ => return None,
+    })
+}
+
 /// Run one experiment by name and return its rendered report.
 pub fn run_by_name(name: &str, settings: &ExpSettings) -> Option<String> {
     Some(match name {

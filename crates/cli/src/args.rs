@@ -13,7 +13,7 @@ pub struct Args {
 }
 
 /// Known boolean switches (everything else expects a value).
-const SWITCHES: [&str; 2] = ["pessimistic", "verbose"];
+const SWITCHES: [&str; 3] = ["pessimistic", "verbose", "metrics"];
 
 pub fn parse(argv: &[String]) -> Result<Args, String> {
     let mut out = Args::default();

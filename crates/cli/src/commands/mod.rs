@@ -2,3 +2,4 @@ pub mod analyze;
 pub mod gen_traces;
 pub mod markets;
 pub mod simulate;
+pub mod timeline;

@@ -3,12 +3,14 @@
 use crate::args::Args;
 use spothost_core::prelude::*;
 use spothost_core::SimRun;
+use spothost_market::gen::TraceSet;
 use spothost_market::io::{parse_market, read_trace_set};
 use spothost_market::prelude::*;
 use spothost_workload::slo;
+use std::io::BufWriter;
 use std::path::Path;
 
-fn parse_policy(s: &str) -> Result<BiddingPolicy, String> {
+pub(crate) fn parse_policy(s: &str) -> Result<BiddingPolicy, String> {
     Ok(match s {
         "proactive" => BiddingPolicy::proactive_default(),
         "reactive" => BiddingPolicy::Reactive,
@@ -18,7 +20,7 @@ fn parse_policy(s: &str) -> Result<BiddingPolicy, String> {
     })
 }
 
-fn parse_mechanism(s: &str) -> Result<MechanismCombo, String> {
+pub(crate) fn parse_mechanism(s: &str) -> Result<MechanismCombo, String> {
     Ok(match s {
         "ckpt" => MechanismCombo::CKPT,
         "ckpt-lr" => MechanismCombo::CKPT_LR,
@@ -60,13 +62,11 @@ fn parse_scope(args: &Args) -> Result<(MarketScope, u32), String> {
     Ok((MarketScope::Single(market), units))
 }
 
-pub fn run(args: &Args) -> Result<(), String> {
+/// Build the scheduler configuration shared by `simulate` and `timeline`.
+pub(crate) fn build_cfg(args: &Args) -> Result<SchedulerConfig, String> {
     let (scope, units) = parse_scope(args)?;
     let policy = parse_policy(args.get_or("policy", "proactive"))?;
     let mechanism = parse_mechanism(args.get_or("mechanism", "ckpt-lr-live"))?;
-    let days = args.get_u64("days", 60)?;
-    let seeds = args.get_u64("seeds", 1)?;
-    let seed0 = args.get_u64("seed", 0)?;
     let stability = args.get_f64("stability", 0.0)?;
     let fault_rate = args.get_f64("fault-rate", 0.0)?;
 
@@ -83,6 +83,38 @@ pub fn run(args: &Args) -> Result<(), String> {
         cfg = cfg.with_regime(ParamRegime::Pessimistic);
     }
     cfg.validate()?;
+    Ok(cfg)
+}
+
+/// The trace set `simulate`/`timeline` run against: imported price
+/// history when `--traces DIR` is given, the calibrated generator
+/// otherwise.
+pub(crate) fn load_traces(
+    args: &Args,
+    cfg: &SchedulerConfig,
+    seed: u64,
+    horizon: SimDuration,
+) -> Result<TraceSet, String> {
+    let catalog = Catalog::ec2_2015();
+    match args.get("traces") {
+        Some(dir) => read_trace_set(&catalog, Path::new(dir)).map_err(|e| e.to_string()),
+        None => Ok(TraceSet::generate(
+            &catalog,
+            &cfg.candidates(),
+            seed,
+            horizon,
+        )),
+    }
+}
+
+pub fn run(args: &Args) -> Result<(), String> {
+    let cfg = build_cfg(args)?;
+    let policy = cfg.policy;
+    let days = args.get_u64("days", 60)?;
+    let seeds = args.get_u64("seeds", 1)?;
+    let seed0 = args.get_u64("seed", 0)?;
+    let stability = args.get_f64("stability", 0.0)?;
+    let fault_rate = args.get_f64("fault-rate", 0.0)?;
 
     let agg = match args.get("traces") {
         Some(dir) => {
@@ -143,6 +175,28 @@ pub fn run(args: &Args) -> Result<(), String> {
             sum(|r| r.ckpt_faults),
             sum(|r| r.live_aborts)
         );
+    }
+
+    // Telemetry extras: re-run the first seed with a sink attached. The
+    // recorded run is bit-identical to the aggregate's first member (the
+    // sink only observes), so the numbers above still describe it.
+    if let Some(path) = args.get("trace") {
+        let set = load_traces(args, &cfg, seed0, SimDuration::days(days))?;
+        let file = std::fs::File::create(path).map_err(|e| format!("--trace {path}: {e}"))?;
+        let mut rec = Recorder::new().with_writer(Box::new(BufWriter::new(file)));
+        SimRun::new(&set, &cfg, seed0).with_sink(&mut rec).run();
+        rec.finish().map_err(|e| format!("--trace {path}: {e}"))?;
+        println!(
+            "\ntrace:             {} events -> {path} (seed {seed0}, JSONL)",
+            rec.len() as u64 + rec.dropped()
+        );
+    }
+    if args.has("metrics") {
+        let set = load_traces(args, &cfg, seed0, SimDuration::days(days))?;
+        let mut metrics = Metrics::new();
+        SimRun::new(&set, &cfg, seed0).with_sink(&mut metrics).run();
+        println!("\nevent histograms (seed {seed0}):");
+        print!("{}", metrics.render());
     }
     Ok(())
 }

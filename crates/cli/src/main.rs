@@ -33,6 +33,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "gen-traces" => commands::gen_traces::run(&args::parse(rest)?),
         "analyze" => commands::analyze::run(&args::parse(rest)?),
         "simulate" => commands::simulate::run(&args::parse(rest)?),
+        "timeline" => commands::timeline::run(&args::parse(rest)?),
         "--help" | "-h" | "help" => {
             print_usage();
             Ok(())
@@ -60,10 +61,20 @@ USAGE:
                     [--mechanism ckpt|ckpt-lr|ckpt-live|ckpt-lr-live]
                     [--pessimistic] [--stability W] [--units U]
                     [--fault-rate R] [--days D] [--seeds N] [--seed N]
-                    [--traces DIR]
+                    [--traces DIR] [--trace FILE] [--metrics]
       Run the cloud scheduler and report cost/availability/migrations.
       With --traces, runs against imported price history instead of the
       calibrated generator. --fault-rate injects provider and mechanism
-      faults uniformly at rate R in [0, 1] (see spothost-faults)."
+      faults uniformly at rate R in [0, 1] (see spothost-faults).
+      --trace re-runs the first seed with the telemetry recorder and
+      streams the structured event timeline to FILE as JSONL; --metrics
+      prints event-derived histograms (outages, migration latencies,
+      lease lengths, $/hour).
+
+  spothost timeline [same scope/policy/mechanism/fault flags as simulate]
+                    [--days D] [--seed N] [--width COLS]
+      Run one seed with the telemetry recorder and render the event
+      stream as an ASCII Gantt chart: one row per market ('=' spot,
+      '#' on-demand lease), outage/degraded rows, migration markers."
     );
 }

@@ -47,20 +47,41 @@ impl Accounting {
     }
 
     /// Record a service outage `[from, to)`, clamped to the horizon.
-    pub fn add_downtime(&mut self, from: SimTime, to: SimTime, horizon: SimTime) {
+    /// Returns the clamped interval actually accumulated (`None` when it
+    /// is empty) — the single source of truth telemetry emits from, so an
+    /// exported event stream replays to the same downtime total exactly.
+    pub fn add_downtime(
+        &mut self,
+        from: SimTime,
+        to: SimTime,
+        horizon: SimTime,
+    ) -> Option<(SimTime, SimTime)> {
         let from = from.min(horizon);
         let to = to.min(horizon);
         if to > from {
             self.downtime += to - from;
+            Some((from, to))
+        } else {
+            None
         }
     }
 
     /// Record a degraded window `[from, to)`, clamped to the horizon.
-    pub fn add_degraded(&mut self, from: SimTime, to: SimTime, horizon: SimTime) {
+    /// Returns the clamped interval actually accumulated, as
+    /// [`Accounting::add_downtime`] does.
+    pub fn add_degraded(
+        &mut self,
+        from: SimTime,
+        to: SimTime,
+        horizon: SimTime,
+    ) -> Option<(SimTime, SimTime)> {
         let from = from.min(horizon);
         let to = to.min(horizon);
         if to > from {
             self.degraded += to - from;
+            Some((from, to))
+        } else {
+            None
         }
     }
 
@@ -85,13 +106,21 @@ mod tests {
     fn downtime_clamps_to_horizon() {
         let mut a = Accounting::new();
         let horizon = SimTime::hours(10);
-        a.add_downtime(SimTime::hours(9), SimTime::hours(12), horizon);
+        let clamped = a.add_downtime(SimTime::hours(9), SimTime::hours(12), horizon);
         assert_eq!(a.downtime, SimDuration::hours(1));
+        // The returned interval is the clamped one actually accumulated.
+        assert_eq!(clamped, Some((SimTime::hours(9), SimTime::hours(10))));
         // Fully past the horizon: nothing.
-        a.add_downtime(SimTime::hours(11), SimTime::hours(12), horizon);
+        assert_eq!(
+            a.add_downtime(SimTime::hours(11), SimTime::hours(12), horizon),
+            None
+        );
         assert_eq!(a.downtime, SimDuration::hours(1));
         // Inverted interval: nothing.
-        a.add_downtime(SimTime::hours(5), SimTime::hours(5), horizon);
+        assert_eq!(
+            a.add_downtime(SimTime::hours(5), SimTime::hours(5), horizon),
+            None
+        );
         assert_eq!(a.downtime, SimDuration::hours(1));
     }
 

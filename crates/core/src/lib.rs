@@ -57,8 +57,9 @@ pub use config::SchedulerConfig;
 pub use policy::BiddingPolicy;
 pub use report::RunReport;
 pub use scheduler::SimRun;
-pub use sim::{run_grid, run_many, run_one, AggregateReport};
+pub use sim::{run_grid, run_many, run_one, run_one_metrics, run_one_recorded, AggregateReport};
 pub use spothost_faults::FaultConfig;
+pub use spothost_telemetry as telemetry;
 pub use strategy::MarketScope;
 
 /// Convenient glob import.
@@ -67,8 +68,11 @@ pub mod prelude {
     pub use crate::config::SchedulerConfig;
     pub use crate::policy::BiddingPolicy;
     pub use crate::report::RunReport;
-    pub use crate::sim::{run_grid, run_many, run_one, AggregateReport};
+    pub use crate::sim::{
+        run_grid, run_many, run_one, run_one_metrics, run_one_recorded, AggregateReport,
+    };
     pub use crate::strategy::MarketScope;
     pub use spothost_faults::FaultConfig;
+    pub use spothost_telemetry::{Metrics, Recorder, TelemetryEvent};
     pub use spothost_virt::{MechanismCombo, ParamRegime};
 }

@@ -35,10 +35,13 @@ use spothost_cloudsim::{
     CloudProvider, EventQueue, InstanceId, InstanceState, RequestError, StartupModel,
     TerminationReason,
 };
-use spothost_faults::FaultPlan;
+use spothost_faults::{FaultKind, FaultPlan};
 use spothost_market::gen::{derive_seed, TraceSet};
 use spothost_market::time::{SimDuration, SimTime, MILLIS_PER_HOUR};
 use spothost_market::types::{MarketId, Zone};
+use spothost_telemetry::{
+    DenialReason, MigrationPhase, NullSink, SchedulerState, Sink, TelemetryEvent,
+};
 use spothost_virt::{
     lazy_restore, plan_migration, plan_migration_live_aborted, standard_restore, MechanismCombo,
     MigrationContext, MigrationKind, MigrationTiming, RestoreOutcome, VirtParams, VmSpec,
@@ -174,8 +177,28 @@ enum SpotAttempt {
     Faulted,
 }
 
+impl St {
+    /// Telemetry label for this state.
+    fn label(&self) -> SchedulerState {
+        match self {
+            St::Boot { .. } => SchedulerState::Boot,
+            St::Active { .. } => SchedulerState::Active,
+            St::Migrating { .. } => SchedulerState::Migrating,
+            St::Evacuating { .. } => SchedulerState::Evacuating,
+            St::DownWaiting { .. } => SchedulerState::DownWaiting,
+            St::Restoring { .. } => SchedulerState::Restoring,
+            St::Reacquiring { .. } => SchedulerState::Reacquiring,
+        }
+    }
+}
+
 /// One simulation run of the scheduler.
-pub struct SimRun<'t> {
+///
+/// Generic over a telemetry [`Sink`]; the default [`NullSink`] is
+/// statically disabled, so every emission site below compiles to nothing
+/// and the uninstrumented run is bit-identical to a build without
+/// telemetry. Attach a real sink with [`SimRun::with_sink`].
+pub struct SimRun<'t, S: Sink = NullSink> {
     provider: CloudProvider<'t>,
     cfg: SchedulerConfig,
     vparams: VirtParams,
@@ -199,9 +222,14 @@ pub struct SimRun<'t> {
     /// service has never been up. Lets `finish` report a run that never
     /// started as a full outage instead of an empty span.
     boot_blocked_since: Option<SimTime>,
+    /// Telemetry sink (the default `NullSink` compiles to nothing).
+    sink: S,
 }
 
-impl<'t> SimRun<'t> {
+// `new` is defined concretely on the `NullSink` instantiation: default
+// type parameters don't guide function-call inference, so this is what
+// keeps every existing `SimRun::new(..)` call site compiling unchanged.
+impl<'t> SimRun<'t, NullSink> {
     /// Build a run over a trace set. Panics if the traces don't cover the
     /// configured scope.
     pub fn new(traces: &'t TraceSet, cfg: &SchedulerConfig, seed: u64) -> Self {
@@ -252,6 +280,33 @@ impl<'t> SimRun<'t> {
             faults,
             acquire_attempts: 0,
             boot_blocked_since: None,
+            sink: NullSink,
+        }
+    }
+}
+
+impl<'t, S: Sink> SimRun<'t, S> {
+    /// Attach a telemetry sink, rebuilding the run at the new sink type.
+    /// Sinks implement `Sink` for `&mut S` too, so callers can lend a
+    /// recorder and keep it: `.with_sink(&mut recorder)`.
+    pub fn with_sink<S2: Sink>(self, sink: S2) -> SimRun<'t, S2> {
+        SimRun {
+            provider: self.provider,
+            cfg: self.cfg,
+            vparams: self.vparams,
+            queue: self.queue,
+            st: self.st,
+            acc: self.acc,
+            horizon: self.horizon,
+            now: self.now,
+            down_since: self.down_since,
+            lead: self.lead,
+            candidates: self.candidates,
+            baseline_rate: self.baseline_rate,
+            faults: self.faults,
+            acquire_attempts: self.acquire_attempts,
+            boot_blocked_since: self.boot_blocked_since,
+            sink,
         }
     }
 
@@ -281,6 +336,142 @@ impl<'t> SimRun<'t> {
         (self.acc, self.baseline_rate)
     }
 
+    // --- telemetry ----------------------------------------------------------
+
+    /// Emit one event at the current simulation time. Behind the default
+    /// `NullSink` the guard is a compile-time `false`: the event
+    /// construction at every call site is dead code and disappears.
+    #[inline(always)]
+    fn emit(&mut self, ev: TelemetryEvent) {
+        if S::ENABLED {
+            self.sink.emit(self.now, ev);
+        }
+    }
+
+    /// Move the state machine to `st`, emitting the transition.
+    fn enter(&mut self, st: St) {
+        if S::ENABLED {
+            self.sink
+                .emit(self.now, TelemetryEvent::StateChange { state: st.label() });
+        }
+        self.st = st;
+    }
+
+    /// `provider.request_spot` with bid/grant/denial telemetry.
+    fn request_spot(
+        &mut self,
+        market: MarketId,
+        bid: f64,
+    ) -> Result<(InstanceId, SimTime), RequestError> {
+        self.emit(TelemetryEvent::BidPlaced {
+            market,
+            bid: Some(bid),
+        });
+        let r = self.provider.request_spot(market, bid, self.now);
+        if S::ENABLED {
+            match &r {
+                Ok((id, ready)) => self.emit(TelemetryEvent::LeaseGranted {
+                    id: *id,
+                    market,
+                    spot: true,
+                    ready_at: *ready,
+                }),
+                Err(e) => {
+                    if matches!(e, RequestError::InsufficientCapacity(_)) {
+                        self.emit(TelemetryEvent::FaultInjected {
+                            kind: FaultKind::SpotCapacity,
+                        });
+                    }
+                    self.emit(TelemetryEvent::LeaseDenied {
+                        market,
+                        spot: true,
+                        reason: DenialReason::from(e),
+                    });
+                }
+            }
+        }
+        r
+    }
+
+    /// `provider.request_on_demand` with request/grant/denial telemetry.
+    /// `at` may lie in the future (the naive-restart path requests the
+    /// replacement only at termination time).
+    fn request_on_demand(
+        &mut self,
+        market: MarketId,
+        at: SimTime,
+    ) -> Result<(InstanceId, SimTime), RequestError> {
+        self.emit(TelemetryEvent::BidPlaced { market, bid: None });
+        let r = self.provider.request_on_demand(market, at);
+        if S::ENABLED {
+            match &r {
+                Ok((id, ready)) => self.emit(TelemetryEvent::LeaseGranted {
+                    id: *id,
+                    market,
+                    spot: false,
+                    ready_at: *ready,
+                }),
+                Err(e) => {
+                    if matches!(e, RequestError::InsufficientCapacity(_)) {
+                        self.emit(TelemetryEvent::FaultInjected {
+                            kind: FaultKind::OdCapacity,
+                        });
+                    }
+                    self.emit(TelemetryEvent::LeaseDenied {
+                        market,
+                        spot: false,
+                        reason: DenialReason::from(e),
+                    });
+                }
+            }
+        }
+        r
+    }
+
+    /// `provider.activate` with activation telemetry. `doomed` must be
+    /// read before activation consumes the doom marker.
+    fn activate(&mut self, id: InstanceId, market: MarketId, doomed: bool) -> bool {
+        let ok = self.provider.activate(id, self.now);
+        if S::ENABLED {
+            if ok {
+                self.emit(TelemetryEvent::LeaseActivated { id, market });
+            } else {
+                if doomed {
+                    self.emit(TelemetryEvent::FaultInjected {
+                        kind: FaultKind::StartupFailure,
+                    });
+                }
+                self.emit(TelemetryEvent::ActivationFailed { id, market, doomed });
+            }
+        }
+        ok
+    }
+
+    /// `provider.volume_attach_delay` with fault telemetry.
+    fn volume_attach_delay(&mut self) -> SimDuration {
+        let d = self.provider.volume_attach_delay();
+        if d > SimDuration::ZERO {
+            self.emit(TelemetryEvent::FaultInjected {
+                kind: FaultKind::VolumeDelay,
+            });
+        }
+        d
+    }
+
+    /// Record (and emit) a service outage interval.
+    fn add_downtime(&mut self, from: SimTime, to: SimTime) {
+        if let Some((start, end)) = self.acc.add_downtime(from, to, self.horizon) {
+            self.emit(TelemetryEvent::Outage { start, end });
+        }
+    }
+
+    /// Record (and emit) a degraded-performance interval.
+    fn add_degraded(&mut self, from: SimTime, to: SimTime) {
+        if let Some((start, end)) = self.acc.add_degraded(from, to, self.horizon) {
+            self.emit(TelemetryEvent::Degraded { start, end });
+        }
+    }
+
     // --- helpers -----------------------------------------------------------
 
     fn n_servers(&self, market: MarketId) -> f64 {
@@ -306,7 +497,13 @@ impl<'t> SimRun<'t> {
         let base = self.restore_for(market);
         if self.cfg.mechanism.lazy_restore {
             if let Some(f) = &mut self.faults {
-                return base.inflate_degraded(f.lazy_degraded_factor());
+                let k = f.lazy_degraded_factor();
+                if k != 1.0 {
+                    self.emit(TelemetryEvent::FaultInjected {
+                        kind: FaultKind::LazyStorm,
+                    });
+                }
+                return base.inflate_degraded(k);
             }
         }
         base
@@ -330,6 +527,9 @@ impl<'t> SimRun<'t> {
             || self.faults.as_mut().is_some_and(|f| f.ckpt_write_fails());
         if fails {
             self.acc.ckpt_faults += 1;
+            self.emit(TelemetryEvent::FaultInjected {
+                kind: FaultKind::CkptWriteFail,
+            });
         }
         fails
     }
@@ -341,6 +541,19 @@ impl<'t> SimRun<'t> {
         let delay = SimDuration::secs(60u64 << self.acquire_attempts.min(6));
         self.acquire_attempts = self.acquire_attempts.saturating_add(1);
         delay.min(SimDuration::hours(1))
+    }
+
+    /// Shared backoff scheduling for faulted acquisitions: one `Reacquire`
+    /// wakeup after the bounded backoff, clamped to the horizon. `from` is
+    /// where the backoff starts — now, or a pending termination time when
+    /// the failed request was made ahead of the server's death.
+    fn schedule_reacquire(&mut self, from: SimTime) {
+        let attempt = self.acquire_attempts;
+        let at = from + self.retry_after_backoff();
+        self.emit(TelemetryEvent::BackoffScheduled { attempt, until: at });
+        if at < self.horizon {
+            self.queue.push(at, Ev::Reacquire);
+        }
     }
 
     /// Record that initial acquisition is fault-blocked (no-op once the
@@ -434,7 +647,20 @@ impl<'t> SimRun<'t> {
             self.now.max(start)
         };
         let charge = self.provider.terminate(id, end, reason);
-        self.acc.cost += charge * self.n_servers(market);
+        let cost = charge * self.n_servers(market);
+        self.acc.cost += cost;
+        // The settlement event carries the exact aggregate amount added to
+        // the run's cost: replaying `lease_closed` in stream order is
+        // bit-identical to the accounting sum.
+        self.emit(TelemetryEvent::LeaseClosed {
+            id,
+            market,
+            spot: is_spot,
+            reason,
+            start,
+            end,
+            cost,
+        });
         if !was_pending && end > start {
             let dur = end - start;
             if is_spot {
@@ -476,14 +702,29 @@ impl<'t> SimRun<'t> {
             return;
         }
         if let Some(sched) = self.provider.revocation_schedule(lease.id, self.now) {
+            self.emit(TelemetryEvent::PriceCrossing {
+                id: lease.id,
+                market: lease.market,
+                at: sched.crossing_at,
+            });
             match sched.warning_at {
                 Some(at) => {
+                    // An on-time warning fires at the crossing; later means
+                    // the fault plan delayed it into the grace window.
+                    if at > sched.crossing_at {
+                        self.emit(TelemetryEvent::FaultInjected {
+                            kind: FaultKind::WarningDelay,
+                        });
+                    }
                     if at < self.horizon {
                         self.queue
                             .push(at, Ev::Warning(lease.id, sched.terminate_at));
                     }
                 }
                 None => {
+                    self.emit(TelemetryEvent::FaultInjected {
+                        kind: FaultKind::WarningMiss,
+                    });
                     if sched.terminate_at < self.horizon {
                         self.queue.push(sched.terminate_at, Ev::Died(lease.id));
                     }
@@ -494,12 +735,19 @@ impl<'t> SimRun<'t> {
 
     fn become_active(&mut self, lease: Lease) {
         self.acquire_attempts = 0;
-        if self.acc.service_start.is_none() {
+        let first = self.acc.service_start.is_none();
+        if first {
             self.acc.service_start = Some(self.now);
         }
+        self.emit(TelemetryEvent::ServiceUp {
+            id: lease.id,
+            market: lease.market,
+            spot: lease.is_spot,
+            first,
+        });
         self.schedule_warning(&lease);
         self.schedule_boundary(&lease);
-        self.st = St::Active { lease };
+        self.enter(St::Active { lease });
     }
 
     // --- initial acquisition -----------------------------------------------
@@ -532,17 +780,17 @@ impl<'t> SimRun<'t> {
             if self.cfg.policy.uses_on_demand_fallback() && c.score >= self.baseline_rate {
                 break; // ranked: everything further is unattractive too
             }
-            match self.provider.request_spot(c.market, c.bid, self.now) {
+            match self.request_spot(c.market, c.bid) {
                 Ok((id, ready)) => {
                     self.queue.push(ready, Ev::Ready(id));
-                    self.st = St::Boot {
+                    self.enter(St::Boot {
                         target: Some(Pending {
                             id,
                             market: c.market,
                             is_spot: true,
                             ready_at: ready,
                         }),
-                    };
+                    });
                     return SpotAttempt::Requested;
                 }
                 Err(RequestError::InsufficientCapacity(_)) => {
@@ -565,17 +813,17 @@ impl<'t> SimRun<'t> {
             .cfg
             .scope
             .on_demand_market(zone, self.cfg.capacity_units);
-        match self.provider.request_on_demand(m, self.now) {
+        match self.request_on_demand(m, self.now) {
             Ok((id, ready)) => {
                 self.queue.push(ready, Ev::Ready(id));
-                self.st = St::Boot {
+                self.enter(St::Boot {
                     target: Some(Pending {
                         id,
                         market: m,
                         is_spot: false,
                         ready_at: ready,
                     }),
-                };
+                });
             }
             Err(_) => {
                 self.acc.request_faults += 1;
@@ -587,11 +835,8 @@ impl<'t> SimRun<'t> {
     /// Initial acquisition faulted: back off, then retry from scratch.
     fn retry_boot_later(&mut self) {
         self.note_boot_blocked();
-        let at = self.now + self.retry_after_backoff();
-        if at < self.horizon {
-            self.queue.push(at, Ev::Reacquire);
-        }
-        self.st = St::Boot { target: None };
+        self.schedule_reacquire(self.now);
+        self.enter(St::Boot { target: None });
     }
 
     /// Pure-spot: wake up when the single market becomes affordable.
@@ -637,7 +882,7 @@ impl<'t> SimRun<'t> {
         match &self.st {
             St::Boot { target: Some(p) } if p.id == id => {
                 let p = *p;
-                if self.provider.activate(id, self.now) {
+                if self.activate(id, p.market, doomed) {
                     self.become_active(p.into_lease());
                 } else {
                     // Spot price rose above the bid during boot, or the
@@ -648,7 +893,7 @@ impl<'t> SimRun<'t> {
                     }
                     match self.cfg.policy {
                         BiddingPolicy::PureSpot => {
-                            self.st = St::Boot { target: None };
+                            self.enter(St::Boot { target: None });
                             self.schedule_spot_retry();
                         }
                         _ => self.request_initial_od(),
@@ -657,7 +902,7 @@ impl<'t> SimRun<'t> {
             }
             St::Migrating { to, .. } if to.id == id => {
                 let to = *to;
-                if self.provider.activate(id, self.now) {
+                if self.activate(id, to.market, doomed) {
                     // Target is up: compute timing and schedule switchover.
                     let (from, kind) = match &self.st {
                         St::Migrating { from, kind, .. } => (*from, *kind),
@@ -669,11 +914,17 @@ impl<'t> SimRun<'t> {
                         to_region: to.market.zone.region(),
                         disk_gib: self.cfg.disk_gib,
                     };
+                    let live = self.cfg.mechanism.live && kind.is_voluntary();
                     let mut timing = plan_migration(self.cfg.mechanism, kind, &ctx, &self.vparams);
-                    if self.cfg.mechanism.live && kind.is_voluntary() && self.fault_live_aborts() {
+                    let mut aborted = false;
+                    if live && self.fault_live_aborts() {
                         // Pre-copy aborted mid-flight: fall back to a
                         // checkpoint restore on the already-booted target.
                         self.acc.live_aborts += 1;
+                        aborted = true;
+                        self.emit(TelemetryEvent::FaultInjected {
+                            kind: FaultKind::LiveAbort,
+                        });
                         timing = plan_migration_live_aborted(
                             self.cfg.mechanism,
                             kind,
@@ -681,18 +932,29 @@ impl<'t> SimRun<'t> {
                             &self.vparams,
                         );
                     }
+                    if S::ENABLED {
+                        let phase = if live && !aborted {
+                            MigrationPhase::LivePrecopy
+                        } else {
+                            MigrationPhase::Prepare
+                        };
+                        self.emit(TelemetryEvent::MigrationPhase {
+                            phase,
+                            duration: timing.prepare,
+                        });
+                    }
                     let sw = self.now + timing.prepare;
                     self.queue.push(sw, Ev::Switchover(id));
                     // Arm the new lease's own revocation warning so a spike
                     // in the target market aborts the migration.
                     let lease = to.into_lease();
                     self.schedule_warning(&lease);
-                    self.st = St::Migrating {
+                    self.enter(St::Migrating {
                         from,
                         to,
                         kind,
                         timing: Some(timing),
-                    };
+                    });
                 } else {
                     // Target market spiked during boot (or the startup was
                     // fault-doomed): re-target to on-demand in the
@@ -702,22 +964,26 @@ impl<'t> SimRun<'t> {
                         _ => unreachable!("outer match arm guarantees Migrating"),
                     };
                     self.acc.aborted_migrations += 1;
+                    self.emit(TelemetryEvent::MigrationAborted {
+                        kind,
+                        from: from.market,
+                    });
                     if doomed {
                         self.acc.request_faults += 1;
                     }
                     if kind == MigrationKind::Reverse {
                         // We're on on-demand already; just stay.
-                        self.st = St::Active { lease: from };
+                        self.enter(St::Active { lease: from });
                         self.schedule_boundary(&from);
                     } else {
                         let m = self
                             .cfg
                             .scope
                             .on_demand_market(from.market.zone, self.cfg.capacity_units);
-                        match self.provider.request_on_demand(m, self.now) {
+                        match self.request_on_demand(m, self.now) {
                             Ok((od, ready)) => {
                                 self.queue.push(ready, Ev::Ready(od));
-                                self.st = St::Migrating {
+                                self.enter(St::Migrating {
                                     from,
                                     to: Pending {
                                         id: od,
@@ -727,13 +993,13 @@ impl<'t> SimRun<'t> {
                                     },
                                     kind,
                                     timing: None,
-                                };
+                                });
                             }
                             Err(_) => {
                                 // The old server is still up: stay on it
                                 // and re-decide at the next boundary.
                                 self.acc.request_faults += 1;
-                                self.st = St::Active { lease: from };
+                                self.enter(St::Active { lease: from });
                                 self.schedule_boundary(&from);
                             }
                         }
@@ -747,30 +1013,30 @@ impl<'t> SimRun<'t> {
                 ..
             } if to.id == id => {
                 let (to, from_market, cold) = (*to, *from_market, *cold);
-                if !self.provider.activate(id, self.now) {
+                if !self.activate(id, to.market, doomed) {
                     // The replacement itself failed to come up (injected
                     // startup fault). Its pending ResumeDone is now stale
                     // (filtered by id); re-acquire immediately — the
                     // service is already down, so there is nothing to wait
                     // for.
                     self.acc.request_faults += 1;
-                    self.st = St::Reacquiring {
+                    self.enter(St::Reacquiring {
                         zone: to.market.zone,
                         from_market,
                         cold,
-                    };
+                    });
                     self.queue.push(self.now, Ev::Reacquire);
                 }
             }
             St::Restoring { target, cold } if target.id == id => {
                 let (target, cold) = (*target, *cold);
-                if self.provider.activate(id, self.now) {
+                if self.activate(id, target.market, doomed) {
                     self.schedule_recovery_resume(target, target.market, cold);
                 } else {
                     if doomed {
                         self.acc.request_faults += 1;
                     }
-                    self.st = St::DownWaiting { cold };
+                    self.enter(St::DownWaiting { cold });
                     self.schedule_spot_retry();
                 }
             }
@@ -782,6 +1048,11 @@ impl<'t> SimRun<'t> {
         match &self.st {
             St::Active { lease } if lease.id == id => {
                 let lease = *lease;
+                self.emit(TelemetryEvent::RevocationWarning {
+                    id,
+                    market: lease.market,
+                    terminate_at,
+                });
                 self.forced_migration(lease, None, terminate_at);
             }
             St::Migrating { from, to, .. } if from.id == id => {
@@ -789,6 +1060,11 @@ impl<'t> SimRun<'t> {
                 // voluntary migration becomes a forced one. Reuse the
                 // target if it's an on-demand server.
                 let (from, to) = (*from, *to);
+                self.emit(TelemetryEvent::RevocationWarning {
+                    id,
+                    market: from.market,
+                    terminate_at,
+                });
                 let reuse = (!to.is_spot).then_some(to);
                 if reuse.is_none() {
                     // Spot target: walk away from it (it would be billed
@@ -797,14 +1073,23 @@ impl<'t> SimRun<'t> {
                 }
                 self.forced_migration(from, reuse, terminate_at);
             }
-            St::Migrating { from, to, .. } if to.id == id => {
+            St::Migrating { from, to, kind, .. } if to.id == id => {
                 // The *target* market spiked before switchover: abort the
                 // migration, let the provider revoke the target (its
                 // partial hour is then free), and stay on the old server.
-                let (from, to) = (*from, *to);
+                let (from, to, kind) = (*from, *to, *kind);
+                self.emit(TelemetryEvent::RevocationWarning {
+                    id,
+                    market: to.market,
+                    terminate_at,
+                });
                 self.queue.push(terminate_at, Ev::Terminate(to.id));
                 self.acc.aborted_migrations += 1;
-                self.st = St::Active { lease: from };
+                self.emit(TelemetryEvent::MigrationAborted {
+                    kind,
+                    from: from.market,
+                });
+                self.enter(St::Active { lease: from });
                 self.schedule_boundary(&from);
             }
             _ => { /* stale */ }
@@ -822,6 +1107,10 @@ impl<'t> SimRun<'t> {
                 let lease = *lease;
                 self.acc.forced_migrations += 1;
                 self.acc.unwarned_revocations += 1;
+                self.emit(TelemetryEvent::UnwarnedDeath {
+                    id,
+                    market: lease.market,
+                });
                 self.close_lease(id, TerminationReason::Revoked);
                 self.down_since = Some(self.now);
                 self.unwarned_recover(lease.market);
@@ -830,6 +1119,10 @@ impl<'t> SimRun<'t> {
                 let (from, to) = (*from, *to);
                 self.acc.forced_migrations += 1;
                 self.acc.unwarned_revocations += 1;
+                self.emit(TelemetryEvent::UnwarnedDeath {
+                    id,
+                    market: from.market,
+                });
                 self.close_lease(id, TerminationReason::Revoked);
                 self.down_since = Some(self.now);
                 if !to.is_spot {
@@ -841,14 +1134,22 @@ impl<'t> SimRun<'t> {
                     self.unwarned_recover(from.market);
                 }
             }
-            St::Migrating { from, to, .. } if to.id == id => {
+            St::Migrating { from, to, kind, .. } if to.id == id => {
                 // The migration target died unwarned: abort, stay on the
                 // old server.
-                let from = *from;
+                let (from, to_market, kind) = (*from, to.market, *kind);
                 debug_assert_eq!(to.id, id);
+                self.emit(TelemetryEvent::UnwarnedDeath {
+                    id,
+                    market: to_market,
+                });
                 self.close_lease(id, TerminationReason::Revoked);
                 self.acc.aborted_migrations += 1;
-                self.st = St::Active { lease: from };
+                self.emit(TelemetryEvent::MigrationAborted {
+                    kind,
+                    from: from.market,
+                });
+                self.enter(St::Active { lease: from });
                 self.schedule_boundary(&from);
             }
             _ => {
@@ -864,7 +1165,7 @@ impl<'t> SimRun<'t> {
     fn unwarned_recover(&mut self, from_market: MarketId) {
         let cold = self.cfg.naive_restart;
         if !self.cfg.policy.uses_on_demand_fallback() {
-            self.st = St::DownWaiting { cold };
+            self.enter(St::DownWaiting { cold });
             self.schedule_spot_retry();
             return;
         }
@@ -878,7 +1179,7 @@ impl<'t> SimRun<'t> {
             .cfg
             .scope
             .on_demand_market(zone, self.cfg.capacity_units);
-        match self.provider.request_on_demand(m, self.now) {
+        match self.request_on_demand(m, self.now) {
             Ok((id, ready)) => {
                 self.queue.push(ready, Ev::Ready(id));
                 let to = Pending {
@@ -892,15 +1193,12 @@ impl<'t> SimRun<'t> {
             Err(_) => {
                 self.acc.request_faults += 1;
                 self.note_boot_blocked();
-                let at = self.now + self.retry_after_backoff();
-                if at < self.horizon {
-                    self.queue.push(at, Ev::Reacquire);
-                }
-                self.st = St::Reacquiring {
+                self.schedule_reacquire(self.now);
+                self.enter(St::Reacquiring {
                     zone,
                     from_market,
                     cold,
-                };
+                });
             }
         }
     }
@@ -908,7 +1206,7 @@ impl<'t> SimRun<'t> {
     /// A replacement server is requested (or already up): schedule the
     /// service resume on it and enter `Evacuating`.
     fn schedule_recovery_resume(&mut self, to: Pending, from_market: MarketId, cold: bool) {
-        let vol_delay = self.provider.volume_attach_delay();
+        let vol_delay = self.volume_attach_delay();
         let restore_start = to.ready_at.max(self.now) + vol_delay;
         let (latency, degraded) = if cold {
             (NAIVE_SERVICE_BOOT, SimDuration::ZERO)
@@ -918,12 +1216,29 @@ impl<'t> SimRun<'t> {
         };
         self.queue
             .push(restore_start + latency, Ev::ResumeDone(to.id));
-        self.st = St::Evacuating {
+        self.emit(TelemetryEvent::MigrationStarted {
+            kind: MigrationKind::Forced,
+            from: from_market,
+            to: to.market,
+        });
+        if S::ENABLED {
+            self.emit(TelemetryEvent::MigrationPhase {
+                phase: MigrationPhase::Restore,
+                duration: latency,
+            });
+            if degraded > SimDuration::ZERO {
+                self.emit(TelemetryEvent::MigrationPhase {
+                    phase: MigrationPhase::LazyFaultIn,
+                    duration: degraded,
+                });
+            }
+        }
+        self.enter(St::Evacuating {
             to,
             degraded,
             from_market,
             cold,
-        };
+        });
     }
 
     /// Handle a revocation warning on `lease`: flush the bounded
@@ -938,13 +1253,19 @@ impl<'t> SimRun<'t> {
             // until the market comes back and the VM restores.
             let flush = self.vparams.final_ckpt_write();
             let cold = self.ckpt_flush_fails(terminate_at);
+            if !cold {
+                self.emit(TelemetryEvent::MigrationPhase {
+                    phase: MigrationPhase::CkptFlush,
+                    duration: flush,
+                });
+            }
             self.down_since = Some(if cold {
                 terminate_at
             } else {
                 terminate_at.saturating_sub(flush)
             });
             self.acc.forced_migrations += 1;
-            self.st = St::DownWaiting { cold };
+            self.enter(St::DownWaiting { cold });
             // Try again once the price is back at or below the bid; the
             // earliest sensible moment is after termination.
             let m = lease.market;
@@ -974,12 +1295,21 @@ impl<'t> SimRun<'t> {
                 .scope
                 .on_demand_market(lease.market.zone, self.cfg.capacity_units);
             self.down_since = Some(terminate_at);
-            match self.provider.request_on_demand(m, terminate_at) {
+            match self.request_on_demand(m, terminate_at) {
                 Ok((od, ready)) => {
                     self.queue.push(ready, Ev::Ready(od));
                     let resume = ready + NAIVE_SERVICE_BOOT;
                     self.queue.push(resume, Ev::ResumeDone(od));
-                    self.st = St::Evacuating {
+                    self.emit(TelemetryEvent::MigrationStarted {
+                        kind: MigrationKind::Forced,
+                        from: lease.market,
+                        to: m,
+                    });
+                    self.emit(TelemetryEvent::MigrationPhase {
+                        phase: MigrationPhase::Restore,
+                        duration: NAIVE_SERVICE_BOOT,
+                    });
+                    self.enter(St::Evacuating {
                         to: Pending {
                             id: od,
                             market: m,
@@ -989,19 +1319,16 @@ impl<'t> SimRun<'t> {
                         degraded: SimDuration::ZERO,
                         from_market: lease.market,
                         cold: true,
-                    };
+                    });
                 }
                 Err(_) => {
                     self.acc.request_faults += 1;
-                    let at = terminate_at + self.retry_after_backoff();
-                    if at < self.horizon {
-                        self.queue.push(at, Ev::Reacquire);
-                    }
-                    self.st = St::Reacquiring {
+                    self.schedule_reacquire(terminate_at);
+                    self.enter(St::Reacquiring {
                         zone: lease.market.zone,
                         from_market: lease.market,
                         cold: true,
-                    };
+                    });
                 }
             }
             return;
@@ -1012,6 +1339,12 @@ impl<'t> SimRun<'t> {
         // instance runs to termination and recovery cold-boots.
         let flush = self.vparams.final_ckpt_write();
         let cold = self.ckpt_flush_fails(terminate_at);
+        if !cold {
+            self.emit(TelemetryEvent::MigrationPhase {
+                phase: MigrationPhase::CkptFlush,
+                duration: flush,
+            });
+        }
         let suspend = if cold {
             terminate_at
         } else {
@@ -1025,7 +1358,7 @@ impl<'t> SimRun<'t> {
                     .cfg
                     .scope
                     .on_demand_market(lease.market.zone, self.cfg.capacity_units);
-                match self.provider.request_on_demand(m, self.now) {
+                match self.request_on_demand(m, self.now) {
                     Ok((od, ready)) => {
                         self.queue.push(ready, Ev::Ready(od));
                         Some(Pending {
@@ -1047,7 +1380,7 @@ impl<'t> SimRun<'t> {
                 // Downtime: [suspend, restore-finished). The restore starts
                 // once the replacement is up, the old server has
                 // terminated, and the checkpoint volume is attached.
-                let vol_delay = self.provider.volume_attach_delay();
+                let vol_delay = self.volume_attach_delay();
                 let restore_start = to.ready_at.max(terminate_at) + vol_delay;
                 let (latency, degraded) = if cold {
                     (NAIVE_SERVICE_BOOT, SimDuration::ZERO)
@@ -1057,23 +1390,37 @@ impl<'t> SimRun<'t> {
                 };
                 self.queue
                     .push(restore_start + latency, Ev::ResumeDone(to.id));
-                self.st = St::Evacuating {
+                self.emit(TelemetryEvent::MigrationStarted {
+                    kind: MigrationKind::Forced,
+                    from: lease.market,
+                    to: to.market,
+                });
+                if S::ENABLED {
+                    self.emit(TelemetryEvent::MigrationPhase {
+                        phase: MigrationPhase::Restore,
+                        duration: latency,
+                    });
+                    if degraded > SimDuration::ZERO {
+                        self.emit(TelemetryEvent::MigrationPhase {
+                            phase: MigrationPhase::LazyFaultIn,
+                            duration: degraded,
+                        });
+                    }
+                }
+                self.enter(St::Evacuating {
                     to,
                     degraded,
                     from_market: lease.market,
                     cold,
-                };
+                });
             }
             None => {
-                let at = terminate_at + self.retry_after_backoff();
-                if at < self.horizon {
-                    self.queue.push(at, Ev::Reacquire);
-                }
-                self.st = St::Reacquiring {
+                self.schedule_reacquire(terminate_at);
+                self.enter(St::Reacquiring {
                     zone: lease.market.zone,
                     from_market: lease.market,
                     cold,
-                };
+                });
             }
         }
     }
@@ -1144,7 +1491,7 @@ impl<'t> SimRun<'t> {
     /// One spot request; `Err(true)` means an injected capacity fault,
     /// `Err(false)` any other rejection (price moved under us).
     fn try_spot_request(&mut self, c: Candidate) -> Result<Pending, bool> {
-        match self.provider.request_spot(c.market, c.bid, self.now) {
+        match self.request_spot(c.market, c.bid) {
             Ok((id, ready)) => {
                 self.queue.push(ready, Ev::Ready(id));
                 Ok(Pending {
@@ -1210,7 +1557,7 @@ impl<'t> SimRun<'t> {
                     .cfg
                     .scope
                     .on_demand_market(from.market.zone, self.cfg.capacity_units);
-                match self.provider.request_on_demand(m, self.now) {
+                match self.request_on_demand(m, self.now) {
                     Ok((id, ready)) => {
                         self.queue.push(ready, Ev::Ready(id));
                         Pending {
@@ -1230,12 +1577,17 @@ impl<'t> SimRun<'t> {
                 }
             }
         };
-        self.st = St::Migrating {
+        self.emit(TelemetryEvent::MigrationStarted {
+            kind,
+            from: from.market,
+            to: to.market,
+        });
+        self.enter(St::Migrating {
             from,
             to,
             kind,
             timing: None,
-        };
+        });
     }
 
     fn on_switchover(&mut self, target_id: InstanceId) {
@@ -1250,35 +1602,63 @@ impl<'t> SimRun<'t> {
         };
         // Account the switchover outage and any degraded tail.
         let down_end = self.now + timing.downtime;
-        self.acc.add_downtime(self.now, down_end, self.horizon);
-        self.acc
-            .add_degraded(down_end, down_end + timing.degraded, self.horizon);
+        self.add_downtime(self.now, down_end);
+        self.add_degraded(down_end, down_end + timing.degraded);
         match kind {
             MigrationKind::Planned => self.acc.planned_migrations += 1,
             MigrationKind::Reverse => self.acc.reverse_migrations += 1,
             MigrationKind::Forced => unreachable!("forced moves don't switch over here"),
         }
+        self.emit(TelemetryEvent::MigrationCompleted {
+            kind,
+            from: from.market,
+            to: to.market,
+            downtime: timing.downtime,
+            degraded: timing.degraded,
+        });
         // Release the old server; voluntary, so the started hour is billed.
         self.close_lease(from.id, TerminationReason::Voluntary);
         // The new lease has been running (and billing) since its ready
         // time; its warning was armed at activation.
         let lease = to.into_lease();
         self.schedule_boundary(&lease);
-        if self.acc.service_start.is_none() {
+        let first = self.acc.service_start.is_none();
+        if first {
             self.acc.service_start = Some(self.now);
         }
-        self.st = St::Active { lease };
+        self.emit(TelemetryEvent::ServiceUp {
+            id: lease.id,
+            market: lease.market,
+            spot: lease.is_spot,
+            first,
+        });
+        self.enter(St::Active { lease });
     }
 
     fn on_resume_done(&mut self, id: InstanceId) {
         match &self.st {
-            St::Evacuating { to, degraded, .. } if to.id == id => {
-                let (to, degraded) = (*to, *degraded);
-                if let Some(since) = self.down_since.take() {
-                    self.acc.add_downtime(since, self.now, self.horizon);
+            St::Evacuating {
+                to,
+                degraded,
+                from_market,
+                ..
+            } if to.id == id => {
+                let (to, degraded, from_market) = (*to, *degraded, *from_market);
+                let since = self.down_since.take();
+                if let Some(s) = since {
+                    self.add_downtime(s, self.now);
                 }
-                self.acc
-                    .add_degraded(self.now, self.now + degraded, self.horizon);
+                self.add_degraded(self.now, self.now + degraded);
+                if S::ENABLED {
+                    let downtime = since.map_or(SimDuration::ZERO, |s| self.now - s);
+                    self.emit(TelemetryEvent::MigrationCompleted {
+                        kind: MigrationKind::Forced,
+                        from: from_market,
+                        to: to.market,
+                        downtime,
+                        degraded,
+                    });
+                }
                 self.become_active(to.into_lease());
             }
             _ => { /* stale */ }
@@ -1299,7 +1679,7 @@ impl<'t> SimRun<'t> {
             self.schedule_spot_retry();
             return;
         };
-        match self.provider.request_spot(best.market, best.bid, self.now) {
+        match self.request_spot(best.market, best.bid) {
             Ok((id, ready)) => {
                 let pending = Pending {
                     id,
@@ -1309,14 +1689,14 @@ impl<'t> SimRun<'t> {
                 };
                 self.queue.push(ready, Ev::Ready(id));
                 if booting {
-                    self.st = St::Boot {
+                    self.enter(St::Boot {
                         target: Some(pending),
-                    };
+                    });
                 } else {
-                    self.st = St::Restoring {
+                    self.enter(St::Restoring {
                         target: pending,
                         cold,
-                    };
+                    });
                 }
             }
             Err(RequestError::InsufficientCapacity(_)) => {
@@ -1327,7 +1707,9 @@ impl<'t> SimRun<'t> {
                 if booting {
                     self.note_boot_blocked();
                 }
+                let attempt = self.acquire_attempts;
                 let at = self.now + self.retry_after_backoff();
+                self.emit(TelemetryEvent::BackoffScheduled { attempt, until: at });
                 if at < self.horizon {
                     self.queue.push(at, Ev::SpotRetry);
                 }
@@ -1383,12 +1765,12 @@ impl<'t> SimRun<'t> {
         if self.acc.service_start.is_none() {
             if let Some(t0) = self.boot_blocked_since {
                 self.acc.service_start = Some(t0);
-                self.acc.add_downtime(t0, self.horizon, self.horizon);
+                self.add_downtime(t0, self.horizon);
             }
         }
         // Close any open downtime interval.
         if let Some(since) = self.down_since.take() {
-            self.acc.add_downtime(since, self.horizon, self.horizon);
+            self.add_downtime(since, self.horizon);
         }
         // Close all leases the state still references.
         let ids: Vec<(InstanceId, TerminationReason)> = match &self.st {

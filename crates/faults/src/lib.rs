@@ -27,3 +27,51 @@ pub mod plan;
 
 pub use config::FaultConfig;
 pub use plan::{FaultPlan, WarningFault};
+
+/// The injectable fault types, one per [`FaultConfig`] rate knob. Used by
+/// consumers (telemetry, reports) to attribute an observed failure to the
+/// fault stream that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Spot request rejected with `InsufficientCapacity`.
+    SpotCapacity,
+    /// On-demand request rejected with `InsufficientCapacity`.
+    OdCapacity,
+    /// A granted server never comes up (activation fails, closed unbilled).
+    StartupFailure,
+    /// A revocation warning was never delivered.
+    WarningMiss,
+    /// A revocation warning arrived late, eating into the grace window.
+    WarningDelay,
+    /// Extra delay attaching the checkpoint volume to a replacement.
+    VolumeDelay,
+    /// The final bounded-checkpoint flush failed (or no longer fit the
+    /// remaining grace window); recovery cold-boots.
+    CkptWriteFail,
+    /// A live pre-copy aborted mid-flight and downgraded to a restore.
+    LiveAbort,
+    /// A lazy restore hit a page-fault storm, inflating its degraded window.
+    LazyStorm,
+}
+
+impl FaultKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::SpotCapacity => "spot-capacity",
+            FaultKind::OdCapacity => "od-capacity",
+            FaultKind::StartupFailure => "startup-failure",
+            FaultKind::WarningMiss => "warning-miss",
+            FaultKind::WarningDelay => "warning-delay",
+            FaultKind::VolumeDelay => "volume-delay",
+            FaultKind::CkptWriteFail => "ckpt-write-fail",
+            FaultKind::LiveAbort => "live-abort",
+            FaultKind::LazyStorm => "lazy-storm",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}

@@ -321,7 +321,7 @@ fn generate_market_trace(
         // Activate spikes starting here.
         while let Some(s) = spike_starts.peek() {
             if s.start <= bt {
-                let s = *spike_starts.next().unwrap();
+                let s = *spike_starts.next().expect("peek guaranteed a next spike");
                 if s.end > bt {
                     let key = (s.level / PRICE_QUANTUM).round() as u64;
                     *active.entry(key).or_insert(0) += 1;

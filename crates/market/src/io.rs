@@ -153,7 +153,10 @@ pub fn trace_from_csv(text: &str) -> Result<(MarketId, PriceTrace), TraceIoError
         );
         points.dedup_by_key(|p| p.at);
     }
-    let last = points.last().unwrap().at;
+    let last = points
+        .last()
+        .expect("parser inserted at least the t=0 point")
+        .at;
     let horizon = horizon_ms
         .map(SimTime::millis)
         .unwrap_or(last + SimDuration::hours(1));

@@ -38,6 +38,11 @@
 //! assert!(t.time_weighted_mean() < catalog.on_demand_price(market));
 //! ```
 
+// Library code must not unwrap: every remaining panic site is either an
+// invariant with an explanatory expect message or a documented
+// precondition (see DESIGN.md "Failure semantics").
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod calib;
 pub mod catalog;
 pub mod dist;

@@ -58,8 +58,8 @@ pub fn avg_intra_zone_correlation(set: &TraceSet, zone: Zone) -> f64 {
     for (i, &a) in markets.iter().enumerate() {
         for &b in &markets[i + 1..] {
             acc += trace_correlation(
-                set.trace(a).unwrap(),
-                set.trace(b).unwrap(),
+                set.trace(a).expect("filtered to present markets"),
+                set.trace(b).expect("filtered to present markets"),
                 CORRELATION_GRID,
             );
             n += 1;

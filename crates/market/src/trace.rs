@@ -63,8 +63,9 @@ impl PriceTrace {
                 p.price
             );
         }
+        let last = points.last().expect("non-empty asserted above").at;
         assert!(
-            end > points.last().unwrap().at || (points.len() == 1 && end >= SimTime::ZERO),
+            end > last || (points.len() == 1 && end >= SimTime::ZERO),
             "trace end must be after the last change"
         );
         PriceTrace { points, end }

@@ -1,0 +1,235 @@
+//! The typed event schema.
+//!
+//! Every variant is plain copyable data so that constructing an event is
+//! side-effect free: behind the [`crate::NullSink`] the construction is
+//! dead code and the optimizer deletes it. The schema table in DESIGN.md
+//! ("Observability") mirrors this enum field for field.
+
+use spothost_cloudsim::{InstanceId, RequestError, TerminationReason};
+use spothost_faults::FaultKind;
+use spothost_market::time::{SimDuration, SimTime};
+use spothost_market::types::MarketId;
+use spothost_virt::MigrationKind;
+
+/// Why a server request was denied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DenialReason {
+    /// No trace for the market in this simulation (a config error).
+    UnknownMarket,
+    /// Spot only: the current price is above the bid.
+    BidBelowPrice,
+    /// Spot only: the bid exceeds the provider's cap.
+    BidAboveCap,
+    /// Injected capacity fault (spot or on-demand).
+    InsufficientCapacity,
+}
+
+impl DenialReason {
+    pub fn name(self) -> &'static str {
+        match self {
+            DenialReason::UnknownMarket => "unknown-market",
+            DenialReason::BidBelowPrice => "bid-below-price",
+            DenialReason::BidAboveCap => "bid-above-cap",
+            DenialReason::InsufficientCapacity => "insufficient-capacity",
+        }
+    }
+}
+
+impl From<&RequestError> for DenialReason {
+    fn from(e: &RequestError) -> Self {
+        match e {
+            RequestError::UnknownMarket(_) => DenialReason::UnknownMarket,
+            RequestError::BidBelowPrice { .. } => DenialReason::BidBelowPrice,
+            RequestError::BidAboveCap { .. } => DenialReason::BidAboveCap,
+            RequestError::InsufficientCapacity(_) => DenialReason::InsufficientCapacity,
+        }
+    }
+}
+
+/// A phase of a migration, with how long it takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationPhase {
+    /// Target-side preparation before switchover (voluntary moves).
+    Prepare,
+    /// Live pre-copy rounds (subset of preparation when live is on).
+    LivePrecopy,
+    /// Final bounded-checkpoint flush inside the grace window.
+    CkptFlush,
+    /// Restore of the VM image on the replacement server.
+    Restore,
+    /// Lazy restore's background fault-in window (service degraded).
+    LazyFaultIn,
+}
+
+impl MigrationPhase {
+    pub fn name(self) -> &'static str {
+        match self {
+            MigrationPhase::Prepare => "prepare",
+            MigrationPhase::LivePrecopy => "live-precopy",
+            MigrationPhase::CkptFlush => "ckpt-flush",
+            MigrationPhase::Restore => "restore",
+            MigrationPhase::LazyFaultIn => "lazy-fault-in",
+        }
+    }
+}
+
+/// Scheduler state-machine label (mirrors `core::scheduler`'s states).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerState {
+    Boot,
+    Active,
+    Migrating,
+    Evacuating,
+    DownWaiting,
+    Restoring,
+    Reacquiring,
+}
+
+impl SchedulerState {
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerState::Boot => "boot",
+            SchedulerState::Active => "active",
+            SchedulerState::Migrating => "migrating",
+            SchedulerState::Evacuating => "evacuating",
+            SchedulerState::DownWaiting => "down-waiting",
+            SchedulerState::Restoring => "restoring",
+            SchedulerState::Reacquiring => "reacquiring",
+        }
+    }
+}
+
+/// One structured event in a run's timeline. Emission time is carried
+/// alongside (see [`crate::TimedEvent`]); times inside a variant refer to
+/// other moments (a lease's start, a scheduled termination, ...).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TelemetryEvent {
+    /// A spot bid (or on-demand request, `bid = None`) was placed.
+    BidPlaced { market: MarketId, bid: Option<f64> },
+    /// The provider granted a server; it becomes ready at `ready_at`.
+    LeaseGranted {
+        id: InstanceId,
+        market: MarketId,
+        spot: bool,
+        ready_at: SimTime,
+    },
+    /// The provider denied a request.
+    LeaseDenied {
+        market: MarketId,
+        spot: bool,
+        reason: DenialReason,
+    },
+    /// A granted server came up and started serving/billing.
+    LeaseActivated { id: InstanceId, market: MarketId },
+    /// A granted server failed to come up: the spot price rose above the
+    /// bid during boot, or the startup was fault-doomed.
+    ActivationFailed {
+        id: InstanceId,
+        market: MarketId,
+        doomed: bool,
+    },
+    /// Billing settlement: a lease closed and its final charge was added
+    /// to the run's cost. `cost` is the exact aggregate dollar amount
+    /// added (per-server charge times packed servers) — summing these in
+    /// stream order reproduces the run's total cost bit for bit.
+    LeaseClosed {
+        id: InstanceId,
+        market: MarketId,
+        spot: bool,
+        reason: TerminationReason,
+        start: SimTime,
+        end: SimTime,
+        cost: f64,
+    },
+    /// The provider-side moment the spot price first crosses above the
+    /// bid — the revocation becomes inevitable at `at` (a future time;
+    /// the customer only learns of it through the warning).
+    PriceCrossing {
+        id: InstanceId,
+        market: MarketId,
+        at: SimTime,
+    },
+    /// The customer-visible two-minute warning was delivered. A
+    /// fault-delayed warning leaves less than the full grace window
+    /// before `terminate_at`.
+    RevocationWarning {
+        id: InstanceId,
+        market: MarketId,
+        terminate_at: SimTime,
+    },
+    /// An unwarned revocation: the lease died right now, with no grace
+    /// window and no checkpoint flush.
+    UnwarnedDeath { id: InstanceId, market: MarketId },
+    /// A migration was initiated.
+    MigrationStarted {
+        kind: MigrationKind,
+        from: MarketId,
+        to: MarketId,
+    },
+    /// One phase of the in-flight migration, with its planned duration.
+    MigrationPhase {
+        phase: MigrationPhase,
+        duration: SimDuration,
+    },
+    /// A migration finished: the service runs on `to`. `downtime` is the
+    /// outage it cost, `degraded` the degraded tail after resume.
+    MigrationCompleted {
+        kind: MigrationKind,
+        from: MarketId,
+        to: MarketId,
+        downtime: SimDuration,
+        degraded: SimDuration,
+    },
+    /// A voluntary migration was aborted (target revoked or died while
+    /// booting); the service stays on `from`.
+    MigrationAborted { kind: MigrationKind, from: MarketId },
+    /// A closed service outage interval `[start, end)`, clamped to the
+    /// horizon, exactly as accounted — summing `end - start` over the
+    /// stream reproduces the run's total downtime.
+    Outage { start: SimTime, end: SimTime },
+    /// A closed degraded-performance interval `[start, end)`, clamped to
+    /// the horizon, exactly as accounted.
+    Degraded { start: SimTime, end: SimTime },
+    /// The service is up and serving on this lease. `first` marks the
+    /// initial boot (the start of the measured span).
+    ServiceUp {
+        id: InstanceId,
+        market: MarketId,
+        spot: bool,
+        first: bool,
+    },
+    /// A fault plan injected a fault of this kind.
+    FaultInjected { kind: FaultKind },
+    /// An acquisition attempt faulted; the next attempt is scheduled at
+    /// `until` (bounded exponential backoff, `attempt` starting at 0).
+    BackoffScheduled { attempt: u32, until: SimTime },
+    /// The scheduler state machine moved to a new state.
+    StateChange { state: SchedulerState },
+}
+
+impl TelemetryEvent {
+    /// Stable machine-readable name (the `kind` field of exports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TelemetryEvent::BidPlaced { .. } => "bid_placed",
+            TelemetryEvent::LeaseGranted { .. } => "lease_granted",
+            TelemetryEvent::LeaseDenied { .. } => "lease_denied",
+            TelemetryEvent::LeaseActivated { .. } => "lease_activated",
+            TelemetryEvent::ActivationFailed { .. } => "activation_failed",
+            TelemetryEvent::LeaseClosed { .. } => "lease_closed",
+            TelemetryEvent::PriceCrossing { .. } => "price_crossing",
+            TelemetryEvent::RevocationWarning { .. } => "revocation_warning",
+            TelemetryEvent::UnwarnedDeath { .. } => "unwarned_death",
+            TelemetryEvent::MigrationStarted { .. } => "migration_started",
+            TelemetryEvent::MigrationPhase { .. } => "migration_phase",
+            TelemetryEvent::MigrationCompleted { .. } => "migration_completed",
+            TelemetryEvent::MigrationAborted { .. } => "migration_aborted",
+            TelemetryEvent::Outage { .. } => "outage",
+            TelemetryEvent::Degraded { .. } => "degraded",
+            TelemetryEvent::ServiceUp { .. } => "service_up",
+            TelemetryEvent::FaultInjected { .. } => "fault_injected",
+            TelemetryEvent::BackoffScheduled { .. } => "backoff_scheduled",
+            TelemetryEvent::StateChange { .. } => "state_change",
+        }
+    }
+}

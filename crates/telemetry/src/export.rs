@@ -1,0 +1,452 @@
+//! Hand-rolled JSONL and CSV serialization of the event stream (the
+//! workspace is offline and carries no serde).
+//!
+//! JSONL is the canonical format: one object per line, a `t_ms` emission
+//! timestamp and a `kind` discriminator, then the variant's fields with
+//! times as `*_ms` integers. CSV flattens every event onto one fixed set
+//! of columns for spreadsheet use; fields that don't apply stay empty.
+
+use crate::event::TelemetryEvent;
+use spothost_market::time::{SimDuration, SimTime};
+
+/// Minimal JSON object writer. All strings we serialize are internal
+/// identifiers (market names, event kinds), but escape anyway so the
+/// output is valid JSON no matter what.
+struct JsonObj {
+    buf: String,
+}
+
+impl JsonObj {
+    fn new() -> Self {
+        JsonObj {
+            buf: String::with_capacity(128),
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if self.buf.is_empty() {
+            self.buf.push('{');
+        } else {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        self.buf.push_str(k);
+        self.buf.push_str("\":");
+    }
+
+    fn str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.buf.push('"');
+        for c in v.chars() {
+            match c {
+                '"' => self.buf.push_str("\\\""),
+                '\\' => self.buf.push_str("\\\\"),
+                c if (c as u32) < 0x20 => {
+                    self.buf.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.buf.push(c),
+            }
+        }
+        self.buf.push('"');
+    }
+
+    fn u64(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+    }
+
+    fn f64(&mut self, k: &str, v: f64) {
+        self.key(k);
+        // Rust's shortest-roundtrip Display is valid JSON for finite
+        // values; costs and bids are always finite.
+        self.buf.push_str(&v.to_string());
+    }
+
+    fn bool(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+    }
+
+    fn time(&mut self, k: &str, t: SimTime) {
+        self.u64(k, t.as_millis());
+    }
+
+    fn dur(&mut self, k: &str, d: SimDuration) {
+        self.u64(k, d.as_millis());
+    }
+
+    fn finish(mut self) -> String {
+        if self.buf.is_empty() {
+            self.buf.push('{');
+        }
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Serialize one timed event as a single JSON object (no trailing newline).
+pub fn event_to_json(at: SimTime, ev: &TelemetryEvent) -> String {
+    let mut o = JsonObj::new();
+    o.u64("t_ms", at.as_millis());
+    o.str("kind", ev.name());
+    match ev {
+        TelemetryEvent::BidPlaced { market, bid } => {
+            o.str("market", &market.to_string());
+            match bid {
+                Some(b) => o.f64("bid", *b),
+                None => o.bool("on_demand", true),
+            }
+        }
+        TelemetryEvent::LeaseGranted {
+            id,
+            market,
+            spot,
+            ready_at,
+        } => {
+            o.str("id", &id.to_string());
+            o.str("market", &market.to_string());
+            o.bool("spot", *spot);
+            o.time("ready_ms", *ready_at);
+        }
+        TelemetryEvent::LeaseDenied {
+            market,
+            spot,
+            reason,
+        } => {
+            o.str("market", &market.to_string());
+            o.bool("spot", *spot);
+            o.str("reason", reason.name());
+        }
+        TelemetryEvent::LeaseActivated { id, market } => {
+            o.str("id", &id.to_string());
+            o.str("market", &market.to_string());
+        }
+        TelemetryEvent::ActivationFailed { id, market, doomed } => {
+            o.str("id", &id.to_string());
+            o.str("market", &market.to_string());
+            o.bool("doomed", *doomed);
+        }
+        TelemetryEvent::LeaseClosed {
+            id,
+            market,
+            spot,
+            reason,
+            start,
+            end,
+            cost,
+        } => {
+            o.str("id", &id.to_string());
+            o.str("market", &market.to_string());
+            o.bool("spot", *spot);
+            o.str("reason", termination_name(*reason));
+            o.time("start_ms", *start);
+            o.time("end_ms", *end);
+            o.f64("cost", *cost);
+        }
+        TelemetryEvent::PriceCrossing { id, market, at } => {
+            o.str("id", &id.to_string());
+            o.str("market", &market.to_string());
+            o.time("crossing_ms", *at);
+        }
+        TelemetryEvent::RevocationWarning {
+            id,
+            market,
+            terminate_at,
+        } => {
+            o.str("id", &id.to_string());
+            o.str("market", &market.to_string());
+            o.time("terminate_ms", *terminate_at);
+        }
+        TelemetryEvent::UnwarnedDeath { id, market } => {
+            o.str("id", &id.to_string());
+            o.str("market", &market.to_string());
+        }
+        TelemetryEvent::MigrationStarted { kind, from, to } => {
+            o.str("migration", kind.name());
+            o.str("from", &from.to_string());
+            o.str("to", &to.to_string());
+        }
+        TelemetryEvent::MigrationPhase { phase, duration } => {
+            o.str("phase", phase.name());
+            o.dur("duration_ms", *duration);
+        }
+        TelemetryEvent::MigrationCompleted {
+            kind,
+            from,
+            to,
+            downtime,
+            degraded,
+        } => {
+            o.str("migration", kind.name());
+            o.str("from", &from.to_string());
+            o.str("to", &to.to_string());
+            o.dur("downtime_ms", *downtime);
+            o.dur("degraded_ms", *degraded);
+        }
+        TelemetryEvent::MigrationAborted { kind, from } => {
+            o.str("migration", kind.name());
+            o.str("from", &from.to_string());
+        }
+        TelemetryEvent::Outage { start, end } | TelemetryEvent::Degraded { start, end } => {
+            o.time("start_ms", *start);
+            o.time("end_ms", *end);
+            o.dur("duration_ms", *end - *start);
+        }
+        TelemetryEvent::ServiceUp {
+            id,
+            market,
+            spot,
+            first,
+        } => {
+            o.str("id", &id.to_string());
+            o.str("market", &market.to_string());
+            o.bool("spot", *spot);
+            o.bool("first", *first);
+        }
+        TelemetryEvent::FaultInjected { kind } => {
+            o.str("fault", kind.name());
+        }
+        TelemetryEvent::BackoffScheduled { attempt, until } => {
+            o.u64("attempt", *attempt as u64);
+            o.time("until_ms", *until);
+        }
+        TelemetryEvent::StateChange { state } => {
+            o.str("state", state.name());
+        }
+    }
+    o.finish()
+}
+
+/// Header row matching [`event_to_csv_row`].
+pub const CSV_HEADER: &str =
+    "t_ms,kind,instance,market,to_market,start_ms,end_ms,duration_ms,value,detail";
+
+fn termination_name(r: spothost_cloudsim::TerminationReason) -> &'static str {
+    use spothost_cloudsim::TerminationReason as TR;
+    match r {
+        TR::Revoked => "revoked",
+        TR::Voluntary => "voluntary",
+        TR::FailedAllocation => "failed-allocation",
+    }
+}
+
+/// Serialize one timed event as a flat CSV row (no trailing newline).
+/// Columns that don't apply to the event kind are left empty.
+pub fn event_to_csv_row(at: SimTime, ev: &TelemetryEvent) -> String {
+    // (instance, market, to_market, start, end, duration, value, detail)
+    let mut instance = String::new();
+    let mut market = String::new();
+    let mut to_market = String::new();
+    let mut start = String::new();
+    let mut end = String::new();
+    let mut duration = String::new();
+    let mut value = String::new();
+    let mut detail = String::new();
+    let ms = |t: SimTime| t.as_millis().to_string();
+    match ev {
+        TelemetryEvent::BidPlaced { market: m, bid } => {
+            market = m.to_string();
+            match bid {
+                Some(b) => value = b.to_string(),
+                None => detail = "on-demand".to_string(),
+            }
+        }
+        TelemetryEvent::LeaseGranted {
+            id,
+            market: m,
+            spot,
+            ready_at,
+        } => {
+            instance = id.to_string();
+            market = m.to_string();
+            start = ms(*ready_at);
+            detail = if *spot { "spot" } else { "on-demand" }.to_string();
+        }
+        TelemetryEvent::LeaseDenied {
+            market: m, reason, ..
+        } => {
+            market = m.to_string();
+            detail = reason.name().to_string();
+        }
+        TelemetryEvent::LeaseActivated { id, market: m } => {
+            instance = id.to_string();
+            market = m.to_string();
+        }
+        TelemetryEvent::ActivationFailed {
+            id,
+            market: m,
+            doomed,
+        } => {
+            instance = id.to_string();
+            market = m.to_string();
+            detail = if *doomed { "doomed" } else { "price-rose" }.to_string();
+        }
+        TelemetryEvent::LeaseClosed {
+            id,
+            market: m,
+            reason,
+            start: s,
+            end: e,
+            cost,
+            ..
+        } => {
+            instance = id.to_string();
+            market = m.to_string();
+            start = ms(*s);
+            end = ms(*e);
+            duration = (*e - *s).as_millis().to_string();
+            value = cost.to_string();
+            detail = termination_name(*reason).to_string();
+        }
+        TelemetryEvent::PriceCrossing {
+            id,
+            market: m,
+            at: t,
+        } => {
+            instance = id.to_string();
+            market = m.to_string();
+            start = ms(*t);
+        }
+        TelemetryEvent::RevocationWarning {
+            id,
+            market: m,
+            terminate_at,
+        } => {
+            instance = id.to_string();
+            market = m.to_string();
+            end = ms(*terminate_at);
+        }
+        TelemetryEvent::UnwarnedDeath { id, market: m } => {
+            instance = id.to_string();
+            market = m.to_string();
+        }
+        TelemetryEvent::MigrationStarted { kind, from, to } => {
+            market = from.to_string();
+            to_market = to.to_string();
+            detail = kind.name().to_string();
+        }
+        TelemetryEvent::MigrationPhase { phase, duration: d } => {
+            duration = d.as_millis().to_string();
+            detail = phase.name().to_string();
+        }
+        TelemetryEvent::MigrationCompleted {
+            kind,
+            from,
+            to,
+            downtime,
+            degraded,
+        } => {
+            market = from.to_string();
+            to_market = to.to_string();
+            duration = downtime.as_millis().to_string();
+            value = degraded.as_millis().to_string();
+            detail = kind.name().to_string();
+        }
+        TelemetryEvent::MigrationAborted { kind, from } => {
+            market = from.to_string();
+            detail = kind.name().to_string();
+        }
+        TelemetryEvent::Outage { start: s, end: e }
+        | TelemetryEvent::Degraded { start: s, end: e } => {
+            start = ms(*s);
+            end = ms(*e);
+            duration = (*e - *s).as_millis().to_string();
+        }
+        TelemetryEvent::ServiceUp {
+            id,
+            market: m,
+            spot,
+            first,
+        } => {
+            instance = id.to_string();
+            market = m.to_string();
+            detail = format!(
+                "{}{}",
+                if *spot { "spot" } else { "on-demand" },
+                if *first { ",first" } else { "" }
+            );
+        }
+        TelemetryEvent::FaultInjected { kind } => {
+            detail = kind.name().to_string();
+        }
+        TelemetryEvent::BackoffScheduled { attempt, until } => {
+            end = ms(*until);
+            value = attempt.to_string();
+        }
+        TelemetryEvent::StateChange { state } => {
+            detail = state.name().to_string();
+        }
+    }
+    format!(
+        "{},{},{},{},{},{},{},{},{},{}",
+        at.as_millis(),
+        ev.name(),
+        instance,
+        market,
+        to_market,
+        start,
+        end,
+        duration,
+        value,
+        detail
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spothost_cloudsim::InstanceId;
+    use spothost_market::types::{InstanceType, MarketId, Zone};
+
+    fn market() -> MarketId {
+        MarketId::new(Zone::UsEast1a, InstanceType::Small)
+    }
+
+    #[test]
+    fn json_lines_are_well_formed() {
+        let ev = TelemetryEvent::LeaseClosed {
+            id: InstanceId(7),
+            market: market(),
+            spot: true,
+            reason: spothost_cloudsim::TerminationReason::Revoked,
+            start: SimTime::hours(1),
+            end: SimTime::hours(3),
+            cost: 0.052,
+        };
+        let line = event_to_json(SimTime::hours(3), &ev);
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"kind\":\"lease_closed\""));
+        assert!(line.contains("\"t_ms\":10800000"));
+        assert!(line.contains("\"cost\":0.052"));
+        assert!(line.contains("\"reason\":\"revoked\""));
+        // Balanced braces and quotes (crude well-formedness check).
+        assert_eq!(line.matches('"').count() % 2, 0);
+    }
+
+    #[test]
+    fn json_escapes_control_and_quote_chars() {
+        let mut o = JsonObj::new();
+        o.str("k", "a\"b\\c\nd");
+        let s = o.finish();
+        assert_eq!(s, "{\"k\":\"a\\\"b\\\\c\\u000ad\"}");
+    }
+
+    #[test]
+    fn csv_row_matches_header_arity() {
+        let cols = CSV_HEADER.split(',').count();
+        let ev = TelemetryEvent::Outage {
+            start: SimTime::hours(1),
+            end: SimTime::hours(2),
+        };
+        let row = event_to_csv_row(SimTime::hours(2), &ev);
+        assert_eq!(row.split(',').count(), cols, "{row}");
+        let ev2 = TelemetryEvent::BidPlaced {
+            market: market(),
+            bid: Some(0.24),
+        };
+        assert_eq!(
+            event_to_csv_row(SimTime::ZERO, &ev2).split(',').count(),
+            cols
+        );
+    }
+}

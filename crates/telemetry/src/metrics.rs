@@ -1,0 +1,246 @@
+//! The [`Metrics`] sink: fixed-bucket histograms aggregated from the
+//! event stream, O(1) memory per run regardless of event count.
+
+use crate::event::TelemetryEvent;
+use crate::sink::Sink;
+use spothost_analysis::FixedHistogram;
+use spothost_market::time::SimTime;
+use std::collections::BTreeMap;
+
+/// Histograms over one run's event stream.
+///
+/// Units are chosen for the quantities' natural scales: outage and
+/// reacquire times in seconds, lease lengths in hours, lease cost in
+/// $/hour. Two `Metrics` from runs with the same bucket layout can be
+/// [`Metrics::merge`]d for Monte-Carlo aggregation.
+#[derive(Debug, Clone)]
+pub struct Metrics {
+    /// Outage durations, seconds (buckets to 1 hour).
+    pub downtime_s: FixedHistogram,
+    /// Per-migration downtime, seconds.
+    pub migration_latency_s: FixedHistogram,
+    /// Lease lengths, hours.
+    pub lease_length_h: FixedHistogram,
+    /// Time from the first faulted-acquisition backoff to the next granted
+    /// lease, seconds.
+    pub time_to_reacquire_s: FixedHistogram,
+    /// Effective $/hour of each closed lease (aggregated over packed
+    /// servers; zero-length leases are skipped).
+    pub cost_per_hour: FixedHistogram,
+    /// Count of every event kind seen (deterministic iteration order).
+    pub event_counts: BTreeMap<&'static str, u64>,
+    /// Pending reacquire episode: when the first backoff was scheduled.
+    reacquire_since: Option<SimTime>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Metrics {
+            downtime_s: FixedHistogram::linear(0.0, 3_600.0, 36),
+            migration_latency_s: FixedHistogram::linear(0.0, 300.0, 30),
+            lease_length_h: FixedHistogram::linear(0.0, 48.0, 48),
+            time_to_reacquire_s: FixedHistogram::linear(0.0, 7_200.0, 36),
+            cost_per_hour: FixedHistogram::linear(0.0, 1.0, 50),
+            event_counts: BTreeMap::new(),
+            reacquire_since: None,
+        }
+    }
+
+    /// Total events observed.
+    pub fn total_events(&self) -> u64 {
+        self.event_counts.values().sum()
+    }
+
+    /// Merge another run's metrics (identical bucket layouts) into this
+    /// one, for Monte-Carlo aggregation across seeds.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.downtime_s.merge(&other.downtime_s);
+        self.migration_latency_s.merge(&other.migration_latency_s);
+        self.lease_length_h.merge(&other.lease_length_h);
+        self.time_to_reacquire_s.merge(&other.time_to_reacquire_s);
+        self.cost_per_hour.merge(&other.cost_per_hour);
+        for (k, v) in &other.event_counts {
+            *self.event_counts.entry(k).or_insert(0) += v;
+        }
+    }
+
+    /// Multi-line human-readable summary of the histograms.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let section = |out: &mut String, title: &str, h: &FixedHistogram, unit: &str| {
+            out.push_str(&format!(
+                "{title}: n={} mean={} min={} max={} p99={}\n",
+                h.count(),
+                fmt_opt(h.mean(), unit),
+                fmt_opt(h.min(), unit),
+                fmt_opt(h.max(), unit),
+                fmt_opt(h.quantile(0.99), unit),
+            ));
+        };
+        section(&mut out, "outage duration", &self.downtime_s, "s");
+        section(
+            &mut out,
+            "migration latency",
+            &self.migration_latency_s,
+            "s",
+        );
+        section(&mut out, "lease length", &self.lease_length_h, "h");
+        section(
+            &mut out,
+            "time to reacquire",
+            &self.time_to_reacquire_s,
+            "s",
+        );
+        section(&mut out, "lease cost", &self.cost_per_hour, "$/h");
+        out.push_str("events:");
+        for (k, v) in &self.event_counts {
+            out.push_str(&format!(" {k}={v}"));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+fn fmt_opt(v: Option<f64>, unit: &str) -> String {
+    match v {
+        Some(v) => format!("{v:.3}{unit}"),
+        None => "-".to_string(),
+    }
+}
+
+impl Sink for Metrics {
+    const ENABLED: bool = true;
+
+    fn emit(&mut self, at: SimTime, event: TelemetryEvent) {
+        *self.event_counts.entry(event.name()).or_insert(0) += 1;
+        match event {
+            TelemetryEvent::Outage { start, end } => {
+                self.downtime_s.record((end - start).as_secs_f64());
+            }
+            TelemetryEvent::MigrationCompleted { downtime, .. } => {
+                self.migration_latency_s.record(downtime.as_secs_f64());
+            }
+            TelemetryEvent::LeaseClosed {
+                start, end, cost, ..
+            } => {
+                let hours = (end - start).as_hours_f64();
+                self.lease_length_h.record(hours);
+                if hours > 0.0 {
+                    self.cost_per_hour.record(cost / hours);
+                }
+            }
+            TelemetryEvent::BackoffScheduled { .. } if self.reacquire_since.is_none() => {
+                self.reacquire_since = Some(at);
+            }
+            TelemetryEvent::LeaseGranted { .. } => {
+                if let Some(since) = self.reacquire_since.take() {
+                    self.time_to_reacquire_s.record((at - since).as_secs_f64());
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spothost_cloudsim::{InstanceId, TerminationReason};
+    use spothost_market::time::SimDuration;
+    use spothost_market::types::{InstanceType, MarketId, Zone};
+    use spothost_virt::MigrationKind;
+
+    fn market() -> MarketId {
+        MarketId::new(Zone::UsEast1a, InstanceType::Small)
+    }
+
+    #[test]
+    fn aggregates_outages_leases_and_reacquire() {
+        let mut m = Metrics::new();
+        m.emit(
+            SimTime::hours(1),
+            TelemetryEvent::Outage {
+                start: SimTime::hours(1),
+                end: SimTime::hours(1) + SimDuration::secs(90),
+            },
+        );
+        m.emit(
+            SimTime::hours(2),
+            TelemetryEvent::BackoffScheduled {
+                attempt: 0,
+                until: SimTime::hours(2) + SimDuration::secs(60),
+            },
+        );
+        // A second backoff must not reset the episode start.
+        m.emit(
+            SimTime::hours(2) + SimDuration::secs(60),
+            TelemetryEvent::BackoffScheduled {
+                attempt: 1,
+                until: SimTime::hours(2) + SimDuration::secs(180),
+            },
+        );
+        m.emit(
+            SimTime::hours(2) + SimDuration::secs(180),
+            TelemetryEvent::LeaseGranted {
+                id: InstanceId(1),
+                market: market(),
+                spot: false,
+                ready_at: SimTime::hours(2) + SimDuration::secs(300),
+            },
+        );
+        m.emit(
+            SimTime::hours(5),
+            TelemetryEvent::LeaseClosed {
+                id: InstanceId(1),
+                market: market(),
+                spot: false,
+                reason: TerminationReason::Voluntary,
+                start: SimTime::hours(2),
+                end: SimTime::hours(5),
+                cost: 0.18,
+            },
+        );
+        m.emit(
+            SimTime::hours(6),
+            TelemetryEvent::MigrationCompleted {
+                kind: MigrationKind::Forced,
+                from: market(),
+                to: market(),
+                downtime: SimDuration::secs(12),
+                degraded: SimDuration::ZERO,
+            },
+        );
+        assert_eq!(m.downtime_s.count(), 1);
+        assert_eq!(m.downtime_s.sum(), 90.0);
+        assert_eq!(m.time_to_reacquire_s.count(), 1);
+        assert_eq!(m.time_to_reacquire_s.sum(), 180.0);
+        assert_eq!(m.lease_length_h.count(), 1);
+        assert_eq!(m.migration_latency_s.count(), 1);
+        let rate = m.cost_per_hour.mean().expect("one lease");
+        assert!((rate - 0.06).abs() < 1e-12, "rate {rate}");
+        assert_eq!(m.total_events(), 6);
+        assert_eq!(m.event_counts["backoff_scheduled"], 2);
+    }
+
+    #[test]
+    fn merge_accumulates_across_runs() {
+        let mut a = Metrics::new();
+        let mut b = Metrics::new();
+        let outage = TelemetryEvent::Outage {
+            start: SimTime::ZERO,
+            end: SimTime::ZERO + SimDuration::secs(30),
+        };
+        a.emit(SimTime::ZERO, outage);
+        b.emit(SimTime::ZERO, outage);
+        a.merge(&b);
+        assert_eq!(a.downtime_s.count(), 2);
+        assert_eq!(a.event_counts["outage"], 2);
+        assert!(a.render().contains("outage duration: n=2"));
+    }
+}

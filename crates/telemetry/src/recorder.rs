@@ -1,0 +1,207 @@
+//! The [`Recorder`] sink: a bounded in-memory ring buffer of timestamped
+//! events, with optional streaming JSONL output for timelines longer than
+//! the buffer.
+
+use crate::event::TelemetryEvent;
+use crate::export::{event_to_csv_row, event_to_json, CSV_HEADER};
+use crate::sink::Sink;
+use crate::TimedEvent;
+use spothost_market::time::SimTime;
+use std::collections::VecDeque;
+use std::io::{self, Write};
+
+/// Default ring-buffer capacity: plenty for a multi-month run (a stormy
+/// 60-day single-market run emits a few thousand events).
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// Records the event stream of one run.
+///
+/// The ring buffer keeps the **newest** `capacity` events; older ones are
+/// dropped (and counted). Attach a streaming writer with
+/// [`Recorder::with_writer`] to persist the *full* timeline as JSONL
+/// regardless of buffer size.
+pub struct Recorder {
+    events: VecDeque<TimedEvent>,
+    capacity: usize,
+    dropped: u64,
+    writer: Option<Box<dyn Write>>,
+    io_error: Option<io::Error>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("events", &self.events.len())
+            .field("capacity", &self.capacity)
+            .field("dropped", &self.dropped)
+            .field("streaming", &self.writer.is_some())
+            .finish()
+    }
+}
+
+impl Recorder {
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A recorder keeping at most `capacity` events in memory.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Recorder {
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            capacity: capacity.max(1),
+            dropped: 0,
+            writer: None,
+            io_error: None,
+        }
+    }
+
+    /// Also stream every event to `w` as one JSONL line each, as it is
+    /// emitted. I/O errors are latched (see [`Recorder::take_io_error`])
+    /// and stop further writes; they never panic mid-run.
+    pub fn with_writer(mut self, w: Box<dyn Write>) -> Self {
+        self.writer = Some(w);
+        self
+    }
+
+    /// The buffered events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TimedEvent> {
+        self.events.iter()
+    }
+
+    /// Consume the recorder, returning the buffered events oldest first.
+    pub fn into_events(self) -> Vec<TimedEvent> {
+        self.events.into()
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted from the ring buffer (still streamed if a writer is
+    /// attached).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Flush the streaming writer and surface any latched I/O error.
+    pub fn finish(&mut self) -> io::Result<()> {
+        if let Some(e) = self.io_error.take() {
+            return Err(e);
+        }
+        if let Some(w) = self.writer.as_mut() {
+            w.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Take the latched streaming I/O error, if any.
+    pub fn take_io_error(&mut self) -> Option<io::Error> {
+        self.io_error.take()
+    }
+
+    /// Write the buffered events as JSONL.
+    pub fn write_jsonl(&self, w: &mut dyn Write) -> io::Result<()> {
+        for (at, ev) in &self.events {
+            writeln!(w, "{}", event_to_json(*at, ev))?;
+        }
+        Ok(())
+    }
+
+    /// Write the buffered events as CSV (with header).
+    pub fn write_csv(&self, w: &mut dyn Write) -> io::Result<()> {
+        writeln!(w, "{CSV_HEADER}")?;
+        for (at, ev) in &self.events {
+            writeln!(w, "{}", event_to_csv_row(*at, ev))?;
+        }
+        Ok(())
+    }
+}
+
+impl Sink for Recorder {
+    const ENABLED: bool = true;
+
+    fn emit(&mut self, at: SimTime, event: TelemetryEvent) {
+        if let (Some(w), None) = (self.writer.as_mut(), self.io_error.as_ref()) {
+            if let Err(e) = writeln!(w, "{}", event_to_json(at, &event)) {
+                self.io_error = Some(e);
+            }
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back((at, event));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SchedulerState;
+
+    fn ev(n: u64) -> (SimTime, TelemetryEvent) {
+        (
+            SimTime::millis(n),
+            TelemetryEvent::StateChange {
+                state: SchedulerState::Active,
+            },
+        )
+    }
+
+    #[test]
+    fn ring_buffer_keeps_newest_and_counts_drops() {
+        let mut r = Recorder::with_capacity(3);
+        for n in 0..5 {
+            let (at, e) = ev(n);
+            r.emit(at, e);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let first = r.events().next().map(|(t, _)| t.as_millis());
+        assert_eq!(first, Some(2));
+    }
+
+    #[test]
+    fn streaming_writer_sees_everything_despite_small_buffer() {
+        let buf: Vec<u8> = Vec::new();
+        let mut r = Recorder::with_capacity(2).with_writer(Box::new(buf));
+        for n in 0..10 {
+            let (at, e) = ev(n);
+            r.emit(at, e);
+        }
+        assert_eq!(r.len(), 2);
+        r.finish().expect("no io error on Vec writer");
+        // The Vec is owned by the recorder; round-trip through write_jsonl
+        // on the buffered tail instead to check formatting.
+        let mut out = Vec::new();
+        r.write_jsonl(&mut out).expect("write to Vec");
+        let text = String::from_utf8(out).expect("utf8");
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn csv_export_has_header() {
+        let mut r = Recorder::new();
+        let (at, e) = ev(7);
+        r.emit(at, e);
+        let mut out = Vec::new();
+        r.write_csv(&mut out).expect("write to Vec");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.starts_with("t_ms,kind,"));
+        assert_eq!(text.lines().count(), 2);
+    }
+}

@@ -1,0 +1,223 @@
+//! ASCII Gantt rendering of a recorded run: one row per market showing
+//! lease occupancy, plus outage/degraded rows and migration markers.
+
+use crate::event::TelemetryEvent;
+use crate::TimedEvent;
+use spothost_market::time::{SimDuration, SimTime};
+use spothost_market::types::MarketId;
+use spothost_virt::MigrationKind;
+
+/// Render the event stream as an ASCII Gantt chart over `[start, end)`,
+/// `width` columns wide.
+///
+/// Legend: `=` spot lease, `#` on-demand lease, `X` outage, `~` degraded,
+/// `F`/`P`/`R` forced/planned/reverse migration start, `.` idle. When
+/// multiple things fall into one cell, outage beats lease, and a
+/// migration marker beats both.
+pub fn render_timeline(
+    events: &[TimedEvent],
+    start: SimTime,
+    end: SimTime,
+    width: usize,
+) -> String {
+    let width = width.clamp(10, 500);
+    let span_ms = end.as_millis().saturating_sub(start.as_millis()).max(1);
+    let col = |t: SimTime| -> usize {
+        let off = t.as_millis().saturating_sub(start.as_millis());
+        (((off as u128 * width as u128) / span_ms as u128) as usize).min(width - 1)
+    };
+
+    // Collect lease intervals per market (from lease_closed, which carries
+    // exact [start, end)), outages, degraded windows, migration starts.
+    let mut markets: Vec<MarketId> = Vec::new();
+    let mut leases: Vec<(MarketId, bool, SimTime, SimTime)> = Vec::new();
+    let mut outages: Vec<(SimTime, SimTime)> = Vec::new();
+    let mut degraded: Vec<(SimTime, SimTime)> = Vec::new();
+    let mut migrations: Vec<(MigrationKind, SimTime)> = Vec::new();
+    for (at, ev) in events {
+        match ev {
+            TelemetryEvent::LeaseClosed {
+                market,
+                spot,
+                start: s,
+                end: e,
+                ..
+            } => {
+                if !markets.contains(market) {
+                    markets.push(*market);
+                }
+                if e > s {
+                    leases.push((*market, *spot, *s, *e));
+                }
+            }
+            TelemetryEvent::Outage { start: s, end: e } => outages.push((*s, *e)),
+            TelemetryEvent::Degraded { start: s, end: e } => degraded.push((*s, *e)),
+            TelemetryEvent::MigrationStarted { kind, .. } => migrations.push((*kind, *at)),
+            _ => {}
+        }
+    }
+    markets.sort_by_key(|m| m.dense_index());
+
+    let paint = |row: &mut [u8], s: SimTime, e: SimTime, c: u8| {
+        if e <= s || e <= start || s >= end {
+            return;
+        }
+        let (a, b) = (col(s.max(start)), col(e.min(end)));
+        for cell in row.iter_mut().take(b.max(a + 1)).skip(a) {
+            *cell = c;
+        }
+    };
+
+    let label_w = markets
+        .iter()
+        .map(|m| m.to_string().len())
+        .chain(["migrations".len()])
+        .max()
+        .unwrap_or(10);
+    let mut out = String::new();
+    let hours = SimDuration::millis(span_ms).as_hours_f64();
+    out.push_str(&format!(
+        "timeline {} .. {} ({hours:.1}h, {:.2}h/col)\n",
+        start,
+        end,
+        hours / width as f64
+    ));
+
+    for m in &markets {
+        let mut row = vec![b'.'; width];
+        for (lm, spot, s, e) in &leases {
+            if lm == m {
+                paint(&mut row, *s, *e, if *spot { b'=' } else { b'#' });
+            }
+        }
+        out.push_str(&format!(
+            "{:>label_w$} |{}|\n",
+            m.to_string(),
+            String::from_utf8_lossy(&row)
+        ));
+    }
+
+    let mut row = vec![b'.'; width];
+    for (s, e) in &outages {
+        paint(&mut row, *s, *e, b'X');
+    }
+    for (s, e) in &degraded {
+        // Outage wins over degraded where they touch the same cell.
+        let (a, b) = (col((*s).max(start)), col((*e).min(end)));
+        if *e > *s && *e > start && *s < end {
+            for cell in row.iter_mut().take(b.max(a + 1)).skip(a) {
+                if *cell == b'.' {
+                    *cell = b'~';
+                }
+            }
+        }
+    }
+    out.push_str(&format!(
+        "{:>label_w$} |{}|\n",
+        "outages",
+        String::from_utf8_lossy(&row)
+    ));
+
+    let mut row = vec![b'.'; width];
+    for (kind, at) in &migrations {
+        let c = match kind {
+            MigrationKind::Forced => b'F',
+            MigrationKind::Planned => b'P',
+            MigrationKind::Reverse => b'R',
+        };
+        row[col(*at)] = c;
+    }
+    out.push_str(&format!(
+        "{:>label_w$} |{}|\n",
+        "migrations",
+        String::from_utf8_lossy(&row)
+    ));
+
+    out.push_str(&format!(
+        "{:>label_w$}  legend: = spot lease   # on-demand lease   X outage   ~ degraded\n",
+        ""
+    ));
+    out.push_str(&format!(
+        "{:>label_w$}          F forced / P planned / R reverse migration start\n",
+        ""
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spothost_cloudsim::{InstanceId, TerminationReason};
+    use spothost_market::types::{InstanceType, Zone};
+
+    fn market() -> MarketId {
+        MarketId::new(Zone::UsEast1a, InstanceType::Small)
+    }
+
+    #[test]
+    fn renders_leases_outages_and_markers() {
+        let m = market();
+        let events = vec![
+            (
+                SimTime::hours(10),
+                TelemetryEvent::MigrationStarted {
+                    kind: MigrationKind::Forced,
+                    from: m,
+                    to: m,
+                },
+            ),
+            (
+                SimTime::hours(10),
+                TelemetryEvent::LeaseClosed {
+                    id: InstanceId(1),
+                    market: m,
+                    spot: true,
+                    reason: TerminationReason::Revoked,
+                    start: SimTime::ZERO,
+                    end: SimTime::hours(10),
+                    cost: 0.5,
+                },
+            ),
+            (
+                SimTime::hours(10) + SimDuration::secs(30),
+                TelemetryEvent::Outage {
+                    start: SimTime::hours(10),
+                    end: SimTime::hours(12),
+                },
+            ),
+            (
+                SimTime::hours(20),
+                TelemetryEvent::LeaseClosed {
+                    id: InstanceId(2),
+                    market: m,
+                    spot: false,
+                    reason: TerminationReason::Voluntary,
+                    start: SimTime::hours(12),
+                    end: SimTime::hours(20),
+                    cost: 0.8,
+                },
+            ),
+        ];
+        let s = render_timeline(&events, SimTime::ZERO, SimTime::hours(20), 40);
+        assert!(s.contains("us-east-1a/small"), "{s}");
+        assert!(s.contains('='), "{s}");
+        assert!(s.contains('#'), "{s}");
+        assert!(s.contains('X'), "{s}");
+        assert!(s.contains('F'), "{s}");
+        assert!(s.contains("legend"), "{s}");
+        // Every chart row has the same width.
+        let widths: Vec<usize> = s
+            .lines()
+            .filter(|l| l.contains('|'))
+            .map(|l| l.len())
+            .collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{s}");
+    }
+
+    #[test]
+    fn empty_stream_renders_empty_rows() {
+        let s = render_timeline(&[], SimTime::ZERO, SimTime::hours(1), 20);
+        assert!(s.contains("outages"));
+        assert!(s.contains("migrations"));
+    }
+}

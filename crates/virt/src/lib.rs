@@ -25,6 +25,11 @@
 //! to prepare, how long the service is down, and how long it runs
 //! degraded*.
 
+// Library code must not unwrap: every remaining panic site is either an
+// invariant with an explanatory expect message or a documented
+// precondition (see DESIGN.md "Failure semantics").
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod checkpoint;
 pub mod live;
 pub mod mechanism;
