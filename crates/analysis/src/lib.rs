@@ -5,6 +5,9 @@
 //! paper table/figure in `spothost-bench`) free of formatting and
 //! aggregation boilerplate.
 
+// Library code must not unwrap (see DESIGN.md "Failure semantics").
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod hist;
 pub mod mc;
 pub mod series;
@@ -14,5 +17,5 @@ pub mod table;
 pub use hist::FixedHistogram;
 pub use mc::{mc_run, Summary};
 pub use series::{LabeledSeries, SeriesSet};
-pub use stats::{mean, mean_std, percentile, std_dev};
+pub use stats::{empirical_coverage, mean, mean_std, percentile, pinball_loss, std_dev};
 pub use table::TextTable;

@@ -55,6 +55,31 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
     v[lo] + (v[hi] - v[lo]) * frac
 }
 
+/// Pinball (quantile) loss of predicting `pred` for quantile level `q`
+/// when `target` is realized. The proper scoring rule for quantile
+/// forecasts: under-prediction is weighted by `q`, over-prediction by
+/// `1 - q`, so the expected loss is minimized by the true `q`-quantile.
+pub fn pinball_loss(target: f64, pred: f64, q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1]");
+    let d = target - pred;
+    if d >= 0.0 {
+        q * d
+    } else {
+        (q - 1.0) * d
+    }
+}
+
+/// Fraction of `(target, pred)` pairs with `target <= pred` — the
+/// empirical coverage of a `q`-quantile forecast, which should be close
+/// to `q` when the forecaster is calibrated. 0 for an empty sample.
+pub fn empirical_coverage(pairs: &[(f64, f64)]) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let covered = pairs.iter().filter(|(t, p)| t <= p).count();
+    covered as f64 / pairs.len() as f64
+}
+
 /// First `x` at which a sampled curve `(xs, ys)` reaches `threshold`,
 /// linearly interpolated between adjacent samples; `None` if it never
 /// does. `xs` must be sorted ascending and the same length as `ys`.
@@ -176,6 +201,30 @@ mod tests {
     #[should_panic(expected = "paired samples")]
     fn first_crossing_rejects_mismatched_lengths() {
         first_crossing(&[0.0, 1.0], &[0.5], 0.2);
+    }
+
+    #[test]
+    fn pinball_loss_is_a_proper_quantile_score() {
+        // Exact prediction costs nothing.
+        assert_eq!(pinball_loss(2.0, 2.0, 0.9), 0.0);
+        // Under-prediction weighted by q, over-prediction by 1-q.
+        assert!((pinball_loss(3.0, 2.0, 0.9) - 0.9).abs() < 1e-12);
+        assert!((pinball_loss(1.0, 2.0, 0.9) - 0.1).abs() < 1e-12);
+        // For q=0.9 on U{1..10}, loss over the sample is minimized near
+        // the 9th value, not the median.
+        let sample: Vec<f64> = (1..=10).map(f64::from).collect();
+        let loss_at =
+            |p: f64| -> f64 { sample.iter().map(|&t| pinball_loss(t, p, 0.9)).sum::<f64>() };
+        assert!(loss_at(9.0) < loss_at(5.0));
+        assert!(loss_at(9.0) < loss_at(8.0));
+        assert!(loss_at(9.0) <= loss_at(10.0));
+    }
+
+    #[test]
+    fn empirical_coverage_counts_covered_targets() {
+        assert_eq!(empirical_coverage(&[]), 0.0);
+        let pairs = [(1.0, 2.0), (3.0, 2.0), (2.0, 2.0), (0.5, 2.0)];
+        assert!((empirical_coverage(&pairs) - 0.75).abs() < 1e-12);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! One module per paper table/figure (see DESIGN.md's experiment index).
 
 pub mod ablation;
+pub mod adaptive;
 pub mod cost_impact;
 pub mod faults;
 pub mod fig1;
@@ -21,7 +22,7 @@ pub mod tab4;
 use crate::settings::ExpSettings;
 
 /// Every experiment, by its CLI name, with a one-line description.
-pub const ALL: [(&str, &str); 19] = [
+pub const ALL: [(&str, &str); 20] = [
     (
         "fig1",
         "Spot price traces over a month (small & large, us-east)",
@@ -65,6 +66,10 @@ pub const ALL: [(&str, &str); 19] = [
         "faults",
         "ROBUSTNESS: unavailability vs injected fault rate (four-nines break point)",
     ),
+    (
+        "adaptive",
+        "EXTENSION: forecast-driven adaptive bidding vs reactive/proactive",
+    ),
 ];
 
 /// Run one experiment and also return CSV artifacts where the experiment
@@ -103,6 +108,10 @@ pub fn run_with_csv(name: &str, settings: &ExpSettings) -> Option<(String, Vec<(
             let f = faults::run(settings);
             (f.render(), vec![("faults.csv".into(), f.to_csv())])
         }
+        "adaptive" => {
+            let f = adaptive::run(settings);
+            (f.render(), vec![("adaptive.csv".into(), f.to_csv())])
+        }
         other => (run_by_name(other, settings)?, vec![]),
     })
 }
@@ -138,6 +147,9 @@ pub fn representative_config(name: &str) -> Option<spothost_core::SchedulerConfi
         "faults" => SchedulerConfig::single_market(small)
             .with_policy(BiddingPolicy::proactive_default())
             .with_faults(FaultConfig::uniform(0.2)),
+        "adaptive" => {
+            SchedulerConfig::single_market(small).with_policy(BiddingPolicy::adaptive_default())
+        }
         _ => return None,
     })
 }
@@ -164,6 +176,7 @@ pub fn run_by_name(name: &str, settings: &ExpSettings) -> Option<String> {
         "ablation_hop" => ablation::run_hop(settings).render(),
         "ablation_yank" => ablation::run_yank(settings).render(),
         "faults" => faults::run(settings).render(),
+        "adaptive" => adaptive::run(settings).render(),
         _ => return None,
     })
 }

@@ -13,6 +13,7 @@ use std::path::Path;
 pub(crate) fn parse_policy(s: &str) -> Result<BiddingPolicy, String> {
     Ok(match s {
         "proactive" => BiddingPolicy::proactive_default(),
+        "adaptive" => BiddingPolicy::adaptive_default(),
         "reactive" => BiddingPolicy::Reactive,
         "pure-spot" => BiddingPolicy::PureSpot,
         "on-demand" => BiddingPolicy::OnDemandOnly,
@@ -65,7 +66,15 @@ fn parse_scope(args: &Args) -> Result<(MarketScope, u32), String> {
 /// Build the scheduler configuration shared by `simulate` and `timeline`.
 pub(crate) fn build_cfg(args: &Args) -> Result<SchedulerConfig, String> {
     let (scope, units) = parse_scope(args)?;
-    let policy = parse_policy(args.get_or("policy", "proactive"))?;
+    let mut policy = parse_policy(args.get_or("policy", "proactive"))?;
+    // Per-policy tuning knobs. Out-of-range values surface through
+    // `cfg.validate()` below as errors, never as panics.
+    if let BiddingPolicy::Proactive { bid_mult } = &mut policy {
+        *bid_mult = args.get_f64("bid-mult", *bid_mult)?;
+    }
+    if let BiddingPolicy::Adaptive { risk_budget } = &mut policy {
+        *risk_budget = args.get_f64("risk-budget", *risk_budget)?;
+    }
     let mechanism = parse_mechanism(args.get_or("mechanism", "ckpt-lr-live"))?;
     let stability = args.get_f64("stability", 0.0)?;
     let fault_rate = args.get_f64("fault-rate", 0.0)?;
@@ -212,7 +221,13 @@ mod tests {
 
     #[test]
     fn parses_all_policies_and_mechanisms() {
-        for p in ["proactive", "reactive", "pure-spot", "on-demand"] {
+        for p in [
+            "proactive",
+            "adaptive",
+            "reactive",
+            "pure-spot",
+            "on-demand",
+        ] {
             parse_policy(p).unwrap();
         }
         assert!(parse_policy("yolo").is_err());
@@ -278,5 +293,33 @@ mod tests {
     #[test]
     fn fault_rate_out_of_range_rejected() {
         assert!(run(&argv(&["--days", "1", "--fault-rate", "1.5"])).is_err());
+    }
+
+    #[test]
+    fn adaptive_policy_simulation_runs() {
+        run(&argv(&[
+            "--market",
+            "us-east-1a/small",
+            "--policy",
+            "adaptive",
+            "--days",
+            "3",
+            "--seeds",
+            "1",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn policy_knobs_apply_and_validate() {
+        // A tame proactive multiple flows into the config...
+        let cfg = build_cfg(&argv(&["--bid-mult", "2.0"])).unwrap();
+        assert_eq!(cfg.policy, BiddingPolicy::Proactive { bid_mult: 2.0 });
+        let cfg = build_cfg(&argv(&["--policy", "adaptive", "--risk-budget", "0.01"])).unwrap();
+        assert_eq!(cfg.policy, BiddingPolicy::Adaptive { risk_budget: 0.01 });
+        // ...and out-of-range values are errors, not panics.
+        assert!(build_cfg(&argv(&["--bid-mult", "0.5"])).is_err());
+        assert!(build_cfg(&argv(&["--policy", "adaptive", "--risk-budget", "0"])).is_err());
+        assert!(build_cfg(&argv(&["--policy", "adaptive", "--risk-budget", "1.5"])).is_err());
     }
 }

@@ -57,14 +57,18 @@ USAGE:
       Per-market statistics and correlations of a trace directory.
 
   spothost simulate [--market M | --scope zone:Z | --scope regions:Z1,Z2]
-                    [--policy proactive|reactive|pure-spot|on-demand]
+                    [--policy proactive|adaptive|reactive|pure-spot|on-demand]
+                    [--bid-mult X] [--risk-budget P]
                     [--mechanism ckpt|ckpt-lr|ckpt-live|ckpt-lr-live]
                     [--pessimistic] [--stability W] [--units U]
                     [--fault-rate R] [--days D] [--seeds N] [--seed N]
                     [--traces DIR] [--trace FILE] [--metrics]
       Run the cloud scheduler and report cost/availability/migrations.
       With --traces, runs against imported price history instead of the
-      calibrated generator. --fault-rate injects provider and mechanism
+      calibrated generator. --bid-mult sets the proactive bid multiple
+      (>= 1); --risk-budget sets the adaptive policy's tolerated
+      P(revocation within the next hour), in (0, 1).
+      --fault-rate injects provider and mechanism
       faults uniformly at rate R in [0, 1] (see spothost-faults).
       --trace re-runs the first seed with the telemetry recorder and
       streams the structured event timeline to FILE as JSONL; --metrics

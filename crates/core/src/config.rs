@@ -140,6 +140,7 @@ impl SchedulerConfig {
     }
 
     pub fn validate(&self) -> Result<(), String> {
+        self.policy.validate()?;
         if !crate::capacity::SUPPORTED_UNITS.contains(&self.capacity_units) {
             return Err(format!(
                 "capacity_units must be one of {:?}, got {}",
@@ -217,6 +218,20 @@ mod tests {
         let cfg =
             SchedulerConfig::multi(MarketScope::MultiMarket(Zone::UsEast1a)).with_capacity_units(3);
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validation_rejects_bad_policy_parameters() {
+        let m = MarketId::new(Zone::UsEast1a, InstanceType::Small);
+        let cfg = SchedulerConfig::single_market(m)
+            .with_policy(BiddingPolicy::Proactive { bid_mult: 0.25 });
+        let err = cfg.validate().expect_err("bid_mult < 1");
+        assert!(err.contains("bid multiple"), "{err}");
+        let cfg = SchedulerConfig::single_market(m)
+            .with_policy(BiddingPolicy::Adaptive { risk_budget: 2.0 });
+        assert!(cfg.validate().is_err());
+        let cfg = SchedulerConfig::single_market(m).with_policy(BiddingPolicy::adaptive_default());
+        cfg.validate().unwrap();
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Bidding policies (§3.1) and the paper's two baselines.
+//! Bidding policies (§3.1), the paper's two baselines, and the
+//! forecast-driven adaptive extension.
 
 use std::fmt;
 
@@ -22,6 +23,15 @@ pub enum BiddingPolicy {
     /// the server, so the scheduler *voluntarily* migrates at billing
     /// boundaries with all the time it needs (§3.1, "proactive").
     Proactive { bid_mult: f64 },
+    /// EXTENSION: forecast-driven bidding. Per market, an online
+    /// forecaster (`spothost-forecast`) estimates P(price > b within the
+    /// next hour) from the observed price history, and the scheduler bids
+    /// the *cheapest* ladder bid whose predicted revocation probability
+    /// is within `risk_budget` (clamped to the provider cap; the cap is
+    /// the fallback whenever the model is cold or nothing cheaper is safe
+    /// enough). Like Proactive, it plans voluntary migrations and falls
+    /// back to on-demand.
+    Adaptive { risk_budget: f64 },
 }
 
 impl BiddingPolicy {
@@ -31,16 +41,58 @@ impl BiddingPolicy {
         BiddingPolicy::Proactive { bid_mult: 4.0 }
     }
 
+    /// The default adaptive configuration: tolerate at most a 0.1%
+    /// predicted chance of revocation per hour. Tight by design — spot
+    /// billing charges the hour-start price regardless of the bid, so a
+    /// lower bid only *saves* via free revoked partial hours and *costs*
+    /// via forced on-demand fallback; over a multi-week horizon even a
+    /// 0.5%/h budget admits enough forced migrations to cost more than
+    /// bidding the cap outright.
+    pub fn adaptive_default() -> Self {
+        BiddingPolicy::Adaptive { risk_budget: 0.001 }
+    }
+
+    /// Check the policy's parameters, returning a human-readable error
+    /// for out-of-range values. Called at configuration time
+    /// (`SchedulerConfig::validate`) so a bad CLI flag is rejected up
+    /// front instead of panicking mid-simulation.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            BiddingPolicy::Proactive { bid_mult } if !bid_mult.is_finite() || bid_mult < 1.0 => {
+                Err(format!(
+                    "proactive bid multiple must be a finite value >= 1, got {bid_mult}"
+                ))
+            }
+            BiddingPolicy::Adaptive { risk_budget }
+                if !risk_budget.is_finite()
+                    || !(0.0..1.0).contains(&risk_budget)
+                    || risk_budget == 0.0 =>
+            {
+                Err(format!(
+                    "adaptive risk budget must be in (0, 1), got {risk_budget}"
+                ))
+            }
+            _ => Ok(()),
+        }
+    }
+
     /// The bid for a market with on-demand price `pon`, given the
     /// provider's maximum accepted bid. `None` means the policy never bids.
+    ///
+    /// For `Adaptive` this is the *cold-model* bid (the provider cap);
+    /// the scheduler overrides it per market with the forecaster's
+    /// decision once price history has been observed.
     pub fn bid(&self, pon: f64, max_bid: f64) -> Option<f64> {
         match *self {
             BiddingPolicy::OnDemandOnly => None,
             BiddingPolicy::PureSpot | BiddingPolicy::Reactive => Some(pon.min(max_bid)),
             BiddingPolicy::Proactive { bid_mult } => {
-                assert!(bid_mult >= 1.0, "proactive bid multiple must be >= 1");
+                // Out-of-range multiples are rejected by `validate` at
+                // configuration time.
+                debug_assert!(bid_mult >= 1.0, "unvalidated proactive bid multiple");
                 Some((bid_mult * pon).min(max_bid))
             }
+            BiddingPolicy::Adaptive { .. } => Some(max_bid),
         }
     }
 
@@ -48,7 +100,9 @@ impl BiddingPolicy {
     pub fn uses_on_demand_fallback(&self) -> bool {
         matches!(
             self,
-            BiddingPolicy::Reactive | BiddingPolicy::Proactive { .. }
+            BiddingPolicy::Reactive
+                | BiddingPolicy::Proactive { .. }
+                | BiddingPolicy::Adaptive { .. }
         )
     }
 
@@ -56,12 +110,20 @@ impl BiddingPolicy {
     /// boundaries? (Reactive can't: its bid equals the planned-migration
     /// threshold, so the provider always revokes first.)
     pub fn plans_migrations(&self) -> bool {
-        matches!(self, BiddingPolicy::Proactive { .. })
+        matches!(
+            self,
+            BiddingPolicy::Proactive { .. } | BiddingPolicy::Adaptive { .. }
+        )
     }
 
     /// Does the policy use spot servers at all?
     pub fn uses_spot(&self) -> bool {
         !matches!(self, BiddingPolicy::OnDemandOnly)
+    }
+
+    /// Does the policy consult the online price forecasters?
+    pub fn uses_forecast(&self) -> bool {
+        matches!(self, BiddingPolicy::Adaptive { .. })
     }
 
     pub fn name(&self) -> &'static str {
@@ -70,6 +132,7 @@ impl BiddingPolicy {
             BiddingPolicy::PureSpot => "pure-spot",
             BiddingPolicy::Reactive => "reactive",
             BiddingPolicy::Proactive { .. } => "proactive",
+            BiddingPolicy::Adaptive { .. } => "adaptive",
         }
     }
 }
@@ -78,6 +141,9 @@ impl fmt::Display for BiddingPolicy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BiddingPolicy::Proactive { bid_mult } => write!(f, "proactive(bid={bid_mult}x)"),
+            BiddingPolicy::Adaptive { risk_budget } => {
+                write!(f, "adaptive(risk={risk_budget}/h)")
+            }
             other => f.write_str(other.name()),
         }
     }
@@ -106,6 +172,12 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_cold_bid_is_the_cap() {
+        let p = BiddingPolicy::adaptive_default();
+        assert_eq!(p.bid(0.06, 0.24), Some(0.24));
+    }
+
+    #[test]
     fn on_demand_only_never_bids() {
         assert_eq!(BiddingPolicy::OnDemandOnly.bid(0.06, 0.24), None);
         assert!(!BiddingPolicy::OnDemandOnly.uses_spot());
@@ -116,8 +188,34 @@ mod tests {
         assert!(!BiddingPolicy::PureSpot.uses_on_demand_fallback());
         assert!(BiddingPolicy::Reactive.uses_on_demand_fallback());
         assert!(BiddingPolicy::proactive_default().uses_on_demand_fallback());
+        assert!(BiddingPolicy::adaptive_default().uses_on_demand_fallback());
         assert!(!BiddingPolicy::Reactive.plans_migrations());
         assert!(BiddingPolicy::proactive_default().plans_migrations());
+        assert!(BiddingPolicy::adaptive_default().plans_migrations());
+        assert!(!BiddingPolicy::Reactive.uses_forecast());
+        assert!(BiddingPolicy::adaptive_default().uses_forecast());
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_parameters() {
+        assert!(BiddingPolicy::proactive_default().validate().is_ok());
+        assert!(BiddingPolicy::adaptive_default().validate().is_ok());
+        assert!(BiddingPolicy::Reactive.validate().is_ok());
+        let err = BiddingPolicy::Proactive { bid_mult: 0.5 }
+            .validate()
+            .expect_err("below 1");
+        assert!(err.contains("bid multiple"), "{err}");
+        assert!(BiddingPolicy::Proactive { bid_mult: f64::NAN }
+            .validate()
+            .is_err());
+        for bad in [0.0, 1.0, -0.1, f64::INFINITY] {
+            assert!(
+                BiddingPolicy::Adaptive { risk_budget: bad }
+                    .validate()
+                    .is_err(),
+                "risk budget {bad} must be rejected"
+            );
+        }
     }
 
     #[test]
@@ -127,5 +225,9 @@ mod tests {
             "proactive(bid=4x)"
         );
         assert_eq!(BiddingPolicy::Reactive.to_string(), "reactive");
+        assert_eq!(
+            BiddingPolicy::adaptive_default().to_string(),
+            "adaptive(risk=0.001/h)"
+        );
     }
 }

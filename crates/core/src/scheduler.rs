@@ -36,8 +36,10 @@ use spothost_cloudsim::{
     TerminationReason,
 };
 use spothost_faults::{FaultKind, FaultPlan};
+use spothost_forecast::{ForecastParams, MarketForecaster};
 use spothost_market::gen::{derive_seed, TraceSet};
 use spothost_market::time::{SimDuration, SimTime, MILLIS_PER_HOUR};
+use spothost_market::trace::TraceCursor;
 use spothost_market::types::{MarketId, Zone};
 use spothost_telemetry::{
     DenialReason, MigrationPhase, NullSink, SchedulerState, Sink, TelemetryEvent,
@@ -163,6 +165,20 @@ struct Candidate {
     /// now, plus the stability penalty — what selection decisions
     /// compare. Equals the raw rate when `stability_weight` is zero.
     score: f64,
+    /// Forecast-predicted P(revocation within the next hour) at `bid`.
+    /// `None` unless the adaptive policy's forecaster produced the bid.
+    risk: Option<f64>,
+}
+
+/// Per-market online forecaster state for the adaptive policy (`None` on
+/// every other policy — the field then adds nothing to the run).
+///
+/// Entries are aligned index-for-index with `SimRun::candidates`, whose
+/// order `MarketScope::candidates` pins canonically, so forecaster state
+/// is a deterministic function of (trace set, config) alone.
+struct ForecastState<'t> {
+    risk_budget: f64,
+    per_market: Vec<(TraceCursor<'t>, MarketForecaster)>,
 }
 
 /// Outcome of trying to place the service on a spot market.
@@ -222,6 +238,8 @@ pub struct SimRun<'t, S: Sink = NullSink> {
     /// service has never been up. Lets `finish` report a run that never
     /// started as a full outage instead of an empty span.
     boot_blocked_since: Option<SimTime>,
+    /// Online per-market forecasters (adaptive policy only).
+    forecast: Option<ForecastState<'t>>,
     /// Telemetry sink (the default `NullSink` compiles to nothing).
     sink: S,
 }
@@ -264,6 +282,22 @@ impl<'t> SimRun<'t, NullSink> {
         } else {
             (CloudProvider::new(traces, seed), None)
         };
+        let forecast = match cfg.policy {
+            BiddingPolicy::Adaptive { risk_budget } => Some(ForecastState {
+                risk_budget,
+                per_market: candidates
+                    .iter()
+                    .map(|m| {
+                        let trace = traces.trace(*m).expect("asserted above");
+                        (
+                            trace.cursor(),
+                            MarketForecaster::new(ForecastParams::default()),
+                        )
+                    })
+                    .collect(),
+            }),
+            _ => None,
+        };
         SimRun {
             provider,
             cfg: cfg.clone(),
@@ -280,6 +314,7 @@ impl<'t> SimRun<'t, NullSink> {
             faults,
             acquire_attempts: 0,
             boot_blocked_since: None,
+            forecast,
             sink: NullSink,
         }
     }
@@ -306,6 +341,7 @@ impl<'t, S: Sink> SimRun<'t, S> {
             faults: self.faults,
             acquire_attempts: self.acquire_attempts,
             boot_blocked_since: self.boot_blocked_since,
+            forecast: self.forecast,
             sink,
         }
     }
@@ -358,14 +394,18 @@ impl<'t, S: Sink> SimRun<'t, S> {
     }
 
     /// `provider.request_spot` with bid/grant/denial telemetry.
+    /// `predicted_risk` is the forecaster's revocation-probability
+    /// estimate behind the bid (adaptive policy only).
     fn request_spot(
         &mut self,
         market: MarketId,
         bid: f64,
+        predicted_risk: Option<f64>,
     ) -> Result<(InstanceId, SimTime), RequestError> {
         self.emit(TelemetryEvent::BidPlaced {
             market,
             bid: Some(bid),
+            predicted_risk,
         });
         let r = self.provider.request_spot(market, bid, self.now);
         if S::ENABLED {
@@ -401,7 +441,11 @@ impl<'t, S: Sink> SimRun<'t, S> {
         market: MarketId,
         at: SimTime,
     ) -> Result<(InstanceId, SimTime), RequestError> {
-        self.emit(TelemetryEvent::BidPlaced { market, bid: None });
+        self.emit(TelemetryEvent::BidPlaced {
+            market,
+            bid: None,
+            predicted_risk: None,
+        });
         let r = self.provider.request_on_demand(market, at);
         if S::ENABLED {
             match &r {
@@ -573,18 +617,48 @@ impl<'t, S: Sink> SimRun<'t, S> {
         self.provider.on_demand_price(m) * self.n_servers(m)
     }
 
+    /// Advance every forecaster to the current simulation time, feeding
+    /// the price history span `[fed_to, now)` exactly once. Strictly
+    /// causal: nothing at or past `now` is ever observed, so the adaptive
+    /// policy sees only what a real scheduler could have seen.
+    fn feed_forecasters(&mut self) {
+        let Some(fs) = &mut self.forecast else {
+            return;
+        };
+        let now = self.now;
+        for (cursor, fc) in &mut fs.per_market {
+            let from = fc.fed_to();
+            if from < now {
+                cursor.feed_segments(from, now, |seg| fc.feed(seg));
+            }
+        }
+    }
+
     /// All spot candidates currently requestable (price at or below the
     /// policy bid), cheapest score first, optionally excluding the current
-    /// market. The sort is stable, so ties keep candidate-list order.
-    fn ranked_spots(&self, exclude: Option<MarketId>) -> Vec<Candidate> {
+    /// market. The sort is stable, so ties keep forecast-ranked order
+    /// (adaptive: calmer market first) and candidate-list order otherwise.
+    fn ranked_spots(&mut self, exclude: Option<MarketId>) -> Vec<Candidate> {
+        self.feed_forecasters();
         let catalog = self.provider.traces().catalog();
         let mut ranked = Vec::new();
-        for &m in &self.candidates {
+        for (i, &m) in self.candidates.iter().enumerate() {
             if Some(m) == exclude {
                 continue;
             }
             let pon = catalog.on_demand_price(m);
-            let Some(bid) = self.cfg.policy.bid(pon, catalog.max_bid(m)) else {
+            // Adaptive: per-market forecast decision (cheapest ladder bid
+            // within the risk budget). Other policies: the fixed rule.
+            let (bid, risk) = match &self.forecast {
+                Some(fs) => {
+                    let d = fs.per_market[i]
+                        .1
+                        .decide_bid(pon, catalog.max_bid(m), fs.risk_budget);
+                    (Some(d.bid), d.predicted_risk)
+                }
+                None => (self.cfg.policy.bid(pon, catalog.max_bid(m)), None),
+            };
+            let Some(bid) = bid else {
                 continue;
             };
             let Some(price) = self.provider.spot_price(m, self.now) else {
@@ -594,20 +668,30 @@ impl<'t, S: Sink> SimRun<'t, S> {
                 continue; // request would be rejected
             }
             let rate = price * self.n_servers(m);
-            let score = rate + self.stability_penalty(m, pon);
+            // Predicted revocation risk enters the score the same way the
+            // stability penalty does: as an effective-rate surcharge, so
+            // a calm market beats an equally cheap jittery one.
+            let risk_penalty = risk.unwrap_or(0.0) * self.baseline_rate;
+            let score = rate + self.stability_penalty(m, pon) + risk_penalty;
             ranked.push(Candidate {
                 market: m,
                 bid,
                 score,
+                risk,
             });
         }
+        // Forecast-driven pre-ordering (no-op for single-market scopes
+        // and whenever no forecaster is attached: every key is then 0).
+        self.cfg
+            .scope
+            .rank_by_risk(&mut ranked, |c| c.risk.unwrap_or(0.0));
         ranked.sort_by(|a, b| a.score.total_cmp(&b.score));
         ranked
     }
 
     /// Cheapest spot candidate currently requestable, optionally excluding
     /// the current market.
-    fn best_spot(&self, exclude: Option<MarketId>) -> Option<Candidate> {
+    fn best_spot(&mut self, exclude: Option<MarketId>) -> Option<Candidate> {
         self.ranked_spots(exclude).into_iter().next()
     }
 
@@ -763,12 +847,12 @@ impl<'t, S: Sink> SimRun<'t, S> {
                 // back off in real time instead.
                 SpotAttempt::Faulted => self.retry_boot_later(),
             },
-            BiddingPolicy::Reactive | BiddingPolicy::Proactive { .. } => {
-                match self.try_request_initial_spot() {
-                    SpotAttempt::Requested => {}
-                    SpotAttempt::Unattractive | SpotAttempt::Faulted => self.request_initial_od(),
-                }
-            }
+            BiddingPolicy::Reactive
+            | BiddingPolicy::Proactive { .. }
+            | BiddingPolicy::Adaptive { .. } => match self.try_request_initial_spot() {
+                SpotAttempt::Requested => {}
+                SpotAttempt::Unattractive | SpotAttempt::Faulted => self.request_initial_od(),
+            },
         }
     }
 
@@ -780,7 +864,7 @@ impl<'t, S: Sink> SimRun<'t, S> {
             if self.cfg.policy.uses_on_demand_fallback() && c.score >= self.baseline_rate {
                 break; // ranked: everything further is unattractive too
             }
-            match self.request_spot(c.market, c.bid) {
+            match self.request_spot(c.market, c.bid, c.risk) {
                 Ok((id, ready)) => {
                     self.queue.push(ready, Ev::Ready(id));
                     self.enter(St::Boot {
@@ -1491,7 +1575,7 @@ impl<'t, S: Sink> SimRun<'t, S> {
     /// One spot request; `Err(true)` means an injected capacity fault,
     /// `Err(false)` any other rejection (price moved under us).
     fn try_spot_request(&mut self, c: Candidate) -> Result<Pending, bool> {
-        match self.request_spot(c.market, c.bid) {
+        match self.request_spot(c.market, c.bid, c.risk) {
             Ok((id, ready)) => {
                 self.queue.push(ready, Ev::Ready(id));
                 Ok(Pending {
@@ -1679,7 +1763,7 @@ impl<'t, S: Sink> SimRun<'t, S> {
             self.schedule_spot_retry();
             return;
         };
-        match self.request_spot(best.market, best.bid) {
+        match self.request_spot(best.market, best.bid, best.risk) {
             Ok((id, ready)) => {
                 let pending = Pending {
                     id,
@@ -2126,5 +2210,89 @@ mod tests {
         assert!(report.baseline_cost > report.cost);
         assert!(report.active_span > SimDuration::days(14));
         assert!(report.spot_fraction > 0.5);
+    }
+
+    #[test]
+    fn adaptive_runs_are_deterministic() {
+        let ts = stormy_traces(20, 5);
+        let c = cfg().with_policy(BiddingPolicy::adaptive_default());
+        let a = SimRun::new(&ts, &c, 5).run();
+        let b = SimRun::new(&ts, &c, 5).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn adaptive_on_a_quiet_market_matches_proactive_cost() {
+        // On a calm trace the forecaster's cheap bids never get revoked,
+        // and spot bills the hour-start price either way — so adaptive
+        // must land on proactive's cost, not above it.
+        let ts = quiet_traces(10);
+        let adp = SimRun::new(
+            &ts,
+            &cfg().with_policy(BiddingPolicy::adaptive_default()),
+            1,
+        )
+        .with_startup_model(StartupModel::deterministic())
+        .run();
+        let pro = SimRun::new(&ts, &cfg(), 1)
+            .with_startup_model(StartupModel::deterministic())
+            .run();
+        assert_eq!(adp.forced_migrations, 0);
+        assert_eq!(adp.unavailability, 0.0);
+        assert!(
+            (adp.normalized_cost - pro.normalized_cost).abs() < 1e-9,
+            "adaptive {} vs proactive {}",
+            adp.normalized_cost,
+            pro.normalized_cost
+        );
+    }
+
+    #[test]
+    fn adaptive_stays_available_in_storms() {
+        let ts = stormy_traces(30, 7);
+        let adp = SimRun::new(
+            &ts,
+            &cfg()
+                .with_policy(BiddingPolicy::adaptive_default())
+                .with_mechanism(MechanismCombo::CKPT_LR_LIVE),
+            7,
+        )
+        .with_startup_model(StartupModel::deterministic())
+        .run();
+        // The risk budget keeps revocations rare enough for the same
+        // sub-percent availability proactive achieves in this market.
+        assert!(
+            adp.unavailability < 0.01,
+            "unavailability {}",
+            adp.unavailability
+        );
+        assert!(adp.normalized_cost < 1.0, "{}", adp.normalized_cost);
+        assert!(adp.spot_fraction > 0.5, "{}", adp.spot_fraction);
+    }
+
+    #[test]
+    fn adaptive_costs_no_more_than_the_fixed_cap_in_storms() {
+        // Paired comparison on the same traces: bidding below the cap
+        // cannot raise the price paid (hour-start billing) and revoked
+        // partial hours are free, so adaptive's cost must come in at or
+        // below proactive k=4, within a small on-demand-fallback margin.
+        let mut worse = 0usize;
+        for seed in [7u64, 11, 13] {
+            let ts = stormy_traces(30, seed);
+            let adp = SimRun::new(
+                &ts,
+                &cfg().with_policy(BiddingPolicy::adaptive_default()),
+                seed,
+            )
+            .with_startup_model(StartupModel::deterministic())
+            .run();
+            let pro = SimRun::new(&ts, &cfg(), seed)
+                .with_startup_model(StartupModel::deterministic())
+                .run();
+            if adp.normalized_cost > pro.normalized_cost * 1.02 {
+                worse += 1;
+            }
+        }
+        assert_eq!(worse, 0, "adaptive must not lose to the fixed cap");
     }
 }

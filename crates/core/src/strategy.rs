@@ -28,8 +28,15 @@ impl MarketScope {
 
     /// Spot markets the scheduler may bid in, for a service of `units`
     /// capacity units. Sizes that don't pack evenly are excluded.
+    ///
+    /// The returned list is pinned to canonical order — `(zone index,
+    /// instance-type index)` ascending — regardless of the order zones
+    /// were passed in a `MultiRegion` scope. Downstream consumers rely
+    /// on this: the scheduler breaks score ties by list position and the
+    /// forecaster state is aligned index-for-index, so a permuted list
+    /// would silently change simulation results.
     pub fn candidates(&self, units: u32) -> Vec<MarketId> {
-        match self {
+        let mut out = match self {
             MarketScope::Single(m) => {
                 assert!(
                     fits(units, m.itype),
@@ -46,7 +53,23 @@ impl MarketScope {
                 .flat_map(|&z| MarketId::all_in_zone(z))
                 .filter(|m| fits(units, m.itype))
                 .collect(),
+        };
+        out.sort_by_key(|m| (m.zone.index(), m.itype.index()));
+        out.dedup();
+        out
+    }
+
+    /// Forecast-driven ordering hook for multi-market and multi-region
+    /// scopes: stable-sort `items` by ascending `risk` so that when the
+    /// scheduler's cost-based ranking ties, the *calmer* market wins.
+    /// Single-market scopes have nothing to reorder, so this is a no-op
+    /// there — keeping single-market runs bit-identical whether or not a
+    /// forecaster is attached.
+    pub fn rank_by_risk<T>(&self, items: &mut [T], mut risk: impl FnMut(&T) -> f64) {
+        if matches!(self, MarketScope::Single(_)) {
+            return;
         }
+        items.sort_by(|a, b| risk(a).total_cmp(&risk(b)));
     }
 
     /// The on-demand fallback market when the service currently sits in
@@ -116,6 +139,37 @@ mod tests {
         assert_eq!(c.len(), 8);
         assert!(c.iter().any(|m| m.zone == Zone::UsEast1a));
         assert!(c.iter().any(|m| m.zone == Zone::EuWest1a));
+    }
+
+    #[test]
+    fn candidate_order_is_canonical_regardless_of_zone_order() {
+        // Regression: multi-region candidate order used to follow the
+        // zones Vec passed in; it is now pinned to (zone, size) order.
+        let fwd = MarketScope::MultiRegion(vec![Zone::UsEast1a, Zone::EuWest1a]);
+        let rev = MarketScope::MultiRegion(vec![Zone::EuWest1a, Zone::UsEast1a]);
+        let c = fwd.candidates(8);
+        assert_eq!(c, rev.candidates(8));
+        let keys: Vec<(usize, usize)> = c
+            .iter()
+            .map(|m| (m.zone.index(), m.itype.index()))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "must be (zone, size) ascending");
+        // Duplicate zones don't duplicate markets.
+        let dup = MarketScope::MultiRegion(vec![Zone::UsEast1a, Zone::UsEast1a]);
+        assert_eq!(dup.candidates(8).len(), 4);
+    }
+
+    #[test]
+    fn rank_by_risk_orders_multi_scopes_only() {
+        let mut items = vec![("a", 0.3), ("b", 0.1), ("c", 0.2)];
+        MarketScope::Single(MarketId::new(Zone::UsEast1a, InstanceType::Small))
+            .rank_by_risk(&mut items, |x| x.1);
+        assert_eq!(items[0].0, "a", "single scope must not reorder");
+        MarketScope::MultiMarket(Zone::UsEast1a).rank_by_risk(&mut items, |x| x.1);
+        let names: Vec<&str> = items.iter().map(|x| x.0).collect();
+        assert_eq!(names, ["b", "c", "a"]);
     }
 
     #[test]

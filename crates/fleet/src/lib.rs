@@ -15,6 +15,9 @@
 //! padding; the pool reports that *waste* so operators can see the cost of
 //! fragmentation.
 
+// Library code must not unwrap (see DESIGN.md "Failure semantics").
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod packing;
 pub mod pool;
 pub mod report;

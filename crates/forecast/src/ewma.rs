@@ -1,0 +1,143 @@
+//! Time-decayed (exponentially weighted) mean and variance of a
+//! piecewise-constant price signal.
+//!
+//! Spot prices are published as change events, so observations are
+//! *segments* (a price held for a duration), not equally spaced samples.
+//! The estimator therefore decays continuously in time: a segment of
+//! duration `d` contributes the integral of the decay kernel over `d`,
+//! which makes the estimate independent of how finely the history is cut
+//! into segments (up to floating-point rounding).
+
+use spothost_market::time::SimDuration;
+use spothost_market::trace::Segment;
+
+/// Continuous-time EWMA of mean and variance.
+#[derive(Debug, Clone)]
+pub struct Ewma {
+    /// Decay rate per millisecond (`ln 2 / half_life`).
+    lambda: f64,
+    /// Decayed total weight (milliseconds of kernel mass).
+    w: f64,
+    /// Decayed weighted sum of prices.
+    s1: f64,
+    /// Decayed weighted sum of squared prices.
+    s2: f64,
+}
+
+impl Ewma {
+    /// An estimator whose weight halves every `half_life` of elapsed time.
+    pub fn new(half_life: SimDuration) -> Self {
+        let hl = half_life.as_millis().max(1) as f64;
+        Ewma {
+            lambda: std::f64::consts::LN_2 / hl,
+            w: 0.0,
+            s1: 0.0,
+            s2: 0.0,
+        }
+    }
+
+    /// Fold one constant-price segment into the estimate. Segments must be
+    /// fed in time order; the estimate's reference point moves to the
+    /// segment's end.
+    pub fn feed(&mut self, seg: Segment) {
+        let d = seg.duration().as_millis() as f64;
+        if d <= 0.0 {
+            return;
+        }
+        // Existing mass ages by d; the new segment contributes
+        // ∫_0^d e^(-λt) dt = (1 - e^(-λd)) / λ of kernel mass at its price.
+        let k = (-self.lambda * d).exp();
+        let g = (1.0 - k) / self.lambda;
+        self.w = self.w * k + g;
+        self.s1 = self.s1 * k + g * seg.price;
+        self.s2 = self.s2 * k + g * seg.price * seg.price;
+    }
+
+    /// Has anything been fed yet?
+    pub fn is_empty(&self) -> bool {
+        self.w == 0.0
+    }
+
+    /// Decayed mean price; `None` before the first segment.
+    pub fn mean(&self) -> Option<f64> {
+        (self.w > 0.0).then(|| self.s1 / self.w)
+    }
+
+    /// Decayed population variance; `None` before the first segment.
+    /// Clamped at zero (catastrophic cancellation on near-constant prices
+    /// can produce tiny negative values).
+    pub fn variance(&self) -> Option<f64> {
+        let m = self.mean()?;
+        Some((self.s2 / self.w - m * m).max(0.0))
+    }
+
+    /// Decayed standard deviation; `None` before the first segment.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spothost_market::time::SimTime;
+
+    fn seg(start_s: u64, end_s: u64, price: f64) -> Segment {
+        Segment {
+            start: SimTime::secs(start_s),
+            end: SimTime::secs(end_s),
+            price,
+        }
+    }
+
+    #[test]
+    fn empty_estimator_has_no_estimates() {
+        let e = Ewma::new(SimDuration::hours(1));
+        assert!(e.is_empty());
+        assert_eq!(e.mean(), None);
+        assert_eq!(e.variance(), None);
+    }
+
+    #[test]
+    fn constant_price_converges_to_it() {
+        let mut e = Ewma::new(SimDuration::hours(1));
+        e.feed(seg(0, 3600 * 10, 0.25));
+        let m = e.mean().expect("fed");
+        assert!((m - 0.25).abs() < 1e-12, "{m}");
+        assert!(e.variance().expect("fed") < 1e-12);
+    }
+
+    #[test]
+    fn recent_prices_dominate() {
+        let mut e = Ewma::new(SimDuration::hours(1));
+        e.feed(seg(0, 3600 * 24, 0.1));
+        e.feed(seg(3600 * 24, 3600 * 24 + 6 * 3600, 0.9));
+        // Six half-lives of 0.9 on top of a day of 0.1: mean is near 0.9.
+        let m = e.mean().expect("fed");
+        assert!(m > 0.85, "{m}");
+        assert!(e.std_dev().expect("fed") < 0.2);
+    }
+
+    #[test]
+    fn splitting_a_segment_changes_nothing() {
+        let mut one = Ewma::new(SimDuration::hours(2));
+        let mut two = Ewma::new(SimDuration::hours(2));
+        one.feed(seg(0, 7200, 0.3));
+        one.feed(seg(7200, 9000, 0.7));
+        two.feed(seg(0, 3600, 0.3));
+        two.feed(seg(3600, 7200, 0.3));
+        two.feed(seg(7200, 8000, 0.7));
+        two.feed(seg(8000, 9000, 0.7));
+        let (a, b) = (one.mean().expect("fed"), two.mean().expect("fed"));
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        let (va, vb) = (one.variance().expect("fed"), two.variance().expect("fed"));
+        assert!((va - vb).abs() < 1e-9, "{va} vs {vb}");
+    }
+
+    #[test]
+    fn zero_length_segments_are_ignored() {
+        let mut e = Ewma::new(SimDuration::hours(1));
+        e.feed(seg(5, 5, 10.0));
+        assert!(e.is_empty());
+    }
+}

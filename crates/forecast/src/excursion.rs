@@ -1,0 +1,267 @@
+//! Excursion-frequency model: how often does the price exceed a candidate
+//! bid "soon"?
+//!
+//! For a candidate bid `b`, the quantity the scheduler cares about is the
+//! probability that the spot price rises above `b` at some point within
+//! the next lookahead (one hour by default — one billing period), because
+//! that is what revokes the instance. The empirical analogue over the
+//! trailing window: the fraction of instants `t` for which some
+//! above-`b` excursion intersects `(t, t + lookahead]`. An instant `t` is
+//! "at risk" exactly when `t ∈ [seg.start − lookahead, seg.end)` for some
+//! stored run with `price > b`, so the estimate is the measure of the
+//! union of those shifted intervals, clipped to the observed window.
+//!
+//! Runs are stored canonically (adjacent equal-price segments merge), so
+//! one-pass and segment-by-segment feeding give identical state, and the
+//! estimate is a deterministic function of the fed history.
+
+use spothost_market::time::{SimDuration, SimTime};
+use spothost_market::trace::Segment;
+use std::collections::VecDeque;
+
+/// One maximal constant-price run kept in the window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Run {
+    start: SimTime,
+    end: SimTime,
+    price: f64,
+}
+
+/// Sliding-window estimator of P(price > b within the next `lookahead`).
+#[derive(Debug, Clone)]
+pub struct ExcursionModel {
+    window: SimDuration,
+    lookahead: SimDuration,
+    max_runs: usize,
+    runs: VecDeque<Run>,
+    /// Start of the first fed segment (for clipping the observed span).
+    first_fed: Option<SimTime>,
+    /// End of the last fed segment (the observation frontier).
+    frontier: SimTime,
+}
+
+impl ExcursionModel {
+    /// Model over a trailing `window`, asking about excursions within
+    /// `lookahead`, holding at most `max_runs` runs (oldest dropped first).
+    pub fn new(window: SimDuration, lookahead: SimDuration, max_runs: usize) -> Self {
+        assert!(window > SimDuration::ZERO, "window must be positive");
+        assert!(lookahead > SimDuration::ZERO, "lookahead must be positive");
+        assert!(max_runs > 0, "need room for at least one run");
+        ExcursionModel {
+            window,
+            lookahead,
+            max_runs,
+            runs: VecDeque::new(),
+            first_fed: None,
+            frontier: SimTime::ZERO,
+        }
+    }
+
+    /// Fold one constant-price segment in. Segments must arrive in time
+    /// order; contiguous equal-price segments extend the last run.
+    pub fn feed(&mut self, seg: Segment) {
+        if seg.end <= seg.start {
+            return;
+        }
+        if self.first_fed.is_none() {
+            self.first_fed = Some(seg.start);
+        }
+        self.frontier = self.frontier.max(seg.end);
+        match self.runs.back_mut() {
+            Some(last) if last.end == seg.start && last.price == seg.price => {
+                last.end = seg.end;
+            }
+            _ => self.runs.push_back(Run {
+                start: seg.start,
+                end: seg.end,
+                price: seg.price,
+            }),
+        }
+        // A run whose end fell out of the window can no longer put any
+        // instant at risk (its risk interval ends at run.end).
+        let cutoff = self.frontier.saturating_sub(self.window);
+        while let Some(front) = self.runs.front() {
+            if front.end <= cutoff {
+                self.runs.pop_front();
+            } else {
+                break;
+            }
+        }
+        while self.runs.len() > self.max_runs {
+            self.runs.pop_front();
+        }
+    }
+
+    /// Has anything been fed yet?
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// The observation frontier (end of the last fed segment).
+    pub fn frontier(&self) -> SimTime {
+        self.frontier
+    }
+
+    /// How much history the estimate currently rests on (capped at the
+    /// window length).
+    pub fn observed(&self) -> SimDuration {
+        match self.first_fed {
+            Some(first) => self.frontier.since(first).min(self.window),
+            None => SimDuration::ZERO,
+        }
+    }
+
+    /// Highest price observed in the trailing window; `None` with no
+    /// data. Every retained run intersects the window (eviction keeps
+    /// exactly those), so the retained maximum is the window maximum.
+    pub fn max_price(&self) -> Option<f64> {
+        self.runs.iter().map(|r| r.price).reduce(f64::max)
+    }
+
+    /// Estimated probability that the price exceeds `bid` at some point
+    /// within the next `lookahead`. Monotone non-increasing in `bid`.
+    /// With no observations yet, returns 1.0 — "don't know" must read as
+    /// risky, never as safe.
+    pub fn prob_above(&self, bid: f64) -> f64 {
+        let span = self.observed();
+        if span == SimDuration::ZERO {
+            return 1.0;
+        }
+        let lo = self.frontier.saturating_sub(span);
+        // Measure of ∪ [run.start − lookahead, run.end) over runs with
+        // price > bid, clipped to [lo, frontier). Runs are time-ordered
+        // and the shift is uniform, so a single covered-watermark sweep
+        // suffices.
+        let mut at_risk = 0u64;
+        let mut covered = lo;
+        for r in &self.runs {
+            if r.price <= bid {
+                continue;
+            }
+            let s = r.start.saturating_sub(self.lookahead).max(covered);
+            let e = r.end.min(self.frontier);
+            if e > s {
+                at_risk += (e - s).as_millis();
+                covered = e;
+            } else if e > covered {
+                covered = e;
+            }
+        }
+        (at_risk as f64 / span.as_millis() as f64).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(start_s: u64, end_s: u64, price: f64) -> Segment {
+        Segment {
+            start: SimTime::secs(start_s),
+            end: SimTime::secs(end_s),
+            price,
+        }
+    }
+
+    fn model() -> ExcursionModel {
+        ExcursionModel::new(SimDuration::hours(10), SimDuration::hours(1), 256)
+    }
+
+    #[test]
+    fn no_data_is_maximally_risky() {
+        let m = model();
+        assert_eq!(m.prob_above(100.0), 1.0);
+        assert_eq!(m.observed(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn calm_history_is_safe_above_the_price() {
+        let mut m = model();
+        m.feed(seg(0, 10 * 3600, 0.2));
+        assert_eq!(m.prob_above(0.3), 0.0);
+        // Bidding below the constant price is always at risk.
+        assert_eq!(m.prob_above(0.1), 1.0);
+    }
+
+    #[test]
+    fn spike_exposure_includes_the_lookahead_approach() {
+        let mut m = model();
+        // 10h observed: a single 1h spike to 1.0 in hours [5, 6).
+        m.feed(seg(0, 5 * 3600, 0.2));
+        m.feed(seg(5 * 3600, 6 * 3600, 1.0));
+        m.feed(seg(6 * 3600, 10 * 3600, 0.2));
+        // At risk for bid 0.5: [4h, 6h) → 2 of 10 observed hours.
+        let p = m.prob_above(0.5);
+        assert!((p - 0.2).abs() < 1e-9, "{p}");
+        // Above the spike, nothing is at risk.
+        assert_eq!(m.prob_above(1.5), 0.0);
+    }
+
+    #[test]
+    fn overlapping_risk_intervals_are_not_double_counted() {
+        let mut m = model();
+        // Two spikes 30 min apart: their shifted intervals overlap.
+        m.feed(seg(0, 5 * 3600, 0.2));
+        m.feed(seg(5 * 3600, 5 * 3600 + 600, 1.0));
+        m.feed(seg(5 * 3600 + 600, 5 * 3600 + 1800, 0.2));
+        m.feed(seg(5 * 3600 + 1800, 5 * 3600 + 2400, 1.0));
+        m.feed(seg(5 * 3600 + 2400, 10 * 3600, 0.2));
+        // Union of [4h, 5h10m) and [4h30m, 5h40m) = [4h, 5h40m) = 100 min.
+        let p = m.prob_above(0.5);
+        let want = 100.0 * 60.0 / (10.0 * 3600.0);
+        assert!((p - want).abs() < 1e-9, "{p} vs {want}");
+    }
+
+    #[test]
+    fn monotone_non_increasing_in_bid() {
+        let mut m = model();
+        for (i, p) in [0.3, 0.9, 0.2, 1.4, 0.5, 0.2].iter().enumerate() {
+            let s = i as u64 * 3600;
+            m.feed(seg(s, s + 3600, *p));
+        }
+        let mut last = f64::INFINITY;
+        for b in [0.0, 0.1, 0.25, 0.4, 0.6, 1.0, 1.5, 2.0] {
+            let p = m.prob_above(b);
+            assert!(p <= last, "bid {b}: {p} > {last}");
+            assert!((0.0..=1.0).contains(&p));
+            last = p;
+        }
+    }
+
+    #[test]
+    fn split_feed_equals_one_pass() {
+        let mut one = model();
+        let mut two = model();
+        one.feed(seg(0, 7200, 0.3));
+        one.feed(seg(7200, 9000, 0.7));
+        two.feed(seg(0, 1000, 0.3));
+        two.feed(seg(1000, 7200, 0.3));
+        two.feed(seg(7200, 8000, 0.7));
+        two.feed(seg(8000, 9000, 0.7));
+        for b in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            assert_eq!(one.prob_above(b), two.prob_above(b), "bid {b}");
+        }
+    }
+
+    #[test]
+    fn old_spikes_age_out() {
+        let mut m = ExcursionModel::new(SimDuration::hours(2), SimDuration::hours(1), 256);
+        m.feed(seg(0, 3600, 9.0));
+        m.feed(seg(3600, 4 * 3600, 0.2));
+        // The spike ended 3h before the frontier; window is 2h.
+        assert_eq!(m.prob_above(0.5), 0.0);
+        // ...and it no longer counts towards the window maximum either.
+        assert_eq!(m.max_price(), Some(0.2));
+    }
+
+    #[test]
+    fn max_price_tracks_the_window() {
+        let mut m = model();
+        assert_eq!(m.max_price(), None);
+        m.feed(seg(0, 3600, 0.2));
+        assert_eq!(m.max_price(), Some(0.2));
+        m.feed(seg(3600, 7200, 1.3));
+        m.feed(seg(7200, 9000, 0.4));
+        assert_eq!(m.max_price(), Some(1.3));
+    }
+}

@@ -1,0 +1,246 @@
+//! Bounded sliding-window, duration-weighted quantile estimator.
+//!
+//! Keeps the constant-price runs observed over a trailing time window and
+//! answers "what price was exceeded for a (1-q) fraction of the recent
+//! past". Weighting by duration matters: a one-minute spike must not count
+//! the same as a six-hour plateau.
+//!
+//! Storage is canonical — adjacent same-price segments merge into maximal
+//! runs — so feeding a history in one pass and feeding it cut into
+//! arbitrary contiguous pieces produce *identical* state, and every
+//! estimate is a deterministic function of the observed price history.
+
+use spothost_market::time::{SimDuration, SimTime};
+use spothost_market::trace::Segment;
+use std::collections::VecDeque;
+
+/// One maximal constant-price run kept in the window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Run {
+    start: SimTime,
+    end: SimTime,
+    price: f64,
+}
+
+/// Sliding-window quantile estimator over piecewise-constant prices.
+#[derive(Debug, Clone)]
+pub struct WindowQuantile {
+    window: SimDuration,
+    /// Hard cap on stored runs; the oldest runs are dropped beyond it.
+    max_runs: usize,
+    runs: VecDeque<Run>,
+    /// End of the last fed segment (the observation frontier).
+    frontier: SimTime,
+}
+
+impl WindowQuantile {
+    /// Estimator over a trailing `window`, holding at most `max_runs`
+    /// constant-price runs (oldest dropped first).
+    pub fn new(window: SimDuration, max_runs: usize) -> Self {
+        assert!(window > SimDuration::ZERO, "window must be positive");
+        assert!(max_runs > 0, "need room for at least one run");
+        WindowQuantile {
+            window,
+            max_runs,
+            runs: VecDeque::new(),
+            frontier: SimTime::ZERO,
+        }
+    }
+
+    /// Fold one constant-price segment into the window. Segments must
+    /// arrive in time order; a segment contiguous with the last run at the
+    /// same price extends it (canonical storage).
+    pub fn feed(&mut self, seg: Segment) {
+        if seg.end <= seg.start {
+            return;
+        }
+        self.frontier = self.frontier.max(seg.end);
+        match self.runs.back_mut() {
+            Some(last) if last.end == seg.start && last.price == seg.price => {
+                last.end = seg.end;
+            }
+            _ => self.runs.push_back(Run {
+                start: seg.start,
+                end: seg.end,
+                price: seg.price,
+            }),
+        }
+        self.evict();
+    }
+
+    /// Drop runs that fell entirely out of the window, and enforce the
+    /// hard cap.
+    fn evict(&mut self) {
+        let cutoff = self.frontier.saturating_sub(self.window);
+        while let Some(front) = self.runs.front() {
+            if front.end <= cutoff {
+                self.runs.pop_front();
+            } else {
+                break;
+            }
+        }
+        while self.runs.len() > self.max_runs {
+            self.runs.pop_front();
+        }
+    }
+
+    /// Number of stored runs (bounded by the cap).
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// The observation frontier (end of the last fed segment).
+    pub fn frontier(&self) -> SimTime {
+        self.frontier
+    }
+
+    /// Duration-weighted quantile of the price over the trailing window,
+    /// `q` in `[0, 1]`; `None` before any observation. Returns an observed
+    /// price (no interpolation), monotone non-decreasing in `q`, bounded
+    /// by the window's min/max price.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        let cutoff = self.frontier.saturating_sub(self.window);
+        // (price, clipped duration in ms) for every run still overlapping
+        // the window.
+        let mut weighted: Vec<(f64, u64)> = self
+            .runs
+            .iter()
+            .filter_map(|r| {
+                let start = r.start.max(cutoff);
+                (r.end > start).then(|| (r.price, (r.end - start).as_millis()))
+            })
+            .collect();
+        if weighted.is_empty() {
+            return None;
+        }
+        weighted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let total: u64 = weighted.iter().map(|(_, d)| d).sum();
+        // Smallest observed price p with weight{price <= p} >= q * total.
+        let target = q * total as f64;
+        let mut acc = 0u64;
+        for (price, d) in &weighted {
+            acc += d;
+            if acc as f64 >= target {
+                return Some(*price);
+            }
+        }
+        weighted.last().map(|(p, _)| *p)
+    }
+
+    /// Duration-weighted median.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Smallest price observed in the window.
+    pub fn min(&self) -> Option<f64> {
+        self.quantile(0.0)
+    }
+
+    /// Largest price observed in the window.
+    pub fn max(&self) -> Option<f64> {
+        self.quantile(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(start_s: u64, end_s: u64, price: f64) -> Segment {
+        Segment {
+            start: SimTime::secs(start_s),
+            end: SimTime::secs(end_s),
+            price,
+        }
+    }
+
+    #[test]
+    fn empty_window_has_no_quantiles() {
+        let w = WindowQuantile::new(SimDuration::hours(1), 64);
+        assert_eq!(w.quantile(0.5), None);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn duration_weighting() {
+        let mut w = WindowQuantile::new(SimDuration::hours(10), 64);
+        // 9 hours at 0.1, 1 hour at 1.0.
+        w.feed(seg(0, 9 * 3600, 0.1));
+        w.feed(seg(9 * 3600, 10 * 3600, 1.0));
+        assert_eq!(w.median(), Some(0.1));
+        assert_eq!(w.quantile(0.89), Some(0.1));
+        assert_eq!(w.quantile(0.95), Some(1.0));
+        assert_eq!(w.min(), Some(0.1));
+        assert_eq!(w.max(), Some(1.0));
+    }
+
+    #[test]
+    fn old_runs_fall_out_of_the_window() {
+        let mut w = WindowQuantile::new(SimDuration::hours(1), 64);
+        w.feed(seg(0, 3600, 5.0));
+        w.feed(seg(3600, 2 * 3600, 0.2));
+        // The 5.0 run ended exactly one window before the frontier: gone.
+        assert_eq!(w.max(), Some(0.2));
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn partial_overlap_is_clipped() {
+        let mut w = WindowQuantile::new(SimDuration::hours(2), 64);
+        w.feed(seg(0, 2 * 3600, 1.0));
+        w.feed(seg(2 * 3600, 3 * 3600 + 1800, 0.5));
+        // Window is [1.5h, 3.5h): 0.5h of 1.0, 1.5h of 0.5.
+        assert_eq!(w.median(), Some(0.5));
+        assert_eq!(w.quantile(0.81), Some(1.0));
+    }
+
+    #[test]
+    fn split_feed_equals_one_pass() {
+        let mut one = WindowQuantile::new(SimDuration::hours(3), 64);
+        let mut two = WindowQuantile::new(SimDuration::hours(3), 64);
+        one.feed(seg(0, 7200, 0.3));
+        one.feed(seg(7200, 9000, 0.7));
+        two.feed(seg(0, 100, 0.3));
+        two.feed(seg(100, 7200, 0.3));
+        two.feed(seg(7200, 8000, 0.7));
+        two.feed(seg(8000, 9000, 0.7));
+        assert_eq!(one.len(), two.len());
+        for q in [0.0, 0.1, 0.5, 0.9, 1.0] {
+            assert_eq!(one.quantile(q), two.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn hard_cap_drops_oldest() {
+        let mut w = WindowQuantile::new(SimDuration::days(10), 4);
+        for i in 0..10u64 {
+            w.feed(seg(i * 60, (i + 1) * 60, i as f64 + 1.0));
+        }
+        assert_eq!(w.len(), 4);
+        // Only prices 7..=10 survive.
+        assert_eq!(w.min(), Some(7.0));
+        assert_eq!(w.max(), Some(10.0));
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q() {
+        let mut w = WindowQuantile::new(SimDuration::hours(5), 64);
+        for (i, p) in [0.4, 0.1, 0.9, 0.2, 0.6].iter().enumerate() {
+            let s = i as u64 * 600;
+            w.feed(seg(s, s + 600, *p));
+        }
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = w.quantile(q).expect("fed");
+            assert!(v >= last, "q={q}: {v} < {last}");
+            last = v;
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests of the forecast estimators: whatever price
+//! history is drawn, the quantile estimator must be monotone in `q` and
+//! bounded by the observed extremes, the excursion model must be
+//! monotone in the bid and a proper probability, both must be
+//! deterministic, and feeding a history in one pass must equal feeding
+//! it cut at arbitrary points (the scheduler feeds incrementally; the
+//! backtest feeds in bulk — they must agree).
+
+use proptest::prelude::*;
+use spothost_forecast::{ExcursionModel, ForecastParams, MarketForecaster, WindowQuantile};
+use spothost_market::time::{SimDuration, SimTime};
+use spothost_market::trace::Segment;
+
+/// A price history as (duration seconds, price) runs starting at t=0.
+fn arb_history() -> impl Strategy<Value = Vec<(u64, f64)>> {
+    prop::collection::vec((60u64..20_000, 0.01f64..5.0), 1..40)
+}
+
+/// Materialize a history into contiguous segments.
+fn segments(history: &[(u64, f64)]) -> Vec<Segment> {
+    let mut t = 0u64;
+    history
+        .iter()
+        .map(|&(d, p)| {
+            let s = Segment {
+                start: SimTime::secs(t),
+                end: SimTime::secs(t + d),
+                price: p,
+            };
+            t += d;
+            s
+        })
+        .collect()
+}
+
+/// Split every segment at `frac` of its length (where that makes a
+/// non-degenerate cut), yielding a different segmentation of the same
+/// price function.
+fn resegment(segs: &[Segment], frac: f64) -> Vec<Segment> {
+    let mut out = Vec::new();
+    for s in segs {
+        let d = s.duration().as_millis();
+        let cut = (d as f64 * frac) as u64;
+        if cut == 0 || cut >= d {
+            out.push(*s);
+        } else {
+            let mid = s.start + SimDuration::millis(cut);
+            out.push(Segment {
+                start: s.start,
+                end: mid,
+                price: s.price,
+            });
+            out.push(Segment {
+                start: mid,
+                end: s.end,
+                price: s.price,
+            });
+        }
+    }
+    out
+}
+
+fn quantile_window() -> SimDuration {
+    SimDuration::hours(6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantile_monotone_and_bounded(history in arb_history()) {
+        let mut w = WindowQuantile::new(quantile_window(), 4096);
+        for s in segments(&history) {
+            w.feed(s);
+        }
+        let lo = w.min().expect("fed");
+        let hi = w.max().expect("fed");
+        prop_assert!(lo <= hi);
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let v = w.quantile(q).expect("fed");
+            prop_assert!(v >= last, "q={} gave {} after {}", q, v, last);
+            prop_assert!((lo..=hi).contains(&v), "q={} gave {} outside [{}, {}]", q, v, lo, hi);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn quantile_one_pass_equals_split_feed(history in arb_history(), frac in 0.05f64..0.95) {
+        let segs = segments(&history);
+        let mut one = WindowQuantile::new(quantile_window(), 4096);
+        let mut two = WindowQuantile::new(quantile_window(), 4096);
+        for s in &segs {
+            one.feed(*s);
+        }
+        for s in resegment(&segs, frac) {
+            two.feed(s);
+        }
+        prop_assert_eq!(one.len(), two.len(), "storage must be canonical");
+        for i in 0..=10 {
+            let q = i as f64 / 10.0;
+            prop_assert_eq!(one.quantile(q), two.quantile(q), "q={}", q);
+        }
+    }
+
+    #[test]
+    fn excursion_monotone_probability(history in arb_history()) {
+        let mut m = ExcursionModel::new(SimDuration::hours(6), SimDuration::hours(1), 4096);
+        for s in segments(&history) {
+            m.feed(s);
+        }
+        let mut last = f64::INFINITY;
+        for i in 0..=25 {
+            let bid = i as f64 * 0.2;
+            let p = m.prob_above(bid);
+            prop_assert!((0.0..=1.0).contains(&p), "bid {} gave {}", bid, p);
+            prop_assert!(p <= last, "bid {} gave {} after {}", bid, p, last);
+            last = p;
+        }
+        // Above the global maximum nothing is ever at risk; at zero the
+        // whole (positive-priced) window is.
+        prop_assert_eq!(m.prob_above(5.1), 0.0);
+        prop_assert_eq!(m.prob_above(0.0), 1.0);
+    }
+
+    #[test]
+    fn excursion_one_pass_equals_split_feed(history in arb_history(), frac in 0.05f64..0.95) {
+        let segs = segments(&history);
+        let mut one = ExcursionModel::new(SimDuration::hours(6), SimDuration::hours(1), 4096);
+        let mut two = ExcursionModel::new(SimDuration::hours(6), SimDuration::hours(1), 4096);
+        for s in &segs {
+            one.feed(*s);
+        }
+        for s in resegment(&segs, frac) {
+            two.feed(s);
+        }
+        for i in 0..=25 {
+            let bid = i as f64 * 0.2;
+            prop_assert_eq!(one.prob_above(bid), two.prob_above(bid), "bid {}", bid);
+        }
+    }
+
+    #[test]
+    fn forecaster_is_deterministic(history in arb_history()) {
+        let build = || {
+            let mut f = MarketForecaster::new(ForecastParams::default());
+            for s in segments(&history) {
+                f.feed(s);
+            }
+            f
+        };
+        let (a, b) = (build(), build());
+        prop_assert_eq!(a.mean(), b.mean());
+        prop_assert_eq!(a.quantile(0.9), b.quantile(0.9));
+        prop_assert_eq!(a.prob_above(1.0), b.prob_above(1.0));
+        prop_assert_eq!(
+            a.decide_bid(1.0, 4.0, 0.01),
+            b.decide_bid(1.0, 4.0, 0.01)
+        );
+    }
+}

@@ -427,6 +427,43 @@ impl<'a> TraceCursor<'a> {
         None
     }
 
+    /// Feed every constant-price segment overlapping `[from, to)` to
+    /// `f`, clipped to the window, in time order — the incremental path
+    /// for online consumers (forecasters) that observe each span of
+    /// price history exactly once as the clock advances. Commits the
+    /// cursor to the segment containing the window end, so successive
+    /// calls with abutting windows stay on the amortised-O(1) fast path.
+    ///
+    /// Emits exactly what [`PriceTrace::segments_in_iter`]`(from, to)`
+    /// yields; the cursor is purely an access-path optimisation.
+    pub fn feed_segments(&mut self, from: SimTime, to: SimTime, mut f: impl FnMut(Segment)) {
+        assert!(from <= to);
+        let to = to.min(self.trace.end);
+        if from >= to {
+            return;
+        }
+        let mut i = self.seek(from);
+        let pts = &self.trace.points;
+        while i < pts.len() {
+            let start = pts[i].at.max(from);
+            if start >= to {
+                break;
+            }
+            let end = pts.get(i + 1).map_or(self.trace.end, |n| n.at).min(to);
+            f(Segment {
+                start,
+                end,
+                price: pts[i].price,
+            });
+            if pts.get(i + 1).is_some_and(|n| n.at < to) {
+                i += 1;
+            } else {
+                break;
+            }
+        }
+        self.idx = i;
+    }
+
     /// Earliest instant `>= from` (inside the horizon) at which the price
     /// is `<= threshold`. Same committing behaviour as
     /// [`next_time_above`](TraceCursor::next_time_above).
@@ -574,6 +611,52 @@ mod tests {
         // Going backwards is allowed (slow path), results stay correct.
         assert_eq!(c.price_at(SimTime::secs(5)), 1.0);
         assert_eq!(c.price_at(SimTime::secs(15)), 3.0);
+    }
+
+    #[test]
+    fn feed_segments_matches_stateless_windows() {
+        let t = trace();
+        for (from, to) in [
+            (0u64, 60),
+            (5, 25),
+            (10, 20),
+            (0, 0),
+            (25, 25),
+            (15, 90),
+            (60, 70),
+        ] {
+            let (from, to) = (SimTime::secs(from), SimTime::secs(to));
+            let mut fed = Vec::new();
+            t.cursor().feed_segments(from, to, |s| fed.push(s));
+            assert_eq!(fed, t.segments_in(from, to), "window [{from}, {to})");
+        }
+    }
+
+    #[test]
+    fn feed_segments_abutting_windows_cover_once() {
+        // The forecaster's access pattern: successive abutting windows
+        // on one cursor must tile the trace exactly once with no gap,
+        // overlap, or reordering.
+        let t = trace();
+        let mut c = t.cursor();
+        let mut fed = Vec::new();
+        let mut from = SimTime::ZERO;
+        for to_s in [7u64, 10, 31, 31, 60] {
+            let to = SimTime::secs(to_s);
+            c.feed_segments(from, to, |s| fed.push(s));
+            from = to;
+        }
+        // Concatenated windows equal the single full-trace window.
+        let mut merged: Vec<Segment> = Vec::new();
+        for s in fed {
+            match merged.last_mut() {
+                Some(last) if last.end == s.start && last.price == s.price => last.end = s.end,
+                _ => merged.push(s),
+            }
+        }
+        assert_eq!(merged, t.segments_in(SimTime::ZERO, SimTime::secs(60)));
+        // And the cursor remains correct for a following monotonic query.
+        assert_eq!(c.price_at(SimTime::secs(59)), 0.5);
     }
 
     #[test]

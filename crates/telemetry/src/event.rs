@@ -105,7 +105,14 @@ impl SchedulerState {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TelemetryEvent {
     /// A spot bid (or on-demand request, `bid = None`) was placed.
-    BidPlaced { market: MarketId, bid: Option<f64> },
+    /// `predicted_risk` is the forecaster's estimate of P(revocation
+    /// within the next hour) behind the bid — present only when the
+    /// adaptive policy's warmed-up forecaster chose it.
+    BidPlaced {
+        market: MarketId,
+        bid: Option<f64>,
+        predicted_risk: Option<f64>,
+    },
     /// The provider granted a server; it becomes ready at `ready_at`.
     LeaseGranted {
         id: InstanceId,

@@ -90,11 +90,18 @@ pub fn event_to_json(at: SimTime, ev: &TelemetryEvent) -> String {
     o.u64("t_ms", at.as_millis());
     o.str("kind", ev.name());
     match ev {
-        TelemetryEvent::BidPlaced { market, bid } => {
+        TelemetryEvent::BidPlaced {
+            market,
+            bid,
+            predicted_risk,
+        } => {
             o.str("market", &market.to_string());
             match bid {
                 Some(b) => o.f64("bid", *b),
                 None => o.bool("on_demand", true),
+            }
+            if let Some(r) = predicted_risk {
+                o.f64("risk", *r);
             }
         }
         TelemetryEvent::LeaseGranted {
@@ -244,11 +251,18 @@ pub fn event_to_csv_row(at: SimTime, ev: &TelemetryEvent) -> String {
     let mut detail = String::new();
     let ms = |t: SimTime| t.as_millis().to_string();
     match ev {
-        TelemetryEvent::BidPlaced { market: m, bid } => {
+        TelemetryEvent::BidPlaced {
+            market: m,
+            bid,
+            predicted_risk,
+        } => {
             market = m.to_string();
             match bid {
                 Some(b) => value = b.to_string(),
                 None => detail = "on-demand".to_string(),
+            }
+            if let Some(r) = predicted_risk {
+                detail = format!("risk={r}");
             }
         }
         TelemetryEvent::LeaseGranted {
@@ -443,10 +457,31 @@ mod tests {
         let ev2 = TelemetryEvent::BidPlaced {
             market: market(),
             bid: Some(0.24),
+            predicted_risk: None,
         };
         assert_eq!(
             event_to_csv_row(SimTime::ZERO, &ev2).split(',').count(),
             cols
         );
+    }
+
+    #[test]
+    fn bid_exports_carry_predicted_risk_only_when_present() {
+        let plain = TelemetryEvent::BidPlaced {
+            market: market(),
+            bid: Some(0.24),
+            predicted_risk: None,
+        };
+        assert!(!event_to_json(SimTime::ZERO, &plain).contains("risk"));
+        let risky = TelemetryEvent::BidPlaced {
+            market: market(),
+            bid: Some(0.12),
+            predicted_risk: Some(0.004),
+        };
+        let json = event_to_json(SimTime::ZERO, &risky);
+        assert!(json.contains("\"risk\":0.004"), "{json}");
+        let row = event_to_csv_row(SimTime::ZERO, &risky);
+        assert!(row.contains("risk=0.004"), "{row}");
+        assert_eq!(row.split(',').count(), CSV_HEADER.split(',').count());
     }
 }

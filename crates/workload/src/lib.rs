@@ -14,6 +14,9 @@
 //! * [`iobench`] — the Table 4 iperf/dd microbenchmark model.
 //! * [`slo`] — availability arithmetic ("four nines", downtime budgets).
 
+// Library code must not unwrap (see DESIGN.md "Failure semantics").
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
 pub mod iobench;
 pub mod mva;
 pub mod response;
