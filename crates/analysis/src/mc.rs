@@ -60,6 +60,42 @@ where
     items.into_par_iter().map(f).collect()
 }
 
+/// Map a batch function over `items` split into contiguous chunks of (at
+/// most) `chunk` items, in parallel, flattening the per-chunk outputs back
+/// into item order. `f` receives each chunk as a slice and must return one
+/// output per input, in order.
+///
+/// The point of chunking is worker-local state amortisation: within a
+/// chunk, `f` runs sequentially on one thread and can carry scratch
+/// buffers (event queues, forecaster state) from item to item, while
+/// chunks still spread across the pool. Results must not depend on the
+/// chunk boundaries — callers guarantee that by resetting any carried
+/// state per item — so the output is identical for every `chunk` value.
+pub fn par_map_chunks<I, T, F>(items: Vec<I>, chunk: usize, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(&[I]) -> Vec<T> + Sync + Send,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut chunks: Vec<Vec<I>> = Vec::with_capacity(n.div_ceil(chunk));
+    let mut rest = items;
+    while rest.len() > chunk {
+        let tail = rest.split_off(chunk);
+        chunks.push(rest);
+        rest = tail;
+    }
+    chunks.push(rest);
+    let out: Vec<Vec<T>> = par_map(chunks, |c| f(&c));
+    let flat: Vec<T> = out.into_iter().flatten().collect();
+    assert_eq!(flat.len(), n, "chunk fn must return one output per input");
+    flat
+}
+
 /// Run `f(seed)` for `seeds` consecutive seeds starting at `seed0`, in
 /// parallel, and return the per-seed results in seed order (deterministic
 /// regardless of thread scheduling).
@@ -128,6 +164,18 @@ mod tests {
         let out = par_map(items.clone(), |(a, b)| a * 100 + b);
         let expect: Vec<u64> = items.iter().map(|&(a, b)| a * 100 + b).collect();
         assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn par_map_chunks_is_chunk_size_invariant() {
+        let items: Vec<u64> = (0..37).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for chunk in [1, 2, 5, 16, 64] {
+            let out = par_map_chunks(items.clone(), chunk, |c| {
+                c.iter().map(|x| x * 3 + 1).collect()
+            });
+            assert_eq!(out, serial, "chunk={chunk}");
+        }
     }
 
     #[test]

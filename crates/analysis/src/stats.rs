@@ -38,13 +38,19 @@ pub fn mean_std(xs: &[f64]) -> (f64, f64) {
 }
 
 /// Linear-interpolated percentile, `p` in `[0, 100]`. Sorts a copy.
+///
+/// NaN handling: inputs are ordered by IEEE 754 `totalOrder` (`total_cmp`),
+/// which places NaN above every finite value (and -NaN below), so the
+/// function never panics on NaN — a NaN in the sample surfaces as the top
+/// percentiles going NaN rather than as a crash mid-report. Callers that
+/// must exclude NaN should filter before calling.
 pub fn percentile(xs: &[f64], p: f64) -> f64 {
     assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
     if xs.is_empty() {
         return 0.0;
     }
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    v.sort_by(|a, b| a.total_cmp(b));
     if v.len() == 1 {
         return v[0];
     }
@@ -137,6 +143,37 @@ mod tests {
         // Unsorted input is handled.
         let xs = [4.0, 1.0, 3.0, 2.0];
         assert!((percentile(&xs, 50.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_tolerates_nan_without_panicking() {
+        // Regression: `partial_cmp().expect(..)` used to panic here.
+        let xs = [2.0, f64::NAN, 1.0, 3.0];
+        // total_cmp sorts NaN above the finite values: low/mid percentiles
+        // stay finite, the max percentile reads NaN.
+        assert!((percentile(&xs, 0.0) - 1.0).abs() < 1e-12);
+        assert!((percentile(&xs, 50.0) - 2.5).abs() < 1e-12);
+        assert!(percentile(&xs, 100.0).is_nan());
+        // An all-NaN sample is NaN at every level, still no panic.
+        assert!(percentile(&[f64::NAN], 50.0).is_nan());
+    }
+
+    #[test]
+    fn percentile_single_element_and_extreme_p() {
+        let one = [42.5];
+        assert_eq!(percentile(&one, 0.0), 42.5);
+        assert_eq!(percentile(&one, 50.0), 42.5);
+        assert_eq!(percentile(&one, 100.0), 42.5);
+        // Extreme p on a larger sample pins to min/max exactly.
+        let xs = [5.0, -1.0, 2.0];
+        assert_eq!(percentile(&xs, 0.0), -1.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in [0,100]")]
+    fn percentile_rejects_out_of_range_p() {
+        percentile(&[1.0], 100.5);
     }
 
     #[test]

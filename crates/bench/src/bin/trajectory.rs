@@ -1,0 +1,239 @@
+//! `trajectory` — record the repo's end-to-end performance trajectory.
+//!
+//! Runs every experiment in-process (the same work as `repro all`),
+//! measures wall-clock and peak RSS, times the two kernel benches
+//! (`billing_hot`, `sweep_grid`) with a hand-rolled median, and appends
+//! one JSON entry to `BENCH_trajectory.json`. The committed file is the
+//! performance history of the codebase, one entry per recorded point.
+//!
+//! ```text
+//! trajectory --label pr6            # full settings, append an entry
+//! trajectory --quick --label pr6    # quick settings (CI-sized)
+//! trajectory --quick --check        # no write: fail if the quick
+//!                                   # wall-clock regressed >20% vs the
+//!                                   # last committed quick entry
+//! ```
+
+use spothost_bench::{experiments, ExpSettings};
+use std::time::Instant;
+
+const DEFAULT_OUT: &str = "BENCH_trajectory.json";
+/// `--check` fails when measured wall-clock exceeds baseline by this factor.
+const REGRESSION_FACTOR: f64 = 1.2;
+
+/// Peak resident set size (VmHWM) in kB from `/proc/self/status`;
+/// 0 where the proc file is unavailable (non-Linux).
+fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().trim_end_matches("kB").trim().parse().ok())
+        .unwrap_or(0)
+}
+
+fn median_ns(mut samples: Vec<u128>) -> u128 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Run every experiment (the `repro all` workload) and return the
+/// wall-clock in seconds. Rendered reports are black-boxed, not printed.
+fn run_all_experiments(settings: &ExpSettings) -> f64 {
+    let start = Instant::now();
+    for (name, _) in experiments::ALL {
+        let out = experiments::run_with_csv(name, settings).expect("known experiment");
+        std::hint::black_box(out.0.len());
+        eprintln!("[{name} done at {:.1}s]", start.elapsed().as_secs_f64());
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// The `billing_hot` meter kernel: settle one long spot lease with hourly
+/// `advance_to` calls over a dense 60-day calibrated trace. Median of 15.
+fn bench_billing_hot_ns() -> u128 {
+    use spothost_cloudsim::billing::SpotLeaseMeter;
+    use spothost_market::prelude::*;
+
+    let catalog = Catalog::ec2_2015();
+    let market = MarketId::new(Zone::UsEast1a, InstanceType::Small);
+    let traces = TraceSet::generate(&catalog, &[market], 0, SimDuration::days(60));
+    let trace = traces.trace(market).expect("trace generated");
+    let start = SimTime::minutes(7);
+    let end = SimTime::days(59);
+
+    let samples = (0..15)
+        .map(|_| {
+            let t0 = Instant::now();
+            let mut meter = SpotLeaseMeter::new(trace, start);
+            let mut t = start;
+            while t < end {
+                meter.advance_to(t);
+                t += SimDuration::hours(1);
+            }
+            std::hint::black_box(meter.close(end, false));
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    median_ns(samples)
+}
+
+/// The `sweep_grid` kernel: the flattened `run_grid` over the scaled-down
+/// Figure 6 grid (4 sizes x 2 policies, 4 seeds, 10 days). Median of 5.
+fn bench_sweep_grid_ns() -> u128 {
+    use spothost_core::prelude::*;
+    use spothost_market::prelude::*;
+
+    let mut cfgs = Vec::new();
+    for size in InstanceType::ALL {
+        let market = MarketId::new(Zone::UsEast1a, size);
+        for policy in [BiddingPolicy::Reactive, BiddingPolicy::proactive_default()] {
+            cfgs.push(SchedulerConfig::single_market(market).with_policy(policy));
+        }
+    }
+    let horizon = SimDuration::days(10);
+
+    let samples = (0..5)
+        .map(|_| {
+            let t0 = Instant::now();
+            let aggs = run_grid(std::hint::black_box(&cfgs), 0, 4, horizon);
+            std::hint::black_box(aggs.iter().map(|a| a.normalized_cost.mean).sum::<f64>());
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    median_ns(samples)
+}
+
+/// Render one trajectory entry as a single JSON line (no serde — the
+/// schema is flat and the file must stay trivially greppable).
+fn entry_json(
+    label: &str,
+    mode: &str,
+    wall_s: f64,
+    rss_kb: u64,
+    bill_ns: u128,
+    grid_ns: u128,
+) -> String {
+    format!(
+        "{{\"label\":\"{}\",\"mode\":\"{}\",\"repro_all_wall_s\":{:.3},\"peak_rss_kb\":{},\"billing_hot_median_ns\":{},\"sweep_grid_median_ms\":{:.3}}}",
+        label.replace(['"', '\\'], "_"),
+        mode,
+        wall_s,
+        rss_kb,
+        bill_ns,
+        grid_ns as f64 / 1e6,
+    )
+}
+
+/// Append an entry to the trajectory file, keeping the format "JSON array,
+/// one entry per line" so `--check` can scan it without a JSON parser.
+fn append_entry(path: &str, entry: &str) {
+    let mut entries: Vec<String> = match std::fs::read_to_string(path) {
+        Ok(s) => s
+            .lines()
+            .map(|l| l.trim().trim_end_matches(',').to_string())
+            .filter(|l| !l.is_empty() && l != "[" && l != "]")
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    entries.push(entry.to_string());
+    let body = entries.join(",\n");
+    std::fs::write(path, format!("[\n{body}\n]\n")).expect("write trajectory file");
+}
+
+/// Wall-clock of the last committed entry for `mode`, scanned textually.
+fn last_wall_s(path: &str, mode: &str) -> Option<f64> {
+    let s = std::fs::read_to_string(path).ok()?;
+    let needle = format!("\"mode\":\"{mode}\"");
+    s.lines()
+        .rfind(|l| l.contains(&needle))?
+        .split("\"repro_all_wall_s\":")
+        .nth(1)?
+        .split([',', '}'])
+        .next()?
+        .parse()
+        .ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut check = false;
+    let mut label = String::from("dev");
+    let mut out = String::from(DEFAULT_OUT);
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--check" => check = true,
+            "--label" => match it.next() {
+                Some(l) => label = l.clone(),
+                None => {
+                    eprintln!("--label expects a value");
+                    std::process::exit(2);
+                }
+            },
+            "--out" => match it.next() {
+                Some(p) => out = p.clone(),
+                None => {
+                    eprintln!("--out expects a path");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: trajectory [--quick] [--check] [--label L] [--out PATH]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (settings, mode) = if quick {
+        (ExpSettings::quick(), "quick")
+    } else {
+        (ExpSettings::full(), "full")
+    };
+    eprintln!(
+        "trajectory: running all experiments ({mode}: {} seeds x {})",
+        settings.seeds, settings.horizon
+    );
+    let wall_s = run_all_experiments(&settings);
+
+    if check {
+        // Regression gate only: compare against the committed baseline,
+        // skip the kernel benches, write nothing.
+        let Some(baseline) = last_wall_s(&out, mode) else {
+            eprintln!("trajectory --check: no committed {mode} entry in {out}");
+            std::process::exit(2);
+        };
+        let limit = baseline * REGRESSION_FACTOR;
+        println!(
+            "trajectory --check ({mode}): wall {wall_s:.2}s vs baseline {baseline:.2}s (limit {limit:.2}s)"
+        );
+        if wall_s > limit {
+            eprintln!(
+                "FAIL: repro --{mode} all regressed >{:.0}% ({wall_s:.2}s > {limit:.2}s)",
+                (REGRESSION_FACTOR - 1.0) * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!("OK: within budget");
+        return;
+    }
+
+    eprintln!("trajectory: timing billing_hot kernel");
+    let bill_ns = bench_billing_hot_ns();
+    eprintln!("trajectory: timing sweep_grid kernel");
+    let grid_ns = bench_sweep_grid_ns();
+    let rss_kb = peak_rss_kb();
+
+    let entry = entry_json(&label, mode, wall_s, rss_kb, bill_ns, grid_ns);
+    append_entry(&out, &entry);
+    println!("{entry}");
+    println!("[appended to {out}]");
+}

@@ -13,7 +13,7 @@ pub struct Args {
 }
 
 /// Known boolean switches (everything else expects a value).
-const SWITCHES: [&str; 3] = ["pessimistic", "verbose", "metrics"];
+const SWITCHES: [&str; 4] = ["pessimistic", "verbose", "metrics", "cache-stats"];
 
 pub fn parse(argv: &[String]) -> Result<Args, String> {
     let mut out = Args::default();

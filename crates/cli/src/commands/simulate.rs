@@ -207,6 +207,21 @@ pub fn run(args: &Args) -> Result<(), String> {
         println!("\nevent histograms (seed {seed0}):");
         print!("{}", metrics.render());
     }
+    if args.has("cache-stats") {
+        let s = spothost_market::TraceArena::global().stats();
+        println!("\ntrace arena (process-global cache):");
+        println!(
+            "  traces:   {} hits, {} misses ({} resident, {:.1} MB)",
+            s.trace_hits,
+            s.trace_misses,
+            s.resident_traces,
+            s.resident_bytes as f64 / 1e6
+        );
+        println!(
+            "  factors:  {} hits, {} misses",
+            s.factor_hits, s.factor_misses
+        );
+    }
     Ok(())
 }
 
@@ -268,6 +283,11 @@ mod tests {
             "1",
         ]))
         .unwrap();
+    }
+
+    #[test]
+    fn cache_stats_flag_accepted() {
+        run(&argv(&["--days", "2", "--cache-stats"])).unwrap();
     }
 
     #[test]

@@ -63,6 +63,7 @@ USAGE:
                     [--pessimistic] [--stability W] [--units U]
                     [--fault-rate R] [--days D] [--seeds N] [--seed N]
                     [--traces DIR] [--trace FILE] [--metrics]
+                    [--cache-stats]
       Run the cloud scheduler and report cost/availability/migrations.
       With --traces, runs against imported price history instead of the
       calibrated generator. --bid-mult sets the proactive bid multiple
@@ -73,7 +74,8 @@ USAGE:
       --trace re-runs the first seed with the telemetry recorder and
       streams the structured event timeline to FILE as JSONL; --metrics
       prints event-derived histograms (outages, migration latencies,
-      lease lengths, $/hour).
+      lease lengths, $/hour). --cache-stats prints the process-global
+      trace-arena hit/miss and residency counters after the run.
 
   spothost timeline [same scope/policy/mechanism/fault flags as simulate]
                     [--days D] [--seed N] [--width COLS]

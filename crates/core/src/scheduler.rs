@@ -244,6 +244,36 @@ pub struct SimRun<'t, S: Sink = NullSink> {
     sink: S,
 }
 
+/// Reusable per-worker scratch state for [`SimRun`]: the event queue's
+/// heap allocation and the adaptive policy's forecaster buffers survive
+/// from one run to the next instead of being reallocated per run.
+///
+/// Determinism contract: a run built with [`SimRun::with_scratch`] on
+/// previously used scratch is bit-identical to one built on
+/// [`SimScratch::new`] — the queue is [`EventQueue::reset`] (heap emptied,
+/// tie-breaking sequence counter rewound) and every recycled forecaster is
+/// [`MarketForecaster::reset`] to its freshly constructed state. Only
+/// allocation capacity carries over, and capacity is not observable.
+pub struct SimScratch {
+    queue: EventQueue<Ev>,
+    forecasters: Vec<MarketForecaster>,
+}
+
+impl SimScratch {
+    pub fn new() -> Self {
+        SimScratch {
+            queue: EventQueue::with_capacity(1024),
+            forecasters: Vec::new(),
+        }
+    }
+}
+
+impl Default for SimScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 // `new` is defined concretely on the `NullSink` instantiation: default
 // type parameters don't guide function-call inference, so this is what
 // keeps every existing `SimRun::new(..)` call site compiling unchanged.
@@ -251,6 +281,18 @@ impl<'t> SimRun<'t, NullSink> {
     /// Build a run over a trace set. Panics if the traces don't cover the
     /// configured scope.
     pub fn new(traces: &'t TraceSet, cfg: &SchedulerConfig, seed: u64) -> Self {
+        Self::with_scratch(traces, cfg, seed, SimScratch::new())
+    }
+
+    /// [`SimRun::new`] reusing a worker's scratch state. Bit-identical to
+    /// `new` (see [`SimScratch`]); pair with [`SimRun::run_reclaim`] to
+    /// recover the scratch after the run.
+    pub fn with_scratch(
+        traces: &'t TraceSet,
+        cfg: &SchedulerConfig,
+        seed: u64,
+        scratch: SimScratch,
+    ) -> Self {
         cfg.validate().expect("invalid scheduler config");
         let candidates = cfg.candidates();
         for m in &candidates {
@@ -282,6 +324,11 @@ impl<'t> SimRun<'t, NullSink> {
         } else {
             (CloudProvider::new(traces, seed), None)
         };
+        let SimScratch {
+            mut queue,
+            mut forecasters,
+        } = scratch;
+        queue.reset();
         let forecast = match cfg.policy {
             BiddingPolicy::Adaptive { risk_budget } => Some(ForecastState {
                 risk_budget,
@@ -289,10 +336,17 @@ impl<'t> SimRun<'t, NullSink> {
                     .iter()
                     .map(|m| {
                         let trace = traces.trace(*m).expect("asserted above");
-                        (
-                            trace.cursor(),
-                            MarketForecaster::new(ForecastParams::default()),
-                        )
+                        // Recycle a forecaster from the scratch pool when
+                        // one is available; reset makes it bit-identical
+                        // to a fresh one.
+                        let fc = match forecasters.pop() {
+                            Some(mut f) => {
+                                f.reset(ForecastParams::default());
+                                f
+                            }
+                            None => MarketForecaster::new(ForecastParams::default()),
+                        };
+                        (trace.cursor(), fc)
                     })
                     .collect(),
             }),
@@ -302,7 +356,7 @@ impl<'t> SimRun<'t, NullSink> {
             provider,
             cfg: cfg.clone(),
             vparams,
-            queue: EventQueue::with_capacity(1024),
+            queue,
             st: St::Boot { target: None },
             acc: Accounting::new(),
             horizon,
@@ -353,7 +407,14 @@ impl<'t, S: Sink> SimRun<'t, S> {
     }
 
     /// Execute the run to the horizon and report.
-    pub fn run(mut self) -> RunReport {
+    pub fn run(self) -> RunReport {
+        self.run_reclaim().0
+    }
+
+    /// [`SimRun::run`], additionally handing back the run's scratch state
+    /// (event-queue heap, forecaster buffers) for reuse by the caller's
+    /// next [`SimRun::with_scratch`].
+    pub fn run_reclaim(mut self) -> (RunReport, SimScratch) {
         self.initial_acquire();
         while let Some((t, ev)) = self.queue.pop() {
             if t >= self.horizon {
@@ -364,7 +425,14 @@ impl<'t, S: Sink> SimRun<'t, S> {
             self.dispatch(ev);
         }
         self.finish();
-        RunReport::from_accounting(&self.acc, self.horizon, self.baseline_rate)
+        let report = RunReport::from_accounting(&self.acc, self.horizon, self.baseline_rate);
+        let mut queue = self.queue;
+        queue.reset();
+        let forecasters = self
+            .forecast
+            .map(|fs| fs.per_market.into_iter().map(|(_, f)| f).collect())
+            .unwrap_or_default();
+        (report, SimScratch { queue, forecasters })
     }
 
     /// Expose the accounting (tests).
@@ -668,11 +736,11 @@ impl<'t, S: Sink> SimRun<'t, S> {
                 continue; // request would be rejected
             }
             let rate = price * self.n_servers(m);
-            // Predicted revocation risk enters the score the same way the
-            // stability penalty does: as an effective-rate surcharge, so
-            // a calm market beats an equally cheap jittery one.
-            let risk_penalty = risk.unwrap_or(0.0) * self.baseline_rate;
-            let score = rate + self.stability_penalty(m, pon) + risk_penalty;
+            // The risk surcharge is applied after the loop: a cold
+            // forecaster's missing estimate is priced against the other
+            // candidates' measurements, which aren't known until every
+            // candidate has been collected.
+            let score = rate + self.stability_penalty(m, pon);
             ranked.push(Candidate {
                 market: m,
                 bid,
@@ -680,11 +748,34 @@ impl<'t, S: Sink> SimRun<'t, S> {
                 risk,
             });
         }
+        // Predicted revocation risk enters the score the same way the
+        // stability penalty does: as an effective-rate surcharge, so a
+        // calm market beats an equally cheap jittery one. A candidate
+        // whose forecaster has no estimate yet must *not* read as
+        // risk-free — unknown is not safe — so it is charged a
+        // conservative prior: the highest measured risk among its rivals,
+        // floored at the risk budget. When no candidate has a measurement
+        // (warmup, or no forecaster attached) there is nothing to rank
+        // against; the prior stays zero and the scoring is bit-identical
+        // to the fixed-policy path.
+        let max_measured = ranked
+            .iter()
+            .filter_map(|c| c.risk)
+            .fold(f64::NAN, f64::max);
+        let prior = if max_measured.is_nan() {
+            0.0
+        } else {
+            let floor = self.forecast.as_ref().map_or(0.0, |fs| fs.risk_budget);
+            max_measured.max(floor)
+        };
+        for c in &mut ranked {
+            c.score += c.risk.unwrap_or(prior) * self.baseline_rate;
+        }
         // Forecast-driven pre-ordering (no-op for single-market scopes
         // and whenever no forecaster is attached: every key is then 0).
         self.cfg
             .scope
-            .rank_by_risk(&mut ranked, |c| c.risk.unwrap_or(0.0));
+            .rank_by_risk(&mut ranked, |c| c.risk.unwrap_or(prior));
         ranked.sort_by(|a, b| a.score.total_cmp(&b.score));
         ranked
     }
@@ -1963,6 +2054,54 @@ mod tests {
 
     fn cfg() -> SchedulerConfig {
         SchedulerConfig::single_market(market())
+    }
+
+    #[test]
+    fn cold_forecast_must_not_outrank_known_low_risk_market() {
+        // Regression: `ranked_spots` used to score a forecaster with no
+        // estimate yet (`risk == None`) as zero revocation risk, letting
+        // an unknown market outrank a known, cheap, low-measured-risk
+        // one. A cold forecast must be charged a conservative prior (the
+        // max measured rival risk, floored at the risk budget) instead.
+        use spothost_market::trace::{PricePoint, PriceTrace, Segment};
+        let catalog = Catalog::ec2_2015();
+        let a = MarketId::new(Zone::UsEast1a, InstanceType::Small);
+        let b = MarketId::new(Zone::UsEast1a, InstanceType::Medium);
+        let horizon = SimDuration::days(3);
+        let end = SimTime::ZERO + horizon;
+        let flat = |price: f64| {
+            PriceTrace::new(
+                vec![PricePoint {
+                    at: SimTime::ZERO,
+                    price,
+                }],
+                end,
+            )
+        };
+        // 2 capacity units: Small runs 2 servers, Medium runs 1. The cold
+        // market is marginally cheaper in aggregate ($0.039 vs $0.040).
+        let ts = TraceSet::from_traces(&catalog, vec![(a, flat(0.020)), (b, flat(0.039))], horizon);
+        let c = SchedulerConfig::multi(MarketScope::MultiMarket(Zone::UsEast1a))
+            .with_capacity_units(2)
+            .with_policy(BiddingPolicy::Adaptive { risk_budget: 0.05 });
+        let mut run = SimRun::new(&ts, &c, 1);
+        // Warm only market A's forecaster: two days of calm history gives
+        // it a measured (near-zero) risk; B stays cold (`None`).
+        let fs = run.forecast.as_mut().expect("adaptive attaches forecast");
+        fs.per_market[0].1.feed(Segment {
+            start: SimTime::ZERO,
+            end: SimTime::ZERO + SimDuration::days(2),
+            price: 0.020,
+        });
+        assert!(fs.per_market[0].1.warmed_up());
+        assert!(!fs.per_market[1].1.warmed_up());
+        let ranked = run.ranked_spots(None);
+        assert_eq!(ranked.len(), 2);
+        assert!(ranked[0].risk.is_some(), "known market must rank first");
+        assert_eq!(
+            ranked[0].market, a,
+            "cold market must not beat the cheap low-measured-risk one"
+        );
     }
 
     #[test]

@@ -4,8 +4,8 @@
 
 use crate::config::SchedulerConfig;
 use crate::report::RunReport;
-use crate::scheduler::SimRun;
-use spothost_analysis::mc::{mc_run, par_map, Summary};
+use crate::scheduler::{SimRun, SimScratch};
+use spothost_analysis::mc::{mc_run, par_map_chunks, Summary};
 use spothost_market::catalog::Catalog;
 use spothost_market::gen::TraceSet;
 use spothost_market::time::SimDuration;
@@ -115,13 +115,19 @@ pub fn run_many(
 /// Equivalent to calling [`run_many`] once per configuration — results
 /// are bit-identical — but substantially faster for figure sweeps:
 ///
-/// * the seed x configuration grid is flattened into a single `par_map`,
-///   so the thread pool never idles at a fork/join barrier between grid
-///   cells (a cell with a slow seed no longer serialises the sweep);
+/// * the seed x configuration grid is flattened into one chunked parallel
+///   pass, so the thread pool never idles at a fork/join barrier between
+///   grid cells (a cell with a slow seed no longer serialises the sweep);
 /// * configurations that share a candidate-market set (e.g. the paper's
 ///   per-size runs against the same zone, or policy A/B comparisons on
-///   one market) reuse a single generated [`TraceSet`] per seed instead
-///   of regenerating identical traces per configuration.
+///   one market) share one [`TraceSet`] per seed — and the per-seed union
+///   pool comes out of the process-global trace arena, so traces shared
+///   *across* grids and experiments are generated once per process;
+/// * per-set trace views are [`TraceSet::subset`] slices of the union
+///   pool (`Arc`-shared, no price data copied), and each worker carries
+///   one [`SimScratch`] across every run in its chunk of seeds, so event
+///   queues and forecaster buffers are reset in place instead of
+///   reallocated per run.
 pub fn run_grid(
     cfgs: &[SchedulerConfig],
     seed0: u64,
@@ -143,42 +149,57 @@ pub fn run_grid(
             }
         }
     }
-    // The union of every candidate set. A market's generated trace depends
-    // only on (master seed, market) — zone factors and spike schedules
-    // derive from dedicated streams, not from which other markets share the
-    // set — so the union pool can be generated once per seed and sliced
-    // into per-set views that are bit-identical to sets generated alone.
+    // The union of every candidate set, deduplicated through a membership
+    // set (16 possible markets). A market's generated trace depends only
+    // on (master seed, market) — zone factors and spike schedules derive
+    // from dedicated streams, not from which other markets share the set —
+    // so the union pool can be generated once per seed and sliced into
+    // per-set views that are bit-identical to sets generated alone.
+    let mut in_union = [false; 16];
     let mut union: Vec<MarketId> = Vec::new();
-    for set in &sets {
-        for &m in set {
-            if !union.contains(&m) {
-                union.push(m);
-            }
+    for &m in sets.iter().flatten() {
+        if !std::mem::replace(&mut in_union[m.dense_index()], true) {
+            union.push(m);
         }
     }
-    // One job per seed: generate the union pool, assemble each distinct
-    // set's view, run every configuration against it.
+    // One job per seed, processed in chunks so a worker's scratch state
+    // survives across the seeds of its chunk; the chunk size only affects
+    // amortisation, never results (scratch is reset per run).
     let seeds: Vec<u64> = (seed0..seed0 + n_seeds).collect();
-    let ran: Vec<Vec<Vec<RunReport>>> = par_map(seeds, |seed| {
-        let pool = TraceSet::generate(&catalog, &union, seed, horizon);
-        sets.iter()
-            .zip(&members)
-            .map(|(set, ms)| {
-                let traces = TraceSet::from_traces(
-                    &catalog,
-                    set.iter()
-                        .map(|&m| (m, pool.trace(m).expect("market in union").clone()))
-                        .collect(),
-                    horizon,
-                );
-                ms.iter()
-                    .map(|&ci| SimRun::new(&traces, &cfgs[ci], seed).run())
+    let chunk = seeds
+        .len()
+        .div_ceil(4 * rayon::current_num_threads())
+        .max(1);
+    let ran: Vec<Vec<Vec<RunReport>>> = par_map_chunks(seeds, chunk, |chunk_seeds| {
+        let mut scratch = SimScratch::new();
+        chunk_seeds
+            .iter()
+            .map(|&seed| {
+                let pool = TraceSet::generate(&catalog, &union, seed, horizon);
+                sets.iter()
+                    .zip(&members)
+                    .map(|(set, ms)| {
+                        let traces = pool.subset(set);
+                        ms.iter()
+                            .map(|&ci| {
+                                let run = SimRun::with_scratch(
+                                    &traces,
+                                    &cfgs[ci],
+                                    seed,
+                                    std::mem::take(&mut scratch),
+                                );
+                                let (report, reclaimed) = run.run_reclaim();
+                                scratch = reclaimed;
+                                report
+                            })
+                            .collect()
+                    })
                     .collect()
             })
             .collect()
     });
-    // Regroup per configuration; `par_map` preserves seed order, so each
-    // configuration receives its reports in seed order — exactly as
+    // Regroup per configuration; `par_map_chunks` preserves seed order, so
+    // each configuration receives its reports in seed order — exactly as
     // `run_many` produces them.
     let mut per_cfg: Vec<Vec<RunReport>> = vec![Vec::with_capacity(n_seeds as usize); cfgs.len()];
     for per_seed in ran {

@@ -1,0 +1,196 @@
+//! Property tests: the batched grid sweep must be invisible.
+//!
+//! `run_grid` shares arena-backed trace pools, slices them into per-set
+//! subset views, and recycles scheduler scratch state across runs in a
+//! worker's chunk — all of which must be pure plumbing. For ANY mix of
+//! scopes (with overlapping candidate sets), policies (including the
+//! forecast-carrying `Adaptive`), mechanisms, and fault plans, every
+//! report it produces must be **bit-identical** (`f64::to_bits`, not
+//! approximate equality) to the sequential per-configuration path.
+
+use proptest::prelude::*;
+use spothost_core::prelude::*;
+use spothost_market::time::SimDuration;
+use spothost_market::types::{InstanceType, MarketId, Zone};
+use spothost_virt::MechanismCombo;
+
+fn arb_scope() -> impl Strategy<Value = MarketScope> {
+    // Scopes are drawn from a small pool with heavy candidate-set overlap
+    // (several scopes resolve to the same set, several sets share
+    // markets), so grids exercise both the set-dedup path and the
+    // union-pool subset views.
+    prop_oneof![
+        Just(MarketScope::Single(MarketId::new(
+            Zone::UsEast1a,
+            InstanceType::Small
+        ))),
+        Just(MarketScope::Single(MarketId::new(
+            Zone::UsEast1a,
+            InstanceType::Large
+        ))),
+        Just(MarketScope::Single(MarketId::new(
+            Zone::EuWest1a,
+            InstanceType::Medium
+        ))),
+        Just(MarketScope::MultiMarket(Zone::UsEast1a)),
+        Just(MarketScope::MultiMarket(Zone::UsWest1a)),
+        Just(MarketScope::MultiRegion(vec![
+            Zone::UsEast1a,
+            Zone::EuWest1a
+        ])),
+        Just(MarketScope::MultiRegion(vec![
+            Zone::UsEast1b,
+            Zone::UsWest1a
+        ])),
+    ]
+}
+
+fn arb_policy() -> impl Strategy<Value = BiddingPolicy> {
+    prop_oneof![
+        Just(BiddingPolicy::OnDemandOnly),
+        Just(BiddingPolicy::PureSpot),
+        Just(BiddingPolicy::Reactive),
+        Just(BiddingPolicy::proactive_default()),
+        Just(BiddingPolicy::adaptive_default()),
+        Just(BiddingPolicy::Adaptive { risk_budget: 0.01 }),
+    ]
+}
+
+fn arb_mechanism() -> impl Strategy<Value = MechanismCombo> {
+    prop_oneof![
+        Just(MechanismCombo::ALL[0]),
+        Just(MechanismCombo::ALL[1]),
+        Just(MechanismCombo::ALL[2]),
+        Just(MechanismCombo::ALL[3]),
+    ]
+}
+
+fn arb_faults() -> impl Strategy<Value = Option<FaultConfig>> {
+    prop_oneof![
+        Just(None),
+        (0.0f64..0.3).prop_map(|r| Some(FaultConfig::uniform(r))),
+    ]
+}
+
+fn arb_cfg() -> impl Strategy<Value = SchedulerConfig> {
+    (arb_scope(), arb_policy(), arb_mechanism(), arb_faults()).prop_map(
+        |(scope, policy, mechanism, faults)| {
+            let cfg = SchedulerConfig::multi(scope)
+                .with_policy(policy)
+                .with_mechanism(mechanism);
+            match faults {
+                Some(f) => cfg.with_faults(f),
+                None => cfg,
+            }
+        },
+    )
+}
+
+/// Exact bit equality for every field of a report. `PartialEq` on f64
+/// would already fail on any difference except NaN and -0.0 vs 0.0;
+/// comparing through `to_bits` closes those holes so the test means
+/// "the batched path computed the *same floats*", not "close enough".
+fn assert_bits_eq(grid: &RunReport, solo: &RunReport, ctx: &str) -> Result<(), TestCaseError> {
+    let f = |g: f64, s: f64, name: &str| -> Result<(), TestCaseError> {
+        prop_assert_eq!(
+            g.to_bits(),
+            s.to_bits(),
+            "{}: field {} differs: grid={:?} solo={:?}",
+            ctx,
+            name,
+            g,
+            s
+        );
+        Ok(())
+    };
+    f(
+        grid.normalized_cost,
+        solo.normalized_cost,
+        "normalized_cost",
+    )?;
+    f(grid.unavailability, solo.unavailability, "unavailability")?;
+    f(
+        grid.degraded_fraction,
+        solo.degraded_fraction,
+        "degraded_fraction",
+    )?;
+    f(
+        grid.forced_per_hour,
+        solo.forced_per_hour,
+        "forced_per_hour",
+    )?;
+    f(
+        grid.planned_reverse_per_hour,
+        solo.planned_reverse_per_hour,
+        "planned_reverse_per_hour",
+    )?;
+    f(grid.spot_fraction, solo.spot_fraction, "spot_fraction")?;
+    f(grid.cost, solo.cost, "cost")?;
+    f(grid.baseline_cost, solo.baseline_cost, "baseline_cost")?;
+    prop_assert_eq!(grid.downtime, solo.downtime, "{}: downtime", ctx);
+    prop_assert_eq!(grid.active_span, solo.active_span, "{}: active_span", ctx);
+    prop_assert_eq!(
+        grid.forced_migrations,
+        solo.forced_migrations,
+        "{}: forced_migrations",
+        ctx
+    );
+    prop_assert_eq!(
+        grid.planned_migrations,
+        solo.planned_migrations,
+        "{}: planned_migrations",
+        ctx
+    );
+    prop_assert_eq!(
+        grid.reverse_migrations,
+        solo.reverse_migrations,
+        "{}: reverse_migrations",
+        ctx
+    );
+    prop_assert_eq!(
+        grid.request_faults,
+        solo.request_faults,
+        "{}: request_faults",
+        ctx
+    );
+    prop_assert_eq!(
+        grid.unwarned_revocations,
+        solo.unwarned_revocations,
+        "{}: unwarned_revocations",
+        ctx
+    );
+    prop_assert_eq!(grid.ckpt_faults, solo.ckpt_faults, "{}: ckpt_faults", ctx);
+    prop_assert_eq!(grid.live_aborts, solo.live_aborts, "{}: live_aborts", ctx);
+    Ok(())
+}
+
+proptest! {
+    // Each case runs every configuration twice (grid + solo) over multiple
+    // seeds, so a modest case count already covers a wide grid space.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn run_grid_is_bit_identical_to_run_many(
+        cfgs in prop::collection::vec(arb_cfg(), 1..5),
+        seed0 in 0u64..500,
+        n_seeds in 1u64..4,
+        days in 10u64..15,
+    ) {
+        let horizon = SimDuration::days(days);
+        let grid = run_grid(&cfgs, seed0, n_seeds, horizon);
+        prop_assert_eq!(grid.len(), cfgs.len());
+        for (ci, (cfg, agg)) in cfgs.iter().zip(&grid).enumerate() {
+            let solo = run_many(cfg, seed0, n_seeds, horizon);
+            prop_assert_eq!(agg.runs.len(), solo.runs.len());
+            for (si, (g, s)) in agg.runs.iter().zip(&solo.runs).enumerate() {
+                let ctx = format!(
+                    "cfg #{ci} ({}, {}), seed {}",
+                    cfg.scope.label(),
+                    cfg.policy.name(),
+                    seed0 + si as u64
+                );
+                assert_bits_eq(g, s, &ctx)?;
+            }
+        }
+    }
+}

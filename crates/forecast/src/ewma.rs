@@ -36,6 +36,11 @@ impl Ewma {
         }
     }
 
+    /// Reinitialise in place to the state of `Ewma::new(half_life)`.
+    pub fn reset(&mut self, half_life: SimDuration) {
+        *self = Ewma::new(half_life);
+    }
+
     /// Fold one constant-price segment into the estimate. Segments must be
     /// fed in time order; the estimate's reference point moves to the
     /// segment's end.

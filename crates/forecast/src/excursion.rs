@@ -57,6 +57,21 @@ impl ExcursionModel {
         }
     }
 
+    /// Reinitialise in place to the state of `new(window, lookahead,
+    /// max_runs)`, keeping the run buffer's grown capacity. Observably
+    /// identical to a fresh model.
+    pub fn reset(&mut self, window: SimDuration, lookahead: SimDuration, max_runs: usize) {
+        assert!(window > SimDuration::ZERO, "window must be positive");
+        assert!(lookahead > SimDuration::ZERO, "lookahead must be positive");
+        assert!(max_runs > 0, "need room for at least one run");
+        self.window = window;
+        self.lookahead = lookahead;
+        self.max_runs = max_runs;
+        self.runs.clear();
+        self.first_fed = None;
+        self.frontier = SimTime::ZERO;
+    }
+
     /// Fold one constant-price segment in. Segments must arrive in time
     /// order; contiguous equal-price segments extend the last run.
     pub fn feed(&mut self, seg: Segment) {

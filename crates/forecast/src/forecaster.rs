@@ -101,6 +101,19 @@ impl MarketForecaster {
         }
     }
 
+    /// Reinitialise in place to the state of `MarketForecaster::new(params)`,
+    /// keeping the estimators' grown buffers. A reset forecaster answers
+    /// every query bit-identically to a fresh one, which is what lets
+    /// sweep workers reuse forecaster scratch across simulation runs.
+    pub fn reset(&mut self, params: ForecastParams) {
+        self.ewma.reset(params.ewma_half_life);
+        self.quantile.reset(params.quantile_window, params.max_runs);
+        self.excursion
+            .reset(params.excursion_window, params.lookahead, params.max_runs);
+        self.params = params;
+        self.fed_to = SimTime::ZERO;
+    }
+
     /// Fold one constant-price segment into every estimator. Segments
     /// must arrive in time order and must not overlap previously fed
     /// history (each observation counts once).
@@ -277,6 +290,43 @@ mod tests {
         assert_eq!(f.fed_to(), SimTime::secs(3600));
         f.feed(seg(3600, 3600, 0.2)); // zero-length: ignored
         assert_eq!(f.fed_to(), SimTime::secs(3600));
+    }
+
+    #[test]
+    fn reset_matches_fresh_bit_for_bit() {
+        let mut reused = MarketForecaster::new(ForecastParams::default());
+        // Dirty it with an arbitrary history, then reset.
+        let mut t = 0u64;
+        while t < 3 * 24 * 3600 {
+            reused.feed(seg(t, t + 3600, 0.2 + (t % 7) as f64 * 0.1));
+            t += 3600;
+        }
+        reused.reset(ForecastParams::default());
+        let mut fresh = MarketForecaster::new(ForecastParams::default());
+        assert_eq!(reused.fed_to(), fresh.fed_to());
+        assert!(!reused.warmed_up());
+        // Feed both the same history and compare every estimate bitwise.
+        let mut t = 0u64;
+        while t < 2 * 24 * 3600 {
+            let s = seg(t, t + 1800, 0.1 + ((t / 1800) % 5) as f64 * 0.3);
+            reused.feed(s);
+            fresh.feed(s);
+            t += 1800;
+        }
+        assert_eq!(reused.mean(), fresh.mean());
+        assert_eq!(reused.std_dev(), fresh.std_dev());
+        assert_eq!(reused.quantile(0.9), fresh.quantile(0.9));
+        for bid in [0.1, 0.4, 0.9, 1.3] {
+            assert_eq!(
+                reused.prob_above(bid).to_bits(),
+                fresh.prob_above(bid).to_bits(),
+                "bid {bid}"
+            );
+        }
+        assert_eq!(
+            reused.decide_bid(1.0, 4.0, 0.01),
+            fresh.decide_bid(1.0, 4.0, 0.01)
+        );
     }
 
     #[test]

@@ -47,6 +47,18 @@ impl WindowQuantile {
         }
     }
 
+    /// Reinitialise in place to the state of `new(window, max_runs)`,
+    /// keeping the run buffer's grown capacity. Observably identical to a
+    /// fresh estimator (capacity is not observable through any estimate).
+    pub fn reset(&mut self, window: SimDuration, max_runs: usize) {
+        assert!(window > SimDuration::ZERO, "window must be positive");
+        assert!(max_runs > 0, "need room for at least one run");
+        self.window = window;
+        self.max_runs = max_runs;
+        self.runs.clear();
+        self.frontier = SimTime::ZERO;
+    }
+
     /// Fold one constant-price segment into the window. Segments must
     /// arrive in time order; a segment contiguous with the last run at the
     /// same price extends it (canonical storage).

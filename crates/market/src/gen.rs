@@ -11,7 +11,9 @@
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
+use crate::arena::TraceArena;
 use crate::calib::calibrated_model;
 use crate::catalog::Catalog;
 use crate::dist;
@@ -107,7 +109,7 @@ impl FactorPaths {
 
 /// A spike interval before market-specific magnitude assignment.
 #[derive(Debug, Clone, Copy)]
-struct SpikeWindow {
+pub(crate) struct SpikeWindow {
     start: SimTime,
     duration: SimDuration,
 }
@@ -119,6 +121,24 @@ pub struct ZoneSpikeSchedules {
 }
 
 impl ZoneSpikeSchedules {
+    /// The canonical schedule used by calibrated generation: every zone's
+    /// rate/duration comes from its calibrated Small model (zone-wide
+    /// spikes are a property of the zone, so every size agrees on them).
+    pub(crate) fn canonical(master: u64, horizon: SimDuration) -> Self {
+        let mut zone_rate = [0.0f64; 4];
+        let mut zone_dur = [SimDuration::minutes(20); 4];
+        for &zone in &Zone::ALL {
+            let canon = calibrated_model(MarketId::new(zone, crate::types::InstanceType::Small));
+            zone_rate[zone.index()] = canon.zone_spike_rate_per_day;
+            zone_dur[zone.index()] = canon.spike_duration_mean;
+        }
+        Self::generate(master, horizon, zone_rate, zone_dur)
+    }
+
+    pub(crate) fn windows(&self, zone: Zone) -> &[SpikeWindow] {
+        &self.per_zone[zone.index()]
+    }
+
     fn generate(
         master: u64,
         horizon: SimDuration,
@@ -182,6 +202,32 @@ struct Spike {
 
 fn sample_spike_mult(rng: &mut ChaCha12Rng, params: &SpotModelParams) -> f64 {
     dist::pareto(rng, params.spike_min_mult, params.spike_pareto_alpha).min(params.spike_cap_mult)
+}
+
+/// Generate one calibrated market trace against shared canonical factor
+/// paths and zone spike schedules (all derived from the same master seed).
+/// This is the single generation path behind both [`TraceSet::generate`]
+/// (via the [`TraceArena`]) and [`TraceSet::generate_with`] on calibrated
+/// models, which is what makes arena-cached traces byte-identical to
+/// freshly generated ones.
+pub(crate) fn calibrated_trace(
+    master: u64,
+    market: MarketId,
+    pon: f64,
+    horizon: SimDuration,
+    factors: &FactorPaths,
+    zone_spikes: &ZoneSpikeSchedules,
+) -> PriceTrace {
+    let params = calibrated_model(market);
+    generate_market_trace(
+        master,
+        market,
+        &params,
+        pon,
+        horizon,
+        factors,
+        zone_spikes.windows(market.zone),
+    )
 }
 
 /// Generate one market's trace. `factors` and `zone_windows` must have been
@@ -370,17 +416,40 @@ fn generate_market_trace(
 }
 
 /// A collection of generated traces over a common horizon.
+///
+/// Traces are held behind [`Arc`], so cloning a set — or carving a
+/// [`subset`](TraceSet::subset) view out of one — shares the underlying
+/// price data instead of copying it.
 #[derive(Debug, Clone)]
 pub struct TraceSet {
     horizon: SimDuration,
     catalog: Catalog,
-    entries: Vec<(MarketId, PriceTrace)>,
+    entries: Vec<(MarketId, Arc<PriceTrace>)>,
     dense: [Option<usize>; 16],
 }
 
 impl TraceSet {
     /// Generate traces for `markets` using the paper calibration.
+    ///
+    /// Backed by the process-global [`TraceArena`]: a trace for the same
+    /// `(master_seed, horizon, market)` is generated once per process and
+    /// shared by reference thereafter. This is sound because a market's
+    /// calibrated trace is a pure function of exactly that key (plus the
+    /// catalog's on-demand price, which is part of the cache key) — it
+    /// does not depend on which other markets are generated alongside it.
     pub fn generate(
+        catalog: &Catalog,
+        markets: &[MarketId],
+        master_seed: u64,
+        horizon: SimDuration,
+    ) -> Self {
+        TraceArena::global().calibrated_set(catalog, markets, master_seed, horizon)
+    }
+
+    /// [`TraceSet::generate`] without the process-global arena: every
+    /// trace is generated afresh. Byte-identical to the arena path; used
+    /// by tests that must exercise generation itself.
+    pub fn generate_uncached(
         catalog: &Catalog,
         markets: &[MarketId],
         master_seed: u64,
@@ -442,7 +511,7 @@ impl TraceSet {
                 &zone_spikes.per_zone[m.zone.index()],
             );
             dense[m.dense_index()] = Some(entries.len());
-            entries.push((*m, trace));
+            entries.push((*m, Arc::new(trace)));
         }
 
         TraceSet {
@@ -458,6 +527,20 @@ impl TraceSet {
     pub fn from_traces(
         catalog: &Catalog,
         traces: Vec<(MarketId, PriceTrace)>,
+        horizon: SimDuration,
+    ) -> Self {
+        Self::from_shared(
+            catalog,
+            traces.into_iter().map(|(m, t)| (m, Arc::new(t))).collect(),
+            horizon,
+        )
+    }
+
+    /// Build a trace set from already-shared traces without copying any
+    /// price data. All traces must share the horizon.
+    pub fn from_shared(
+        catalog: &Catalog,
+        traces: Vec<(MarketId, Arc<PriceTrace>)>,
         horizon: SimDuration,
     ) -> Self {
         assert!(!traces.is_empty());
@@ -478,6 +561,30 @@ impl TraceSet {
         }
     }
 
+    /// A view of this set restricted to `markets`, sharing the underlying
+    /// traces by reference — no price data is allocated or copied. Panics
+    /// if a requested market is missing from this set.
+    pub fn subset(&self, markets: &[MarketId]) -> TraceSet {
+        Self::from_shared(
+            &self.catalog,
+            markets
+                .iter()
+                .map(|&m| {
+                    let i = self.dense[m.dense_index()]
+                        .unwrap_or_else(|| panic!("subset market {m} not in trace set"));
+                    (m, Arc::clone(&self.entries[i].1))
+                })
+                .collect(),
+            self.horizon,
+        )
+    }
+
+    /// The shared handle for one market's trace (tests use this to assert
+    /// that views alias rather than copy).
+    pub fn shared_trace(&self, market: MarketId) -> Option<&Arc<PriceTrace>> {
+        self.dense[market.dense_index()].map(|i| &self.entries[i].1)
+    }
+
     pub fn horizon(&self) -> SimDuration {
         self.horizon
     }
@@ -491,7 +598,7 @@ impl TraceSet {
     }
 
     pub fn trace(&self, market: MarketId) -> Option<&PriceTrace> {
-        self.dense[market.dense_index()].map(|i| &self.entries[i].1)
+        self.dense[market.dense_index()].map(|i| self.entries[i].1.as_ref())
     }
 
     pub fn len(&self) -> usize {
@@ -503,7 +610,7 @@ impl TraceSet {
     }
 
     pub fn iter(&self) -> impl Iterator<Item = (MarketId, &PriceTrace)> {
-        self.entries.iter().map(|(m, t)| (*m, t))
+        self.entries.iter().map(|(m, t)| (*m, t.as_ref()))
     }
 }
 
@@ -531,10 +638,12 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
+        // Uncached on both sides: the arena would otherwise serve the
+        // second set from the first and prove nothing.
         let c = catalog();
         let h = SimDuration::days(3);
-        let a = TraceSet::generate(&c, &[small_east()], 99, h);
-        let b = TraceSet::generate(&c, &[small_east()], 99, h);
+        let a = TraceSet::generate_uncached(&c, &[small_east()], 99, h);
+        let b = TraceSet::generate_uncached(&c, &[small_east()], 99, h);
         assert_eq!(
             a.trace(small_east()).unwrap(),
             b.trace(small_east()).unwrap()
@@ -545,12 +654,45 @@ mod tests {
     fn trace_independent_of_companion_markets() {
         let c = catalog();
         let h = SimDuration::days(3);
-        let solo = TraceSet::generate(&c, &[small_east()], 7, h);
-        let all = TraceSet::generate(&c, &MarketId::all(), 7, h);
+        let solo = TraceSet::generate_uncached(&c, &[small_east()], 7, h);
+        let all = TraceSet::generate_uncached(&c, &MarketId::all(), 7, h);
         assert_eq!(
             solo.trace(small_east()).unwrap(),
             all.trace(small_east()).unwrap()
         );
+    }
+
+    #[test]
+    fn arena_path_matches_direct_generation() {
+        // The cached path (TraceSet::generate via the global arena) must
+        // be byte-identical to generating from scratch — this is the
+        // invariant the whole caching design rests on.
+        let c = catalog();
+        let h = SimDuration::days(3);
+        let cached = TraceSet::generate(&c, &MarketId::all(), 41, h);
+        let direct = TraceSet::generate_uncached(&c, &MarketId::all(), 41, h);
+        for m in MarketId::all() {
+            assert_eq!(cached.trace(m).unwrap(), direct.trace(m).unwrap(), "{m}");
+        }
+    }
+
+    #[test]
+    fn subset_views_share_trace_storage() {
+        use std::sync::Arc;
+        let c = catalog();
+        let h = SimDuration::days(2);
+        let m2 = MarketId::new(Zone::UsEast1a, InstanceType::Medium);
+        let pool = TraceSet::generate_uncached(&c, &[small_east(), m2], 13, h);
+        let view = pool.subset(&[small_east()]);
+        // The view aliases the pool's allocation: no price data was
+        // copied, only an Arc was cloned.
+        assert!(Arc::ptr_eq(
+            pool.shared_trace(small_east()).unwrap(),
+            view.shared_trace(small_east()).unwrap(),
+        ));
+        assert_eq!(view.len(), 1);
+        assert!(view.trace(m2).is_none());
+        assert_eq!(view.horizon(), pool.horizon());
     }
 
     #[test]

@@ -43,6 +43,7 @@
 // precondition (see DESIGN.md "Failure semantics").
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod arena;
 pub mod calib;
 pub mod catalog;
 pub mod dist;
@@ -54,6 +55,7 @@ pub mod time;
 pub mod trace;
 pub mod types;
 
+pub use arena::{ArenaStats, TraceArena};
 pub use calib::{calibrated_model, calibrated_models};
 pub use catalog::Catalog;
 pub use gen::TraceSet;
