@@ -109,6 +109,46 @@ pub fn first_crossing(xs: &[f64], ys: &[f64], threshold: f64) -> Option<f64> {
     None
 }
 
+/// First `x` past which a sampled curve `(xs, ys)` stays at or above
+/// `threshold` for the rest of the sweep — the *sustained* counterpart
+/// of [`first_crossing`], robust to a single noisy sample poking above
+/// the bar and dipping back. Linearly interpolated off the last
+/// below-threshold sample; `Some(xs[0])` if the whole curve sits at or
+/// above; `None` if the curve ends below (it never breaks for good).
+/// `xs` must be sorted ascending and the same length as `ys`.
+pub fn first_sustained_crossing(xs: &[f64], ys: &[f64], threshold: f64) -> Option<f64> {
+    assert_eq!(
+        xs.len(),
+        ys.len(),
+        "first_sustained_crossing needs paired samples"
+    );
+    if *ys.last()? < threshold {
+        return None;
+    }
+    match ys.iter().rposition(|&y| y < threshold) {
+        None => Some(xs[0]),
+        Some(i) => {
+            let (x0, y0) = (xs[i], ys[i]);
+            let (x1, y1) = (xs[i + 1], ys[i + 1]);
+            Some(x0 + (threshold - y0) / (y1 - y0) * (x1 - x0))
+        }
+    }
+}
+
+/// Trapezoidal area under a sampled curve `(xs, ys)`. `xs` must be
+/// sorted ascending and the same length as `ys`; fewer than two samples
+/// have no area. Sensitivity sweeps use the area *difference* between
+/// two curves over the same grid as a single scalar for "how much better
+/// is strategy A than B across the whole sweep" (e.g. the diversification
+/// win in `repro storms`).
+pub fn auc(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "auc needs paired samples");
+    xs.windows(2)
+        .zip(ys.windows(2))
+        .map(|(x, y)| (x[1] - x[0]) * 0.5 * (y[0] + y[1]))
+        .sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,6 +172,40 @@ mod tests {
         assert_eq!(mean_std(&[]), (0.0, 0.0));
         assert_eq!(percentile(&[], 50.0), 0.0);
         assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn auc_is_trapezoidal() {
+        // Unit square under y=1, then a triangle under y=x.
+        assert_eq!(auc(&[0.0, 1.0], &[1.0, 1.0]), 1.0);
+        assert!((auc(&[0.0, 0.5, 1.0], &[0.0, 0.5, 1.0]) - 0.5).abs() < 1e-12);
+        assert_eq!(auc(&[3.0], &[9.0]), 0.0);
+        assert_eq!(auc(&[], &[]), 0.0);
+        // Non-uniform grid.
+        assert!((auc(&[0.0, 1.0, 4.0], &[2.0, 2.0, 2.0]) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sustained_crossing_ignores_transient_spikes() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        // A transient spike above the bar at x=1 dips back at x=2: the
+        // sustained crossing interpolates between x=2 and x=3, where
+        // `first_crossing` would report the noise at x<1.
+        let ys = [0.0, 5.0, 1.0, 3.0];
+        let sustained = first_sustained_crossing(&xs, &ys, 2.0).unwrap();
+        assert!((sustained - 2.5).abs() < 1e-12, "got {sustained}");
+        assert!(first_crossing(&xs, &ys, 2.0).unwrap() < 1.0);
+        // Ends below the bar: never breaks for good.
+        assert_eq!(
+            first_sustained_crossing(&xs, &[0.0, 5.0, 1.0, 1.9], 2.0),
+            None
+        );
+        // Entirely above: breaks from the start.
+        assert_eq!(
+            first_sustained_crossing(&xs, &[3.0, 4.0, 5.0, 6.0], 2.0),
+            Some(0.0)
+        );
+        assert_eq!(first_sustained_crossing(&[], &[], 2.0), None);
     }
 
     #[test]

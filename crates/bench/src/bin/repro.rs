@@ -8,17 +8,27 @@
 //! repro --csv out/ all  # also write CSV artifacts for the figures
 //! repro --trace out/ fig6  # also dump one representative seed's
 //!                          # telemetry event stream per experiment
+//! repro --trace-cap 0 all  # unbounded trace arena (default bounds
+//!                          # residency to 64 traces, ~50 MB)
 //! ```
 
 use spothost_bench::experiments;
 use spothost_bench::ExpSettings;
 use std::time::Instant;
 
+/// Default trace-arena residency bound. Seed sweeps walk seeds
+/// monotonically, so FIFO eviction keeps only the seeds in flight; 64
+/// traces (~50 MB at the 60-day horizon) comfortably covers the widest
+/// per-seed market union in the suite while keeping `repro all` flat in
+/// memory instead of accumulating every (seed, market) trace generated.
+const DEFAULT_TRACE_CAP: u64 = 64;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut csv_dir: Option<String> = None;
     let mut trace_dir: Option<String> = None;
+    let mut trace_cap = DEFAULT_TRACE_CAP;
     let mut names: Vec<String> = Vec::new();
     let mut args_iter = args.iter().peekable();
     while let Some(a) = args_iter.next() {
@@ -37,6 +47,14 @@ fn main() {
                     std::process::exit(2);
                 };
                 trace_dir = Some(dir.clone());
+            }
+            "--trace-cap" => {
+                let cap = args_iter.next().and_then(|v| v.parse().ok());
+                let Some(cap) = cap else {
+                    eprintln!("--trace-cap expects a trace count (0 = unbounded)");
+                    std::process::exit(2);
+                };
+                trace_cap = cap;
             }
             "--list" => {
                 for (name, desc) in experiments::ALL {
@@ -71,6 +89,7 @@ fn main() {
     } else {
         ExpSettings::full()
     };
+    spothost_market::TraceArena::global().set_trace_capacity(trace_cap);
     println!(
         "spothost repro — seeds {} x horizon {} ({} mode)\n",
         settings.seeds,

@@ -14,6 +14,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod naive;
 pub mod stability;
+pub mod storms;
 pub mod tab1;
 pub mod tab2;
 pub mod tab3;
@@ -22,7 +23,7 @@ pub mod tab4;
 use crate::settings::ExpSettings;
 
 /// Every experiment, by its CLI name, with a one-line description.
-pub const ALL: [(&str, &str); 20] = [
+pub const ALL: [(&str, &str); 21] = [
     (
         "fig1",
         "Spot price traces over a month (small & large, us-east)",
@@ -70,6 +71,10 @@ pub const ALL: [(&str, &str); 20] = [
         "adaptive",
         "EXTENSION: forecast-driven adaptive bidding vs reactive/proactive",
     ),
+    (
+        "storms",
+        "ROBUSTNESS: correlated failure storms vs market diversification (four-nines break intensity)",
+    ),
 ];
 
 /// Run one experiment and also return CSV artifacts where the experiment
@@ -112,6 +117,10 @@ pub fn run_with_csv(name: &str, settings: &ExpSettings) -> Option<(String, Vec<(
             let f = adaptive::run(settings);
             (f.render(), vec![("adaptive.csv".into(), f.to_csv())])
         }
+        "storms" => {
+            let f = storms::run(settings);
+            (f.render(), vec![("storms.csv".into(), f.to_csv())])
+        }
         other => (run_by_name(other, settings)?, vec![]),
     })
 }
@@ -150,6 +159,10 @@ pub fn representative_config(name: &str) -> Option<spothost_core::SchedulerConfi
         "adaptive" => {
             SchedulerConfig::single_market(small).with_policy(BiddingPolicy::adaptive_default())
         }
+        "storms" => SchedulerConfig::single_market(small)
+            .with_policy(BiddingPolicy::proactive_default())
+            .with_faults(FaultConfig::uniform(storms::BASE_FAULT_RATE))
+            .with_storms(spothost_core::StormConfig::intensity(0.5)),
         _ => return None,
     })
 }
@@ -177,6 +190,7 @@ pub fn run_by_name(name: &str, settings: &ExpSettings) -> Option<String> {
         "ablation_yank" => ablation::run_yank(settings).render(),
         "faults" => faults::run(settings).render(),
         "adaptive" => adaptive::run(settings).render(),
+        "storms" => storms::run(settings).render(),
         _ => return None,
     })
 }

@@ -1,4 +1,5 @@
 pub mod analyze;
+pub mod chaos;
 pub mod gen_traces;
 pub mod markets;
 pub mod simulate;

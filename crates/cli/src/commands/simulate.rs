@@ -78,6 +78,7 @@ pub(crate) fn build_cfg(args: &Args) -> Result<SchedulerConfig, String> {
     let mechanism = parse_mechanism(args.get_or("mechanism", "ckpt-lr-live"))?;
     let stability = args.get_f64("stability", 0.0)?;
     let fault_rate = args.get_f64("fault-rate", 0.0)?;
+    let storm_intensity = args.get_f64("storm-intensity", 0.0)?;
 
     let mut cfg = match &scope {
         MarketScope::Single(m) => SchedulerConfig::single_market(*m),
@@ -87,7 +88,8 @@ pub(crate) fn build_cfg(args: &Args) -> Result<SchedulerConfig, String> {
         .with_policy(policy)
         .with_mechanism(mechanism)
         .with_stability_weight(stability)
-        .with_faults(FaultConfig::uniform(fault_rate));
+        .with_faults(FaultConfig::uniform(fault_rate))
+        .with_storms(StormConfig::intensity(storm_intensity));
     if args.has("pessimistic") {
         cfg = cfg.with_regime(ParamRegime::Pessimistic);
     }
@@ -124,6 +126,7 @@ pub fn run(args: &Args) -> Result<(), String> {
     let seed0 = args.get_u64("seed", 0)?;
     let stability = args.get_f64("stability", 0.0)?;
     let fault_rate = args.get_f64("fault-rate", 0.0)?;
+    let storm_intensity = args.get_f64("storm-intensity", 0.0)?;
 
     let agg = match args.get("traces") {
         Some(dir) => {
@@ -146,6 +149,9 @@ pub fn run(args: &Args) -> Result<(), String> {
     }
     if cfg.faults.enabled() {
         println!("faults:     uniform rate {fault_rate}");
+    }
+    if cfg.storms.enabled() {
+        println!("storms:     intensity {storm_intensity}");
     }
     println!("runs:       {} x {} days\n", agg.runs.len(), days);
     println!(
@@ -211,11 +217,17 @@ pub fn run(args: &Args) -> Result<(), String> {
         let s = spothost_market::TraceArena::global().stats();
         println!("\ntrace arena (process-global cache):");
         println!(
-            "  traces:   {} hits, {} misses ({} resident, {:.1} MB)",
+            "  traces:   {} hits, {} misses ({} resident, {:.1} MB, {} evicted, cap {})",
             s.trace_hits,
             s.trace_misses,
             s.resident_traces,
-            s.resident_bytes as f64 / 1e6
+            s.resident_bytes as f64 / 1e6,
+            s.trace_evictions,
+            if s.trace_capacity == 0 {
+                "unbounded".to_string()
+            } else {
+                s.trace_capacity.to_string()
+            }
         );
         println!(
             "  factors:  {} hits, {} misses",
@@ -313,6 +325,18 @@ mod tests {
     #[test]
     fn fault_rate_out_of_range_rejected() {
         assert!(run(&argv(&["--days", "1", "--fault-rate", "1.5"])).is_err());
+    }
+
+    #[test]
+    fn storm_intensity_flag_runs_and_validates() {
+        // A storm-laden short run terminates and reports.
+        run(&argv(&["--days", "2", "--storm-intensity", "0.7"])).unwrap();
+        // Out-of-range intensity surfaces through cfg.validate().
+        assert!(build_cfg(&argv(&["--storm-intensity", "1.5"])).is_err());
+        assert!(build_cfg(&argv(&["--storm-intensity", "-0.1"])).is_err());
+        // Zero intensity is the storm-free default (no schedule at all).
+        let cfg = build_cfg(&argv(&["--days", "2"])).unwrap();
+        assert!(!cfg.storms.enabled());
     }
 
     #[test]

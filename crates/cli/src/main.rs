@@ -6,6 +6,8 @@
 //! spothost analyze --traces traces/
 //! spothost simulate --market us-east-1a/small --policy proactive --days 60
 //! spothost simulate --scope zone:us-east-1b --seeds 12
+//! spothost simulate --storm-intensity 0.5 --scope regions:us-east-1a,us-west-1a
+//! spothost chaos --seconds 30
 //! ```
 
 mod args;
@@ -34,6 +36,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "analyze" => commands::analyze::run(&args::parse(rest)?),
         "simulate" => commands::simulate::run(&args::parse(rest)?),
         "timeline" => commands::timeline::run(&args::parse(rest)?),
+        "chaos" => commands::chaos::run(&args::parse(rest)?),
         "--help" | "-h" | "help" => {
             print_usage();
             Ok(())
@@ -61,7 +64,8 @@ USAGE:
                     [--bid-mult X] [--risk-budget P]
                     [--mechanism ckpt|ckpt-lr|ckpt-live|ckpt-lr-live]
                     [--pessimistic] [--stability W] [--units U]
-                    [--fault-rate R] [--days D] [--seeds N] [--seed N]
+                    [--fault-rate R] [--storm-intensity X]
+                    [--days D] [--seeds N] [--seed N]
                     [--traces DIR] [--trace FILE] [--metrics]
                     [--cache-stats]
       Run the cloud scheduler and report cost/availability/migrations.
@@ -71,6 +75,10 @@ USAGE:
       P(revocation within the next hour), in (0, 1).
       --fault-rate injects provider and mechanism
       faults uniformly at rate R in [0, 1] (see spothost-faults).
+      --storm-intensity turns on correlated failure storms at severity
+      X in [0, 1]: zone-scoped episodes multiply fault rates, revoke
+      every lease in the zone at once, and throttle reacquisition
+      (0, the default, is bit-identical to no storms at all).
       --trace re-runs the first seed with the telemetry recorder and
       streams the structured event timeline to FILE as JSONL; --metrics
       prints event-derived histograms (outages, migration latencies,
@@ -81,6 +89,13 @@ USAGE:
                     [--days D] [--seed N] [--width COLS]
       Run one seed with the telemetry recorder and render the event
       stream as an ASCII Gantt chart: one row per market ('=' spot,
-      '#' on-demand lease), outage/degraded rows, migration markers."
+      '#' on-demand lease), outage/degraded rows, migration markers.
+
+  spothost chaos [--seconds S] [--seed N] [--days D]
+      Burn a wall-clock budget (default 30 s) running randomized
+      storm/fault/policy/mechanism grids and checking the chaos
+      invariants: conserved accounting, bitwise determinism, exact
+      telemetry replay, and zero-intensity neutrality. Prints PASS
+      with trial counts, or FAIL with a reproducing seed."
     );
 }

@@ -18,11 +18,11 @@ use crate::instance::{Instance, InstanceId, InstanceKind, InstanceState, Termina
 use crate::startup::StartupModel;
 use crate::volume::VolumePool;
 use crate::REVOCATION_GRACE;
-use spothost_faults::{FaultPlan, WarningFault};
+use spothost_faults::{FaultPlan, StormSchedule, WarningFault};
 use spothost_market::gen::{derive_seed, TraceSet};
 use spothost_market::time::{SimDuration, SimTime};
 use spothost_market::trace::TraceCursor;
-use spothost_market::types::MarketId;
+use spothost_market::types::{MarketId, Zone};
 
 /// Errors from server requests.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,8 +35,13 @@ pub enum RequestError {
     /// The provider caps bids (Amazon: 4x on-demand, §3.1 footnote 1).
     BidAboveCap { cap: f64, bid: f64 },
     /// The market is (transiently) out of capacity — injected by a fault
-    /// plan; real EC2 returns this for both spot and on-demand requests.
+    /// plan or a storm capacity crunch; real EC2 returns this for both
+    /// spot and on-demand requests.
     InsufficientCapacity(MarketId),
+    /// The global on-demand quota (a storm-model knob) is exhausted: the
+    /// account already holds its maximum of concurrent on-demand servers
+    /// and must wait for one to be released.
+    QuotaExhausted(MarketId),
 }
 
 impl std::fmt::Display for RequestError {
@@ -51,6 +56,9 @@ impl std::fmt::Display for RequestError {
             }
             RequestError::InsufficientCapacity(m) => {
                 write!(f, "insufficient capacity in market {m}")
+            }
+            RequestError::QuotaExhausted(m) => {
+                write!(f, "on-demand quota exhausted requesting in market {m}")
             }
         }
     }
@@ -105,6 +113,13 @@ pub struct CloudProvider<'t> {
     /// provider: requests always granted, servers always come up, warnings
     /// always on time.
     faults: Option<FaultPlan>,
+    /// Correlated-failure storms: episode-modulated fault rates, capacity
+    /// crunches, mass revocations and the global on-demand quota. `None`
+    /// (the default) is the storm-free provider.
+    storms: Option<StormSchedule>,
+    /// On-demand servers currently held (granted and not yet terminated),
+    /// counted against the storm model's global quota.
+    od_active: u32,
     /// Instances whose startup was sabotaged by the fault plan: they reach
     /// their ready time but activation fails and they close unbilled.
     doomed: HashSet<InstanceId>,
@@ -125,6 +140,8 @@ impl<'t> CloudProvider<'t> {
             market_cursors: RefCell::new([const { None }; 16]),
             meters: HashMap::new(),
             faults: None,
+            storms: None,
+            od_active: 0,
             doomed: HashSet::new(),
         }
     }
@@ -134,6 +151,42 @@ impl<'t> CloudProvider<'t> {
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
         self
+    }
+
+    /// Attach a storm schedule: fault rates are elevated during episodes,
+    /// spot requests can hit capacity crunches, running leases are swept
+    /// by mass revocations, and on-demand requests are bounded by the
+    /// global quota. A schedule built from [`StormConfig::none`] is
+    /// behaviourally identical to no schedule at all.
+    ///
+    /// [`StormConfig::none`]: spothost_faults::StormConfig::none
+    pub fn with_storms(mut self, schedule: StormSchedule) -> Self {
+        self.storms = Some(schedule);
+        self
+    }
+
+    /// On-demand servers currently counted against the storm quota.
+    pub fn on_demand_in_use(&self) -> u32 {
+        self.od_active
+    }
+
+    /// Point the fault plan's storm multiplier at this zone and moment.
+    /// The multiplier lingers until the next call, so draws without their
+    /// own market context (volume attach) inherit the most recent one —
+    /// deterministic either way, and those draws belong to the recovery
+    /// the storm just forced.
+    fn apply_storm_rates(&mut self, zone: Zone, at: SimTime) {
+        if let (Some(s), Some(f)) = (&self.storms, &mut self.faults) {
+            f.set_storm_multiplier(s.fault_multiplier(zone, at));
+        }
+    }
+
+    /// Release one unit of the on-demand quota when an on-demand server
+    /// leaves the fleet.
+    fn release_od(&mut self, kind: InstanceKind) {
+        if matches!(kind, InstanceKind::OnDemand) {
+            self.od_active = self.od_active.saturating_sub(1);
+        }
     }
 
     /// Run `f` against the (lazily created) forward cursor for `market`.
@@ -219,8 +272,16 @@ impl<'t> CloudProvider<'t> {
         if current > bid {
             return Err(RequestError::BidBelowPrice { current, bid });
         }
+        self.apply_storm_rates(market.zone, now);
         if let Some(f) = &mut self.faults {
             if f.spot_capacity_fault() {
+                return Err(RequestError::InsufficientCapacity(market));
+            }
+        }
+        if let Some(s) = &mut self.storms {
+            // Storm capacity crunch: the market is drained by everyone
+            // else's correlated recovery.
+            if s.crunch_fault(market.zone, now) {
                 return Err(RequestError::InsufficientCapacity(market));
             }
         }
@@ -246,14 +307,33 @@ impl<'t> CloudProvider<'t> {
 
     /// Request an on-demand server. Always granted by the fault-free
     /// provider; a fault plan can reject it with
-    /// [`RequestError::InsufficientCapacity`].
+    /// [`RequestError::InsufficientCapacity`], and a storm schedule's
+    /// global quota with [`RequestError::QuotaExhausted`] once
+    /// [`on_demand_in_use`](Self::on_demand_in_use) reaches the quota.
+    /// The quota check is deterministic and advances no random stream.
     pub fn request_on_demand(
         &mut self,
         market: MarketId,
         now: SimTime,
     ) -> Result<(InstanceId, SimTime), RequestError> {
+        if let Some(s) = &self.storms {
+            let quota = s.od_quota();
+            if quota > 0 && self.od_active >= quota {
+                return Err(RequestError::QuotaExhausted(market));
+            }
+        }
+        self.apply_storm_rates(market.zone, now);
         if let Some(f) = &mut self.faults {
             if f.od_capacity_fault() {
+                return Err(RequestError::InsufficientCapacity(market));
+            }
+        }
+        if let Some(s) = &mut self.storms {
+            // A crunched zone is out of servers of *either* kind — the
+            // correlated recovery draining the spot pools empties the
+            // on-demand pool right behind them. This is what makes
+            // fleeing to a calm zone beat queueing in the storming one.
+            if s.crunch_fault(market.zone, now) {
                 return Err(RequestError::InsufficientCapacity(market));
             }
         }
@@ -274,6 +354,7 @@ impl<'t> CloudProvider<'t> {
                 state: InstanceState::Pending { ready_at },
             },
         );
+        self.od_active += 1;
         Ok((id, ready_at))
     }
 
@@ -330,6 +411,7 @@ impl<'t> CloudProvider<'t> {
             if let Some(inst) = self.instances.get_mut(&id) {
                 fail(inst);
             }
+            self.release_od(kind);
             return false;
         }
         if let InstanceKind::Spot { bid } = kind {
@@ -377,7 +459,10 @@ impl<'t> CloudProvider<'t> {
     /// trace horizon. The simulation driver schedules the returned times as
     /// events; the customer-visible warning is `warning_at`, which a fault
     /// plan may delay or suppress (one warning-fault draw per call, so
-    /// callers should ask once per armed lease).
+    /// callers should ask once per armed lease). Under a storm schedule
+    /// the effective revocation is the *earlier* of the price crossing and
+    /// the zone's next mass-revocation sweep — a sweep revokes the lease
+    /// even while the price sits below the bid.
     pub fn revocation_schedule(
         &mut self,
         id: InstanceId,
@@ -386,7 +471,18 @@ impl<'t> CloudProvider<'t> {
         let inst = self.instances.get(&id)?;
         let bid = inst.kind.bid()?;
         let market = inst.market;
-        let crossing_at = self.with_cursor(market, |c| c.next_time_above(from, bid))??;
+        let price_cross = self.with_cursor(market, |c| c.next_time_above(from, bid))?;
+        let mass = self
+            .storms
+            .as_ref()
+            .and_then(|s| s.next_mass_revocation(market.zone, from));
+        let crossing_at = match (price_cross, mass) {
+            (Some(p), Some(m)) => p.min(m),
+            (Some(p), None) => p,
+            (None, Some(m)) => m,
+            (None, None) => return None,
+        };
+        self.apply_storm_rates(market.zone, crossing_at);
         let warning_at = match &mut self.faults {
             Some(f) => match f.warning_fault(REVOCATION_GRACE) {
                 WarningFault::Delivered => Some(crossing_at),
@@ -430,6 +526,7 @@ impl<'t> CloudProvider<'t> {
         let was_pending = matches!(inst.state, InstanceState::Pending { .. });
         inst.state = InstanceState::Terminated { at: now, reason };
         let (market, kind, lease_start) = (inst.market, inst.kind, inst.ready_at);
+        self.release_od(kind);
         self.volumes.detach_all_from(id);
 
         // A request cancelled before the server came up is free.
@@ -730,6 +827,97 @@ mod tests {
 
         let s = schedule_with(FaultConfig::none());
         assert_eq!(s.warning_at, Some(s.crossing_at));
+    }
+
+    #[test]
+    fn od_quota_rejects_then_releases() {
+        use spothost_faults::{StormConfig, StormSchedule};
+        let ts = traces();
+        let mut cfg = StormConfig::none();
+        cfg.od_quota = 1;
+        let spans = [const { Vec::new() }; 4];
+        let storms = StormSchedule::new(cfg, 7, SimDuration::days(7), &spans);
+        let mut p = CloudProvider::new(&ts, 7)
+            .with_startup_model(StartupModel::deterministic())
+            .with_storms(storms);
+        let (first, ready) = p.request_on_demand(market(), SimTime::ZERO).unwrap();
+        assert_eq!(p.on_demand_in_use(), 1);
+        assert!(matches!(
+            p.request_on_demand(market(), SimTime::ZERO),
+            Err(RequestError::QuotaExhausted(_))
+        ));
+        p.activate(first, ready);
+        p.terminate(
+            first,
+            ready + SimDuration::hours(1),
+            TerminationReason::Voluntary,
+        );
+        assert_eq!(p.on_demand_in_use(), 0);
+        assert!(p
+            .request_on_demand(market(), ready + SimDuration::hours(1))
+            .is_ok());
+    }
+
+    #[test]
+    fn mass_revocation_revokes_even_below_bid() {
+        use spothost_faults::{StormConfig, StormSchedule};
+        let ts = traces();
+        let mut cfg = StormConfig::none();
+        cfg.episodes_per_day = 12.0;
+        cfg.mean_episode = SimDuration::hours(6);
+        cfg.mass_revocations_per_day = 48.0;
+        let spans = [const { Vec::new() }; 4];
+        let storms = StormSchedule::new(cfg, 21, SimDuration::days(7), &spans);
+        let sweep = storms
+            .next_mass_revocation(market().zone, SimTime::ZERO)
+            .expect("heavy storm config must schedule sweeps");
+        let mut p = CloudProvider::new(&ts, 7)
+            .with_startup_model(StartupModel::deterministic())
+            .with_storms(storms);
+        let pon = p.on_demand_price(market());
+        // Quiet trace never crosses 4x on-demand, so any revocation the
+        // schedule reports comes from the mass sweep.
+        let (id, ready) = p.request_spot(market(), pon * 4.0, SimTime::ZERO).unwrap();
+        assert!(p.activate(id, ready));
+        let s = p
+            .revocation_schedule(id, ready)
+            .expect("mass sweep forces a revocation");
+        assert!(s.crossing_at >= sweep);
+        assert_eq!(s.terminate_at, s.crossing_at + REVOCATION_GRACE);
+    }
+
+    #[test]
+    fn capacity_crunch_rejects_spot_during_episode() {
+        use spothost_faults::{StormConfig, StormSchedule};
+        let ts = traces();
+        let mut cfg = StormConfig::none();
+        cfg.episodes_per_day = 12.0;
+        cfg.mean_episode = SimDuration::hours(6);
+        cfg.capacity_crunch_rate = 1.0;
+        let spans = [const { Vec::new() }; 4];
+        let storms = StormSchedule::new(cfg, 21, SimDuration::days(7), &spans);
+        let zone = market().zone;
+        let episode = storms.episodes(zone).first().copied().expect("episodes");
+        let mut p = CloudProvider::new(&ts, 7)
+            .with_startup_model(StartupModel::deterministic())
+            .with_storms(storms);
+        let pon = p.on_demand_price(market());
+        // Outside any episode the request sails through; inside, the
+        // certain crunch drains it.
+        if episode.start > SimTime::ZERO {
+            assert!(p.request_spot(market(), pon, SimTime::ZERO).is_ok());
+        }
+        assert!(matches!(
+            p.request_spot(market(), pon, episode.start),
+            Err(RequestError::InsufficientCapacity(_))
+        ));
+        // On-demand is crunched too: a drained zone has no servers of
+        // either kind to grant.
+        assert!(matches!(
+            p.request_on_demand(market(), episode.start),
+            Err(RequestError::InsufficientCapacity(_))
+        ));
+        assert_eq!(p.on_demand_in_use(), 0, "crunched request grants nothing");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::policy::BiddingPolicy;
 use crate::strategy::MarketScope;
-use spothost_faults::FaultConfig;
+use spothost_faults::{FaultConfig, StormConfig};
 use spothost_market::time::SimDuration;
 use spothost_market::types::MarketId;
 use spothost_virt::{MechanismCombo, ParamRegime, VirtParams};
@@ -45,6 +45,20 @@ pub struct SchedulerConfig {
     /// Injected provider/mechanism faults ([`FaultConfig::none`] by
     /// default — the all-zero plan is bit-identical to no plan at all).
     pub faults: FaultConfig,
+    /// Correlated-failure storms ([`StormConfig::none`] by default — an
+    /// effect-free config builds no schedule and is bit-identical to no
+    /// storms at all).
+    pub storms: StormConfig,
+    /// Seed override for the storm schedule. `None` (the default) derives
+    /// storms from the run seed; a fleet pins one shared seed here so all
+    /// its services see the *same* episode timeline — storms must be
+    /// correlated across the fleet, not redrawn per service.
+    pub storm_seed: Option<u64>,
+    /// After this much continuous uptime on one lease, the reacquire
+    /// backoff ladder resets to its 60 s base. Shorter stints keep their
+    /// escalated backoff so a brief mid-storm activation cannot re-arm
+    /// the thundering herd.
+    pub stable_backoff_reset: SimDuration,
 }
 
 impl SchedulerConfig {
@@ -66,6 +80,9 @@ impl SchedulerConfig {
             virt_params_override: None,
             naive_restart: false,
             faults: FaultConfig::none(),
+            storms: StormConfig::none(),
+            storm_seed: None,
+            stable_backoff_reset: SimDuration::minutes(30),
         }
     }
 
@@ -85,6 +102,9 @@ impl SchedulerConfig {
             virt_params_override: None,
             naive_restart: false,
             faults: FaultConfig::none(),
+            storms: StormConfig::none(),
+            storm_seed: None,
+            stable_backoff_reset: SimDuration::minutes(30),
         }
     }
 
@@ -132,6 +152,26 @@ impl SchedulerConfig {
         self
     }
 
+    /// Inject correlated-failure storms (see `spothost-faults`).
+    pub fn with_storms(mut self, storms: StormConfig) -> Self {
+        self.storms = storms;
+        self
+    }
+
+    /// Pin the storm schedule to a fixed seed instead of the run seed
+    /// (fleets share one timeline across their per-service run seeds).
+    pub fn with_storm_seed(mut self, seed: u64) -> Self {
+        self.storm_seed = Some(seed);
+        self
+    }
+
+    /// Tune the stable-uptime interval after which the reacquire backoff
+    /// ladder resets to its base.
+    pub fn with_stable_backoff_reset(mut self, interval: SimDuration) -> Self {
+        self.stable_backoff_reset = interval;
+        self
+    }
+
     /// The virtualization parameters this configuration runs with.
     pub fn virt_params(&self) -> VirtParams {
         self.virt_params_override
@@ -169,6 +209,10 @@ impl SchedulerConfig {
             vp.validate()?;
         }
         self.faults.validate()?;
+        self.storms.validate()?;
+        if self.stable_backoff_reset == SimDuration::ZERO {
+            return Err("stable_backoff_reset must be positive".into());
+        }
         Ok(())
     }
 

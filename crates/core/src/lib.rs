@@ -58,7 +58,7 @@ pub use policy::BiddingPolicy;
 pub use report::RunReport;
 pub use scheduler::{SimRun, SimScratch};
 pub use sim::{run_grid, run_many, run_one, run_one_metrics, run_one_recorded, AggregateReport};
-pub use spothost_faults::FaultConfig;
+pub use spothost_faults::{FaultConfig, StormConfig};
 pub use spothost_telemetry as telemetry;
 pub use strategy::MarketScope;
 
@@ -72,7 +72,7 @@ pub mod prelude {
         run_grid, run_many, run_one, run_one_metrics, run_one_recorded, AggregateReport,
     };
     pub use crate::strategy::MarketScope;
-    pub use spothost_faults::FaultConfig;
+    pub use spothost_faults::{FaultConfig, StormConfig};
     pub use spothost_telemetry::{Metrics, Recorder, TelemetryEvent};
     pub use spothost_virt::{MechanismCombo, ParamRegime};
 }

@@ -35,7 +35,7 @@ use spothost_cloudsim::{
     CloudProvider, EventQueue, InstanceId, InstanceState, RequestError, StartupModel,
     TerminationReason,
 };
-use spothost_faults::{FaultKind, FaultPlan};
+use spothost_faults::{FaultKind, FaultPlan, StormSchedule};
 use spothost_forecast::{ForecastParams, MarketForecaster};
 use spothost_market::gen::{derive_seed, TraceSet};
 use spothost_market::time::{SimDuration, SimTime, MILLIS_PER_HOUR};
@@ -80,6 +80,10 @@ enum Ev {
     /// Retry an acquisition that failed with an injected provider fault,
     /// after a bounded backoff.
     Reacquire,
+    /// A storm episode edge in a zone (telemetry only: the storm's
+    /// behavioural effects flow through the provider and the schedule
+    /// queries, not through this event).
+    StormEdge { zone: Zone, started: bool },
 }
 
 /// A running lease the service lives on.
@@ -168,6 +172,11 @@ struct Candidate {
     /// Forecast-predicted P(revocation within the next hour) at `bid`.
     /// `None` unless the adaptive policy's forecaster produced the bid.
     risk: Option<f64>,
+    /// The candidate's zone is inside a storm episode right now. Storming
+    /// candidates carry a full baseline-rate score surcharge and sort
+    /// after every calm candidate, so recovery prefers markets outside
+    /// the storming scope.
+    storm: bool,
 }
 
 /// Per-market online forecaster state for the adaptive policy (`None` on
@@ -232,8 +241,26 @@ pub struct SimRun<'t, S: Sink = NullSink> {
     /// Mechanism-side fault draws (checkpoint/live/lazy). `None` unless
     /// fault injection is enabled; the provider holds its own plan.
     faults: Option<FaultPlan>,
+    /// Correlated-failure storm schedule (a clone of the provider's: the
+    /// episode timelines are identical by value, the scheduler uses only
+    /// the jitter stream and the provider only the crunch stream, so the
+    /// clones never diverge). `None` unless storms are configured.
+    storms: Option<StormSchedule>,
+    /// Per-zone end of the storm episode in which a capacity fault was
+    /// last observed. Market ranking shuns a storming zone only while
+    /// `now` is inside this window: a storm becomes evidence against its
+    /// zone once it has actually refused capacity, not before. Mild
+    /// episodes therefore keep cheap in-zone recovery; crunching ones
+    /// push the scheduler toward calm zones until they blow over.
+    zone_shunned_until: [SimTime; 4],
     /// Consecutive faulted acquisition attempts (drives the backoff).
     acquire_attempts: u32,
+    /// Start of the current continuous `Active` stint. Leaving `Active`
+    /// after at least `cfg.stable_backoff_reset` of uptime resets
+    /// `acquire_attempts` to the 60 s base; shorter stints keep their
+    /// escalated backoff so a brief mid-storm activation cannot re-arm
+    /// the thundering herd.
+    active_since: Option<SimTime>,
     /// First moment initial acquisition was blocked by a fault, while the
     /// service has never been up. Lets `finish` report a run that never
     /// started as a full outage instead of an empty span.
@@ -312,7 +339,7 @@ impl<'t> SimRun<'t, NullSink> {
         // seeds keep the two stream families independent. With faults
         // disabled neither side holds a plan, so the zero-fault run is
         // bit-identical to a build without any of this.
-        let (provider, faults) = if cfg.faults.enabled() {
+        let (mut provider, faults) = if cfg.faults.enabled() {
             let provider_plan =
                 FaultPlan::new(cfg.faults.clone(), derive_seed(seed, "faults-provider", 0));
             let mech_plan =
@@ -324,11 +351,57 @@ impl<'t> SimRun<'t, NullSink> {
         } else {
             (CloudProvider::new(traces, seed), None)
         };
+        // Storms ride their own seed-derived streams, independent of the
+        // fault streams above; a fleet overrides the base seed so every
+        // service in it observes the same episode timeline. An effect-free
+        // storm config builds no schedule at all — bit-identical to a
+        // build without any of this.
+        let storms = if cfg.storms.enabled() {
+            let base = cfg.storm_seed.unwrap_or(seed);
+            let schedule = StormSchedule::new(
+                cfg.storms.clone(),
+                derive_seed(base, "storms", 0),
+                traces.horizon(),
+                traces.spike_spans(),
+            );
+            provider = provider.with_storms(schedule.clone());
+            Some(schedule)
+        } else {
+            None
+        };
         let SimScratch {
             mut queue,
             mut forecasters,
         } = scratch;
         queue.reset();
+        // Storm episode edges as telemetry events: the storm's behavioural
+        // effects flow through provider gates and schedule queries, so
+        // these extra queue entries change nothing but the event stream
+        // (FIFO tie-breaking keeps same-time ordering of other events).
+        if let Some(s) = &storms {
+            for zone in cfg.scope.zones() {
+                for ep in s.episodes(zone) {
+                    if ep.start < SimTime::ZERO + traces.horizon() {
+                        queue.push(
+                            ep.start,
+                            Ev::StormEdge {
+                                zone,
+                                started: true,
+                            },
+                        );
+                    }
+                    if ep.end < SimTime::ZERO + traces.horizon() {
+                        queue.push(
+                            ep.end,
+                            Ev::StormEdge {
+                                zone,
+                                started: false,
+                            },
+                        );
+                    }
+                }
+            }
+        }
         let forecast = match cfg.policy {
             BiddingPolicy::Adaptive { risk_budget } => Some(ForecastState {
                 risk_budget,
@@ -366,7 +439,10 @@ impl<'t> SimRun<'t, NullSink> {
             candidates,
             baseline_rate,
             faults,
+            storms,
+            zone_shunned_until: [SimTime::ZERO; 4],
             acquire_attempts: 0,
+            active_since: None,
             boot_blocked_since: None,
             forecast,
             sink: NullSink,
@@ -393,7 +469,10 @@ impl<'t, S: Sink> SimRun<'t, S> {
             candidates: self.candidates,
             baseline_rate: self.baseline_rate,
             faults: self.faults,
+            storms: self.storms,
+            zone_shunned_until: self.zone_shunned_until,
             acquire_attempts: self.acquire_attempts,
+            active_since: self.active_since,
             boot_blocked_since: self.boot_blocked_since,
             forecast: self.forecast,
             sink,
@@ -453,7 +532,24 @@ impl<'t, S: Sink> SimRun<'t, S> {
     }
 
     /// Move the state machine to `st`, emitting the transition.
+    ///
+    /// This is the single choke point for `Active` stint tracking: entry
+    /// stamps `active_since`, and exit resets the reacquire backoff
+    /// ladder only after a stable stint (`cfg.stable_backoff_reset`). A
+    /// brief mid-storm activation therefore keeps its escalated backoff
+    /// instead of re-arming the thundering herd at the 60 s base.
     fn enter(&mut self, st: St) {
+        let was_active = matches!(self.st, St::Active { .. });
+        let is_active = matches!(st, St::Active { .. });
+        if is_active && !was_active {
+            self.active_since = Some(self.now);
+        } else if was_active && !is_active {
+            if let Some(since) = self.active_since.take() {
+                if self.now - since >= self.cfg.stable_backoff_reset {
+                    self.acquire_attempts = 0;
+                }
+            }
+        }
         if S::ENABLED {
             self.sink
                 .emit(self.now, TelemetryEvent::StateChange { state: st.label() });
@@ -476,6 +572,9 @@ impl<'t, S: Sink> SimRun<'t, S> {
             predicted_risk,
         });
         let r = self.provider.request_spot(market, bid, self.now);
+        if matches!(r, Err(RequestError::InsufficientCapacity(_))) {
+            self.note_capacity_fault(market.zone, self.now);
+        }
         if S::ENABLED {
             match &r {
                 Ok((id, ready)) => self.emit(TelemetryEvent::LeaseGranted {
@@ -515,6 +614,9 @@ impl<'t, S: Sink> SimRun<'t, S> {
             predicted_risk: None,
         });
         let r = self.provider.request_on_demand(market, at);
+        if matches!(r, Err(RequestError::InsufficientCapacity(_))) {
+            self.note_capacity_fault(market.zone, at);
+        }
         if S::ENABLED {
             match &r {
                 Ok((id, ready)) => self.emit(TelemetryEvent::LeaseGranted {
@@ -529,6 +631,9 @@ impl<'t, S: Sink> SimRun<'t, S> {
                             kind: FaultKind::OdCapacity,
                         });
                     }
+                    if matches!(e, RequestError::QuotaExhausted(_)) {
+                        self.emit(TelemetryEvent::QuotaExhausted { market });
+                    }
                     self.emit(TelemetryEvent::LeaseDenied {
                         market,
                         spot: false,
@@ -538,6 +643,25 @@ impl<'t, S: Sink> SimRun<'t, S> {
             }
         }
         r
+    }
+
+    /// A capacity fault observed mid-storm marks the zone as shunned for
+    /// the remainder of that episode: market ranking then prefers calm
+    /// zones until the storm blows over. Faults outside any episode (or
+    /// with storms disabled) leave ranking untouched — ordinary capacity
+    /// blips are handled by the backoff ladder, not by fleeing the zone.
+    fn note_capacity_fault(&mut self, zone: Zone, at: SimTime) {
+        if let Some(end) = self.storms.as_ref().and_then(|s| s.episode_end(zone, at)) {
+            let until = &mut self.zone_shunned_until[zone.index()];
+            *until = (*until).max(end);
+        }
+    }
+
+    /// Is the zone inside a storm episode that has refused capacity?
+    /// Always false with storms disabled, so every shun-gated behavior
+    /// collapses to the storm-free baseline bit-for-bit.
+    fn zone_shunned(&self, zone: Zone) -> bool {
+        self.now < self.zone_shunned_until[zone.index()]
     }
 
     /// `provider.activate` with activation telemetry. `doomed` must be
@@ -606,6 +730,7 @@ impl<'t, S: Sink> SimRun<'t, S> {
     /// Restore outcome with any injected lazy-restore page-fault storm
     /// applied. Draws from the fault stream only for lazy restores.
     fn restore_with_faults(&mut self, market: MarketId) -> RestoreOutcome {
+        self.set_mech_storm_mult(market.zone);
         let base = self.restore_for(market);
         if self.cfg.mechanism.lazy_restore {
             if let Some(f) = &mut self.faults {
@@ -648,11 +773,26 @@ impl<'t, S: Sink> SimRun<'t, S> {
 
     /// Bounded exponential backoff between faulted acquisition attempts:
     /// 60 s doubling to a one-hour cap. Guarantees every retry loop makes
-    /// real progress toward the horizon even at a 100% fault rate.
+    /// real progress toward the horizon even at a 100% fault rate. Under
+    /// a storm schedule the delay gains seeded multiplicative jitter so
+    /// correlated victims de-synchronise instead of stampeding the
+    /// market in lockstep.
     fn retry_after_backoff(&mut self) -> SimDuration {
         let delay = SimDuration::secs(60u64 << self.acquire_attempts.min(6));
         self.acquire_attempts = self.acquire_attempts.saturating_add(1);
-        delay.min(SimDuration::hours(1))
+        let delay = delay.min(SimDuration::hours(1));
+        match &mut self.storms {
+            Some(s) => s.jittered_backoff(delay),
+            None => delay,
+        }
+    }
+
+    /// Point the mechanism fault plan's storm multiplier at this zone at
+    /// the current moment (no-op without storms or without faults).
+    fn set_mech_storm_mult(&mut self, zone: Zone) {
+        if let (Some(s), Some(f)) = (&self.storms, &mut self.faults) {
+            f.set_storm_multiplier(s.fault_multiplier(zone, self.now));
+        }
     }
 
     /// Shared backoff scheduling for faulted acquisitions: one `Reacquire`
@@ -740,12 +880,23 @@ impl<'t, S: Sink> SimRun<'t, S> {
             // forecaster's missing estimate is priced against the other
             // candidates' measurements, which aren't known until every
             // candidate has been collected.
-            let score = rate + self.stability_penalty(m, pon);
+            // A storming zone is never entered voluntarily: the surcharge
+            // pushes its markets above the on-demand bar, so boundary and
+            // reverse decisions wait out the episode from wherever the
+            // service already is.
+            let storm = self
+                .storms
+                .as_ref()
+                .is_some_and(|s| s.is_storming(m.zone, self.now));
+            let score = rate
+                + self.stability_penalty(m, pon)
+                + if storm { self.baseline_rate } else { 0.0 };
             ranked.push(Candidate {
                 market: m,
                 bid,
                 score,
                 risk,
+                storm,
             });
         }
         // Predicted revocation risk enters the score the same way the
@@ -773,9 +924,11 @@ impl<'t, S: Sink> SimRun<'t, S> {
         }
         // Forecast-driven pre-ordering (no-op for single-market scopes
         // and whenever no forecaster is attached: every key is then 0).
-        self.cfg
-            .scope
-            .rank_by_risk(&mut ranked, |c| c.risk.unwrap_or(prior));
+        // A storming zone is charged a full unit of risk on top of any
+        // forecast, so calm zones always pre-rank ahead of storming ones.
+        self.cfg.scope.rank_by_risk(&mut ranked, |c| {
+            c.risk.unwrap_or(prior) + if c.storm { 1.0 } else { 0.0 }
+        });
         ranked.sort_by(|a, b| a.score.total_cmp(&b.score));
         ranked
     }
@@ -909,7 +1062,6 @@ impl<'t, S: Sink> SimRun<'t, S> {
     }
 
     fn become_active(&mut self, lease: Lease) {
-        self.acquire_attempts = 0;
         let first = self.acc.service_start.is_none();
         if first {
             self.acc.service_start = Some(self.now);
@@ -1046,7 +1198,65 @@ impl<'t, S: Sink> SimRun<'t, S> {
             Ev::ResumeDone(id) => self.on_resume_done(id),
             Ev::SpotRetry => self.on_spot_retry(),
             Ev::Reacquire => self.on_reacquire(),
+            Ev::StormEdge { zone, started } => self.on_storm_edge(zone, started),
         }
+    }
+
+    fn on_storm_edge(&mut self, zone: Zone, started: bool) {
+        self.emit(if started {
+            TelemetryEvent::StormStarted { zone }
+        } else {
+            TelemetryEvent::StormEnded { zone }
+        });
+        if started {
+            self.storm_evacuation(zone);
+        }
+    }
+
+    /// Storm-safe evacuation: an episode onset in the active spot lease's
+    /// zone is treated as an observable revocation-risk signal (in a real
+    /// deployment: zone-wide revocation notices and correlated price
+    /// jumps — the same contagion the schedule couples into the traces).
+    /// Planning policies evacuate exactly the way they anticipate price
+    /// crossings: to the cheapest calm-zone spot market if one is
+    /// attractive, else to in-zone on-demand, which mass revocations
+    /// never touch. If every escape route fails (capacity crunch, quota),
+    /// the lease stays put and takes its chances — recovery then rides
+    /// the jittered backoff ladder like any other loss.
+    fn storm_evacuation(&mut self, zone: Zone) {
+        if !self.cfg.policy.plans_migrations() {
+            return; // reactive/naive baselines keep their eyes closed
+        }
+        let lease = match &self.st {
+            St::Active { lease } if lease.is_spot && lease.market.zone == zone => *lease,
+            _ => return,
+        };
+        let target = if self.cfg.policy.uses_on_demand_fallback() {
+            // In-zone on-demand: the switchover is minutes, not the tens
+            // of minutes a cross-region live migration needs, and a mass
+            // revocation mid-migration *reuses* an on-demand pending
+            // instead of abandoning it. The move to a calm spot market
+            // happens afterwards, from safety, at the next boundary's
+            // reverse decision — with the service up during the WAN
+            // pre-copy. (The request can still fail to the crunch or the
+            // quota; the lease then stays put and rides the storm.)
+            None
+        } else {
+            // Pure-spot: the cheapest calm-zone market, if any.
+            let now = self.now;
+            let calm = self.ranked_spots(Some(lease.market)).into_iter().find(|c| {
+                c.market.zone != zone
+                    && self
+                        .storms
+                        .as_ref()
+                        .is_none_or(|s| !s.is_storming(c.market.zone, now))
+            });
+            match calm {
+                Some(c) => Some(c),
+                None => return, // nowhere to go: ride the storm
+            }
+        };
+        self.start_voluntary(lease, MigrationKind::Planned, target);
     }
 
     fn on_ready(&mut self, id: InstanceId) {
@@ -1092,6 +1302,7 @@ impl<'t, S: Sink> SimRun<'t, S> {
                     let live = self.cfg.mechanism.live && kind.is_voluntary();
                     let mut timing = plan_migration(self.cfg.mechanism, kind, &ctx, &self.vparams);
                     let mut aborted = false;
+                    self.set_mech_storm_mult(from.market.zone);
                     if live && self.fault_live_aborts() {
                         // Pre-copy aborted mid-flight: fall back to a
                         // checkpoint restore on the already-booted target.
@@ -1427,6 +1638,7 @@ impl<'t, S: Sink> SimRun<'t, S> {
             // Pure-spot: no replacement. Downtime runs from the suspend
             // until the market comes back and the VM restores.
             let flush = self.vparams.final_ckpt_write();
+            self.set_mech_storm_mult(lease.market.zone);
             let cold = self.ckpt_flush_fails(terminate_at);
             if !cold {
                 self.emit(TelemetryEvent::MigrationPhase {
@@ -1513,6 +1725,7 @@ impl<'t, S: Sink> SimRun<'t, S> {
         // no longer fits a fault-shortened window), in which case the
         // instance runs to termination and recovery cold-boots.
         let flush = self.vparams.final_ckpt_write();
+        self.set_mech_storm_mult(lease.market.zone);
         let cold = self.ckpt_flush_fails(terminate_at);
         if !cold {
             self.emit(TelemetryEvent::MigrationPhase {
@@ -1545,7 +1758,19 @@ impl<'t, S: Sink> SimRun<'t, S> {
                     }
                     Err(_) => {
                         self.acc.request_faults += 1;
-                        None
+                        // Storm-aware fallback: when the refusal is storm
+                        // backpressure (the zone's episode has demonstrably
+                        // crunched — the request above just marked it), a
+                        // backoff window is pure downtime the service need
+                        // not pay. Grab a spot server wherever capacity
+                        // remains; ranking shuns the crunched zone, so calm
+                        // markets come first. Ordinary fault blips keep the
+                        // plain backoff ladder below.
+                        if self.zone_shunned(lease.market.zone) && self.cfg.policy.uses_spot() {
+                            self.try_acquire_any_spot()
+                        } else {
+                            None
+                        }
                     }
                 }
             }
@@ -2433,5 +2658,98 @@ mod tests {
             }
         }
         assert_eq!(worse, 0, "adaptive must not lose to the fixed cap");
+    }
+
+    #[test]
+    fn effect_free_storm_config_builds_no_schedule() {
+        let ts = stormy_traces(10, 5);
+        assert!(!spothost_faults::StormConfig::intensity(0.0).enabled());
+        let run = SimRun::new(&ts, &cfg(), 5);
+        assert!(run.storms.is_none());
+        let run = SimRun::new(
+            &ts,
+            &cfg().with_storms(spothost_faults::StormConfig::intensity(0.0)),
+            5,
+        );
+        assert!(run.storms.is_none());
+    }
+
+    #[test]
+    fn zero_intensity_storms_are_bit_identical() {
+        // The storm analogue of `zero_rate_fault_config_is_bit_identical`:
+        // a zero-intensity config builds no schedule at all, and even a
+        // *built* but neutral schedule (no episodes, zero jitter, an
+        // unreachable quota) never advances a stream — both runs must be
+        // bit-identical to a simulation with no storms configured.
+        use spothost_faults::StormConfig;
+        let ts = stormy_traces(30, 7);
+        let c = cfg().with_faults(FaultConfig::uniform(0.1));
+        let base = SimRun::new(&ts, &c, 7).run();
+        let zero = SimRun::new(&ts, &c.clone().with_storms(StormConfig::intensity(0.0)), 7).run();
+        assert_eq!(base, zero);
+        let mut neutral = StormConfig::none();
+        neutral.od_quota = 10_000; // enabled() — a schedule IS built
+        let built = SimRun::new(&ts, &c.clone().with_storms(neutral), 7).run();
+        assert_eq!(base, built);
+    }
+
+    #[test]
+    fn storm_runs_are_deterministic_and_disruptive() {
+        use spothost_faults::StormConfig;
+        let ts = stormy_traces(30, 7);
+        let c = cfg()
+            .with_faults(FaultConfig::uniform(0.05))
+            .with_storms(StormConfig::intensity(0.6));
+        let a = SimRun::new(&ts, &c, 7).run();
+        let b = SimRun::new(&ts, &c, 7).run();
+        assert_eq!(a, b);
+        let calm = SimRun::new(&ts, &cfg().with_faults(FaultConfig::uniform(0.05)), 7).run();
+        // Crunch rejections push the service onto on-demand (fewer spot
+        // revocations to migrate from), so migration counts can legally
+        // *drop* — the invariant is that downtime and fault pressure rise.
+        assert!(
+            a.unavailability > calm.unavailability,
+            "storm {} vs calm {}",
+            a.unavailability,
+            calm.unavailability
+        );
+        assert!(
+            a.request_faults > calm.request_faults,
+            "the storm multiplier must elevate fault draws: storm {} vs calm {}",
+            a.request_faults,
+            calm.request_faults
+        );
+    }
+
+    #[test]
+    fn backoff_ladder_resets_only_after_stable_uptime() {
+        // Regression: `become_active` used to reset `acquire_attempts`
+        // unconditionally, so a lease that survived only seconds mid-storm
+        // re-armed the 60 s base backoff and the thundering herd with it.
+        // The ladder must persist across short stints and reset only after
+        // `stable_backoff_reset` of continuous uptime.
+        let ts = quiet_traces(3);
+        let c = cfg();
+        let mut run = SimRun::new(&ts, &c, 1);
+        let lease = Lease {
+            id: InstanceId(1),
+            market: market(),
+            is_spot: true,
+            start: SimTime::ZERO,
+        };
+        run.acquire_attempts = 4;
+        run.now = SimTime::hours(1);
+        run.enter(St::Active { lease });
+        run.now = SimTime::hours(1) + SimDuration::minutes(5);
+        run.enter(St::DownWaiting { cold: false });
+        assert_eq!(run.acquire_attempts, 4, "short stint must keep the ladder");
+        run.now = SimTime::hours(2);
+        run.enter(St::Active { lease });
+        run.now = SimTime::hours(2) + c.stable_backoff_reset;
+        run.enter(St::DownWaiting { cold: false });
+        assert_eq!(
+            run.acquire_attempts, 0,
+            "stable stint must reset the ladder"
+        );
     }
 }

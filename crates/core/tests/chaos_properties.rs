@@ -1,0 +1,271 @@
+//! Chaos invariant harness: the scheduler must survive ANY storm.
+//!
+//! For randomized grids of storm configs x fault plans x policies x
+//! mechanisms x seeds, a run must:
+//!
+//! (a) terminate with conserved accounting — downtime and degraded time
+//!     fit inside the measured span, cost stays finite, non-negative and
+//!     within a constant factor of the on-demand baseline;
+//! (b) stay deterministic — the same inputs give the same report;
+//! (c) not leak state across [`SimScratch`] reuse — a run on a scratch
+//!     dirtied by a *different* chaotic run is bit-identical to a fresh
+//!     one (no event-queue residue, no forecaster residue);
+//! (d) replay exactly through telemetry — summing the recorded stream
+//!     reproduces cost and downtime bitwise even with storm events
+//!     interleaved, and the storm edges themselves are well-formed;
+//! (e) collapse to the storm-free baseline at zero intensity — a
+//!     zero-intensity config, and even a *built* but effect-free
+//!     schedule, never advances any RNG stream, so the report is
+//!     bit-identical to a run with no storms configured at all.
+
+use proptest::prelude::*;
+use spothost_core::prelude::*;
+use spothost_core::scheduler::{SimRun, SimScratch};
+use spothost_market::catalog::Catalog;
+use spothost_market::gen::TraceSet;
+use spothost_market::time::SimDuration;
+use spothost_market::types::{InstanceType, MarketId, Zone};
+use spothost_virt::MechanismCombo;
+
+fn rate() -> impl Strategy<Value = f64> {
+    (0u32..10, 0.0f64..0.5).prop_map(|(k, x)| if k == 0 { 0.0 } else { x })
+}
+
+fn arb_faults() -> impl Strategy<Value = FaultConfig> {
+    (rate(), rate(), rate(), rate()).prop_map(|(spot, od, warn, ckpt)| {
+        let mut f = FaultConfig::none();
+        f.spot_capacity_rate = spot;
+        f.od_capacity_rate = od;
+        f.warning_miss_rate = warn;
+        f.ckpt_failure_rate = ckpt;
+        f
+    })
+}
+
+fn arb_storms() -> impl Strategy<Value = StormConfig> {
+    // Weight zero intensity (must be a perfect no-op) and full intensity
+    // (the worst case), and sweep the on-demand quota independently —
+    // a tight quota is the regime where backpressure deadlocks would hide.
+    (0u32..8, 0.0f64..1.0, 0u32..4).prop_map(|(k, x, q)| {
+        let mut s = StormConfig::intensity(match k {
+            0 => 0.0,
+            1 => 1.0,
+            _ => x,
+        });
+        s.od_quota = match q {
+            0 => 0,
+            1 => 1,
+            2 => 4,
+            _ => 16,
+        };
+        s
+    })
+}
+
+fn arb_policy() -> impl Strategy<Value = BiddingPolicy> {
+    prop_oneof![
+        Just(BiddingPolicy::OnDemandOnly),
+        Just(BiddingPolicy::PureSpot),
+        Just(BiddingPolicy::Reactive),
+        Just(BiddingPolicy::proactive_default()),
+    ]
+}
+
+fn arb_mechanism() -> impl Strategy<Value = MechanismCombo> {
+    prop_oneof![
+        Just(MechanismCombo::ALL[0]),
+        Just(MechanismCombo::ALL[1]),
+        Just(MechanismCombo::ALL[2]),
+        Just(MechanismCombo::ALL[3]),
+    ]
+}
+
+fn arb_scope() -> impl Strategy<Value = MarketScope> {
+    prop_oneof![
+        Just(MarketScope::Single(MarketId::new(
+            Zone::UsEast1a,
+            InstanceType::Small
+        ))),
+        Just(MarketScope::MultiMarket(Zone::UsEast1a)),
+        Just(MarketScope::MultiRegion(vec![
+            Zone::UsEast1a,
+            Zone::UsWest1a
+        ])),
+    ]
+}
+
+fn base_cfg(
+    scope: MarketScope,
+    policy: BiddingPolicy,
+    mechanism: MechanismCombo,
+) -> SchedulerConfig {
+    let cfg = match &scope {
+        MarketScope::Single(m) => SchedulerConfig::single_market(*m),
+        _ => SchedulerConfig::multi(scope),
+    };
+    cfg.with_policy(policy).with_mechanism(mechanism)
+}
+
+const HORIZON_DAYS: u64 = 7;
+
+fn traces_for(cfg: &SchedulerConfig, seed: u64) -> TraceSet {
+    let catalog = Catalog::ec2_2015();
+    TraceSet::generate(
+        &catalog,
+        &cfg.candidates(),
+        seed,
+        SimDuration::days(HORIZON_DAYS),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn chaos_conserves_accounting_and_stays_deterministic(
+        storms in arb_storms(),
+        faults in arb_faults(),
+        scope in arb_scope(),
+        policy in arb_policy(),
+        mechanism in arb_mechanism(),
+        seed in 0u64..1_000,
+    ) {
+        let cfg = base_cfg(scope, policy, mechanism)
+            .with_faults(faults)
+            .with_storms(storms);
+        cfg.validate().expect("chaos grid configs must validate");
+        let horizon = SimDuration::days(HORIZON_DAYS);
+        let a = run_one(&cfg, seed, horizon);
+
+        // (a) Conservation: no accounting time lost or invented, cost
+        // finite and bounded by a constant factor of the baseline.
+        prop_assert!(a.downtime <= a.active_span,
+            "downtime {:?} exceeds span {:?}", a.downtime, a.active_span);
+        prop_assert!(a.active_span <= horizon);
+        prop_assert!((0.0..=1.0).contains(&a.unavailability));
+        prop_assert!(a.degraded_fraction >= 0.0 && a.degraded_fraction.is_finite());
+        prop_assert!(a.cost.is_finite() && a.cost >= 0.0);
+        prop_assert!(a.cost <= 3.0 * a.baseline_cost + 1.0,
+            "cost {} vs baseline {}", a.cost, a.baseline_cost);
+
+        // (b) Determinism under re-run.
+        let b = run_one(&cfg, seed, horizon);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scratch_reuse_leaks_nothing_across_chaotic_runs(
+        storms in arb_storms(),
+        faults in arb_faults(),
+        policy in arb_policy(),
+        seed in 0u64..1_000,
+    ) {
+        // Dirty a scratch with a violent, unrelated run (full-intensity
+        // storms, a different scope, a different seed), then reuse it:
+        // the report must be bit-identical to a fresh-scratch run.
+        let dirty_cfg = base_cfg(
+            MarketScope::MultiMarket(Zone::EuWest1a),
+            BiddingPolicy::Reactive,
+            MechanismCombo::ALL[0],
+        )
+        .with_faults(FaultConfig::uniform(0.4))
+        .with_storms(StormConfig::intensity(1.0));
+        let dirty_traces = traces_for(&dirty_cfg, seed.wrapping_add(17));
+        let (_, scratch) = SimRun::with_scratch(
+            &dirty_traces,
+            &dirty_cfg,
+            seed.wrapping_add(17),
+            SimScratch::new(),
+        )
+        .run_reclaim();
+
+        let cfg = base_cfg(
+            MarketScope::Single(MarketId::new(Zone::UsEast1a, InstanceType::Small)),
+            policy,
+            MechanismCombo::ALL[3],
+        )
+        .with_faults(faults)
+        .with_storms(storms);
+        let traces = traces_for(&cfg, seed);
+        let fresh = SimRun::new(&traces, &cfg, seed).run();
+        let (reused, _) = SimRun::with_scratch(&traces, &cfg, seed, scratch).run_reclaim();
+        prop_assert_eq!(fresh, reused);
+    }
+
+    #[test]
+    fn telemetry_replays_storm_runs_bitwise(
+        storms in arb_storms(),
+        faults in arb_faults(),
+        policy in arb_policy(),
+        seed in 0u64..1_000,
+    ) {
+        let cfg = base_cfg(
+            MarketScope::MultiMarket(Zone::UsEast1a),
+            policy,
+            MechanismCombo::ALL[2],
+        )
+        .with_faults(faults)
+        .with_storms(storms);
+        let horizon = SimDuration::days(HORIZON_DAYS);
+        let plain = run_one(&cfg, seed, horizon);
+        let (report, rec) = run_one_recorded(&cfg, seed, horizon);
+
+        // Observation stays free with storm events in the stream.
+        prop_assert_eq!(plain, report.clone());
+
+        // Replay: ordered sums reproduce the report bitwise; storm edges
+        // are balanced per zone (at most one episode left open at the
+        // horizon, since a zone's episodes never overlap).
+        let mut cost = 0.0f64;
+        let mut downtime_ms = 0u64;
+        let mut open = [0i64; 4];
+        for (_, ev) in rec.events() {
+            match ev {
+                TelemetryEvent::LeaseClosed { cost: c, .. } => cost += c,
+                TelemetryEvent::Outage { start, end } => {
+                    downtime_ms += (*end - *start).as_millis();
+                }
+                TelemetryEvent::StormStarted { zone } => open[zone.index()] += 1,
+                TelemetryEvent::StormEnded { zone } => {
+                    open[zone.index()] -= 1;
+                    prop_assert!(open[zone.index()] >= 0, "storm ended before it started");
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(cost.to_bits(), report.cost.to_bits(),
+            "replayed cost {} != report cost {}", cost, report.cost);
+        prop_assert_eq!(downtime_ms, report.downtime.as_millis());
+        for (z, n) in open.iter().enumerate() {
+            prop_assert!((0..=1).contains(n),
+                "zone {z}: {n} unbalanced storm edges");
+        }
+    }
+
+    #[test]
+    fn zero_intensity_storms_never_advance_any_rng(
+        faults in arb_faults(),
+        scope in arb_scope(),
+        policy in arb_policy(),
+        mechanism in arb_mechanism(),
+        seed in 0u64..1_000,
+    ) {
+        let horizon = SimDuration::days(HORIZON_DAYS);
+        let base = base_cfg(scope, policy, mechanism).with_faults(faults);
+        let plain = run_one(&base, seed, horizon);
+        // A zero-intensity config builds no schedule at all...
+        let zero = run_one(
+            &base.clone().with_storms(StormConfig::intensity(0.0)),
+            seed,
+            horizon,
+        );
+        prop_assert_eq!(plain.clone(), zero);
+        // ...and a *built* but effect-free schedule (enabled via an
+        // unreachable quota, everything else zero) must not advance any
+        // stream either: still bit-identical.
+        let mut neutral = StormConfig::none();
+        neutral.od_quota = u32::MAX;
+        let built = run_one(&base.clone().with_storms(neutral), seed, horizon);
+        prop_assert_eq!(plain, built);
+    }
+}

@@ -24,9 +24,11 @@
 
 pub mod config;
 pub mod plan;
+pub mod storm;
 
 pub use config::FaultConfig;
 pub use plan::{FaultPlan, WarningFault};
+pub use storm::{StormConfig, StormEpisode, StormSchedule};
 
 /// The injectable fault types, one per [`FaultConfig`] rate knob. Used by
 /// consumers (telemetry, reports) to attribute an observed failure to the

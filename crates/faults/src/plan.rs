@@ -28,6 +28,11 @@ pub enum WarningFault {
 #[derive(Debug, Clone)]
 pub struct FaultPlan {
     cfg: FaultConfig,
+    /// Multiplier applied to every configured rate at draw time — the
+    /// hook a [`crate::StormSchedule`] uses to elevate fault rates during
+    /// storm episodes. Exactly 1.0 (the default) leaves every draw
+    /// bit-identical to an unmodulated plan.
+    storm_mult: f64,
     spot_capacity: ChaCha12Rng,
     od_capacity: ChaCha12Rng,
     startup: ChaCha12Rng,
@@ -48,6 +53,7 @@ impl FaultPlan {
         let stream = |role: &str| ChaCha12Rng::seed_from_u64(derive_seed(seed, role, 0));
         FaultPlan {
             cfg,
+            storm_mult: 1.0,
             spot_capacity: stream("fault-spot-capacity"),
             od_capacity: stream("fault-od-capacity"),
             startup: stream("fault-startup"),
@@ -63,29 +69,54 @@ impl FaultPlan {
         &self.cfg
     }
 
+    /// Set the storm multiplier applied to every configured rate until
+    /// the next call (effective rates are capped at 1). Consumers set it
+    /// from [`crate::StormSchedule::fault_multiplier`] before each batch
+    /// of draws; leaving it at 1.0 keeps the plan bit-identical to an
+    /// unmodulated one.
+    pub fn set_storm_multiplier(&mut self, mult: f64) {
+        debug_assert!(mult >= 1.0 && mult.is_finite(), "storm multiplier {mult}");
+        self.storm_mult = mult;
+    }
+
     /// Does this spot request fail with `InsufficientCapacity`?
     pub fn spot_capacity_fault(&mut self) -> bool {
-        draw(&mut self.spot_capacity, self.cfg.spot_capacity_rate)
+        draw(
+            &mut self.spot_capacity,
+            eff(self.storm_mult, self.cfg.spot_capacity_rate),
+        )
     }
 
     /// Does this on-demand request fail with `InsufficientCapacity`?
     pub fn od_capacity_fault(&mut self) -> bool {
-        draw(&mut self.od_capacity, self.cfg.od_capacity_rate)
+        draw(
+            &mut self.od_capacity,
+            eff(self.storm_mult, self.cfg.od_capacity_rate),
+        )
     }
 
     /// Does this granted server fail to come up (activation fails, the
     /// instance is closed unbilled)?
     pub fn startup_failure(&mut self) -> bool {
-        draw(&mut self.startup, self.cfg.startup_failure_rate)
+        draw(
+            &mut self.startup,
+            eff(self.storm_mult, self.cfg.startup_failure_rate),
+        )
     }
 
     /// Fate of the revocation warning for one doomed lease. A delayed
     /// warning lands uniformly inside `(0, grace]` after its proper time.
     pub fn warning_fault(&mut self, grace: SimDuration) -> WarningFault {
-        if draw(&mut self.warning, self.cfg.warning_miss_rate) {
+        if draw(
+            &mut self.warning,
+            eff(self.storm_mult, self.cfg.warning_miss_rate),
+        ) {
             return WarningFault::Missing;
         }
-        if draw(&mut self.warning, self.cfg.warning_delay_rate) {
+        if draw(
+            &mut self.warning,
+            eff(self.storm_mult, self.cfg.warning_delay_rate),
+        ) {
             let frac: f64 = self.warning.gen();
             // Uniform in (0, grace], never rounding down to zero.
             let delay = grace
@@ -100,7 +131,10 @@ impl FaultPlan {
     /// Extra delay before the checkpoint volume is attached to the
     /// replacement server (zero when the draw misses).
     pub fn volume_attach_delay(&mut self) -> SimDuration {
-        if !draw(&mut self.volume, self.cfg.volume_delay_rate) {
+        if !draw(
+            &mut self.volume,
+            eff(self.storm_mult, self.cfg.volume_delay_rate),
+        ) {
             return SimDuration::ZERO;
         }
         let frac: f64 = self.volume.gen();
@@ -110,21 +144,41 @@ impl FaultPlan {
     /// Does the final bounded-checkpoint flush inside the grace window
     /// fail (memory state lost, recovery cold-boots from disk)?
     pub fn ckpt_write_fails(&mut self) -> bool {
-        draw(&mut self.ckpt, self.cfg.ckpt_failure_rate)
+        draw(
+            &mut self.ckpt,
+            eff(self.storm_mult, self.cfg.ckpt_failure_rate),
+        )
     }
 
     /// Does this live pre-copy abort mid-flight?
     pub fn live_migration_aborts(&mut self) -> bool {
-        draw(&mut self.live, self.cfg.live_abort_rate)
+        draw(
+            &mut self.live,
+            eff(self.storm_mult, self.cfg.live_abort_rate),
+        )
     }
 
     /// Multiplier on a lazy restore's degraded window (1.0 = no storm).
     pub fn lazy_degraded_factor(&mut self) -> f64 {
-        if draw(&mut self.lazy, self.cfg.lazy_storm_rate) {
+        if draw(
+            &mut self.lazy,
+            eff(self.storm_mult, self.cfg.lazy_storm_rate),
+        ) {
             self.cfg.lazy_storm_factor
         } else {
             1.0
         }
+    }
+}
+
+/// A configured rate under a storm multiplier. Exact pass-through at
+/// multiplier 1.0 (no float round-trip), so storms left unconfigured can
+/// never perturb a draw.
+fn eff(mult: f64, rate: f64) -> f64 {
+    if mult == 1.0 {
+        rate
+    } else {
+        (rate * mult).min(1.0)
     }
 }
 
@@ -234,6 +288,27 @@ mod tests {
                 other => panic!("expected Delayed, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn storm_multiplier_elevates_rates_and_unity_is_neutral() {
+        let mut cfg = FaultConfig::none();
+        cfg.od_capacity_rate = 0.05;
+        let mut base = FaultPlan::new(cfg.clone(), 13);
+        let mut unity = FaultPlan::new(cfg.clone(), 13);
+        unity.set_storm_multiplier(1.0);
+        let mut stormy = FaultPlan::new(cfg, 13);
+        stormy.set_storm_multiplier(10.0);
+        let n = 20_000;
+        let mut hits = 0;
+        for _ in 0..n {
+            // An explicit 1.0 multiplier is draw-for-draw identical to an
+            // untouched plan.
+            assert_eq!(base.od_capacity_fault(), unity.od_capacity_fault());
+            hits += stormy.od_capacity_fault() as u32;
+        }
+        let rate = f64::from(hits) / n as f64;
+        assert!((rate - 0.5).abs() < 0.02, "elevated empirical rate {rate}");
     }
 
     #[test]

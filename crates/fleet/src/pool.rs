@@ -8,6 +8,7 @@ use spothost_core::config::SchedulerConfig;
 use spothost_core::policy::BiddingPolicy;
 use spothost_core::scheduler::SimRun;
 use spothost_core::strategy::MarketScope;
+use spothost_faults::StormConfig;
 use spothost_market::catalog::Catalog;
 use spothost_market::gen::TraceSet;
 use spothost_market::time::SimDuration;
@@ -23,6 +24,11 @@ pub struct FleetConfig {
     pub mechanism: MechanismCombo,
     /// Stability weight passed through to each group's scheduler.
     pub stability_weight: f64,
+    /// Correlated-failure storms. One timeline is shared by every
+    /// placement group (seeded from the fleet seed, not the per-group
+    /// jittered seed): a storm hits all tenants in the zone at once,
+    /// which is exactly the thundering-herd regime the pool must absorb.
+    pub storms: StormConfig,
 }
 
 impl Default for FleetConfig {
@@ -32,6 +38,7 @@ impl Default for FleetConfig {
             policy: BiddingPolicy::proactive_default(),
             mechanism: MechanismCombo::CKPT_LR_LIVE,
             stability_weight: 0.0,
+            storms: StormConfig::none(),
         }
     }
 }
@@ -44,12 +51,17 @@ impl FleetConfig {
         }
     }
 
-    fn scheduler_config(&self, group: &PlacementGroup) -> SchedulerConfig {
+    fn scheduler_config(&self, group: &PlacementGroup, fleet_seed: u64) -> SchedulerConfig {
         SchedulerConfig::multi(self.scope())
             .with_policy(self.policy)
             .with_mechanism(self.mechanism)
             .with_capacity_units(group.allocated_units())
             .with_stability_weight(self.stability_weight)
+            .with_storms(self.storms.clone())
+            // Pin the storm timeline to the fleet seed so every group
+            // sees the same episodes and mass revocations, whatever its
+            // jittered run seed.
+            .with_storm_seed(fleet_seed)
     }
 }
 
@@ -79,7 +91,7 @@ pub fn run_fleet(
         .par_iter()
         .enumerate()
         .map(|(i, group)| {
-            let sched_cfg = cfg.scheduler_config(group);
+            let sched_cfg = cfg.scheduler_config(group, seed);
             // Distinct provider streams per group (startup jitter), same
             // shared price history.
             let report = SimRun::new(&traces, &sched_cfg, seed.wrapping_add(i as u64)).run();
@@ -146,6 +158,40 @@ mod tests {
         let spot = run_fleet(&vms(10), &FleetConfig::default(), 3, SimDuration::days(14));
         assert!(spot.total_cost() < od.total_cost() * 0.5);
         assert_eq!(od.vm_weighted_unavailability(), 0.0);
+    }
+
+    #[test]
+    fn storms_hit_the_whole_fleet_and_zero_intensity_is_free() {
+        // Zero intensity builds no schedule: bit-identical to the
+        // storm-free default, even with the storm seed pinned.
+        let calm = run_fleet(&vms(10), &FleetConfig::default(), 3, SimDuration::days(14));
+        let zero = FleetConfig {
+            storms: StormConfig::intensity(0.0),
+            ..FleetConfig::default()
+        };
+        let zero = run_fleet(&vms(10), &zero, 3, SimDuration::days(14));
+        assert_eq!(calm.total_cost(), zero.total_cost());
+        assert_eq!(
+            calm.vm_weighted_unavailability(),
+            zero.vm_weighted_unavailability()
+        );
+
+        // Full-intensity storms share one timeline across all groups
+        // (mass revocations land fleet-wide), and the pool degrades but
+        // still terminates deterministically.
+        let stormy_cfg = FleetConfig {
+            storms: StormConfig::intensity(1.0),
+            ..FleetConfig::default()
+        };
+        let stormy = run_fleet(&vms(10), &stormy_cfg, 3, SimDuration::days(14));
+        let again = run_fleet(&vms(10), &stormy_cfg, 3, SimDuration::days(14));
+        assert_eq!(stormy.total_cost(), again.total_cost());
+        assert!(
+            stormy.vm_weighted_unavailability() > calm.vm_weighted_unavailability(),
+            "storms {} vs calm {}",
+            stormy.vm_weighted_unavailability(),
+            calm.vm_weighted_unavailability()
+        );
     }
 
     #[test]

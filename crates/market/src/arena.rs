@@ -17,15 +17,21 @@
 //! the same way, so a miss for one market never recomputes another's
 //! shared randomness.
 //!
-//! Memory model: entries are `Arc`-shared and never evicted; the resident
-//! cost is the sum of all distinct `(seed, horizon, market)` traces
-//! generated so far (~0.8 MB per market-seed at the paper's 60-day
-//! horizon). Callers running unbounded seed sweeps can drop the cache
-//! between phases with [`TraceArena::clear`]. Generation happens outside
-//! the arena lock; two threads racing on the same key may both generate,
-//! but the first insert wins and both observe the same shared trace.
+//! Memory model: entries are `Arc`-shared; the resident cost is the sum
+//! of all distinct `(seed, horizon, market)` traces generated so far
+//! (~0.8 MB per market-seed at the paper's 60-day horizon). Callers
+//! running unbounded seed sweeps can drop the cache between phases with
+//! [`TraceArena::clear`], or — better — set a residency bound with
+//! [`TraceArena::set_trace_capacity`]: above the bound the arena evicts
+//! oldest-inserted traces first (seed sweeps walk seeds monotonically, so
+//! FIFO evicts exactly the seeds the sweep has moved past). Eviction only
+//! drops the arena's own reference — outstanding `Arc`s stay alive — and
+//! an evicted key regenerates byte-identically on the next lookup.
+//! Generation happens outside the arena lock; two threads racing on the
+//! same key may both generate, but the first insert wins and both observe
+//! the same shared trace.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::calib::calibrated_model;
@@ -57,14 +63,52 @@ pub struct ArenaStats {
     /// Price-point bytes held by resident traces (excludes map overhead
     /// and the factor paths, which are transient by comparison).
     pub resident_bytes: u64,
+    /// Traces evicted to honour the residency bound
+    /// ([`TraceArena::set_trace_capacity`]).
+    pub trace_evictions: u64,
+    /// The residency bound currently in force (0 = unbounded).
+    pub trace_capacity: u64,
 }
 
 #[derive(Default)]
 struct Inner {
     traces: HashMap<TraceKey, Arc<PriceTrace>>,
+    /// Insertion order of `traces` keys — the FIFO eviction queue. Holds
+    /// exactly the keys of `traces` (inserts append, evictions and
+    /// `clear` remove), so the front is always the oldest resident.
+    order: VecDeque<TraceKey>,
     factors: HashMap<(u64, u64, usize), Arc<FactorPaths>>,
     zone_spikes: HashMap<(u64, u64), Arc<ZoneSpikeSchedules>>,
     stats: ArenaStats,
+}
+
+impl Inner {
+    /// Evict oldest-inserted traces until the residency bound holds.
+    fn enforce_capacity(&mut self) {
+        let cap = self.stats.trace_capacity;
+        if cap == 0 {
+            return;
+        }
+        while self.traces.len() as u64 > cap {
+            let key = match self.order.pop_front() {
+                Some(k) => k,
+                None => break,
+            };
+            if self.traces.remove(&key).is_some() {
+                self.stats.trace_evictions += 1;
+            }
+        }
+    }
+
+    /// Recompute the residency gauges after any insert or eviction.
+    fn refresh_gauges(&mut self) {
+        self.stats.resident_traces = self.traces.len() as u64;
+        self.stats.resident_bytes = self
+            .traces
+            .values()
+            .map(|t| std::mem::size_of_val(t.points()) as u64)
+            .sum();
+    }
 }
 
 /// The process-global arena behind [`TraceSet::generate`].
@@ -138,21 +182,25 @@ impl TraceArena {
                     &zone_spikes,
                 ));
                 let mut g = self.lock();
-                let resident = g
-                    .traces
-                    .entry((master_seed, hms, m, pon.to_bits()))
-                    .or_insert_with(|| trace)
-                    .clone();
-                g.stats.resident_traces = g.traces.len() as u64;
-                g.stats.resident_bytes = g
-                    .traces
-                    .values()
-                    .map(|t| std::mem::size_of_val(t.points()) as u64)
-                    .sum();
+                let key = (master_seed, hms, m, pon.to_bits());
+                let resident = match g.traces.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(e) => e.get().clone(),
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        let t = v.insert(trace).clone();
+                        g.order.push_back(key);
+                        t
+                    }
+                };
+                g.enforce_capacity();
+                g.refresh_gauges();
                 entries[i].1 = Some(resident);
             }
         }
 
+        // Attach the zone spike spans behind these traces (cached like the
+        // traces themselves) so correlated-failure models can couple to
+        // the same price events regardless of cache hits or misses.
+        let spans = Arc::new(self.zone_spike_schedules(master_seed, horizon).all_spans());
         TraceSet::from_shared(
             catalog,
             entries
@@ -164,6 +212,7 @@ impl TraceArena {
                 .collect(),
             horizon,
         )
+        .with_spike_spans(spans)
     }
 
     fn factor_paths(&self, master_seed: u64, step: SimDuration, n: usize) -> Arc<FactorPaths> {
@@ -179,6 +228,14 @@ impl TraceArena {
         let fresh = Arc::new(FactorPaths::generate(master_seed, step, n));
         let mut g = self.lock();
         Arc::clone(g.factors.entry(key).or_insert(fresh))
+    }
+
+    /// The shared zone-wide spike schedules for `(master_seed, horizon)`
+    /// — exactly the windows calibrated trace generation observed (or
+    /// will observe) for that key. Correlated-failure models use this to
+    /// couple storms to the price events already baked into the traces.
+    pub fn zone_spikes(&self, master_seed: u64, horizon: SimDuration) -> Arc<ZoneSpikeSchedules> {
+        self.zone_spike_schedules(master_seed, horizon)
     }
 
     fn zone_spike_schedules(
@@ -203,12 +260,25 @@ impl TraceArena {
         self.lock().stats
     }
 
+    /// Bound the number of resident traces (0 = unbounded, the default).
+    /// Above the bound the arena evicts oldest-inserted traces first;
+    /// long seed sweeps that would otherwise grow without bound stay at
+    /// `cap` traces resident. Takes effect immediately: shrinking below
+    /// the current residency evicts on the spot.
+    pub fn set_trace_capacity(&self, cap: u64) {
+        let mut g = self.lock();
+        g.stats.trace_capacity = cap;
+        g.enforce_capacity();
+        g.refresh_gauges();
+    }
+
     /// Drop every resident trace and intermediate (counters survive, with
     /// the resident gauges zeroed). Outstanding `Arc`s keep their traces
     /// alive; only the arena's own references are released.
     pub fn clear(&self) {
         let mut g = self.lock();
         g.traces.clear();
+        g.order.clear();
         g.factors.clear();
         g.zone_spikes.clear();
         g.stats.resident_traces = 0;
@@ -299,5 +369,34 @@ mod tests {
         // Regeneration after clear is byte-identical.
         let again = a.calibrated_set(&c, &[small_east()], 5, h);
         assert_eq!(set.trace(small_east()), again.trace(small_east()));
+    }
+
+    #[test]
+    fn residency_bound_evicts_oldest_first_and_regenerates_identically() {
+        let a = arena();
+        let c = catalog();
+        let h = SimDuration::days(2);
+        a.set_trace_capacity(2);
+        let first = a.calibrated_set(&c, &[small_east()], 1, h);
+        for seed in 2..=4 {
+            a.calibrated_set(&c, &[small_east()], seed, h);
+        }
+        let st = a.stats();
+        assert_eq!(st.trace_capacity, 2);
+        assert_eq!(st.resident_traces, 2, "bound must hold after the sweep");
+        assert_eq!(st.trace_evictions, 2, "seeds 1 and 2 evicted FIFO");
+        // The outstanding set still owns its evicted trace, and the
+        // evicted key regenerates byte-identically (a fresh miss).
+        let again = a.calibrated_set(&c, &[small_east()], 1, h);
+        assert_eq!(first.trace(small_east()), again.trace(small_east()));
+        assert_eq!(a.stats().trace_misses, 5, "seed 1 regenerated, not cached");
+        // Shrinking the bound evicts on the spot; zero lifts it.
+        a.set_trace_capacity(1);
+        assert_eq!(a.stats().resident_traces, 1);
+        a.set_trace_capacity(0);
+        for seed in 10..20 {
+            a.calibrated_set(&c, &[small_east()], seed, h);
+        }
+        assert_eq!(a.stats().resident_traces, 11, "unbounded again");
     }
 }

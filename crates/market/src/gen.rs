@@ -139,6 +139,25 @@ impl ZoneSpikeSchedules {
         &self.per_zone[zone.index()]
     }
 
+    /// A zone's spike windows as `(start, end)` spans, sorted by start.
+    ///
+    /// This is the public contagion interface for correlated-failure
+    /// models: a storm schedule built on these spans observes the *same*
+    /// zone-wide price events the generated traces contain, so "capacity
+    /// crunch during the price spike" is consistent by construction
+    /// rather than merely correlated in distribution.
+    pub fn spans(&self, zone: Zone) -> Vec<(SimTime, SimTime)> {
+        self.per_zone[zone.index()]
+            .iter()
+            .map(|w| (w.start, w.start + w.duration))
+            .collect()
+    }
+
+    /// [`spans`](Self::spans) for every zone, indexed by [`Zone::index`].
+    pub fn all_spans(&self) -> [Vec<(SimTime, SimTime)>; 4] {
+        Zone::ALL.map(|z| self.spans(z))
+    }
+
     fn generate(
         master: u64,
         horizon: SimDuration,
@@ -426,6 +445,11 @@ pub struct TraceSet {
     catalog: Catalog,
     entries: Vec<(MarketId, Arc<PriceTrace>)>,
     dense: [Option<usize>; 16],
+    /// Per-zone spike-window spans of the schedules the traces were
+    /// generated against ([`ZoneSpikeSchedules::all_spans`]). Empty for
+    /// hand-authored sets — correlated-failure contagion then has no
+    /// price events to couple to, which is the honest default.
+    spike_spans: Arc<[Vec<(SimTime, SimTime)>; 4]>,
 }
 
 impl TraceSet {
@@ -519,6 +543,7 @@ impl TraceSet {
             catalog: catalog.clone(),
             entries,
             dense,
+            spike_spans: Arc::new(zone_spikes.all_spans()),
         }
     }
 
@@ -558,14 +583,30 @@ impl TraceSet {
             catalog: catalog.clone(),
             entries,
             dense,
+            spike_spans: Arc::new([const { Vec::new() }; 4]),
         }
+    }
+
+    /// Attach the zone spike spans the traces were generated against
+    /// (used by [`crate::arena::TraceArena`], whose cache-assembled sets
+    /// bypass [`TraceSet::generate_with`]).
+    pub fn with_spike_spans(mut self, spans: Arc<[Vec<(SimTime, SimTime)>; 4]>) -> Self {
+        self.spike_spans = spans;
+        self
+    }
+
+    /// Per-zone spike-window spans ([`Zone::index`]-indexed) of the
+    /// schedules behind these traces — the contagion interface for
+    /// correlated-failure models. Empty vectors for hand-authored sets.
+    pub fn spike_spans(&self) -> &[Vec<(SimTime, SimTime)>; 4] {
+        &self.spike_spans
     }
 
     /// A view of this set restricted to `markets`, sharing the underlying
     /// traces by reference — no price data is allocated or copied. Panics
     /// if a requested market is missing from this set.
     pub fn subset(&self, markets: &[MarketId]) -> TraceSet {
-        Self::from_shared(
+        let mut ts = Self::from_shared(
             &self.catalog,
             markets
                 .iter()
@@ -576,7 +617,9 @@ impl TraceSet {
                 })
                 .collect(),
             self.horizon,
-        )
+        );
+        ts.spike_spans = Arc::clone(&self.spike_spans);
+        ts
     }
 
     /// The shared handle for one market's trace (tests use this to assert

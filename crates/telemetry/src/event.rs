@@ -8,7 +8,7 @@
 use spothost_cloudsim::{InstanceId, RequestError, TerminationReason};
 use spothost_faults::FaultKind;
 use spothost_market::time::{SimDuration, SimTime};
-use spothost_market::types::MarketId;
+use spothost_market::types::{MarketId, Zone};
 use spothost_virt::MigrationKind;
 
 /// Why a server request was denied.
@@ -22,6 +22,9 @@ pub enum DenialReason {
     BidAboveCap,
     /// Injected capacity fault (spot or on-demand).
     InsufficientCapacity,
+    /// On-demand only: the global on-demand quota is exhausted (storm
+    /// backpressure; the request must queue behind the backoff).
+    QuotaExhausted,
 }
 
 impl DenialReason {
@@ -31,6 +34,7 @@ impl DenialReason {
             DenialReason::BidBelowPrice => "bid-below-price",
             DenialReason::BidAboveCap => "bid-above-cap",
             DenialReason::InsufficientCapacity => "insufficient-capacity",
+            DenialReason::QuotaExhausted => "quota-exhausted",
         }
     }
 }
@@ -42,6 +46,7 @@ impl From<&RequestError> for DenialReason {
             RequestError::BidBelowPrice { .. } => DenialReason::BidBelowPrice,
             RequestError::BidAboveCap { .. } => DenialReason::BidAboveCap,
             RequestError::InsufficientCapacity(_) => DenialReason::InsufficientCapacity,
+            RequestError::QuotaExhausted(_) => DenialReason::QuotaExhausted,
         }
     }
 }
@@ -212,6 +217,13 @@ pub enum TelemetryEvent {
     BackoffScheduled { attempt: u32, until: SimTime },
     /// The scheduler state machine moved to a new state.
     StateChange { state: SchedulerState },
+    /// A correlated-failure storm episode opened in this zone.
+    StormStarted { zone: Zone },
+    /// The storm episode in this zone closed.
+    StormEnded { zone: Zone },
+    /// An on-demand request was rejected by the global on-demand quota
+    /// (storm backpressure) — demand now queues behind the backoff.
+    QuotaExhausted { market: MarketId },
 }
 
 impl TelemetryEvent {
@@ -237,6 +249,9 @@ impl TelemetryEvent {
             TelemetryEvent::FaultInjected { .. } => "fault_injected",
             TelemetryEvent::BackoffScheduled { .. } => "backoff_scheduled",
             TelemetryEvent::StateChange { .. } => "state_change",
+            TelemetryEvent::StormStarted { .. } => "storm_started",
+            TelemetryEvent::StormEnded { .. } => "storm_ended",
+            TelemetryEvent::QuotaExhausted { .. } => "quota_exhausted",
         }
     }
 }

@@ -220,6 +220,12 @@ pub fn event_to_json(at: SimTime, ev: &TelemetryEvent) -> String {
         TelemetryEvent::StateChange { state } => {
             o.str("state", state.name());
         }
+        TelemetryEvent::StormStarted { zone } | TelemetryEvent::StormEnded { zone } => {
+            o.str("zone", zone.name());
+        }
+        TelemetryEvent::QuotaExhausted { market } => {
+            o.str("market", &market.to_string());
+        }
     }
     o.finish()
 }
@@ -390,6 +396,12 @@ pub fn event_to_csv_row(at: SimTime, ev: &TelemetryEvent) -> String {
         TelemetryEvent::StateChange { state } => {
             detail = state.name().to_string();
         }
+        TelemetryEvent::StormStarted { zone } | TelemetryEvent::StormEnded { zone } => {
+            detail = zone.name().to_string();
+        }
+        TelemetryEvent::QuotaExhausted { market: m } => {
+            market = m.to_string();
+        }
     }
     format!(
         "{},{},{},{},{},{},{},{},{},{}",
@@ -463,6 +475,32 @@ mod tests {
             event_to_csv_row(SimTime::ZERO, &ev2).split(',').count(),
             cols
         );
+    }
+
+    #[test]
+    fn storm_events_export_cleanly() {
+        let ev = TelemetryEvent::StormStarted {
+            zone: Zone::UsWest1a,
+        };
+        let json = event_to_json(SimTime::hours(1), &ev);
+        assert!(json.contains("\"kind\":\"storm_started\""), "{json}");
+        assert!(json.contains("\"zone\":\"us-west-1a\""), "{json}");
+        let q = TelemetryEvent::QuotaExhausted { market: market() };
+        let json = event_to_json(SimTime::ZERO, &q);
+        assert!(json.contains("\"kind\":\"quota_exhausted\""), "{json}");
+        let cols = CSV_HEADER.split(',').count();
+        for ev in [
+            ev,
+            TelemetryEvent::StormEnded {
+                zone: Zone::UsWest1a,
+            },
+            q,
+        ] {
+            assert_eq!(
+                event_to_csv_row(SimTime::ZERO, &ev).split(',').count(),
+                cols
+            );
+        }
     }
 
     #[test]

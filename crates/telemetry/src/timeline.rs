@@ -4,7 +4,7 @@
 use crate::event::TelemetryEvent;
 use crate::TimedEvent;
 use spothost_market::time::{SimDuration, SimTime};
-use spothost_market::types::MarketId;
+use spothost_market::types::{MarketId, Zone};
 use spothost_virt::MigrationKind;
 
 /// Render the event stream as an ASCII Gantt chart over `[start, end)`,
@@ -13,7 +13,9 @@ use spothost_virt::MigrationKind;
 /// Legend: `=` spot lease, `#` on-demand lease, `X` outage, `~` degraded,
 /// `F`/`P`/`R` forced/planned/reverse migration start, `.` idle. When
 /// multiple things fall into one cell, outage beats lease, and a
-/// migration marker beats both.
+/// migration marker beats both. Runs with storm events gain a `storms`
+/// row: `S` marks a storm episode in any zone, `Q` an on-demand quota
+/// rejection.
 pub fn render_timeline(
     events: &[TimedEvent],
     start: SimTime,
@@ -34,6 +36,9 @@ pub fn render_timeline(
     let mut outages: Vec<(SimTime, SimTime)> = Vec::new();
     let mut degraded: Vec<(SimTime, SimTime)> = Vec::new();
     let mut migrations: Vec<(MigrationKind, SimTime)> = Vec::new();
+    let mut storm_open: Vec<(Zone, SimTime)> = Vec::new();
+    let mut storms: Vec<(SimTime, SimTime)> = Vec::new();
+    let mut quota: Vec<SimTime> = Vec::new();
     for (at, ev) in events {
         match ev {
             TelemetryEvent::LeaseClosed {
@@ -53,8 +58,20 @@ pub fn render_timeline(
             TelemetryEvent::Outage { start: s, end: e } => outages.push((*s, *e)),
             TelemetryEvent::Degraded { start: s, end: e } => degraded.push((*s, *e)),
             TelemetryEvent::MigrationStarted { kind, .. } => migrations.push((*kind, *at)),
+            TelemetryEvent::StormStarted { zone } => storm_open.push((*zone, *at)),
+            TelemetryEvent::StormEnded { zone } => {
+                if let Some(i) = storm_open.iter().position(|(z, _)| z == zone) {
+                    let (_, s) = storm_open.remove(i);
+                    storms.push((s, *at));
+                }
+            }
+            TelemetryEvent::QuotaExhausted { .. } => quota.push(*at),
             _ => {}
         }
+    }
+    // Episodes still open when the stream ends extend to the chart edge.
+    for (_, s) in storm_open {
+        storms.push((s, end));
     }
     markets.sort_by_key(|m| m.dense_index());
 
@@ -118,6 +135,23 @@ pub fn render_timeline(
         String::from_utf8_lossy(&row)
     ));
 
+    if !storms.is_empty() || !quota.is_empty() {
+        let mut row = vec![b'.'; width];
+        for (s, e) in &storms {
+            paint(&mut row, *s, *e, b'S');
+        }
+        for t in &quota {
+            if *t >= start && *t < end {
+                row[col(*t)] = b'Q';
+            }
+        }
+        out.push_str(&format!(
+            "{:>label_w$} |{}|\n",
+            "storms",
+            String::from_utf8_lossy(&row)
+        ));
+    }
+
     let mut row = vec![b'.'; width];
     for (kind, at) in &migrations {
         let c = match kind {
@@ -138,7 +172,7 @@ pub fn render_timeline(
         ""
     ));
     out.push_str(&format!(
-        "{:>label_w$}          F forced / P planned / R reverse migration start\n",
+        "{:>label_w$}          F forced / P planned / R reverse migration start   S storm   Q quota\n",
         ""
     ));
     out
@@ -219,5 +253,47 @@ mod tests {
         let s = render_timeline(&[], SimTime::ZERO, SimTime::hours(1), 20);
         assert!(s.contains("outages"));
         assert!(s.contains("migrations"));
+    }
+
+    #[test]
+    fn storm_row_appears_only_with_storm_events() {
+        let quiet = render_timeline(&[], SimTime::ZERO, SimTime::hours(1), 20);
+        assert!(!quiet.contains("storms"));
+        let events = vec![
+            (
+                SimTime::hours(2),
+                TelemetryEvent::StormStarted {
+                    zone: Zone::UsEast1a,
+                },
+            ),
+            (
+                SimTime::hours(4),
+                TelemetryEvent::QuotaExhausted { market: market() },
+            ),
+            (
+                SimTime::hours(6),
+                TelemetryEvent::StormEnded {
+                    zone: Zone::UsEast1a,
+                },
+            ),
+            // A second episode left open extends to the chart edge.
+            (
+                SimTime::hours(8),
+                TelemetryEvent::StormStarted {
+                    zone: Zone::EuWest1a,
+                },
+            ),
+        ];
+        let s = render_timeline(&events, SimTime::ZERO, SimTime::hours(10), 40);
+        let row = s
+            .lines()
+            .find(|l| l.trim_start().starts_with("storms"))
+            .expect("storms row");
+        assert!(row.contains('S'), "{s}");
+        assert!(row.contains('Q'), "{s}");
+        // The second episode was never closed: it must paint from hour 8
+        // (column 32 of 40) toward the chart edge.
+        let chart = row.split('|').nth(1).expect("chart cells");
+        assert!(chart[32..].contains('S'), "open episode to edge: {s}");
     }
 }
