@@ -39,16 +39,24 @@ fn median_ns(mut samples: Vec<u128>) -> u128 {
     samples[samples.len() / 2]
 }
 
-/// Run every experiment (the `repro all` workload) and return the
-/// wall-clock in seconds. Rendered reports are black-boxed, not printed.
-fn run_all_experiments(settings: &ExpSettings) -> f64 {
+/// Run every experiment (the `repro all` workload) and return the total
+/// wall-clock plus the fleet experiment's own wall-clock, in seconds.
+/// The fleet simulator is the single heaviest experiment, so its share
+/// is tracked (and regression-gated) separately from the aggregate.
+/// Rendered reports are black-boxed, not printed.
+fn run_all_experiments(settings: &ExpSettings) -> (f64, f64) {
     let start = Instant::now();
+    let mut fleet_s = 0.0;
     for (name, _) in experiments::ALL {
+        let t0 = Instant::now();
         let out = experiments::run_with_csv(name, settings).expect("known experiment");
         std::hint::black_box(out.0.len());
+        if name == "fleet" {
+            fleet_s = t0.elapsed().as_secs_f64();
+        }
         eprintln!("[{name} done at {:.1}s]", start.elapsed().as_secs_f64());
     }
-    start.elapsed().as_secs_f64()
+    (start.elapsed().as_secs_f64(), fleet_s)
 }
 
 /// The `billing_hot` meter kernel: settle one long spot lease with hourly
@@ -112,15 +120,17 @@ fn entry_json(
     label: &str,
     mode: &str,
     wall_s: f64,
+    fleet_s: f64,
     rss_kb: u64,
     bill_ns: u128,
     grid_ns: u128,
 ) -> String {
     format!(
-        "{{\"label\":\"{}\",\"mode\":\"{}\",\"repro_all_wall_s\":{:.3},\"peak_rss_kb\":{},\"billing_hot_median_ns\":{},\"sweep_grid_median_ms\":{:.3}}}",
+        "{{\"label\":\"{}\",\"mode\":\"{}\",\"repro_all_wall_s\":{:.3},\"fleet_wall_s\":{:.3},\"peak_rss_kb\":{},\"billing_hot_median_ns\":{},\"sweep_grid_median_ms\":{:.3}}}",
         label.replace(['"', '\\'], "_"),
         mode,
         wall_s,
+        fleet_s,
         rss_kb,
         bill_ns,
         grid_ns as f64 / 1e6,
@@ -143,13 +153,15 @@ fn append_entry(path: &str, entry: &str) {
     std::fs::write(path, format!("[\n{body}\n]\n")).expect("write trajectory file");
 }
 
-/// Wall-clock of the last committed entry for `mode`, scanned textually.
-fn last_wall_s(path: &str, mode: &str) -> Option<f64> {
+/// Numeric `field` of the last committed entry for `mode`, scanned
+/// textually. `None` when no entry for the mode exists or the entry
+/// predates the field (older entries lack `fleet_wall_s`).
+fn last_field(path: &str, mode: &str, field: &str) -> Option<f64> {
     let s = std::fs::read_to_string(path).ok()?;
     let needle = format!("\"mode\":\"{mode}\"");
     s.lines()
         .rfind(|l| l.contains(&needle))?
-        .split("\"repro_all_wall_s\":")
+        .split(&format!("\"{field}\":"))
         .nth(1)?
         .split([',', '}'])
         .next()?
@@ -202,12 +214,14 @@ fn main() {
         "trajectory: running all experiments ({mode}: {} seeds x {})",
         settings.seeds, settings.horizon
     );
-    let wall_s = run_all_experiments(&settings);
+    let (wall_s, fleet_s) = run_all_experiments(&settings);
 
     if check {
         // Regression gate only: compare against the committed baseline,
-        // skip the kernel benches, write nothing.
-        let Some(baseline) = last_wall_s(&out, mode) else {
+        // skip the kernel benches, write nothing. Both the aggregate and
+        // the fleet experiment's own wall-clock are gated (the latter
+        // only once a committed entry carries `fleet_wall_s`).
+        let Some(baseline) = last_field(&out, mode, "repro_all_wall_s") else {
             eprintln!("trajectory --check: no committed {mode} entry in {out}");
             std::process::exit(2);
         };
@@ -222,6 +236,19 @@ fn main() {
             );
             std::process::exit(1);
         }
+        if let Some(fleet_base) = last_field(&out, mode, "fleet_wall_s") {
+            let fleet_limit = fleet_base * REGRESSION_FACTOR;
+            println!(
+                "trajectory --check ({mode}): fleet {fleet_s:.2}s vs baseline {fleet_base:.2}s (limit {fleet_limit:.2}s)"
+            );
+            if fleet_s > fleet_limit {
+                eprintln!(
+                    "FAIL: fleet experiment regressed >{:.0}% ({fleet_s:.2}s > {fleet_limit:.2}s)",
+                    (REGRESSION_FACTOR - 1.0) * 100.0
+                );
+                std::process::exit(1);
+            }
+        }
         println!("OK: within budget");
         return;
     }
@@ -232,7 +259,7 @@ fn main() {
     let grid_ns = bench_sweep_grid_ns();
     let rss_kb = peak_rss_kb();
 
-    let entry = entry_json(&label, mode, wall_s, rss_kb, bill_ns, grid_ns);
+    let entry = entry_json(&label, mode, wall_s, fleet_s, rss_kb, bill_ns, grid_ns);
     append_entry(&out, &entry);
     println!("{entry}");
     println!("[appended to {out}]");

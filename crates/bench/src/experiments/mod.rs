@@ -12,6 +12,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod fleet_sim;
 pub mod naive;
 pub mod stability;
 pub mod storms;
@@ -23,7 +24,7 @@ pub mod tab4;
 use crate::settings::ExpSettings;
 
 /// Every experiment, by its CLI name, with a one-line description.
-pub const ALL: [(&str, &str); 21] = [
+pub const ALL: [(&str, &str); 22] = [
     (
         "fig1",
         "Spot price traces over a month (small & large, us-east)",
@@ -75,6 +76,10 @@ pub const ALL: [(&str, &str); 21] = [
         "storms",
         "ROBUSTNESS: correlated failure storms vs market diversification (four-nines break intensity)",
     ),
+    (
+        "fleet",
+        "FLEET: autoscaled spot fleet vs static on-demand peak (cost, availability, p99)",
+    ),
 ];
 
 /// Run one experiment and also return CSV artifacts where the experiment
@@ -121,6 +126,10 @@ pub fn run_with_csv(name: &str, settings: &ExpSettings) -> Option<(String, Vec<(
             let f = storms::run(settings);
             (f.render(), vec![("storms.csv".into(), f.to_csv())])
         }
+        "fleet" => {
+            let f = fleet_sim::run(settings);
+            (f.render(), vec![("fleet.csv".into(), f.to_csv())])
+        }
         other => (run_by_name(other, settings)?, vec![]),
     })
 }
@@ -163,6 +172,11 @@ pub fn representative_config(name: &str) -> Option<spothost_core::SchedulerConfi
             .with_policy(BiddingPolicy::proactive_default())
             .with_faults(FaultConfig::uniform(storms::BASE_FAULT_RATE))
             .with_storms(spothost_core::StormConfig::intensity(0.5)),
+        // One of the fleet's per-VM schedulers (the fleet itself is not a
+        // single SchedulerConfig).
+        "fleet" => SchedulerConfig::multi(MarketScope::MultiMarket(Zone::UsEast1a)).with_storms(
+            spothost_core::StormConfig::intensity(fleet_sim::STORM_INTENSITY),
+        ),
         _ => return None,
     })
 }
@@ -191,6 +205,7 @@ pub fn run_by_name(name: &str, settings: &ExpSettings) -> Option<String> {
         "faults" => faults::run(settings).render(),
         "adaptive" => adaptive::run(settings).render(),
         "storms" => storms::run(settings).render(),
+        "fleet" => fleet_sim::run(settings).render(),
         _ => return None,
     })
 }

@@ -1,5 +1,6 @@
 pub mod analyze;
 pub mod chaos;
+pub mod fleet_sim;
 pub mod gen_traces;
 pub mod markets;
 pub mod simulate;

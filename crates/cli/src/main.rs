@@ -8,6 +8,7 @@
 //! spothost simulate --scope zone:us-east-1b --seeds 12
 //! spothost simulate --storm-intensity 0.5 --scope regions:us-east-1a,us-west-1a
 //! spothost chaos --seconds 30
+//! spothost fleet-sim --vms 200 --days 7
 //! ```
 
 mod args;
@@ -37,6 +38,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "simulate" => commands::simulate::run(&args::parse(rest)?),
         "timeline" => commands::timeline::run(&args::parse(rest)?),
         "chaos" => commands::chaos::run(&args::parse(rest)?),
+        "fleet-sim" => commands::fleet_sim::run(&args::parse(rest)?),
         "--help" | "-h" | "help" => {
             print_usage();
             Ok(())
@@ -96,6 +98,22 @@ USAGE:
       storm/fault/policy/mechanism grids and checking the chaos
       invariants: conserved accounting, bitwise determinism, exact
       telemetry replay, and zero-intensity neutrality. Prints PASS
-      with trial counts, or FAIL with a reproducing seed."
+      with trial counts, or FAIL with a reproducing seed.
+
+  spothost fleet-sim [--vms MAX] [--min-vms MIN] [--seconds S]
+                     [--days D] [--seed N] [--users U]
+                     [--scope zone:Z | --scope regions:Z1,Z2]
+                     [--policy P] [--mechanism M]
+                     [--storm-intensity X] [--target-util T]
+                     [--width COLS]
+      Simulate an autoscaled fleet of per-VM schedulers serving a
+      diurnal + flash-crowd user population: a least-loaded balancer
+      feeds the fleet-level MVA model, and a target-tracking autoscaler
+      (control interval S seconds, default 300) acquires and releases
+      VMs between MIN and MAX. Renders ASCII fleet-size and p99-latency
+      timelines plus the cost/availability summary. --users sets the
+      diurnal base population; --target-util the per-VM bottleneck
+      utilisation the autoscaler provisions for. Fixed --seed gives
+      byte-identical output."
     );
 }

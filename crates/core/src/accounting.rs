@@ -42,6 +42,7 @@ pub struct Accounting {
 }
 
 impl Accounting {
+    /// Fresh all-zero accounting.
     pub fn new() -> Self {
         Self::default()
     }
@@ -93,6 +94,7 @@ impl Accounting {
         }
     }
 
+    /// Forced + planned + reverse migrations.
     pub fn total_migrations(&self) -> u32 {
         self.forced_migrations + self.planned_migrations + self.reverse_migrations
     }

@@ -11,9 +11,14 @@ use spothost_virt::{MechanismCombo, ParamRegime, VirtParams};
 /// migrate.
 #[derive(Debug, Clone)]
 pub struct SchedulerConfig {
+    /// How to bid: reactive, proactive, adaptive, pure-spot, on-demand.
     pub policy: BiddingPolicy,
+    /// Which markets the scheduler may place the service in.
     pub scope: MarketScope,
+    /// Which migration mechanisms (checkpointing, lazy restore, live
+    /// migration) the scheduler moves state with.
     pub mechanism: MechanismCombo,
+    /// Typical or pessimistic virtualization timing parameters.
     pub regime: ParamRegime,
     /// Service size in capacity units (small = 1). Must be one of
     /// [`crate::capacity::SUPPORTED_UNITS`].
@@ -108,21 +113,26 @@ impl SchedulerConfig {
         }
     }
 
+    /// Replace the bidding policy.
     pub fn with_policy(mut self, policy: BiddingPolicy) -> Self {
         self.policy = policy;
         self
     }
 
+    /// Replace the migration mechanism combo.
     pub fn with_mechanism(mut self, mechanism: MechanismCombo) -> Self {
         self.mechanism = mechanism;
         self
     }
 
+    /// Switch between typical and pessimistic virtualization parameters.
     pub fn with_regime(mut self, regime: ParamRegime) -> Self {
         self.regime = regime;
         self
     }
 
+    /// Resize the hosted service (units of small servers; must be one of
+    /// [`crate::capacity::SUPPORTED_UNITS`]).
     pub fn with_capacity_units(mut self, units: u32) -> Self {
         self.capacity_units = units;
         self
@@ -179,6 +189,8 @@ impl SchedulerConfig {
             .unwrap_or_else(|| VirtParams::for_regime(self.regime))
     }
 
+    /// Check every knob is in range; returns a human-readable error
+    /// naming the offending field otherwise.
     pub fn validate(&self) -> Result<(), String> {
         self.policy.validate()?;
         if !crate::capacity::SUPPORTED_UNITS.contains(&self.capacity_units) {

@@ -42,6 +42,7 @@
 // invariant with an explanatory expect/unreachable message or a documented
 // constructor precondition (see DESIGN.md "Failure semantics").
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
+#![warn(missing_docs)]
 
 pub mod accounting;
 pub mod capacity;

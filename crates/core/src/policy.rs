@@ -22,7 +22,10 @@ pub enum BiddingPolicy {
     /// cap). Price excursions between on-demand and the bid don't revoke
     /// the server, so the scheduler *voluntarily* migrates at billing
     /// boundaries with all the time it needs (§3.1, "proactive").
-    Proactive { bid_mult: f64 },
+    Proactive {
+        /// Bid as a multiple of the on-demand price (>= 1).
+        bid_mult: f64,
+    },
     /// EXTENSION: forecast-driven bidding. Per market, an online
     /// forecaster (`spothost-forecast`) estimates P(price > b within the
     /// next hour) from the observed price history, and the scheduler bids
@@ -31,7 +34,11 @@ pub enum BiddingPolicy {
     /// the fallback whenever the model is cold or nothing cheaper is safe
     /// enough). Like Proactive, it plans voluntary migrations and falls
     /// back to on-demand.
-    Adaptive { risk_budget: f64 },
+    Adaptive {
+        /// Tolerated predicted P(revocation within the next hour), in
+        /// (0, 1).
+        risk_budget: f64,
+    },
 }
 
 impl BiddingPolicy {
@@ -126,6 +133,7 @@ impl BiddingPolicy {
         matches!(self, BiddingPolicy::Adaptive { .. })
     }
 
+    /// Short lowercase label used in reports and CLI flags.
     pub fn name(&self) -> &'static str {
         match self {
             BiddingPolicy::OnDemandOnly => "on-demand-only",

@@ -29,13 +29,20 @@ pub struct RunReport {
     pub downtime: SimDuration,
     /// The span metrics are measured over.
     pub active_span: SimDuration,
+    /// Revocation-forced migrations (the provider took the server).
     pub forced_migrations: u32,
+    /// Voluntary planned migrations at billing boundaries.
     pub planned_migrations: u32,
+    /// Migrations back from on-demand fallback to a spot market.
     pub reverse_migrations: u32,
-    /// Fault-injection diagnostics (all zero unless faults are enabled).
+    /// Fault-injection diagnostics (all zero unless faults are enabled):
+    /// server requests the provider refused.
     pub request_faults: u32,
+    /// Revocations whose two-minute warning was lost (fault injection).
     pub unwarned_revocations: u32,
+    /// Checkpoint operations that failed (fault injection).
     pub ckpt_faults: u32,
+    /// Live migrations aborted mid-flight (fault injection).
     pub live_aborts: u32,
 }
 

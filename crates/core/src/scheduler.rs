@@ -287,6 +287,7 @@ pub struct SimScratch {
 }
 
 impl SimScratch {
+    /// Fresh scratch with a pre-sized event queue.
     pub fn new() -> Self {
         SimScratch {
             queue: EventQueue::with_capacity(1024),
@@ -494,15 +495,91 @@ impl<'t, S: Sink> SimRun<'t, S> {
     /// (event-queue heap, forecaster buffers) for reuse by the caller's
     /// next [`SimRun::with_scratch`].
     pub fn run_reclaim(mut self) -> (RunReport, SimScratch) {
-        self.initial_acquire();
-        while let Some((t, ev)) = self.queue.pop() {
-            if t >= self.horizon {
+        self.begin();
+        self.step_until(SimTime::MAX);
+        let horizon = self.horizon;
+        self.finish_at(horizon)
+    }
+
+    // --- incremental stepping (fleet driver) --------------------------------
+
+    /// Shift the run's starting time to `at` before [`SimRun::begin`]: the
+    /// initial acquisition happens at `at` against the prices of that
+    /// moment, and accounting spans `[at, horizon]`. A fleet autoscaler
+    /// uses this to spin up a VM mid-simulation on the shared global
+    /// clock, so every scheduler in the fleet observes the same market
+    /// history at the same simulated instant.
+    ///
+    /// Storm-edge telemetry events queued before `at` are dropped (time
+    /// must never move backwards); the storm's *behavioural* effects are
+    /// query-based and unaffected.
+    pub fn with_start(mut self, at: SimTime) -> Self {
+        assert!(
+            at <= self.horizon,
+            "start {at:?} must not pass the horizon {:?}",
+            self.horizon
+        );
+        while let Some(t) = self.queue.peek_time() {
+            if t >= at {
                 break;
+            }
+            let _ = self.queue.pop();
+        }
+        self.now = at;
+        self
+    }
+
+    /// Start the run: perform the initial acquisition at the current
+    /// simulation time. Call exactly once, before any
+    /// [`SimRun::step_until`]. ([`SimRun::run_reclaim`] calls it for you.)
+    pub fn begin(&mut self) {
+        self.initial_acquire();
+    }
+
+    /// Advance the run, dispatching every queued event strictly before
+    /// `limit`. Returns `true` when the run stopped *at* `limit` (or ran
+    /// out of events) and is still live; `false` once it consumed an
+    /// event at or past its own horizon — the run is over and the only
+    /// valid next call is [`SimRun::finish_at`].
+    ///
+    /// `step_until(SimTime::MAX)` reproduces the legacy single-VM event
+    /// loop exactly, including its terminal quirk: the first event at or
+    /// past the horizon is *consumed* (popped, not dispatched) rather
+    /// than left queued for the final sweep. The byte-identity of the
+    /// whole experiment suite rides on preserving that order, so do not
+    /// "fix" it.
+    pub fn step_until(&mut self, limit: SimTime) -> bool {
+        while let Some(t) = self.queue.peek_time() {
+            if t >= limit && t < self.horizon {
+                // The next event belongs to a later step window.
+                return true;
+            }
+            let Some((t, ev)) = self.queue.pop() else {
+                unreachable!("peek_time saw an event");
+            };
+            if t >= self.horizon {
+                // Run over; the event is consumed, not dispatched (see
+                // the doc comment).
+                return false;
             }
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
             self.dispatch(ev);
         }
+        true
+    }
+
+    /// Finish the run at `at` (clamped to the configured horizon),
+    /// settling every open lease there and reporting as if the run's
+    /// horizon had been `at` all along. This is how a fleet autoscaler
+    /// releases a VM mid-simulation: the report covers `[start, at]` and
+    /// the scratch state is handed back for the next spawned VM.
+    ///
+    /// `finish_at(horizon)` after draining the queue is exactly the tail
+    /// of [`SimRun::run_reclaim`].
+    pub fn finish_at(mut self, at: SimTime) -> (RunReport, SimScratch) {
+        assert!(at >= self.now, "cannot finish in the past");
+        self.horizon = self.horizon.min(at);
         self.finish();
         let report = RunReport::from_accounting(&self.acc, self.horizon, self.baseline_rate);
         let mut queue = self.queue;
@@ -512,6 +589,24 @@ impl<'t, S: Sink> SimRun<'t, S> {
             .map(|fs| fs.per_market.into_iter().map(|(_, f)| f).collect())
             .unwrap_or_default();
         (report, SimScratch { queue, forecasters })
+    }
+
+    /// True while the hosted service is actually up: `Active`, or mid
+    /// voluntary migration (the source keeps serving until switchover).
+    /// Booting, evacuating, restoring, waiting and backing-off states are
+    /// all down. A fleet load balancer routes users only to serving VMs.
+    pub fn is_serving(&self) -> bool {
+        matches!(self.st, St::Active { .. } | St::Migrating { .. })
+    }
+
+    /// Current simulation time of this run.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The run's horizon (end of the trace set).
+    pub fn horizon(&self) -> SimTime {
+        self.horizon
     }
 
     /// Expose the accounting (tests).
@@ -2379,6 +2474,76 @@ mod tests {
             "service must return to spot after storms"
         );
         assert!(report.normalized_cost < 1.0, "spot still cheaper overall");
+    }
+
+    #[test]
+    fn stepped_run_is_bit_identical_to_run_reclaim() {
+        // The fleet driver advances runs in bounded windows
+        // (`begin`/`step_until`/`finish_at`); the window size must never
+        // be observable in the report.
+        for (ts, seed) in [(stormy_traces(20, 7), 7), (quiet_traces(20), 1)] {
+            let whole = SimRun::new(&ts, &cfg(), seed).run();
+            let mut run = SimRun::new(&ts, &cfg(), seed);
+            run.begin();
+            let horizon = run.horizon();
+            let mut t = SimTime::ZERO;
+            let mut live = true;
+            while live && t < horizon {
+                t += SimDuration::hours(5);
+                live = run.step_until(t);
+            }
+            if live {
+                live = run.step_until(SimTime::MAX);
+            }
+            assert!(!live || run.now() <= horizon);
+            let (stepped, _) = run.finish_at(horizon);
+            assert_eq!(whole, stepped, "stepping granularity leaked");
+        }
+    }
+
+    #[test]
+    fn with_start_shifts_the_accounting_span() {
+        let ts = quiet_traces(10);
+        let start = SimTime::ZERO + SimDuration::days(4);
+        let mut run = SimRun::new(&ts, &cfg(), 1)
+            .with_startup_model(StartupModel::deterministic())
+            .with_start(start);
+        run.begin();
+        assert!(run.now() >= start);
+        run.step_until(SimTime::MAX);
+        let horizon = run.horizon();
+        let (report, _) = run.finish_at(horizon);
+        // The run only spans the last 6 days (minus boot).
+        assert!(report.active_span <= SimDuration::days(6));
+        assert!(report.active_span >= SimDuration::days(5));
+        assert_eq!(report.unavailability, 0.0);
+        assert!(report.cost > 0.0);
+        // Deterministic: an identical late-started run reports identically.
+        let mut again = SimRun::new(&ts, &cfg(), 1)
+            .with_startup_model(StartupModel::deterministic())
+            .with_start(start);
+        again.begin();
+        again.step_until(SimTime::MAX);
+        assert_eq!(report, again.finish_at(horizon).0);
+    }
+
+    #[test]
+    fn early_release_settles_open_leases() {
+        let ts = quiet_traces(10);
+        let release = SimTime::ZERO + SimDuration::days(3);
+        let mut run = SimRun::new(&ts, &cfg(), 1).with_startup_model(StartupModel::deterministic());
+        run.begin();
+        let live = run.step_until(release);
+        assert!(live, "run must still be live at an early release point");
+        assert!(run.is_serving(), "quiet market keeps the service up");
+        let (report, _) = run.finish_at(release);
+        // The report covers only the released span, leases settled there.
+        assert!(report.active_span <= SimDuration::days(3));
+        assert!(report.cost > 0.0);
+        let full = SimRun::new(&ts, &cfg(), 1)
+            .with_startup_model(StartupModel::deterministic())
+            .run();
+        assert!(report.cost < full.cost, "3 days must cost less than 10");
     }
 
     #[test]

@@ -58,16 +58,24 @@ pub fn run_one_metrics(
 /// Monte-Carlo aggregate over seeds.
 #[derive(Debug, Clone)]
 pub struct AggregateReport {
+    /// Summary of per-run normalized cost (fraction of on-demand).
     pub normalized_cost: Summary,
+    /// Summary of per-run unavailability (fraction of the span).
     pub unavailability: Summary,
+    /// Summary of forced migrations per service-hour.
     pub forced_per_hour: Summary,
+    /// Summary of planned + reverse migrations per service-hour.
     pub planned_reverse_per_hour: Summary,
+    /// Summary of the fraction of lease time spent on spot.
     pub spot_fraction: Summary,
+    /// Summary of the fraction of the span run degraded.
     pub degraded_fraction: Summary,
+    /// The individual runs the summaries are computed over.
     pub runs: Vec<RunReport>,
 }
 
 impl AggregateReport {
+    /// Summarize a batch of runs.
     pub fn of(runs: Vec<RunReport>) -> Self {
         let pick = |f: fn(&RunReport) -> f64| {
             let xs: Vec<f64> = runs.iter().map(f).collect();

@@ -14,16 +14,24 @@
 //! group whose demand doesn't fill a supported server size pays for the
 //! padding; the pool reports that *waste* so operators can see the cost of
 //! fragmentation.
+//!
+//! The [`sim`] module goes one level up: a *service* simulation where a
+//! reactive autoscaler grows and shrinks a fleet of per-VM schedulers
+//! against a diurnal + flash-crowd demand curve, closing the loop with
+//! the fleet-level MVA model (`spothost_workload::mva::fleet_response`).
 
 // Library code must not unwrap (see DESIGN.md "Failure semantics").
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
+#![warn(missing_docs)]
 
 pub mod packing;
 pub mod pool;
 pub mod report;
+pub mod sim;
 pub mod vm;
 
 pub use packing::{pack, PlacementGroup};
 pub use pool::{run_fleet, FleetConfig};
 pub use report::FleetReport;
+pub use sim::{run_fleet_sim, FleetSample, FleetSim, FleetSimConfig, FleetSimReport};
 pub use vm::CustomerVm;

@@ -9,6 +9,7 @@ use crate::vm::CustomerVm;
 /// A set of VMs that live and migrate together.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PlacementGroup {
+    /// Member VMs; they share a market, a bid, and a fate.
     pub vms: Vec<CustomerVm>,
 }
 

@@ -20,7 +20,9 @@ use spothost_virt::MechanismCombo;
 pub struct FleetConfig {
     /// Zone(s) the pool operates in.
     pub zones: Vec<Zone>,
+    /// Bidding policy of every placement group's scheduler.
     pub policy: BiddingPolicy,
+    /// Migration mechanism combo of every placement group's scheduler.
     pub mechanism: MechanismCombo,
     /// Stability weight passed through to each group's scheduler.
     pub stability_weight: f64,

@@ -6,26 +6,33 @@ use spothost_core::report::RunReport;
 /// One placement group's scheduling outcome.
 #[derive(Debug, Clone)]
 pub struct GroupOutcome {
+    /// The packed group of customer VMs.
     pub group: PlacementGroup,
+    /// The group's scheduler run report.
     pub report: RunReport,
 }
 
 /// Aggregated fleet metrics.
 #[derive(Debug, Clone)]
 pub struct FleetReport {
+    /// Per-group outcomes the aggregates are computed over.
     pub outcomes: Vec<GroupOutcome>,
 }
 
 impl FleetReport {
+    /// Wrap per-group outcomes for aggregate queries. Panics on an empty
+    /// fleet.
     pub fn aggregate(outcomes: Vec<GroupOutcome>) -> Self {
         assert!(!outcomes.is_empty());
         FleetReport { outcomes }
     }
 
+    /// Customer VMs hosted across all groups.
     pub fn total_vms(&self) -> usize {
         self.outcomes.iter().map(|o| o.group.vms.len()).sum()
     }
 
+    /// Placement groups in the fleet.
     pub fn total_groups(&self) -> usize {
         self.outcomes.len()
     }

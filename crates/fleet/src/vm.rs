@@ -5,6 +5,7 @@ use std::fmt;
 /// A customer's nested VM and its capacity demand.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CustomerVm {
+    /// Stable customer-assigned identifier.
     pub id: u64,
     /// Capacity demand in units (small = 1). Bounded by one xlarge server
     /// (8 units) — bigger tenants shard into several VMs, as they would on
@@ -13,6 +14,7 @@ pub struct CustomerVm {
 }
 
 impl CustomerVm {
+    /// A VM demanding `units` capacity units; panics outside 1..=8.
     pub fn new(id: u64, units: u32) -> Self {
         assert!(
             (1..=8).contains(&units),

@@ -1,0 +1,85 @@
+//! Fleet-simulator determinism guarantees, proptest-guarded:
+//!
+//! (a) a fixed `(config, seed, horizon)` triple gives a byte-identical
+//!     [`FleetSimReport`] on every run — field-for-field equality AND an
+//!     identical rendered text block, across random autoscaler shapes,
+//!     storm intensities, and scopes;
+//! (b) the report is internally conserved: the fleet never exceeds its
+//!     configured bounds, cost stays finite and non-negative, and the
+//!     accounting integrals (offered / unserved user-seconds, violation
+//!     fractions) stay inside their definitional ranges.
+
+use proptest::prelude::*;
+use spothost_faults::StormConfig;
+use spothost_fleet::{run_fleet_sim, FleetSimConfig};
+use spothost_market::time::SimDuration;
+use spothost_market::types::Zone;
+use spothost_workload::TrafficConfig;
+
+fn arb_config() -> impl Strategy<Value = FleetSimConfig> {
+    (
+        1u32..=4,                                              // min_vms
+        4u32..=12,                                             // extra headroom above min
+        prop_oneof![Just(5u64), Just(15u64), Just(30u64)],     // control interval minutes
+        0.3f64..0.9,                                           // target utilization
+        100.0f64..1500.0,                                      // base users
+        prop_oneof![Just(0.0f64), Just(0.3), Just(0.8)],       // storm intensity
+        prop::bool::ANY,                                       // cross-region?
+        prop_oneof![Just(0.0f64), Just(1.0 / 7.0), Just(0.5)], // flashes/day
+    )
+        .prop_map(
+            |(min_vms, headroom, tick_min, util, base, storm, multi, flash)| FleetSimConfig {
+                zones: if multi {
+                    vec![Zone::UsEast1a, Zone::UsWest1a]
+                } else {
+                    vec![Zone::UsEast1a]
+                },
+                storms: StormConfig::intensity(storm),
+                traffic: TrafficConfig {
+                    base_users: base,
+                    flash_per_day: flash,
+                    ..TrafficConfig::diurnal_default()
+                },
+                min_vms,
+                max_vms: min_vms + headroom,
+                control_interval: SimDuration::minutes(tick_min),
+                target_utilization: util,
+                ..FleetSimConfig::default()
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn fixed_seed_is_byte_identical(cfg in arb_config(), seed in 0u64..1000) {
+        let horizon = SimDuration::days(2);
+        let a = run_fleet_sim(&cfg, seed, horizon);
+        let b = run_fleet_sim(&cfg, seed, horizon);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn report_is_conserved(cfg in arb_config(), seed in 0u64..1000) {
+        let report = run_fleet_sim(&cfg, seed, SimDuration::days(2));
+        prop_assert!(report.total_cost.is_finite() && report.total_cost >= 0.0);
+        prop_assert!(report.vm_hours >= 0.0);
+        prop_assert!(report.peak_vms >= cfg.min_vms && report.peak_vms <= cfg.max_vms);
+        for s in &report.samples {
+            prop_assert!(s.live >= cfg.min_vms && s.live <= cfg.max_vms,
+                "live {} outside [{}, {}]", s.live, cfg.min_vms, cfg.max_vms);
+            prop_assert!(s.serving <= s.live);
+            prop_assert!(s.utilization >= 0.0 && s.utilization <= 1.0 + 1e-9);
+        }
+        prop_assert!(report.unserved_user_seconds <= report.offered_user_seconds + 1e-6);
+        prop_assert!((0.0..=1.0).contains(&report.slo_violation_frac));
+        prop_assert!((0.0..=1.0).contains(&report.vm_unavailability));
+        prop_assert!((0.0..=1.0).contains(&report.spot_fraction));
+        prop_assert!((0.0..=1.0).contains(&report.service_availability()));
+        // Spawn/release bookkeeping: what was spawned and not released
+        // is exactly what survived to the horizon.
+        prop_assert!(report.released_vms <= report.spawned_vms);
+    }
+}

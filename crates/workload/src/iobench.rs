@@ -12,8 +12,11 @@ use spothost_market::dist;
 /// One Table 4 row.
 #[derive(Debug, Clone, PartialEq)]
 pub struct IoBenchRow {
+    /// Benchmark name ("Network TX", "Disk write", ...).
     pub metric: &'static str,
+    /// Measured native-platform rate, Mbps.
     pub native_mbps: f64,
+    /// Measured nested-platform rate, Mbps.
     pub nested_mbps: f64,
 }
 

@@ -13,18 +13,27 @@
 //!   offloaded to a CDN).
 //! * [`iobench`] — the Table 4 iperf/dd microbenchmark model.
 //! * [`slo`] — availability arithmetic ("four nines", downtime budgets).
+//! * [`traffic`] — the fleet simulator's demand curve: a deterministic
+//!   diurnal baseline plus a seeded flash-crowd process, feeding the
+//!   fleet-level MVA aggregation ([`mva::fleet_response`]) that closes
+//!   the autoscaler's load → latency → SLO loop.
 
 // Library code must not unwrap (see DESIGN.md "Failure semantics").
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
+#![warn(missing_docs)]
 
 pub mod iobench;
 pub mod mva;
 pub mod response;
 pub mod slo;
 pub mod tpcw;
+pub mod traffic;
 
 pub use iobench::{simulate_iobench, IoBenchRow};
-pub use mva::{ClosedNetwork, MvaResult, Station};
+pub use mva::{
+    capacity_at_utilization, fleet_response, ClosedNetwork, FleetLoad, MvaResult, Station,
+};
 pub use response::{response_curve, ResponsePoint};
 pub use slo::{downtime_per_month, max_unavailability_for_nines, meets_nines};
 pub use tpcw::{tpcw_network, NestedPenalties, Platform, TpcwConfig};
+pub use traffic::{TrafficConfig, TrafficModel};

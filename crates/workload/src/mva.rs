@@ -14,6 +14,7 @@
 /// One queueing station with its aggregate per-job service demand.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Station {
+    /// Display name ("cpu", "io", ...).
     pub name: String,
     /// Total service demand per job, in seconds (visit count x per-visit
     /// service time).
@@ -21,6 +22,8 @@ pub struct Station {
 }
 
 impl Station {
+    /// A station with a total per-job service demand (seconds). Panics
+    /// on negative or non-finite demand.
     pub fn new(name: impl Into<String>, demand_s: f64) -> Self {
         assert!(demand_s >= 0.0 && demand_s.is_finite());
         Station {
@@ -33,6 +36,7 @@ impl Station {
 /// A closed queueing network: stations plus a think-time delay.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClosedNetwork {
+    /// Queueing stations jobs visit each cycle.
     pub stations: Vec<Station>,
     /// Think time between requests (delay station), seconds.
     pub think_time_s: f64,
@@ -52,6 +56,8 @@ pub struct MvaResult {
 }
 
 impl ClosedNetwork {
+    /// A network from stations plus a think-time delay. Panics on an
+    /// empty station list or a negative/non-finite think time.
     pub fn new(stations: Vec<Station>, think_time_s: f64) -> Self {
         assert!(!stations.is_empty(), "network needs at least one station");
         assert!(think_time_s >= 0.0 && think_time_s.is_finite());
@@ -104,6 +110,123 @@ impl ClosedNetwork {
             queue_lengths: q,
             utilizations,
         }
+    }
+}
+
+/// Fleet-level load metrics: a population of users spread across many
+/// identical VMs by a least-loaded balancer, each VM an independent copy
+/// of one [`ClosedNetwork`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetLoad {
+    /// User-weighted mean response time across the fleet, seconds.
+    pub mean_response_s: f64,
+    /// Approximate 99th-percentile response time, seconds: the
+    /// most-loaded VM group's mean response scaled by `ln(100)` — exact
+    /// when sojourn times are exponential, a documented approximation
+    /// otherwise.
+    pub p99_response_s: f64,
+    /// User-weighted bottleneck-station utilisation across the fleet.
+    pub utilization: f64,
+    /// Aggregate throughput, requests/second.
+    pub throughput: f64,
+    /// User-weighted fraction of requests whose response time exceeds
+    /// the SLO (exponential-sojourn approximation `exp(-slo / R)`).
+    pub slo_violation_frac: f64,
+}
+
+/// Solve the fleet: `users` concurrent users least-loaded-balanced over
+/// `servers` identical VMs, each modelled by `per_vm`.
+///
+/// A least-loaded balancer over identical VMs splits the population as
+/// evenly as integers allow: `users mod servers` VMs carry
+/// `ceil(users/servers)` users, the rest `floor(users/servers)`. Only
+/// those **two** populations ever need an MVA solve, so fleet-level
+/// aggregation is O(users/servers) regardless of fleet size — this is
+/// what lets a 2000-VM fleet re-solve its latency model at every
+/// autoscaler control tick.
+///
+/// Panics if `servers == 0` (the caller decides what a total outage
+/// means; this function only models a serving fleet).
+pub fn fleet_response(per_vm: &ClosedNetwork, users: u64, servers: u64, slo_s: f64) -> FleetLoad {
+    assert!(servers > 0, "fleet_response needs at least one serving VM");
+    assert!(slo_s > 0.0 && slo_s.is_finite());
+    if users == 0 {
+        // No demand: an idle fleet serves a hypothetical request at the
+        // raw (contention-free) demand.
+        let r = per_vm.solve(1);
+        return FleetLoad {
+            mean_response_s: r.response_s,
+            p99_response_s: r.response_s * 100f64.ln(),
+            utilization: 0.0,
+            throughput: 0.0,
+            slo_violation_frac: violation(r.response_s, slo_s),
+        };
+    }
+    let lo_pop = users / servers;
+    let hi_pop = lo_pop + 1;
+    let hi_vms = users % servers;
+    let lo_vms = servers - hi_vms;
+    let hi = if hi_vms > 0 {
+        Some(per_vm.solve(hi_pop.min(u32::MAX as u64) as u32))
+    } else {
+        None
+    };
+    let lo = if lo_vms > 0 && lo_pop > 0 {
+        Some(per_vm.solve(lo_pop.min(u32::MAX as u64) as u32))
+    } else {
+        None
+    };
+    let mut weighted_r = 0.0;
+    let mut weighted_u = 0.0;
+    let mut weighted_v = 0.0;
+    let mut throughput = 0.0;
+    let mut worst_r = 0.0f64;
+    let mut add = |sol: &MvaResult, vms: u64, pop: u64| {
+        let w = (vms * pop) as f64 / users as f64;
+        let u_bottleneck = sol.utilizations.iter().copied().fold(0.0, f64::max);
+        weighted_r += w * sol.response_s;
+        weighted_u += w * u_bottleneck;
+        weighted_v += w * violation(sol.response_s, slo_s);
+        throughput += vms as f64 * sol.throughput;
+        worst_r = worst_r.max(sol.response_s);
+    };
+    if let Some(sol) = &hi {
+        add(sol, hi_vms, hi_pop);
+    }
+    if let Some(sol) = &lo {
+        add(sol, lo_vms, lo_pop);
+    }
+    FleetLoad {
+        mean_response_s: weighted_r,
+        p99_response_s: worst_r * 100f64.ln(),
+        utilization: weighted_u,
+        throughput,
+        slo_violation_frac: weighted_v,
+    }
+}
+
+/// P(response > slo) under the exponential-sojourn approximation.
+fn violation(mean_response_s: f64, slo_s: f64) -> f64 {
+    if mean_response_s <= 0.0 {
+        0.0
+    } else {
+        (-slo_s / mean_response_s).exp()
+    }
+}
+
+/// The largest per-VM population whose bottleneck utilisation stays at
+/// or below `target` — the autoscaler's "users one VM can absorb" knob.
+/// Returns at least 1 (a VM always takes one user, however overloaded).
+pub fn capacity_at_utilization(per_vm: &ClosedNetwork, target: f64) -> u64 {
+    assert!((0.0..=1.0).contains(&target) && target > 0.0);
+    let mut n = 1u64;
+    loop {
+        let sol = per_vm.solve((n + 1).min(u32::MAX as u64) as u32);
+        let u = sol.utilizations.iter().copied().fold(0.0, f64::max);
+        if u > target || n >= 1_000_000 {
+            return n;
+        }
+        n += 1;
     }
 }
 
@@ -184,5 +307,58 @@ mod tests {
         let fast = single(0.025, 2.0).solve(30);
         assert!(slow.utilizations[0] > fast.utilizations[0]);
         assert!(slow.response_s > fast.response_s);
+    }
+
+    #[test]
+    fn fleet_even_split_equals_single_vm() {
+        // 300 users on 3 VMs is exactly 100 users on 1 VM, three times.
+        let net = single(0.016, 4.0);
+        let one = net.solve(100);
+        let fleet = fleet_response(&net, 300, 3, 1.0);
+        assert!((fleet.mean_response_s - one.response_s).abs() < 1e-12);
+        assert!((fleet.throughput - 3.0 * one.throughput).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fleet_uneven_split_solves_two_populations() {
+        let net = single(0.016, 4.0);
+        // 301 users on 3 VMs: one VM at 101, two at 100.
+        let fleet = fleet_response(&net, 301, 3, 1.0);
+        let lo = net.solve(100).response_s;
+        let hi = net.solve(101).response_s;
+        assert!(fleet.mean_response_s > lo && fleet.mean_response_s < hi + 1e-12);
+        assert!((fleet.p99_response_s - hi * 100f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_servers_cut_response_and_utilization() {
+        let net = single(0.05, 2.0);
+        let tight = fleet_response(&net, 1_000, 10, 0.5);
+        let roomy = fleet_response(&net, 1_000, 40, 0.5);
+        assert!(roomy.mean_response_s < tight.mean_response_s);
+        assert!(roomy.utilization < tight.utilization);
+        assert!(roomy.slo_violation_frac <= tight.slo_violation_frac);
+    }
+
+    #[test]
+    fn idle_and_tiny_fleets() {
+        let net = single(0.05, 2.0);
+        let idle = fleet_response(&net, 0, 5, 0.5);
+        assert!((idle.mean_response_s - 0.05).abs() < 1e-12);
+        assert_eq!(idle.throughput, 0.0);
+        // Fewer users than servers: every user alone on a VM.
+        let sparse = fleet_response(&net, 3, 5, 0.5);
+        assert!((sparse.mean_response_s - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_tracks_the_utilization_target() {
+        let net = single(0.016, 4.0);
+        let cap = capacity_at_utilization(&net, 0.6);
+        let at = net.solve(cap as u32).utilizations[0];
+        let above = net.solve(cap as u32 + 1).utilizations[0];
+        assert!(at <= 0.6, "util at cap {at}");
+        assert!(above > 0.6, "util just above cap {above}");
+        assert!(capacity_at_utilization(&net, 0.9) > cap);
     }
 }

@@ -6,8 +6,11 @@ use crate::tpcw::{tpcw_network, NestedPenalties, Platform, TpcwConfig};
 /// One point on a Figure 12 curve pair.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ResponsePoint {
+    /// Emulated-browser population.
     pub ebs: u32,
+    /// Native-platform mean response time, milliseconds.
     pub native_ms: f64,
+    /// Nested-platform mean response time, milliseconds.
     pub nested_ms: f64,
 }
 

@@ -31,7 +31,9 @@ pub enum TpcwConfig {
 /// Native EC2 VM or Xen-Blanket nested VM.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Platform {
+    /// A VM directly on EC2.
     Native,
+    /// A nested VM inside a Xen-Blanket EC2 host.
     Nested,
 }
 
@@ -49,6 +51,8 @@ pub struct NestedPenalties {
 }
 
 impl NestedPenalties {
+    /// The §6 Xen-Blanket measurements: ~2% I/O, up to 50% CPU at
+    /// saturation with a cubic load dependence.
     pub fn xen_blanket() -> Self {
         NestedPenalties {
             io: 0.02,

@@ -1,0 +1,326 @@
+//! Service traffic model for fleet-scale simulation: a deterministic
+//! diurnal baseline plus a seeded flash-crowd process.
+//!
+//! The paper's premise is an *always-on service*; what varies over a
+//! hosting month is not whether the service is up but how many users are
+//! hitting it. This module supplies that demand curve:
+//!
+//! * a **diurnal** sinusoid (daily peak/trough around a base population,
+//!   with a weekend multiplier), which is a pure function of simulated
+//!   time — no randomness at all;
+//! * **flash crowds**: rare surges (a press mention, a sale) arriving as
+//!   a Poisson process, each ramping up linearly, holding at a jittered
+//!   magnitude, then decaying linearly back to baseline.
+//!
+//! The flash schedule is precomputed at construction from a dedicated
+//! ChaCha stream (`derive_seed(seed, "traffic-flash", 0)`), so
+//! [`TrafficModel::users_at`] is a pure function: same `(config, seed,
+//! horizon)` → identical demand at every instant, which the fleet
+//! simulator's byte-identical-report contract requires. A zero
+//! `flash_per_day` advances no RNG stream at all, so the flash-free
+//! configuration is bit-identical to a purely diurnal model — the same
+//! zero-rate neutrality every stochastic layer in this codebase keeps.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use spothost_market::gen::derive_seed;
+use spothost_market::time::{SimDuration, SimTime};
+
+/// Knobs of the traffic model. All time-varying terms multiply
+/// [`TrafficConfig::base_users`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficConfig {
+    /// Mean concurrent user population (emulated browsers).
+    pub base_users: f64,
+    /// Diurnal swing as a fraction of the base in `[0, 1)`: demand moves
+    /// between `base * (1 - a)` and `base * (1 + a)` over each day.
+    pub diurnal_amplitude: f64,
+    /// Hour-of-day (0–24) at which the diurnal peak falls.
+    pub peak_hour: f64,
+    /// Demand multiplier on days 5 and 6 of each simulated week (the
+    /// simulation starts on day 0, a Monday by convention).
+    pub weekend_factor: f64,
+    /// Expected flash crowds per day (Poisson arrivals; 0 disables the
+    /// flash process entirely and advances no RNG stream).
+    pub flash_per_day: f64,
+    /// Mean flash magnitude: the *additional* demand at a flash's hold
+    /// plateau, as a multiple of the base population. Per-flash magnitude
+    /// jitters uniformly in `[0.5, 1.5]` of this mean.
+    pub flash_magnitude: f64,
+    /// Linear ramp-up from baseline to the flash plateau.
+    pub flash_ramp: SimDuration,
+    /// Time spent at the plateau.
+    pub flash_hold: SimDuration,
+    /// Linear decay back to baseline.
+    pub flash_decay: SimDuration,
+}
+
+impl TrafficConfig {
+    /// A web service with a pronounced daily cycle, quieter weekends, and
+    /// roughly one flash crowd a week tripling demand for about an hour.
+    pub fn diurnal_default() -> Self {
+        TrafficConfig {
+            base_users: 10_000.0,
+            diurnal_amplitude: 0.6,
+            peak_hour: 20.0,
+            weekend_factor: 0.7,
+            flash_per_day: 1.0 / 7.0,
+            flash_magnitude: 3.0,
+            flash_ramp: SimDuration::minutes(10),
+            flash_hold: SimDuration::minutes(45),
+            flash_decay: SimDuration::minutes(30),
+        }
+    }
+
+    /// Validate ranges; returns a human-readable error.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.base_users.is_finite() && self.base_users > 0.0) {
+            return Err(format!("base_users must be positive: {}", self.base_users));
+        }
+        if !(0.0..1.0).contains(&self.diurnal_amplitude) {
+            return Err(format!(
+                "diurnal_amplitude must be in [0, 1): {}",
+                self.diurnal_amplitude
+            ));
+        }
+        if !(0.0..=24.0).contains(&self.peak_hour) {
+            return Err(format!("peak_hour must be in [0, 24]: {}", self.peak_hour));
+        }
+        if !(self.weekend_factor.is_finite() && self.weekend_factor > 0.0) {
+            return Err(format!(
+                "weekend_factor must be positive: {}",
+                self.weekend_factor
+            ));
+        }
+        if !(self.flash_per_day.is_finite() && self.flash_per_day >= 0.0) {
+            return Err(format!(
+                "flash_per_day must be >= 0: {}",
+                self.flash_per_day
+            ));
+        }
+        if !(self.flash_magnitude.is_finite() && self.flash_magnitude >= 0.0) {
+            return Err(format!(
+                "flash_magnitude must be >= 0: {}",
+                self.flash_magnitude
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One precomputed flash crowd.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Flash {
+    start: SimTime,
+    /// Additional users at the plateau.
+    extra_users: f64,
+}
+
+/// A fully materialised demand curve over a horizon: diurnal baseline
+/// plus the seeded flash schedule. Construction draws all randomness;
+/// queries are pure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficModel {
+    cfg: TrafficConfig,
+    flashes: Vec<Flash>,
+}
+
+impl TrafficModel {
+    /// Build the model, precomputing the flash schedule for `horizon`
+    /// from a dedicated seed stream. Panics on an invalid config.
+    pub fn new(cfg: TrafficConfig, seed: u64, horizon: SimDuration) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid traffic config: {e}");
+        }
+        let mut flashes = Vec::new();
+        if cfg.flash_per_day > 0.0 && cfg.flash_magnitude > 0.0 {
+            let mut rng = ChaCha12Rng::seed_from_u64(derive_seed(seed, "traffic-flash", 0));
+            let mean_gap_ms = SimDuration::days(1).0 as f64 / cfg.flash_per_day;
+            let mut t = 0.0f64;
+            let end = horizon.0 as f64;
+            loop {
+                // Exponential inter-arrival gap.
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                t += -mean_gap_ms * u.ln();
+                if t >= end {
+                    break;
+                }
+                let jitter: f64 = rng.gen_range(0.5..1.5);
+                flashes.push(Flash {
+                    start: SimTime(t as u64),
+                    extra_users: cfg.base_users * cfg.flash_magnitude * jitter,
+                });
+            }
+        }
+        TrafficModel { cfg, flashes }
+    }
+
+    /// Concurrent user population at `t`. Pure and deterministic.
+    pub fn users_at(&self, t: SimTime) -> f64 {
+        let hours = t.0 as f64 / 3_600_000.0;
+        let day = (hours / 24.0).floor() as u64;
+        let hour_of_day = hours - day as f64 * 24.0;
+        let phase = (hour_of_day - self.cfg.peak_hour) / 24.0 * std::f64::consts::TAU;
+        let diurnal = 1.0 + self.cfg.diurnal_amplitude * phase.cos();
+        let weekend = if day % 7 >= 5 {
+            self.cfg.weekend_factor
+        } else {
+            1.0
+        };
+        let mut users = self.cfg.base_users * diurnal * weekend;
+        for f in &self.flashes {
+            users += f.extra_users * flash_shape(&self.cfg, f.start, t);
+        }
+        users.max(0.0)
+    }
+
+    /// Upper bound on [`TrafficModel::users_at`] over the whole horizon
+    /// (diurnal peak plus every flash at its plateau) — a capacity
+    /// planner's worst case, not a tight max.
+    pub fn peak_users(&self) -> f64 {
+        let diurnal_peak = self.cfg.base_users * (1.0 + self.cfg.diurnal_amplitude);
+        let flash_peak = self
+            .flashes
+            .iter()
+            .map(|f| f.extra_users)
+            .fold(0.0, f64::max);
+        diurnal_peak + flash_peak
+    }
+
+    /// Number of flash crowds scheduled over the horizon.
+    pub fn flash_count(&self) -> usize {
+        self.flashes.len()
+    }
+
+    /// The model's configuration.
+    pub fn config(&self) -> &TrafficConfig {
+        &self.cfg
+    }
+}
+
+/// The ramp/hold/decay envelope of a flash that started at `start`,
+/// evaluated at `t`; in `[0, 1]`.
+fn flash_shape(cfg: &TrafficConfig, start: SimTime, t: SimTime) -> f64 {
+    if t < start {
+        return 0.0;
+    }
+    let dt = (t.0 - start.0) as f64;
+    let ramp = cfg.flash_ramp.0 as f64;
+    let hold = cfg.flash_hold.0 as f64;
+    let decay = cfg.flash_decay.0 as f64;
+    if dt < ramp {
+        if ramp == 0.0 {
+            1.0
+        } else {
+            dt / ramp
+        }
+    } else if dt < ramp + hold {
+        1.0
+    } else if dt < ramp + hold + decay {
+        1.0 - (dt - ramp - hold) / decay
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TrafficConfig {
+        TrafficConfig::diurnal_default()
+    }
+
+    #[test]
+    fn deterministic_in_the_seed() {
+        let a = TrafficModel::new(cfg(), 9, SimDuration::days(30));
+        let b = TrafficModel::new(cfg(), 9, SimDuration::days(30));
+        assert_eq!(a, b);
+        let t = SimTime::ZERO + SimDuration::hours(100);
+        assert_eq!(a.users_at(t).to_bits(), b.users_at(t).to_bits());
+        let c = TrafficModel::new(cfg(), 10, SimDuration::days(30));
+        assert_ne!(a, c, "different seeds must reschedule flashes");
+    }
+
+    #[test]
+    fn zero_flash_rate_is_purely_diurnal() {
+        let mut quiet = cfg();
+        quiet.flash_per_day = 0.0;
+        let m = TrafficModel::new(quiet.clone(), 1, SimDuration::days(30));
+        assert_eq!(m.flash_count(), 0);
+        // Peak hour beats trough hour on every weekday.
+        let peak = SimTime::ZERO + SimDuration::hours(20);
+        let trough = SimTime::ZERO + SimDuration::hours(8);
+        assert!(m.users_at(peak) > m.users_at(trough));
+        // Exact diurnal value at the peak.
+        let expect = quiet.base_users * (1.0 + quiet.diurnal_amplitude);
+        assert!((m.users_at(peak) - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weekend_damps_demand() {
+        let mut quiet = cfg();
+        quiet.flash_per_day = 0.0;
+        let m = TrafficModel::new(quiet, 1, SimDuration::days(30));
+        let monday_noon = SimTime::ZERO + SimDuration::hours(12);
+        let saturday_noon = SimTime::ZERO + SimDuration::hours(5 * 24 + 12);
+        assert!(m.users_at(saturday_noon) < m.users_at(monday_noon));
+        let ratio = m.users_at(saturday_noon) / m.users_at(monday_noon);
+        assert!((ratio - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flashes_arrive_at_roughly_the_configured_rate() {
+        let mut busy = cfg();
+        busy.flash_per_day = 2.0;
+        let m = TrafficModel::new(busy, 3, SimDuration::days(60));
+        let n = m.flash_count() as f64;
+        assert!((60.0..=180.0).contains(&n), "{n} flashes over 60 days");
+    }
+
+    #[test]
+    fn flash_lifts_demand_then_subsides() {
+        let mut one = cfg();
+        one.flash_per_day = 0.2;
+        let m = TrafficModel::new(one.clone(), 5, SimDuration::days(30));
+        assert!(m.flash_count() > 0, "need at least one flash");
+        let f = m.flashes[0];
+        let before = m.users_at(SimTime(f.start.0.saturating_sub(1)));
+        let plateau = f.start + one.flash_ramp + SimDuration::minutes(1);
+        let after =
+            f.start + one.flash_ramp + one.flash_hold + one.flash_decay + SimDuration::hours(2);
+        assert!(m.users_at(plateau) > before + 0.9 * f.extra_users);
+        // Far after the flash (and any overlap), demand is diurnal again:
+        // within the diurnal envelope.
+        let envelope = one.base_users * (1.0 + one.diurnal_amplitude) * 1.0;
+        if m.flashes
+            .iter()
+            .all(|g| flash_shape(&one, g.start, after) == 0.0)
+        {
+            assert!(m.users_at(after) <= envelope + 1e-9);
+        }
+    }
+
+    #[test]
+    fn peak_users_bounds_every_sample() {
+        let m = TrafficModel::new(cfg(), 11, SimDuration::days(30));
+        let peak = m.peak_users();
+        for h in 0..(30 * 24) {
+            let t = SimTime::ZERO + SimDuration::hours(h);
+            // Overlapping flashes could in principle exceed the single-
+            // flash bound; with the default weekly rate they never do.
+            assert!(m.users_at(t) <= peak * 2.0, "hour {h}");
+        }
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = cfg();
+        c.diurnal_amplitude = 1.5;
+        assert!(c.validate().is_err());
+        c = cfg();
+        c.base_users = 0.0;
+        assert!(c.validate().is_err());
+        assert!(cfg().validate().is_ok());
+    }
+}
