@@ -20,6 +20,9 @@ use std::time::Instant;
 const DEFAULT_OUT: &str = "BENCH_trajectory.json";
 /// `--check` fails when measured wall-clock exceeds baseline by this factor.
 const REGRESSION_FACTOR: f64 = 1.2;
+/// `--check` fails when attaching a `ColumnarStore` to the small fleet
+/// run costs more than this percentage of wall-clock.
+const STORE_OVERHEAD_LIMIT_PCT: f64 = 20.0;
 
 /// Peak resident set size (VmHWM) in kB from `/proc/self/status`;
 /// 0 where the proc file is unavailable (non-Linux).
@@ -114,8 +117,52 @@ fn bench_sweep_grid_ns() -> u128 {
     median_ns(samples)
 }
 
+/// Columnar-sink overhead on a small fleet run: wall-clock of the same
+/// `(config, seed, horizon)` fleet simulation with a `ColumnarStore`
+/// factory (writing to a discarding stream) versus the uninstrumented
+/// `NullSinkFactory` run, as a percentage. Median of 5 each; alternated
+/// so ambient noise hits both sides. The ISSUE's acceptance bar is <10%;
+/// `--check` gates at 20% to leave headroom for shared-runner noise.
+fn bench_store_overhead_pct() -> f64 {
+    use spothost_eventstore::ColumnarStore;
+    use spothost_fleet::sim::{run_fleet_sim, run_fleet_sim_with, FleetSimConfig};
+    use spothost_market::time::SimDuration;
+    use spothost_workload::traffic::TrafficConfig;
+
+    let cfg = FleetSimConfig {
+        min_vms: 2,
+        max_vms: 12,
+        control_interval: SimDuration::minutes(15),
+        traffic: TrafficConfig {
+            base_users: 600.0,
+            ..TrafficConfig::diurnal_default()
+        },
+        ..FleetSimConfig::default()
+    };
+    let horizon = SimDuration::days(3);
+    // Warm the trace arena so neither side pays generation.
+    std::hint::black_box(run_fleet_sim(&cfg, 17, horizon));
+
+    let mut null_ns = Vec::new();
+    let mut col_ns = Vec::new();
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        std::hint::black_box(run_fleet_sim(&cfg, 17, horizon));
+        null_ns.push(t0.elapsed().as_nanos());
+
+        let store = ColumnarStore::to_writer(Box::new(std::io::sink()));
+        let t0 = Instant::now();
+        std::hint::black_box(run_fleet_sim_with(&cfg, 17, horizon, store.clone()));
+        col_ns.push(t0.elapsed().as_nanos());
+        store.finish().expect("discarding writer cannot fail");
+    }
+    let (null, col) = (median_ns(null_ns) as f64, median_ns(col_ns) as f64);
+    100.0 * (col - null) / null
+}
+
 /// Render one trajectory entry as a single JSON line (no serde — the
 /// schema is flat and the file must stay trivially greppable).
+#[allow(clippy::too_many_arguments)]
 fn entry_json(
     label: &str,
     mode: &str,
@@ -124,9 +171,10 @@ fn entry_json(
     rss_kb: u64,
     bill_ns: u128,
     grid_ns: u128,
+    store_pct: f64,
 ) -> String {
     format!(
-        "{{\"label\":\"{}\",\"mode\":\"{}\",\"repro_all_wall_s\":{:.3},\"fleet_wall_s\":{:.3},\"peak_rss_kb\":{},\"billing_hot_median_ns\":{},\"sweep_grid_median_ms\":{:.3}}}",
+        "{{\"label\":\"{}\",\"mode\":\"{}\",\"repro_all_wall_s\":{:.3},\"fleet_wall_s\":{:.3},\"peak_rss_kb\":{},\"billing_hot_median_ns\":{},\"sweep_grid_median_ms\":{:.3},\"store_overhead_pct\":{:.2}}}",
         label.replace(['"', '\\'], "_"),
         mode,
         wall_s,
@@ -134,6 +182,7 @@ fn entry_json(
         rss_kb,
         bill_ns,
         grid_ns as f64 / 1e6,
+        store_pct,
     )
 }
 
@@ -249,6 +298,16 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        // Columnar-sink overhead is gated absolutely (not vs baseline):
+        // instrumentation must stay cheap relative to the simulation.
+        let store_pct = bench_store_overhead_pct();
+        println!("trajectory --check ({mode}): columnar store overhead {store_pct:.1}% (limit {STORE_OVERHEAD_LIMIT_PCT:.0}%)");
+        if store_pct > STORE_OVERHEAD_LIMIT_PCT {
+            eprintln!(
+                "FAIL: ColumnarStore fleet instrumentation overhead {store_pct:.1}% > {STORE_OVERHEAD_LIMIT_PCT:.0}%"
+            );
+            std::process::exit(1);
+        }
         println!("OK: within budget");
         return;
     }
@@ -257,9 +316,13 @@ fn main() {
     let bill_ns = bench_billing_hot_ns();
     eprintln!("trajectory: timing sweep_grid kernel");
     let grid_ns = bench_sweep_grid_ns();
+    eprintln!("trajectory: measuring columnar store overhead");
+    let store_pct = bench_store_overhead_pct();
     let rss_kb = peak_rss_kb();
 
-    let entry = entry_json(&label, mode, wall_s, fleet_s, rss_kb, bill_ns, grid_ns);
+    let entry = entry_json(
+        &label, mode, wall_s, fleet_s, rss_kb, bill_ns, grid_ns, store_pct,
+    );
     append_entry(&out, &entry);
     println!("{entry}");
     println!("[appended to {out}]");

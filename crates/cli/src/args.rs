@@ -13,7 +13,7 @@ pub struct Args {
 }
 
 /// Known boolean switches (everything else expects a value).
-const SWITCHES: [&str; 4] = ["pessimistic", "verbose", "metrics", "cache-stats"];
+const SWITCHES: [&str; 5] = ["pessimistic", "verbose", "metrics", "cache-stats", "stats"];
 
 pub fn parse(argv: &[String]) -> Result<Args, String> {
     let mut out = Args::default();

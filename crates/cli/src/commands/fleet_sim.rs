@@ -11,7 +11,7 @@
 use crate::args::Args;
 use crate::commands::simulate::{parse_mechanism, parse_policy};
 use spothost_faults::StormConfig;
-use spothost_fleet::{run_fleet_sim, FleetSample, FleetSimConfig};
+use spothost_fleet::{run_fleet_sim, run_fleet_sim_with, FleetSample, FleetSimConfig};
 use spothost_market::time::SimDuration;
 use spothost_market::types::Zone;
 use spothost_workload::TrafficConfig;
@@ -127,7 +127,27 @@ pub fn run(args: &Args) -> Result<(), String> {
     cfg.validate()?;
 
     let horizon = SimDuration::days(days);
-    let report = run_fleet_sim(&cfg, seed, horizon);
+    // With --store, every spawned VM streams its telemetry into the
+    // columnar store tagged by spawn index; the sink only observes, so
+    // the report is identical to the uninstrumented run (test-pinned in
+    // spothost-fleet).
+    let report = match args.get("store") {
+        Some(path) => {
+            let store = spothost_eventstore::ColumnarStore::create(path)
+                .map_err(|e| format!("--store {path}: {e}"))?;
+            let report = run_fleet_sim_with(&cfg, seed, horizon, store.clone());
+            store.finish().map_err(|e| format!("--store {path}: {e}"))?;
+            println!(
+                "store: {} events from {} VM streams in {} blocks -> {path}",
+                store.events_written(),
+                report.spawned_vms,
+                store.blocks_written()
+            );
+            println!("       (per-VM queries: `spothost query --store {path} --vm N`)\n");
+            report
+        }
+        None => run_fleet_sim(&cfg, seed, horizon),
+    };
 
     let sizes: Vec<f64> = report.samples.iter().map(|s| s.live as f64).collect();
     let p99_ms: Vec<f64> = report

@@ -3,5 +3,6 @@ pub mod chaos;
 pub mod fleet_sim;
 pub mod gen_traces;
 pub mod markets;
+pub mod query;
 pub mod simulate;
 pub mod timeline;

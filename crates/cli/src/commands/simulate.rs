@@ -205,6 +205,31 @@ pub fn run(args: &Args) -> Result<(), String> {
             "\ntrace:             {} events -> {path} (seed {seed0}, JSONL)",
             rec.len() as u64 + rec.dropped()
         );
+        if rec.dropped() > 0 {
+            println!(
+                "WARNING: the in-memory ring buffer evicted the {} oldest events; \
+                 the JSONL file is complete (streamed), but in-process consumers \
+                 of this recorder only see the newest {}.",
+                rec.dropped(),
+                rec.len()
+            );
+        }
+    }
+    if let Some(path) = args.get("store") {
+        let set = load_traces(args, &cfg, seed0, SimDuration::days(days))?;
+        let store = spothost_eventstore::ColumnarStore::create(path)
+            .map_err(|e| format!("--store {path}: {e}"))?;
+        {
+            let sink = store.sink();
+            SimRun::new(&set, &cfg, seed0).with_sink(sink).run();
+        }
+        store.finish().map_err(|e| format!("--store {path}: {e}"))?;
+        println!(
+            "\nstore:             {} events in {} columnar blocks -> {path} \
+             (seed {seed0}; aggregate with `spothost query --store {path}`)",
+            store.events_written(),
+            store.blocks_written()
+        );
     }
     if args.has("metrics") {
         let set = load_traces(args, &cfg, seed0, SimDuration::days(days))?;

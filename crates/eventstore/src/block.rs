@@ -1,0 +1,1019 @@
+//! Sealed-block encoding: a run of [`TimedEvent`]s becomes one
+//! self-contained binary block of per-kind struct-of-arrays columns.
+//!
+//! Layout of one block payload (everything varint/LEB128 unless noted):
+//!
+//! ```text
+//! header   vm+1 (0 = untagged) · count · min_t · max_t-min_t
+//!          kind bitmap (u32) · market bitmap (u16) · zone bitmap (u8)
+//! dict     n_ids · instance id × n_ids            (first-use order)
+//! kinds    count raw bytes, one kind index per event in stream order
+//! columns  for each kind present, ascending index:
+//!            column byte length · column payload
+//! ```
+//!
+//! A column payload is field-major (struct-of-arrays): first the kind's
+//! timestamps as deltas chained from `min_t` (monotone streams make these
+//! tiny), then each variant field as its own array — dictionary refs for
+//! instance ids, dense u8 codes for markets/zones/enums, zigzag deltas
+//! *from the emission instant* for in-variant times, plain varints for
+//! durations, and raw little-endian bit patterns for `f64`s (bit-exact
+//! round-trip, NaN included).
+//!
+//! Decode reverses every step: per-kind columns are rebuilt into typed
+//! events, then the kinds stream re-interleaves them into the original
+//! stream order. `decode` ∘ `seal` is the identity on any event stream
+//! (proptest-guarded in `tests/columnar_properties.rs`), with f64 fields
+//! compared by `to_bits`.
+
+use crate::schema::{
+    denial_code, denial_from_code, fault_code, fault_from_code, instance_of, market_code,
+    market_from_code, markets_of, migkind_code, migkind_from_code, phase_code, phase_from_code,
+    state_code, state_from_code, termination_code, termination_from_code, zone_code,
+    zone_from_code, zones_of, EventKind,
+};
+use crate::varint::{write_f64_bits, write_i64, write_u64, Cursor};
+use crate::ColError;
+use spothost_cloudsim::InstanceId;
+use spothost_market::time::{SimDuration, SimTime};
+use spothost_telemetry::{TelemetryEvent, TimedEvent};
+use std::collections::HashMap;
+
+/// Parsed block header: everything predicate pruning needs, decodable
+/// without touching the dictionary or columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockMeta {
+    /// Stream tag: which fleet VM (spawn index) emitted this block, or
+    /// `None` for an untagged single-run stream.
+    pub vm: Option<u32>,
+    /// Events in the block.
+    pub count: usize,
+    /// Smallest emission timestamp in the block, ms.
+    pub min_t_ms: u64,
+    /// Largest emission timestamp in the block, ms.
+    pub max_t_ms: u64,
+    /// Bit `EventKind::index()` set iff the block holds that kind.
+    pub kinds: u32,
+    /// Bit `MarketId::dense_index()` set iff some event references it.
+    pub markets: u16,
+    /// Bit `Zone::index()` set iff some event touches the zone.
+    pub zones: u8,
+}
+
+/// Encode `events` (one sink's buffered run, in emission order) into a
+/// block payload. Empty input yields an empty payload (callers skip it).
+pub fn seal(vm: Option<u32>, events: &[TimedEvent]) -> Vec<u8> {
+    if events.is_empty() {
+        return Vec::new();
+    }
+    let mut min_t = u64::MAX;
+    let mut max_t = 0u64;
+    let mut kinds_bm = 0u32;
+    let mut markets_bm = 0u16;
+    let mut zones_bm = 0u8;
+    let mut dict_ids: Vec<u64> = Vec::new();
+    let mut dict_refs: HashMap<u64, u32> = HashMap::new();
+    for (t, ev) in events {
+        min_t = min_t.min(t.as_millis());
+        max_t = max_t.max(t.as_millis());
+        kinds_bm |= 1 << EventKind::of(ev).index();
+        let (m1, m2) = markets_of(ev);
+        for m in [m1, m2].into_iter().flatten() {
+            markets_bm |= 1 << market_code(m);
+        }
+        let (z1, z2) = zones_of(ev);
+        for z in [z1, z2].into_iter().flatten() {
+            zones_bm |= 1 << zone_code(z);
+        }
+        if let Some(id) = instance_of(ev) {
+            dict_refs.entry(id.0).or_insert_with(|| {
+                dict_ids.push(id.0);
+                (dict_ids.len() - 1) as u32
+            });
+        }
+    }
+
+    let mut buf = Vec::with_capacity(events.len() * 8);
+    // Header.
+    write_u64(&mut buf, vm.map(|v| u64::from(v) + 1).unwrap_or(0));
+    write_u64(&mut buf, events.len() as u64);
+    write_u64(&mut buf, min_t);
+    write_u64(&mut buf, max_t - min_t);
+    write_u64(&mut buf, u64::from(kinds_bm));
+    write_u64(&mut buf, u64::from(markets_bm));
+    write_u64(&mut buf, u64::from(zones_bm));
+    // Instance-id dictionary, first-use order.
+    write_u64(&mut buf, dict_ids.len() as u64);
+    for id in &dict_ids {
+        write_u64(&mut buf, *id);
+    }
+    // Kind stream.
+    for (_, ev) in events {
+        buf.push(EventKind::of(ev).index() as u8);
+    }
+    // Per-kind columns.
+    let mut col = Vec::new();
+    for kind in EventKind::ALL {
+        if kinds_bm & (1 << kind.index()) == 0 {
+            continue;
+        }
+        col.clear();
+        let evs: Vec<&TimedEvent> = events
+            .iter()
+            .filter(|(_, ev)| EventKind::of(ev) == kind)
+            .collect();
+        encode_column(&mut col, kind, &evs, min_t, &dict_refs);
+        write_u64(&mut buf, col.len() as u64);
+        buf.extend_from_slice(&col);
+    }
+    buf
+}
+
+/// Parse only the header of a block payload (for pruning).
+pub fn decode_meta(payload: &[u8]) -> Result<BlockMeta, ColError> {
+    let mut c = Cursor::new(payload);
+    read_meta(&mut c)
+}
+
+fn read_meta(c: &mut Cursor<'_>) -> Result<BlockMeta, ColError> {
+    let vm_tag = c.u64()?;
+    let vm = if vm_tag == 0 {
+        None
+    } else {
+        Some(u32::try_from(vm_tag - 1).map_err(|_| ColError::Corrupt("vm tag overflows u32"))?)
+    };
+    let count = usize::try_from(c.u64()?).map_err(|_| ColError::Corrupt("count overflow"))?;
+    let min_t_ms = c.u64()?;
+    let span = c.u64()?;
+    let max_t_ms = min_t_ms
+        .checked_add(span)
+        .ok_or(ColError::Corrupt("time span overflow"))?;
+    let kinds = u32::try_from(c.u64()?).map_err(|_| ColError::Corrupt("kind bitmap overflow"))?;
+    if kinds >> EventKind::ALL.len() != 0 {
+        return Err(ColError::Corrupt("kind bitmap has unknown bits"));
+    }
+    let markets =
+        u16::try_from(c.u64()?).map_err(|_| ColError::Corrupt("market bitmap overflow"))?;
+    let zones = u8::try_from(c.u64()?).map_err(|_| ColError::Corrupt("zone bitmap overflow"))?;
+    Ok(BlockMeta {
+        vm,
+        count,
+        min_t_ms,
+        max_t_ms,
+        kinds,
+        markets,
+        zones,
+    })
+}
+
+/// Decode a full block payload back into its event stream (and meta).
+pub fn decode(payload: &[u8]) -> Result<(BlockMeta, Vec<TimedEvent>), ColError> {
+    let mut c = Cursor::new(payload);
+    let meta = read_meta(&mut c)?;
+    // Dictionary.
+    let n_ids = usize::try_from(c.u64()?).map_err(|_| ColError::Corrupt("dict overflow"))?;
+    if n_ids > meta.count {
+        return Err(ColError::Corrupt("dict larger than block"));
+    }
+    let mut dict = Vec::with_capacity(n_ids);
+    for _ in 0..n_ids {
+        dict.push(c.u64()?);
+    }
+    // Kind stream.
+    let kind_bytes = c.bytes(meta.count)?;
+    let mut kinds = Vec::with_capacity(meta.count);
+    let mut counts = [0usize; 22];
+    for &b in kind_bytes {
+        let k = EventKind::from_index(b as usize)
+            .ok_or(ColError::Corrupt("kind stream has unknown kind"))?;
+        if meta.kinds & (1 << k.index()) == 0 {
+            return Err(ColError::Corrupt("kind stream disagrees with bitmap"));
+        }
+        counts[k.index()] += 1;
+        kinds.push(k);
+    }
+    // Columns, per present kind.
+    let mut per_kind: [Vec<TimedEvent>; 22] = Default::default();
+    for kind in EventKind::ALL {
+        if meta.kinds & (1 << kind.index()) == 0 {
+            continue;
+        }
+        let n = counts[kind.index()];
+        if n == 0 {
+            return Err(ColError::Corrupt("bitmap kind missing from stream"));
+        }
+        let len = usize::try_from(c.u64()?).map_err(|_| ColError::Corrupt("column overflow"))?;
+        let col = c.bytes(len)?;
+        let mut cc = Cursor::new(col);
+        per_kind[kind.index()] = decode_column(&mut cc, kind, n, meta.min_t_ms, &dict)?;
+        if !cc.is_empty() {
+            return Err(ColError::Corrupt("column has trailing bytes"));
+        }
+    }
+    if !c.is_empty() {
+        return Err(ColError::Corrupt("block has trailing bytes"));
+    }
+    // Re-interleave into stream order.
+    let mut next = [0usize; 22];
+    let mut out = Vec::with_capacity(meta.count);
+    for k in kinds {
+        let i = next[k.index()];
+        next[k.index()] += 1;
+        out.push(per_kind[k.index()][i]);
+    }
+    Ok((meta, out))
+}
+
+// ---- column codecs -------------------------------------------------------
+
+/// Emission-relative time: lossless over the full u64 range (wrapping),
+/// tiny for the near-past/near-future times variants actually carry.
+fn t_delta(buf: &mut Vec<u8>, field: SimTime, at: SimTime) {
+    write_i64(buf, field.as_millis().wrapping_sub(at.as_millis()) as i64);
+}
+
+fn read_t_delta(c: &mut Cursor<'_>, at_ms: u64) -> Result<SimTime, ColError> {
+    Ok(SimTime(at_ms.wrapping_add(c.i64()? as u64)))
+}
+
+fn read_vec<T>(
+    c: &mut Cursor<'_>,
+    n: usize,
+    mut f: impl FnMut(&mut Cursor<'_>) -> Result<T, ColError>,
+) -> Result<Vec<T>, ColError> {
+    let mut v = Vec::with_capacity(n);
+    for _ in 0..n {
+        v.push(f(c)?);
+    }
+    Ok(v)
+}
+
+fn dict_id(dict: &[u64], r: u64) -> Result<InstanceId, ColError> {
+    let i = usize::try_from(r).map_err(|_| ColError::Corrupt("dict ref overflow"))?;
+    dict.get(i)
+        .map(|&id| InstanceId(id))
+        .ok_or(ColError::Corrupt("dict ref out of range"))
+}
+
+/// Encode the timestamps column: deltas chained from `min_t`.
+fn encode_ts(buf: &mut Vec<u8>, evs: &[&TimedEvent], min_t: u64) {
+    let mut prev = min_t;
+    for (t, _) in evs.iter().copied() {
+        let ms = t.as_millis();
+        write_u64(buf, ms.wrapping_sub(prev));
+        prev = ms;
+    }
+}
+
+fn decode_ts(c: &mut Cursor<'_>, n: usize, min_t: u64) -> Result<Vec<u64>, ColError> {
+    let mut prev = min_t;
+    read_vec(c, n, |c| {
+        prev = prev.wrapping_add(c.u64()?);
+        Ok(prev)
+    })
+}
+
+/// One `Option<f64>` column: a presence byte per row, then the bit
+/// patterns of the present values.
+fn encode_opt_f64(buf: &mut Vec<u8>, vals: &[Option<f64>]) {
+    for v in vals {
+        buf.push(u8::from(v.is_some()));
+    }
+    for v in vals.iter().flatten() {
+        write_f64_bits(buf, *v);
+    }
+}
+
+fn decode_opt_f64(c: &mut Cursor<'_>, n: usize) -> Result<Vec<Option<f64>>, ColError> {
+    let flags = c.bytes(n)?.to_vec();
+    let mut out = Vec::with_capacity(n);
+    for f in flags {
+        out.push(match f {
+            0 => None,
+            1 => Some(c.f64_bits()?),
+            _ => return Err(ColError::Corrupt("option flag out of range")),
+        });
+    }
+    Ok(out)
+}
+
+/// Extract the per-kind rows once, then write each field as its own
+/// array. `evs` is pre-filtered to `kind`; the `unreachable!` arms state
+/// that invariant.
+fn encode_column(
+    buf: &mut Vec<u8>,
+    kind: EventKind,
+    evs: &[&TimedEvent],
+    min_t: u64,
+    dict: &HashMap<u64, u32>,
+) {
+    encode_ts(buf, evs, min_t);
+    let dref = |id: InstanceId| u64::from(dict[&id.0]);
+    match kind {
+        EventKind::BidPlaced => {
+            let rows: Vec<(u8, Option<f64>, Option<f64>)> = evs
+                .iter()
+                .map(|(_, ev)| match ev {
+                    TelemetryEvent::BidPlaced {
+                        market,
+                        bid,
+                        predicted_risk,
+                    } => (market_code(*market), *bid, *predicted_risk),
+                    _ => unreachable!("pre-filtered by kind"),
+                })
+                .collect();
+            buf.extend(rows.iter().map(|r| r.0));
+            encode_opt_f64(buf, &rows.iter().map(|r| r.1).collect::<Vec<_>>());
+            encode_opt_f64(buf, &rows.iter().map(|r| r.2).collect::<Vec<_>>());
+        }
+        EventKind::LeaseGranted => {
+            let rows: Vec<(u64, u8, bool, SimTime, SimTime)> = evs
+                .iter()
+                .map(|(t, ev)| match ev {
+                    TelemetryEvent::LeaseGranted {
+                        id,
+                        market,
+                        spot,
+                        ready_at,
+                    } => (dref(*id), market_code(*market), *spot, *ready_at, *t),
+                    _ => unreachable!("pre-filtered by kind"),
+                })
+                .collect();
+            for r in &rows {
+                write_u64(buf, r.0);
+            }
+            buf.extend(rows.iter().map(|r| r.1));
+            buf.extend(rows.iter().map(|r| u8::from(r.2)));
+            for r in &rows {
+                t_delta(buf, r.3, r.4);
+            }
+        }
+        EventKind::LeaseDenied => {
+            let rows: Vec<(u8, bool, u8)> = evs
+                .iter()
+                .map(|(_, ev)| match ev {
+                    TelemetryEvent::LeaseDenied {
+                        market,
+                        spot,
+                        reason,
+                    } => (market_code(*market), *spot, denial_code(*reason)),
+                    _ => unreachable!("pre-filtered by kind"),
+                })
+                .collect();
+            buf.extend(rows.iter().map(|r| r.0));
+            buf.extend(rows.iter().map(|r| u8::from(r.1)));
+            buf.extend(rows.iter().map(|r| r.2));
+        }
+        EventKind::LeaseActivated | EventKind::UnwarnedDeath => {
+            let rows: Vec<(u64, u8)> = evs
+                .iter()
+                .map(|(_, ev)| match ev {
+                    TelemetryEvent::LeaseActivated { id, market }
+                    | TelemetryEvent::UnwarnedDeath { id, market } => {
+                        (dref(*id), market_code(*market))
+                    }
+                    _ => unreachable!("pre-filtered by kind"),
+                })
+                .collect();
+            for r in &rows {
+                write_u64(buf, r.0);
+            }
+            buf.extend(rows.iter().map(|r| r.1));
+        }
+        EventKind::ActivationFailed => {
+            let rows: Vec<(u64, u8, bool)> = evs
+                .iter()
+                .map(|(_, ev)| match ev {
+                    TelemetryEvent::ActivationFailed { id, market, doomed } => {
+                        (dref(*id), market_code(*market), *doomed)
+                    }
+                    _ => unreachable!("pre-filtered by kind"),
+                })
+                .collect();
+            for r in &rows {
+                write_u64(buf, r.0);
+            }
+            buf.extend(rows.iter().map(|r| r.1));
+            buf.extend(rows.iter().map(|r| u8::from(r.2)));
+        }
+        EventKind::LeaseClosed => {
+            #[allow(clippy::type_complexity)]
+            let rows: Vec<(u64, u8, bool, u8, SimTime, SimTime, f64, SimTime)> = evs
+                .iter()
+                .map(|(t, ev)| match ev {
+                    TelemetryEvent::LeaseClosed {
+                        id,
+                        market,
+                        spot,
+                        reason,
+                        start,
+                        end,
+                        cost,
+                    } => (
+                        dref(*id),
+                        market_code(*market),
+                        *spot,
+                        termination_code(*reason),
+                        *start,
+                        *end,
+                        *cost,
+                        *t,
+                    ),
+                    _ => unreachable!("pre-filtered by kind"),
+                })
+                .collect();
+            for r in &rows {
+                write_u64(buf, r.0);
+            }
+            buf.extend(rows.iter().map(|r| r.1));
+            buf.extend(rows.iter().map(|r| u8::from(r.2)));
+            buf.extend(rows.iter().map(|r| r.3));
+            for r in &rows {
+                t_delta(buf, r.4, r.7);
+            }
+            for r in &rows {
+                t_delta(buf, r.5, r.7);
+            }
+            for r in &rows {
+                write_f64_bits(buf, r.6);
+            }
+        }
+        EventKind::PriceCrossing | EventKind::RevocationWarning => {
+            let rows: Vec<(u64, u8, SimTime, SimTime)> = evs
+                .iter()
+                .map(|(t, ev)| match ev {
+                    TelemetryEvent::PriceCrossing { id, market, at } => {
+                        (dref(*id), market_code(*market), *at, *t)
+                    }
+                    TelemetryEvent::RevocationWarning {
+                        id,
+                        market,
+                        terminate_at,
+                    } => (dref(*id), market_code(*market), *terminate_at, *t),
+                    _ => unreachable!("pre-filtered by kind"),
+                })
+                .collect();
+            for r in &rows {
+                write_u64(buf, r.0);
+            }
+            buf.extend(rows.iter().map(|r| r.1));
+            for r in &rows {
+                t_delta(buf, r.2, r.3);
+            }
+        }
+        EventKind::MigrationStarted => {
+            let rows: Vec<(u8, u8, u8)> = evs
+                .iter()
+                .map(|(_, ev)| match ev {
+                    TelemetryEvent::MigrationStarted { kind, from, to } => {
+                        (migkind_code(*kind), market_code(*from), market_code(*to))
+                    }
+                    _ => unreachable!("pre-filtered by kind"),
+                })
+                .collect();
+            buf.extend(rows.iter().map(|r| r.0));
+            buf.extend(rows.iter().map(|r| r.1));
+            buf.extend(rows.iter().map(|r| r.2));
+        }
+        EventKind::MigrationPhase => {
+            let rows: Vec<(u8, u64)> = evs
+                .iter()
+                .map(|(_, ev)| match ev {
+                    TelemetryEvent::MigrationPhase { phase, duration } => {
+                        (phase_code(*phase), duration.as_millis())
+                    }
+                    _ => unreachable!("pre-filtered by kind"),
+                })
+                .collect();
+            buf.extend(rows.iter().map(|r| r.0));
+            for r in &rows {
+                write_u64(buf, r.1);
+            }
+        }
+        EventKind::MigrationCompleted => {
+            let rows: Vec<(u8, u8, u8, u64, u64)> = evs
+                .iter()
+                .map(|(_, ev)| match ev {
+                    TelemetryEvent::MigrationCompleted {
+                        kind,
+                        from,
+                        to,
+                        downtime,
+                        degraded,
+                    } => (
+                        migkind_code(*kind),
+                        market_code(*from),
+                        market_code(*to),
+                        downtime.as_millis(),
+                        degraded.as_millis(),
+                    ),
+                    _ => unreachable!("pre-filtered by kind"),
+                })
+                .collect();
+            buf.extend(rows.iter().map(|r| r.0));
+            buf.extend(rows.iter().map(|r| r.1));
+            buf.extend(rows.iter().map(|r| r.2));
+            for r in &rows {
+                write_u64(buf, r.3);
+            }
+            for r in &rows {
+                write_u64(buf, r.4);
+            }
+        }
+        EventKind::MigrationAborted => {
+            let rows: Vec<(u8, u8)> = evs
+                .iter()
+                .map(|(_, ev)| match ev {
+                    TelemetryEvent::MigrationAborted { kind, from } => {
+                        (migkind_code(*kind), market_code(*from))
+                    }
+                    _ => unreachable!("pre-filtered by kind"),
+                })
+                .collect();
+            buf.extend(rows.iter().map(|r| r.0));
+            buf.extend(rows.iter().map(|r| r.1));
+        }
+        EventKind::Outage | EventKind::Degraded => {
+            let rows: Vec<(SimTime, SimTime, SimTime)> = evs
+                .iter()
+                .map(|(t, ev)| match ev {
+                    TelemetryEvent::Outage { start, end }
+                    | TelemetryEvent::Degraded { start, end } => (*start, *end, *t),
+                    _ => unreachable!("pre-filtered by kind"),
+                })
+                .collect();
+            for r in &rows {
+                t_delta(buf, r.0, r.2);
+            }
+            for r in &rows {
+                t_delta(buf, r.1, r.2);
+            }
+        }
+        EventKind::ServiceUp => {
+            let rows: Vec<(u64, u8, bool, bool)> = evs
+                .iter()
+                .map(|(_, ev)| match ev {
+                    TelemetryEvent::ServiceUp {
+                        id,
+                        market,
+                        spot,
+                        first,
+                    } => (dref(*id), market_code(*market), *spot, *first),
+                    _ => unreachable!("pre-filtered by kind"),
+                })
+                .collect();
+            for r in &rows {
+                write_u64(buf, r.0);
+            }
+            buf.extend(rows.iter().map(|r| r.1));
+            buf.extend(rows.iter().map(|r| u8::from(r.2)));
+            buf.extend(rows.iter().map(|r| u8::from(r.3)));
+        }
+        EventKind::FaultInjected => {
+            for (_, ev) in evs.iter().copied() {
+                match ev {
+                    TelemetryEvent::FaultInjected { kind } => buf.push(fault_code(*kind)),
+                    _ => unreachable!("pre-filtered by kind"),
+                }
+            }
+        }
+        EventKind::BackoffScheduled => {
+            let rows: Vec<(u32, SimTime, SimTime)> = evs
+                .iter()
+                .map(|(t, ev)| match ev {
+                    TelemetryEvent::BackoffScheduled { attempt, until } => (*attempt, *until, *t),
+                    _ => unreachable!("pre-filtered by kind"),
+                })
+                .collect();
+            for r in &rows {
+                write_u64(buf, u64::from(r.0));
+            }
+            for r in &rows {
+                t_delta(buf, r.1, r.2);
+            }
+        }
+        EventKind::StateChange => {
+            for (_, ev) in evs.iter().copied() {
+                match ev {
+                    TelemetryEvent::StateChange { state } => buf.push(state_code(*state)),
+                    _ => unreachable!("pre-filtered by kind"),
+                }
+            }
+        }
+        EventKind::StormStarted | EventKind::StormEnded => {
+            for (_, ev) in evs.iter().copied() {
+                match ev {
+                    TelemetryEvent::StormStarted { zone } | TelemetryEvent::StormEnded { zone } => {
+                        buf.push(zone_code(*zone))
+                    }
+                    _ => unreachable!("pre-filtered by kind"),
+                }
+            }
+        }
+        EventKind::QuotaExhausted => {
+            for (_, ev) in evs.iter().copied() {
+                match ev {
+                    TelemetryEvent::QuotaExhausted { market } => buf.push(market_code(*market)),
+                    _ => unreachable!("pre-filtered by kind"),
+                }
+            }
+        }
+    }
+}
+
+fn decode_column(
+    c: &mut Cursor<'_>,
+    kind: EventKind,
+    n: usize,
+    min_t: u64,
+    dict: &[u64],
+) -> Result<Vec<TimedEvent>, ColError> {
+    let ts = decode_ts(c, n, min_t)?;
+    let mut out = Vec::with_capacity(n);
+    match kind {
+        EventKind::BidPlaced => {
+            let markets = c.bytes(n)?.to_vec();
+            let bids = decode_opt_f64(c, n)?;
+            let risks = decode_opt_f64(c, n)?;
+            for i in 0..n {
+                out.push((
+                    SimTime(ts[i]),
+                    TelemetryEvent::BidPlaced {
+                        market: market_from_code(markets[i])?,
+                        bid: bids[i],
+                        predicted_risk: risks[i],
+                    },
+                ));
+            }
+        }
+        EventKind::LeaseGranted => {
+            let ids = read_vec(c, n, |c| c.u64())?;
+            let markets = c.bytes(n)?.to_vec();
+            let spots = c.bytes(n)?.to_vec();
+            for i in 0..n {
+                let ready_at = read_t_delta(c, ts[i])?;
+                out.push((
+                    SimTime(ts[i]),
+                    TelemetryEvent::LeaseGranted {
+                        id: dict_id(dict, ids[i])?,
+                        market: market_from_code(markets[i])?,
+                        spot: spots[i] != 0,
+                        ready_at,
+                    },
+                ));
+            }
+        }
+        EventKind::LeaseDenied => {
+            let markets = c.bytes(n)?.to_vec();
+            let spots = c.bytes(n)?.to_vec();
+            let reasons = c.bytes(n)?.to_vec();
+            for i in 0..n {
+                out.push((
+                    SimTime(ts[i]),
+                    TelemetryEvent::LeaseDenied {
+                        market: market_from_code(markets[i])?,
+                        spot: spots[i] != 0,
+                        reason: denial_from_code(reasons[i])?,
+                    },
+                ));
+            }
+        }
+        EventKind::LeaseActivated | EventKind::UnwarnedDeath => {
+            let ids = read_vec(c, n, |c| c.u64())?;
+            let markets = c.bytes(n)?.to_vec();
+            for i in 0..n {
+                let id = dict_id(dict, ids[i])?;
+                let market = market_from_code(markets[i])?;
+                let ev = if kind == EventKind::LeaseActivated {
+                    TelemetryEvent::LeaseActivated { id, market }
+                } else {
+                    TelemetryEvent::UnwarnedDeath { id, market }
+                };
+                out.push((SimTime(ts[i]), ev));
+            }
+        }
+        EventKind::ActivationFailed => {
+            let ids = read_vec(c, n, |c| c.u64())?;
+            let markets = c.bytes(n)?.to_vec();
+            let doomed = c.bytes(n)?.to_vec();
+            for i in 0..n {
+                out.push((
+                    SimTime(ts[i]),
+                    TelemetryEvent::ActivationFailed {
+                        id: dict_id(dict, ids[i])?,
+                        market: market_from_code(markets[i])?,
+                        doomed: doomed[i] != 0,
+                    },
+                ));
+            }
+        }
+        EventKind::LeaseClosed => {
+            let ids = read_vec(c, n, |c| c.u64())?;
+            let markets = c.bytes(n)?.to_vec();
+            let spots = c.bytes(n)?.to_vec();
+            let reasons = c.bytes(n)?.to_vec();
+            let mut starts = Vec::with_capacity(n);
+            for &t in ts.iter().take(n) {
+                starts.push(read_t_delta(c, t)?);
+            }
+            let mut ends = Vec::with_capacity(n);
+            for &t in ts.iter().take(n) {
+                ends.push(read_t_delta(c, t)?);
+            }
+            let costs = read_vec(c, n, |c| c.f64_bits())?;
+            for i in 0..n {
+                out.push((
+                    SimTime(ts[i]),
+                    TelemetryEvent::LeaseClosed {
+                        id: dict_id(dict, ids[i])?,
+                        market: market_from_code(markets[i])?,
+                        spot: spots[i] != 0,
+                        reason: termination_from_code(reasons[i])?,
+                        start: starts[i],
+                        end: ends[i],
+                        cost: costs[i],
+                    },
+                ));
+            }
+        }
+        EventKind::PriceCrossing | EventKind::RevocationWarning => {
+            let ids = read_vec(c, n, |c| c.u64())?;
+            let markets = c.bytes(n)?.to_vec();
+            for i in 0..n {
+                let when = read_t_delta(c, ts[i])?;
+                let id = dict_id(dict, ids[i])?;
+                let market = market_from_code(markets[i])?;
+                let ev = if kind == EventKind::PriceCrossing {
+                    TelemetryEvent::PriceCrossing {
+                        id,
+                        market,
+                        at: when,
+                    }
+                } else {
+                    TelemetryEvent::RevocationWarning {
+                        id,
+                        market,
+                        terminate_at: when,
+                    }
+                };
+                out.push((SimTime(ts[i]), ev));
+            }
+        }
+        EventKind::MigrationStarted => {
+            let kinds = c.bytes(n)?.to_vec();
+            let froms = c.bytes(n)?.to_vec();
+            let tos = c.bytes(n)?.to_vec();
+            for i in 0..n {
+                out.push((
+                    SimTime(ts[i]),
+                    TelemetryEvent::MigrationStarted {
+                        kind: migkind_from_code(kinds[i])?,
+                        from: market_from_code(froms[i])?,
+                        to: market_from_code(tos[i])?,
+                    },
+                ));
+            }
+        }
+        EventKind::MigrationPhase => {
+            let phases = c.bytes(n)?.to_vec();
+            let durs = read_vec(c, n, |c| c.u64())?;
+            for i in 0..n {
+                out.push((
+                    SimTime(ts[i]),
+                    TelemetryEvent::MigrationPhase {
+                        phase: phase_from_code(phases[i])?,
+                        duration: SimDuration(durs[i]),
+                    },
+                ));
+            }
+        }
+        EventKind::MigrationCompleted => {
+            let kinds = c.bytes(n)?.to_vec();
+            let froms = c.bytes(n)?.to_vec();
+            let tos = c.bytes(n)?.to_vec();
+            let downs = read_vec(c, n, |c| c.u64())?;
+            let degs = read_vec(c, n, |c| c.u64())?;
+            for i in 0..n {
+                out.push((
+                    SimTime(ts[i]),
+                    TelemetryEvent::MigrationCompleted {
+                        kind: migkind_from_code(kinds[i])?,
+                        from: market_from_code(froms[i])?,
+                        to: market_from_code(tos[i])?,
+                        downtime: SimDuration(downs[i]),
+                        degraded: SimDuration(degs[i]),
+                    },
+                ));
+            }
+        }
+        EventKind::MigrationAborted => {
+            let kinds = c.bytes(n)?.to_vec();
+            let froms = c.bytes(n)?.to_vec();
+            for i in 0..n {
+                out.push((
+                    SimTime(ts[i]),
+                    TelemetryEvent::MigrationAborted {
+                        kind: migkind_from_code(kinds[i])?,
+                        from: market_from_code(froms[i])?,
+                    },
+                ));
+            }
+        }
+        EventKind::Outage | EventKind::Degraded => {
+            let mut starts = Vec::with_capacity(n);
+            for &t in ts.iter().take(n) {
+                starts.push(read_t_delta(c, t)?);
+            }
+            for i in 0..n {
+                let end = read_t_delta(c, ts[i])?;
+                let ev = if kind == EventKind::Outage {
+                    TelemetryEvent::Outage {
+                        start: starts[i],
+                        end,
+                    }
+                } else {
+                    TelemetryEvent::Degraded {
+                        start: starts[i],
+                        end,
+                    }
+                };
+                out.push((SimTime(ts[i]), ev));
+            }
+        }
+        EventKind::ServiceUp => {
+            let ids = read_vec(c, n, |c| c.u64())?;
+            let markets = c.bytes(n)?.to_vec();
+            let spots = c.bytes(n)?.to_vec();
+            let firsts = c.bytes(n)?.to_vec();
+            for i in 0..n {
+                out.push((
+                    SimTime(ts[i]),
+                    TelemetryEvent::ServiceUp {
+                        id: dict_id(dict, ids[i])?,
+                        market: market_from_code(markets[i])?,
+                        spot: spots[i] != 0,
+                        first: firsts[i] != 0,
+                    },
+                ));
+            }
+        }
+        EventKind::FaultInjected => {
+            let kinds = c.bytes(n)?.to_vec();
+            for i in 0..n {
+                out.push((
+                    SimTime(ts[i]),
+                    TelemetryEvent::FaultInjected {
+                        kind: fault_from_code(kinds[i])?,
+                    },
+                ));
+            }
+        }
+        EventKind::BackoffScheduled => {
+            let attempts = read_vec(c, n, |c| {
+                u32::try_from(c.u64()?).map_err(|_| ColError::Corrupt("attempt overflows u32"))
+            })?;
+            for i in 0..n {
+                let until = read_t_delta(c, ts[i])?;
+                out.push((
+                    SimTime(ts[i]),
+                    TelemetryEvent::BackoffScheduled {
+                        attempt: attempts[i],
+                        until,
+                    },
+                ));
+            }
+        }
+        EventKind::StateChange => {
+            let states = c.bytes(n)?.to_vec();
+            for i in 0..n {
+                out.push((
+                    SimTime(ts[i]),
+                    TelemetryEvent::StateChange {
+                        state: state_from_code(states[i])?,
+                    },
+                ));
+            }
+        }
+        EventKind::StormStarted | EventKind::StormEnded => {
+            let zones = c.bytes(n)?.to_vec();
+            for i in 0..n {
+                let zone = zone_from_code(zones[i])?;
+                let ev = if kind == EventKind::StormStarted {
+                    TelemetryEvent::StormStarted { zone }
+                } else {
+                    TelemetryEvent::StormEnded { zone }
+                };
+                out.push((SimTime(ts[i]), ev));
+            }
+        }
+        EventKind::QuotaExhausted => {
+            let markets = c.bytes(n)?.to_vec();
+            for i in 0..n {
+                out.push((
+                    SimTime(ts[i]),
+                    TelemetryEvent::QuotaExhausted {
+                        market: market_from_code(markets[i])?,
+                    },
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spothost_market::types::{InstanceType, MarketId, Zone};
+    use spothost_telemetry::SchedulerState;
+
+    fn m(i: usize) -> MarketId {
+        MarketId::new(Zone::ALL[i % 4], InstanceType::ALL[i % 4])
+    }
+
+    fn sample_stream() -> Vec<TimedEvent> {
+        vec![
+            (
+                SimTime::millis(10),
+                TelemetryEvent::BidPlaced {
+                    market: m(0),
+                    bid: Some(0.25),
+                    predicted_risk: None,
+                },
+            ),
+            (
+                SimTime::millis(10),
+                TelemetryEvent::StateChange {
+                    state: SchedulerState::Boot,
+                },
+            ),
+            (
+                SimTime::millis(500),
+                TelemetryEvent::LeaseGranted {
+                    id: InstanceId(3),
+                    market: m(0),
+                    spot: true,
+                    ready_at: SimTime::millis(60_500),
+                },
+            ),
+            (
+                SimTime::millis(60_500),
+                TelemetryEvent::LeaseClosed {
+                    id: InstanceId(3),
+                    market: m(0),
+                    spot: true,
+                    reason: spothost_cloudsim::TerminationReason::Revoked,
+                    start: SimTime::millis(500),
+                    end: SimTime::millis(60_500),
+                    cost: 0.017,
+                },
+            ),
+            (
+                SimTime::millis(61_000),
+                TelemetryEvent::Outage {
+                    start: SimTime::millis(60_500),
+                    end: SimTime::millis(61_000),
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn seal_decode_roundtrip_preserves_stream() {
+        let events = sample_stream();
+        let payload = seal(Some(7), &events);
+        let (meta, decoded) = decode(&payload).unwrap();
+        assert_eq!(meta.vm, Some(7));
+        assert_eq!(meta.count, events.len());
+        assert_eq!(meta.min_t_ms, 10);
+        assert_eq!(meta.max_t_ms, 61_000);
+        assert_eq!(decoded, events);
+    }
+
+    #[test]
+    fn meta_bitmaps_reflect_contents() {
+        let payload = seal(None, &sample_stream());
+        let meta = decode_meta(&payload).unwrap();
+        assert_eq!(meta.vm, None);
+        assert!(meta.kinds & (1 << EventKind::LeaseClosed.index()) != 0);
+        assert!(meta.kinds & (1 << EventKind::StormStarted.index()) == 0);
+        assert!(meta.markets & (1 << m(0).dense_index()) != 0);
+        assert!(meta.zones & (1 << m(0).zone.index()) != 0);
+    }
+
+    #[test]
+    fn empty_input_seals_to_empty_payload() {
+        assert!(seal(None, &[]).is_empty());
+    }
+
+    #[test]
+    fn corrupt_payloads_error_not_panic() {
+        let payload = seal(None, &sample_stream());
+        assert!(decode(&payload[..payload.len() - 1]).is_err());
+        assert!(decode(&payload[..3]).is_err());
+        let mut trailing = payload.clone();
+        trailing.push(0);
+        assert!(decode(&trailing).is_err());
+        assert!(decode(&[]).is_err());
+    }
+}

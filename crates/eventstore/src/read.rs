@@ -1,0 +1,252 @@
+//! The read path: [`ColReader`] parses a columnar file into raw blocks
+//! (headers eagerly, payloads lazily) and serves predicate-filtered
+//! selections, decoding only the blocks whose header zone maps survive
+//! pruning.
+
+use crate::block::{self, BlockMeta};
+use crate::query::Predicate;
+use crate::store::MAGIC;
+use crate::ColError;
+use spothost_market::time::SimTime;
+use spothost_telemetry::TelemetryEvent;
+use std::path::Path;
+
+/// One decoded event with its stream tag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredEvent {
+    /// Fleet VM (spawn index) the event came from; `None` for untagged
+    /// single-run streams.
+    pub vm: Option<u32>,
+    /// Emission time.
+    pub at: SimTime,
+    /// The event itself.
+    pub event: TelemetryEvent,
+}
+
+struct RawBlock {
+    meta: BlockMeta,
+    payload: Vec<u8>,
+}
+
+/// The result of [`ColReader::select`]: matching events plus pruning
+/// statistics, so callers (and tests) can see how much of the file the
+/// predicate actually touched.
+#[derive(Debug, Clone)]
+pub struct Selection {
+    /// Events matching the predicate, in file order (per-VM streams stay
+    /// in emission order; different VMs interleave by seal time).
+    pub events: Vec<StoredEvent>,
+    /// Total blocks in the file.
+    pub blocks_total: usize,
+    /// Blocks that survived header pruning and were decoded.
+    pub blocks_decoded: usize,
+}
+
+/// A reader over one columnar store file.
+pub struct ColReader {
+    blocks: Vec<RawBlock>,
+}
+
+impl std::fmt::Debug for ColReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ColReader")
+            .field("blocks", &self.blocks.len())
+            .field("events", &self.event_count())
+            .finish()
+    }
+}
+
+impl ColReader {
+    /// Parse a columnar file from bytes. Headers are decoded up front
+    /// (they are a few dozen bytes per block); column payloads stay raw
+    /// until a predicate needs them.
+    ///
+    /// An empty input is a valid, empty store (a run that emitted no
+    /// events writes no bytes).
+    pub fn from_bytes(data: &[u8]) -> Result<Self, ColError> {
+        if data.is_empty() {
+            return Ok(ColReader { blocks: Vec::new() });
+        }
+        if data.len() < MAGIC.len() || &data[..MAGIC.len()] != MAGIC {
+            return Err(ColError::BadMagic);
+        }
+        let mut rest = &data[MAGIC.len()..];
+        let mut blocks = Vec::new();
+        while !rest.is_empty() {
+            if rest.len() < 4 {
+                return Err(ColError::Truncated);
+            }
+            let mut len4 = [0u8; 4];
+            len4.copy_from_slice(&rest[..4]);
+            let len = u32::from_le_bytes(len4) as usize;
+            rest = &rest[4..];
+            if rest.len() < len {
+                return Err(ColError::Truncated);
+            }
+            let payload = rest[..len].to_vec();
+            rest = &rest[len..];
+            let meta = block::decode_meta(&payload)?;
+            blocks.push(RawBlock { meta, payload });
+        }
+        Ok(ColReader { blocks })
+    }
+
+    /// Open and parse a `.col` file.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, ColError> {
+        let data = std::fs::read(path)?;
+        ColReader::from_bytes(&data)
+    }
+
+    /// Number of blocks in the file.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total events across all blocks (from headers; no decoding).
+    pub fn event_count(&self) -> u64 {
+        self.blocks.iter().map(|b| b.meta.count as u64).sum()
+    }
+
+    /// Block headers, in file order (for `--stats`-style output).
+    pub fn metas(&self) -> impl Iterator<Item = &BlockMeta> {
+        self.blocks.iter().map(|b| &b.meta)
+    }
+
+    /// Distinct VM tags present, sorted, `None` first if present.
+    pub fn vms(&self) -> Vec<Option<u32>> {
+        let mut vms: Vec<Option<u32>> = self.blocks.iter().map(|b| b.meta.vm).collect();
+        vms.sort_unstable();
+        vms.dedup();
+        vms
+    }
+
+    /// Decode every block and return the full stream (no filtering).
+    pub fn decode_all(&self) -> Result<Vec<StoredEvent>, ColError> {
+        Ok(self.select(&Predicate::any())?.events)
+    }
+
+    /// Evaluate `pred`: prune blocks on their headers, decode survivors,
+    /// then filter events. The returned [`Selection`] reports how many
+    /// blocks were decoded vs. total — the pruning win.
+    pub fn select(&self, pred: &Predicate) -> Result<Selection, ColError> {
+        let mut events = Vec::new();
+        let mut decoded = 0usize;
+        for raw in &self.blocks {
+            if !pred.matches_meta(&raw.meta) {
+                continue;
+            }
+            decoded += 1;
+            let (meta, stream) = block::decode(&raw.payload)?;
+            if meta != raw.meta {
+                return Err(ColError::Corrupt("block body disagrees with header"));
+            }
+            for (at, event) in stream {
+                let se = StoredEvent {
+                    vm: meta.vm,
+                    at,
+                    event,
+                };
+                if pred.matches_event(&se) {
+                    events.push(se);
+                }
+            }
+        }
+        Ok(Selection {
+            events,
+            blocks_total: self.blocks.len(),
+            blocks_decoded: decoded,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::ColumnarStore;
+    use crate::EventKind;
+    use spothost_market::time::SimDuration;
+    use spothost_market::types::{InstanceType, MarketId, Zone};
+    use spothost_telemetry::Sink;
+
+    fn write_two_vm_store() -> Vec<u8> {
+        let store = ColumnarStore::in_memory().with_block_events(8);
+        for vm in 0..2u32 {
+            let mut sink = store.sink_for_vm(vm);
+            for i in 0..20u64 {
+                sink.emit(
+                    SimTime::millis(i * 60_000),
+                    TelemetryEvent::QuotaExhausted {
+                        market: MarketId::new(Zone::ALL[vm as usize], InstanceType::Large),
+                    },
+                );
+            }
+        }
+        store.bytes()
+    }
+
+    #[test]
+    fn select_prunes_blocks_on_time_range() {
+        let reader = ColReader::from_bytes(&write_two_vm_store()).unwrap();
+        assert_eq!(reader.block_count(), 6); // 2 VMs × (2 full + 1 partial)
+
+        // A range covering only the first block's window of each VM.
+        let pred = Predicate::any().with_time_range(SimTime::ZERO, SimTime::millis(7 * 60_000));
+        let sel = reader.select(&pred).unwrap();
+        assert_eq!(sel.blocks_total, 6);
+        assert!(sel.blocks_decoded < sel.blocks_total);
+        assert_eq!(sel.events.len(), 16); // 8 per VM
+    }
+
+    #[test]
+    fn select_prunes_blocks_on_zone_and_vm() {
+        let reader = ColReader::from_bytes(&write_two_vm_store()).unwrap();
+        let pred = Predicate::any().with_zone(Zone::ALL[1]);
+        let sel = reader.select(&pred).unwrap();
+        assert_eq!(sel.blocks_decoded, 3);
+        assert_eq!(sel.events.len(), 20);
+        assert!(sel.events.iter().all(|e| e.vm == Some(1)));
+
+        let sel = reader.select(&Predicate::any().with_vm(0)).unwrap();
+        assert_eq!(sel.blocks_decoded, 3);
+        assert!(sel.events.iter().all(|e| e.vm == Some(0)));
+    }
+
+    #[test]
+    fn select_filters_events_within_blocks() {
+        let store = ColumnarStore::in_memory();
+        {
+            let mut sink = store.sink();
+            sink.emit(
+                SimTime::millis(1),
+                TelemetryEvent::MigrationPhase {
+                    phase: spothost_telemetry::MigrationPhase::Prepare,
+                    duration: SimDuration::millis(5),
+                },
+            );
+            sink.emit(
+                SimTime::millis(2),
+                TelemetryEvent::StormStarted {
+                    zone: Zone::UsEast1a,
+                },
+            );
+        }
+        let reader = ColReader::from_bytes(&store.bytes()).unwrap();
+        let sel = reader
+            .select(&Predicate::any().with_kind(EventKind::StormStarted))
+            .unwrap();
+        assert_eq!(sel.blocks_decoded, 1);
+        assert_eq!(sel.events.len(), 1);
+        assert_eq!(EventKind::of(&sel.events[0].event), EventKind::StormStarted);
+    }
+
+    #[test]
+    fn bad_magic_and_truncation_error() {
+        assert!(matches!(
+            ColReader::from_bytes(b"NOTSPOT!rest"),
+            Err(ColError::BadMagic)
+        ));
+        let bytes = write_two_vm_store();
+        assert!(ColReader::from_bytes(&bytes[..bytes.len() - 2]).is_err());
+        assert!(ColReader::from_bytes(&[]).unwrap().block_count() == 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! LEB128 variable-length integers and zigzag signed mapping — the
+//! primitive the columnar format is built from. Timestamps are stored as
+//! non-negative deltas (varint); in-variant times are stored as signed
+//! deltas from the emission instant (zigzag varint), which keeps
+//! "two minutes from now" and "an hour ago" equally tiny.
+
+use crate::ColError;
+
+/// Append `v` as an LEB128 varint (7 bits per byte, high bit = more).
+pub fn write_u64(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Append `v` zigzag-mapped (0, -1, 1, -2, ... → 0, 1, 2, 3, ...).
+pub fn write_i64(buf: &mut Vec<u8>, v: i64) {
+    write_u64(buf, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+/// A bounds-checked little read cursor over a byte slice.
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Read one raw byte.
+    pub fn byte(&mut self) -> Result<u8, ColError> {
+        let b = *self.buf.get(self.pos).ok_or(ColError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Read `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], ColError> {
+        let end = self.pos.checked_add(n).ok_or(ColError::Truncated)?;
+        let s = self.buf.get(self.pos..end).ok_or(ColError::Truncated)?;
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Read an LEB128 varint.
+    pub fn u64(&mut self) -> Result<u64, ColError> {
+        let mut v: u64 = 0;
+        let mut shift = 0u32;
+        loop {
+            let byte = self.byte()?;
+            if shift >= 64 || (shift == 63 && byte > 1) {
+                return Err(ColError::Corrupt("varint overflows u64"));
+            }
+            v |= u64::from(byte & 0x7f) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Read a zigzag varint.
+    pub fn i64(&mut self) -> Result<i64, ColError> {
+        let z = self.u64()?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+
+    /// Read a raw little-endian f64 bit pattern (lossless).
+    pub fn f64_bits(&mut self) -> Result<f64, ColError> {
+        let b = self.bytes(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(f64::from_bits(u64::from_le_bytes(a)))
+    }
+}
+
+/// Append the raw bit pattern of `v` (lossless, `to_bits`-exact).
+pub fn write_f64_bits(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip_edges() {
+        let mut buf = Vec::new();
+        let vals = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        for &v in &vals {
+            write_u64(&mut buf, v);
+        }
+        let mut c = Cursor::new(&buf);
+        for &v in &vals {
+            assert_eq!(c.u64().unwrap(), v);
+        }
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn i64_roundtrip_edges() {
+        let mut buf = Vec::new();
+        let vals = [0i64, -1, 1, -64, 63, i64::MIN, i64::MAX];
+        for &v in &vals {
+            write_i64(&mut buf, v);
+        }
+        let mut c = Cursor::new(&buf);
+        for &v in &vals {
+            assert_eq!(c.i64().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn f64_bits_exact_for_specials() {
+        let mut buf = Vec::new();
+        let vals = [0.0, -0.0, 1.5, f64::NAN, f64::INFINITY, f64::MIN_POSITIVE];
+        for &v in &vals {
+            write_f64_bits(&mut buf, v);
+        }
+        let mut c = Cursor::new(&buf);
+        for &v in &vals {
+            assert_eq!(c.f64_bits().unwrap().to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn truncated_and_overflow_inputs_error() {
+        let mut c = Cursor::new(&[0x80]);
+        assert!(c.u64().is_err());
+        let mut c = Cursor::new(&[0xff; 11]);
+        assert!(c.u64().is_err());
+        let mut c = Cursor::new(&[1, 2, 3]);
+        assert!(c.f64_bits().is_err());
+    }
+}

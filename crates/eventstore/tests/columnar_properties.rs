@@ -1,0 +1,483 @@
+//! Property tests for the columnar format and the query layer.
+//!
+//! (a) Lossless round-trip: for ANY event stream — arbitrary variants,
+//!     arbitrary field values including full-bit-pattern floats — sealing
+//!     into blocks and decoding reproduces the exact `TimedEvent` stream:
+//!     timestamps equal, every field equal, `f64`s `to_bits`-equal. The
+//!     re-encoded payload is byte-identical, so nothing is silently
+//!     normalized either.
+//! (b) Aggregate parity: percentiles, sums and histograms computed
+//!     through the query API over a stored stream equal the same
+//!     aggregates computed directly from the raw in-memory stream.
+//! (c) Pruning soundness: any predicate's pruned selection equals the
+//!     brute-force filter of the fully decoded stream — pruning never
+//!     drops a matching event.
+
+use proptest::prelude::*;
+use spothost_cloudsim::{InstanceId, TerminationReason};
+use spothost_eventstore::query::{
+    group_counts, grouped_values, histogram_of, percentile_of, Field, GroupBy, Predicate,
+};
+use spothost_eventstore::read::{ColReader, StoredEvent};
+use spothost_eventstore::store::ColumnarStore;
+use spothost_eventstore::{block, EventKind};
+use spothost_faults::FaultKind;
+use spothost_market::time::{SimDuration, SimTime};
+use spothost_market::types::{InstanceType, MarketId, Zone};
+use spothost_telemetry::{
+    DenialReason, MigrationPhase, SchedulerState, Sink, TelemetryEvent, TimedEvent,
+};
+use spothost_virt::MigrationKind;
+
+// ---- strategies (built on the workspace's minimal vendored proptest) -----
+
+fn opt<S: Strategy>(s: S) -> impl Strategy<Value = Option<S::Value>> {
+    (prop::bool::ANY, s).prop_map(|(some, v)| if some { Some(v) } else { None })
+}
+
+fn arb_market() -> impl Strategy<Value = MarketId> {
+    (0usize..4, 0usize..4).prop_map(|(z, i)| MarketId::new(Zone::ALL[z], InstanceType::ALL[i]))
+}
+
+fn arb_zone() -> impl Strategy<Value = Zone> {
+    (0usize..4).prop_map(|z| Zone::ALL[z])
+}
+
+fn arb_id() -> impl Strategy<Value = InstanceId> {
+    // Small ids (dictionary hits) and arbitrary u64 ids.
+    prop_oneof![
+        (0u64..8).prop_map(InstanceId),
+        (0u64..=u64::MAX).prop_map(InstanceId),
+    ]
+}
+
+/// Full-bit-pattern floats: every NaN payload, both zeros, infinities.
+fn arb_f64_bits() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        0.0f64..10.0,
+        0.0f64..10.0,
+        0.0f64..10.0,
+        (0u64..=u64::MAX).prop_map(f64::from_bits),
+    ]
+}
+
+fn arb_time() -> impl Strategy<Value = SimTime> {
+    // Near-stream times, the MAX sentinel, and the whole u64 range: the
+    // format must be lossless everywhere.
+    prop_oneof![
+        (0u64..10_000_000u64).prop_map(SimTime::millis),
+        (0u64..10_000_000u64).prop_map(SimTime::millis),
+        (0u64..10_000_000u64).prop_map(SimTime::millis),
+        (0u64..10_000_000u64).prop_map(SimTime::millis),
+        Just(SimTime::MAX),
+        (0u64..=u64::MAX).prop_map(SimTime),
+    ]
+}
+
+fn arb_duration() -> impl Strategy<Value = SimDuration> {
+    (0u64..100_000_000u64).prop_map(SimDuration::millis)
+}
+
+fn arb_term() -> impl Strategy<Value = TerminationReason> {
+    prop_oneof![
+        Just(TerminationReason::Revoked),
+        Just(TerminationReason::Voluntary),
+        Just(TerminationReason::FailedAllocation),
+    ]
+}
+
+fn arb_denial() -> impl Strategy<Value = DenialReason> {
+    prop_oneof![
+        Just(DenialReason::UnknownMarket),
+        Just(DenialReason::BidBelowPrice),
+        Just(DenialReason::BidAboveCap),
+        Just(DenialReason::InsufficientCapacity),
+        Just(DenialReason::QuotaExhausted),
+    ]
+}
+
+fn arb_phase() -> impl Strategy<Value = MigrationPhase> {
+    prop_oneof![
+        Just(MigrationPhase::Prepare),
+        Just(MigrationPhase::LivePrecopy),
+        Just(MigrationPhase::CkptFlush),
+        Just(MigrationPhase::Restore),
+        Just(MigrationPhase::LazyFaultIn),
+    ]
+}
+
+fn arb_state() -> impl Strategy<Value = SchedulerState> {
+    prop_oneof![
+        Just(SchedulerState::Boot),
+        Just(SchedulerState::Active),
+        Just(SchedulerState::Migrating),
+        Just(SchedulerState::Evacuating),
+        Just(SchedulerState::DownWaiting),
+        Just(SchedulerState::Restoring),
+        Just(SchedulerState::Reacquiring),
+    ]
+}
+
+fn arb_fault() -> impl Strategy<Value = FaultKind> {
+    prop_oneof![
+        Just(FaultKind::SpotCapacity),
+        Just(FaultKind::OdCapacity),
+        Just(FaultKind::StartupFailure),
+        Just(FaultKind::WarningMiss),
+        Just(FaultKind::WarningDelay),
+        Just(FaultKind::VolumeDelay),
+        Just(FaultKind::CkptWriteFail),
+        Just(FaultKind::LiveAbort),
+        Just(FaultKind::LazyStorm),
+    ]
+}
+
+fn arb_mig() -> impl Strategy<Value = MigrationKind> {
+    prop_oneof![
+        Just(MigrationKind::Forced),
+        Just(MigrationKind::Planned),
+        Just(MigrationKind::Reverse),
+    ]
+}
+
+fn arb_event() -> impl Strategy<Value = TelemetryEvent> {
+    prop_oneof![
+        (arb_market(), opt(arb_f64_bits()), opt(arb_f64_bits())).prop_map(
+            |(market, bid, predicted_risk)| TelemetryEvent::BidPlaced {
+                market,
+                bid,
+                predicted_risk
+            }
+        ),
+        (arb_id(), arb_market(), prop::bool::ANY, arb_time()).prop_map(
+            |(id, market, spot, ready_at)| TelemetryEvent::LeaseGranted {
+                id,
+                market,
+                spot,
+                ready_at
+            }
+        ),
+        (arb_market(), prop::bool::ANY, arb_denial()).prop_map(|(market, spot, reason)| {
+            TelemetryEvent::LeaseDenied {
+                market,
+                spot,
+                reason,
+            }
+        }),
+        (arb_id(), arb_market())
+            .prop_map(|(id, market)| TelemetryEvent::LeaseActivated { id, market }),
+        (arb_id(), arb_market(), prop::bool::ANY).prop_map(|(id, market, doomed)| {
+            TelemetryEvent::ActivationFailed { id, market, doomed }
+        }),
+        (
+            arb_id(),
+            arb_market(),
+            prop::bool::ANY,
+            arb_term(),
+            arb_time(),
+            arb_time(),
+            arb_f64_bits()
+        )
+            .prop_map(|(id, market, spot, reason, start, end, cost)| {
+                TelemetryEvent::LeaseClosed {
+                    id,
+                    market,
+                    spot,
+                    reason,
+                    start,
+                    end,
+                    cost,
+                }
+            }),
+        (arb_id(), arb_market(), arb_time())
+            .prop_map(|(id, market, at)| TelemetryEvent::PriceCrossing { id, market, at }),
+        (arb_id(), arb_market(), arb_time()).prop_map(|(id, market, terminate_at)| {
+            TelemetryEvent::RevocationWarning {
+                id,
+                market,
+                terminate_at,
+            }
+        }),
+        (arb_id(), arb_market())
+            .prop_map(|(id, market)| TelemetryEvent::UnwarnedDeath { id, market }),
+        (arb_mig(), arb_market(), arb_market())
+            .prop_map(|(kind, from, to)| TelemetryEvent::MigrationStarted { kind, from, to }),
+        (arb_phase(), arb_duration())
+            .prop_map(|(phase, duration)| TelemetryEvent::MigrationPhase { phase, duration }),
+        (
+            arb_mig(),
+            arb_market(),
+            arb_market(),
+            arb_duration(),
+            arb_duration()
+        )
+            .prop_map(|(kind, from, to, downtime, degraded)| {
+                TelemetryEvent::MigrationCompleted {
+                    kind,
+                    from,
+                    to,
+                    downtime,
+                    degraded,
+                }
+            }),
+        (arb_mig(), arb_market())
+            .prop_map(|(kind, from)| TelemetryEvent::MigrationAborted { kind, from }),
+        (arb_time(), arb_time()).prop_map(|(start, end)| TelemetryEvent::Outage { start, end }),
+        (arb_time(), arb_time()).prop_map(|(start, end)| TelemetryEvent::Degraded { start, end }),
+        (arb_id(), arb_market(), prop::bool::ANY, prop::bool::ANY).prop_map(
+            |(id, market, spot, first)| TelemetryEvent::ServiceUp {
+                id,
+                market,
+                spot,
+                first
+            }
+        ),
+        arb_fault().prop_map(|kind| TelemetryEvent::FaultInjected { kind }),
+        ((0u32..=u32::MAX), arb_time())
+            .prop_map(|(attempt, until)| TelemetryEvent::BackoffScheduled { attempt, until }),
+        arb_state().prop_map(|state| TelemetryEvent::StateChange { state }),
+        arb_zone().prop_map(|zone| TelemetryEvent::StormStarted { zone }),
+        arb_zone().prop_map(|zone| TelemetryEvent::StormEnded { zone }),
+        arb_market().prop_map(|market| TelemetryEvent::QuotaExhausted { market }),
+    ]
+}
+
+/// A monotone event stream: timestamps are a prefix sum of deltas.
+fn arb_stream(max_len: usize) -> impl Strategy<Value = Vec<TimedEvent>> {
+    prop::collection::vec((0u64..600_000u64, arb_event()), 0..max_len).prop_map(|raw| {
+        let mut t = 0u64;
+        raw.into_iter()
+            .map(|(dt, ev)| {
+                t += dt;
+                (SimTime::millis(t), ev)
+            })
+            .collect()
+    })
+}
+
+// ---- bit-exact comparison ------------------------------------------------
+
+/// `f64`-aware equality: like `PartialEq` but NaN-safe (`to_bits`).
+fn events_bits_equal(a: &TelemetryEvent, b: &TelemetryEvent) -> bool {
+    use TelemetryEvent as E;
+    let opt_bits = |x: Option<f64>, y: Option<f64>| match (x, y) {
+        (None, None) => true,
+        (Some(x), Some(y)) => x.to_bits() == y.to_bits(),
+        _ => false,
+    };
+    match (a, b) {
+        (
+            E::BidPlaced {
+                market: m1,
+                bid: b1,
+                predicted_risk: r1,
+            },
+            E::BidPlaced {
+                market: m2,
+                bid: b2,
+                predicted_risk: r2,
+            },
+        ) => m1 == m2 && opt_bits(*b1, *b2) && opt_bits(*r1, *r2),
+        (
+            E::LeaseClosed {
+                cost: c1,
+                id: i1,
+                market: m1,
+                spot: s1,
+                reason: r1,
+                start: st1,
+                end: e1,
+            },
+            E::LeaseClosed {
+                cost: c2,
+                id: i2,
+                market: m2,
+                spot: s2,
+                reason: r2,
+                start: st2,
+                end: e2,
+            },
+        ) => c1.to_bits() == c2.to_bits() && (i1, m1, s1, r1, st1, e1) == (i2, m2, s2, r2, st2, e2),
+        // Every other variant is float-free: derived equality is exact.
+        _ => a == b,
+    }
+}
+
+fn store_roundtrip(events: &[TimedEvent], block_events: usize) -> Vec<StoredEvent> {
+    let store = ColumnarStore::in_memory().with_block_events(block_events);
+    {
+        let mut sink = store.sink();
+        for (t, ev) in events {
+            sink.emit(*t, *ev);
+        }
+    }
+    let reader = ColReader::from_bytes(&store.bytes()).expect("store bytes must parse");
+    reader.decode_all().expect("store bytes must decode")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// (a) decode ∘ encode is the identity, bit-for-bit.
+    #[test]
+    fn roundtrip_is_lossless(events in arb_stream(120), vm in opt(0u32..64)) {
+        let payload = block::seal(vm, &events);
+        if events.is_empty() {
+            prop_assert!(payload.is_empty());
+            return Ok(());
+        }
+        let (meta, decoded) = block::decode(&payload).expect("sealed block must decode");
+        prop_assert_eq!(meta.vm, vm);
+        prop_assert_eq!(decoded.len(), events.len());
+        for ((t1, e1), (t2, e2)) in events.iter().zip(&decoded) {
+            // ISSUE: timestamp equality is to_bits-style exact (u64 ms).
+            prop_assert_eq!(t1.as_millis(), t2.as_millis());
+            prop_assert!(events_bits_equal(e1, e2), "event mismatch: {:?} vs {:?}", e1, e2);
+        }
+        // Nothing silently normalized: re-sealing the decoded stream
+        // yields the identical payload.
+        prop_assert_eq!(block::seal(vm, &decoded), payload);
+    }
+
+    /// (a') the full store (multi-block, framed file) round-trips too.
+    #[test]
+    fn multi_block_store_roundtrips(events in arb_stream(150), block_events in 1usize..16) {
+        let decoded = store_roundtrip(&events, block_events);
+        prop_assert_eq!(decoded.len(), events.len());
+        for ((t1, e1), se) in events.iter().zip(&decoded) {
+            prop_assert_eq!(t1.as_millis(), se.at.as_millis());
+            prop_assert_eq!(se.vm, None);
+            prop_assert!(events_bits_equal(e1, &se.event));
+        }
+    }
+
+    /// (b) aggregates through the query API equal aggregates computed
+    /// from the raw stream.
+    #[test]
+    fn aggregates_match_raw_stream(events in arb_stream(150)) {
+        let stored = store_roundtrip(&events, 16);
+        let raw: Vec<StoredEvent> = events
+            .iter()
+            .map(|(t, ev)| StoredEvent { vm: None, at: *t, event: *ev })
+            .collect();
+
+        for field in [Field::Cost, Field::LeaseHours, Field::OutageSeconds] {
+            let a = grouped_values(&stored, field, GroupBy::Zone);
+            let b = grouped_values(&raw, field, GroupBy::Zone);
+            prop_assert_eq!(a.len(), b.len());
+            for ((ka, va), (kb, vb)) in a.iter().zip(&b) {
+                prop_assert_eq!(ka, kb);
+                prop_assert_eq!(va.len(), vb.len());
+                for (x, y) in va.iter().zip(vb) {
+                    prop_assert_eq!(x.to_bits(), y.to_bits());
+                }
+                // Identical samples in identical order: percentile and
+                // histogram agree exactly (same analysis code path).
+                if va.iter().all(|v| !v.is_nan()) {
+                    let pa = percentile_of(va, 99.0);
+                    let pb = percentile_of(vb, 99.0);
+                    prop_assert_eq!(pa.to_bits(), pb.to_bits());
+                }
+                let ha = histogram_of(va, 8);
+                let hb = histogram_of(vb, 8);
+                prop_assert_eq!(ha.counts(), hb.counts());
+                prop_assert_eq!(ha.count(), hb.count());
+            }
+        }
+        prop_assert_eq!(
+            group_counts(&stored, GroupBy::Kind),
+            group_counts(&raw, GroupBy::Kind)
+        );
+    }
+
+    /// (c) pruned selection == brute-force filter of the full stream.
+    #[test]
+    fn pruning_never_drops_matches(
+        events in arb_stream(150),
+        block_events in 1usize..12,
+        from_ms in 0u64..40_000_000u64,
+        len_ms in 0u64..40_000_000u64,
+        kind_i in opt(0usize..22),
+        zone_i in opt(0usize..4),
+    ) {
+        let store = ColumnarStore::in_memory().with_block_events(block_events);
+        {
+            let mut sink = store.sink();
+            for (t, ev) in &events {
+                sink.emit(*t, *ev);
+            }
+        }
+        let reader = ColReader::from_bytes(&store.bytes()).expect("parse");
+
+        let mut pred = Predicate::any()
+            .with_time_range(SimTime::millis(from_ms), SimTime::millis(from_ms + len_ms));
+        if let Some(i) = kind_i {
+            pred = pred.with_kind(EventKind::ALL[i]);
+        }
+        if let Some(z) = zone_i {
+            pred = pred.with_zone(Zone::ALL[z]);
+        }
+
+        let sel = reader.select(&pred).expect("select");
+        let all = reader.decode_all().expect("decode");
+        let brute: Vec<&StoredEvent> = all.iter().filter(|se| pred.matches_event(se)).collect();
+        prop_assert_eq!(sel.events.len(), brute.len());
+        for (a, b) in sel.events.iter().zip(brute) {
+            prop_assert_eq!(a.at, b.at);
+            prop_assert!(events_bits_equal(&a.event, &b.event));
+        }
+        prop_assert!(sel.blocks_decoded <= sel.blocks_total);
+    }
+}
+
+/// NaN payloads and signed zeros survive verbatim (regression anchor for
+/// the `to_bits` guarantee, independent of proptest sampling).
+#[test]
+fn nan_payloads_roundtrip_bit_exact() {
+    let weird = f64::from_bits(0x7ff8_dead_beef_cafe);
+    let events = vec![
+        (
+            SimTime::millis(5),
+            TelemetryEvent::BidPlaced {
+                market: MarketId::new(Zone::UsEast1a, InstanceType::Small),
+                bid: Some(weird),
+                predicted_risk: Some(-0.0),
+            },
+        ),
+        (
+            SimTime::millis(9),
+            TelemetryEvent::LeaseClosed {
+                id: InstanceId(7),
+                market: MarketId::new(Zone::EuWest1a, InstanceType::XLarge),
+                spot: false,
+                reason: TerminationReason::Voluntary,
+                start: SimTime::ZERO,
+                end: SimTime::MAX,
+                cost: f64::NEG_INFINITY,
+            },
+        ),
+    ];
+    let payload = block::seal(None, &events);
+    let (_, decoded) = block::decode(&payload).expect("decode");
+    match &decoded[0].1 {
+        TelemetryEvent::BidPlaced {
+            bid,
+            predicted_risk,
+            ..
+        } => {
+            assert_eq!(bid.expect("bid present").to_bits(), weird.to_bits());
+            assert_eq!(
+                predicted_risk.expect("risk present").to_bits(),
+                (-0.0f64).to_bits()
+            );
+        }
+        other => panic!("wrong variant decoded: {other:?}"),
+    }
+    match &decoded[1].1 {
+        TelemetryEvent::LeaseClosed { cost, end, .. } => {
+            assert_eq!(cost.to_bits(), f64::NEG_INFINITY.to_bits());
+            assert_eq!(*end, SimTime::MAX);
+        }
+        other => panic!("wrong variant decoded: {other:?}"),
+    }
+}

@@ -33,5 +33,7 @@ pub mod vm;
 pub use packing::{pack, PlacementGroup};
 pub use pool::{run_fleet, FleetConfig};
 pub use report::FleetReport;
-pub use sim::{run_fleet_sim, FleetSample, FleetSim, FleetSimConfig, FleetSimReport};
+pub use sim::{
+    run_fleet_sim, run_fleet_sim_with, FleetSample, FleetSim, FleetSimConfig, FleetSimReport,
+};
 pub use vm::CustomerVm;

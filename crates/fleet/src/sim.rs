@@ -37,6 +37,7 @@ use spothost_core::policy::BiddingPolicy;
 use spothost_core::report::RunReport;
 use spothost_core::scheduler::{SimRun, SimScratch};
 use spothost_core::strategy::MarketScope;
+use spothost_core::telemetry::{NullSinkFactory, Sink, SinkFactory};
 use spothost_faults::StormConfig;
 use spothost_market::catalog::Catalog;
 use spothost_market::gen::{derive_seed, TraceSet};
@@ -329,8 +330,8 @@ impl FleetSimReport {
 }
 
 /// One live VM: its stepping scheduler run plus fleet bookkeeping.
-struct VmSlot<'t> {
-    run: SimRun<'t>,
+struct VmSlot<'t, S: Sink> {
+    run: SimRun<'t, S>,
     started: SimTime,
     spawn_idx: u32,
 }
@@ -338,15 +339,23 @@ struct VmSlot<'t> {
 /// The fleet simulator. Borrows a caller-owned [`TraceSet`] so every VM
 /// shares the arena-backed market history; use [`run_fleet_sim`] for the
 /// generate-and-run convenience path.
-pub struct FleetSim<'t> {
+///
+/// Generic over a [`SinkFactory`]: each spawned VM gets its own telemetry
+/// sink tagged with the VM's stable spawn index, so a columnar store (or
+/// any other factory) can demultiplex per-VM event streams afterwards.
+/// The default [`NullSinkFactory`] monomorphizes every per-VM run to the
+/// uninstrumented scheduler — the factory plumbing costs nothing unless a
+/// real factory is attached via [`FleetSim::with_sinks`].
+pub struct FleetSim<'t, F: SinkFactory = NullSinkFactory> {
     cfg: FleetSimConfig,
     traces: &'t TraceSet,
+    sinks: F,
     sched_cfg: SchedulerConfig,
     traffic: TrafficModel,
     seed: u64,
     horizon: SimTime,
     queue: EventQueue<FleetEv>,
-    vms: Vec<VmSlot<'t>>,
+    vms: Vec<VmSlot<'t, F::Sink>>,
     scratch_pool: Vec<SimScratch>,
     per_vm_cap: u64,
     baseline_rate: f64,
@@ -368,10 +377,24 @@ pub struct FleetSim<'t> {
     peak_desired: u32,
 }
 
+// `new` is defined concretely on the `NullSinkFactory` instantiation:
+// default type parameters don't guide function-call inference, so this is
+// what keeps every existing `FleetSim::new(..)` call site compiling
+// unchanged (mirroring `SimRun::new`).
 impl<'t> FleetSim<'t> {
     /// Build the fleet over a trace set covering every market in scope.
     /// Panics on an invalid config (validate first for a soft error).
     pub fn new(cfg: FleetSimConfig, traces: &'t TraceSet, seed: u64) -> Self {
+        FleetSim::with_sinks(cfg, traces, seed, NullSinkFactory)
+    }
+}
+
+impl<'t, F: SinkFactory> FleetSim<'t, F> {
+    /// [`FleetSim::new`] with a telemetry [`SinkFactory`]: every spawned
+    /// VM's scheduler run is instrumented with `factory.make(spawn_idx)`,
+    /// so the factory can tag each stream with the VM it came from.
+    /// Panics on an invalid config (validate first for a soft error).
+    pub fn with_sinks(cfg: FleetSimConfig, traces: &'t TraceSet, seed: u64, sinks: F) -> Self {
         if let Err(e) = cfg.validate() {
             panic!("invalid fleet sim config: {e}");
         }
@@ -385,6 +408,7 @@ impl<'t> FleetSim<'t> {
         FleetSim {
             cfg,
             traces,
+            sinks,
             sched_cfg,
             traffic,
             seed,
@@ -444,12 +468,16 @@ impl<'t> FleetSim<'t> {
     }
 
     /// Spawn one VM starting at `at`, drawing a fresh derived seed and
-    /// recycling scratch when available.
+    /// recycling scratch when available. The sink factory is consulted
+    /// with the VM's stable spawn index before the run begins, so its
+    /// very first emissions are already tagged.
     fn spawn(&mut self, at: SimTime) {
         let vm_seed = derive_seed(self.seed, "fleet-vm", self.spawn_counter as u64);
         let scratch = self.scratch_pool.pop().unwrap_or_default();
-        let mut run =
-            SimRun::with_scratch(self.traces, &self.sched_cfg, vm_seed, scratch).with_start(at);
+        let sink = self.sinks.make(self.spawn_counter);
+        let mut run = SimRun::with_scratch(self.traces, &self.sched_cfg, vm_seed, scratch)
+            .with_sink(sink)
+            .with_start(at);
         run.begin();
         self.vms.push(VmSlot {
             run,
@@ -631,6 +659,19 @@ impl<'t> FleetSim<'t> {
 /// is arena-backed, so a fleet sharing markets with other experiments in
 /// the same process reuses their price histories.
 pub fn run_fleet_sim(cfg: &FleetSimConfig, seed: u64, horizon: SimDuration) -> FleetSimReport {
+    run_fleet_sim_with(cfg, seed, horizon, NullSinkFactory)
+}
+
+/// [`run_fleet_sim`] with a telemetry [`SinkFactory`] attached: every
+/// spawned VM streams its events into `factory.make(spawn_idx)`. Pass a
+/// `spothost_eventstore::ColumnarStore` to capture per-VM tagged columnar
+/// telemetry of a whole fleet run.
+pub fn run_fleet_sim_with<F: SinkFactory>(
+    cfg: &FleetSimConfig,
+    seed: u64,
+    horizon: SimDuration,
+    sinks: F,
+) -> FleetSimReport {
     let catalog = Catalog::ec2_2015();
     let markets: Vec<_> = cfg
         .zones
@@ -638,7 +679,7 @@ pub fn run_fleet_sim(cfg: &FleetSimConfig, seed: u64, horizon: SimDuration) -> F
         .flat_map(|&z| spothost_market::types::MarketId::all_in_zone(z))
         .collect();
     let traces = TraceSet::generate(&catalog, &markets, seed, horizon);
-    FleetSim::new(cfg.clone(), &traces, seed).run()
+    FleetSim::with_sinks(cfg.clone(), &traces, seed, sinks).run()
 }
 
 #[cfg(test)]

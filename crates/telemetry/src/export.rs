@@ -380,10 +380,12 @@ pub fn event_to_csv_row(at: SimTime, ev: &TelemetryEvent) -> String {
         } => {
             instance = id.to_string();
             market = m.to_string();
+            // ';' separator: a comma here would break the fixed column
+            // arity of the row.
             detail = format!(
                 "{}{}",
                 if *spot { "spot" } else { "on-demand" },
-                if *first { ",first" } else { "" }
+                if *first { ";first" } else { "" }
             );
         }
         TelemetryEvent::FaultInjected { kind } => {

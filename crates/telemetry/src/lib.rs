@@ -49,7 +49,7 @@ pub use event::{DenialReason, MigrationPhase, SchedulerState, TelemetryEvent};
 pub use export::{event_to_csv_row, event_to_json, CSV_HEADER};
 pub use metrics::Metrics;
 pub use recorder::Recorder;
-pub use sink::{NullSink, Sink};
+pub use sink::{NullSink, NullSinkFactory, Sink, SinkFactory};
 pub use spothost_faults::FaultKind;
 pub use timeline::render_timeline;
 

@@ -58,6 +58,37 @@ impl<A: Sink, B: Sink> Sink for (A, B) {
     }
 }
 
+/// Builds one sink per member of a group of runs — the hook fleet-scale
+/// simulation uses to attach a tagged sink to every VM it spawns. The
+/// factory is consulted once per spawn with the member's stable index
+/// (spawn order), so a store can label each stream and later demultiplex
+/// per-VM timelines.
+///
+/// The associated `Sink` type keeps the dispatch static: a fleet built
+/// with [`NullSinkFactory`] monomorphizes to exactly the uninstrumented
+/// code, preserving the zero-cost guarantee.
+pub trait SinkFactory {
+    /// The sink type every member receives.
+    type Sink: Sink;
+
+    /// Build the sink for member `idx` (stable spawn index, from 0).
+    fn make(&mut self, idx: u32) -> Self::Sink;
+}
+
+/// The default factory: every member gets a [`NullSink`], and the whole
+/// instrumentation layer compiles away.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSinkFactory;
+
+impl SinkFactory for NullSinkFactory {
+    type Sink = NullSink;
+
+    #[inline(always)]
+    fn make(&mut self, _idx: u32) -> NullSink {
+        NullSink
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

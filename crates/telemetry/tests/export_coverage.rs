@@ -1,0 +1,311 @@
+//! Exhaustive export coverage: every `TelemetryEvent` variant round-trips
+//! through `event_to_json` / `event_to_csv_row` with golden assertions on
+//! field names, values, and escaping. A new enum variant fails the
+//! `exhaustive` match below at compile time, forcing this table to grow
+//! with the schema.
+
+use spothost_cloudsim::{InstanceId, TerminationReason};
+use spothost_faults::FaultKind;
+use spothost_market::time::{SimDuration, SimTime};
+use spothost_market::types::{InstanceType, MarketId, Zone};
+use spothost_telemetry::{
+    event_to_csv_row, event_to_json, DenialReason, MigrationPhase, SchedulerState, TelemetryEvent,
+    CSV_HEADER,
+};
+use spothost_virt::MigrationKind;
+
+fn m() -> MarketId {
+    MarketId::new(Zone::UsWest1a, InstanceType::Large)
+}
+
+fn m2() -> MarketId {
+    MarketId::new(Zone::UsEast1b, InstanceType::Small)
+}
+
+fn id() -> InstanceId {
+    InstanceId(42)
+}
+
+/// Compile-time exhaustiveness guard: adding a variant breaks this match,
+/// which is the cue to add a golden row below.
+fn exhaustive(ev: &TelemetryEvent) {
+    match ev {
+        TelemetryEvent::BidPlaced { .. }
+        | TelemetryEvent::LeaseGranted { .. }
+        | TelemetryEvent::LeaseDenied { .. }
+        | TelemetryEvent::LeaseActivated { .. }
+        | TelemetryEvent::ActivationFailed { .. }
+        | TelemetryEvent::LeaseClosed { .. }
+        | TelemetryEvent::PriceCrossing { .. }
+        | TelemetryEvent::RevocationWarning { .. }
+        | TelemetryEvent::UnwarnedDeath { .. }
+        | TelemetryEvent::MigrationStarted { .. }
+        | TelemetryEvent::MigrationPhase { .. }
+        | TelemetryEvent::MigrationCompleted { .. }
+        | TelemetryEvent::MigrationAborted { .. }
+        | TelemetryEvent::Outage { .. }
+        | TelemetryEvent::Degraded { .. }
+        | TelemetryEvent::ServiceUp { .. }
+        | TelemetryEvent::FaultInjected { .. }
+        | TelemetryEvent::BackoffScheduled { .. }
+        | TelemetryEvent::StateChange { .. }
+        | TelemetryEvent::StormStarted { .. }
+        | TelemetryEvent::StormEnded { .. }
+        | TelemetryEvent::QuotaExhausted { .. } => {}
+    }
+}
+
+/// One golden row per variant shape: (event, expected JSON, expected CSV).
+fn goldens() -> Vec<(TelemetryEvent, &'static str, &'static str)> {
+    vec![
+        (
+            TelemetryEvent::BidPlaced {
+                market: m(),
+                bid: Some(0.125),
+                predicted_risk: Some(0.02),
+            },
+            r#"{"t_ms":1000,"kind":"bid_placed","market":"us-west-1a/large","bid":0.125,"risk":0.02}"#,
+            "1000,bid_placed,,us-west-1a/large,,,,,0.125,risk=0.02",
+        ),
+        (
+            TelemetryEvent::BidPlaced {
+                market: m(),
+                bid: None,
+                predicted_risk: None,
+            },
+            r#"{"t_ms":1000,"kind":"bid_placed","market":"us-west-1a/large","on_demand":true}"#,
+            "1000,bid_placed,,us-west-1a/large,,,,,,on-demand",
+        ),
+        (
+            TelemetryEvent::LeaseGranted {
+                id: id(),
+                market: m(),
+                spot: true,
+                ready_at: SimTime::millis(61_000),
+            },
+            r#"{"t_ms":1000,"kind":"lease_granted","id":"i-000042","market":"us-west-1a/large","spot":true,"ready_ms":61000}"#,
+            "1000,lease_granted,i-000042,us-west-1a/large,,61000,,,,spot",
+        ),
+        (
+            TelemetryEvent::LeaseDenied {
+                market: m(),
+                spot: true,
+                reason: DenialReason::BidBelowPrice,
+            },
+            r#"{"t_ms":1000,"kind":"lease_denied","market":"us-west-1a/large","spot":true,"reason":"bid-below-price"}"#,
+            "1000,lease_denied,,us-west-1a/large,,,,,,bid-below-price",
+        ),
+        (
+            TelemetryEvent::LeaseActivated {
+                id: id(),
+                market: m(),
+            },
+            r#"{"t_ms":1000,"kind":"lease_activated","id":"i-000042","market":"us-west-1a/large"}"#,
+            "1000,lease_activated,i-000042,us-west-1a/large,,,,,,",
+        ),
+        (
+            TelemetryEvent::ActivationFailed {
+                id: id(),
+                market: m(),
+                doomed: true,
+            },
+            r#"{"t_ms":1000,"kind":"activation_failed","id":"i-000042","market":"us-west-1a/large","doomed":true}"#,
+            "1000,activation_failed,i-000042,us-west-1a/large,,,,,,doomed",
+        ),
+        (
+            TelemetryEvent::LeaseClosed {
+                id: id(),
+                market: m(),
+                spot: true,
+                reason: TerminationReason::Revoked,
+                start: SimTime::millis(500),
+                end: SimTime::millis(3_500),
+                cost: 0.75,
+            },
+            r#"{"t_ms":1000,"kind":"lease_closed","id":"i-000042","market":"us-west-1a/large","spot":true,"reason":"revoked","start_ms":500,"end_ms":3500,"cost":0.75}"#,
+            "1000,lease_closed,i-000042,us-west-1a/large,,500,3500,3000,0.75,revoked",
+        ),
+        (
+            TelemetryEvent::PriceCrossing {
+                id: id(),
+                market: m(),
+                at: SimTime::millis(2_000),
+            },
+            r#"{"t_ms":1000,"kind":"price_crossing","id":"i-000042","market":"us-west-1a/large","crossing_ms":2000}"#,
+            "1000,price_crossing,i-000042,us-west-1a/large,,2000,,,,",
+        ),
+        (
+            TelemetryEvent::RevocationWarning {
+                id: id(),
+                market: m(),
+                terminate_at: SimTime::millis(121_000),
+            },
+            r#"{"t_ms":1000,"kind":"revocation_warning","id":"i-000042","market":"us-west-1a/large","terminate_ms":121000}"#,
+            "1000,revocation_warning,i-000042,us-west-1a/large,,,121000,,,",
+        ),
+        (
+            TelemetryEvent::UnwarnedDeath {
+                id: id(),
+                market: m(),
+            },
+            r#"{"t_ms":1000,"kind":"unwarned_death","id":"i-000042","market":"us-west-1a/large"}"#,
+            "1000,unwarned_death,i-000042,us-west-1a/large,,,,,,",
+        ),
+        (
+            TelemetryEvent::MigrationStarted {
+                kind: MigrationKind::Forced,
+                from: m(),
+                to: m2(),
+            },
+            r#"{"t_ms":1000,"kind":"migration_started","migration":"forced","from":"us-west-1a/large","to":"us-east-1b/small"}"#,
+            "1000,migration_started,,us-west-1a/large,us-east-1b/small,,,,,forced",
+        ),
+        (
+            TelemetryEvent::MigrationPhase {
+                phase: MigrationPhase::CkptFlush,
+                duration: SimDuration::millis(1_500),
+            },
+            r#"{"t_ms":1000,"kind":"migration_phase","phase":"ckpt-flush","duration_ms":1500}"#,
+            "1000,migration_phase,,,,,,1500,,ckpt-flush",
+        ),
+        (
+            TelemetryEvent::MigrationCompleted {
+                kind: MigrationKind::Planned,
+                from: m(),
+                to: m2(),
+                downtime: SimDuration::millis(2_000),
+                degraded: SimDuration::millis(500),
+            },
+            r#"{"t_ms":1000,"kind":"migration_completed","migration":"planned","from":"us-west-1a/large","to":"us-east-1b/small","downtime_ms":2000,"degraded_ms":500}"#,
+            "1000,migration_completed,,us-west-1a/large,us-east-1b/small,,,2000,500,planned",
+        ),
+        (
+            TelemetryEvent::MigrationAborted {
+                kind: MigrationKind::Reverse,
+                from: m(),
+            },
+            r#"{"t_ms":1000,"kind":"migration_aborted","migration":"reverse","from":"us-west-1a/large"}"#,
+            "1000,migration_aborted,,us-west-1a/large,,,,,,reverse",
+        ),
+        (
+            TelemetryEvent::Outage {
+                start: SimTime::millis(100),
+                end: SimTime::millis(400),
+            },
+            r#"{"t_ms":1000,"kind":"outage","start_ms":100,"end_ms":400,"duration_ms":300}"#,
+            "1000,outage,,,,100,400,300,,",
+        ),
+        (
+            TelemetryEvent::Degraded {
+                start: SimTime::millis(100),
+                end: SimTime::millis(400),
+            },
+            r#"{"t_ms":1000,"kind":"degraded","start_ms":100,"end_ms":400,"duration_ms":300}"#,
+            "1000,degraded,,,,100,400,300,,",
+        ),
+        (
+            TelemetryEvent::ServiceUp {
+                id: id(),
+                market: m(),
+                spot: true,
+                first: true,
+            },
+            r#"{"t_ms":1000,"kind":"service_up","id":"i-000042","market":"us-west-1a/large","spot":true,"first":true}"#,
+            "1000,service_up,i-000042,us-west-1a/large,,,,,,spot;first",
+        ),
+        (
+            TelemetryEvent::ServiceUp {
+                id: id(),
+                market: m(),
+                spot: false,
+                first: false,
+            },
+            r#"{"t_ms":1000,"kind":"service_up","id":"i-000042","market":"us-west-1a/large","spot":false,"first":false}"#,
+            "1000,service_up,i-000042,us-west-1a/large,,,,,,on-demand",
+        ),
+        (
+            TelemetryEvent::FaultInjected {
+                kind: FaultKind::CkptWriteFail,
+            },
+            r#"{"t_ms":1000,"kind":"fault_injected","fault":"ckpt-write-fail"}"#,
+            "1000,fault_injected,,,,,,,,ckpt-write-fail",
+        ),
+        (
+            TelemetryEvent::BackoffScheduled {
+                attempt: 3,
+                until: SimTime::millis(9_000),
+            },
+            r#"{"t_ms":1000,"kind":"backoff_scheduled","attempt":3,"until_ms":9000}"#,
+            "1000,backoff_scheduled,,,,,9000,,3,",
+        ),
+        (
+            TelemetryEvent::StateChange {
+                state: SchedulerState::Reacquiring,
+            },
+            r#"{"t_ms":1000,"kind":"state_change","state":"reacquiring"}"#,
+            "1000,state_change,,,,,,,,reacquiring",
+        ),
+        (
+            TelemetryEvent::StormStarted {
+                zone: Zone::EuWest1a,
+            },
+            r#"{"t_ms":1000,"kind":"storm_started","zone":"eu-west-1a"}"#,
+            "1000,storm_started,,,,,,,,eu-west-1a",
+        ),
+        (
+            TelemetryEvent::StormEnded {
+                zone: Zone::EuWest1a,
+            },
+            r#"{"t_ms":1000,"kind":"storm_ended","zone":"eu-west-1a"}"#,
+            "1000,storm_ended,,,,,,,,eu-west-1a",
+        ),
+        (
+            TelemetryEvent::QuotaExhausted { market: m() },
+            r#"{"t_ms":1000,"kind":"quota_exhausted","market":"us-west-1a/large"}"#,
+            "1000,quota_exhausted,,us-west-1a/large,,,,,,",
+        ),
+    ]
+}
+
+#[test]
+fn every_variant_has_a_golden_json_line() {
+    let mut kinds_seen = std::collections::BTreeSet::new();
+    for (ev, json, _) in goldens() {
+        exhaustive(&ev);
+        kinds_seen.insert(ev.name());
+        let line = event_to_json(SimTime::millis(1_000), &ev);
+        assert_eq!(line, json, "JSON golden mismatch for {}", ev.name());
+        // Well-formedness: balanced braces and an even quote count.
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert_eq!(line.matches('"').count() % 2, 0, "{line}");
+    }
+    // All 22 kinds covered (Bid/ServiceUp appear twice for both shapes).
+    assert_eq!(kinds_seen.len(), 22, "kinds covered: {kinds_seen:?}");
+}
+
+#[test]
+fn every_variant_has_a_golden_csv_row_with_fixed_arity() {
+    let cols = CSV_HEADER.split(',').count();
+    for (ev, _, csv) in goldens() {
+        let row = event_to_csv_row(SimTime::millis(1_000), &ev);
+        assert_eq!(row, csv, "CSV golden mismatch for {}", ev.name());
+        assert_eq!(
+            row.split(',').count(),
+            cols,
+            "CSV arity broken for {}: {row}",
+            ev.name()
+        );
+    }
+}
+
+#[test]
+fn json_and_csv_agree_on_kind_and_timestamp() {
+    for (ev, _, _) in goldens() {
+        let json = event_to_json(SimTime::millis(1_000), &ev);
+        let row = event_to_csv_row(SimTime::millis(1_000), &ev);
+        assert!(json.contains(&format!("\"kind\":\"{}\"", ev.name())));
+        let mut fields = row.split(',');
+        assert_eq!(fields.next(), Some("1000"));
+        assert_eq!(fields.next(), Some(ev.name()));
+    }
+}
