@@ -113,16 +113,30 @@ fn main() {
                     }
                 }
                 if let Some(dir) = &trace_dir {
-                    if let Some(cfg) = experiments::representative_config(name) {
+                    if let Some(rec) = experiments::representative_recording(name, &settings) {
                         std::fs::create_dir_all(dir).expect("create trace dir");
-                        let (_, rec) =
-                            spothost_core::run_one_recorded(&cfg, settings.seed0, settings.horizon);
                         let path = std::path::Path::new(dir).join(format!("{name}.trace.jsonl"));
                         let mut out = std::io::BufWriter::new(
                             std::fs::File::create(&path).expect("create trace file"),
                         );
                         rec.write_jsonl(&mut out).expect("write trace");
                         println!("[wrote {} ({} events)]", path.display(), rec.len());
+                        // The same stream as a columnar store, ready for
+                        // `spothost query --store`.
+                        let col_path = std::path::Path::new(dir).join(format!("{name}.col"));
+                        let store = spothost_eventstore::ColumnarStore::create(&col_path)
+                            .expect("create columnar store");
+                        let mut sink = store.sink();
+                        for &(t, ev) in rec.events() {
+                            spothost_core::telemetry::Sink::emit(&mut sink, t, ev);
+                        }
+                        drop(sink);
+                        store.finish().expect("flush columnar store");
+                        println!(
+                            "[wrote {} ({} blocks)]",
+                            col_path.display(),
+                            store.blocks_written()
+                        );
                     }
                 }
                 println!("[{name} done in {:.1}s]\n", start.elapsed().as_secs_f64());

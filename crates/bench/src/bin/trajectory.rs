@@ -43,23 +43,27 @@ fn median_ns(mut samples: Vec<u128>) -> u128 {
 }
 
 /// Run every experiment (the `repro all` workload) and return the total
-/// wall-clock plus the fleet experiment's own wall-clock, in seconds.
-/// The fleet simulator is the single heaviest experiment, so its share
-/// is tracked (and regression-gated) separately from the aggregate.
+/// wall-clock plus the fleet and jobs experiments' own wall-clocks, in
+/// seconds. The fleet simulator is the single heaviest experiment and
+/// the jobs sweep drives a separate simulator core, so their shares are
+/// tracked (and regression-gated) separately from the aggregate.
 /// Rendered reports are black-boxed, not printed.
-fn run_all_experiments(settings: &ExpSettings) -> (f64, f64) {
+fn run_all_experiments(settings: &ExpSettings) -> (f64, f64, f64) {
     let start = Instant::now();
     let mut fleet_s = 0.0;
+    let mut jobs_s = 0.0;
     for (name, _) in experiments::ALL {
         let t0 = Instant::now();
         let out = experiments::run_with_csv(name, settings).expect("known experiment");
         std::hint::black_box(out.0.len());
-        if name == "fleet" {
-            fleet_s = t0.elapsed().as_secs_f64();
+        match name {
+            "fleet" => fleet_s = t0.elapsed().as_secs_f64(),
+            "jobs" => jobs_s = t0.elapsed().as_secs_f64(),
+            _ => {}
         }
         eprintln!("[{name} done at {:.1}s]", start.elapsed().as_secs_f64());
     }
-    (start.elapsed().as_secs_f64(), fleet_s)
+    (start.elapsed().as_secs_f64(), fleet_s, jobs_s)
 }
 
 /// The `billing_hot` meter kernel: settle one long spot lease with hourly
@@ -168,17 +172,19 @@ fn entry_json(
     mode: &str,
     wall_s: f64,
     fleet_s: f64,
+    jobs_s: f64,
     rss_kb: u64,
     bill_ns: u128,
     grid_ns: u128,
     store_pct: f64,
 ) -> String {
     format!(
-        "{{\"label\":\"{}\",\"mode\":\"{}\",\"repro_all_wall_s\":{:.3},\"fleet_wall_s\":{:.3},\"peak_rss_kb\":{},\"billing_hot_median_ns\":{},\"sweep_grid_median_ms\":{:.3},\"store_overhead_pct\":{:.2}}}",
+        "{{\"label\":\"{}\",\"mode\":\"{}\",\"repro_all_wall_s\":{:.3},\"fleet_wall_s\":{:.3},\"jobs_wall_s\":{:.3},\"peak_rss_kb\":{},\"billing_hot_median_ns\":{},\"sweep_grid_median_ms\":{:.3},\"store_overhead_pct\":{:.2}}}",
         label.replace(['"', '\\'], "_"),
         mode,
         wall_s,
         fleet_s,
+        jobs_s,
         rss_kb,
         bill_ns,
         grid_ns as f64 / 1e6,
@@ -263,13 +269,14 @@ fn main() {
         "trajectory: running all experiments ({mode}: {} seeds x {})",
         settings.seeds, settings.horizon
     );
-    let (wall_s, fleet_s) = run_all_experiments(&settings);
+    let (wall_s, fleet_s, jobs_s) = run_all_experiments(&settings);
 
     if check {
         // Regression gate only: compare against the committed baseline,
-        // skip the kernel benches, write nothing. Both the aggregate and
-        // the fleet experiment's own wall-clock are gated (the latter
-        // only once a committed entry carries `fleet_wall_s`).
+        // skip the kernel benches, write nothing. The aggregate plus the
+        // fleet and jobs experiments' own wall-clocks are gated (the
+        // per-experiment gates only once a committed entry carries the
+        // corresponding field).
         let Some(baseline) = last_field(&out, mode, "repro_all_wall_s") else {
             eprintln!("trajectory --check: no committed {mode} entry in {out}");
             std::process::exit(2);
@@ -298,6 +305,19 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        if let Some(jobs_base) = last_field(&out, mode, "jobs_wall_s") {
+            let jobs_limit = jobs_base * REGRESSION_FACTOR;
+            println!(
+                "trajectory --check ({mode}): jobs {jobs_s:.2}s vs baseline {jobs_base:.2}s (limit {jobs_limit:.2}s)"
+            );
+            if jobs_s > jobs_limit {
+                eprintln!(
+                    "FAIL: jobs experiment regressed >{:.0}% ({jobs_s:.2}s > {jobs_limit:.2}s)",
+                    (REGRESSION_FACTOR - 1.0) * 100.0
+                );
+                std::process::exit(1);
+            }
+        }
         // Columnar-sink overhead is gated absolutely (not vs baseline):
         // instrumentation must stay cheap relative to the simulation.
         let store_pct = bench_store_overhead_pct();
@@ -321,7 +341,7 @@ fn main() {
     let rss_kb = peak_rss_kb();
 
     let entry = entry_json(
-        &label, mode, wall_s, fleet_s, rss_kb, bill_ns, grid_ns, store_pct,
+        &label, mode, wall_s, fleet_s, jobs_s, rss_kb, bill_ns, grid_ns, store_pct,
     );
     append_entry(&out, &entry);
     println!("{entry}");

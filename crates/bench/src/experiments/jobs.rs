@@ -1,0 +1,387 @@
+//! Deadline batch jobs on spot: $/job, deadline-miss rate, and wasted
+//! work across the checkpoint/restart policy ladder — the 23rd
+//! experiment (`repro jobs`).
+//!
+//! Where the hosting experiments keep one always-on service alive, this
+//! one schedules a queue of *finite* jobs with deadlines onto the same
+//! spot markets (the Voorsluys & Buyya regime the paper's related work
+//! cites). Three policies climb a ladder of sophistication:
+//!
+//! * **greedy-spot** — cheapest bid, restart from scratch on every
+//!   revocation;
+//! * **checkpoint-spot** — periodic checkpoints at Young's interval,
+//!   driven by the forecaster's predicted revocation risk; and
+//! * **on-demand-fallback** — checkpointing, plus escalation to
+//!   on-demand once remaining slack no longer covers the predicted
+//!   restart loss.
+//!
+//! The sweep crosses the policies with a uniform injected fault rate and
+//! with correlated failure storms, and reports per cell the pooled
+//! deadline-miss rate, dollars per finished job, and the wasted fraction
+//! of compute. The summary break analysis mirrors the four-nines style
+//! of `faults`/`storms`: the interpolated fault rate at which each
+//! policy's miss rate first exceeds [`MISS_BAR_PCT`].
+
+use crate::settings::ExpSettings;
+use spothost_analysis::mc::par_map_chunks;
+use spothost_analysis::series::{LabeledSeries, SeriesSet};
+use spothost_analysis::stats::first_crossing;
+use spothost_core::telemetry::NullSink;
+use spothost_faults::{FaultConfig, StormConfig};
+use spothost_jobs::{run_jobs_on, JobPolicy, JobsConfig, JobsScratch};
+use spothost_market::catalog::Catalog;
+use spothost_market::gen::TraceSet;
+use std::fmt::Write as _;
+
+/// Uniform per-draw fault rates swept by the experiment (same grid as
+/// the `faults` experiment, so break rates are comparable).
+pub const RATES: [f64; 7] = [0.0, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0];
+
+/// Storm intensities of the calm and stormy halves of the sweep. The
+/// stormy half sits past the single-market four-nines break intensity
+/// of the `storms` experiment.
+pub const STORM_LEVELS: [f64; 2] = [0.0, 0.6];
+
+/// Deadline-miss bar for the break analysis: the fault rate at which a
+/// policy first misses more than a quarter of deadlines (the
+/// batch-queue analogue of the hosting experiments' four-nines
+/// availability bar). The bar sits well above the fault-free queueing
+/// baseline (~7–15% of deadlines are missed to queue waits alone), so
+/// crossing it is attributable to faults, and the three rungs cross at
+/// visibly different rates.
+pub const MISS_BAR_PCT: f64 = 25.0;
+
+/// One policy's pooled outcomes across the fault-rate sweep, at one
+/// storm intensity. Each vector holds one value per entry of [`RATES`].
+#[derive(Debug, Clone)]
+pub struct JobsRow {
+    /// Storm intensity this row ran under.
+    pub storm: f64,
+    /// Scheduling policy.
+    pub policy: JobPolicy,
+    /// Pooled deadline-miss percentage.
+    pub miss_pct: Vec<f64>,
+    /// Pooled dollars per job.
+    pub cost_per_job: Vec<f64>,
+    /// Pooled wasted fraction of compute, as a percentage.
+    pub wasted_pct: Vec<f64>,
+}
+
+impl JobsRow {
+    /// Display label, e.g. `"checkpoint-spot, storm"`.
+    pub fn label(&self) -> String {
+        if self.storm > 0.0 {
+            format!("{}, storm", self.policy)
+        } else {
+            self.policy.to_string()
+        }
+    }
+}
+
+/// The rendered experiment: one row per storm level x policy.
+#[derive(Debug, Clone)]
+pub struct JobsExp {
+    pub rows: Vec<JobsRow>,
+    /// Total jobs simulated per cell (all seeds pooled).
+    pub jobs_per_cell: u32,
+}
+
+/// Per-run tallies pooled across seeds into one sweep cell.
+#[derive(Debug, Clone, Copy, Default)]
+struct CellTally {
+    jobs: u64,
+    missed: u64,
+    cost: f64,
+    useful_ms: u64,
+    wasted_ms: u64,
+}
+
+impl CellTally {
+    fn absorb(&mut self, other: &CellTally) {
+        self.jobs += other.jobs;
+        self.missed += other.missed;
+        self.cost += other.cost;
+        self.useful_ms += other.useful_ms;
+        self.wasted_ms += other.wasted_ms;
+    }
+
+    fn miss_pct(&self) -> f64 {
+        100.0 * self.missed as f64 / self.jobs.max(1) as f64
+    }
+
+    fn cost_per_job(&self) -> f64 {
+        self.cost / self.jobs.max(1) as f64
+    }
+
+    fn wasted_pct(&self) -> f64 {
+        let total = (self.useful_ms + self.wasted_ms).max(1);
+        100.0 * self.wasted_ms as f64 / total as f64
+    }
+}
+
+fn config_for(policy: JobPolicy, rate: f64, storm: f64) -> JobsConfig {
+    let cfg = JobsConfig::new(policy).with_faults(FaultConfig::uniform(rate));
+    if storm > 0.0 {
+        cfg.with_storms(StormConfig::intensity(storm))
+    } else {
+        cfg
+    }
+}
+
+pub fn run(settings: &ExpSettings) -> JobsExp {
+    // One flat (config, seed) grid, seed-major within each cell so a
+    // chunk of `seeds` runs covers exactly one sweep cell and can share
+    // a scratch. Every cell uses the same single market, so the
+    // arena-backed traces are generated once per seed for the whole
+    // sweep.
+    let mut cells = Vec::new();
+    for &storm in &STORM_LEVELS {
+        for &policy in &JobPolicy::ALL {
+            for rate in RATES {
+                cells.push(config_for(policy, rate, storm));
+            }
+        }
+    }
+    let runs: Vec<(JobsConfig, u64)> = cells
+        .iter()
+        .flat_map(|cfg| {
+            (settings.seed0..settings.seed0 + settings.seeds).map(move |seed| (cfg.clone(), seed))
+        })
+        .collect();
+
+    let catalog = Catalog::ec2_2015();
+    let horizon = settings.horizon;
+    let tallies: Vec<CellTally> = par_map_chunks(runs, settings.seeds as usize, |chunk| {
+        let mut scratch = JobsScratch::new();
+        chunk
+            .iter()
+            .map(|(cfg, seed)| {
+                let traces = TraceSet::generate(&catalog, &[cfg.market], *seed, horizon);
+                let run = run_jobs_on(cfg, &traces, *seed, &mut NullSink, &mut scratch);
+                let r = &run.report;
+                CellTally {
+                    jobs: u64::from(r.jobs),
+                    missed: u64::from(r.missed),
+                    cost: r.total_cost,
+                    useful_ms: r.useful.as_millis(),
+                    wasted_ms: r.wasted.as_millis(),
+                }
+            })
+            .collect()
+    });
+
+    let mut pooled = tallies.chunks(settings.seeds as usize).map(|per_seed| {
+        let mut cell = CellTally::default();
+        for t in per_seed {
+            cell.absorb(t);
+        }
+        cell
+    });
+
+    let mut rows = Vec::new();
+    let mut jobs_per_cell = 0u32;
+    for &storm in &STORM_LEVELS {
+        for &policy in &JobPolicy::ALL {
+            let mut miss_pct = Vec::with_capacity(RATES.len());
+            let mut cost_per_job = Vec::with_capacity(RATES.len());
+            let mut wasted_pct = Vec::with_capacity(RATES.len());
+            for _ in RATES {
+                let cell = pooled.next().expect("one pooled cell per rate");
+                jobs_per_cell = cell.jobs as u32;
+                miss_pct.push(cell.miss_pct());
+                cost_per_job.push(cell.cost_per_job());
+                wasted_pct.push(cell.wasted_pct());
+            }
+            rows.push(JobsRow {
+                storm,
+                policy,
+                miss_pct,
+                cost_per_job,
+                wasted_pct,
+            });
+        }
+    }
+    JobsExp {
+        rows,
+        jobs_per_cell,
+    }
+}
+
+impl JobsExp {
+    /// Fault rate at which a row's miss rate first exceeds the
+    /// [`MISS_BAR_PCT`] bar, linearly interpolated; `None` if it holds
+    /// across the whole sweep.
+    pub fn break_rate(miss_pcts: &[f64]) -> Option<f64> {
+        first_crossing(&RATES, miss_pcts, MISS_BAR_PCT)
+    }
+
+    /// The row for one (storm, policy) cell.
+    pub fn row(&self, storm: f64, policy: JobPolicy) -> &JobsRow {
+        self.rows
+            .iter()
+            .find(|r| r.storm == storm && r.policy == policy)
+            .expect("every storm x policy cell has a row")
+    }
+
+    fn series(&self, metric: impl Fn(&JobsRow) -> &Vec<f64>) -> SeriesSet {
+        let mut s = SeriesSet::new(RATES.iter().map(|r| format!("{r}")));
+        for row in &self.rows {
+            s.push(LabeledSeries::new(row.label(), metric(row).clone()));
+        }
+        s
+    }
+
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("storm,policy,fault_rate,miss_pct,cost_per_job,wasted_pct\n");
+        for row in &self.rows {
+            for (i, rate) in RATES.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{:.4},{:.6},{:.4}",
+                    row.storm,
+                    row.policy,
+                    rate,
+                    row.miss_pct[i],
+                    row.cost_per_job[i],
+                    row.wasted_pct[i],
+                );
+            }
+        }
+        out
+    }
+
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Deadline batch jobs on spot (large, us-east-1a; {} jobs per cell):\n\
+             policy ladder x uniform fault rate, calm and storm-0.6 halves\n\n\
+             deadline misses (%) vs fault rate:\n",
+            self.jobs_per_cell,
+        );
+        out.push_str(&self.series(|r| &r.miss_pct).to_text(|v| format!("{v:.2}")));
+        out.push_str("\ndollars per job vs fault rate:\n");
+        out.push_str(
+            &self
+                .series(|r| &r.cost_per_job)
+                .to_text(|v| format!("{v:.3}")),
+        );
+        out.push_str("\nwasted compute (%) vs fault rate:\n");
+        out.push_str(
+            &self
+                .series(|r| &r.wasted_pct)
+                .to_text(|v| format!("{v:.2}")),
+        );
+        let _ = writeln!(
+            out,
+            "\nmiss-rate break point (misses > {MISS_BAR_PCT}% of deadlines):"
+        );
+        for row in &self.rows {
+            match Self::break_rate(&row.miss_pct) {
+                Some(r) => {
+                    let _ = writeln!(out, "  {:<28} {r:.3}", row.label());
+                }
+                None => {
+                    let _ = writeln!(out, "  {:<28} never (holds through the sweep)", row.label());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exp() -> JobsExp {
+        run(&ExpSettings::quick())
+    }
+
+    /// Sum of a row's metric over an index range of [`RATES`].
+    fn pooled(
+        row: &JobsRow,
+        metric: impl Fn(&JobsRow) -> &Vec<f64>,
+        idx: std::ops::Range<usize>,
+    ) -> f64 {
+        metric(row)[idx].iter().sum()
+    }
+
+    #[test]
+    fn fallback_misses_fewer_deadlines_than_greedy_under_faults() {
+        // The acceptance bar: at nonzero fault rates (excluding the
+        // saturated 1.0 endpoint where nothing ever boots), escalating
+        // to on-demand strictly beats restart-from-scratch on misses.
+        let e = exp();
+        for &storm in &STORM_LEVELS {
+            let greedy = pooled(e.row(storm, JobPolicy::GreedySpot), |r| &r.miss_pct, 1..6);
+            let fallback = pooled(
+                e.row(storm, JobPolicy::OnDemandFallback),
+                |r| &r.miss_pct,
+                1..6,
+            );
+            assert!(
+                fallback < greedy,
+                "storm {storm}: fallback pooled miss {fallback} !< greedy {greedy}"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpointing_is_cheaper_than_escalation_at_low_fault_rates() {
+        // At low fault rates the forecaster rarely predicts enough risk
+        // to justify on-demand hours, so staying on spot with
+        // checkpoints costs less per job.
+        let e = exp();
+        let ckpt = pooled(
+            e.row(0.0, JobPolicy::CheckpointSpot),
+            |r| &r.cost_per_job,
+            0..3,
+        );
+        let fallback = pooled(
+            e.row(0.0, JobPolicy::OnDemandFallback),
+            |r| &r.cost_per_job,
+            0..3,
+        );
+        assert!(
+            ckpt < fallback,
+            "checkpoint-spot pooled $/job {ckpt} !< on-demand-fallback {fallback}"
+        );
+    }
+
+    #[test]
+    fn total_outage_misses_every_deadline() {
+        // At a 100% uniform fault rate no server ever boots, so every
+        // policy misses everything and the break analysis must find a
+        // crossing inside the sweep.
+        let e = exp();
+        for row in &e.rows {
+            let last = *row.miss_pct.last().unwrap();
+            assert!(last > 99.9, "{}: rate-1.0 miss {last}%", row.label());
+            let r = JobsExp::break_rate(&row.miss_pct)
+                .unwrap_or_else(|| panic!("{} never breaks the miss bar", row.label()));
+            assert!((0.0..=1.0).contains(&r));
+        }
+    }
+
+    #[test]
+    fn fault_free_spot_jobs_cost_pennies_and_mostly_finish() {
+        let e = exp();
+        for &policy in &JobPolicy::ALL {
+            let row = e.row(0.0, policy);
+            assert!(
+                row.miss_pct[0] < 20.0,
+                "{policy}: fault-free miss rate {}%",
+                row.miss_pct[0]
+            );
+            assert!(
+                row.cost_per_job[0] > 0.0 && row.cost_per_job[0] < 5.0,
+                "{policy}: fault-free $/job {}",
+                row.cost_per_job[0]
+            );
+        }
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        assert_eq!(exp().render(), exp().render());
+    }
+}

@@ -13,6 +13,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod fleet_sim;
+pub mod jobs;
 pub mod naive;
 pub mod stability;
 pub mod storms;
@@ -24,7 +25,7 @@ pub mod tab4;
 use crate::settings::ExpSettings;
 
 /// Every experiment, by its CLI name, with a one-line description.
-pub const ALL: [(&str, &str); 22] = [
+pub const ALL: [(&str, &str); 23] = [
     (
         "fig1",
         "Spot price traces over a month (small & large, us-east)",
@@ -80,6 +81,10 @@ pub const ALL: [(&str, &str); 22] = [
         "fleet",
         "FLEET: autoscaled spot fleet vs static on-demand peak (cost, availability, p99)",
     ),
+    (
+        "jobs",
+        "JOBS: deadline batch scheduling on spot with checkpoint/restart economics",
+    ),
 ];
 
 /// Run one experiment and also return CSV artifacts where the experiment
@@ -129,6 +134,10 @@ pub fn run_with_csv(name: &str, settings: &ExpSettings) -> Option<(String, Vec<(
         "fleet" => {
             let f = fleet_sim::run(settings);
             (f.render(), vec![("fleet.csv".into(), f.to_csv())])
+        }
+        "jobs" => {
+            let f = jobs::run(settings);
+            (f.render(), vec![("jobs.csv".into(), f.to_csv())])
         }
         other => (run_by_name(other, settings)?, vec![]),
     })
@@ -181,6 +190,45 @@ pub fn representative_config(name: &str) -> Option<spothost_core::SchedulerConfi
     })
 }
 
+/// One representative seed's full telemetry recording for an
+/// experiment, used to dump event streams alongside the figures
+/// (`repro --trace DIR`). Scheduler experiments replay their
+/// [`representative_config`]; `jobs` records the batch-job simulator
+/// (checkpointing rung under faults, so the job lifecycle vocabulary —
+/// start/checkpoint/restart/finish — all appears). `None` for analytic
+/// experiments that run no simulation.
+pub fn representative_recording(
+    name: &str,
+    settings: &ExpSettings,
+) -> Option<spothost_core::telemetry::Recorder> {
+    use spothost_core::telemetry::Recorder;
+    if name == "jobs" {
+        use spothost_jobs::{run_jobs_on, JobPolicy, JobsConfig, JobsScratch};
+        use spothost_market::catalog::Catalog;
+        use spothost_market::gen::TraceSet;
+        let cfg = JobsConfig::new(JobPolicy::CheckpointSpot)
+            .with_faults(spothost_faults::FaultConfig::uniform(0.1));
+        let traces = TraceSet::generate(
+            &Catalog::ec2_2015(),
+            &[cfg.market],
+            settings.seed0,
+            settings.horizon,
+        );
+        let mut rec = Recorder::new();
+        run_jobs_on(
+            &cfg,
+            &traces,
+            settings.seed0,
+            &mut rec,
+            &mut JobsScratch::new(),
+        );
+        return Some(rec);
+    }
+    let cfg = representative_config(name)?;
+    let (_, rec) = spothost_core::run_one_recorded(&cfg, settings.seed0, settings.horizon);
+    Some(rec)
+}
+
 /// Run one experiment by name and return its rendered report.
 pub fn run_by_name(name: &str, settings: &ExpSettings) -> Option<String> {
     Some(match name {
@@ -206,6 +254,7 @@ pub fn run_by_name(name: &str, settings: &ExpSettings) -> Option<String> {
         "adaptive" => adaptive::run(settings).render(),
         "storms" => storms::run(settings).render(),
         "fleet" => fleet_sim::run(settings).render(),
+        "jobs" => jobs::run(settings).render(),
         _ => return None,
     })
 }

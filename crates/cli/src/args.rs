@@ -13,7 +13,14 @@ pub struct Args {
 }
 
 /// Known boolean switches (everything else expects a value).
-const SWITCHES: [&str; 5] = ["pessimistic", "verbose", "metrics", "cache-stats", "stats"];
+const SWITCHES: [&str; 6] = [
+    "pessimistic",
+    "verbose",
+    "metrics",
+    "cache-stats",
+    "stats",
+    "outcomes",
+];
 
 pub fn parse(argv: &[String]) -> Result<Args, String> {
     let mut out = Args::default();

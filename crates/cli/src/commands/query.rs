@@ -285,6 +285,52 @@ mod tests {
     }
 
     #[test]
+    fn empty_and_zero_block_stores_query_cleanly() {
+        // A store that never sealed a block writes zero bytes ("a run
+        // that emitted no events"); querying it must succeed with empty
+        // output, not panic — including aggregations over no values.
+        let path = std::env::temp_dir().join("spothost-query-test-zeroblock.col");
+        let store = ColumnarStore::create(&path).unwrap();
+        drop(store.sink()); // no events emitted -> no block sealed
+        store.finish().unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+        let p = path.to_str().unwrap();
+        run(&argv(&["--store", p])).unwrap();
+        run(&argv(&["--store", p, "--agg", "sum", "--field", "cost"])).unwrap();
+        run(&argv(&["--store", p, "--agg", "hist", "--field", "cost"])).unwrap();
+        run(&argv(&["--store", p, "--stats"])).unwrap();
+    }
+
+    #[test]
+    fn truncated_and_corrupt_stores_are_errors_not_panics() {
+        // Cut a healthy multi-block store mid-frame: the reader must
+        // report truncation as a clean error up front.
+        let whole = std::fs::read(fixture("truncate-src")).unwrap();
+        assert!(whole.len() > 64, "fixture store too small to truncate");
+        let cut = std::env::temp_dir().join("spothost-query-test-truncated.col");
+        std::fs::write(&cut, &whole[..whole.len() - 11]).unwrap();
+        let err = run(&argv(&["--store", cut.to_str().unwrap()])).unwrap_err();
+        assert!(
+            err.contains("truncated") || err.contains("corrupt"),
+            "unhelpful truncation error: {err}"
+        );
+
+        // A frame header with nothing after it.
+        let headless = std::env::temp_dir().join("spothost-query-test-headless.col");
+        let mut bytes = spothost_eventstore::MAGIC.to_vec();
+        bytes.extend_from_slice(&[0xFF, 0x00]); // partial frame length
+        std::fs::write(&headless, &bytes).unwrap();
+        let err = run(&argv(&["--store", headless.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("truncated"), "unhelpful error: {err}");
+
+        // Not a columnar file at all.
+        let garbage = std::env::temp_dir().join("spothost-query-test-garbage.col");
+        std::fs::write(&garbage, b"this is not a columnar store").unwrap();
+        let err = run(&argv(&["--store", garbage.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("bad magic"), "unhelpful error: {err}");
+    }
+
+    #[test]
     fn bad_flags_are_errors_not_panics() {
         let path = fixture("errors");
         let store = path.to_str().unwrap();

@@ -9,6 +9,7 @@
 //! spothost simulate --storm-intensity 0.5 --scope regions:us-east-1a,us-west-1a
 //! spothost chaos --seconds 30
 //! spothost fleet-sim --vms 200 --days 7 --store fleet.col
+//! spothost jobs --policy all --days 14 --fault-rate 0.1
 //! spothost query --store fleet.col --agg sum --field cost --group-by vm
 //! ```
 
@@ -40,6 +41,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "timeline" => commands::timeline::run(&args::parse(rest)?),
         "chaos" => commands::chaos::run(&args::parse(rest)?),
         "fleet-sim" => commands::fleet_sim::run(&args::parse(rest)?),
+        "jobs" => commands::jobs::run(&args::parse(rest)?),
         "query" => commands::query::run(&args::parse(rest)?),
         "--help" | "-h" | "help" => {
             print_usage();
@@ -120,6 +122,21 @@ USAGE:
       utilisation the autoscaler provisions for. Fixed --seed gives
       byte-identical output. --store records every VM's telemetry
       stream into FILE as a columnar store, tagged by spawn index.
+
+  spothost jobs [--policy greedy-spot|checkpoint-spot|on-demand-fallback|all]
+                [--market M] [--workers N] [--days D] [--seed N]
+                [--mean-runtime-h H] [--mean-arrival-h H] [--slack F]
+                [--fault-rate R] [--storm-intensity X]
+                [--outcomes] [--store FILE]
+      Schedule a seeded queue of deadline batch jobs onto spot worker
+      slots and report $/job, deadline-miss rate, wasted work, and
+      makespan per policy rung. greedy-spot restarts revoked jobs from
+      scratch; checkpoint-spot checkpoints at Young's interval from the
+      forecaster's predicted revocation risk; on-demand-fallback
+      escalates a job to on-demand once its remaining slack no longer
+      covers the predicted restart loss. --outcomes prints the worst
+      per-job lines; --store records the job lifecycle events as a
+      columnar store for `spothost query`.
 
   spothost query --store FILE [--from-h H] [--to-h H] [--kind K,..]
                  [--market Z/T] [--zone Z] [--vm N]

@@ -170,6 +170,12 @@ fn read_meta(c: &mut Cursor<'_>) -> Result<BlockMeta, ColError> {
 pub fn decode(payload: &[u8]) -> Result<(BlockMeta, Vec<TimedEvent>), ColError> {
     let mut c = Cursor::new(payload);
     let meta = read_meta(&mut c)?;
+    // The kind stream alone is `count` raw bytes, so a count exceeding
+    // the payload length is corrupt; checking here also bounds every
+    // `with_capacity` below by the actual input size.
+    if meta.count > payload.len() {
+        return Err(ColError::Corrupt("count exceeds payload size"));
+    }
     // Dictionary.
     let n_ids = usize::try_from(c.u64()?).map_err(|_| ColError::Corrupt("dict overflow"))?;
     if n_ids > meta.count {
@@ -182,7 +188,7 @@ pub fn decode(payload: &[u8]) -> Result<(BlockMeta, Vec<TimedEvent>), ColError> 
     // Kind stream.
     let kind_bytes = c.bytes(meta.count)?;
     let mut kinds = Vec::with_capacity(meta.count);
-    let mut counts = [0usize; 22];
+    let mut counts = [0usize; 26];
     for &b in kind_bytes {
         let k = EventKind::from_index(b as usize)
             .ok_or(ColError::Corrupt("kind stream has unknown kind"))?;
@@ -193,7 +199,7 @@ pub fn decode(payload: &[u8]) -> Result<(BlockMeta, Vec<TimedEvent>), ColError> 
         kinds.push(k);
     }
     // Columns, per present kind.
-    let mut per_kind: [Vec<TimedEvent>; 22] = Default::default();
+    let mut per_kind: [Vec<TimedEvent>; 26] = Default::default();
     for kind in EventKind::ALL {
         if meta.kinds & (1 << kind.index()) == 0 {
             continue;
@@ -214,7 +220,7 @@ pub fn decode(payload: &[u8]) -> Result<(BlockMeta, Vec<TimedEvent>), ColError> 
         return Err(ColError::Corrupt("block has trailing bytes"));
     }
     // Re-interleave into stream order.
-    let mut next = [0usize; 22];
+    let mut next = [0usize; 26];
     let mut out = Vec::with_capacity(meta.count);
     for k in kinds {
         let i = next[k.index()];
@@ -618,6 +624,73 @@ fn encode_column(
                 }
             }
         }
+        EventKind::JobStarted => {
+            let rows: Vec<(u32, u8, bool)> = evs
+                .iter()
+                .map(|(_, ev)| match ev {
+                    TelemetryEvent::JobStarted { job, market, spot } => {
+                        (*job, market_code(*market), *spot)
+                    }
+                    _ => unreachable!("pre-filtered by kind"),
+                })
+                .collect();
+            for r in &rows {
+                write_u64(buf, u64::from(r.0));
+            }
+            buf.extend(rows.iter().map(|r| r.1));
+            buf.extend(rows.iter().map(|r| u8::from(r.2)));
+        }
+        EventKind::JobCheckpointed => {
+            let rows: Vec<(u32, u64)> = evs
+                .iter()
+                .map(|(_, ev)| match ev {
+                    TelemetryEvent::JobCheckpointed { job, duration } => {
+                        (*job, duration.as_millis())
+                    }
+                    _ => unreachable!("pre-filtered by kind"),
+                })
+                .collect();
+            for r in &rows {
+                write_u64(buf, u64::from(r.0));
+            }
+            for r in &rows {
+                write_u64(buf, r.1);
+            }
+        }
+        EventKind::JobRestarted => {
+            let rows: Vec<(u32, u8, u64)> = evs
+                .iter()
+                .map(|(_, ev)| match ev {
+                    TelemetryEvent::JobRestarted { job, market, lost } => {
+                        (*job, market_code(*market), lost.as_millis())
+                    }
+                    _ => unreachable!("pre-filtered by kind"),
+                })
+                .collect();
+            for r in &rows {
+                write_u64(buf, u64::from(r.0));
+            }
+            buf.extend(rows.iter().map(|r| r.1));
+            for r in &rows {
+                write_u64(buf, r.2);
+            }
+        }
+        EventKind::JobFinished => {
+            let rows: Vec<(u32, bool, f64)> = evs
+                .iter()
+                .map(|(_, ev)| match ev {
+                    TelemetryEvent::JobFinished { job, missed, cost } => (*job, *missed, *cost),
+                    _ => unreachable!("pre-filtered by kind"),
+                })
+                .collect();
+            for r in &rows {
+                write_u64(buf, u64::from(r.0));
+            }
+            buf.extend(rows.iter().map(|r| u8::from(r.1)));
+            for r in &rows {
+                write_f64_bits(buf, r.2);
+            }
+        }
     }
 }
 
@@ -913,6 +986,72 @@ fn decode_column(
                     SimTime(ts[i]),
                     TelemetryEvent::QuotaExhausted {
                         market: market_from_code(markets[i])?,
+                    },
+                ));
+            }
+        }
+        EventKind::JobStarted => {
+            let jobs = read_vec(c, n, |c| {
+                u32::try_from(c.u64()?).map_err(|_| ColError::Corrupt("job id overflows u32"))
+            })?;
+            let markets = c.bytes(n)?.to_vec();
+            let spots = c.bytes(n)?.to_vec();
+            for i in 0..n {
+                out.push((
+                    SimTime(ts[i]),
+                    TelemetryEvent::JobStarted {
+                        job: jobs[i],
+                        market: market_from_code(markets[i])?,
+                        spot: spots[i] != 0,
+                    },
+                ));
+            }
+        }
+        EventKind::JobCheckpointed => {
+            let jobs = read_vec(c, n, |c| {
+                u32::try_from(c.u64()?).map_err(|_| ColError::Corrupt("job id overflows u32"))
+            })?;
+            let durs = read_vec(c, n, |c| c.u64())?;
+            for i in 0..n {
+                out.push((
+                    SimTime(ts[i]),
+                    TelemetryEvent::JobCheckpointed {
+                        job: jobs[i],
+                        duration: SimDuration(durs[i]),
+                    },
+                ));
+            }
+        }
+        EventKind::JobRestarted => {
+            let jobs = read_vec(c, n, |c| {
+                u32::try_from(c.u64()?).map_err(|_| ColError::Corrupt("job id overflows u32"))
+            })?;
+            let markets = c.bytes(n)?.to_vec();
+            let losts = read_vec(c, n, |c| c.u64())?;
+            for i in 0..n {
+                out.push((
+                    SimTime(ts[i]),
+                    TelemetryEvent::JobRestarted {
+                        job: jobs[i],
+                        market: market_from_code(markets[i])?,
+                        lost: SimDuration(losts[i]),
+                    },
+                ));
+            }
+        }
+        EventKind::JobFinished => {
+            let jobs = read_vec(c, n, |c| {
+                u32::try_from(c.u64()?).map_err(|_| ColError::Corrupt("job id overflows u32"))
+            })?;
+            let missed = c.bytes(n)?.to_vec();
+            let costs = read_vec(c, n, |c| c.f64_bits())?;
+            for i in 0..n {
+                out.push((
+                    SimTime(ts[i]),
+                    TelemetryEvent::JobFinished {
+                        job: jobs[i],
+                        missed: missed[i] != 0,
+                        cost: costs[i],
                     },
                 ));
             }

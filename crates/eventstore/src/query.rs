@@ -221,7 +221,8 @@ impl Field {
     /// The field's value for one event, if the event carries it.
     pub fn extract(self, ev: &TelemetryEvent) -> Option<f64> {
         match (self, ev) {
-            (Field::Cost, TelemetryEvent::LeaseClosed { cost, .. }) => Some(*cost),
+            (Field::Cost, TelemetryEvent::LeaseClosed { cost, .. })
+            | (Field::Cost, TelemetryEvent::JobFinished { cost, .. }) => Some(*cost),
             (Field::Bid, TelemetryEvent::BidPlaced { bid, .. }) => *bid,
             (Field::Risk, TelemetryEvent::BidPlaced { predicted_risk, .. }) => *predicted_risk,
             (Field::LeaseHours, TelemetryEvent::LeaseClosed { start, end, .. }) => {

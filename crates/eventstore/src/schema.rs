@@ -39,11 +39,15 @@ pub enum EventKind {
     StormStarted,
     StormEnded,
     QuotaExhausted,
+    JobStarted,
+    JobCheckpointed,
+    JobRestarted,
+    JobFinished,
 }
 
 impl EventKind {
     /// Every kind, in stable column order (= bitmap bit order).
-    pub const ALL: [EventKind; 22] = [
+    pub const ALL: [EventKind; 26] = [
         EventKind::BidPlaced,
         EventKind::LeaseGranted,
         EventKind::LeaseDenied,
@@ -66,6 +70,10 @@ impl EventKind {
         EventKind::StormStarted,
         EventKind::StormEnded,
         EventKind::QuotaExhausted,
+        EventKind::JobStarted,
+        EventKind::JobCheckpointed,
+        EventKind::JobRestarted,
+        EventKind::JobFinished,
     ];
 
     /// The kind of an event.
@@ -93,10 +101,14 @@ impl EventKind {
             TelemetryEvent::StormStarted { .. } => EventKind::StormStarted,
             TelemetryEvent::StormEnded { .. } => EventKind::StormEnded,
             TelemetryEvent::QuotaExhausted { .. } => EventKind::QuotaExhausted,
+            TelemetryEvent::JobStarted { .. } => EventKind::JobStarted,
+            TelemetryEvent::JobCheckpointed { .. } => EventKind::JobCheckpointed,
+            TelemetryEvent::JobRestarted { .. } => EventKind::JobRestarted,
+            TelemetryEvent::JobFinished { .. } => EventKind::JobFinished,
         }
     }
 
-    /// Stable column index in `0..22` (bit position in kind bitmaps).
+    /// Stable column index in `0..26` (bit position in kind bitmaps).
     pub fn index(self) -> usize {
         self as usize
     }
@@ -131,6 +143,10 @@ impl EventKind {
             EventKind::StormStarted => "storm_started",
             EventKind::StormEnded => "storm_ended",
             EventKind::QuotaExhausted => "quota_exhausted",
+            EventKind::JobStarted => "job_started",
+            EventKind::JobCheckpointed => "job_checkpointed",
+            EventKind::JobRestarted => "job_restarted",
+            EventKind::JobFinished => "job_finished",
         }
     }
 
@@ -315,7 +331,9 @@ pub fn markets_of(ev: &TelemetryEvent) -> (Option<MarketId>, Option<MarketId>) {
         | TelemetryEvent::RevocationWarning { market, .. }
         | TelemetryEvent::UnwarnedDeath { market, .. }
         | TelemetryEvent::ServiceUp { market, .. }
-        | TelemetryEvent::QuotaExhausted { market } => (Some(*market), None),
+        | TelemetryEvent::QuotaExhausted { market }
+        | TelemetryEvent::JobStarted { market, .. }
+        | TelemetryEvent::JobRestarted { market, .. } => (Some(*market), None),
         TelemetryEvent::MigrationStarted { from, to, .. }
         | TelemetryEvent::MigrationCompleted { from, to, .. } => (Some(*from), Some(*to)),
         TelemetryEvent::MigrationAborted { from, .. } => (Some(*from), None),
@@ -326,7 +344,9 @@ pub fn markets_of(ev: &TelemetryEvent) -> (Option<MarketId>, Option<MarketId>) {
         | TelemetryEvent::BackoffScheduled { .. }
         | TelemetryEvent::StateChange { .. }
         | TelemetryEvent::StormStarted { .. }
-        | TelemetryEvent::StormEnded { .. } => (None, None),
+        | TelemetryEvent::StormEnded { .. }
+        | TelemetryEvent::JobCheckpointed { .. }
+        | TelemetryEvent::JobFinished { .. } => (None, None),
     }
 }
 

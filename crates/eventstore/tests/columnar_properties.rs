@@ -239,6 +239,14 @@ fn arb_event() -> impl Strategy<Value = TelemetryEvent> {
         arb_zone().prop_map(|zone| TelemetryEvent::StormStarted { zone }),
         arb_zone().prop_map(|zone| TelemetryEvent::StormEnded { zone }),
         arb_market().prop_map(|market| TelemetryEvent::QuotaExhausted { market }),
+        ((0u32..=u32::MAX), arb_market(), prop::bool::ANY)
+            .prop_map(|(job, market, spot)| TelemetryEvent::JobStarted { job, market, spot }),
+        ((0u32..=u32::MAX), arb_duration())
+            .prop_map(|(job, duration)| TelemetryEvent::JobCheckpointed { job, duration }),
+        ((0u32..=u32::MAX), arb_market(), arb_duration())
+            .prop_map(|(job, market, lost)| TelemetryEvent::JobRestarted { job, market, lost }),
+        ((0u32..=u32::MAX), prop::bool::ANY, arb_f64_bits())
+            .prop_map(|(job, missed, cost)| TelemetryEvent::JobFinished { job, missed, cost }),
     ]
 }
 
@@ -298,6 +306,18 @@ fn events_bits_equal(a: &TelemetryEvent, b: &TelemetryEvent) -> bool {
                 end: e2,
             },
         ) => c1.to_bits() == c2.to_bits() && (i1, m1, s1, r1, st1, e1) == (i2, m2, s2, r2, st2, e2),
+        (
+            E::JobFinished {
+                job: j1,
+                missed: x1,
+                cost: c1,
+            },
+            E::JobFinished {
+                job: j2,
+                missed: x2,
+                cost: c2,
+            },
+        ) => (j1, x1) == (j2, x2) && c1.to_bits() == c2.to_bits(),
         // Every other variant is float-free: derived equality is exact.
         _ => a == b,
     }
@@ -397,7 +417,7 @@ proptest! {
         block_events in 1usize..12,
         from_ms in 0u64..40_000_000u64,
         len_ms in 0u64..40_000_000u64,
-        kind_i in opt(0usize..22),
+        kind_i in opt(0usize..26),
         zone_i in opt(0usize..4),
     ) {
         let store = ColumnarStore::in_memory().with_block_events(block_events);

@@ -1,0 +1,196 @@
+//! Property suite for the batch-job simulator:
+//!
+//! (a) determinism — the same `(config, seed)` yields bit-identical
+//!     reports whether the scratch is fresh or dirtied by a different
+//!     chaotic run (no forecaster or buffer residue);
+//! (b) conservation — per job, `useful + wasted == compute` exactly,
+//!     dollars charged are finite, non-negative, and at least the
+//!     dollars attributable to useful compute, and a finished job's
+//!     useful time is exactly its runtime;
+//! (c) the zero-fault floor — on a constant price below the bid with no
+//!     injected faults or storms, GreedySpot never revokes, and never
+//!     misses a deadline whose slack covers its queue wait and boot.
+
+use proptest::prelude::*;
+use spothost_faults::{FaultConfig, StormConfig};
+use spothost_jobs::sim::DEFAULT_HORIZON;
+use spothost_jobs::{run_jobs_on, JobPolicy, JobsConfig, JobsReport, JobsScratch};
+use spothost_market::catalog::Catalog;
+use spothost_market::gen::TraceSet;
+use spothost_market::time::{SimDuration, SimTime};
+use spothost_market::trace::PriceTrace;
+use spothost_market::types::{InstanceType, MarketId, Zone};
+use spothost_telemetry::NullSink;
+
+fn market() -> MarketId {
+    MarketId::new(Zone::UsEast1a, InstanceType::Large)
+}
+
+fn rate() -> impl Strategy<Value = f64> {
+    (0u32..8, 0.0f64..0.4).prop_map(|(k, x)| if k == 0 { 0.0 } else { x })
+}
+
+fn arb_faults() -> impl Strategy<Value = FaultConfig> {
+    (rate(), rate(), rate(), rate(), rate()).prop_map(|(spot, od, boot, warn, ckpt)| {
+        let mut f = FaultConfig::none();
+        f.spot_capacity_rate = spot;
+        f.od_capacity_rate = od;
+        f.startup_failure_rate = boot;
+        f.warning_miss_rate = warn;
+        f.ckpt_failure_rate = ckpt;
+        f
+    })
+}
+
+fn arb_storms() -> impl Strategy<Value = StormConfig> {
+    (0u32..6, 0.0f64..1.0).prop_map(|(k, x)| {
+        StormConfig::intensity(match k {
+            0 => 0.0,
+            1 => 1.0,
+            _ => x,
+        })
+    })
+}
+
+fn arb_policy() -> impl Strategy<Value = JobPolicy> {
+    prop_oneof![
+        Just(JobPolicy::GreedySpot),
+        Just(JobPolicy::CheckpointSpot),
+        Just(JobPolicy::OnDemandFallback),
+    ]
+}
+
+fn arb_cfg() -> impl Strategy<Value = JobsConfig> {
+    (arb_policy(), arb_faults(), arb_storms(), 1u32..4).prop_map(|(p, f, s, w)| {
+        JobsConfig::new(p)
+            .with_faults(f)
+            .with_storms(s)
+            .with_workers(w)
+    })
+}
+
+/// Small seed pool so the arena-backed traces are generated once and
+/// shared across cases.
+fn arb_seed() -> impl Strategy<Value = u64> {
+    0u64..3
+}
+
+fn traces(seed: u64) -> TraceSet {
+    TraceSet::generate(&Catalog::ec2_2015(), &[market()], seed, DEFAULT_HORIZON)
+}
+
+/// Bitwise comparison: `JobsReport`'s derived `PartialEq` compares the
+/// cost with `f64 ==`, which would call `-0.0 == 0.0` equal; compare
+/// the bit pattern instead.
+fn reports_bits_equal(a: &JobsReport, b: &JobsReport) -> bool {
+    a.policy == b.policy
+        && a.jobs == b.jobs
+        && a.finished == b.finished
+        && a.missed == b.missed
+        && a.total_cost.to_bits() == b.total_cost.to_bits()
+        && a.useful == b.useful
+        && a.wasted == b.wasted
+        && a.revocations == b.revocations
+        && a.checkpoints == b.checkpoints
+        && a.escalations == b.escalations
+        && a.makespan == b.makespan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn reports_bitwise_deterministic_across_scratch_reuse(
+        cfg in arb_cfg(),
+        dirty_cfg in arb_cfg(),
+        seed in arb_seed(),
+    ) {
+        let ts = traces(seed);
+        let fresh = run_jobs_on(&cfg, &ts, seed, &mut NullSink, &mut JobsScratch::new());
+
+        // Dirty a scratch with a different chaotic run, then reuse it.
+        let mut scratch = JobsScratch::new();
+        run_jobs_on(&dirty_cfg, &ts, seed.wrapping_add(1), &mut NullSink, &mut scratch);
+        let reused = run_jobs_on(&cfg, &ts, seed, &mut NullSink, &mut scratch);
+
+        prop_assert!(
+            reports_bits_equal(&fresh.report, &reused.report),
+            "scratch reuse changed the report:\n fresh: {:?}\nreused: {:?}",
+            fresh.report,
+            reused.report
+        );
+        prop_assert_eq!(fresh.outcomes.len(), reused.outcomes.len());
+        for (a, b) in fresh.outcomes.iter().zip(&reused.outcomes) {
+            prop_assert!(
+                a.cost.to_bits() == b.cost.to_bits() && a.completion == b.completion,
+                "outcome diverged: {a:?} vs {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn accounting_is_conserved(cfg in arb_cfg(), seed in arb_seed()) {
+        let ts = traces(seed);
+        let run = run_jobs_on(&cfg, &ts, seed, &mut NullSink, &mut JobsScratch::new());
+        for o in &run.outcomes {
+            prop_assert!(o.cost.is_finite() && o.cost >= 0.0, "bad cost: {o:?}");
+            prop_assert!(
+                o.useful + o.wasted == o.compute,
+                "useful {} + wasted {} != compute {} in {o:?}",
+                o.useful, o.wasted, o.compute
+            );
+            prop_assert!(
+                o.useful_cost <= o.cost + 1e-9,
+                "useful dollars {} exceed charged {} in {o:?}",
+                o.useful_cost, o.cost
+            );
+            if o.finished {
+                prop_assert!(o.useful == o.spec.runtime, "finished but useful != runtime: {o:?}");
+                prop_assert!(o.completion >= o.spec.arrival + o.spec.runtime);
+                prop_assert_eq!(o.missed, o.completion > o.spec.deadline);
+            } else {
+                prop_assert!(o.missed, "unfinished jobs must count as missed: {o:?}");
+                prop_assert!(o.useful == SimDuration::ZERO);
+            }
+        }
+        let agg = &run.report;
+        prop_assert_eq!(agg.jobs as usize, run.outcomes.len());
+        prop_assert!(agg.finished + agg.missed >= agg.jobs,
+            "every job is finished-in-time or missed");
+    }
+
+    #[test]
+    fn zero_fault_greedy_never_misses_a_fitting_deadline(
+        seed in arb_seed(),
+        workers in 1u32..4,
+    ) {
+        const BOOT: SimDuration = SimDuration(60_000);
+        let cfg = JobsConfig::new(JobPolicy::GreedySpot).with_workers(workers);
+        let catalog = Catalog::ec2_2015();
+        let pon = catalog.on_demand_price(market());
+        let end = SimTime::ZERO + DEFAULT_HORIZON;
+        let ts = TraceSet::from_traces(
+            &catalog,
+            vec![(market(), PriceTrace::constant(pon * 0.3, end))],
+            DEFAULT_HORIZON,
+        );
+        let run = run_jobs_on(&cfg, &ts, seed, &mut NullSink, &mut JobsScratch::new());
+        prop_assert_eq!(run.report.revocations, 0);
+        prop_assert_eq!(run.report.escalations, 0);
+        for o in &run.outcomes {
+            let Some(started) = o.started else { continue };
+            let wait = started.since(o.spec.arrival);
+            if wait + BOOT <= o.spec.slack() && o.finished {
+                prop_assert!(
+                    !o.missed,
+                    "job with covering slack missed: wait {wait}, slack {}, {o:?}",
+                    o.spec.slack()
+                );
+            }
+            if o.finished {
+                // No revocations: exactly one lease, all of it useful + boot.
+                prop_assert!(o.compute == o.spec.runtime + BOOT, "lease shape wrong: {o:?}");
+            }
+        }
+    }
+}

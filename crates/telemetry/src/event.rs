@@ -224,6 +224,27 @@ pub enum TelemetryEvent {
     /// An on-demand request was rejected by the global on-demand quota
     /// (storm backpressure) — demand now queues behind the backoff.
     QuotaExhausted { market: MarketId },
+    /// A batch job began (or re-began after a revocation) executing on a
+    /// lease in `market`. `spot` is false when the job runs on-demand
+    /// (the `OnDemandFallback` escalation path).
+    JobStarted {
+        job: u32,
+        market: MarketId,
+        spot: bool,
+    },
+    /// A periodic checkpoint of a running batch job completed, costing
+    /// `duration` of compute overhead on top of the job's useful work.
+    JobCheckpointed { job: u32, duration: SimDuration },
+    /// A batch job restarted after its lease was revoked, losing `lost`
+    /// of un-checkpointed progress.
+    JobRestarted {
+        job: u32,
+        market: MarketId,
+        lost: SimDuration,
+    },
+    /// A batch job completed. `missed` marks completion after the job's
+    /// deadline; `cost` is the total dollars billed to the job's leases.
+    JobFinished { job: u32, missed: bool, cost: f64 },
 }
 
 impl TelemetryEvent {
@@ -252,6 +273,10 @@ impl TelemetryEvent {
             TelemetryEvent::StormStarted { .. } => "storm_started",
             TelemetryEvent::StormEnded { .. } => "storm_ended",
             TelemetryEvent::QuotaExhausted { .. } => "quota_exhausted",
+            TelemetryEvent::JobStarted { .. } => "job_started",
+            TelemetryEvent::JobCheckpointed { .. } => "job_checkpointed",
+            TelemetryEvent::JobRestarted { .. } => "job_restarted",
+            TelemetryEvent::JobFinished { .. } => "job_finished",
         }
     }
 }

@@ -226,6 +226,25 @@ pub fn event_to_json(at: SimTime, ev: &TelemetryEvent) -> String {
         TelemetryEvent::QuotaExhausted { market } => {
             o.str("market", &market.to_string());
         }
+        TelemetryEvent::JobStarted { job, market, spot } => {
+            o.u64("job", *job as u64);
+            o.str("market", &market.to_string());
+            o.bool("spot", *spot);
+        }
+        TelemetryEvent::JobCheckpointed { job, duration } => {
+            o.u64("job", *job as u64);
+            o.dur("duration_ms", *duration);
+        }
+        TelemetryEvent::JobRestarted { job, market, lost } => {
+            o.u64("job", *job as u64);
+            o.str("market", &market.to_string());
+            o.dur("lost_ms", *lost);
+        }
+        TelemetryEvent::JobFinished { job, missed, cost } => {
+            o.u64("job", *job as u64);
+            o.bool("missed", *missed);
+            o.f64("cost", *cost);
+        }
     }
     o.finish()
 }
@@ -403,6 +422,33 @@ pub fn event_to_csv_row(at: SimTime, ev: &TelemetryEvent) -> String {
         }
         TelemetryEvent::QuotaExhausted { market: m } => {
             market = m.to_string();
+        }
+        TelemetryEvent::JobStarted {
+            job,
+            market: m,
+            spot,
+        } => {
+            market = m.to_string();
+            value = job.to_string();
+            detail = if *spot { "spot" } else { "on-demand" }.to_string();
+        }
+        TelemetryEvent::JobCheckpointed { job, duration: d } => {
+            duration = d.as_millis().to_string();
+            value = job.to_string();
+        }
+        TelemetryEvent::JobRestarted {
+            job,
+            market: m,
+            lost,
+        } => {
+            market = m.to_string();
+            duration = lost.as_millis().to_string();
+            value = job.to_string();
+        }
+        TelemetryEvent::JobFinished { job, missed, cost } => {
+            value = cost.to_string();
+            // ';' separator: a comma would break the fixed column arity.
+            detail = format!("job={job};{}", if *missed { "missed" } else { "met" });
         }
     }
     format!(

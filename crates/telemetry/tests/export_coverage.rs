@@ -51,7 +51,11 @@ fn exhaustive(ev: &TelemetryEvent) {
         | TelemetryEvent::StateChange { .. }
         | TelemetryEvent::StormStarted { .. }
         | TelemetryEvent::StormEnded { .. }
-        | TelemetryEvent::QuotaExhausted { .. } => {}
+        | TelemetryEvent::QuotaExhausted { .. }
+        | TelemetryEvent::JobStarted { .. }
+        | TelemetryEvent::JobCheckpointed { .. }
+        | TelemetryEvent::JobRestarted { .. }
+        | TelemetryEvent::JobFinished { .. } => {}
     }
 }
 
@@ -264,6 +268,41 @@ fn goldens() -> Vec<(TelemetryEvent, &'static str, &'static str)> {
             r#"{"t_ms":1000,"kind":"quota_exhausted","market":"us-west-1a/large"}"#,
             "1000,quota_exhausted,,us-west-1a/large,,,,,,",
         ),
+        (
+            TelemetryEvent::JobStarted {
+                job: 17,
+                market: m(),
+                spot: true,
+            },
+            r#"{"t_ms":1000,"kind":"job_started","job":17,"market":"us-west-1a/large","spot":true}"#,
+            "1000,job_started,,us-west-1a/large,,,,,17,spot",
+        ),
+        (
+            TelemetryEvent::JobCheckpointed {
+                job: 17,
+                duration: SimDuration::millis(4_000),
+            },
+            r#"{"t_ms":1000,"kind":"job_checkpointed","job":17,"duration_ms":4000}"#,
+            "1000,job_checkpointed,,,,,,4000,17,",
+        ),
+        (
+            TelemetryEvent::JobRestarted {
+                job: 17,
+                market: m(),
+                lost: SimDuration::millis(90_000),
+            },
+            r#"{"t_ms":1000,"kind":"job_restarted","job":17,"market":"us-west-1a/large","lost_ms":90000}"#,
+            "1000,job_restarted,,us-west-1a/large,,,,90000,17,",
+        ),
+        (
+            TelemetryEvent::JobFinished {
+                job: 17,
+                missed: true,
+                cost: 0.375,
+            },
+            r#"{"t_ms":1000,"kind":"job_finished","job":17,"missed":true,"cost":0.375}"#,
+            "1000,job_finished,,,,,,,0.375,job=17;missed",
+        ),
     ]
 }
 
@@ -279,8 +318,8 @@ fn every_variant_has_a_golden_json_line() {
         assert!(line.starts_with('{') && line.ends_with('}'));
         assert_eq!(line.matches('"').count() % 2, 0, "{line}");
     }
-    // All 22 kinds covered (Bid/ServiceUp appear twice for both shapes).
-    assert_eq!(kinds_seen.len(), 22, "kinds covered: {kinds_seen:?}");
+    // All 26 kinds covered (Bid/ServiceUp appear twice for both shapes).
+    assert_eq!(kinds_seen.len(), 26, "kinds covered: {kinds_seen:?}");
 }
 
 #[test]

@@ -314,6 +314,33 @@ mod tests {
     }
 
     #[test]
+    fn five_million_users_stay_finite_and_deterministic() {
+        // Web-scale sanity: a 5M-user base population over two months
+        // must stay finite and non-negative at every sampled hour (no
+        // overflow or NaN anywhere in the diurnal/flash arithmetic), and
+        // two constructions must agree bit for bit.
+        let mut big = cfg();
+        big.base_users = 5_000_000.0;
+        big.flash_per_day = 2.0;
+        let horizon = SimDuration::days(60);
+        let a = TrafficModel::new(big.clone(), 17, horizon);
+        let b = TrafficModel::new(big.clone(), 17, horizon);
+        assert_eq!(a, b);
+        let peak = a.peak_users();
+        assert!(peak.is_finite() && peak >= big.base_users);
+        for h in 0..(60 * 24) {
+            let t = SimTime::ZERO + SimDuration::hours(h);
+            let users = a.users_at(t);
+            assert!(users.is_finite() && users >= 0.0, "hour {h}: {users}");
+            assert_eq!(
+                users.to_bits(),
+                b.users_at(t).to_bits(),
+                "hour {h}: runs diverge"
+            );
+        }
+    }
+
+    #[test]
     fn invalid_configs_rejected() {
         let mut c = cfg();
         c.diurnal_amplitude = 1.5;

@@ -10,6 +10,7 @@ pub use spothost_cloudsim as cloudsim;
 pub use spothost_core as core;
 pub use spothost_eventstore as eventstore;
 pub use spothost_fleet as fleet;
+pub use spothost_jobs as jobs;
 pub use spothost_market as market;
 pub use spothost_virt as virt;
 pub use spothost_workload as workload;
